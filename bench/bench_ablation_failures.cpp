@@ -1,0 +1,89 @@
+// Ablation: scheduling overhead under node failures.
+//
+// Grid middleware must absorb machines disappearing (Section II-B).
+// This bench sweeps the number of injected crashes during the Section
+// IV-A workload and reports the cost: lost work resubmitted, makespan
+// stretch and energy overhead relative to the failure-free run.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "diet/client.hpp"
+#include "diet/failure.hpp"
+#include "green/policies.hpp"
+#include "workload/generator.hpp"
+
+using namespace greensched;
+
+namespace {
+
+struct Outcome {
+  double makespan = 0.0;
+  double energy = 0.0;
+  std::uint64_t crashes = 0;
+  std::uint64_t tasks_killed = 0;
+};
+
+Outcome run_with_failures(std::size_t crash_count) {
+  des::Simulator sim;
+  common::Rng rng(42);
+  cluster::Platform platform;
+  for (const auto& setup : metrics::table1_clusters()) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+  const auto policy = green::make_policy("GREENPERF");
+  ma.set_plugin(policy.get());
+
+  workload::WorkloadConfig wconfig;
+  workload::WorkloadGenerator generator(wconfig);
+  diet::Client client(hierarchy);
+  client.submit_workload(generator.generate(platform.total_cores(), rng));
+
+  diet::FailureInjector injector(hierarchy);
+  // Crashes hit random machines at random times in the first 400 s; each
+  // machine is repaired after 90 s (MTTR) and rebooted.
+  common::Rng crash_rng(7);
+  for (std::size_t i = 0; i < crash_count; ++i) {
+    const std::size_t victim = crash_rng.index(platform.node_count());
+    const double at = crash_rng.uniform(20.0, 400.0);
+    injector.schedule_failure(platform.node(victim).name(), des::SimTime(at),
+                              des::SimDuration(90.0));
+  }
+
+  sim.run();
+  if (!client.all_done()) throw common::StateError("bench: tasks lost");
+
+  Outcome outcome;
+  outcome.makespan = client.makespan().value();
+  outcome.energy = platform.total_energy(sim.now()).value();
+  outcome.crashes = injector.failures_injected();
+  outcome.tasks_killed = injector.tasks_killed();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation — resilience to node failures",
+                      "Section IV-A workload; random crashes (MTTR 90 s); all tasks must finish");
+
+  const Outcome baseline = run_with_failures(0);
+  std::printf("%-10s %-9s %-13s %-14s %-16s %-14s\n", "scheduled", "crashes", "tasks killed",
+              "makespan (s)", "makespan cost", "energy cost");
+  for (std::size_t crashes : {0u, 2u, 4u, 8u, 12u}) {
+    const Outcome o = run_with_failures(crashes);
+    std::printf("%-10zu %-9llu %-13llu %-14.0f %+14.1f%% %+13.1f%%\n", crashes,
+                static_cast<unsigned long long>(o.crashes),
+                static_cast<unsigned long long>(o.tasks_killed), o.makespan,
+                (o.makespan - baseline.makespan) / baseline.makespan * 100.0,
+                (o.energy - baseline.energy) / baseline.energy * 100.0);
+  }
+  std::printf(
+      "\nExpected: nothing is ever lost (killed work is resubmitted) and makespan barely\n"
+      "moves.  The energy overhead is dominated by *which* machines crash: once an\n"
+      "efficient (taurus) node goes down, its load spills to the power-hungry spares\n"
+      "for the rest of the run — additional crashes change little beyond that.\n");
+  return 0;
+}

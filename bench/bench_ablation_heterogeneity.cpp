@@ -1,0 +1,50 @@
+// Ablation: how much hardware diversity GreenPerf needs.
+//
+// The paper concludes that "the effectiveness of this metric strongly
+// relies on the heterogeneity of servers" (Figs. 6-7 compare two levels).
+// This bench sweeps the diversity continuously: starting from a platform
+// of identical machines, per-node power heterogeneity grows from 0 to
+// 25 %, and GreenPerf's energy saving over RANDOM is measured (with 95%
+// intervals over 5 seeds).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/replication.hpp"
+
+using namespace greensched;
+
+int main() {
+  bench::print_banner("Ablation — GreenPerf saving vs hardware heterogeneity",
+                      "One machine type; per-node power spread grows; saving vs RANDOM");
+
+  std::printf("%-14s %-26s %-26s %-10s\n", "heterogeneity", "GREENPERF energy (J)",
+              "RANDOM energy (J)", "saving");
+  for (double sigma : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25}) {
+    metrics::PlacementConfig config;
+    cluster::ClusterOptions eight;
+    eight.node_count = 8;
+    eight.power_heterogeneity = sigma;
+    config.clusters = {{"taurus", cluster::MachineCatalog::taurus(), eight}};
+    config.workload.requests_per_core = 6.0;
+    config.workload.burst_size = 20;
+    // Demand below capacity so placement freedom exists (see
+    // docs/CALIBRATION.md).
+    config.workload.continuous_rate = 0.8;
+
+    const auto seeds = metrics::default_seeds(5);
+    config.policy = "GREENPERF";
+    const metrics::ReplicatedResult green = metrics::run_replicated(config, seeds);
+    config.policy = "RANDOM";
+    const metrics::ReplicatedResult random = metrics::run_replicated(config, seeds);
+
+    std::printf("%-14.2f %-26s %-26s %9.1f%%\n", sigma,
+                green.energy_joules.to_string(0).c_str(),
+                random.energy_joules.to_string(0).c_str(),
+                (random.energy_joules.mean - green.energy_joules.mean) /
+                    random.energy_joules.mean * 100.0);
+  }
+  std::printf("\nExpected: at zero heterogeneity GreenPerf has nothing to exploit beyond\n"
+              "load concentration; the saving grows with the per-node spread — the\n"
+              "paper's \"need for a sufficient diversity of hardware\".\n");
+  return 0;
+}

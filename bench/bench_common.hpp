@@ -1,0 +1,37 @@
+// Shared helpers for the paper-artifact benches: the Table I platform
+// banner and the canonical Section IV-A experiment configuration.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "metrics/experiment.hpp"
+#include "metrics/report.hpp"
+
+namespace greensched::bench {
+
+/// Prints the experiment banner: which artifact is being regenerated and
+/// on which (simulated) infrastructure.
+inline void print_banner(const std::string& artifact, const std::string& description) {
+  std::printf("==========================================================================\n");
+  std::printf("%s\n%s\n", artifact.c_str(), description.c_str());
+  std::printf("Infrastructure (Table I): 4x orion (12c), 4x sagittaire (2c), 4x taurus (12c)\n");
+  std::printf("==========================================================================\n\n");
+}
+
+/// The Section IV-A workload-placement configuration: Table I platform,
+/// 10 requests per available core (1040 tasks over 104 cores), burst of
+/// 50 then 2 requests/second, single client.
+inline metrics::PlacementConfig placement_config(const std::string& policy,
+                                                 std::uint64_t seed = 42) {
+  metrics::PlacementConfig config;
+  config.clusters = metrics::table1_clusters();
+  config.policy = policy;
+  config.seed = seed;
+  config.workload.requests_per_core = 10.0;
+  config.workload.burst_size = 50;
+  config.workload.continuous_rate = 2.0;
+  return config;
+}
+
+}  // namespace greensched::bench

@@ -1,0 +1,11 @@
+// Fig. 2: task distribution with power consumption as placement criterion.
+// Expected shape: most tasks on Taurus nodes (most energy-efficient);
+// Orion/Sagittaire only compute during the learning phase or when Taurus
+// is overloaded.
+#include "bench_util_distribution.hpp"
+
+int main() {
+  return greensched::bench::run_distribution_bench(
+      "Figure 2", "POWER",
+      "Expected: Taurus (most efficient) dominates; others learn-phase/overflow only");
+}

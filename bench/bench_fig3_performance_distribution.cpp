@@ -1,0 +1,9 @@
+// Fig. 3: task distribution with performance as placement criterion.
+// Expected shape: majority of tasks on Orion nodes (highest FLOPS).
+#include "bench_util_distribution.hpp"
+
+int main() {
+  return greensched::bench::run_distribution_bench(
+      "Figure 3", "PERFORMANCE",
+      "Expected: Orion (fastest) dominates; Taurus close behind; Sagittaire last");
+}

@@ -1,0 +1,11 @@
+// Fig. 4: task distribution with random placement.
+// Expected shape: roughly uniform per node, except Sagittaire computes
+// fewer tasks — its tasks run slower, so it is less frequently available
+// when decisions are made.
+#include "bench_util_distribution.hpp"
+
+int main() {
+  return greensched::bench::run_distribution_bench(
+      "Figure 4", "RANDOM",
+      "Expected: near-uniform, with Sagittaire below the rest (slower => less available)");
+}

@@ -1,0 +1,25 @@
+// Fig. 5: energy consumption of the whole infrastructure grouped by
+// cluster, under the three policies.  Expected shape: RANDOM keeps every
+// cluster busy (highest totals); POWER concentrates work on Taurus while
+// Orion/Sagittaire stay near idle draw.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace greensched;
+
+int main() {
+  bench::print_banner("Figure 5 — energy consumption per cluster",
+                      "Same workload as Table II; per-cluster joules for each policy");
+
+  std::vector<metrics::PlacementResult> results;
+  for (const std::string policy : {"RANDOM", "POWER", "PERFORMANCE"}) {
+    results.push_back(metrics::run_placement(bench::placement_config(policy)));
+  }
+  std::printf("%s\n", metrics::render_cluster_energy(results).c_str());
+
+  for (const auto& r : results) {
+    std::printf("%-12s total: %12.0f J\n", r.policy.c_str(), r.energy.value());
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fig. 6: metric comparison with 2 similar server types and 2 clients.
+// Expected shape: with low hardware diversity, the G, GP and P points sit
+// close together — GreenPerf cannot buy much.
+#include "bench_util_heterogeneity.hpp"
+
+int main() {
+  return greensched::bench::run_heterogeneity_bench(
+      "Figure 6 (low heterogeneity)", greensched::metrics::low_heterogeneity_clusters(),
+      "2 similar server types: expect G/GP/P close together");
+}

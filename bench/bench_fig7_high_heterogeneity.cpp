@@ -1,0 +1,11 @@
+// Fig. 7: metric comparison with 4 server types (adds the simulated Sim1
+// and Sim2 clusters of Table III) and 2 clients.  Expected shape: with
+// more diversity GreenPerf finds a better energy/performance trade-off
+// than either bound — the paper's "need for sufficient diversity".
+#include "bench_util_heterogeneity.hpp"
+
+int main() {
+  return greensched::bench::run_heterogeneity_bench(
+      "Figure 7 (high heterogeneity)", greensched::metrics::high_heterogeneity_clusters(),
+      "4 server types incl. Table III Sim1/Sim2: expect GP to beat the G/P bounds' corners");
+}

@@ -1,0 +1,155 @@
+// Fig. 9: evolution of candidate nodes and power consumption over 260
+// minutes of adaptive provisioning.
+//
+// Timeline (matching Section IV-C):
+//   t+0    cost 1.0 (regular time)      -> 40% rule -> 4 candidates
+//   t+40   Event 1 announced: cost 0.8 at t+60 (scheduled)
+//   t+60   cost 0.8                     -> 70% rule -> 8 candidates,
+//                                          ramped progressively (t+50, t+60)
+//   t+100  Event 2 announced: cost 0.4 at t+120 (scheduled)
+//   t+120  cost 0.4                     -> 100% rule -> 12 candidates
+//   t+155  Event 3: heat peak (unexpected) -> detected t+160 -> 20% rule
+//          -> 2 candidates, reduced in 3 steps; running tasks complete
+//   t+225  cooling starts (so an acceptable temperature is measured at
+//          t+240, Event 4) -> pool re-provisioned every 10 min toward 12
+//
+// Expected shape: the candidate line tracks the events with progressive
+// ramps; mean power follows with the lag of draining/booting nodes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+#include "des/simulator.hpp"
+#include "diet/client.hpp"
+#include "green/events.hpp"
+#include "green/planning.hpp"
+#include "green/policies.hpp"
+#include "green/provisioner.hpp"
+#include "green/reactivity.hpp"
+
+#include <iostream>
+
+using namespace greensched;
+
+int main() {
+  bench::print_banner("Figure 9 — adaptive resource provisioning",
+                      "260 min timeline; scheduled tariff events + unexpected heat peak");
+
+  des::Simulator sim;
+  common::Rng rng(42);
+  cluster::Platform platform;
+  for (const auto& setup : metrics::table1_clusters()) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+  const auto policy = green::make_policy("GREENPERF");
+  ma.set_plugin(policy.get());
+
+  // Events of the experiment (minutes -> seconds).
+  green::EventSchedule events;
+  events.set_initial_cost(1.0);
+  events.add(green::EventSchedule::scheduled_cost_change(60 * 60.0, 0.8, 20 * 60.0,
+                                                         "Event 1: off-peak tariff 1"));
+  events.add(green::EventSchedule::scheduled_cost_change(120 * 60.0, 0.4, 20 * 60.0,
+                                                         "Event 2: off-peak tariff 2"));
+  events.add(green::EventSchedule::unexpected_temperature(155 * 60.0, 35.0,
+                                                          "Event 3: heat peak"));
+  events.add(green::EventSchedule::unexpected_temperature(225 * 60.0, 20.0,
+                                                          "Event 4: cooling restored"));
+  green::EventInjector injector(sim, platform, events);
+
+  green::ProvisioningPlanning planning;
+  green::ProvisionerConfig pconfig;
+  pconfig.check_period = common::minutes(10.0);
+  pconfig.lookahead = common::minutes(20.0);
+  pconfig.ramp_up_step = 2;
+  pconfig.ramp_down_step = 4;
+  pconfig.min_candidates = 2;
+  green::Provisioner provisioner(sim, platform, ma, green::RuleEngine::paper_default(), events,
+                                 planning, pconfig);
+  provisioner.start();
+
+  diet::SaturatingClient client(
+      hierarchy, workload::paper_cpu_bound_task(),
+      [&provisioner] { return provisioner.candidate_capacity(); }, common::seconds(30.0));
+  client.start();
+
+  sim.run_until(common::minutes(260.0));
+  client.stop();
+  provisioner.stop();
+
+  // Print the two series of the figure.
+  const common::TimeSeries& candidates = provisioner.candidate_series();
+  const common::TimeSeries& power = provisioner.power_series();
+  std::printf("%-10s %-12s %-16s %s\n", "t (min)", "candidates", "mean power (W)", "cost");
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double t = candidates.time_at(i);
+    double watts = 0.0;
+    for (std::size_t j = 0; j < power.size(); ++j) {
+      if (power.time_at(j) == t) watts = power.value_at(j);
+    }
+    std::printf("%-10.0f %-12.0f %-16.0f %.1f\n", t / 60.0, candidates.value_at(i), watts,
+                events.cost_at(t));
+  }
+
+  common::AsciiPlotOptions options;
+  options.label = "\ncandidate nodes vs time (min)";
+  std::vector<double> ts, cs;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ts.push_back(candidates.time_at(i) / 60.0);
+    cs.push_back(candidates.value_at(i));
+  }
+  std::printf("%s\n", common::ascii_plot(ts, cs, options).c_str());
+
+  options.label = "mean platform power (W) vs time (min)";
+  std::vector<double> pts, pws;
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    pts.push_back(power.time_at(i) / 60.0);
+    pws.push_back(power.value_at(i));
+  }
+  std::printf("%s\n", common::ascii_plot(pts, pws, options).c_str());
+
+  // The shared planning record (Fig. 8's XML), truncated.
+  const std::string xml = planning.to_xml_string();
+  std::printf("Provisioning planning (Fig. 8 format), first entries:\n%.600s...\n",
+              xml.c_str());
+
+  std::printf("\nTasks completed by the saturating client: %zu (%zu still pending)\n",
+              client.completed(), client.pending());
+
+  // Section IV-C also "evaluates reactivity": per event, how long the
+  // pool took to reach the rules' target after the event fired.
+  const green::ReactivityAnalyzer analyzer(green::RuleEngine::paper_default(),
+                                           platform.node_count());
+  std::printf("\nReactivity report:\n%-28s %-8s %-14s %s\n", "event", "target",
+              "settled (min)", "reaction (min)");
+  for (const auto& r : analyzer.analyze(events, candidates)) {
+    std::printf("%-28s %-8zu %-14s %s\n", r.event.description.c_str(), r.target_candidates,
+                r.settled_at ? std::to_string(*r.settled_at / 60.0).substr(0, 6).c_str()
+                             : "never",
+                r.reaction_seconds()
+                    ? std::to_string(*r.reaction_seconds() / 60.0).substr(0, 6).c_str()
+                    : "-");
+  }
+  std::printf("(announced tariff events settle with zero reaction — the pool was paced to\n"
+              " arrive exactly on time; the unexpected heat peak costs one detection period\n"
+              " plus the three-step drain; the post-cooling recovery is still ramping when\n"
+              " the 260-minute window ends, as in the paper's figure.)\n");
+
+  // CSV for replotting.
+  std::printf("\nCSV series:\nminute,candidates,mean_power_w,cost\n");
+  common::CsvWriter csv(std::cout);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double t = candidates.time_at(i);
+    double watts = 0.0;
+    for (std::size_t j = 0; j < power.size(); ++j) {
+      if (power.time_at(j) == t) watts = power.value_at(j);
+    }
+    csv.cell(t / 60.0).cell(candidates.value_at(i)).cell(watts).cell(events.cost_at(t));
+    csv.end_row();
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Micro-benchmarks of the DES kernel: scheduling throughput, cancellation
+// and periodic processes — the substrate every experiment runs on.
+#include <benchmark/benchmark.h>
+
+#include "des/simulator.hpp"
+
+using namespace greensched;
+
+namespace {
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(des::SimTime(static_cast<double>(i)), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ScheduleCancelHalf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    std::vector<des::EventHandle> handles;
+    handles.reserve(n);
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      handles.push_back(
+          sim.schedule_at(des::SimTime(static_cast<double>(i)), [&fired] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < n; i += 2) sim.cancel(handles[i]);
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_PeriodicProcess(benchmark::State& state) {
+  const auto ticks = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    std::uint64_t count = 0;
+    des::PeriodicProcess process(sim, des::SimDuration(1.0), [&](des::SimTime) {
+      ++count;
+      return count < ticks;
+    });
+    process.start();
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ScheduleAndRun)->Range(1 << 8, 1 << 16);
+BENCHMARK(BM_ScheduleCancelHalf)->Range(1 << 8, 1 << 16);
+BENCHMARK(BM_PeriodicProcess)->Range(1 << 8, 1 << 14);

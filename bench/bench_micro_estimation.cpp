@@ -1,0 +1,75 @@
+// Micro-benchmarks of the estimation path: SED estimation-vector fill
+// (the default estimation function) and the dynamic power estimate —
+// these run once per SED per request, so they bound middleware overhead.
+#include <benchmark/benchmark.h>
+
+#include "cluster/catalog.hpp"
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "diet/sed.hpp"
+
+using namespace greensched;
+
+namespace {
+
+struct SedFixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Node node{common::NodeId(0), "taurus-0", cluster::MachineCatalog::taurus(),
+                     common::ClusterId(0)};
+  diet::Sed sed{sim, node, {"cpu-bound"}, rng};
+};
+
+void BM_SedFillEstimation(benchmark::State& state) {
+  SedFixture f;
+  diet::Request request;
+  request.task.spec = workload::paper_cpu_bound_task();
+  for (auto _ : state) {
+    auto est = f.sed.fill_estimation(request);
+    benchmark::DoNotOptimize(est.size());
+  }
+}
+
+void BM_SedFillEstimationWithCustomFn(benchmark::State& state) {
+  SedFixture f;
+  // A developer-provided estimation function (the plug-in extension
+  // point): adds two custom tags.
+  f.sed.set_estimation_function([](diet::EstimationVector& est, const diet::Request&) {
+    est.set_custom("rack_temperature", 24.0);
+    est.set_custom("leakage_factor", 1.02);
+  });
+  diet::Request request;
+  request.task.spec = workload::paper_cpu_bound_task();
+  for (auto _ : state) {
+    auto est = f.sed.fill_estimation(request);
+    benchmark::DoNotOptimize(est.size());
+  }
+}
+
+void BM_EstimationVectorSetGet(benchmark::State& state) {
+  for (auto _ : state) {
+    diet::EstimationVector est("sed", common::NodeId(1));
+    est.set(diet::EstTag::kFreeCores, 4.0);
+    est.set(diet::EstTag::kMeasuredPowerWatts, 212.0);
+    est.set(diet::EstTag::kMeasuredFlopsPerCore, 9.2e9);
+    benchmark::DoNotOptimize(est.get(diet::EstTag::kMeasuredPowerWatts));
+    benchmark::DoNotOptimize(est.get_or(diet::EstTag::kQueueWaitSeconds, 0.0));
+  }
+}
+
+void BM_NodePowerAdvance(benchmark::State& state) {
+  cluster::Node node(common::NodeId(0), "taurus-0", cluster::MachineCatalog::taurus(),
+                     common::ClusterId(0));
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    benchmark::DoNotOptimize(node.power(common::Seconds(t)));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SedFillEstimation);
+BENCHMARK(BM_SedFillEstimationWithCustomFn);
+BENCHMARK(BM_EstimationVectorSetGet);
+BENCHMARK(BM_NodePowerAdvance);

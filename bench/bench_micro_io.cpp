@@ -1,0 +1,78 @@
+// Micro-benchmarks of the I/O substrates: XML parse/serialize, workload
+// trace round trip and the RNG.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+#include "xmlite/xml.hpp"
+
+using namespace greensched;
+
+namespace {
+
+std::string planning_document(std::size_t entries) {
+  std::ostringstream os;
+  os << "<planning>";
+  for (std::size_t i = 0; i < entries; ++i) {
+    os << "<timestamp value=\"" << i * 600 << "\"><temperature>23.5</temperature>"
+       << "<candidates>8</candidates><electricity_cost>0.6</electricity_cost></timestamp>";
+  }
+  os << "</planning>";
+  return os.str();
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  const std::string text = planning_document(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const xmlite::Document doc = xmlite::Document::parse(text);
+    benchmark::DoNotOptimize(doc.root().child_count());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+
+void BM_XmlSerialize(benchmark::State& state) {
+  const xmlite::Document doc =
+      xmlite::Document::parse(planning_document(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doc.to_string().size());
+  }
+}
+
+void BM_TraceRoundTrip(benchmark::State& state) {
+  common::Rng rng(1);
+  workload::WorkloadGenerator generator(workload::WorkloadConfig{});
+  workload::BurstThenContinuousArrival arrival(50, 2.0);
+  const auto tasks = generator.generate_with(
+      arrival, static_cast<std::size_t>(state.range(0)), common::Seconds(0.0), rng);
+  for (auto _ : state) {
+    const std::string csv = workload::trace_to_string(tasks);
+    const auto loaded = workload::trace_from_string(csv);
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_RngUniform(benchmark::State& state) {
+  common::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+
+void BM_RngNormal(benchmark::State& state) {
+  common::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_XmlParse)->Range(8, 1024);
+BENCHMARK(BM_XmlSerialize)->Range(8, 1024);
+BENCHMARK(BM_TraceRoundTrip)->Range(64, 4096);
+BENCHMARK(BM_RngUniform);
+BENCHMARK(BM_RngNormal);

@@ -1,0 +1,89 @@
+// Micro-benchmarks of the provisioning planning: insertion/query cost,
+// the Fig. 8 XML round trip, and readers-writer lock contention.
+#include <benchmark/benchmark.h>
+
+#include "common/rw_lock.hpp"
+#include "green/planning.hpp"
+
+using namespace greensched;
+
+namespace {
+
+green::ProvisioningPlanning& shared_planning(std::size_t entries) {
+  static green::ProvisioningPlanning planning;
+  static std::size_t populated = 0;
+  for (; populated < entries; ++populated) {
+    planning.add_entry(green::PlanningEntry{static_cast<double>(populated) * 600.0, 22.5,
+                                            populated % 13, 0.8});
+  }
+  return planning;
+}
+
+void BM_PlanningAddEntry(benchmark::State& state) {
+  for (auto _ : state) {
+    green::ProvisioningPlanning planning;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      planning.add_entry(
+          green::PlanningEntry{static_cast<double>(i) * 600.0, 23.5, 8, 0.6});
+    }
+    benchmark::DoNotOptimize(planning.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_PlanningQuery(benchmark::State& state) {
+  green::ProvisioningPlanning planning;
+  for (std::int64_t i = 0; i < 1024; ++i) {
+    planning.add_entry(green::PlanningEntry{static_cast<double>(i) * 600.0, 23.5, 8, 0.6});
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    auto entry = planning.at_or_before(t);
+    benchmark::DoNotOptimize(entry);
+    t += 601.0;
+    if (t > 1024.0 * 600.0) t = 0.0;
+  }
+}
+
+void BM_PlanningXmlRoundTrip(benchmark::State& state) {
+  green::ProvisioningPlanning planning;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    planning.add_entry(green::PlanningEntry{static_cast<double>(i) * 600.0, 23.5, 8, 0.6});
+  }
+  for (auto _ : state) {
+    const std::string xml = planning.to_xml_string();
+    green::ProvisioningPlanning loaded;
+    loaded.load_xml_string(xml);
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+/// Concurrent readers against the shared planning (writer preference
+/// means reads stay cheap until a writer shows up).
+void BM_PlanningConcurrentReads(benchmark::State& state) {
+  green::ProvisioningPlanning& planning = shared_planning(256);
+  double t = static_cast<double>(state.thread_index()) * 600.0;
+  for (auto _ : state) {
+    auto entry = planning.at_or_before(t);
+    benchmark::DoNotOptimize(entry);
+    t += 600.0;
+    if (t > 256.0 * 600.0) t = 0.0;
+  }
+}
+
+void BM_RwLockReadAcquire(benchmark::State& state) {
+  static common::ReadersWriterLock lock;
+  for (auto _ : state) {
+    common::ReadGuard guard(lock);
+    benchmark::DoNotOptimize(&guard);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PlanningAddEntry)->Range(16, 4096);
+BENCHMARK(BM_PlanningQuery);
+BENCHMARK(BM_PlanningXmlRoundTrip)->Range(16, 1024);
+BENCHMARK(BM_PlanningConcurrentReads)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK(BM_RwLockReadAcquire)->Threads(1)->Threads(4);

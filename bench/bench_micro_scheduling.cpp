@@ -1,0 +1,125 @@
+// Micro-benchmarks of the scheduling hot paths: policy aggregation,
+// Algorithm 1, the Eq. 6 score, and a full MA scheduling round.
+#include <benchmark/benchmark.h>
+
+#include "cluster/catalog.hpp"
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/candidate_selection.hpp"
+#include "green/policies.hpp"
+#include "green/score.hpp"
+#include "metrics/experiment.hpp"
+
+using namespace greensched;
+
+namespace {
+
+std::vector<diet::Candidate> synthetic_candidates(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<diet::Candidate> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    diet::EstimationVector est("sed-" + std::to_string(i), common::NodeId(i));
+    est.set(diet::EstTag::kFreeCores, static_cast<double>(rng.uniform_int(0, 12)));
+    est.set(diet::EstTag::kTotalCores, 12.0);
+    est.set(diet::EstTag::kNodeOn, 1.0);
+    est.set(diet::EstTag::kSpecFlopsPerCore, rng.uniform(4e9, 10e9));
+    est.set(diet::EstTag::kSpecPeakPowerWatts, rng.uniform(180.0, 280.0));
+    est.set(diet::EstTag::kSpecIdlePowerWatts, rng.uniform(80.0, 210.0));
+    est.set(diet::EstTag::kBootSeconds, 150.0);
+    est.set(diet::EstTag::kBootPowerWatts, 180.0);
+    est.set(diet::EstTag::kMeasuredPowerWatts, rng.uniform(100.0, 260.0));
+    est.set(diet::EstTag::kMeasuredFlopsPerCore, rng.uniform(4e9, 10e9));
+    est.set(diet::EstTag::kQueueWaitSeconds, 0.0);
+    est.set(diet::EstTag::kRandomDraw, rng.uniform());
+    out.push_back(diet::Candidate{nullptr, std::move(est)});
+  }
+  return out;
+}
+
+diet::Request synthetic_request() {
+  diet::Request request;
+  request.task.spec = workload::paper_cpu_bound_task();
+  request.user_preference = 0.5;
+  return request;
+}
+
+void BM_PolicyAggregate(benchmark::State& state, const char* policy_name) {
+  const auto policy = green::make_policy(policy_name);
+  const auto base = synthetic_candidates(static_cast<std::size_t>(state.range(0)), 99);
+  const diet::Request request = synthetic_request();
+  for (auto _ : state) {
+    auto candidates = base;
+    policy->aggregate(candidates, request);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Algorithm1(benchmark::State& state) {
+  common::Rng rng(7);
+  std::vector<green::RankedServer> servers;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    green::RankedServer s;
+    s.node = common::NodeId(static_cast<std::uint64_t>(i));
+    s.name = "node-" + std::to_string(i);
+    s.power = common::Watts(rng.uniform(100.0, 300.0));
+    s.greenperf = rng.uniform(1.0, 40.0);
+    servers.push_back(std::move(s));
+  }
+  for (auto _ : state) {
+    auto selected = green::select_candidate_servers(servers, 0.7);
+    benchmark::DoNotOptimize(selected.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ScoreServer(benchmark::State& state) {
+  green::ServerCostInputs inputs;
+  inputs.flops = common::gflops_per_sec(9.2);
+  inputs.full_load_watts = common::watts(220.0);
+  inputs.boot_watts = common::watts(150.0);
+  inputs.boot_seconds = common::seconds(150.0);
+  inputs.queue_wait = common::seconds(12.0);
+  inputs.active = true;
+  const green::UserPreference preference(0.5);
+  const common::Flops work(2.0e12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(green::score_server(inputs, work, preference));
+  }
+}
+
+/// One complete scheduling round (broadcast + estimation + sort + elect)
+/// on the Table I hierarchy.
+void BM_MasterAgentSubmit(benchmark::State& state, bool per_cluster) {
+  des::Simulator sim;
+  common::Rng rng(42);
+  cluster::Platform platform;
+  for (const auto& setup : metrics::table1_clusters()) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::MasterAgent& ma = per_cluster ? hierarchy.build_per_cluster(platform, {"cpu-bound"})
+                                      : hierarchy.build_flat(platform, {"cpu-bound"});
+  const auto policy = green::make_policy("GREENPERF");
+  ma.set_plugin(policy.get());
+  diet::Request request = synthetic_request();
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    request.id = common::RequestId(id++);
+    auto decision = ma.submit(request);
+    benchmark::DoNotOptimize(decision.ranked.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_PolicyAggregate, power, "POWER")->Range(8, 1024);
+BENCHMARK_CAPTURE(BM_PolicyAggregate, greenperf, "GREENPERF")->Range(8, 1024);
+BENCHMARK_CAPTURE(BM_PolicyAggregate, random, "RANDOM")->Range(8, 1024);
+BENCHMARK_CAPTURE(BM_PolicyAggregate, score, "SCORE")->Range(8, 1024);
+BENCHMARK(BM_Algorithm1)->Range(8, 4096);
+BENCHMARK(BM_ScoreServer);
+BENCHMARK_CAPTURE(BM_MasterAgentSubmit, flat_tree, false);
+BENCHMARK_CAPTURE(BM_MasterAgentSubmit, cluster_tree, true);

@@ -1,0 +1,45 @@
+// Table III: power figures of the simulated clusters used in Fig. 7.
+//
+//   Cluster   Idle consumption   Peak consumption
+//   Sim1          190 W              230 W
+//   Sim2          160 W              190 W
+//
+// This bench prints the configured catalog entries (the reproduction's
+// inputs) plus each machine's derived GreenPerf, and verifies them
+// against the paper's wattages.
+#include <cstdio>
+
+#include "cluster/catalog.hpp"
+#include "green/greenperf.hpp"
+
+using namespace greensched;
+
+int main() {
+  std::printf("Table III — energy consumption of simulated clusters\n\n");
+  std::printf("%-12s %6s %10s %10s %12s %14s\n", "Cluster", "Cores", "Idle (W)", "Peak (W)",
+              "GFLOP/s", "GreenPerf W/GF");
+
+  int mismatches = 0;
+  for (const auto& name : cluster::MachineCatalog::names()) {
+    const cluster::NodeSpec spec = cluster::MachineCatalog::by_name(name);
+    const double gf = spec.total_flops().value() / 1e9;
+    std::printf("%-12s %6u %10.0f %10.0f %12.1f %14.3f\n", name.c_str(), spec.cores,
+                spec.idle_watts.value(), spec.peak_watts.value(), gf,
+                green::greenperf_ratio(spec.peak_watts, spec.total_flops()) * 1e9);
+  }
+
+  const auto sim1 = cluster::MachineCatalog::sim1();
+  const auto sim2 = cluster::MachineCatalog::sim2();
+  auto check = [&](const char* what, double got, double want) {
+    const bool ok = got == want;
+    if (!ok) ++mismatches;
+    std::printf("check %-28s got %6.0f  paper %6.0f  %s\n", what, got, want,
+                ok ? "OK" : "MISMATCH");
+  };
+  std::printf("\nPaper values:\n");
+  check("sim1 idle consumption (W)", sim1.idle_watts.value(), 190.0);
+  check("sim1 peak consumption (W)", sim1.peak_watts.value(), 230.0);
+  check("sim2 idle consumption (W)", sim2.idle_watts.value(), 160.0);
+  check("sim2 peak consumption (W)", sim2.peak_watts.value(), 190.0);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// Shared body of the Fig. 2/3/4 task-distribution benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace greensched::bench {
+
+inline int run_distribution_bench(const std::string& figure, const std::string& policy,
+                                  const std::string& expectation) {
+  print_banner(figure + " — task distribution under " + policy, expectation);
+
+  const metrics::PlacementResult result =
+      metrics::run_placement(placement_config(policy));
+
+  std::printf("%s\n", metrics::render_task_distribution(result).c_str());
+
+  // Per-cluster totals make the distribution skew explicit.
+  std::size_t orion = 0, sagittaire = 0, taurus = 0;
+  for (const auto& [server, count] : result.tasks_per_server) {
+    if (server.starts_with("orion")) orion += count;
+    if (server.starts_with("sagittaire")) sagittaire += count;
+    if (server.starts_with("taurus")) taurus += count;
+  }
+  std::printf("Cluster totals: orion=%zu sagittaire=%zu taurus=%zu (of %zu tasks)\n", orion,
+              sagittaire, taurus, result.tasks);
+  std::printf("Makespan: %.0f s, energy: %.0f J\n", result.makespan.value(),
+              result.energy.value());
+  return 0;
+}
+
+}  // namespace greensched::bench

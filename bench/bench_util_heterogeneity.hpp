@@ -1,0 +1,128 @@
+// Shared body of the Fig. 6/7 GreenPerf-evaluation benches.
+//
+// Section IV-B: a simulation on single-slot servers ("each server is
+// limited to the computation of one task", running at maximal performance
+// and power), with the servers' figures known up front from an initial
+// benchmark.  Two clients submit requests.  The coordinates of the G
+// (POWER), GP (GREENPERF) and P (PERFORMANCE) points are the average
+// values of the two exploited metrics — mean power consumption and
+// achieved performance — and the RANDOM runs span the shaded area.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/ascii_plot.hpp"
+
+namespace greensched::bench {
+
+inline int run_heterogeneity_bench(const std::string& figure,
+                                   std::vector<metrics::ClusterSetup> clusters,
+                                   const std::string& expectation) {
+  print_banner(figure + " — GreenPerf metric evaluation", expectation);
+
+  metrics::PlacementConfig config;
+  config.clusters = std::move(clusters);
+  config.client_count = 2;      // "2 clients submitting requests"
+  config.spec_fallback = true;  // figures known from the initial benchmark
+  config.workload.requests_per_core = 10.0;
+  config.workload.burst_size = 4;
+  // A gentler arrival than the live experiment, so placement (not queue
+  // drain) decides which servers work.
+  config.workload.continuous_rate = 0.2;
+  // Single-slot servers: one task drives a server to peak; sized so a
+  // task runs for tens of seconds even on the fastest type.
+  config.workload.task.work = common::Flops(4.0e12);
+
+  std::size_t servers = 0;
+  for (const auto& c : config.clusters) servers += c.options.node_count;
+  std::printf("Platform: %zu server types, %zu single-slot servers\n\n",
+              config.clusters.size(), servers);
+
+  struct Point {
+    std::string label;
+    double perf_gflops;  ///< achieved performance: total FLOP / makespan
+    double power_watts;  ///< mean power: total energy / makespan
+    double makespan;
+    double energy;
+  };
+  auto to_point = [&](const std::string& label, const metrics::PlacementResult& r) {
+    Point p;
+    p.label = label;
+    p.makespan = r.makespan.value();
+    p.energy = r.energy.value();
+    const double total_flop =
+        static_cast<double>(r.tasks) * config.workload.task.work.value();
+    p.perf_gflops = total_flop / r.makespan.value() / 1e9;
+    p.power_watts = r.energy.value() / r.makespan.value();
+    return p;
+  };
+
+  std::vector<Point> points;
+  for (const auto& [label, policy] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"G  (POWER)", "POWER"}, {"GP (GREENPERF)", "GREENPERF"},
+           {"P  (PERFORMANCE)", "PERFORMANCE"}}) {
+    config.policy = policy;
+    config.seed = 42;
+    points.push_back(to_point(label, metrics::run_placement(config)));
+  }
+
+  // RANDOM envelope over several seeds (the shaded area of the figure).
+  config.policy = "RANDOM";
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 1; s <= 15; ++s) seeds.push_back(s * 1000 + 7);
+  const auto random_runs = metrics::run_placement_sweep(config, seeds);
+  std::vector<Point> random_points;
+  double rp_min = 1e300, rp_max = 0, rw_min = 1e300, rw_max = 0;
+  for (const auto& r : random_runs) {
+    random_points.push_back(to_point("RANDOM", r));
+    rp_min = std::min(rp_min, random_points.back().perf_gflops);
+    rp_max = std::max(rp_max, random_points.back().perf_gflops);
+    rw_min = std::min(rw_min, random_points.back().power_watts);
+    rw_max = std::max(rw_max, random_points.back().power_watts);
+  }
+
+  std::printf("%-18s %16s %16s %14s %14s\n", "Metric", "Perf (GFLOP/s)", "Mean power (W)",
+              "Makespan (s)", "Energy (J)");
+  for (const auto& p : points) {
+    std::printf("%-18s %16.1f %16.1f %14.0f %14.0f\n", p.label.c_str(), p.perf_gflops,
+                p.power_watts, p.makespan, p.energy);
+  }
+  std::printf("%-18s %7.1f-%-8.1f %7.1f-%-8.1f %28s\n\n", "RANDOM area", rp_min, rp_max,
+              rw_min, rw_max, "(15 seeds)");
+
+  // The figure's scatter: performance on x, mean power on y.
+  std::vector<double> xs, ys;
+  for (const auto& p : points) {
+    xs.push_back(p.perf_gflops);
+    ys.push_back(p.power_watts);
+  }
+  for (const auto& p : random_points) {
+    xs.push_back(p.perf_gflops);
+    ys.push_back(p.power_watts);
+  }
+  common::AsciiPlotOptions options;
+  options.label = "mean power W (y) vs achieved performance GFLOP/s (x): G, GP, P + RANDOM cloud";
+  std::printf("%s\n", common::ascii_plot(xs, ys, options).c_str());
+
+  // Headline checks: G cheapest & slowest, P fastest & most power-hungry,
+  // GP in between on both axes.
+  const Point& g = points[0];
+  const Point& gp = points[1];
+  const Point& p = points[2];
+  std::printf("power ordering  G <= GP <= P : %s\n",
+              (g.power_watts <= gp.power_watts + 1e-9 &&
+               gp.power_watts <= p.power_watts + 1e-9)
+                  ? "yes"
+                  : "no");
+  std::printf("perf  ordering  G <= GP, GP ~ P : %s\n",
+              (g.perf_gflops <= gp.perf_gflops + 1e-9) ? "yes" : "no");
+  std::printf("GP/G power ratio: %.3f   P/GP power ratio: %.3f   GP/G perf ratio: %.3f\n",
+              gp.power_watts / g.power_watts, p.power_watts / gp.power_watts,
+              gp.perf_gflops / g.perf_gflops);
+  return 0;
+}
+
+}  // namespace greensched::bench

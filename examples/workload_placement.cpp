@@ -1,0 +1,47 @@
+// Workload placement across policies (the Section IV-A experiment as an
+// application).
+//
+//   $ ./workload_placement            # compares all policies
+//   $ ./workload_placement POWER      # runs one policy in detail
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.hpp"
+#include "metrics/report.hpp"
+
+using namespace greensched;
+
+namespace {
+
+metrics::PlacementConfig base_config(const std::string& policy) {
+  metrics::PlacementConfig config;
+  config.clusters = metrics::table1_clusters();
+  config.policy = policy;
+  config.workload.requests_per_core = 5.0;  // lighter than the paper run
+  config.workload.burst_size = 30;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    const metrics::PlacementResult result = metrics::run_placement(base_config(argv[1]));
+    std::printf("%s\n", metrics::render_task_distribution(result).c_str());
+    std::printf("makespan %.0f s   energy %.0f J   mean wait %.2f s\n",
+                result.makespan.value(), result.energy.value(), result.mean_wait_seconds);
+    return 0;
+  }
+
+  std::vector<metrics::PlacementResult> results;
+  for (const std::string policy :
+       {"RANDOM", "POWER", "PERFORMANCE", "GREENPERF", "SCORE", "MCT"}) {
+    results.push_back(metrics::run_placement(base_config(policy)));
+  }
+  std::printf("%s\n", metrics::render_policy_comparison(results).c_str());
+  std::printf("%s\n", metrics::render_cluster_energy(results).c_str());
+  std::printf("Energy saving of POWER vs RANDOM: %.1f %%\n",
+              metrics::energy_saving_percent(results[0], results[1]));
+  return 0;
+}

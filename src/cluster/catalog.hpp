@@ -1,0 +1,39 @@
+// Machine catalog: the concrete machine types used in the paper's
+// evaluation (Table I clusters from GRID'5000 plus the Table III simulated
+// clusters), calibrated from the public GRID'5000 hardware and power
+// documentation.  Absolute wattages need not match the authors' testbed;
+// what matters is the ordering they create:
+//   - Taurus  : best power/performance ratio (wins under POWER),
+//   - Orion   : highest raw FLOPS (wins under PERFORMANCE),
+//   - Sagittaire: old, slow, power-hungry (loses under both).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/node_spec.hpp"
+
+namespace greensched::cluster {
+
+class MachineCatalog {
+ public:
+  /// Dell R720 + GPU (Lyon): fastest machine of the testbed.
+  static NodeSpec orion();
+  /// Dell R720 (Lyon): same CPU as Orion, lower electrical footprint —
+  /// the most energy-efficient machine.
+  static NodeSpec taurus();
+  /// Sun Fire V20z (Lyon, 2005): two single-core Opterons, high idle draw.
+  static NodeSpec sagittaire();
+  /// Simulated cluster of Table III: idle 190 W, peak 230 W.
+  static NodeSpec sim1();
+  /// Simulated cluster of Table III: idle 160 W, peak 190 W.
+  static NodeSpec sim2();
+
+  /// Lookup by model name ("orion", "taurus", "sagittaire", "sim1",
+  /// "sim2"); throws ConfigError for unknown names.
+  static NodeSpec by_name(const std::string& name);
+  /// All model names known to the catalog.
+  static std::vector<std::string> names();
+};
+
+}  // namespace greensched::cluster

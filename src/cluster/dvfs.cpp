@@ -1,0 +1,44 @@
+#include "cluster/dvfs.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+
+using common::ConfigError;
+
+DvfsLadder::DvfsLadder() : states_{PState{"P0", 1.0, 1.0, 1.0}} {}
+
+DvfsLadder::DvfsLadder(std::vector<PState> states) : states_(std::move(states)) {
+  if (states_.empty()) throw ConfigError("DvfsLadder: need at least one P-state");
+  double previous_speed = 1.0 + 1e-12;
+  for (const auto& s : states_) {
+    if (s.speed_factor <= 0.0 || s.speed_factor > 1.0)
+      throw ConfigError("DvfsLadder: speed factor of '" + s.name + "' outside (0, 1]");
+    if (s.power_factor <= 0.0 || s.power_factor > 1.0)
+      throw ConfigError("DvfsLadder: power factor of '" + s.name + "' outside (0, 1]");
+    if (s.static_factor <= 0.0 || s.static_factor > 1.0)
+      throw ConfigError("DvfsLadder: static factor of '" + s.name + "' outside (0, 1]");
+    if (s.speed_factor > previous_speed)
+      throw ConfigError("DvfsLadder: states must be ordered fastest first");
+    previous_speed = s.speed_factor;
+  }
+}
+
+const PState& DvfsLadder::state(std::size_t index) const {
+  if (index >= states_.size()) throw ConfigError("DvfsLadder: P-state index out of range");
+  return states_[index];
+}
+
+DvfsLadder DvfsLadder::typical_xeon() {
+  // Dynamic power ~ f * V^2 with voltage scaling mildly with frequency;
+  // static power dominated by leakage and the platform (PSU, fans, RAM),
+  // so it barely reacts to core frequency.
+  return DvfsLadder({
+      PState{"P0", 1.0, 1.00, 1.00},
+      PState{"P1", 0.8, 0.70, 0.97},
+      PState{"P2", 0.6, 0.48, 0.95},
+      PState{"P3", 0.4, 0.32, 0.93},
+  });
+}
+
+}  // namespace greensched::cluster

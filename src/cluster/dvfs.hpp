@@ -1,0 +1,50 @@
+// DVFS: dynamic voltage and frequency scaling support.
+//
+// The paper's related work (Snowdon et al., Le Sueur & Heiser) argues
+// that slowing components during light load "is becoming less attractive
+// on modern hardware" compared to powering servers off — the premise the
+// green provisioner is built on.  This module provides the P-state model
+// and an ondemand-style governor so the claim can be tested
+// quantitatively (see bench_ablation_dvfs_vs_shutdown).
+//
+// Model: a P-state scales compute speed by `speed_factor` and the
+// *dynamic* part of the power curve by `power_factor`; static draw (the
+// idle floor's share) scales only by `static_factor`, which is why DVFS
+// savings plateau — static power does not follow frequency.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace greensched::cluster {
+
+struct PState {
+  std::string name;           ///< e.g. "P0", "P2"
+  double speed_factor = 1.0;  ///< effective FLOPS multiplier (0 < f <= 1)
+  double power_factor = 1.0;  ///< dynamic-power multiplier (0 < f <= 1)
+  double static_factor = 1.0; ///< idle/static-power multiplier
+};
+
+/// An ordered ladder of P-states, fastest (P0) first.
+class DvfsLadder {
+ public:
+  /// A single full-speed state (DVFS effectively disabled).
+  DvfsLadder();
+  explicit DvfsLadder(std::vector<PState> states);
+
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] const PState& state(std::size_t index) const;
+  [[nodiscard]] std::size_t fastest() const noexcept { return 0; }
+  [[nodiscard]] std::size_t slowest() const noexcept { return states_.size() - 1; }
+
+  /// A ladder resembling a 2012-era Xeon: frequency scales 100/80/60/40%,
+  /// dynamic power roughly with f*V^2, static power barely moves —
+  /// Le Sueur & Heiser's "laws of diminishing returns".
+  static DvfsLadder typical_xeon();
+
+ private:
+  std::vector<PState> states_;
+};
+
+}  // namespace greensched::cluster

@@ -1,0 +1,24 @@
+#include "cluster/dvfs_governor.hpp"
+
+namespace greensched::cluster {
+
+OndemandGovernor::OndemandGovernor(Platform& platform, DvfsLadder ladder, common::Seconds now) {
+  for (std::size_t i = 0; i < platform.node_count(); ++i) {
+    Node& node = platform.node(i);
+    node.set_dvfs_ladder(ladder);
+    if (node.busy_cores() == 0) node.set_pstate(now, node.dvfs_ladder().slowest());
+    node.set_load_change_hook(
+        [this](Node& n, common::Seconds at) { on_load_change(n, at); });
+  }
+}
+
+void OndemandGovernor::on_load_change(Node& node, common::Seconds now) {
+  const std::size_t wanted =
+      node.busy_cores() > 0 ? node.dvfs_ladder().fastest() : node.dvfs_ladder().slowest();
+  if (node.pstate() != wanted) {
+    node.set_pstate(now, wanted);
+    ++transitions_;
+  }
+}
+
+}  // namespace greensched::cluster

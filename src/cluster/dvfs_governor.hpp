@@ -1,0 +1,30 @@
+// Ondemand-style DVFS governor.
+//
+// Event-driven: it subscribes to each node's load-change hook and
+// switches to the fastest P-state the moment any core goes busy, back to
+// the slowest when the node idles — the classic race-to-idle policy.
+// Exists so the shutdown-vs-DVFS comparison of the paper's premise can
+// be run (bench_ablation_dvfs_vs_shutdown).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/platform.hpp"
+
+namespace greensched::cluster {
+
+class OndemandGovernor {
+ public:
+  /// Installs `ladder` and the load hook on every node of the platform.
+  /// Nodes start at the slowest state (they are idle).
+  OndemandGovernor(Platform& platform, DvfsLadder ladder, common::Seconds now);
+
+  [[nodiscard]] std::uint64_t transitions() const noexcept { return transitions_; }
+
+ private:
+  void on_load_change(Node& node, common::Seconds now);
+
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace greensched::cluster

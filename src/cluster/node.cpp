@@ -1,0 +1,197 @@
+#include "cluster/node.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+
+using common::StateError;
+
+const char* to_string(NodeState state) noexcept {
+  switch (state) {
+    case NodeState::kOff: return "off";
+    case NodeState::kBooting: return "booting";
+    case NodeState::kOn: return "on";
+    case NodeState::kShuttingDown: return "shutting-down";
+    case NodeState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+Node::Node(NodeId id, std::string name, NodeSpec spec, common::ClusterId cluster,
+           ThermalConfig thermal, bool initially_on)
+    : id_(id),
+      name_(std::move(name)),
+      spec_(std::move(spec)),
+      nameplate_(spec_),
+      cluster_(cluster),
+      thermal_(thermal),
+      state_(initially_on ? NodeState::kOn : NodeState::kOff),
+      temperature_(thermal.ambient) {
+  spec_.validate();
+  if (thermal_.tau.value() <= 0.0) throw common::ConfigError("Node: thermal tau must be positive");
+}
+
+Watts Node::instantaneous_power() const noexcept {
+  switch (state_) {
+    case NodeState::kOff:
+    case NodeState::kFailed:  // crashed: only residual draw remains
+      return spec_.off_watts;
+    case NodeState::kBooting:
+      return spec_.boot_watts;
+    case NodeState::kShuttingDown:
+      return spec_.idle_watts;
+    case NodeState::kOn: {
+      const cluster::PState& p = ladder_.state(pstate_);
+      const double static_watts = spec_.idle_watts.value() * p.static_factor;
+      if (busy_cores_ == 0) return Watts(static_watts);
+      // Active floor plus a linear term: any busy core wakes the package
+      // to active_watts; additional cores scale toward peak_watts.  DVFS
+      // scales the dynamic share only — the static floor barely moves.
+      const double load = static_cast<double>(busy_cores_) / static_cast<double>(spec_.cores);
+      const double full_speed = spec_.active_watts.value() +
+                                (spec_.peak_watts.value() - spec_.active_watts.value()) * load;
+      const double dynamic_watts = (full_speed - spec_.idle_watts.value()) * p.power_factor;
+      return Watts(static_watts + dynamic_watts);
+    }
+  }
+  return Watts(0.0);
+}
+
+void Node::advance_to(Seconds now) {
+  if (now < last_update_) throw StateError("Node '" + name_ + "': time went backwards");
+  const Seconds dt = now - last_update_;
+  if (dt.value() == 0.0) return;
+
+  const Watts p = instantaneous_power();
+  energy_ += p * dt;
+  if (state_ == NodeState::kOn && busy_cores_ > 0) {
+    active_energy_ += p * dt;
+    active_time_ += dt;
+  }
+
+  // First-order thermal response toward the load-dependent steady state.
+  const double target = thermal_.ambient.value() + thermal_.rise_per_watt * p.value();
+  const double alpha = 1.0 - std::exp(-dt.value() / thermal_.tau.value());
+  temperature_ = Celsius(temperature_.value() + (target - temperature_.value()) * alpha);
+
+  last_update_ = now;
+}
+
+void Node::power_on(Seconds now) {
+  advance_to(now);
+  if (state_ != NodeState::kOff)
+    throw StateError("Node '" + name_ + "': power_on from state " + to_string(state_));
+  state_ = NodeState::kBooting;
+  ++boots_;
+}
+
+void Node::complete_boot(Seconds now) {
+  advance_to(now);
+  if (state_ != NodeState::kBooting)
+    throw StateError("Node '" + name_ + "': complete_boot from state " + to_string(state_));
+  state_ = NodeState::kOn;
+}
+
+void Node::power_off(Seconds now) {
+  advance_to(now);
+  if (state_ != NodeState::kOn)
+    throw StateError("Node '" + name_ + "': power_off from state " + to_string(state_));
+  if (busy_cores_ != 0)
+    throw StateError("Node '" + name_ + "': power_off while " + std::to_string(busy_cores_) +
+                     " cores are busy");
+  state_ = NodeState::kShuttingDown;
+}
+
+void Node::complete_shutdown(Seconds now) {
+  advance_to(now);
+  if (state_ != NodeState::kShuttingDown)
+    throw StateError("Node '" + name_ + "': complete_shutdown from state " + to_string(state_));
+  state_ = NodeState::kOff;
+}
+
+void Node::fail(Seconds now) {
+  advance_to(now);
+  if (state_ == NodeState::kOff || state_ == NodeState::kFailed)
+    throw StateError("Node '" + name_ + "': fail from state " + to_string(state_));
+  state_ = NodeState::kFailed;
+  busy_cores_ = 0;  // whatever ran here is gone
+  ++failures_;
+}
+
+void Node::repair(Seconds now) {
+  advance_to(now);
+  if (state_ != NodeState::kFailed)
+    throw StateError("Node '" + name_ + "': repair from state " + to_string(state_));
+  state_ = NodeState::kOff;
+}
+
+void Node::acquire_core(Seconds now) {
+  advance_to(now);
+  if (state_ != NodeState::kOn)
+    throw StateError("Node '" + name_ + "': acquire_core while " + to_string(state_));
+  if (busy_cores_ >= spec_.cores)
+    throw StateError("Node '" + name_ + "': no free core");
+  ++busy_cores_;
+  ++tasks_started_;
+  if (load_change_hook_) load_change_hook_(*this, now);
+}
+
+void Node::release_core(Seconds now) {
+  advance_to(now);
+  if (busy_cores_ == 0) throw StateError("Node '" + name_ + "': release_core with none busy");
+  --busy_cores_;
+  ++tasks_completed_;
+  if (load_change_hook_) load_change_hook_(*this, now);
+}
+
+void Node::set_nameplate(NodeSpec nameplate) {
+  nameplate.validate();
+  nameplate_ = std::move(nameplate);
+}
+
+void Node::set_dvfs_ladder(DvfsLadder ladder) {
+  ladder_ = std::move(ladder);
+  pstate_ = 0;
+}
+
+void Node::set_pstate(Seconds now, std::size_t index) {
+  if (index >= ladder_.size())
+    throw StateError("Node '" + name_ + "': P-state index out of range");
+  if (index == pstate_) return;
+  advance_to(now);  // integrate energy at the old operating point
+  pstate_ = index;
+  ++pstate_transitions_;
+}
+
+common::FlopsRate Node::current_flops_per_core() const noexcept {
+  return common::FlopsRate(spec_.flops_per_core.value() * ladder_.state(pstate_).speed_factor);
+}
+
+Watts Node::power(Seconds now) {
+  advance_to(now);
+  return instantaneous_power();
+}
+
+Joules Node::energy(Seconds now) {
+  advance_to(now);
+  return energy_;
+}
+
+Joules Node::active_energy(Seconds now) {
+  advance_to(now);
+  return active_energy_;
+}
+
+Seconds Node::active_time(Seconds now) {
+  advance_to(now);
+  return active_time_;
+}
+
+Celsius Node::temperature(Seconds now) {
+  advance_to(now);
+  return temperature_;
+}
+
+}  // namespace greensched::cluster

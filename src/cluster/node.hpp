@@ -1,0 +1,169 @@
+// Compute node model: power state machine, core occupancy, exact energy
+// integration and a first-order thermal model.
+//
+// The node is the physical substrate the middleware schedules onto.  Its
+// power draw is a function of state and load:
+//   OFF           -> off_watts          (residual draw)
+//   BOOTING       -> boot_watts         (the paper's bc_s)
+//   ON, k busy    -> idle + (peak-idle) * k/cores   (linear model)
+//   SHUTTING_DOWN -> idle_watts
+// Energy is integrated exactly at every state change, so accounting does
+// not depend on the wattmeter's sampling rate (the wattmeter *measures*
+// the same signal, as the real Omegawatt meters do).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cluster/dvfs.hpp"
+#include "cluster/node_spec.hpp"
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace greensched::cluster {
+
+using common::Celsius;
+using common::ClusterId;
+using common::Joules;
+using common::NodeId;
+using common::Seconds;
+using common::Watts;
+
+enum class NodeState { kOff, kBooting, kOn, kShuttingDown, kFailed };
+
+[[nodiscard]] const char* to_string(NodeState state) noexcept;
+
+/// Thermal behaviour knobs.  T converges to ambient + rise_per_watt * P
+/// with time constant tau; the provisioner reads temperature to detect the
+/// heat events of Section IV-C.
+struct ThermalConfig {
+  Celsius ambient{20.0};
+  /// degC per W at steady state: chosen so the hottest Table I machine at
+  /// full load stays below the 25 degC administrator threshold under a
+  /// normal 20 degC ambient (orion at 400 W -> 24.4 degC).
+  double rise_per_watt = 0.011;
+  Seconds tau{300.0};  ///< first-order time constant
+};
+
+class Node {
+ public:
+  Node(NodeId id, std::string name, NodeSpec spec, ClusterId cluster,
+       ThermalConfig thermal = {}, bool initially_on = true);
+
+  // --- identity ---
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The machine's *actual* electrical/compute behaviour.
+  [[nodiscard]] const NodeSpec& spec() const noexcept { return spec_; }
+  /// The *advertised* figures (catalog/benchmark values).  With per-node
+  /// heterogeneity these differ from spec() — "your cluster is not power
+  /// homogeneous" — which is exactly why the paper prefers the dynamic
+  /// (measured) method over a static benchmark.  Defaults to spec().
+  [[nodiscard]] const NodeSpec& nameplate() const noexcept { return nameplate_; }
+  void set_nameplate(NodeSpec nameplate);
+  [[nodiscard]] common::ClusterId cluster() const noexcept { return cluster_; }
+
+  // --- state machine ---
+  [[nodiscard]] NodeState state() const noexcept { return state_; }
+  [[nodiscard]] bool is_on() const noexcept { return state_ == NodeState::kOn; }
+  /// OFF -> BOOTING.  The caller must call complete_boot() boot_seconds
+  /// later (the DES schedules it).  Throws StateError from other states.
+  void power_on(Seconds now);
+  /// BOOTING -> ON.
+  void complete_boot(Seconds now);
+  /// ON (and idle) -> SHUTTING_DOWN; throws if cores are busy.
+  void power_off(Seconds now);
+  /// SHUTTING_DOWN -> OFF.
+  void complete_shutdown(Seconds now);
+  /// Crash: ON/BOOTING/SHUTTING_DOWN -> FAILED.  Busy cores are lost
+  /// (the middleware layer is responsible for resubmitting their tasks —
+  /// grid tools "interpret powered-off resources as failures", §II-B).
+  void fail(Seconds now);
+  /// FAILED -> OFF (repaired; can be booted again).
+  void repair(Seconds now);
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+
+  // --- core occupancy ---
+  [[nodiscard]] unsigned busy_cores() const noexcept { return busy_cores_; }
+  [[nodiscard]] unsigned free_cores() const noexcept { return spec_.cores - busy_cores_; }
+  /// Claims one core for a task; node must be ON with a free core.
+  void acquire_core(Seconds now);
+  /// Releases a core at task completion; also updates the active-energy
+  /// bookkeeping used by the dynamic GreenPerf estimate.
+  void release_core(Seconds now);
+
+  // --- electrical / thermal observables ---
+  /// Instantaneous power at `now` (advances internal integrators).
+  [[nodiscard]] Watts power(Seconds now);
+  /// Instantaneous power from current state without advancing time.
+  [[nodiscard]] Watts instantaneous_power() const noexcept;
+  /// Total energy consumed since construction, integrated to `now`.
+  [[nodiscard]] Joules energy(Seconds now);
+  /// Energy consumed while at least one core was busy ("active" energy —
+  /// the paper's dynamic power estimate divides this by active time).
+  [[nodiscard]] Joules active_energy(Seconds now);
+  [[nodiscard]] Seconds active_time(Seconds now);
+  /// Node temperature from the first-order thermal model.
+  [[nodiscard]] Celsius temperature(Seconds now);
+
+  /// Raises/lowers the thermal ambient (heat-event injection).
+  void set_ambient(Celsius ambient) noexcept { thermal_.ambient = ambient; }
+  [[nodiscard]] const ThermalConfig& thermal_config() const noexcept { return thermal_; }
+
+  // --- DVFS ---
+  /// Installs a P-state ladder (default: a single full-speed state).
+  void set_dvfs_ladder(DvfsLadder ladder);
+  [[nodiscard]] const DvfsLadder& dvfs_ladder() const noexcept { return ladder_; }
+  /// Switches P-state at `now` (energy is integrated up to the switch).
+  void set_pstate(Seconds now, std::size_t index);
+  [[nodiscard]] std::size_t pstate() const noexcept { return pstate_; }
+  [[nodiscard]] std::uint64_t pstate_transitions() const noexcept { return pstate_transitions_; }
+  /// Per-core speed at the current P-state — what a task started now
+  /// runs at (the frequency is held for the task's duration).
+  [[nodiscard]] FlopsRate current_flops_per_core() const noexcept;
+
+  /// Fires on every acquire_core/release_core (after the change); DVFS
+  /// governors use it to react to load events without polling.
+  void set_load_change_hook(std::function<void(Node&, Seconds)> hook) {
+    load_change_hook_ = std::move(hook);
+  }
+
+  // --- counters ---
+  [[nodiscard]] std::uint64_t tasks_started() const noexcept { return tasks_started_; }
+  [[nodiscard]] std::uint64_t tasks_completed() const noexcept { return tasks_completed_; }
+  [[nodiscard]] std::uint64_t boots() const noexcept { return boots_; }
+
+  /// Advances the energy/thermal integrators to `now` (idempotent for
+  /// equal timestamps; throws StateError if time moves backwards).
+  void advance_to(Seconds now);
+
+ private:
+  NodeId id_;
+  std::string name_;
+  NodeSpec spec_;
+  NodeSpec nameplate_;
+  common::ClusterId cluster_;
+  ThermalConfig thermal_;
+
+  NodeState state_;
+  unsigned busy_cores_ = 0;
+
+  Seconds last_update_{0.0};
+  Joules energy_{0.0};
+  Joules active_energy_{0.0};
+  Seconds active_time_{0.0};
+  Celsius temperature_;
+
+  std::uint64_t tasks_started_ = 0;
+  std::uint64_t tasks_completed_ = 0;
+  std::uint64_t boots_ = 0;
+  std::uint64_t failures_ = 0;
+
+  DvfsLadder ladder_{};
+  std::size_t pstate_ = 0;
+  std::uint64_t pstate_transitions_ = 0;
+  std::function<void(Node&, Seconds)> load_change_hook_;
+};
+
+}  // namespace greensched::cluster

@@ -1,0 +1,40 @@
+#include "cluster/node_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+
+using common::ConfigError;
+
+void NodeSpec::validate() const {
+  if (model.empty()) throw ConfigError("NodeSpec: model name must not be empty");
+  if (cores == 0) throw ConfigError("NodeSpec '" + model + "': cores must be >= 1");
+  if (flops_per_core.value() <= 0.0)
+    throw ConfigError("NodeSpec '" + model + "': flops_per_core must be positive");
+  if (idle_watts.value() < 0.0 || peak_watts.value() < 0.0 || off_watts.value() < 0.0 ||
+      boot_watts.value() < 0.0 || active_watts.value() < 0.0)
+    throw ConfigError("NodeSpec '" + model + "': power figures must be non-negative");
+  if (peak_watts < idle_watts)
+    throw ConfigError("NodeSpec '" + model + "': peak power below idle power");
+  if (active_watts < idle_watts || active_watts > peak_watts)
+    throw ConfigError("NodeSpec '" + model + "': active power outside [idle, peak]");
+  if (off_watts > idle_watts)
+    throw ConfigError("NodeSpec '" + model + "': off power above idle power");
+  if (boot_seconds.value() < 0.0 || shutdown_seconds.value() < 0.0)
+    throw ConfigError("NodeSpec '" + model + "': transition times must be non-negative");
+}
+
+NodeSpec NodeSpec::perturbed(double power_factor, double speed_factor) const {
+  if (power_factor <= 0.0 || speed_factor <= 0.0)
+    throw ConfigError("NodeSpec::perturbed: factors must be positive");
+  NodeSpec out = *this;
+  out.idle_watts *= power_factor;
+  out.active_watts *= power_factor;
+  out.peak_watts *= power_factor;
+  out.off_watts *= power_factor;
+  out.boot_watts *= power_factor;
+  out.flops_per_core *= speed_factor;
+  return out;
+}
+
+}  // namespace greensched::cluster

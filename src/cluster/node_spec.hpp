@@ -1,0 +1,51 @@
+// Static description of a machine type.
+//
+// These are the per-server quantities the paper's scheduler assumes known
+// (Section III-C): FLOPS f_s, full-load power c_s, boot power bc_s, boot
+// time bt_s — plus idle power, core count and shutdown time needed to run
+// the platform model.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace greensched::cluster {
+
+using common::Celsius;
+using common::FlopsRate;
+using common::Seconds;
+using common::Watts;
+
+struct NodeSpec {
+  std::string model;          ///< machine type name, e.g. "taurus"
+  unsigned cores = 1;         ///< one task occupies one core (paper's setup)
+  FlopsRate flops_per_core{0.0};
+  Watts idle_watts{0.0};      ///< powered on, no task running
+  /// Draw the moment at least one core is busy (the "active floor"):
+  /// real servers leave their deep package idle states as soon as any
+  /// core works, so power jumps well above idle before scaling with
+  /// load.  idle <= active <= peak.
+  Watts active_watts{0.0};
+  Watts peak_watts{0.0};      ///< all cores busy (the paper's c_s)
+  Watts off_watts{0.0};       ///< residual draw when powered off
+  Watts boot_watts{0.0};      ///< draw during the boot sequence (bc_s)
+  Seconds boot_seconds{0.0};  ///< bt_s
+  Seconds shutdown_seconds{0.0};
+
+  /// Aggregate peak compute speed (all cores).
+  [[nodiscard]] FlopsRate total_flops() const noexcept {
+    return FlopsRate(flops_per_core.value() * cores);
+  }
+
+  /// Throws ConfigError when a field is inconsistent (peak < idle, no
+  /// cores, non-positive speed, negative times...).
+  void validate() const;
+
+  /// The paper's nodes are "not power homogeneous": returns a copy whose
+  /// electrical figures are scaled by `power_factor` and compute speed by
+  /// `speed_factor` (both must be positive).
+  [[nodiscard]] NodeSpec perturbed(double power_factor, double speed_factor) const;
+};
+
+}  // namespace greensched::cluster

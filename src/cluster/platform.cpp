@@ -1,0 +1,102 @@
+#include "cluster/platform.hpp"
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace greensched::cluster {
+
+using common::clamp;
+using common::ConfigError;
+
+common::ClusterId Platform::add_cluster(const std::string& name, const NodeSpec& spec,
+                                        const ClusterOptions& options, common::Rng& rng) {
+  if (options.node_count == 0) throw ConfigError("Platform: cluster needs at least one node");
+  if (find_cluster(name) != nullptr)
+    throw ConfigError("Platform: duplicate cluster name '" + name + "'");
+  spec.validate();
+
+  ClusterInfo info;
+  info.id = cluster_ids_.next();
+  info.name = name;
+  info.base_spec = spec;
+
+  for (std::size_t i = 0; i < options.node_count; ++i) {
+    // Heterogeneity factors are clamped to +/- 3 sigma so no node ends up
+    // with a nonsensical (negative or wildly off) figure.
+    double pf = 1.0, sf = 1.0;
+    if (options.power_heterogeneity > 0.0) {
+      pf = clamp(rng.normal(1.0, options.power_heterogeneity),
+                 1.0 - 3.0 * options.power_heterogeneity, 1.0 + 3.0 * options.power_heterogeneity);
+    }
+    if (options.speed_heterogeneity > 0.0) {
+      sf = clamp(rng.normal(1.0, options.speed_heterogeneity),
+                 1.0 - 3.0 * options.speed_heterogeneity, 1.0 + 3.0 * options.speed_heterogeneity);
+    }
+    NodeSpec node_spec = spec.perturbed(pf, sf);
+    const common::NodeId id = node_ids_.next();
+    info.node_indices.push_back(nodes_.size());
+    nodes_.push_back(std::make_unique<Node>(id, name + "-" + std::to_string(i),
+                                            std::move(node_spec), info.id, options.thermal,
+                                            options.initially_on));
+    // Every node of a cluster advertises the same catalog figures; its
+    // *actual* behaviour is the perturbed spec.
+    nodes_.back()->set_nameplate(spec);
+  }
+
+  clusters_.push_back(std::move(info));
+  return clusters_.back().id;
+}
+
+Node* Platform::find_node(common::NodeId id) noexcept {
+  for (auto& n : nodes_) {
+    if (n->id() == id) return n.get();
+  }
+  return nullptr;
+}
+
+Node* Platform::find_node_by_name(const std::string& name) noexcept {
+  for (auto& n : nodes_) {
+    if (n->name() == name) return n.get();
+  }
+  return nullptr;
+}
+
+const ClusterInfo* Platform::find_cluster(const std::string& name) const noexcept {
+  for (const auto& c : clusters_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+Watts Platform::total_power(Seconds now) {
+  Watts total{0.0};
+  for (auto& n : nodes_) total += n->power(now);
+  return total;
+}
+
+Joules Platform::total_energy(Seconds now) {
+  Joules total{0.0};
+  for (auto& n : nodes_) total += n->energy(now);
+  return total;
+}
+
+Joules Platform::cluster_energy(common::ClusterId id, Seconds now) {
+  Joules total{0.0};
+  for (const auto& c : clusters_) {
+    if (c.id != id) continue;
+    for (std::size_t i : c.node_indices) total += nodes_[i]->energy(now);
+  }
+  return total;
+}
+
+unsigned Platform::total_cores() const noexcept {
+  unsigned total = 0;
+  for (const auto& n : nodes_) total += n->spec().cores;
+  return total;
+}
+
+void Platform::set_ambient(Celsius ambient) noexcept {
+  for (auto& n : nodes_) n->set_ambient(ambient);
+}
+
+}  // namespace greensched::cluster

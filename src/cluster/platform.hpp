@@ -1,0 +1,74 @@
+// Platform: a set of clusters of heterogeneous nodes — the simulated
+// GRID'5000 slice the experiments run on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+namespace greensched::cluster {
+
+struct ClusterInfo {
+  common::ClusterId id;
+  std::string name;
+  NodeSpec base_spec;
+  std::vector<std::size_t> node_indices;  ///< indices into Platform::nodes()
+};
+
+/// Per-cluster construction options.
+struct ClusterOptions {
+  std::size_t node_count = 1;
+  /// Relative standard deviation applied per node to power figures
+  /// ("your cluster is not power homogeneous", Diouri et al. [15]).
+  double power_heterogeneity = 0.0;
+  /// Relative standard deviation applied per node to compute speed.
+  double speed_heterogeneity = 0.0;
+  bool initially_on = true;
+  ThermalConfig thermal{};
+};
+
+class Platform {
+ public:
+  Platform() = default;
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  /// Adds `options.node_count` nodes of the given spec as a named cluster;
+  /// node names are "<cluster>-<i>".  Returns the cluster id.
+  common::ClusterId add_cluster(const std::string& name, const NodeSpec& spec,
+                                const ClusterOptions& options, common::Rng& rng);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] const Node& node(std::size_t i) const { return *nodes_.at(i); }
+  [[nodiscard]] Node* find_node(common::NodeId id) noexcept;
+  [[nodiscard]] Node* find_node_by_name(const std::string& name) noexcept;
+
+  [[nodiscard]] std::size_t cluster_count() const noexcept { return clusters_.size(); }
+  [[nodiscard]] const ClusterInfo& cluster(std::size_t i) const { return clusters_.at(i); }
+  [[nodiscard]] const ClusterInfo* find_cluster(const std::string& name) const noexcept;
+
+  /// Sum of instantaneous power over all nodes at `now`.
+  [[nodiscard]] Watts total_power(Seconds now);
+  /// Sum of energy integrals over all nodes at `now`.
+  [[nodiscard]] Joules total_energy(Seconds now);
+  /// Energy of one cluster's nodes at `now`.
+  [[nodiscard]] Joules cluster_energy(common::ClusterId id, Seconds now);
+  /// Total core count across all nodes.
+  [[nodiscard]] unsigned total_cores() const noexcept;
+
+  /// Injects a new thermal ambient on every node (heat events).
+  void set_ambient(Celsius ambient) noexcept;
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<ClusterInfo> clusters_;
+  common::IdAllocator<common::NodeId> node_ids_;
+  common::IdAllocator<common::ClusterId> cluster_ids_;
+};
+
+}  // namespace greensched::cluster

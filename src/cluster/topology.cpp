@@ -1,0 +1,125 @@
+#include "cluster/topology.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+
+using common::Celsius;
+using common::ConfigError;
+using common::NodeId;
+using common::Seconds;
+
+RackTopology::RackTopology(unsigned racks, unsigned slots_per_rack)
+    : racks_(racks), slots_per_rack_(slots_per_rack) {
+  if (racks_ == 0 || slots_per_rack_ == 0)
+    throw ConfigError("RackTopology: need at least one rack and one slot");
+}
+
+void RackTopology::place(NodeId node, RackPosition position) {
+  if (!node.valid()) throw ConfigError("RackTopology: invalid node id");
+  if (position.rack >= racks_ || position.slot >= slots_per_rack_)
+    throw ConfigError("RackTopology: position out of range");
+  if (by_node_.contains(node)) throw ConfigError("RackTopology: node already placed");
+  if (by_position_.contains(position)) throw ConfigError("RackTopology: slot occupied");
+  by_node_[node] = position;
+  by_position_[position] = node;
+}
+
+void RackTopology::place_all(const Platform& platform) {
+  if (platform.node_count() > static_cast<std::size_t>(racks_) * slots_per_rack_)
+    throw ConfigError("RackTopology: not enough slots for the platform");
+  unsigned rack = 0;
+  std::vector<unsigned> next_slot(racks_, 0);
+  for (std::size_t i = 0; i < platform.node_count(); ++i) {
+    place(platform.node(i).id(), RackPosition{rack, next_slot[rack]});
+    ++next_slot[rack];
+    rack = (rack + 1) % racks_;
+  }
+}
+
+std::optional<RackPosition> RackTopology::position(NodeId node) const {
+  auto it = by_node_.find(node);
+  if (it == by_node_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<NodeId> RackTopology::occupant(RackPosition position) const {
+  auto it = by_position_.find(position);
+  if (it == by_position_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeId> RackTopology::rack_mates(NodeId node) const {
+  std::vector<NodeId> out;
+  const auto pos = position(node);
+  if (!pos) return out;
+  for (const auto& [p, n] : by_position_) {
+    if (p.rack == pos->rack && n != node) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> RackTopology::slot_neighbours(NodeId node) const {
+  std::vector<NodeId> out;
+  const auto pos = position(node);
+  if (!pos) return out;
+  if (pos->slot > 0) {
+    if (auto n = occupant(RackPosition{pos->rack, pos->slot - 1})) out.push_back(*n);
+  }
+  if (auto n = occupant(RackPosition{pos->rack, pos->slot + 1})) out.push_back(*n);
+  return out;
+}
+
+std::vector<NodeId> RackTopology::nodes_in_rack(unsigned rack) const {
+  std::vector<NodeId> out;
+  for (const auto& [p, n] : by_position_) {
+    if (p.rack == rack) out.push_back(n);
+  }
+  return out;
+}
+
+ThermalCoupler::ThermalCoupler(des::Simulator& sim, Platform& platform, RackTopology topology,
+                               ThermalCouplingConfig config)
+    : sim_(sim),
+      platform_(platform),
+      topology_(std::move(topology)),
+      config_(config),
+      process_(sim, config.update_period, [this](des::SimTime at) { return tick(at); }) {
+  if (config_.rack_coeff < 0.0 || config_.neighbour_coeff < 0.0)
+    throw ConfigError("ThermalCoupler: coupling coefficients must be non-negative");
+}
+
+Celsius ThermalCoupler::ambient_for(NodeId node, Seconds now) {
+  double ambient = config_.room.value();
+  for (NodeId mate : topology_.rack_mates(node)) {
+    if (cluster::Node* n = platform_.find_node(mate)) {
+      ambient += config_.rack_coeff * n->power(now).value();
+    }
+  }
+  for (NodeId neighbour : topology_.slot_neighbours(node)) {
+    if (cluster::Node* n = platform_.find_node(neighbour)) {
+      ambient += config_.neighbour_coeff * n->power(now).value();
+    }
+  }
+  return Celsius(ambient);
+}
+
+Celsius ThermalCoupler::rack_ambient(unsigned rack, Seconds now) {
+  const auto nodes = topology_.nodes_in_rack(rack);
+  if (nodes.empty()) return config_.room;
+  double sum = 0.0;
+  for (NodeId id : nodes) sum += ambient_for(id, now).value();
+  return Celsius(sum / static_cast<double>(nodes.size()));
+}
+
+bool ThermalCoupler::tick(des::SimTime at) {
+  for (std::size_t i = 0; i < platform_.node_count(); ++i) {
+    cluster::Node& node = platform_.node(i);
+    if (topology_.position(node.id())) {
+      node.set_ambient(ambient_for(node.id(), at));
+    }
+  }
+  return true;
+}
+
+}  // namespace greensched::cluster

@@ -1,0 +1,96 @@
+// Rack topology and thermal coupling.
+//
+// The paper's future work is "fine-grained scheduling by taking into
+// account spatial information", and its related work notes that node
+// power varies with "temperature and node location in a rack"
+// (Section II-B).  This module provides the spatial substrate: machines
+// are placed into rack slots, and a periodic coupler raises each node's
+// thermal ambient according to the heat its rack neighbours dissipate —
+// so a loaded rack becomes hot and spatially-aware policies can react.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "des/simulator.hpp"
+
+namespace greensched::cluster {
+
+struct RackPosition {
+  unsigned rack = 0;
+  unsigned slot = 0;
+  auto operator<=>(const RackPosition&) const = default;
+};
+
+class RackTopology {
+ public:
+  RackTopology(unsigned racks, unsigned slots_per_rack);
+
+  [[nodiscard]] unsigned racks() const noexcept { return racks_; }
+  [[nodiscard]] unsigned slots_per_rack() const noexcept { return slots_per_rack_; }
+
+  /// Places a node; throws ConfigError if the position is out of range or
+  /// occupied, or the node is already placed.
+  void place(common::NodeId node, RackPosition position);
+  /// Places every platform node round-robin across racks, filling slots
+  /// bottom-up (a sensible default layout).
+  void place_all(const Platform& platform);
+
+  [[nodiscard]] std::optional<RackPosition> position(common::NodeId node) const;
+  [[nodiscard]] std::optional<common::NodeId> occupant(RackPosition position) const;
+  /// All nodes in the same rack (excluding the node itself).
+  [[nodiscard]] std::vector<common::NodeId> rack_mates(common::NodeId node) const;
+  /// Nodes in adjacent slots of the same rack (the strongest coupling).
+  [[nodiscard]] std::vector<common::NodeId> slot_neighbours(common::NodeId node) const;
+  [[nodiscard]] std::vector<common::NodeId> nodes_in_rack(unsigned rack) const;
+  [[nodiscard]] std::size_t placed() const noexcept { return by_node_.size(); }
+
+ private:
+  unsigned racks_;
+  unsigned slots_per_rack_;
+  std::map<common::NodeId, RackPosition> by_node_;
+  std::map<RackPosition, common::NodeId> by_position_;
+};
+
+/// Periodically recomputes each node's thermal ambient from the room
+/// temperature plus contributions of its rack (weak) and slot-adjacent
+/// (strong) neighbours.
+struct ThermalCouplingConfig {
+  common::Celsius room{20.0};
+  double rack_coeff = 0.002;       ///< degC per W from same-rack machines
+  double neighbour_coeff = 0.008;  ///< degC per W from slot-adjacent ones
+  des::SimDuration update_period{30.0};
+};
+
+class ThermalCoupler {
+ public:
+  ThermalCoupler(des::Simulator& sim, Platform& platform, RackTopology topology,
+                 ThermalCouplingConfig config = {});
+
+  void start() { process_.start_at(sim_.now()); }
+  void stop() noexcept { process_.stop(); }
+
+  /// The ambient the coupler would assign to `node` right now.
+  [[nodiscard]] common::Celsius ambient_for(common::NodeId node, common::Seconds now);
+  /// Mean ambient over a rack's occupants (hot-rack detection).
+  [[nodiscard]] common::Celsius rack_ambient(unsigned rack, common::Seconds now);
+
+  /// Room temperature can be changed at runtime (heat events compose).
+  void set_room(common::Celsius room) noexcept { config_.room = room; }
+  [[nodiscard]] const RackTopology& topology() const noexcept { return topology_; }
+  [[nodiscard]] std::uint64_t updates() const noexcept { return process_.ticks(); }
+
+ private:
+  bool tick(des::SimTime at);
+
+  des::Simulator& sim_;
+  Platform& platform_;
+  RackTopology topology_;
+  ThermalCouplingConfig config_;
+  des::PeriodicProcess process_;
+};
+
+}  // namespace greensched::cluster

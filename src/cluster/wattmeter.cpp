@@ -1,0 +1,55 @@
+#include "cluster/wattmeter.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+
+WattmeterConfig Wattmeter::checked(WattmeterConfig config, const common::Rng* rng) {
+  if (config.sample_period.value() <= 0.0)
+    throw common::ConfigError("Wattmeter: sample period must be positive");
+  if (config.window_samples == 0)
+    throw common::ConfigError("Wattmeter: window must hold at least one sample");
+  if (config.noise_stddev_watts < 0.0)
+    throw common::ConfigError("Wattmeter: negative noise level");
+  if (config.noise_stddev_watts > 0.0 && rng == nullptr)
+    throw common::ConfigError("Wattmeter: noise requires an Rng");
+  return config;
+}
+
+Wattmeter::Wattmeter(des::Simulator& sim, Node& node, WattmeterConfig config, common::Rng* rng)
+    : node_(node),
+      config_(checked(config, rng)),
+      rng_(rng),
+      window_(config_.window_samples),
+      process_(sim, config_.sample_period, [this](des::SimTime at) { return sample(at); }) {
+  process_.start();
+}
+
+bool Wattmeter::sample(des::SimTime at) {
+  double value = node_.power(at).value();
+  if (config_.noise_stddev_watts > 0.0) {
+    value += rng_->normal(0.0, config_.noise_stddev_watts);
+    if (value < 0.0) value = 0.0;  // a wattmeter never reports negative power
+  }
+  if (window_.full()) sample_sum_ -= window_.oldest();
+  window_.push(value);
+  sample_sum_ += value;
+  energy_accumulator_ += value * config_.sample_period.value();
+  ++total_samples_;
+  if (config_.keep_full_series) series_.add(at.value(), value);
+  return true;  // keep sampling
+}
+
+std::optional<Watts> Wattmeter::average_power() const {
+  if (window_.empty()) return std::nullopt;
+  return Watts(sample_sum_ / static_cast<double>(window_.size()));
+}
+
+std::optional<Watts> Wattmeter::last_sample() const {
+  if (window_.empty()) return std::nullopt;
+  return Watts(window_.newest());
+}
+
+Joules Wattmeter::measured_energy() const noexcept { return Joules(energy_accumulator_); }
+
+}  // namespace greensched::cluster

@@ -1,0 +1,78 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace greensched::common {
+
+std::string ascii_plot(const std::vector<double>& xs, const std::vector<double>& ys,
+                       const AsciiPlotOptions& options) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("ascii_plot: size mismatch");
+  if (xs.empty()) throw std::invalid_argument("ascii_plot: empty series");
+  const std::size_t w = std::max<std::size_t>(options.width, 8);
+  const std::size_t h = std::max<std::size_t>(options.height, 4);
+
+  double xmin = xs[0], xmax = xs[0], ymin = ys[0], ymax = ys[0];
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xmin = std::min(xmin, xs[i]);
+    xmax = std::max(xmax, xs[i]);
+    ymin = std::min(ymin, ys[i]);
+    ymax = std::max(ymax, ys[i]);
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    auto cx = static_cast<std::size_t>((xs[i] - xmin) / (xmax - xmin) * static_cast<double>(w - 1));
+    auto cy = static_cast<std::size_t>((ys[i] - ymin) / (ymax - ymin) * static_cast<double>(h - 1));
+    grid[h - 1 - cy][cx] = '*';
+  }
+
+  std::ostringstream os;
+  if (!options.label.empty()) os << options.label << '\n';
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10.3g ", ymax);
+  os << buf << '+' << std::string(w, '-') << "+\n";
+  for (std::size_t r = 0; r < h; ++r) {
+    os << std::string(11, ' ') << '|' << grid[r] << "|\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%10.3g ", ymin);
+  os << buf << '+' << std::string(w, '-') << "+\n";
+  std::snprintf(buf, sizeof(buf), "%.6g", xmin);
+  std::string left(buf);
+  std::snprintf(buf, sizeof(buf), "%.6g", xmax);
+  std::string right(buf);
+  os << std::string(12, ' ') << left;
+  if (left.size() + right.size() < w) os << std::string(w - left.size() - right.size(), ' ');
+  os << right << '\n';
+  return os.str();
+}
+
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& bars,
+                       std::size_t width) {
+  if (bars.empty()) return "";
+  std::size_t label_width = 0;
+  double vmax = 0.0;
+  for (const auto& [label, value] : bars) {
+    label_width = std::max(label_width, label.size());
+    vmax = std::max(vmax, value);
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+
+  std::ostringstream os;
+  for (const auto& [label, value] : bars) {
+    os << label << std::string(label_width - label.size(), ' ') << " |";
+    const auto n = static_cast<std::size_t>(std::lround(value / vmax * static_cast<double>(width)));
+    os << std::string(n, '#');
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " %.6g\n", value);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace greensched::common

@@ -1,0 +1,26 @@
+// Tiny ASCII line/bar plotting for the figure benches, so the "series the
+// paper plots" are visible directly in terminal output next to the CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace greensched::common {
+
+struct AsciiPlotOptions {
+  std::size_t width = 72;   ///< plot columns
+  std::size_t height = 16;  ///< plot rows
+  std::string label;        ///< printed above the plot
+};
+
+/// Renders y-vs-x as a scatter/step plot using '*' marks; axes are scaled
+/// to the data range.  xs and ys must have equal, non-zero length.
+[[nodiscard]] std::string ascii_plot(const std::vector<double>& xs, const std::vector<double>& ys,
+                                     const AsciiPlotOptions& options = {});
+
+/// Renders a horizontal bar chart (label, value) with proportional bars —
+/// used for the per-node task-distribution figures.
+[[nodiscard]] std::string ascii_bars(const std::vector<std::pair<std::string, double>>& bars,
+                                     std::size_t width = 50);
+
+}  // namespace greensched::common

@@ -1,0 +1,91 @@
+#include "common/cli.hpp"
+
+#include <charconv>
+
+namespace greensched::common {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse(tokens);
+}
+
+CliArgs CliArgs::parse(const std::vector<std::string>& tokens) {
+  CliArgs args;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.rfind("--", 0) != 0) {
+      args.positional_.push_back(token);
+      continue;
+    }
+    std::string key = token.substr(2);
+    if (key.empty()) throw ConfigError("CliArgs: bare '--' is not a valid option");
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      args.options_[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
+    // "--key value" unless the next token is another flag (then boolean).
+    if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      args.options_[key] = tokens[i + 1];
+      ++i;
+    } else {
+      args.options_[key] = "true";
+    }
+  }
+  return args;
+}
+
+bool CliArgs::has(const std::string& key) const noexcept {
+  queried_[key] = true;
+  return options_.contains(key);
+}
+
+std::optional<std::string> CliArgs::get(const std::string& key) const {
+  queried_[key] = true;
+  auto it = options_.find(key);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& key, const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  double out = 0.0;
+  auto [ptr, ec] = std::from_chars(value->data(), value->data() + value->size(), out);
+  if (ec != std::errc{} || ptr != value->data() + value->size())
+    throw ConfigError("CliArgs: --" + key + " expects a number, got '" + *value + "'");
+  return out;
+}
+
+long long CliArgs::get_int(const std::string& key, long long fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  long long out = 0;
+  auto [ptr, ec] = std::from_chars(value->data(), value->data() + value->size(), out);
+  if (ec != std::errc{} || ptr != value->data() + value->size())
+    throw ConfigError("CliArgs: --" + key + " expects an integer, got '" + *value + "'");
+  return out;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  if (*value == "true" || *value == "1" || *value == "yes" || *value == "on") return true;
+  if (*value == "false" || *value == "0" || *value == "no" || *value == "off") return false;
+  throw ConfigError("CliArgs: --" + key + " expects a boolean, got '" + *value + "'");
+}
+
+std::vector<std::string> CliArgs::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : options_) {
+    if (!queried_.contains(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace greensched::common

@@ -1,0 +1,51 @@
+// Minimal command-line argument parser for the tools and examples.
+//
+// Supports subcommand-style invocations:
+//   greensched placement --policy POWER --seed 42 --csv out.csv
+// with "--key value", "--key=value" and boolean "--flag" forms.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace greensched::common {
+
+class CliArgs {
+ public:
+  /// Parses argv (excluding argv[0]).  Leading non-flag tokens become
+  /// positional arguments; "--key value"/"--key=value" become options;
+  /// a bare "--flag" followed by another flag (or nothing) is boolean.
+  static CliArgs parse(int argc, const char* const* argv);
+  static CliArgs parse(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  /// First positional argument (the subcommand), or empty.
+  [[nodiscard]] std::string command() const {
+    return positional_.empty() ? std::string{} : positional_.front();
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const noexcept;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& fallback) const;
+  /// Typed getters; throw ConfigError on malformed values.
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key, long long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback = false) const;
+
+  /// Keys the program never queried (typo detection).  The program calls
+  /// the getters first, then may warn on leftovers.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace greensched::common

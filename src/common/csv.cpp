@@ -1,0 +1,62 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+namespace greensched::common {
+
+std::string CsvWriter::escape(std::string_view field, char separator) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == separator || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) cell(c);
+  end_row();
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+  for (auto c : cells) cell(c);
+  end_row();
+}
+
+CsvWriter& CsvWriter::cell(std::string_view text) {
+  if (row_open_) out_ << separator_;
+  out_ << escape(text, separator_);
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return cell(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::cell(std::size_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu", value);
+  return cell(std::string_view(buf));
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+}  // namespace greensched::common

@@ -1,0 +1,41 @@
+// CSV output for benchmark data series (figures are plotted from these).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greensched::common {
+
+/// Streams RFC-4180-style CSV: fields containing separators, quotes or
+/// newlines are quoted, embedded quotes doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char separator = ',')
+      : out_(out), separator_(separator) {}
+
+  /// Writes one row; each cell is escaped as needed.
+  void row(const std::vector<std::string>& cells);
+  void row(std::initializer_list<std::string_view> cells);
+
+  /// Cell-by-cell interface.
+  CsvWriter& cell(std::string_view text);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(std::size_t value);
+  void end_row();
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  static std::string escape(std::string_view field, char separator = ',');
+
+ private:
+  std::ostream& out_;
+  char separator_;
+  bool row_open_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace greensched::common

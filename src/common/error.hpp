@@ -1,0 +1,45 @@
+// Exception hierarchy for the library.  Construction/configuration errors
+// throw; hot-path scheduling code is noexcept and reports via status values.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace greensched::common {
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Invalid user-supplied configuration (bad node spec, bad preference...).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Malformed input data (XML planning file, trace file...).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& message, std::size_t line, std::size_t column)
+      : Error(message + " (line " + std::to_string(line) + ", column " +
+              std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Violation of an internal protocol (e.g. scheduling a task on an OFF node).
+class StateError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace greensched::common

@@ -1,0 +1,40 @@
+#include "common/ids.hpp"
+
+#include <ostream>
+
+namespace greensched::common {
+
+namespace {
+template <typename Tag>
+std::ostream& print(std::ostream& os, Id<Tag> id, const char* prefix) {
+  if (!id.valid()) return os << prefix << "<invalid>";
+  return os << prefix << id.value();
+}
+}  // namespace
+
+template <>
+std::ostream& operator<< <NodeTag>(std::ostream& os, NodeId id) {
+  return print(os, id, "node-");
+}
+template <>
+std::ostream& operator<< <TaskTag>(std::ostream& os, TaskId id) {
+  return print(os, id, "task-");
+}
+template <>
+std::ostream& operator<< <RequestTag>(std::ostream& os, RequestId id) {
+  return print(os, id, "req-");
+}
+template <>
+std::ostream& operator<< <ClusterTag>(std::ostream& os, ClusterId id) {
+  return print(os, id, "cluster-");
+}
+template <>
+std::ostream& operator<< <AgentTag>(std::ostream& os, AgentId id) {
+  return print(os, id, "agent-");
+}
+template <>
+std::ostream& operator<< <ServiceTag>(std::ostream& os, ServiceId id) {
+  return print(os, id, "svc-");
+}
+
+}  // namespace greensched::common

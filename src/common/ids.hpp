@@ -1,0 +1,71 @@
+// Strongly-typed integer identifiers.
+//
+// Nodes, tasks, requests and clusters are all indexed by small integers in
+// the simulator; distinct wrapper types stop them from being mixed up.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+
+namespace greensched::common {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint64_t;
+  static constexpr underlying_type kInvalid = std::numeric_limits<underlying_type>::max();
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(underlying_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const Id&) const noexcept = default;
+
+  static constexpr Id invalid() noexcept { return Id(); }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct NodeTag {};
+struct TaskTag {};
+struct RequestTag {};
+struct ClusterTag {};
+struct AgentTag {};
+struct ServiceTag {};
+
+using NodeId = Id<NodeTag>;
+using TaskId = Id<TaskTag>;
+using RequestId = Id<RequestTag>;
+using ClusterId = Id<ClusterTag>;
+using AgentId = Id<AgentTag>;
+using ServiceId = Id<ServiceTag>;
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id);
+
+/// Monotonic id generator; not thread-safe (the DES is single-threaded).
+template <typename IdType>
+class IdAllocator {
+ public:
+  IdType next() noexcept { return IdType(next_++); }
+  [[nodiscard]] std::uint64_t allocated() const noexcept { return next_; }
+  void reset() noexcept { next_ = 0; }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace greensched::common
+
+template <typename Tag>
+struct std::hash<greensched::common::Id<Tag>> {
+  std::size_t operator()(greensched::common::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace greensched::common {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  if (text == "trace") return LogLevel::kTrace;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level: " + std::string(text));
+}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::set_sink(std::ostream* sink) noexcept {
+  std::lock_guard lock(mutex_);
+  sink_ = sink;
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard lock(mutex_);
+  std::ostream& out = sink_ ? *sink_ : std::cerr;
+  out << '[' << to_string(level) << "] [" << component << "] " << message << '\n';
+}
+
+}  // namespace greensched::common

@@ -1,0 +1,74 @@
+// Minimal leveled logger.
+//
+// The simulator is mostly silent; logging exists for the examples and for
+// debugging experiment runs.  The logger is deliberately simple: a global
+// level, an output stream, and printf-free streaming via std::format-style
+// helpers would be overkill here.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace greensched::common {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; throws on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text);
+
+class Logger {
+ public:
+  /// Process-wide logger used by GS_LOG macros.
+  static Logger& global();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Route output somewhere else (default: stderr).  Not owned.
+  void set_sink(std::ostream* sink) noexcept;
+
+  /// Emit one formatted line: "[level] [component] message".
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;
+  std::mutex mutex_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  ~LogLine() { Logger::global().log(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace greensched::common
+
+#define GS_LOG(level, component)                                            \
+  if (!::greensched::common::Logger::global().enabled(level)) {            \
+  } else                                                                    \
+    ::greensched::common::detail::LogLine(level, component)
+
+#define GS_LOG_DEBUG(component) GS_LOG(::greensched::common::LogLevel::kDebug, component)
+#define GS_LOG_INFO(component) GS_LOG(::greensched::common::LogLevel::kInfo, component)
+#define GS_LOG_WARN(component) GS_LOG(::greensched::common::LogLevel::kWarn, component)
+#define GS_LOG_ERROR(component) GS_LOG(::greensched::common::LogLevel::kError, component)

@@ -1,0 +1,38 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace greensched::common {
+
+/// Linear interpolation: a at t=0, b at t=1.
+constexpr double lerp(double a, double b, double t) noexcept { return a + (b - a) * t; }
+
+/// Clamp to [lo, hi].
+constexpr double clamp(double v, double lo, double hi) noexcept {
+  return std::min(std::max(v, lo), hi);
+}
+
+/// Relative/absolute tolerance comparison for doubles.
+inline bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                         double abs_tol = 1e-12) noexcept {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+/// Percentage change from `base` to `value` ((value-base)/base * 100).
+inline double percent_change(double base, double value) noexcept {
+  if (base == 0.0) return 0.0;
+  return (value - base) / base * 100.0;
+}
+
+/// Integer floor of a fraction of n (the paper's "20% of all nodes" rules
+/// floor: 20% of 12 nodes = 2 candidates).
+constexpr std::size_t fraction_floor(std::size_t n, double fraction) noexcept {
+  const double scaled = static_cast<double>(n) * fraction;
+  return scaled <= 0.0 ? 0 : static_cast<std::size_t>(scaled);
+}
+
+}  // namespace greensched::common

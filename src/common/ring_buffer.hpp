@@ -1,0 +1,58 @@
+// Fixed-capacity ring buffer.
+//
+// The Omegawatt-style wattmeter averages "more than 6,000 measurements"
+// (Section IV); this buffer holds that sliding window of samples.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace greensched::common {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer: capacity must be positive");
+  }
+
+  void push(const T& value) {
+    data_[head_] = value;
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == data_.size(); }
+
+  /// Element i, with 0 the oldest retained sample.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer::at");
+    const std::size_t start = full() ? head_ : 0;
+    return data_[(start + i) % data_.size()];
+  }
+
+  [[nodiscard]] const T& newest() const { return at(size_ - 1); }
+  [[nodiscard]] const T& oldest() const { return at(0); }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Applies f to every retained element, oldest first.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < size_; ++i) f(at(i));
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace greensched::common

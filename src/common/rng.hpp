@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (RANDOM policy, arrival jitter,
+// per-node power heterogeneity) flows through this generator so that every
+// experiment is reproducible from a single seed.  xoshiro256** is used for
+// speed and statistical quality; splitmix64 seeds it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace greensched::common {
+
+/// splitmix64: used to expand one 64-bit seed into a full xoshiro state.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next_u64(); }
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept;
+  /// Index in [0, n); requires n > 0.
+  std::size_t index(std::size_t n) noexcept;
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p) noexcept;
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() noexcept;
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+  /// Exponential with given rate lambda (> 0); mean 1/lambda.
+  double exponential(double lambda) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent generator (for per-node streams).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace greensched::common

@@ -1,0 +1,56 @@
+#include "common/rw_lock.hpp"
+
+namespace greensched::common {
+
+void ReadersWriterLock::lock_shared() {
+  std::unique_lock lock(mutex_);
+  // Writer preference: readers wait while a writer is active *or waiting*,
+  // so a stream of readers cannot starve the provisioner's plan updates.
+  readers_cv_.wait(lock, [&] { return !writer_active_ && waiting_writers_ == 0; });
+  ++active_readers_;
+  ++shared_acquisitions_;
+}
+
+void ReadersWriterLock::unlock_shared() {
+  std::unique_lock lock(mutex_);
+  if (--active_readers_ == 0 && waiting_writers_ > 0) {
+    writers_cv_.notify_one();
+  }
+}
+
+void ReadersWriterLock::lock() {
+  std::unique_lock lock(mutex_);
+  ++waiting_writers_;
+  writers_cv_.wait(lock, [&] { return !writer_active_ && active_readers_ == 0; });
+  --waiting_writers_;
+  writer_active_ = true;
+  ++exclusive_acquisitions_;
+}
+
+void ReadersWriterLock::unlock() {
+  std::unique_lock lock(mutex_);
+  writer_active_ = false;
+  if (waiting_writers_ > 0) {
+    writers_cv_.notify_one();
+  } else {
+    readers_cv_.notify_all();
+  }
+}
+
+bool ReadersWriterLock::try_lock_shared() {
+  std::unique_lock lock(mutex_);
+  if (writer_active_ || waiting_writers_ > 0) return false;
+  ++active_readers_;
+  ++shared_acquisitions_;
+  return true;
+}
+
+bool ReadersWriterLock::try_lock() {
+  std::unique_lock lock(mutex_);
+  if (writer_active_ || active_readers_ > 0) return false;
+  writer_active_ = true;
+  ++exclusive_acquisitions_;
+  return true;
+}
+
+}  // namespace greensched::common

@@ -1,0 +1,141 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace greensched::common {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  std::size_t i;
+  if (x < lo_) {
+    ++underflow_;
+    i = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // fp edge
+  }
+  ++counts_[i];
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(i);
+}
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Percentiles::percentile(double p) {
+  if (values_.empty()) throw std::logic_error("Percentiles: no samples");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("Percentiles: p out of range");
+  ensure_sorted();
+  if (values_.size() == 1) return values_[0];
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] + frac * (values_[lo + 1] - values_[lo]);
+}
+
+void Percentiles::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+void TimeSeries::add(double t, double v) {
+  if (!ts_.empty() && t < ts_.back())
+    throw std::invalid_argument("TimeSeries: timestamps must be non-decreasing");
+  ts_.push_back(t);
+  vs_.push_back(v);
+}
+
+double TimeSeries::integrate() const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < ts_.size(); ++i) {
+    acc += 0.5 * (vs_[i] + vs_[i - 1]) * (ts_[i] - ts_[i - 1]);
+  }
+  return acc;
+}
+
+double TimeSeries::window_average(double t0, double t1) const noexcept {
+  if (ts_.empty() || t1 <= t0) return 0.0;
+  // Clip the piecewise-linear series to [t0, t1] and integrate.
+  double acc = 0.0;
+  double covered = 0.0;
+  for (std::size_t i = 1; i < ts_.size(); ++i) {
+    double a = ts_[i - 1], b = ts_[i];
+    if (b <= t0 || a >= t1) continue;
+    double va = vs_[i - 1], vb = vs_[i];
+    const double span = b - a;
+    if (a < t0) {
+      va = span > 0 ? va + (vb - va) * (t0 - a) / span : va;
+      a = t0;
+    }
+    if (b > t1) {
+      vb = span > 0 ? vs_[i - 1] + (vs_[i] - vs_[i - 1]) * (t1 - ts_[i - 1]) / span : vb;
+      b = t1;
+    }
+    acc += 0.5 * (va + vb) * (b - a);
+    covered += b - a;
+  }
+  return covered > 0.0 ? acc / covered : 0.0;
+}
+
+double TimeSeries::value_before(double t) const noexcept {
+  double result = 0.0;
+  for (std::size_t i = 0; i < ts_.size(); ++i) {
+    if (ts_[i] > t) break;
+    result = vs_[i];
+  }
+  return result;
+}
+
+}  // namespace greensched::common

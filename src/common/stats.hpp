@@ -1,0 +1,103 @@
+// Streaming statistics helpers used by the wattmeter, energy accounting
+// and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace greensched::common {
+
+/// Welford online mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Sample variance (n-1 denominator); 0 if fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin and are counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Exact-percentile sample set (stores all values; fine at our scales).
+class Percentiles {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  /// Linear-interpolated percentile, p in [0, 100].  Requires samples.
+  [[nodiscard]] double percentile(double p);
+  [[nodiscard]] double median() { return percentile(50.0); }
+
+ private:
+  void ensure_sorted();
+  std::vector<double> values_;
+  bool sorted_ = true;
+};
+
+/// (time, value) series with integration and window averaging — the shape
+/// of wattmeter output and of the Fig. 9 timeline.
+class TimeSeries {
+ public:
+  void add(double t, double v);
+  [[nodiscard]] std::size_t size() const noexcept { return ts_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ts_.empty(); }
+  [[nodiscard]] double time_at(std::size_t i) const { return ts_.at(i); }
+  [[nodiscard]] double value_at(std::size_t i) const { return vs_.at(i); }
+
+  /// Trapezoidal integral of the series over its full span.
+  [[nodiscard]] double integrate() const noexcept;
+  /// Average value over [t0, t1] by trapezoidal integration; returns 0 for
+  /// an empty window.
+  [[nodiscard]] double window_average(double t0, double t1) const noexcept;
+  /// Last value at or before t (step interpolation); 0 if none.
+  [[nodiscard]] double value_before(double t) const noexcept;
+
+  [[nodiscard]] const std::vector<double>& times() const noexcept { return ts_; }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return vs_; }
+
+ private:
+  std::vector<double> ts_;
+  std::vector<double> vs_;
+};
+
+}  // namespace greensched::common

@@ -1,0 +1,36 @@
+// Fixed-width text table used by the benchmark harnesses to print the
+// paper's tables/series in a readable form.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace greensched::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; it may have fewer cells than there are headers (padded).
+  /// Extra cells throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  /// "x,xxx,xxx" thousands-separated integer, as in Table II of the paper.
+  static std::string grouped(long long v);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Renders the table with a header separator line.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace greensched::common

@@ -1,0 +1,57 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace greensched::common {
+namespace {
+
+std::string scaled(double v, const char* base, const char* kilo, const char* mega) {
+  char buf[64];
+  double a = std::fabs(v);
+  if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f %s", v / 1e6, mega);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3f %s", v / 1e3, kilo);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f %s", v, base);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Watts w) { return scaled(w.value(), "W", "kW", "MW"); }
+std::string to_string(Joules j) { return scaled(j.value(), "J", "kJ", "MJ"); }
+std::string to_string(FlopsRate f) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f GFLOP/s", f.value() / 1e9);
+  return buf;
+}
+
+std::string to_string(Seconds s) {
+  char buf[64];
+  double v = s.value();
+  if (std::fabs(v) >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", v / 3600.0);
+  } else if (std::fabs(v) >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", v / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", v);
+  }
+  return buf;
+}
+
+std::string to_string(Celsius c) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f degC", c.value());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Watts w) { return os << to_string(w); }
+std::ostream& operator<<(std::ostream& os, Joules j) { return os << to_string(j); }
+std::ostream& operator<<(std::ostream& os, Seconds s) { return os << to_string(s); }
+std::ostream& operator<<(std::ostream& os, FlopsRate f) { return os << to_string(f); }
+std::ostream& operator<<(std::ostream& os, Celsius c) { return os << to_string(c); }
+
+}  // namespace greensched::common

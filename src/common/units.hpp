@@ -1,0 +1,119 @@
+// Strong unit types for the quantities the scheduler reasons about.
+//
+// The paper's model mixes watts, joules, FLOP counts and seconds in the
+// score and cost equations (Eqs. 4-6).  Using tagged wrappers instead of
+// bare doubles makes it a compile error to, e.g., pass a power where an
+// energy is expected, while remaining zero-overhead (a single double).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+namespace greensched::common {
+
+/// CRTP-free tagged quantity: one double with explicit construction.
+/// Tag types are never instantiated; they only disambiguate the template.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() noexcept = default;
+  constexpr explicit Quantity(double v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+  constexpr auto operator<=>(const Quantity&) const noexcept = default;
+
+  constexpr Quantity operator+(Quantity o) const noexcept { return Quantity(value_ + o.value_); }
+  constexpr Quantity operator-(Quantity o) const noexcept { return Quantity(value_ - o.value_); }
+  constexpr Quantity operator-() const noexcept { return Quantity(-value_); }
+  constexpr Quantity operator*(double k) const noexcept { return Quantity(value_ * k); }
+  constexpr Quantity operator/(double k) const noexcept { return Quantity(value_ / k); }
+  /// Ratio of two like quantities is a dimensionless double.
+  constexpr double operator/(Quantity o) const noexcept { return value_ / o.value_; }
+
+  constexpr Quantity& operator+=(Quantity o) noexcept { value_ += o.value_; return *this; }
+  constexpr Quantity& operator-=(Quantity o) noexcept { value_ -= o.value_; return *this; }
+  constexpr Quantity& operator*=(double k) noexcept { value_ *= k; return *this; }
+  constexpr Quantity& operator/=(double k) noexcept { value_ /= k; return *this; }
+
+ private:
+  double value_ = 0.0;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag> operator*(double k, Quantity<Tag> q) noexcept {
+  return q * k;
+}
+
+struct WattsTag {};
+struct JoulesTag {};
+struct FlopsTag {};       // a count of floating-point operations
+struct FlopsRateTag {};   // FLOP/s
+struct SecondsTag {};
+struct CelsiusTag {};
+
+/// Instantaneous electrical power.
+using Watts = Quantity<WattsTag>;
+/// Energy.
+using Joules = Quantity<JoulesTag>;
+/// Amount of floating-point work (operation count).
+using Flops = Quantity<FlopsTag>;
+/// Compute speed in FLOP per second.
+using FlopsRate = Quantity<FlopsRateTag>;
+/// Duration or simulated timestamp, in seconds.
+using Seconds = Quantity<SecondsTag>;
+/// Temperature.
+using Celsius = Quantity<CelsiusTag>;
+
+// --- dimensional arithmetic ------------------------------------------------
+
+/// power x time = energy
+constexpr Joules operator*(Watts p, Seconds t) noexcept { return Joules(p.value() * t.value()); }
+constexpr Joules operator*(Seconds t, Watts p) noexcept { return p * t; }
+/// energy / time = power
+constexpr Watts operator/(Joules e, Seconds t) noexcept { return Watts(e.value() / t.value()); }
+/// energy / power = time
+constexpr Seconds operator/(Joules e, Watts p) noexcept { return Seconds(e.value() / p.value()); }
+/// work / speed = time
+constexpr Seconds operator/(Flops n, FlopsRate f) noexcept { return Seconds(n.value() / f.value()); }
+/// speed x time = work
+constexpr Flops operator*(FlopsRate f, Seconds t) noexcept { return Flops(f.value() * t.value()); }
+constexpr Flops operator*(Seconds t, FlopsRate f) noexcept { return f * t; }
+/// work / time = speed
+constexpr FlopsRate operator/(Flops n, Seconds t) noexcept { return FlopsRate(n.value() / t.value()); }
+
+// --- convenience literal-style factories ------------------------------------
+
+constexpr Watts watts(double v) noexcept { return Watts(v); }
+constexpr Joules joules(double v) noexcept { return Joules(v); }
+constexpr Joules kilojoules(double v) noexcept { return Joules(v * 1e3); }
+constexpr Joules megajoules(double v) noexcept { return Joules(v * 1e6); }
+constexpr Flops flops(double v) noexcept { return Flops(v); }
+constexpr Flops gigaflops(double v) noexcept { return Flops(v * 1e9); }
+constexpr FlopsRate flops_per_sec(double v) noexcept { return FlopsRate(v); }
+constexpr FlopsRate gflops_per_sec(double v) noexcept { return FlopsRate(v * 1e9); }
+constexpr Seconds seconds(double v) noexcept { return Seconds(v); }
+constexpr Seconds minutes(double v) noexcept { return Seconds(v * 60.0); }
+constexpr Seconds hours(double v) noexcept { return Seconds(v * 3600.0); }
+constexpr Celsius celsius(double v) noexcept { return Celsius(v); }
+
+/// Watt-hours, common in energy reporting.
+constexpr Joules watt_hours(double v) noexcept { return Joules(v * 3600.0); }
+constexpr double to_watt_hours(Joules e) noexcept { return e.value() / 3600.0; }
+
+std::ostream& operator<<(std::ostream& os, Watts w);
+std::ostream& operator<<(std::ostream& os, Joules j);
+std::ostream& operator<<(std::ostream& os, Seconds s);
+std::ostream& operator<<(std::ostream& os, FlopsRate f);
+std::ostream& operator<<(std::ostream& os, Celsius c);
+
+/// Human-readable formatting with unit suffix ("1.25 MJ", "230 W", ...).
+std::string to_string(Watts w);
+std::string to_string(Joules j);
+std::string to_string(Seconds s);
+std::string to_string(FlopsRate f);
+std::string to_string(Celsius c);
+
+}  // namespace greensched::common

@@ -1,0 +1,120 @@
+#include "des/simulator.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::des {
+
+using greensched::common::StateError;
+
+EventHandle Simulator::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) throw StateError("Simulator: cannot schedule in the past");
+  if (!fn) throw StateError("Simulator: empty callback");
+  const std::uint64_t id = next_id_++;
+  queue_.push(QueueEntry{at.value(), next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_events_;
+  return EventHandle(id);
+}
+
+EventHandle Simulator::schedule_after(SimDuration delay, Callback fn) {
+  if (delay.value() < 0.0) throw StateError("Simulator: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventHandle handle) noexcept {
+  if (!handle.valid()) return false;
+  auto it = callbacks_.find(handle.id());
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_events_;
+  // The heap entry stays; execute()/step() skip ids with no callback.
+  return true;
+}
+
+void Simulator::execute(const QueueEntry& entry) {
+  auto it = callbacks_.find(entry.id);
+  if (it == callbacks_.end()) return;  // cancelled
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  --live_events_;
+  now_ = SimTime(entry.time);
+  ++executed_;
+  fn();
+}
+
+std::size_t Simulator::run() {
+  std::size_t ran = 0;
+  while (!queue_.empty()) {
+    if (event_limit_ != 0 && executed_ >= event_limit_)
+      throw StateError("Simulator: event limit exceeded (runaway simulation?)");
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    const bool live = callbacks_.contains(entry.id);
+    execute(entry);
+    if (live) ++ran;
+  }
+  return ran;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  if (until < now_) throw StateError("Simulator: run_until into the past");
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.top().time <= until.value()) {
+    if (event_limit_ != 0 && executed_ >= event_limit_)
+      throw StateError("Simulator: event limit exceeded (runaway simulation?)");
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    const bool live = callbacks_.contains(entry.id);
+    execute(entry);
+    if (live) ++ran;
+  }
+  now_ = until;
+  return ran;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (!callbacks_.contains(entry.id)) continue;  // cancelled
+    execute(entry);
+    return true;
+  }
+  return false;
+}
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, SimDuration period, TickFn tick)
+    : sim_(sim), period_(period), tick_(std::move(tick)) {
+  if (period_.value() <= 0.0) throw StateError("PeriodicProcess: period must be positive");
+  if (!tick_) throw StateError("PeriodicProcess: empty tick function");
+}
+
+void PeriodicProcess::start() { start_at(sim_.now() + period_); }
+
+void PeriodicProcess::start_at(SimTime first) {
+  if (running_) throw StateError("PeriodicProcess: already running");
+  running_ = true;
+  arm(first);
+}
+
+void PeriodicProcess::stop() noexcept {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = EventHandle{};
+}
+
+void PeriodicProcess::arm(SimTime at) {
+  pending_ = sim_.schedule_at(at, [this, at] {
+    if (!running_) return;
+    ++ticks_;
+    if (tick_(at)) {
+      arm(at + period_);
+    } else {
+      running_ = false;
+      pending_ = EventHandle{};
+    }
+  });
+}
+
+}  // namespace greensched::des

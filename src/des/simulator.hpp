@@ -1,0 +1,126 @@
+// Discrete-event simulation kernel.
+//
+// The evaluation in the paper runs for minutes to hours of wall time
+// (Fig. 9 spans 260 minutes); the DES replays the same timeline in
+// milliseconds and deterministically.  Events are ordered by (time,
+// sequence number) so same-time events run in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace greensched::des {
+
+/// Simulated timestamp, seconds since experiment start.
+using SimTime = greensched::common::Seconds;
+/// Simulated duration.
+using SimDuration = greensched::common::Seconds;
+
+/// Opaque handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  constexpr EventHandle() noexcept = default;
+  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != 0; }
+  [[nodiscard]] constexpr std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  friend class Simulator;
+  constexpr explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Single-threaded event-driven simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now, else StateError).
+  EventHandle schedule_at(SimTime at, Callback fn);
+  /// Schedules `fn` after a non-negative delay.
+  EventHandle schedule_after(SimDuration delay, Callback fn);
+  /// Cancels a pending event; returns false if it already ran/was cancelled.
+  bool cancel(EventHandle handle) noexcept;
+
+  /// Runs until the event queue drains.  Returns events executed.
+  std::size_t run();
+  /// Runs events with time <= until; leaves now() == until if the queue
+  /// drained earlier (so periodic processes can be re-armed).
+  std::size_t run_until(SimTime until);
+  /// Executes the single next event, if any; returns whether one ran.
+  bool step();
+
+  [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_events_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Guard against runaway simulations: run()/run_until() throw StateError
+  /// after this many events (0 disables; default 500M).
+  void set_event_limit(std::uint64_t limit) noexcept { event_limit_ = limit; }
+
+ private:
+  struct QueueEntry {
+    double time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    bool operator>(const QueueEntry& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void execute(const QueueEntry& entry);
+
+  SimTime now_{0.0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_limit_ = 500'000'000;
+  std::size_t live_events_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+/// Re-arming periodic process (control loops, wattmeter sampling).
+///
+/// The callback receives the firing time; returning false stops the
+/// process.  Stopping via stop() cancels the pending event.
+class PeriodicProcess {
+ public:
+  using TickFn = std::function<bool(SimTime)>;
+
+  PeriodicProcess(Simulator& sim, SimDuration period, TickFn tick);
+  ~PeriodicProcess() { stop(); }
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Schedules the first tick at now + period (or `first` if given).
+  void start();
+  void start_at(SimTime first);
+  void stop() noexcept;
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+
+ private:
+  void arm(SimTime at);
+
+  Simulator& sim_;
+  SimDuration period_;
+  TickFn tick_;
+  EventHandle pending_{};
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace greensched::des

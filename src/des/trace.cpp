@@ -1,0 +1,38 @@
+#include "des/trace.hpp"
+
+#include <algorithm>
+
+namespace greensched::des {
+
+void TraceRecorder::record(SimTime time, std::string category, std::string subject,
+                           std::string detail, double value) {
+  if (capacity_ != 0 && records_.size() >= capacity_) {
+    // Drop the oldest half in one move to amortize the cost.
+    const std::size_t keep = capacity_ / 2;
+    dropped_ += records_.size() - keep;
+    records_.erase(records_.begin(), records_.end() - static_cast<std::ptrdiff_t>(keep));
+  }
+  records_.push_back(
+      TraceRecord{time, std::move(category), std::move(subject), std::move(detail), value});
+}
+
+std::vector<TraceRecord> TraceRecorder::by_category(const std::string& category) const {
+  std::vector<TraceRecord> out;
+  std::copy_if(records_.begin(), records_.end(), std::back_inserter(out),
+               [&](const TraceRecord& r) { return r.category == category; });
+  return out;
+}
+
+std::vector<TraceRecord> TraceRecorder::by_subject(const std::string& category,
+                                                   const std::string& subject) const {
+  std::vector<TraceRecord> out;
+  std::copy_if(records_.begin(), records_.end(), std::back_inserter(out),
+               [&](const TraceRecord& r) { return r.category == category && r.subject == subject; });
+  return out;
+}
+
+std::size_t TraceRecorder::count_if(const std::function<bool(const TraceRecord&)>& pred) const {
+  return static_cast<std::size_t>(std::count_if(records_.begin(), records_.end(), pred));
+}
+
+}  // namespace greensched::des

@@ -1,0 +1,53 @@
+// Simulation trace: a queryable log of (time, category, subject, detail)
+// records.  The figure benches and integration tests reconstruct timelines
+// (task placement, candidate-pool changes) from this trace.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace greensched::des {
+
+struct TraceRecord {
+  SimTime time{0.0};
+  std::string category;  ///< e.g. "task", "node", "provisioner"
+  std::string subject;   ///< e.g. "taurus-2"
+  std::string detail;    ///< free-form payload
+  double value = 0.0;    ///< optional numeric payload
+};
+
+class TraceRecorder {
+ public:
+  void record(SimTime time, std::string category, std::string subject, std::string detail,
+              double value = 0.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] const TraceRecord& at(std::size_t i) const { return records_.at(i); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept { return records_; }
+
+  /// All records in `category` (preserving time order).
+  [[nodiscard]] std::vector<TraceRecord> by_category(const std::string& category) const;
+  /// All records matching both category and subject.
+  [[nodiscard]] std::vector<TraceRecord> by_subject(const std::string& category,
+                                                    const std::string& subject) const;
+  /// Count of records matching a predicate.
+  [[nodiscard]] std::size_t count_if(const std::function<bool(const TraceRecord&)>& pred) const;
+
+  void clear() noexcept { records_.clear(); }
+
+  /// Keep memory bounded in very long simulations (0 = unlimited).
+  void set_capacity(std::size_t capacity) noexcept { capacity_ = capacity; }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t capacity_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace greensched::des

@@ -1,0 +1,87 @@
+#include "diet/agent.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::diet {
+
+using common::ConfigError;
+using common::StateError;
+
+Agent::Agent(common::AgentId id, std::string name) : id_(id), name_(std::move(name)) {
+  if (name_.empty()) throw ConfigError("Agent: name must not be empty");
+}
+
+void Agent::attach_agent(Agent* child) {
+  if (child == nullptr) throw ConfigError("Agent: null child agent");
+  if (child == this) throw ConfigError("Agent: cannot attach itself");
+  child_agents_.push_back(child);
+}
+
+void Agent::attach_sed(Sed* sed) {
+  if (sed == nullptr) throw ConfigError("Agent: null SED");
+  child_seds_.push_back(sed);
+}
+
+std::vector<Candidate> Agent::handle_request(const Request& request,
+                                             const PluginScheduler& plugin) {
+  ++requests_handled_;
+  std::vector<Candidate> candidates;
+
+  // Step 2: propagate to child SEDs offering the service.
+  for (Sed* sed : child_seds_) {
+    if (!sed->offers(request.task.spec.service)) continue;
+    Candidate c;
+    c.sed = sed;
+    c.estimation = sed->fill_estimation(request);
+    plugin.estimate(c.estimation, request);  // plug-in server-side hook
+    candidates.push_back(std::move(c));
+  }
+  // ... and to child agents.
+  for (Agent* child : child_agents_) {
+    std::vector<Candidate> sub = child->handle_request(request, plugin);
+    candidates.insert(candidates.end(), std::make_move_iterator(sub.begin()),
+                      std::make_move_iterator(sub.end()));
+  }
+
+  // Step 4: sort at this level, forward the best ones only.
+  plugin.aggregate(candidates, request);
+  if (forward_limit_ != 0 && candidates.size() > forward_limit_) {
+    candidates.resize(forward_limit_);
+  }
+  return candidates;
+}
+
+void Agent::collect_seds(std::vector<Sed*>& out) const {
+  for (Sed* sed : child_seds_) out.push_back(sed);
+  for (const Agent* child : child_agents_) child->collect_seds(out);
+}
+
+MasterAgent::MasterAgent(common::AgentId id, std::string name) : Agent(id, std::move(name)) {}
+
+SchedulingDecision MasterAgent::submit(const Request& request) {
+  if (plugin_ == nullptr) throw StateError("MasterAgent: no plug-in scheduler installed");
+  ++submissions_;
+
+  SchedulingDecision decision;
+  std::vector<Candidate> candidates = handle_request(request, *plugin_);
+  decision.service_unknown = candidates.empty();
+  decision.considered = candidates.size();
+
+  // Step 3 (adjusted process): the provisioner restricts the candidate set
+  // according to thresholds and Preference_provider.
+  if (filter_) filter_(candidates, request);
+
+  // Step 4/5: the list is already sorted; elect the first server that can
+  // take the task *now* (the paper's one-task-per-core rule).
+  for (auto& c : candidates) {
+    if (c.sed->can_accept(request.task.spec.cores)) {
+      decision.elected = c.sed;
+      ++elections_;
+      break;
+    }
+  }
+  decision.ranked = std::move(candidates);
+  return decision;
+}
+
+}  // namespace greensched::diet

@@ -1,0 +1,100 @@
+// Agents: the scheduling hierarchy.
+//
+// DIET organizes service location as a tree — a Master Agent (MA) at the
+// root, optional Local Agents (LA) below it, SEDs at the leaves.  A
+// request is broadcast down the tree; estimation vectors travel back up;
+// *each* agent sorts its children's candidates with the plug-in scheduler
+// and forwards (at most) its best ones, and the MA elects the head of the
+// final list (Section III-A, steps 1-5).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "diet/plugin.hpp"
+#include "diet/request.hpp"
+#include "diet/sed.hpp"
+
+namespace greensched::diet {
+
+class Agent {
+ public:
+  Agent(common::AgentId id, std::string name);
+  virtual ~Agent() = default;
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  [[nodiscard]] common::AgentId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void attach_agent(Agent* child);
+  void attach_sed(Sed* sed);
+  [[nodiscard]] std::size_t child_agent_count() const noexcept { return child_agents_.size(); }
+  [[nodiscard]] std::size_t child_sed_count() const noexcept { return child_seds_.size(); }
+  [[nodiscard]] const std::vector<Agent*>& child_agents() const noexcept {
+    return child_agents_;
+  }
+  [[nodiscard]] const std::vector<Sed*>& child_seds() const noexcept { return child_seds_; }
+
+  /// Limits how many candidates this agent forwards upward after sorting
+  /// (0 = all).  DIET truncates for scalability; tests verify that
+  /// truncation never changes the elected server when the plug-in
+  /// ordering is total.
+  void set_forward_limit(std::size_t limit) noexcept { forward_limit_ = limit; }
+  [[nodiscard]] std::size_t forward_limit() const noexcept { return forward_limit_; }
+
+  /// Steps 2-4: broadcast `request` to the subtree, collect estimation
+  /// vectors, sort with `plugin`, truncate, return candidates best-first.
+  [[nodiscard]] std::vector<Candidate> handle_request(const Request& request,
+                                                      const PluginScheduler& plugin);
+
+  /// All SEDs reachable from this agent (depth-first order).
+  void collect_seds(std::vector<Sed*>& out) const;
+
+  [[nodiscard]] std::uint64_t requests_handled() const noexcept { return requests_handled_; }
+
+ private:
+  common::AgentId id_;
+  std::string name_;
+  std::vector<Agent*> child_agents_;
+  std::vector<Sed*> child_seds_;
+  std::size_t forward_limit_ = 0;
+  std::uint64_t requests_handled_ = 0;
+};
+
+/// Hook deciding which candidates are eligible before election; the green
+/// provisioner installs one to enforce the candidate-node cap (Section
+/// III-C, step 3 of the adjusted scheduling process).
+using CandidateFilter = std::function<void(std::vector<Candidate>&, const Request&)>;
+
+class MasterAgent : public Agent {
+ public:
+  MasterAgent(common::AgentId id, std::string name);
+
+  /// Installs/replaces the scheduling policy.  Not owned.
+  void set_plugin(const PluginScheduler* plugin) noexcept { plugin_ = plugin; }
+  [[nodiscard]] const PluginScheduler* plugin() const noexcept { return plugin_; }
+
+  /// Installs the provisioner's candidate filter (may be empty).
+  void set_candidate_filter(CandidateFilter filter) { filter_ = std::move(filter); }
+
+  /// Step 1-5: full scheduling round for one request.  Elects the first
+  /// candidate that can actually accept the task (availability rule); a
+  /// null `elected` means every eligible server is saturated and the
+  /// request must be retried on the next completion.
+  [[nodiscard]] SchedulingDecision submit(const Request& request);
+
+  [[nodiscard]] std::uint64_t submissions() const noexcept { return submissions_; }
+  [[nodiscard]] std::uint64_t elections() const noexcept { return elections_; }
+
+ private:
+  const PluginScheduler* plugin_ = nullptr;
+  CandidateFilter filter_;
+  std::uint64_t submissions_ = 0;
+  std::uint64_t elections_ = 0;
+};
+
+}  // namespace greensched::diet

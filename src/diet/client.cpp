@@ -1,0 +1,144 @@
+#include "diet/client.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace greensched::diet {
+
+using common::Seconds;
+using common::StateError;
+
+Client::Client(Hierarchy& hierarchy, std::string name)
+    : hierarchy_(hierarchy), name_(std::move(name)) {
+  hierarchy_.subscribe_completions([this](const TaskRecord& record) { on_completion(record); });
+  // Capacity can also appear without a completion (a repaired node came
+  // back): retry queued tasks then too.
+  hierarchy_.subscribe_capacity([this] { drain_pending(); });
+}
+
+void Client::submit_workload(std::vector<workload::TaskInstance> tasks) {
+  for (auto& task : tasks) {
+    const Seconds at = task.submit_time;
+    if (at < hierarchy_.sim().now())
+      throw StateError("Client: workload contains submissions in the past");
+    hierarchy_.sim().schedule_at(at, [this, task] { submit_now(task); });
+  }
+}
+
+void Client::submit_now(const workload::TaskInstance& task) {
+  ClientTaskRecord record;
+  record.task = task;
+  record.submit = hierarchy_.sim().now();
+  records_.push_back(std::move(record));
+  const std::size_t index = records_.size() - 1;
+  if (!try_place(index)) pending_.push_back(index);
+}
+
+bool Client::try_place(std::size_t record_index) {
+  ClientTaskRecord& record = records_[record_index];
+  ++record.placement_attempts;
+
+  Request request;
+  request.id = hierarchy_.next_request_id();
+  request.task = record.task;
+  request.user_preference = record.task.user_preference;
+
+  SchedulingDecision decision = hierarchy_.master().submit(request);
+  if (decision.service_unknown)
+    throw StateError("Client '" + name_ + "': no server offers service '" +
+                     record.task.spec.service + "'");
+  if (decision.elected == nullptr) return false;
+
+  record.start = hierarchy_.sim().now();
+  record.server = decision.elected->name();
+  record.cluster = decision.elected->node().cluster();
+
+  decision.elected->execute(record.task, request.id, [this, record_index](const TaskRecord& done) {
+    ClientTaskRecord& r = records_[record_index];
+    if (done.failed) {
+      // The node crashed under the task: resubmit it (grids treat
+      // powered-off resources as failures; the middleware recovers).
+      ++r.failures;
+      r.start.reset();
+      r.server.clear();
+      if (!try_place(record_index)) pending_.push_back(record_index);
+      return;
+    }
+    r.end = done.end;
+    ++completed_;
+  });
+  return true;
+}
+
+void Client::on_completion(const TaskRecord& /*record*/) { drain_pending(); }
+
+void Client::drain_pending() {
+  // FIFO retry: place as many queued tasks as the freed capacity allows.
+  while (!pending_.empty()) {
+    const std::size_t index = pending_.front();
+    if (!try_place(index)) break;
+    pending_.pop_front();
+  }
+}
+
+Seconds Client::makespan() const {
+  if (records_.empty()) throw StateError("Client: no tasks submitted");
+  double first_submit = records_.front().submit.value();
+  double last_end = -1.0;
+  for (const auto& r : records_) {
+    first_submit = std::min(first_submit, r.submit.value());
+    if (r.end) last_end = std::max(last_end, r.end->value());
+  }
+  if (last_end < 0.0) throw StateError("Client: no task completed yet");
+  return Seconds(last_end - first_submit);
+}
+
+std::vector<std::pair<std::string, std::size_t>> Client::tasks_per_server() const {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& r : records_) {
+    if (!r.server.empty() && r.end) ++counts[r.server];
+  }
+  return {counts.begin(), counts.end()};
+}
+
+SaturatingClient::SaturatingClient(Hierarchy& hierarchy, workload::TaskSpec task,
+                                   CapacityFn capacity, des::SimDuration tick_period,
+                                   std::string name)
+    : Client(hierarchy, std::move(name)),
+      task_(std::move(task)),
+      capacity_(std::move(capacity)),
+      process_(hierarchy.sim(), tick_period, [this](des::SimTime at) { return tick(at); }) {
+  task_.validate();
+  if (!capacity_) throw common::ConfigError("SaturatingClient: capacity callback required");
+}
+
+void SaturatingClient::start() { process_.start_at(hierarchy_.sim().now()); }
+
+bool SaturatingClient::tick(des::SimTime /*at*/) {
+  // Recompute in-flight from records: started but not finished.
+  in_flight_ = 0;
+  for (const auto& r : records_) {
+    if (r.start && !r.end) ++in_flight_;
+  }
+  const std::size_t target = capacity_();
+  // Keep the announced capacity busy without flooding the pending queue:
+  // never carry more queued tasks than one capacity's worth.
+  std::size_t queued = pending_.size();
+  while (in_flight_ + queued < target) {
+    workload::TaskInstance task;
+    task.id = task_ids_.next();
+    task.spec = task_;
+    task.submit_time = hierarchy_.sim().now();
+    submit_now(task);
+    if (records_.back().start) {
+      ++in_flight_;
+    } else {
+      ++queued;
+    }
+  }
+  return true;
+}
+
+}  // namespace greensched::diet

@@ -1,0 +1,105 @@
+// Clients: submit problems to the Master Agent and track their fate.
+//
+// Client      — replays a pre-generated task list (the Section IV-A
+//               workload-placement experiments).
+// SaturatingClient — keeps the platform saturated, adjusting its request
+//               flow to the announced capacity (the Section IV-C adaptive
+//               provisioning experiment: "the client dynamically adjusts
+//               its flow of request to reach the capacity of available
+//               nodes").
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "diet/hierarchy.hpp"
+#include "workload/task.hpp"
+
+namespace greensched::diet {
+
+/// Per-task outcome as seen by the client.
+struct ClientTaskRecord {
+  workload::TaskInstance task;
+  common::Seconds submit{0.0};
+  std::optional<common::Seconds> start;
+  std::optional<common::Seconds> end;
+  std::string server;   ///< empty until placed
+  common::ClusterId cluster{};
+  std::size_t placement_attempts = 0;  ///< submissions before election
+  std::size_t failures = 0;            ///< node crashes survived (resubmitted)
+};
+
+class Client {
+ public:
+  Client(Hierarchy& hierarchy, std::string name = "client");
+  virtual ~Client() = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Schedules submission events for every task (at task.submit_time).
+  void submit_workload(std::vector<workload::TaskInstance> tasks);
+
+  /// Submits one task right now; queues it if no server is available.
+  void submit_now(const workload::TaskInstance& task);
+
+  // --- outcome ---
+  [[nodiscard]] std::size_t submitted() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool all_done() const noexcept {
+    return completed_ == records_.size() && pending_.empty();
+  }
+  /// Time from first submission to last completion; throws StateError if
+  /// nothing completed yet.
+  [[nodiscard]] common::Seconds makespan() const;
+  [[nodiscard]] const std::vector<ClientTaskRecord>& records() const noexcept { return records_; }
+
+  /// Tasks executed per server name (the Fig. 2-4 distributions).
+  [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> tasks_per_server() const;
+
+ protected:
+  /// Tries to place the task; returns true if elected and started.
+  bool try_place(std::size_t record_index);
+  void on_completion(const TaskRecord& record);
+  void drain_pending();
+
+  Hierarchy& hierarchy_;
+  std::string name_;
+  std::vector<ClientTaskRecord> records_;
+  std::deque<std::size_t> pending_;  ///< indices awaiting a free server
+  std::size_t completed_ = 0;
+};
+
+/// Fig. 9's client: a periodic tick inspects the announced capacity (a
+/// callback supplied by the harness, typically provisioner->candidate
+/// capacity) and tops up in-flight tasks to saturate it.
+class SaturatingClient : public Client {
+ public:
+  using CapacityFn = std::function<std::size_t()>;
+
+  SaturatingClient(Hierarchy& hierarchy, workload::TaskSpec task, CapacityFn capacity,
+                   des::SimDuration tick_period, std::string name = "saturating-client");
+
+  /// Starts the periodic top-up loop; runs until stop().
+  void start();
+  void stop() noexcept { process_.stop(); }
+
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
+
+ private:
+  bool tick(des::SimTime at);
+
+  workload::TaskSpec task_;
+  CapacityFn capacity_;
+  des::PeriodicProcess process_;
+  common::IdAllocator<common::TaskId> task_ids_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace greensched::diet

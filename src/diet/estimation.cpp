@@ -1,0 +1,70 @@
+#include "diet/estimation.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace greensched::diet {
+
+const char* to_string(EstTag tag) noexcept {
+  switch (tag) {
+    case EstTag::kFreeCores: return "free_cores";
+    case EstTag::kTotalCores: return "total_cores";
+    case EstTag::kNodeOn: return "node_on";
+    case EstTag::kSpecFlopsPerCore: return "spec_flops_per_core";
+    case EstTag::kSpecPeakPowerWatts: return "spec_peak_power";
+    case EstTag::kSpecIdlePowerWatts: return "spec_idle_power";
+    case EstTag::kBootSeconds: return "boot_seconds";
+    case EstTag::kBootPowerWatts: return "boot_power";
+    case EstTag::kMeasuredFlopsPerCore: return "measured_flops_per_core";
+    case EstTag::kMeasuredPowerWatts: return "measured_power";
+    case EstTag::kQueueWaitSeconds: return "queue_wait";
+    case EstTag::kTasksCompleted: return "tasks_completed";
+    case EstTag::kTemperatureCelsius: return "temperature";
+    case EstTag::kRandomDraw: return "random_draw";
+  }
+  return "?";
+}
+
+double EstimationVector::get(EstTag tag) const {
+  auto it = values_.find(tag);
+  if (it == values_.end())
+    throw common::StateError(std::string("EstimationVector: missing tag ") + diet::to_string(tag) +
+                             " on server '" + server_name_ + "'");
+  return it->second;
+}
+
+double EstimationVector::get_or(EstTag tag, double fallback) const noexcept {
+  auto it = values_.find(tag);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::optional<double> EstimationVector::find(EstTag tag) const noexcept {
+  auto it = values_.find(tag);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> EstimationVector::custom(const std::string& key) const noexcept {
+  auto it = custom_.find(key);
+  if (it == custom_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string EstimationVector::to_string() const {
+  std::ostringstream os;
+  os << server_name_;
+  char buf[64];
+  for (const auto& [tag, value] : values_) {
+    std::snprintf(buf, sizeof(buf), " %s=%.6g", diet::to_string(tag), value);
+    os << buf;
+  }
+  for (const auto& [key, value] : custom_) {
+    std::snprintf(buf, sizeof(buf), " %s=%.6g", key.c_str(), value);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace greensched::diet

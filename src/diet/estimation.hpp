@@ -1,0 +1,74 @@
+// Estimation vectors: the information channel between servers and the
+// scheduling hierarchy.
+//
+// In DIET, every SED answers a request with an *estimation vector* of
+// tagged values filled by a (default or custom) estimation function;
+// agents aggregate these vectors to rank servers.  This reproduction keeps
+// the same design: well-known numeric tags for the quantities the green
+// scheduler needs, plus free-form custom tags so developers can extend the
+// vector without touching the middleware (the paper's "abstract layer").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace greensched::diet {
+
+/// Well-known estimation tags.
+enum class EstTag {
+  kFreeCores,            ///< cores currently free on the server
+  kTotalCores,           ///< server core count
+  kNodeOn,               ///< 1 if powered on, 0 otherwise
+  kSpecFlopsPerCore,     ///< nameplate per-core speed (f_s / cores)
+  kSpecPeakPowerWatts,   ///< nameplate full-load power (c_s)
+  kSpecIdlePowerWatts,   ///< nameplate idle power
+  kBootSeconds,          ///< bt_s
+  kBootPowerWatts,       ///< bc_s
+  kMeasuredFlopsPerCore, ///< learned from completed tasks (absent before)
+  kMeasuredPowerWatts,   ///< dynamic estimate: active energy / active time
+  kQueueWaitSeconds,     ///< w_s, estimated wait before a core frees up
+  kTasksCompleted,       ///< completions so far (learning-phase indicator)
+  kTemperatureCelsius,   ///< node temperature
+  kRandomDraw,           ///< uniform [0,1) draw for randomized policies
+};
+
+[[nodiscard]] const char* to_string(EstTag tag) noexcept;
+
+/// A tagged value map describing one server's self-estimate for a request.
+class EstimationVector {
+ public:
+  EstimationVector() = default;
+  EstimationVector(std::string server_name, common::NodeId node_id)
+      : server_name_(std::move(server_name)), node_id_(node_id) {}
+
+  [[nodiscard]] const std::string& server_name() const noexcept { return server_name_; }
+  [[nodiscard]] common::NodeId node_id() const noexcept { return node_id_; }
+
+  void set(EstTag tag, double value) { values_[tag] = value; }
+  [[nodiscard]] bool has(EstTag tag) const noexcept { return values_.contains(tag); }
+  /// Value for `tag`; throws StateError if absent (use get_or on optional
+  /// tags like the measured metrics).
+  [[nodiscard]] double get(EstTag tag) const;
+  [[nodiscard]] double get_or(EstTag tag, double fallback) const noexcept;
+  [[nodiscard]] std::optional<double> find(EstTag tag) const noexcept;
+
+  /// Developer extension point: arbitrary named values.
+  void set_custom(const std::string& key, double value) { custom_[key] = value; }
+  [[nodiscard]] std::optional<double> custom(const std::string& key) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size() + custom_.size(); }
+
+  /// "key=value key=value ..." rendering for traces and debugging.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string server_name_;
+  common::NodeId node_id_{};
+  std::map<EstTag, double> values_;
+  std::map<std::string, double> custom_;
+};
+
+}  // namespace greensched::diet

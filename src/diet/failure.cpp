@@ -1,0 +1,54 @@
+#include "diet/failure.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::diet {
+
+using common::Seconds;
+
+FailureInjector::FailureInjector(Hierarchy& hierarchy) : hierarchy_(hierarchy) {}
+
+void FailureInjector::schedule_failure(const std::string& sed_name, des::SimTime at,
+                                       std::optional<des::SimDuration> repair_after,
+                                       bool reboot) {
+  Sed* sed = hierarchy_.find_sed(sed_name);
+  if (sed == nullptr)
+    throw common::ConfigError("FailureInjector: unknown SED '" + sed_name + "'");
+  hierarchy_.sim().schedule_at(
+      at, [this, sed, repair_after, reboot] { crash(*sed, repair_after, reboot); });
+}
+
+void FailureInjector::crash(Sed& sed, std::optional<des::SimDuration> repair_after,
+                            bool reboot) {
+  cluster::Node& node = sed.node();
+  const auto state = node.state();
+  if (state == cluster::NodeState::kOff || state == cluster::NodeState::kFailed) {
+    ++failures_skipped_;  // an off machine cannot crash
+    return;
+  }
+
+  tasks_killed_ += sed.inject_failure();
+  ++failures_injected_;
+
+  if (!repair_after) return;
+  des::Simulator& sim = hierarchy_.sim();
+  const Seconds repair_at = sim.now() + *repair_after;
+  sim.schedule_at(repair_at, [this, &node, reboot, repair_at, &sim] {
+    node.repair(repair_at);
+    ++repairs_;
+    if (reboot) {
+      node.power_on(repair_at);
+      const Seconds booted = repair_at + node.spec().boot_seconds;
+      sim.schedule_at(booted, [this, &node, booted] {
+        // It may have crashed again while booting.
+        if (node.state() == cluster::NodeState::kBooting) {
+          node.complete_boot(booted);
+          // New capacity without a completion: let clients retry.
+          hierarchy_.notify_capacity_change();
+        }
+      });
+    }
+  });
+}
+
+}  // namespace greensched::diet

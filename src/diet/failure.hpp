@@ -1,0 +1,48 @@
+// Failure injection.
+//
+// Grid middleware must live with machines disappearing — the paper's
+// related work notes that "management tools interpret powered-off
+// resources as failures that can compromise the execution of services"
+// (Section II-B).  The injector crashes chosen SED nodes at chosen
+// times; running tasks are killed (their clients resubmit), and the node
+// can be repaired and rebooted after an MTTR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "des/simulator.hpp"
+#include "diet/hierarchy.hpp"
+
+namespace greensched::diet {
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(Hierarchy& hierarchy);
+
+  /// Schedules a crash of `sed_name` at absolute time `at`.  If the node
+  /// happens to be OFF at that moment the crash is skipped (an off
+  /// machine cannot fail).  With `repair_after`, the node is repaired
+  /// that long after the crash and, if `reboot`, powered back on.
+  /// Throws ConfigError if the SED is unknown.
+  void schedule_failure(const std::string& sed_name, des::SimTime at,
+                        std::optional<des::SimDuration> repair_after = std::nullopt,
+                        bool reboot = true);
+
+  [[nodiscard]] std::uint64_t failures_injected() const noexcept { return failures_injected_; }
+  [[nodiscard]] std::uint64_t failures_skipped() const noexcept { return failures_skipped_; }
+  [[nodiscard]] std::uint64_t tasks_killed() const noexcept { return tasks_killed_; }
+  [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+
+ private:
+  void crash(Sed& sed, std::optional<des::SimDuration> repair_after, bool reboot);
+
+  Hierarchy& hierarchy_;
+  std::uint64_t failures_injected_ = 0;
+  std::uint64_t failures_skipped_ = 0;
+  std::uint64_t tasks_killed_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+}  // namespace greensched::diet

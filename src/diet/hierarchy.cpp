@@ -1,0 +1,140 @@
+#include "diet/hierarchy.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::diet {
+
+using common::ConfigError;
+using common::StateError;
+
+Hierarchy::Hierarchy(des::Simulator& sim, common::Rng& rng) : sim_(sim), rng_(rng) {}
+
+MasterAgent& Hierarchy::create_master(const std::string& name) {
+  if (master_) throw ConfigError("Hierarchy: master agent already exists");
+  master_ = std::make_unique<MasterAgent>(agent_ids_.next(), name);
+  return *master_;
+}
+
+MasterAgent& Hierarchy::master() {
+  if (!master_) throw StateError("Hierarchy: no master agent");
+  return *master_;
+}
+
+Agent& Hierarchy::create_local_agent(Agent& parent, const std::string& name) {
+  agents_.push_back(std::make_unique<Agent>(agent_ids_.next(), name));
+  Agent& agent = *agents_.back();
+  parent.attach_agent(&agent);
+  return agent;
+}
+
+Sed& Hierarchy::create_sed(Agent& parent, cluster::Node& node, std::set<std::string> services,
+                           SedConfig config) {
+  seds_.push_back(std::make_unique<Sed>(sim_, node, std::move(services), rng_, config));
+  Sed& sed = *seds_.back();
+  sed.set_completion_hook([this](const TaskRecord& record) { dispatch_completion(record); });
+  parent.attach_sed(&sed);
+  return sed;
+}
+
+MasterAgent& Hierarchy::build_flat(cluster::Platform& platform,
+                                   const std::set<std::string>& services, SedConfig config) {
+  MasterAgent& ma = has_master() ? master() : create_master();
+  for (std::size_t i = 0; i < platform.node_count(); ++i) {
+    create_sed(ma, platform.node(i), services, config);
+  }
+  return ma;
+}
+
+MasterAgent& Hierarchy::build_per_cluster(cluster::Platform& platform,
+                                          const std::set<std::string>& services,
+                                          SedConfig config) {
+  MasterAgent& ma = has_master() ? master() : create_master();
+  for (std::size_t c = 0; c < platform.cluster_count(); ++c) {
+    const cluster::ClusterInfo& info = platform.cluster(c);
+    Agent& la = create_local_agent(ma, "LA-" + info.name);
+    for (std::size_t i : info.node_indices) {
+      create_sed(la, platform.node(i), services, config);
+    }
+  }
+  return ma;
+}
+
+namespace {
+/// Recursively attaches `count` nodes starting at `first` under `parent`,
+/// keeping every agent's child count at or below `fanout`.
+void build_subtree(Hierarchy& hierarchy, Agent& parent, cluster::Platform& platform,
+                   std::size_t first, std::size_t count, std::size_t fanout,
+                   const std::set<std::string>& services, const SedConfig& config,
+                   std::size_t& next_la) {
+  if (count <= fanout) {
+    for (std::size_t i = 0; i < count; ++i) {
+      hierarchy.create_sed(parent, platform.node(first + i), services, config);
+    }
+    return;
+  }
+  // Split into `fanout` chunks as evenly as possible.
+  const std::size_t base = count / fanout;
+  std::size_t remainder = count % fanout;
+  std::size_t offset = first;
+  for (std::size_t chunk = 0; chunk < fanout && offset < first + count; ++chunk) {
+    const std::size_t size = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    if (size == 0) continue;
+    Agent& la = hierarchy.create_local_agent(parent, "LA-" + std::to_string(next_la++));
+    build_subtree(hierarchy, la, platform, offset, size, fanout, services, config, next_la);
+    offset += size;
+  }
+}
+
+std::size_t subtree_depth(const Agent& agent) {
+  // An agent with SED children reaches one level deeper than itself.
+  std::size_t deepest = agent.child_sed_count() > 0 ? 2 : 1;
+  for (const Agent* child : agent.child_agents()) {
+    deepest = std::max(deepest, 1 + subtree_depth(*child));
+  }
+  return deepest;
+}
+}  // namespace
+
+MasterAgent& Hierarchy::build_balanced(cluster::Platform& platform,
+                                       const std::set<std::string>& services,
+                                       std::size_t fanout, SedConfig config) {
+  if (fanout == 0) throw ConfigError("Hierarchy: fanout must be at least 1");
+  MasterAgent& ma = has_master() ? master() : create_master();
+  std::size_t next_la = 0;
+  build_subtree(*this, ma, platform, 0, platform.node_count(), fanout, services, config,
+                next_la);
+  return ma;
+}
+
+std::size_t Hierarchy::depth() const {
+  if (!master_) return 0;
+  return subtree_depth(*master_);
+}
+
+Sed* Hierarchy::find_sed(const std::string& name) noexcept {
+  for (auto& sed : seds_) {
+    if (sed->name() == name) return sed.get();
+  }
+  return nullptr;
+}
+
+void Hierarchy::subscribe_completions(CompletionListener listener) {
+  if (!listener) throw ConfigError("Hierarchy: empty completion listener");
+  listeners_.push_back(std::move(listener));
+}
+
+void Hierarchy::dispatch_completion(const TaskRecord& record) {
+  for (const auto& listener : listeners_) listener(record);
+}
+
+void Hierarchy::subscribe_capacity(std::function<void()> listener) {
+  if (!listener) throw ConfigError("Hierarchy: empty capacity listener");
+  capacity_listeners_.push_back(std::move(listener));
+}
+
+void Hierarchy::notify_capacity_change() {
+  for (const auto& listener : capacity_listeners_) listener();
+}
+
+}  // namespace greensched::diet

@@ -1,0 +1,94 @@
+// Hierarchy: owns the MA / LA / SED tree and wires completion
+// notifications.
+//
+// Deployments mirror the paper's: a Master Agent on its own (logical)
+// node, SEDs on the compute nodes, optionally one Local Agent per cluster
+// for the scalable tree shape DIET uses.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "diet/agent.hpp"
+#include "diet/sed.hpp"
+
+namespace greensched::diet {
+
+class Hierarchy {
+ public:
+  using CompletionListener = std::function<void(const TaskRecord&)>;
+
+  Hierarchy(des::Simulator& sim, common::Rng& rng);
+  Hierarchy(const Hierarchy&) = delete;
+  Hierarchy& operator=(const Hierarchy&) = delete;
+
+  /// Creates the root MA (exactly one per hierarchy).
+  MasterAgent& create_master(const std::string& name = "MA");
+  [[nodiscard]] MasterAgent& master();
+  [[nodiscard]] bool has_master() const noexcept { return master_ != nullptr; }
+
+  /// Creates an LA under `parent`.
+  Agent& create_local_agent(Agent& parent, const std::string& name);
+
+  /// Creates a SED serving `services` on `node`, attached to `parent`.
+  Sed& create_sed(Agent& parent, cluster::Node& node, std::set<std::string> services,
+                  SedConfig config = {});
+
+  /// Convenience: MA with one SED per platform node (flat tree).
+  MasterAgent& build_flat(cluster::Platform& platform, const std::set<std::string>& services,
+                          SedConfig config = {});
+  /// Convenience: MA -> one LA per cluster -> SEDs (the DIET tree shape).
+  MasterAgent& build_per_cluster(cluster::Platform& platform,
+                                 const std::set<std::string>& services, SedConfig config = {});
+
+  /// Convenience: a balanced tree where no agent has more than `fanout`
+  /// children — the scalable shape DIET uses for large platforms.  LAs
+  /// are inserted as needed; SEDs sit at the leaves.
+  MasterAgent& build_balanced(cluster::Platform& platform,
+                              const std::set<std::string>& services, std::size_t fanout,
+                              SedConfig config = {});
+
+  [[nodiscard]] std::size_t agent_count() const noexcept {
+    return agents_.size() + (master_ ? 1 : 0);
+  }
+  /// Longest MA-to-SED path (MA alone = depth 1).
+  [[nodiscard]] std::size_t depth() const;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Sed>>& seds() const noexcept { return seds_; }
+  [[nodiscard]] Sed* find_sed(const std::string& name) noexcept;
+  [[nodiscard]] std::size_t sed_count() const noexcept { return seds_.size(); }
+
+  /// Registers a listener fired after *any* SED completes a task (used by
+  /// clients to retry queued requests, and by the metrics collector).
+  void subscribe_completions(CompletionListener listener);
+
+  /// Capacity-change channel: fired when serving capacity appears
+  /// *without* a task completing — e.g. a repaired node finished booting.
+  /// Clients subscribe to retry queued requests.
+  void subscribe_capacity(std::function<void()> listener);
+  void notify_capacity_change();
+
+  [[nodiscard]] des::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] common::RequestId next_request_id() noexcept { return request_ids_.next(); }
+
+ private:
+  void dispatch_completion(const TaskRecord& record);
+
+  des::Simulator& sim_;
+  common::Rng& rng_;
+  std::unique_ptr<MasterAgent> master_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<std::unique_ptr<Sed>> seds_;
+  std::vector<CompletionListener> listeners_;
+  std::vector<std::function<void()>> capacity_listeners_;
+  common::IdAllocator<common::AgentId> agent_ids_;
+  common::IdAllocator<common::RequestId> request_ids_;
+};
+
+}  // namespace greensched::diet

@@ -1,0 +1,10 @@
+#include "diet/plugin.hpp"
+
+namespace greensched::diet {
+
+void PluginScheduler::estimate(EstimationVector& /*est*/, const Request& /*request*/) const {
+  // Default estimation is entirely handled by the SED; plug-ins override
+  // this to add policy-specific tags.
+}
+
+}  // namespace greensched::diet

@@ -1,0 +1,36 @@
+// Plug-in scheduler interface.
+//
+// DIET lets applications influence scheduling by installing plug-in
+// schedulers in the agents: a server-side hook that enriches the
+// estimation vector and an agent-side aggregation method that ranks the
+// collected vectors.  The green policies of the paper (POWER, PERFORMANCE,
+// RANDOM, GreenPerf, and the preference-weighted score) are all instances
+// of this interface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diet/request.hpp"
+
+namespace greensched::diet {
+
+class PluginScheduler {
+ public:
+  virtual ~PluginScheduler() = default;
+
+  /// Human-readable policy name (appears in traces and reports).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Server-side hook: called after the default estimation function has
+  /// filled `est` for `request`, before the vector is sent upward.  The
+  /// default does nothing.
+  virtual void estimate(EstimationVector& est, const Request& request) const;
+
+  /// Agent-side hook: orders `candidates` best-first.  Called at every
+  /// level of the hierarchy (DIET sorts at each agent for scalability),
+  /// so it must be deterministic given the estimation vectors.
+  virtual void aggregate(std::vector<Candidate>& candidates, const Request& request) const = 0;
+};
+
+}  // namespace greensched::diet

@@ -1,0 +1,37 @@
+// Request/response types flowing through the agent hierarchy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "diet/estimation.hpp"
+#include "workload/task.hpp"
+
+namespace greensched::diet {
+
+class Sed;  // forward
+
+/// A client problem submission (step 1 of the scheduling process).
+struct Request {
+  common::RequestId id{};
+  workload::TaskInstance task;
+  /// Preference_user in [-0.9, 0.9]; -1/+1 are clamped per Section III-B.
+  double user_preference = 0.0;
+};
+
+/// One server's reply: its identity plus the estimation vector.
+struct Candidate {
+  Sed* sed = nullptr;  ///< non-owning; lives as long as the Hierarchy
+  EstimationVector estimation;
+};
+
+/// Result of MA-level scheduling.
+struct SchedulingDecision {
+  Sed* elected = nullptr;                ///< null if no server can take the task now
+  std::vector<Candidate> ranked;         ///< post-aggregation order, best first
+  std::size_t considered = 0;            ///< candidates before filtering
+  bool service_unknown = false;          ///< no SED offers the service at all
+};
+
+}  // namespace greensched::diet

@@ -1,0 +1,178 @@
+#include "diet/sed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace greensched::diet {
+
+using common::Seconds;
+using common::StateError;
+using common::Watts;
+
+Sed::Sed(des::Simulator& sim, cluster::Node& node, std::set<std::string> services,
+         common::Rng& rng, SedConfig config)
+    : sim_(sim), node_(node), services_(std::move(services)), rng_(rng.split()), config_(config) {
+  if (services_.empty()) throw common::ConfigError("Sed: must offer at least one service");
+  if (config_.max_concurrent == 0) config_.max_concurrent = node_.spec().cores;
+  if (config_.max_concurrent > node_.spec().cores)
+    throw common::ConfigError("Sed '" + name() + "': concurrency above core count");
+  for (const auto& [service, factor] : config_.service_speed_factor) {
+    if (factor <= 0.0)
+      throw common::ConfigError("Sed '" + name() + "': non-positive speed factor for '" +
+                                service + "'");
+  }
+}
+
+double Sed::service_speed(const std::string& service) const noexcept {
+  auto it = config_.service_speed_factor.find(service);
+  return it == config_.service_speed_factor.end() ? 1.0 : it->second;
+}
+
+bool Sed::can_accept(unsigned cores) const noexcept {
+  if (!node_.is_on()) return false;
+  if (running_.size() + cores > config_.max_concurrent) return false;
+  return node_.free_cores() >= cores;
+}
+
+EstimationVector Sed::fill_estimation(const Request& request) {
+  ++estimations_served_;
+  const Seconds now = sim_.now();
+  EstimationVector est(name(), node_.id());
+
+  // Default estimation function: availability, learning state, thermals.
+  est.set(EstTag::kFreeCores, static_cast<double>(
+                                  node_.is_on()
+                                      ? std::min<unsigned>(node_.free_cores(),
+                                                           config_.max_concurrent -
+                                                               static_cast<unsigned>(running_.size()))
+                                      : 0));
+  est.set(EstTag::kTotalCores, static_cast<double>(node_.spec().cores));
+  est.set(EstTag::kNodeOn, node_.is_on() ? 1.0 : 0.0);
+  est.set(EstTag::kTasksCompleted, static_cast<double>(history_.size()));
+  est.set(EstTag::kQueueWaitSeconds, queue_wait_estimate().value());
+  est.set(EstTag::kTemperatureCelsius, node_.temperature(now).value());
+  est.set(EstTag::kRandomDraw, rng_.uniform());
+
+  if (config_.expose_spec) {
+    // The *advertised* figures (catalog/benchmark values) — under power
+    // heterogeneity these differ from the node's true behaviour, which
+    // only the measured tags capture (the paper's dynamic method).
+    const cluster::NodeSpec& nameplate = node_.nameplate();
+    est.set(EstTag::kSpecFlopsPerCore, nameplate.flops_per_core.value());
+    est.set(EstTag::kSpecPeakPowerWatts, nameplate.peak_watts.value());
+    est.set(EstTag::kSpecIdlePowerWatts, nameplate.idle_watts.value());
+    est.set(EstTag::kBootSeconds, nameplate.boot_seconds.value());
+    est.set(EstTag::kBootPowerWatts, nameplate.boot_watts.value());
+  }
+
+  if (auto p = measured_power()) est.set(EstTag::kMeasuredPowerWatts, p->value());
+  if (auto f = measured_flops_per_core()) est.set(EstTag::kMeasuredFlopsPerCore, f->value());
+
+  if (custom_estimation_) custom_estimation_(est, request);
+  return est;
+}
+
+common::TaskId Sed::execute(const workload::TaskInstance& task, common::RequestId request,
+                            CompletionFn on_complete) {
+  if (!can_accept(task.spec.cores))
+    throw StateError("Sed '" + name() + "': execute() without a free core");
+  task.spec.validate();
+  if (task.spec.cores != 1)
+    throw StateError("Sed '" + name() + "': only single-core tasks are supported");
+
+  const Seconds now = sim_.now();
+  node_.acquire_core(now);
+
+  // The core's speed at start (including any DVFS P-state, which a
+  // governor may have just raised in reaction to acquire_core, and the
+  // service-specific efficiency) is held for the task's whole duration.
+  const common::FlopsRate rate(node_.current_flops_per_core().value() *
+                               service_speed(task.spec.service));
+  const Seconds duration = task.spec.work / rate;
+
+  RunningTask running;
+  running.record.task = task.id;
+  running.record.request = request;
+  running.record.start = now;
+  running.record.end = now + duration;
+  running.record.work = task.spec.work;
+  running.record.server_name = name();
+  running.record.node = node_.id();
+  running.record.cluster = node_.cluster();
+  running.on_complete = std::move(on_complete);
+  running.end_time = (now + duration).value();
+  running_.push_back(std::move(running));
+
+  const common::TaskId id = task.id;
+  running_.back().completion_event = sim_.schedule_at(now + duration, [this, id] {
+    auto it = std::find_if(running_.begin(), running_.end(),
+                           [id](const RunningTask& r) { return r.record.task == id; });
+    if (it == running_.end())
+      throw StateError("Sed '" + name() + "': completion for unknown task");
+    complete(static_cast<std::size_t>(it - running_.begin()));
+  });
+  return id;
+}
+
+void Sed::complete(std::size_t running_index) {
+  RunningTask finished = std::move(running_[running_index]);
+  running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(running_index));
+
+  const Seconds now = sim_.now();
+  node_.release_core(now);
+
+  const double duration = (finished.record.end - finished.record.start).value();
+  if (duration > 0.0) per_core_rate_.add(finished.record.work.value() / duration);
+  history_.push_back(finished.record);
+
+  if (completion_hook_) completion_hook_(finished.record);
+  if (finished.on_complete) finished.on_complete(finished.record);
+}
+
+std::size_t Sed::inject_failure() {
+  const Seconds now = sim_.now();
+  // Detach the running set first so callbacks observing this SED see a
+  // consistent (dead, empty) state.
+  std::vector<RunningTask> killed = std::move(running_);
+  running_.clear();
+  for (auto& r : killed) sim_.cancel(r.completion_event);
+  node_.fail(now);  // zeroes busy cores; throws if already off/failed
+
+  for (auto& r : killed) {
+    r.record.end = now;
+    r.record.failed = true;
+    // Failed work contributes to neither the learning history nor the
+    // per-core rate estimate.
+    if (completion_hook_) completion_hook_(r.record);
+    if (r.on_complete) r.on_complete(r.record);
+  }
+  return killed.size();
+}
+
+std::optional<Watts> Sed::measured_power() {
+  const Seconds now = sim_.now();
+  const Seconds active = node_.active_time(now);
+  if (active.value() <= 0.0) return std::nullopt;
+  return node_.active_energy(now) / active;
+}
+
+std::optional<common::FlopsRate> Sed::measured_flops_per_core() const {
+  if (per_core_rate_.empty()) return std::nullopt;
+  return common::FlopsRate(per_core_rate_.mean());
+}
+
+common::Seconds Sed::queue_wait_estimate() const {
+  if (!node_.is_on()) return Seconds(node_.spec().boot_seconds);
+  if (can_accept()) return Seconds(0.0);
+  // All cores busy: the earliest running completion frees a core.
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& r : running_) earliest = std::min(earliest, r.end_time);
+  if (!std::isfinite(earliest)) return Seconds(0.0);
+  const double wait = earliest - sim_.now().value();
+  return Seconds(wait > 0.0 ? wait : 0.0);
+}
+
+}  // namespace greensched::diet

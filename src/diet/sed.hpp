@@ -1,0 +1,146 @@
+// SED: Server Daemon.
+//
+// A SED exposes computational services on one node.  When a request
+// arrives it fills an estimation vector (default function + optional
+// custom function + plug-in hook) and, if elected, executes the task on
+// its node.  It also maintains the *learned* performance and power
+// figures the green policies rank on: the paper's dynamic method derives
+// a server's power from "the energy consumed ... while computing a number
+// of past requests", and its speed from completed-task throughput.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/wattmeter.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "des/simulator.hpp"
+#include "diet/estimation.hpp"
+#include "diet/request.hpp"
+
+namespace greensched::diet {
+
+/// Completed-task record, the unit of the SED's learning history.
+struct TaskRecord {
+  common::TaskId task{};
+  common::RequestId request{};
+  common::Seconds start{0.0};
+  common::Seconds end{0.0};
+  common::Flops work{0.0};
+  std::string server_name;
+  common::NodeId node{};
+  common::ClusterId cluster{};
+  /// True when the task was killed by a node failure rather than
+  /// finishing (end is then the failure time); clients must resubmit.
+  bool failed = false;
+};
+
+struct SedConfig {
+  /// Whether the estimation vector carries nameplate (spec) figures.  The
+  /// first experiment of the paper assumes the scheduler "does not have
+  /// specific information on the nodes"; flip this off to force pure
+  /// learning.  Section III-C's boot-aware selection assumes it on.
+  bool expose_spec = true;
+  /// Cap on concurrent tasks (0 = node core count).  The paper's setup:
+  /// "a server cannot execute a number of tasks greater than its number
+  /// of cores".
+  unsigned max_concurrent = 0;
+  /// Per-service speed multiplier (DIET SEDs offer several computational
+  /// services, and a machine's throughput depends on the problem —
+  /// e.g. a memory-bound service runs below nameplate FLOPS).  Services
+  /// not listed run at factor 1.0.
+  std::map<std::string, double> service_speed_factor;
+};
+
+class Sed {
+ public:
+  using CompletionFn = std::function<void(const TaskRecord&)>;
+  /// Custom estimation function: the developer extension point of the
+  /// framework (may overwrite default tags or add custom ones).
+  using EstimationFn = std::function<void(EstimationVector&, const Request&)>;
+
+  Sed(des::Simulator& sim, cluster::Node& node, std::set<std::string> services,
+      common::Rng& rng, SedConfig config = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return node_.name(); }
+  [[nodiscard]] cluster::Node& node() noexcept { return node_; }
+  [[nodiscard]] const cluster::Node& node() const noexcept { return node_; }
+
+  [[nodiscard]] bool offers(const std::string& service) const noexcept {
+    return services_.contains(service);
+  }
+  [[nodiscard]] const std::set<std::string>& services() const noexcept { return services_; }
+
+  /// Installs a custom estimation function (replaces any previous one).
+  void set_estimation_function(EstimationFn fn) { custom_estimation_ = std::move(fn); }
+
+  /// Called by the hierarchy after each task completes (before the
+  /// client's own completion callback).
+  void set_completion_hook(CompletionFn hook) { completion_hook_ = std::move(hook); }
+
+  /// True if the SED can start a task needing `cores` cores right now.
+  [[nodiscard]] bool can_accept(unsigned cores = 1) const noexcept;
+
+  /// Builds the estimation vector for `request` (default function, then
+  /// custom function, then the plug-in's estimate hook is applied by the
+  /// agent).
+  [[nodiscard]] EstimationVector fill_estimation(const Request& request);
+
+  /// Starts executing `task`; requires can_accept().  `on_complete` fires
+  /// at completion time (simulated) — or at failure time with
+  /// record.failed set.
+  common::TaskId execute(const workload::TaskInstance& task, common::RequestId request,
+                         CompletionFn on_complete);
+
+  /// Crashes the node: every running task is killed (its on_complete
+  /// fires with record.failed = true so the client can resubmit) and the
+  /// node transitions to FAILED.  Returns the number of tasks killed.
+  std::size_t inject_failure();
+
+  // --- learned figures ---
+  /// Dynamic power estimate (energy over past computations / active
+  /// time); nullopt while the server has not computed anything yet — the
+  /// "learning phase" the paper observes.
+  [[nodiscard]] std::optional<common::Watts> measured_power();
+  /// Mean per-core throughput over completed tasks; nullopt before the
+  /// first completion.
+  [[nodiscard]] std::optional<common::FlopsRate> measured_flops_per_core() const;
+  /// Estimated wait until a core frees (w_s); zero when a core is free.
+  [[nodiscard]] common::Seconds queue_wait_estimate() const;
+  /// Speed multiplier this SED applies to `service` (1.0 if unlisted).
+  [[nodiscard]] double service_speed(const std::string& service) const noexcept;
+
+  [[nodiscard]] std::uint64_t tasks_completed() const noexcept { return history_.size(); }
+  [[nodiscard]] std::uint64_t tasks_running() const noexcept { return running_.size(); }
+  [[nodiscard]] const std::vector<TaskRecord>& history() const noexcept { return history_; }
+  [[nodiscard]] std::uint64_t estimations_served() const noexcept { return estimations_served_; }
+
+ private:
+  void complete(std::size_t running_index);
+
+  des::Simulator& sim_;
+  cluster::Node& node_;
+  std::set<std::string> services_;
+  common::Rng rng_;
+  SedConfig config_;
+  EstimationFn custom_estimation_;
+  CompletionFn completion_hook_;
+
+  struct RunningTask {
+    TaskRecord record;
+    CompletionFn on_complete;
+    double end_time;
+    des::EventHandle completion_event;
+  };
+  std::vector<RunningTask> running_;
+  std::vector<TaskRecord> history_;
+  common::RunningStats per_core_rate_;  ///< FLOP/s samples from completions
+  std::uint64_t estimations_served_ = 0;
+};
+
+}  // namespace greensched::diet

@@ -1,0 +1,91 @@
+#include "green/budget.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+
+using common::Joules;
+using common::Seconds;
+using common::Watts;
+
+BudgetGovernor::BudgetGovernor(des::Simulator& sim, cluster::Platform& platform,
+                               Provisioner& provisioner, BudgetConfig config)
+    : sim_(sim),
+      platform_(platform),
+      provisioner_(provisioner),
+      config_(config),
+      process_(sim, config.check_period, [this](des::SimTime at) { return tick(at); }) {
+  if (config_.budget_per_period.value() <= 0.0)
+    throw common::ConfigError("BudgetGovernor: budget must be positive");
+  if (config_.period.value() <= 0.0)
+    throw common::ConfigError("BudgetGovernor: period must be positive");
+  if (config_.check_period.value() > config_.period.value())
+    throw common::ConfigError("BudgetGovernor: check period exceeds accounting period");
+  if (config_.min_cap == 0)
+    throw common::ConfigError("BudgetGovernor: min_cap must be at least 1");
+}
+
+BudgetGovernor::~BudgetGovernor() {
+  if (started_) provisioner_.set_external_cap(std::nullopt);
+}
+
+void BudgetGovernor::start() {
+  if (started_) throw common::StateError("BudgetGovernor: already started");
+  started_ = true;
+  const des::SimTime now = sim_.now();
+  period_start_time_ = now.value();
+  period_start_energy_ = platform_.total_energy(now).value();
+  current_cap_ = platform_.node_count();
+  process_.start();
+}
+
+Joules BudgetGovernor::spent_this_period() {
+  return Joules(platform_.total_energy(sim_.now()).value() - period_start_energy_);
+}
+
+std::size_t BudgetGovernor::cap_for_allowance(Watts allowed) const {
+  // Accumulate nameplate peaks over the provisioner's efficiency order
+  // until the allowance is exhausted — the budget variant of Algorithm 1.
+  std::size_t cap = 0;
+  double accumulated = 0.0;
+  for (std::size_t index : provisioner_.efficiency_order()) {
+    accumulated += platform_.node(index).spec().peak_watts.value();
+    if (accumulated > allowed.value()) break;
+    ++cap;
+  }
+  return std::max(cap, config_.min_cap);
+}
+
+void BudgetGovernor::roll_period(des::SimTime at) {
+  const double total = platform_.total_energy(at).value();
+  const double spent = total - period_start_energy_;
+  if (spent > config_.budget_per_period.value()) ++overruns_;
+  ++periods_completed_;
+  period_start_time_ += config_.period.value();
+  // Approximation: spend accrued between the period boundary and this
+  // check is charged to the period that just closed.
+  period_start_energy_ = total;
+}
+
+bool BudgetGovernor::tick(des::SimTime at) {
+  while (at.value() >= period_start_time_ + config_.period.value()) {
+    roll_period(at);
+  }
+
+  const double spent = platform_.total_energy(at).value() - period_start_energy_;
+  const double remaining_budget = config_.budget_per_period.value() - spent;
+  const double remaining_time = period_start_time_ + config_.period.value() - at.value();
+
+  std::size_t cap = config_.min_cap;
+  if (remaining_budget > 0.0 && remaining_time > 0.0) {
+    cap = cap_for_allowance(Watts(remaining_budget / remaining_time));
+  }
+  current_cap_ = cap;
+  provisioner_.set_external_cap(cap);
+
+  cap_series_.add(at.value(), static_cast<double>(cap));
+  spend_series_.add(at.value(), spent);
+  return true;
+}
+
+}  // namespace greensched::green

@@ -1,0 +1,77 @@
+// Budget-constrained provisioning.
+//
+// Section III-B: the provider preference "enables the management of
+// budget limits"; the conclusions name budget-constrained scheduling as
+// future work.  The BudgetGovernor implements it on top of the
+// provisioner: given an energy budget per accounting period, it tracks
+// actual spend, projects the mean power the platform may draw for the
+// rest of the period, converts that allowance into a candidate-node cap
+// (accumulating nameplate peaks in GreenPerf order, Algorithm 1 style)
+// and installs the cap on the provisioner.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/platform.hpp"
+#include "common/stats.hpp"
+#include "des/simulator.hpp"
+#include "green/provisioner.hpp"
+
+namespace greensched::green {
+
+struct BudgetConfig {
+  common::Joules budget_per_period{3.6e6};  ///< default: 1 kWh
+  des::SimDuration period{3600.0};          ///< accounting period
+  des::SimDuration check_period{300.0};
+  std::size_t min_cap = 1;  ///< never cap below this many candidates
+};
+
+class BudgetGovernor {
+ public:
+  BudgetGovernor(des::Simulator& sim, cluster::Platform& platform, Provisioner& provisioner,
+                 BudgetConfig config = {});
+  ~BudgetGovernor();
+  BudgetGovernor(const BudgetGovernor&) = delete;
+  BudgetGovernor& operator=(const BudgetGovernor&) = delete;
+
+  /// Starts the accounting period at the current time and begins checks.
+  void start();
+  void stop() noexcept { process_.stop(); }
+
+  // --- observability ---
+  /// Energy consumed since the current period began.
+  [[nodiscard]] common::Joules spent_this_period();
+  /// The cap currently installed on the provisioner.
+  [[nodiscard]] std::size_t current_cap() const noexcept { return current_cap_; }
+  /// Completed periods whose spend exceeded the budget.
+  [[nodiscard]] std::uint64_t overruns() const noexcept { return overruns_; }
+  [[nodiscard]] std::uint64_t periods_completed() const noexcept { return periods_completed_; }
+  /// (time, cap) and (time, joules spent so far in period) per check.
+  [[nodiscard]] const common::TimeSeries& cap_series() const noexcept { return cap_series_; }
+  [[nodiscard]] const common::TimeSeries& spend_series() const noexcept { return spend_series_; }
+
+  /// Cap for a given power allowance: how many nodes, in GreenPerf
+  /// order, fit under `allowed` watts of summed nameplate peak.
+  [[nodiscard]] std::size_t cap_for_allowance(common::Watts allowed) const;
+
+ private:
+  bool tick(des::SimTime at);
+  void roll_period(des::SimTime at);
+
+  des::Simulator& sim_;
+  cluster::Platform& platform_;
+  Provisioner& provisioner_;
+  BudgetConfig config_;
+
+  double period_start_time_ = 0.0;
+  double period_start_energy_ = 0.0;
+  std::size_t current_cap_ = 0;
+  std::uint64_t overruns_ = 0;
+  std::uint64_t periods_completed_ = 0;
+  bool started_ = false;
+  common::TimeSeries cap_series_;
+  common::TimeSeries spend_series_;
+  des::PeriodicProcess process_;
+};
+
+}  // namespace greensched::green

@@ -1,0 +1,52 @@
+#include "green/candidate_selection.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+
+using common::Watts;
+
+void sort_by_greenperf(std::vector<RankedServer>& servers) {
+  std::stable_sort(servers.begin(), servers.end(),
+                   [](const RankedServer& a, const RankedServer& b) {
+                     return a.greenperf < b.greenperf;
+                   });
+}
+
+Watts total_power(const std::vector<RankedServer>& servers) noexcept {
+  Watts total{0.0};
+  for (const auto& s : servers) total += s.power;
+  return total;
+}
+
+std::vector<RankedServer> select_candidate_servers(std::vector<RankedServer> servers,
+                                                   double provider_preference) {
+  if (provider_preference < 0.0 || provider_preference > 1.0)
+    throw common::ConfigError("select_candidate_servers: preference outside [0,1]");
+  for (const auto& s : servers) {
+    if (s.power.value() < 0.0)
+      throw common::ConfigError("select_candidate_servers: negative power for '" + s.name + "'");
+  }
+
+  // Lines 1-5: P_total and P_required.
+  const Watts p_total = total_power(servers);
+  const double p_required = provider_preference * p_total.value();
+
+  // Line 6-12: greedy accumulation over the GreenPerf-sorted list.
+  sort_by_greenperf(servers);
+  std::vector<RankedServer> selected;
+  double accumulated = 0.0;
+  std::size_t next = 0;
+  // Tolerate floating-point round-off so preference == 1.0 selects all.
+  const double epsilon = 1e-9 * std::max(1.0, p_total.value());
+  while (accumulated + epsilon < p_required && next < servers.size()) {
+    accumulated += servers[next].power.value();
+    selected.push_back(std::move(servers[next]));
+    ++next;
+  }
+  return selected;
+}
+
+}  // namespace greensched::green

@@ -1,0 +1,39 @@
+// Algorithm 1: greedy selection of candidate servers under a power cap.
+//
+// Given the servers sorted by GreenPerf and the provider preference, the
+// algorithm computes P_required = Preference_provider * P_total and adds
+// servers (most efficient first) until their accumulated power reaches
+// P_required.  A higher preference therefore exposes more servers for the
+// period, always favouring the efficient ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace greensched::green {
+
+struct RankedServer {
+  common::NodeId node{};
+  std::string name;
+  common::Watts power{0.0};  ///< the server's contribution to P_total
+  double greenperf = 0.0;    ///< sort key, lower = more efficient
+};
+
+/// Sorts `servers` by GreenPerf ascending (stable: equal ratios keep
+/// their input order).
+void sort_by_greenperf(std::vector<RankedServer>& servers);
+
+/// Algorithm 1.  `provider_preference` must be in [0, 1]; `servers` need
+/// not be pre-sorted (the function sorts a copy).  Returns the selected
+/// servers, most efficient first.  preference 0 selects nothing;
+/// preference 1 selects every server.
+[[nodiscard]] std::vector<RankedServer> select_candidate_servers(
+    std::vector<RankedServer> servers, double provider_preference);
+
+/// Total power of a server list (the algorithm's P_total).
+[[nodiscard]] common::Watts total_power(const std::vector<RankedServer>& servers) noexcept;
+
+}  // namespace greensched::green

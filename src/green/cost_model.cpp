@@ -1,0 +1,50 @@
+#include "green/cost_model.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+
+using common::ConfigError;
+using common::Flops;
+using common::Joules;
+using common::Seconds;
+using diet::EstTag;
+
+void ServerCostInputs::validate() const {
+  if (flops.value() <= 0.0) throw ConfigError("ServerCostInputs: flops must be positive");
+  if (full_load_watts.value() < 0.0 || boot_watts.value() < 0.0)
+    throw ConfigError("ServerCostInputs: negative power");
+  if (boot_seconds.value() < 0.0 || queue_wait.value() < 0.0)
+    throw ConfigError("ServerCostInputs: negative duration");
+}
+
+ServerCostInputs ServerCostInputs::from_estimation(const diet::EstimationVector& est) {
+  ServerCostInputs in;
+  // Prefer learned throughput; fall back to the nameplate figure.
+  const double per_core = est.get_or(EstTag::kMeasuredFlopsPerCore,
+                                     est.get(EstTag::kSpecFlopsPerCore));
+  in.flops = common::FlopsRate(per_core);  // single-core tasks: f_s is per-core rate
+  in.full_load_watts = common::Watts(est.get_or(
+      EstTag::kMeasuredPowerWatts, est.get(EstTag::kSpecPeakPowerWatts)));
+  in.boot_watts = common::Watts(est.get(EstTag::kBootPowerWatts));
+  in.boot_seconds = Seconds(est.get(EstTag::kBootSeconds));
+  in.queue_wait = Seconds(est.get_or(EstTag::kQueueWaitSeconds, 0.0));
+  in.active = est.get_or(EstTag::kNodeOn, 1.0) != 0.0;
+  in.validate();
+  return in;
+}
+
+Seconds computation_time(const ServerCostInputs& server, Flops work) {
+  const Seconds compute = work / server.flops;
+  if (server.active) return server.queue_wait + compute;
+  return server.boot_seconds + compute;
+}
+
+Joules energy_consumption(const ServerCostInputs& server, Flops work) {
+  const Seconds compute = work / server.flops;
+  const Joules compute_energy = server.full_load_watts * compute;
+  if (server.active) return compute_energy;
+  return server.boot_seconds * server.boot_watts + compute_energy;
+}
+
+}  // namespace greensched::green

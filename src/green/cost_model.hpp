@@ -1,0 +1,43 @@
+// Per-task cost model (Section III-C, Eqs. 4-5).
+//
+// For a task of n_i FLOPs on server s, the time and energy to completion
+// depend on whether s is already active:
+//
+//   time   = w_s  + n_i/f_s                (active)
+//          = bt_s + n_i/f_s                (inactive: boot first)
+//   energy = c_s * n_i/f_s                 (active)
+//          = bt_s * bc_s + c_s * n_i/f_s   (inactive: boot energy added)
+//
+// This is what lets the scheduler weigh waking a sleeping efficient
+// server against queueing on a busy one.
+#pragma once
+
+#include "common/units.hpp"
+#include "diet/estimation.hpp"
+
+namespace greensched::green {
+
+/// The per-server quantities of Section III-C.
+struct ServerCostInputs {
+  common::FlopsRate flops{0.0};       ///< f_s: rate the task will run at
+  common::Watts full_load_watts{0.0}; ///< c_s
+  common::Watts boot_watts{0.0};      ///< bc_s
+  common::Seconds boot_seconds{0.0};  ///< bt_s
+  common::Seconds queue_wait{0.0};    ///< w_s
+  bool active = true;                 ///< is the server powered on?
+
+  void validate() const;
+
+  /// Builds inputs from a SED estimation vector (spec tags + queue wait +
+  /// power state).  Throws StateError when required tags are missing.
+  static ServerCostInputs from_estimation(const diet::EstimationVector& est);
+};
+
+/// Eq. 4.
+[[nodiscard]] common::Seconds computation_time(const ServerCostInputs& server, common::Flops work);
+
+/// Eq. 5.
+[[nodiscard]] common::Joules energy_consumption(const ServerCostInputs& server,
+                                                common::Flops work);
+
+}  // namespace greensched::green

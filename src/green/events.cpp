@@ -1,0 +1,92 @@
+#include "green/events.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+
+using common::ConfigError;
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kElectricityCost: return "electricity-cost";
+    case EventKind::kTemperature: return "temperature";
+  }
+  return "?";
+}
+
+void EventSchedule::add(EnergyEvent event) {
+  if (event.announced_at > event.at)
+    throw ConfigError("EventSchedule: event announced after it takes effect");
+  if (event.kind == EventKind::kElectricityCost && (event.value < 0.0 || event.value > 1.0))
+    throw ConfigError("EventSchedule: electricity cost outside [0,1]");
+  auto it = std::upper_bound(events_.begin(), events_.end(), event.at,
+                             [](double t, const EnergyEvent& e) { return t < e.at; });
+  events_.insert(it, std::move(event));
+}
+
+EnergyEvent EventSchedule::scheduled_cost_change(double at, double value, double notice,
+                                                 std::string description) {
+  if (notice < 0.0) throw ConfigError("EventSchedule: negative notice period");
+  EnergyEvent e;
+  e.kind = EventKind::kElectricityCost;
+  e.at = at;
+  e.value = value;
+  e.announced_at = at - notice;
+  e.description = std::move(description);
+  return e;
+}
+
+EnergyEvent EventSchedule::unexpected_temperature(double at, double celsius,
+                                                  std::string description) {
+  EnergyEvent e;
+  e.kind = EventKind::kTemperature;
+  e.at = at;
+  e.value = celsius;
+  e.announced_at = at;  // visible only once it happens
+  e.description = std::move(description);
+  return e;
+}
+
+double EventSchedule::cost_at(double t) const noexcept {
+  double cost = initial_cost_;
+  for (const auto& e : events_) {
+    if (e.at > t) break;
+    if (e.kind == EventKind::kElectricityCost) cost = e.value;
+  }
+  return cost;
+}
+
+void EventSchedule::set_initial_cost(double cost) {
+  if (cost < 0.0 || cost > 1.0) throw ConfigError("EventSchedule: initial cost outside [0,1]");
+  initial_cost_ = cost;
+}
+
+std::optional<EnergyEvent> EventSchedule::next_visible_cost_change(double now,
+                                                                   double horizon) const {
+  for (const auto& e : events_) {
+    if (e.kind != EventKind::kElectricityCost) continue;
+    if (e.at <= now) continue;            // already in effect
+    if (e.at > now + horizon) break;      // beyond the forecast window
+    if (e.announced_at > now) continue;   // not announced yet
+    return e;
+  }
+  return std::nullopt;
+}
+
+EventInjector::EventInjector(des::Simulator& sim, cluster::Platform& platform,
+                             const EventSchedule& schedule) {
+  for (const auto& event : schedule.events()) {
+    if (event.kind != EventKind::kTemperature) continue;
+    if (event.at < sim.now().value())
+      throw ConfigError("EventInjector: temperature event in the past");
+    const double ambient = event.value;
+    sim.schedule_at(des::SimTime(event.at), [&platform, ambient] {
+      platform.set_ambient(common::Celsius(ambient));
+    });
+    ++injected_;
+  }
+}
+
+}  // namespace greensched::green

@@ -1,0 +1,79 @@
+// Energy-related events (Section IV-C).
+//
+// Two kinds drive the adaptive provisioning experiment: electricity-cost
+// changes and temperature excursions.  Events are *scheduled* (the Master
+// Agent learns them some time in advance, e.g. tariff changes announced
+// by the energy provider) or *unexpected* (visible only once they occur,
+// e.g. a heat peak).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "des/simulator.hpp"
+
+namespace greensched::green {
+
+enum class EventKind { kElectricityCost, kTemperature };
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+struct EnergyEvent {
+  EventKind kind = EventKind::kElectricityCost;
+  double at = 0.0;            ///< when the event takes effect (sim seconds)
+  double value = 0.0;         ///< new cost in [0,1], or new ambient degC
+  double announced_at = 0.0;  ///< when the scheduler can first see it
+  std::string description;
+
+  [[nodiscard]] bool scheduled() const noexcept { return announced_at < at; }
+};
+
+/// The event timeline: ground truth plus the scheduler's restricted view.
+class EventSchedule {
+ public:
+  /// Adds an event; `announced_at` must be <= `at` and cost values must
+  /// lie in [0, 1].
+  void add(EnergyEvent event);
+
+  /// Convenience factories.
+  static EnergyEvent scheduled_cost_change(double at, double value, double notice,
+                                           std::string description = {});
+  static EnergyEvent unexpected_temperature(double at, double celsius,
+                                            std::string description = {});
+
+  /// Ground-truth electricity cost at time t (initial cost until the
+  /// first cost event).
+  [[nodiscard]] double cost_at(double t) const noexcept;
+  void set_initial_cost(double cost);
+  [[nodiscard]] double initial_cost() const noexcept { return initial_cost_; }
+
+  /// The scheduler's forecast: among cost events already announced by
+  /// `now` and taking effect within (now, now + horizon], the earliest.
+  [[nodiscard]] std::optional<EnergyEvent> next_visible_cost_change(double now,
+                                                                    double horizon) const;
+
+  [[nodiscard]] const std::vector<EnergyEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<EnergyEvent> events_;  ///< sorted by `at`
+  double initial_cost_ = 1.0;        ///< the paper starts at regular time
+};
+
+/// Applies the physical side of events to the platform: temperature
+/// events change the thermal ambient at their effect time (cost events
+/// have no physical effect — the provisioner reads them from the
+/// schedule).
+class EventInjector {
+ public:
+  EventInjector(des::Simulator& sim, cluster::Platform& platform, const EventSchedule& schedule);
+
+  [[nodiscard]] std::size_t injected() const noexcept { return injected_; }
+
+ private:
+  std::size_t injected_ = 0;
+};
+
+}  // namespace greensched::green

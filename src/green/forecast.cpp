@@ -1,0 +1,95 @@
+#include "green/forecast.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace greensched::green {
+
+using common::ConfigError;
+
+UsageForecaster::UsageForecaster(ForecasterConfig config) : config_(config) {
+  if (config_.window == 0) throw ConfigError("UsageForecaster: window must be positive");
+  if (config_.season_seconds <= 0.0)
+    throw ConfigError("UsageForecaster: season must be positive");
+  if (config_.season_slack_seconds < 0.0)
+    throw ConfigError("UsageForecaster: negative season slack");
+  if (config_.seasons == 0) throw ConfigError("UsageForecaster: need at least one season");
+}
+
+void UsageForecaster::observe(double t, double utilization) {
+  if (utilization < 0.0 || utilization > 1.0)
+    throw ConfigError("UsageForecaster: utilization outside [0, 1]");
+  // Track one-step-ahead accuracy before absorbing the sample.
+  if (auto predicted = predict(t)) {
+    abs_error_sum_ += std::fabs(*predicted - utilization);
+    ++error_count_;
+  }
+  history_.add(t, utilization);
+}
+
+std::optional<double> UsageForecaster::predict(double t) const {
+  switch (config_.method) {
+    case ForecastMethod::kLastValue: return predict_last();
+    case ForecastMethod::kWindowMean: return predict_window_mean();
+    case ForecastMethod::kSeasonal: return predict_seasonal(t);
+  }
+  return std::nullopt;
+}
+
+double UsageForecaster::predict_or(double t, double fallback) const {
+  const auto p = predict(t);
+  return common::clamp(p.value_or(fallback), 0.0, 1.0);
+}
+
+std::optional<double> UsageForecaster::predict_last() const {
+  if (history_.empty()) return std::nullopt;
+  return history_.value_at(history_.size() - 1);
+}
+
+std::optional<double> UsageForecaster::predict_window_mean() const {
+  if (history_.empty()) return std::nullopt;
+  const std::size_t n = std::min(config_.window, history_.size());
+  double sum = 0.0;
+  for (std::size_t i = history_.size() - n; i < history_.size(); ++i) {
+    sum += history_.value_at(i);
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::optional<double> UsageForecaster::predict_seasonal(double t) const {
+  // Average the samples closest to t - k*season, k = 1..seasons, within
+  // the slack.  Falls back to the window mean while history is shorter
+  // than one season (cold start).
+  double sum = 0.0;
+  std::size_t found = 0;
+  for (std::size_t k = 1; k <= config_.seasons; ++k) {
+    const double target = t - static_cast<double>(k) * config_.season_seconds;
+    if (target < 0.0) break;
+    // Nearest sample to `target`.
+    std::optional<double> best_value;
+    double best_distance = config_.season_slack_seconds;
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+      const double distance = std::fabs(history_.time_at(i) - target);
+      if (distance <= best_distance) {
+        best_distance = distance;
+        best_value = history_.value_at(i);
+      }
+      if (history_.time_at(i) > target + config_.season_slack_seconds) break;
+    }
+    if (best_value) {
+      sum += *best_value;
+      ++found;
+    }
+  }
+  if (found == 0) return predict_window_mean();
+  return sum / static_cast<double>(found);
+}
+
+std::optional<double> UsageForecaster::mean_absolute_error() const {
+  if (error_count_ == 0) return std::nullopt;
+  return abs_error_sum_ / static_cast<double>(error_count_);
+}
+
+}  // namespace greensched::green

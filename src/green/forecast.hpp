@@ -1,0 +1,71 @@
+// Resource-usage forecasting (Section III-B).
+//
+// The provider preference's utilization term is meant to come from a
+// forecast: "Resource usage forecast: using historical data to identify
+// patterns and ensure the responsiveness of the platform during peak
+// periods."  This module records utilization samples and predicts the
+// next period with three estimators:
+//
+//   kLastValue   — naive hold,
+//   kWindowMean  — mean of the trailing window,
+//   kSeasonal    — mean of samples one season (e.g. one day) apart:
+//                  picks up the daily peak pattern the paper targets.
+//
+// The provisioner (kPowerCap mode) can read the forecast instead of the
+// instantaneous utilization, so the pool is sized for the *coming*
+// period — provisioned before the peak arrives.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/stats.hpp"
+
+namespace greensched::green {
+
+enum class ForecastMethod { kLastValue, kWindowMean, kSeasonal };
+
+struct ForecasterConfig {
+  ForecastMethod method = ForecastMethod::kSeasonal;
+  /// Trailing samples used by kWindowMean (and the seasonal fallback).
+  std::size_t window = 6;
+  /// Season length in seconds for kSeasonal (default: one day).
+  double season_seconds = 86400.0;
+  /// Tolerance when matching "one season ago" timestamps.
+  double season_slack_seconds = 600.0;
+  /// Seasons averaged by kSeasonal.
+  std::size_t seasons = 3;
+};
+
+class UsageForecaster {
+ public:
+  explicit UsageForecaster(ForecasterConfig config = {});
+
+  /// Records a utilization sample in [0, 1] at time `t` (non-decreasing).
+  void observe(double t, double utilization);
+
+  /// Predicts utilization at future time `t`; nullopt with no history.
+  [[nodiscard]] std::optional<double> predict(double t) const;
+  /// Convenience: prediction clamped to [0,1] with a fallback value.
+  [[nodiscard]] double predict_or(double t, double fallback) const;
+
+  [[nodiscard]] std::size_t samples() const noexcept { return history_.size(); }
+  [[nodiscard]] const common::TimeSeries& history() const noexcept { return history_; }
+
+  /// Mean absolute error of one-step-ahead predictions so far (how well
+  /// the chosen method fits this platform's pattern); nullopt until at
+  /// least two samples arrived.
+  [[nodiscard]] std::optional<double> mean_absolute_error() const;
+
+ private:
+  [[nodiscard]] std::optional<double> predict_last() const;
+  [[nodiscard]] std::optional<double> predict_window_mean() const;
+  [[nodiscard]] std::optional<double> predict_seasonal(double t) const;
+
+  ForecasterConfig config_;
+  common::TimeSeries history_;
+  double abs_error_sum_ = 0.0;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace greensched::green

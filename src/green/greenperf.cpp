@@ -1,0 +1,42 @@
+#include "green/greenperf.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+
+using diet::EstTag;
+
+double greenperf_ratio(common::Watts power, common::FlopsRate performance) {
+  if (performance.value() <= 0.0)
+    throw common::ConfigError("greenperf_ratio: performance must be positive");
+  if (power.value() < 0.0) throw common::ConfigError("greenperf_ratio: negative power");
+  return power.value() / performance.value();
+}
+
+std::optional<double> measured_greenperf(const diet::EstimationVector& est) {
+  const auto power = est.find(EstTag::kMeasuredPowerWatts);
+  const auto rate = est.find(EstTag::kMeasuredFlopsPerCore);
+  if (!power || !rate) return std::nullopt;
+  const double cores = est.get_or(EstTag::kTotalCores, 1.0);
+  // Power is a whole-node figure; performance scales with the core count.
+  const double node_rate = *rate * cores;
+  if (node_rate <= 0.0) return std::nullopt;
+  return *power / node_rate;
+}
+
+std::optional<double> spec_greenperf(const diet::EstimationVector& est) {
+  const auto power = est.find(EstTag::kSpecPeakPowerWatts);
+  const auto rate = est.find(EstTag::kSpecFlopsPerCore);
+  if (!power || !rate) return std::nullopt;
+  const double cores = est.get_or(EstTag::kTotalCores, 1.0);
+  const double node_rate = *rate * cores;
+  if (node_rate <= 0.0) return std::nullopt;
+  return *power / node_rate;
+}
+
+std::optional<double> best_greenperf(const diet::EstimationVector& est) {
+  if (auto dynamic = measured_greenperf(est)) return dynamic;
+  return spec_greenperf(est);
+}
+
+}  // namespace greensched::green

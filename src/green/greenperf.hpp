@@ -1,0 +1,31 @@
+// GreenPerf: the paper's energy-efficiency metric.
+//
+// GreenPerf ranks servers by the ratio power consumption / performance
+// (watts per FLOP/s); lower is better.  The paper favours the *dynamic*
+// method: power is estimated from energy consumed over recent requests
+// (the SED's measured tags), not from a one-shot benchmark.
+#pragma once
+
+#include <optional>
+
+#include "common/units.hpp"
+#include "diet/estimation.hpp"
+
+namespace greensched::green {
+
+/// Ratio of power to performance; lower means more energy-efficient.
+[[nodiscard]] double greenperf_ratio(common::Watts power, common::FlopsRate performance);
+
+/// GreenPerf from a server's *measured* (learned) figures; nullopt while
+/// the server is still in its learning phase.
+[[nodiscard]] std::optional<double> measured_greenperf(const diet::EstimationVector& est);
+
+/// GreenPerf from nameplate figures (the static method the paper
+/// deprecates but which Algorithm 1 and the provisioner can fall back
+/// on); nullopt when the vector carries no spec tags.
+[[nodiscard]] std::optional<double> spec_greenperf(const diet::EstimationVector& est);
+
+/// Dynamic-first: measured figure when available, else spec, else nullopt.
+[[nodiscard]] std::optional<double> best_greenperf(const diet::EstimationVector& est);
+
+}  // namespace greensched::green

@@ -1,0 +1,100 @@
+#include "green/planning.hpp"
+
+#include <algorithm>
+
+namespace greensched::green {
+
+using common::ReadGuard;
+using common::WriteGuard;
+
+void ProvisioningPlanning::add_entry(const PlanningEntry& entry) {
+  WriteGuard guard(lock_);
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), entry.timestamp,
+                             [](const PlanningEntry& e, double t) { return e.timestamp < t; });
+  if (it != entries_.end() && it->timestamp == entry.timestamp) {
+    *it = entry;
+  } else {
+    entries_.insert(it, entry);
+  }
+}
+
+std::optional<PlanningEntry> ProvisioningPlanning::at_or_before(double t) const {
+  ReadGuard guard(lock_);
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), t,
+                             [](double time, const PlanningEntry& e) { return time < e.timestamp; });
+  if (it == entries_.begin()) return std::nullopt;
+  return *(it - 1);
+}
+
+std::optional<PlanningEntry> ProvisioningPlanning::next_after(double t) const {
+  ReadGuard guard(lock_);
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), t,
+                             [](double time, const PlanningEntry& e) { return time < e.timestamp; });
+  if (it == entries_.end()) return std::nullopt;
+  return *it;
+}
+
+std::vector<PlanningEntry> ProvisioningPlanning::between(double t0, double t1) const {
+  ReadGuard guard(lock_);
+  std::vector<PlanningEntry> out;
+  for (const auto& e : entries_) {
+    if (e.timestamp >= t0 && e.timestamp <= t1) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<PlanningEntry> ProvisioningPlanning::all() const {
+  ReadGuard guard(lock_);
+  return entries_;
+}
+
+std::size_t ProvisioningPlanning::size() const {
+  ReadGuard guard(lock_);
+  return entries_.size();
+}
+
+xmlite::Document ProvisioningPlanning::to_xml() const {
+  ReadGuard guard(lock_);
+  xmlite::Element root("planning");
+  for (const auto& e : entries_) {
+    xmlite::Element& ts = root.add_child("timestamp");
+    ts.set_attribute("value", e.timestamp);
+    ts.add_child("temperature").set_text(e.temperature);
+    ts.add_child("candidates").set_text(static_cast<double>(e.candidates));
+    ts.add_child("electricity_cost").set_text(e.electricity_cost);
+  }
+  return xmlite::Document(std::move(root));
+}
+
+void ProvisioningPlanning::load_xml(const xmlite::Document& doc) {
+  const xmlite::Element& root = doc.root();
+  if (root.name() != "planning")
+    throw xmlite::ParseError("planning file: expected <planning> root, got <" + root.name() + ">",
+                             0, 0);
+  std::vector<PlanningEntry> loaded;
+  for (const xmlite::Element* ts : root.find_children("timestamp")) {
+    PlanningEntry e;
+    e.timestamp = ts->attribute_as_double("value");
+    e.temperature = ts->require_child("temperature").text_as_double();
+    const long long candidates = ts->require_child("candidates").text_as_int();
+    if (candidates < 0)
+      throw xmlite::ParseError("planning file: negative candidate count", 0, 0);
+    e.candidates = static_cast<std::size_t>(candidates);
+    e.electricity_cost = ts->require_child("electricity_cost").text_as_double();
+    loaded.push_back(e);
+  }
+  std::stable_sort(loaded.begin(), loaded.end(),
+                   [](const PlanningEntry& a, const PlanningEntry& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  WriteGuard guard(lock_);
+  entries_ = std::move(loaded);
+}
+
+std::string ProvisioningPlanning::to_xml_string() const { return to_xml().to_string(); }
+
+void ProvisioningPlanning::load_xml_string(const std::string& text) {
+  load_xml(xmlite::Document::parse(text));
+}
+
+}  // namespace greensched::green

@@ -1,0 +1,68 @@
+// Provisioning planning (Section III-C / Fig. 8).
+//
+// A time-stamped record of the platform status — temperature, number of
+// candidate nodes, electricity cost — shared between the provisioner (the
+// writer) and any monitoring or forecasting component (readers) through a
+// readers-writer lock, and serialized as the XML file of Fig. 8:
+//
+//   <timestamp value="1385896446">
+//     <temperature>23.5</temperature>
+//     <candidates>8</candidates>
+//     <electricity_cost>0.6</electricity_cost>
+//   </timestamp>
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rw_lock.hpp"
+#include "xmlite/xml.hpp"
+
+namespace greensched::green {
+
+struct PlanningEntry {
+  double timestamp = 0.0;  ///< simulated seconds (or epoch seconds)
+  double temperature = 0.0;
+  std::size_t candidates = 0;
+  double electricity_cost = 0.0;
+};
+
+class ProvisioningPlanning {
+ public:
+  ProvisioningPlanning() = default;
+  ProvisioningPlanning(const ProvisioningPlanning&) = delete;
+  ProvisioningPlanning& operator=(const ProvisioningPlanning&) = delete;
+
+  /// Inserts (or replaces, for an equal timestamp) an entry; keeps the
+  /// record sorted.  Takes the write lock.
+  void add_entry(const PlanningEntry& entry);
+
+  /// Latest entry with timestamp <= t.  Takes the read lock.
+  [[nodiscard]] std::optional<PlanningEntry> at_or_before(double t) const;
+  /// Earliest entry with timestamp > t (the scheduler's forecast peek).
+  [[nodiscard]] std::optional<PlanningEntry> next_after(double t) const;
+  /// Entries with t0 <= timestamp <= t1, in time order.
+  [[nodiscard]] std::vector<PlanningEntry> between(double t0, double t1) const;
+  [[nodiscard]] std::vector<PlanningEntry> all() const;
+  [[nodiscard]] std::size_t size() const;
+
+  // --- XML round trip (the Fig. 8 file format) ---
+  [[nodiscard]] xmlite::Document to_xml() const;
+  /// Replaces the contents from a parsed planning document; throws
+  /// ParseError on malformed input.
+  void load_xml(const xmlite::Document& doc);
+  /// Serializes to / parses from text.
+  [[nodiscard]] std::string to_xml_string() const;
+  void load_xml_string(const std::string& text);
+
+  /// Lock observability (micro-benchmarks and tests).
+  [[nodiscard]] std::uint64_t reads() const noexcept { return lock_.shared_acquisitions(); }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return lock_.exclusive_acquisitions(); }
+
+ private:
+  mutable common::ReadersWriterLock lock_;
+  std::vector<PlanningEntry> entries_;  ///< sorted by timestamp
+};
+
+}  // namespace greensched::green

@@ -1,0 +1,156 @@
+#include "green/policies.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "green/greenperf.hpp"
+#include "green/score.hpp"
+#include "green/spatial.hpp"
+
+namespace greensched::green {
+
+using diet::Candidate;
+using diet::EstTag;
+using diet::Request;
+
+namespace {
+
+double tie_break(const Candidate& c) { return c.estimation.get_or(EstTag::kRandomDraw, 0.0); }
+
+/// Whole-node measured speed: per-core learned throughput times cores.
+std::optional<double> measured_node_flops(const diet::EstimationVector& est) {
+  const auto per_core = est.find(EstTag::kMeasuredFlopsPerCore);
+  if (!per_core) return std::nullopt;
+  return *per_core * est.get_or(EstTag::kTotalCores, 1.0);
+}
+
+std::optional<double> spec_node_flops(const diet::EstimationVector& est) {
+  const auto per_core = est.find(EstTag::kSpecFlopsPerCore);
+  if (!per_core) return std::nullopt;
+  return *per_core * est.get_or(EstTag::kTotalCores, 1.0);
+}
+
+}  // namespace
+
+void KeyedPolicy::aggregate(std::vector<Candidate>& candidates, const Request& request) const {
+  struct Ranked {
+    bool unknown;
+    double key;
+    double tie;
+  };
+  auto rank_of = [&](const Candidate& c) -> Ranked {
+    std::optional<double> key;
+    if (unknown_ == UnknownRanking::kSpecOnly) {
+      key = spec_key(c.estimation, request);  // static method: never measure
+    } else {
+      key = measured_key(c.estimation, request);
+      if (!key && unknown_ == UnknownRanking::kSpecFallback) {
+        key = spec_key(c.estimation, request);
+      }
+    }
+    if (!key) return Ranked{true, 0.0, tie_break(c)};
+    return Ranked{false, *key, tie_break(c)};
+  };
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const Candidate& a, const Candidate& b) {
+                     const Ranked ra = rank_of(a);
+                     const Ranked rb = rank_of(b);
+                     // Learning phase: unmeasured servers explored first.
+                     if (ra.unknown != rb.unknown) return ra.unknown;
+                     if (ra.unknown) return ra.tie < rb.tie;
+                     if (ra.key != rb.key) return ra.key < rb.key;
+                     return ra.tie < rb.tie;
+                   });
+}
+
+std::optional<double> PerformancePolicy::measured_key(const diet::EstimationVector& est,
+                                                      const Request&) const {
+  const auto flops = measured_node_flops(est);
+  if (!flops) return std::nullopt;
+  return -*flops;  // fastest first
+}
+
+std::optional<double> PerformancePolicy::spec_key(const diet::EstimationVector& est,
+                                                  const Request&) const {
+  const auto flops = spec_node_flops(est);
+  if (!flops) return std::nullopt;
+  return -*flops;
+}
+
+std::optional<double> PowerPolicy::measured_key(const diet::EstimationVector& est,
+                                                const Request&) const {
+  return est.find(EstTag::kMeasuredPowerWatts);  // lowest draw first
+}
+
+std::optional<double> PowerPolicy::spec_key(const diet::EstimationVector& est,
+                                            const Request&) const {
+  return est.find(EstTag::kSpecPeakPowerWatts);
+}
+
+std::optional<double> GreenPerfPolicy::measured_key(const diet::EstimationVector& est,
+                                                    const Request&) const {
+  return measured_greenperf(est);
+}
+
+std::optional<double> GreenPerfPolicy::spec_key(const diet::EstimationVector& est,
+                                                const Request&) const {
+  return spec_greenperf(est);
+}
+
+void RandomPolicy::aggregate(std::vector<Candidate>& candidates, const Request&) const {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return tie_break(a) < tie_break(b);
+                   });
+}
+
+void ScorePolicy::aggregate(std::vector<Candidate>& candidates, const Request& request) const {
+  const UserPreference preference(request.user_preference);
+  const common::Flops work = request.task.spec.work;
+  auto score_of = [&](const Candidate& c) {
+    const ServerCostInputs inputs = ServerCostInputs::from_estimation(c.estimation);
+    return score_server(inputs, work, preference);
+  };
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const Candidate& a, const Candidate& b) {
+                     const double sa = score_of(a);
+                     const double sb = score_of(b);
+                     if (sa != sb) return sa < sb;
+                     return tie_break(a) < tie_break(b);
+                   });
+}
+
+namespace {
+/// Completion-time estimate from a per-core rate: w_s + n_i / f.
+std::optional<double> completion_key(std::optional<double> per_core_rate,
+                                     const diet::EstimationVector& est,
+                                     const Request& request) {
+  if (!per_core_rate || *per_core_rate <= 0.0) return std::nullopt;
+  const double wait = est.get_or(EstTag::kQueueWaitSeconds, 0.0);
+  return wait + request.task.spec.work.value() / *per_core_rate;
+}
+}  // namespace
+
+std::optional<double> MinCompletionTimePolicy::measured_key(const diet::EstimationVector& est,
+                                                            const Request& request) const {
+  return completion_key(est.find(EstTag::kMeasuredFlopsPerCore), est, request);
+}
+
+std::optional<double> MinCompletionTimePolicy::spec_key(const diet::EstimationVector& est,
+                                                        const Request& request) const {
+  return completion_key(est.find(EstTag::kSpecFlopsPerCore), est, request);
+}
+
+std::unique_ptr<diet::PluginScheduler> make_policy(const std::string& name,
+                                                   UnknownRanking unknown) {
+  if (name == "PERFORMANCE") return std::make_unique<PerformancePolicy>(unknown);
+  if (name == "POWER") return std::make_unique<PowerPolicy>(unknown);
+  if (name == "RANDOM") return std::make_unique<RandomPolicy>();
+  if (name == "GREENPERF") return std::make_unique<GreenPerfPolicy>(unknown);
+  if (name == "SCORE") return std::make_unique<ScorePolicy>();
+  if (name == "MCT") return std::make_unique<MinCompletionTimePolicy>(unknown);
+  if (name == "SPATIAL") return std::make_unique<SpatialThermalPolicy>();
+  throw common::ConfigError("make_policy: unknown policy '" + name + "'");
+}
+
+}  // namespace greensched::green

@@ -1,0 +1,137 @@
+// The scheduling policies evaluated in the paper, as DIET plug-ins.
+//
+//   PERFORMANCE — priority to the fastest servers (upper bound of the
+//                 GreenPerf trade-off space),
+//   POWER       — priority to the least power-hungry servers (lower
+//                 bound),
+//   RANDOM      — uniform random server choice (the baseline of Fig. 4),
+//   GREENPERF   — rank by power/performance (the paper's metric),
+//   SCORE       — the preference-weighted Sc of Eq. 6, which also weighs
+//                 booting inactive servers.
+//
+// All measurement-driven policies implement the paper's "learning phase":
+// a server that has not yet produced a measurement is ranked *before*
+// measured ones (exploration), tie-broken by the request's random draw,
+// which is exactly why Figs. 2-3 show a few tasks on every node.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "diet/plugin.hpp"
+
+namespace greensched::green {
+
+/// Where a measurement-driven policy takes its ranking key from.
+enum class UnknownRanking {
+  kExploreFirst,  ///< dynamic: measured keys; unmeasured servers first
+  kSpecFallback,  ///< dynamic with nameplate substitute while unmeasured
+  kSpecOnly,      ///< the paper's *static* method: nameplate figures only,
+                  ///< measurements are never consulted
+};
+
+/// Common machinery: rank by a per-candidate optional key (ascending).
+class KeyedPolicy : public diet::PluginScheduler {
+ public:
+  explicit KeyedPolicy(UnknownRanking unknown = UnknownRanking::kExploreFirst)
+      : unknown_(unknown) {}
+
+  void aggregate(std::vector<diet::Candidate>& candidates,
+                 const diet::Request& request) const final;
+
+ protected:
+  /// Measured key (lower = better); nullopt while unmeasured.
+  [[nodiscard]] virtual std::optional<double> measured_key(
+      const diet::EstimationVector& est, const diet::Request& request) const = 0;
+  /// Nameplate key used under kSpecFallback; nullopt if spec tags absent.
+  [[nodiscard]] virtual std::optional<double> spec_key(const diet::EstimationVector& est,
+                                                       const diet::Request& request) const = 0;
+
+ private:
+  UnknownRanking unknown_;
+};
+
+/// Priority to the fastest servers (whole-node FLOPS, descending).
+class PerformancePolicy final : public KeyedPolicy {
+ public:
+  using KeyedPolicy::KeyedPolicy;
+  [[nodiscard]] std::string name() const override { return "PERFORMANCE"; }
+
+ protected:
+  [[nodiscard]] std::optional<double> measured_key(const diet::EstimationVector& est,
+                                                   const diet::Request& request) const override;
+  [[nodiscard]] std::optional<double> spec_key(const diet::EstimationVector& est,
+                                               const diet::Request& request) const override;
+};
+
+/// Priority to the servers with the lowest measured power draw.
+class PowerPolicy final : public KeyedPolicy {
+ public:
+  using KeyedPolicy::KeyedPolicy;
+  [[nodiscard]] std::string name() const override { return "POWER"; }
+
+ protected:
+  [[nodiscard]] std::optional<double> measured_key(const diet::EstimationVector& est,
+                                                   const diet::Request& request) const override;
+  [[nodiscard]] std::optional<double> spec_key(const diet::EstimationVector& est,
+                                               const diet::Request& request) const override;
+};
+
+/// Rank by the GreenPerf ratio power/performance (ascending).
+class GreenPerfPolicy final : public KeyedPolicy {
+ public:
+  using KeyedPolicy::KeyedPolicy;
+  [[nodiscard]] std::string name() const override { return "GREENPERF"; }
+
+ protected:
+  [[nodiscard]] std::optional<double> measured_key(const diet::EstimationVector& est,
+                                                   const diet::Request& request) const override;
+  [[nodiscard]] std::optional<double> spec_key(const diet::EstimationVector& est,
+                                               const diet::Request& request) const override;
+};
+
+/// Uniform random order (each SED contributes a fresh uniform draw per
+/// request, so the global order is a uniform shuffle).
+class RandomPolicy final : public diet::PluginScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "RANDOM"; }
+  void aggregate(std::vector<diet::Candidate>& candidates,
+                 const diet::Request& request) const override;
+};
+
+/// Eq. 6 score, ascending; uses the request's Preference_user and weighs
+/// waking inactive servers (boot time/energy) against queueing.
+class ScorePolicy final : public diet::PluginScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "SCORE"; }
+  void aggregate(std::vector<diet::Candidate>& candidates,
+                 const diet::Request& request) const override;
+};
+
+/// Minimum completion time (MCT): rank by estimated w_s + n_i/f_s — the
+/// conventional middleware heuristic (DIET's default plug-ins rank on
+/// estimated computation time).  Energy-blind by construction; a useful
+/// baseline between PERFORMANCE and the green policies.
+class MinCompletionTimePolicy final : public KeyedPolicy {
+ public:
+  using KeyedPolicy::KeyedPolicy;
+  [[nodiscard]] std::string name() const override { return "MCT"; }
+
+ protected:
+  [[nodiscard]] std::optional<double> measured_key(const diet::EstimationVector& est,
+                                                   const diet::Request& request) const override;
+  [[nodiscard]] std::optional<double> spec_key(const diet::EstimationVector& est,
+                                               const diet::Request& request) const override;
+};
+
+/// Factory for the benchmark harnesses ("POWER", "PERFORMANCE", "RANDOM",
+/// "GREENPERF", "SCORE"); throws ConfigError on unknown names.  `unknown`
+/// selects learning behaviour for the measurement-driven policies:
+/// kExploreFirst reproduces the paper's live experiments (Section IV-A),
+/// kSpecFallback its simulations, where an initial benchmark made every
+/// server's figures known up front (Section IV-B).
+[[nodiscard]] std::unique_ptr<diet::PluginScheduler> make_policy(
+    const std::string& name, UnknownRanking unknown = UnknownRanking::kExploreFirst);
+
+}  // namespace greensched::green

@@ -1,0 +1,37 @@
+#include "green/preferences.hpp"
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace greensched::green {
+
+using common::ConfigError;
+
+ProviderPreference::ProviderPreference(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  if (alpha < 0.0 || beta < 0.0)
+    throw ConfigError("ProviderPreference: weights must be non-negative");
+  if (alpha + beta > 1.0 + 1e-12)
+    throw ConfigError("ProviderPreference: alpha + beta must not exceed 1 (keeps Eq.1 in [0,1])");
+}
+
+double ProviderPreference::evaluate(double utilization, double electricity_cost) const {
+  if (utilization < 0.0 || utilization > 1.0)
+    throw ConfigError("ProviderPreference: utilization outside [0,1]");
+  if (electricity_cost < 0.0 || electricity_cost > 1.0)
+    throw ConfigError("ProviderPreference: electricity cost outside [0,1]");
+  return alpha_ * (1.0 - electricity_cost) + beta_ * utilization;
+}
+
+UserPreference::UserPreference(double value) {
+  if (value < -1.0 || value > 1.0)
+    throw ConfigError("UserPreference: value outside [-1, 1]");
+  value_ = common::clamp(value, -kLimit, kLimit);
+}
+
+double combine_preferences(double provider_value, const UserPreference& user) {
+  if (provider_value < 0.0 || provider_value > 1.0)
+    throw ConfigError("combine_preferences: provider value outside [0,1]");
+  return provider_value * (user.value() - 1.0);
+}
+
+}  // namespace greensched::green

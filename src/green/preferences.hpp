@@ -1,0 +1,60 @@
+// Preference model (Section III-B).
+//
+// Providers express how aggressively the infrastructure should chase
+// energy efficiency as a weighted average of electricity cost and
+// resource utilization (Eq. 1); users attach a scalar in [-1, 1] to each
+// request (Eq. 2), clamped to [-0.9, 0.9] in practice, and the two are
+// combined by Eq. 3.
+#pragma once
+
+namespace greensched::green {
+
+/// Eq. 1: Preference_provider(u, c) = alpha * (1 - c) + beta * u, with
+/// c the normalized electricity cost and u the normalized utilization,
+/// both in [0, 1].  alpha, beta >= 0 and alpha + beta <= 1 guarantee the
+/// result stays in [0, 1].  The higher the value, the more servers are
+/// made available for the period.
+class ProviderPreference {
+ public:
+  ProviderPreference(double alpha, double beta);
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+
+  /// Evaluates Eq. 1; throws ConfigError if u or c fall outside [0, 1].
+  [[nodiscard]] double evaluate(double utilization, double electricity_cost) const;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+/// Eq. 2's user preference: -1 maximize performance, 0 no preference,
+/// +1 maximize energy efficiency.  Following the paper's practical note,
+/// values are restricted to [-0.9, 0.9] (full +/-1 would starve the most
+/// efficient nodes), so construction clamps -1/+1 inward and rejects
+/// anything beyond.
+class UserPreference {
+ public:
+  static constexpr double kLimit = 0.9;
+
+  /// Throws ConfigError outside [-1, 1]; clamps into [-0.9, 0.9].
+  explicit UserPreference(double value);
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  static UserPreference max_performance() { return UserPreference(-1.0); }
+  static UserPreference neutral() { return UserPreference(0.0); }
+  static UserPreference max_energy_efficiency() { return UserPreference(1.0); }
+
+ private:
+  double value_;
+};
+
+/// Eq. 3: the user preference weighted by the provider's,
+/// P_provider * (P_user - 1).  Zero when the provider fully prioritizes
+/// performance, most negative when an efficiency-seeking provider meets a
+/// performance-seeking user.
+[[nodiscard]] double combine_preferences(double provider_value, const UserPreference& user);
+
+}  // namespace greensched::green

@@ -1,0 +1,242 @@
+#include "green/provisioner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+#include "green/greenperf.hpp"
+
+
+namespace greensched::green {
+
+using common::fraction_floor;
+using common::Seconds;
+using common::StateError;
+using des::SimTime;
+
+ProvisionerConfig Provisioner::checked(ProvisionerConfig config, std::size_t node_count) {
+  if (config.check_period.value() <= 0.0)
+    throw common::ConfigError("Provisioner: check period must be positive");
+  if (config.lookahead.value() < 0.0)
+    throw common::ConfigError("Provisioner: negative lookahead");
+  if (config.ramp_up_step == 0 || config.ramp_down_step == 0)
+    throw common::ConfigError("Provisioner: ramp steps must be >= 1");
+  if (node_count == 0) throw common::ConfigError("Provisioner: platform has no nodes");
+  if (config.min_candidates > node_count)
+    throw common::ConfigError("Provisioner: min_candidates exceeds node count");
+  return config;
+}
+
+Provisioner::Provisioner(des::Simulator& sim, cluster::Platform& platform,
+                         diet::MasterAgent& master, RuleEngine rules,
+                         const EventSchedule& events, ProvisioningPlanning& planning,
+                         ProvisionerConfig config)
+    : sim_(sim),
+      platform_(platform),
+      master_(master),
+      rules_(std::move(rules)),
+      events_(events),
+      planning_(planning),
+      config_(checked(config, platform.node_count())),
+      process_(sim, config_.check_period, [this](SimTime at) { return tick(at); }) {
+  if (config_.forecast_utilization) forecaster_.emplace(config_.forecaster);
+  // Candidacy is granted in nameplate GreenPerf order (most efficient
+  // first): "we aim to minimize the total energy consumed ... by
+  // maximizing the use of the most energy efficient servers".
+  efficiency_order_.resize(platform_.node_count());
+  for (std::size_t i = 0; i < efficiency_order_.size(); ++i) efficiency_order_[i] = i;
+  std::stable_sort(efficiency_order_.begin(), efficiency_order_.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     const auto& sa = platform_.node(a).spec();
+                     const auto& sb = platform_.node(b).spec();
+                     return greenperf_ratio(sa.peak_watts, sa.total_flops()) <
+                            greenperf_ratio(sb.peak_watts, sb.total_flops());
+                   });
+}
+
+Provisioner::~Provisioner() {
+  // Leave no dangling filter behind: the MA outlives us in some tests.
+  if (started_) master_.set_candidate_filter(nullptr);
+}
+
+void Provisioner::start() {
+  if (started_) throw StateError("Provisioner: already started");
+  started_ = true;
+
+  master_.set_candidate_filter([this](std::vector<diet::Candidate>& candidates,
+                                      const diet::Request&) {
+    std::erase_if(candidates, [this](const diet::Candidate& c) {
+      return !is_candidate(c.estimation.node_id());
+    });
+  });
+
+  // Initial placement decision: jump straight to the target (the
+  // experiment *starts* in this configuration), then check periodically.
+  const SimTime now = sim_.now();
+  last_energy_joules_ = platform_.total_energy(now).value();
+  last_energy_time_ = now.value();
+  last_status_ = read_status(now);
+  candidate_count_ = std::max(target_for(last_status_), config_.min_candidates);
+  apply_candidate_set(now);
+  if (config_.manage_node_power) manage_power(now);
+  planning_.add_entry(PlanningEntry{now.value(), last_status_.temperature, candidate_count_,
+                                    last_status_.electricity_cost});
+  candidate_series_.add(now.value(), static_cast<double>(candidate_count_));
+
+  process_.start();
+}
+
+bool Provisioner::is_candidate(common::NodeId node) const noexcept {
+  return std::find(candidate_ids_.begin(), candidate_ids_.end(), node) != candidate_ids_.end();
+}
+
+std::size_t Provisioner::candidate_capacity() const {
+  std::size_t capacity = 0;
+  for (std::size_t index : efficiency_order_) {
+    const cluster::Node& node = platform_.node(index);
+    if (!is_candidate(node.id())) continue;
+    if (node.state() == cluster::NodeState::kOn) capacity += node.spec().cores;
+  }
+  return capacity;
+}
+
+PlatformStatus Provisioner::read_status(SimTime at) {
+  PlatformStatus status;
+  status.electricity_cost = events_.cost_at(at.value());
+  double hottest = -1e9;
+  unsigned busy = 0, total = 0;
+  for (std::size_t i = 0; i < platform_.node_count(); ++i) {
+    cluster::Node& node = platform_.node(i);
+    hottest = std::max(hottest, node.temperature(at).value());
+    busy += node.busy_cores();
+    total += node.spec().cores;
+  }
+  status.temperature = hottest;
+  status.utilization = total == 0 ? 0.0 : static_cast<double>(busy) / static_cast<double>(total);
+  return status;
+}
+
+std::size_t Provisioner::target_for(const PlatformStatus& status) const {
+  const std::size_t n = platform_.node_count();
+  if (config_.mode == ProvisioningMode::kPowerCap) {
+    // Algorithm 1: servers sorted by GreenPerf, accumulated until the
+    // power cap Preference_provider * P_total is reached.
+    std::vector<RankedServer> servers;
+    servers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const cluster::Node& node = platform_.node(i);
+      RankedServer s;
+      s.node = node.id();
+      s.name = node.name();
+      s.power = node.spec().peak_watts;
+      s.greenperf = greenperf_ratio(node.spec().peak_watts, node.spec().total_flops());
+      servers.push_back(std::move(s));
+    }
+    const double preference =
+        config_.provider.evaluate(status.utilization, status.electricity_cost);
+    return select_candidate_servers(std::move(servers), preference).size();
+  }
+
+  // Rule mode: fraction of all nodes from the first matching rule.
+  const Rule* rule = rules_.match(status);
+  const double fraction = rule ? rule->candidate_fraction : rules_.default_fraction();
+  if (rule && rule->action) rule->action(status);
+  return fraction_floor(n, fraction);
+}
+
+void Provisioner::apply_candidate_set(SimTime /*at*/) {
+  candidate_ids_.clear();
+  for (std::size_t i = 0; i < candidate_count_ && i < efficiency_order_.size(); ++i) {
+    candidate_ids_.push_back(platform_.node(efficiency_order_[i]).id());
+  }
+}
+
+void Provisioner::manage_power(SimTime at) {
+  for (std::size_t index : efficiency_order_) {
+    cluster::Node& node = platform_.node(index);
+    const bool wanted = is_candidate(node.id());
+    if (wanted && node.state() == cluster::NodeState::kOff) {
+      node.power_on(at);
+      const Seconds done = at + node.spec().boot_seconds;
+      // The node may crash mid-transition (failure injection): only
+      // finish the transition if it is still in progress.
+      sim_.schedule_at(done, [&node, done] {
+        if (node.state() == cluster::NodeState::kBooting) node.complete_boot(done);
+      });
+    } else if (!wanted && node.state() == cluster::NodeState::kOn && node.busy_cores() == 0) {
+      // Drain rule: running tasks always complete; idle non-candidates
+      // power down now, busy ones are retried on the next check.
+      node.power_off(at);
+      const Seconds done = at + node.spec().shutdown_seconds;
+      sim_.schedule_at(done, [&node, done] {
+        if (node.state() == cluster::NodeState::kShuttingDown) node.complete_shutdown(done);
+      });
+    }
+  }
+}
+
+bool Provisioner::tick(SimTime at) {
+  PlatformStatus status = read_status(at);
+  if (forecaster_) {
+    // Section III-B: size the pool for the *coming* period's utilization
+    // so the platform is responsive when the peak arrives.
+    forecaster_->observe(at.value(), status.utilization);
+    status.utilization = forecaster_->predict_or(
+        at.value() + config_.check_period.value(), status.utilization);
+  }
+  std::size_t target = target_for(status);
+
+  // Forecast: a scheduled tariff change visible within the lookahead can
+  // only *pre-ramp upward* (progressive start, as in Fig. 9's Event 1);
+  // restrictions apply when they take effect.
+  if (auto event = events_.next_visible_cost_change(at.value(), config_.lookahead.value())) {
+    PlatformStatus future = status;
+    future.electricity_cost = event->value;
+    const std::size_t future_target = target_for(future);
+    if (future_target > target) {
+      // Progressive start: pace the ramp so the pool reaches the future
+      // target exactly when the tariff changes — not earlier (no point
+      // paying the old tariff) and without simultaneous starts (the
+      // paper's heat-peak concern).
+      const double remaining = event->at - at.value();
+      const auto ticks_remaining =
+          static_cast<std::size_t>(remaining / config_.check_period.value());
+      const std::size_t deficit = config_.ramp_up_step * ticks_remaining;
+      const std::size_t paced = future_target > deficit ? future_target - deficit : 0;
+      target = std::max(target, paced);
+    }
+  }
+  if (external_cap_) target = std::min(target, *external_cap_);
+  target = std::max(target, config_.min_candidates);
+
+  // Progressive ramp toward the target.
+  if (target > candidate_count_) {
+    candidate_count_ = std::min(target, candidate_count_ + config_.ramp_up_step);
+  } else if (target < candidate_count_) {
+    const std::size_t step = std::min(config_.ramp_down_step, candidate_count_);
+    candidate_count_ = std::max(target, candidate_count_ - step);
+  }
+
+  apply_candidate_set(at);
+  if (config_.manage_node_power) manage_power(at);
+
+  // Record the decision in the shared planning (Fig. 8's XML record).
+  planning_.add_entry(PlanningEntry{at.value(), status.temperature, candidate_count_,
+                                    status.electricity_cost});
+
+  // Fig. 9 series: candidates and mean power over the elapsed period.
+  candidate_series_.add(at.value(), static_cast<double>(candidate_count_));
+  const double energy_now = platform_.total_energy(at).value();
+  const double dt = at.value() - last_energy_time_;
+  if (dt > 0.0) {
+    power_series_.add(at.value(), (energy_now - last_energy_joules_) / dt);
+  }
+  last_energy_joules_ = energy_now;
+  last_energy_time_ = at.value();
+  last_status_ = status;
+
+  if (check_hook_) check_hook_(at, status, candidate_count_);
+  return true;
+}
+
+}  // namespace greensched::green

@@ -1,0 +1,143 @@
+// Adaptive resource provisioner (Sections III-C and IV-C).
+//
+// An autonomic loop checks the platform status on a fixed period (the
+// paper: every 10 minutes, with visibility of scheduled events 20 minutes
+// ahead), derives the allowed number of candidate nodes from the
+// administrator's threshold rules (or from Algorithm 1's power cap), and
+// moves the candidate pool toward that target *progressively* — ramping
+// up slowly "to avoid heat peaks due to side effects of simultaneous
+// starts", and draining down without killing running tasks.  Candidate
+// membership is enforced in the Master Agent through a candidate filter,
+// and non-candidate nodes are powered off once idle.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "common/stats.hpp"
+#include "des/simulator.hpp"
+#include "diet/agent.hpp"
+#include "green/candidate_selection.hpp"
+#include "green/events.hpp"
+#include "green/forecast.hpp"
+#include "green/planning.hpp"
+#include "green/preferences.hpp"
+#include "green/rules.hpp"
+
+namespace greensched::green {
+
+/// How the per-tick candidate target is derived.
+enum class ProvisioningMode {
+  kRuleFraction,  ///< threshold rules -> fraction of all nodes (Fig. 9)
+  kPowerCap,      ///< Algorithm 1 with Preference_provider(u, c)
+};
+
+struct ProvisionerConfig {
+  des::SimDuration check_period{600.0};  ///< the paper's 10 minutes
+  des::SimDuration lookahead{1200.0};    ///< visibility of events at t+20 min
+  std::size_t ramp_up_step = 2;          ///< candidates added per check
+  std::size_t ramp_down_step = 4;        ///< candidates removed per check
+  std::size_t min_candidates = 1;        ///< never starve the platform
+  bool manage_node_power = true;         ///< boot/shutdown with candidacy
+  ProvisioningMode mode = ProvisioningMode::kRuleFraction;
+  /// Only used in kPowerCap mode (Eq. 1 weights).
+  ProviderPreference provider{0.5, 0.5};
+  /// Size the pool for *forecast* utilization (Section III-B's "resource
+  /// usage forecast") instead of the instantaneous value.
+  bool forecast_utilization = false;
+  ForecasterConfig forecaster{};
+};
+
+class Provisioner {
+ public:
+  Provisioner(des::Simulator& sim, cluster::Platform& platform, diet::MasterAgent& master,
+              RuleEngine rules, const EventSchedule& events, ProvisioningPlanning& planning,
+              ProvisionerConfig config = {});
+  ~Provisioner();
+  Provisioner(const Provisioner&) = delete;
+  Provisioner& operator=(const Provisioner&) = delete;
+
+  /// Installs the MA candidate filter, applies the initial candidate set
+  /// (un-ramped) and starts the periodic check.
+  void start();
+  void stop() noexcept { process_.stop(); }
+
+  // --- observability ---
+  [[nodiscard]] std::size_t candidate_count() const noexcept { return candidate_count_; }
+  [[nodiscard]] const std::vector<common::NodeId>& candidates() const noexcept {
+    return candidate_ids_;
+  }
+  [[nodiscard]] bool is_candidate(common::NodeId node) const noexcept;
+  /// Cores available on candidate nodes that are powered on (what a
+  /// saturating client should target).
+  [[nodiscard]] std::size_t candidate_capacity() const;
+  /// (time, candidate count) per check — the Fig. 9 plain line.
+  [[nodiscard]] const common::TimeSeries& candidate_series() const noexcept {
+    return candidate_series_;
+  }
+  /// (time, mean platform watts over the preceding period) per check —
+  /// the Fig. 9 crosses line.
+  [[nodiscard]] const common::TimeSeries& power_series() const noexcept { return power_series_; }
+  [[nodiscard]] std::uint64_t checks() const noexcept { return process_.ticks(); }
+  [[nodiscard]] const PlatformStatus& last_status() const noexcept { return last_status_; }
+
+  /// Hook fired after every check (testing / tracing).
+  void set_check_hook(std::function<void(des::SimTime, const PlatformStatus&, std::size_t)> hook) {
+    check_hook_ = std::move(hook);
+  }
+
+  /// External candidate cap (e.g. from a BudgetGovernor): the per-check
+  /// target never exceeds it while set.  Ramping still applies.
+  void set_external_cap(std::optional<std::size_t> cap) noexcept { external_cap_ = cap; }
+  [[nodiscard]] std::optional<std::size_t> external_cap() const noexcept {
+    return external_cap_;
+  }
+
+  /// Nodes ordered by nameplate GreenPerf, most efficient first — the
+  /// order in which candidacy is granted.
+  [[nodiscard]] const std::vector<std::size_t>& efficiency_order() const noexcept {
+    return efficiency_order_;
+  }
+
+  /// The usage forecaster (null unless forecast_utilization is on).
+  [[nodiscard]] const UsageForecaster* forecaster() const noexcept {
+    return forecaster_ ? &*forecaster_ : nullptr;
+  }
+
+ private:
+  bool tick(des::SimTime at);
+  /// Validates before members (notably the periodic process) are built.
+  static ProvisionerConfig checked(ProvisionerConfig config, std::size_t node_count);
+  [[nodiscard]] PlatformStatus read_status(des::SimTime at);
+  [[nodiscard]] std::size_t target_for(const PlatformStatus& status) const;
+  void apply_candidate_set(des::SimTime at);
+  void manage_power(des::SimTime at);
+
+  des::Simulator& sim_;
+  cluster::Platform& platform_;
+  diet::MasterAgent& master_;
+  RuleEngine rules_;
+  const EventSchedule& events_;
+  ProvisioningPlanning& planning_;
+  ProvisionerConfig config_;
+
+  std::vector<std::size_t> efficiency_order_;  ///< platform node indices
+  std::optional<UsageForecaster> forecaster_;
+  std::optional<std::size_t> external_cap_;
+  std::size_t candidate_count_ = 0;
+  std::vector<common::NodeId> candidate_ids_;
+  bool started_ = false;
+
+  common::TimeSeries candidate_series_;
+  common::TimeSeries power_series_;
+  double last_energy_joules_ = 0.0;
+  double last_energy_time_ = 0.0;
+  PlatformStatus last_status_;
+  std::function<void(des::SimTime, const PlatformStatus&, std::size_t)> check_hook_;
+
+  des::PeriodicProcess process_;
+};
+
+}  // namespace greensched::green

@@ -1,0 +1,76 @@
+#include "green/reactivity.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace greensched::green {
+
+ReactivityAnalyzer::ReactivityAnalyzer(RuleEngine rules, std::size_t node_count,
+                                       double ambient_celsius)
+    : rules_(std::move(rules)), node_count_(node_count), ambient_celsius_(ambient_celsius) {
+  if (node_count_ == 0)
+    throw common::ConfigError("ReactivityAnalyzer: node count must be positive");
+}
+
+std::size_t ReactivityAnalyzer::target_after(const EventSchedule& schedule,
+                                             const EnergyEvent& event) const {
+  PlatformStatus status;
+  // Cost immediately after the event (includes the event itself).
+  status.electricity_cost = schedule.cost_at(event.at);
+  status.temperature = ambient_celsius_;
+  if (event.kind == EventKind::kTemperature) {
+    status.temperature = event.value;
+  } else {
+    // A heat event may still be in force when a cost event fires: use the
+    // latest temperature event at or before this time.
+    for (const auto& e : schedule.events()) {
+      if (e.at > event.at) break;
+      if (e.kind == EventKind::kTemperature) status.temperature = e.value;
+    }
+  }
+  const Rule* rule = rules_.match(status);
+  const double fraction = rule ? rule->candidate_fraction : rules_.default_fraction();
+  return common::fraction_floor(node_count_, fraction);
+}
+
+std::vector<EventReactivity> ReactivityAnalyzer::analyze(
+    const EventSchedule& schedule, const common::TimeSeries& candidates) const {
+  std::vector<EventReactivity> out;
+  for (const auto& event : schedule.events()) {
+    EventReactivity r;
+    r.event = event;
+    r.target_candidates = target_after(schedule, event);
+
+    // The pool level just before the event took effect.
+    const double before = candidates.value_before(event.at - 1e-9);
+    const auto target = static_cast<double>(r.target_candidates);
+
+    // Scan forward (and slightly backward: announced events may settle
+    // exactly at the event time) for movement and settling.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double t = candidates.time_at(i);
+      const double v = candidates.value_at(i);
+      if (t < event.at - 1e-9) continue;
+      if (!r.first_move_at && before != target &&
+          std::fabs(v - target) < std::fabs(before - target)) {
+        r.first_move_at = t;
+      }
+      if (v == target) {
+        r.settled_at = t;
+        break;
+      }
+    }
+    // Pre-provisioned pools settle *at* (or effectively before) the
+    // event: if the level just before already matches, credit t = at.
+    if (before == target) {
+      r.settled_at = event.at;
+      r.first_move_at = event.at;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace greensched::green

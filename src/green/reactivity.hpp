@@ -1,0 +1,60 @@
+// Reactivity analysis (Section IV-C: "We also evaluate reactivity in the
+// adaptive resource provisioning").
+//
+// The paper demonstrates reactivity qualitatively with the Fig. 9
+// timeline; this module quantifies it.  For every event in a schedule it
+// derives the candidate-pool target the administrator rules imply, then
+// measures from the provisioner's recorded candidate series:
+//
+//   detection lag — first check after the event whose pool moved toward
+//                   the target,
+//   settling time — when the pool first reaches the target,
+//   reaction      — settling time minus the event's effect time (negative
+//                   values mean the pool was pre-provisioned, e.g. via a
+//                   tariff announcement or a usage forecast).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "green/events.hpp"
+#include "green/rules.hpp"
+
+namespace greensched::green {
+
+struct EventReactivity {
+  EnergyEvent event;
+  std::size_t target_candidates = 0;  ///< pool the rules imply post-event
+  std::optional<double> first_move_at;  ///< series first moves toward target
+  std::optional<double> settled_at;     ///< series first reaches target
+  /// settled_at - event.at; negative = provisioned ahead of the event.
+  [[nodiscard]] std::optional<double> reaction_seconds() const {
+    if (!settled_at) return std::nullopt;
+    return *settled_at - event.at;
+  }
+};
+
+class ReactivityAnalyzer {
+ public:
+  /// `ambient_celsius` is the platform temperature assumed outside heat
+  /// events (used to evaluate the rules for cost events).
+  ReactivityAnalyzer(RuleEngine rules, std::size_t node_count,
+                     double ambient_celsius = 20.0);
+
+  /// Analyzes every event against the recorded candidate series (as
+  /// produced by Provisioner::candidate_series()).
+  [[nodiscard]] std::vector<EventReactivity> analyze(
+      const EventSchedule& schedule, const common::TimeSeries& candidates) const;
+
+  /// The candidate target the rules imply right after `event` fires.
+  [[nodiscard]] std::size_t target_after(const EventSchedule& schedule,
+                                         const EnergyEvent& event) const;
+
+ private:
+  RuleEngine rules_;
+  std::size_t node_count_;
+  double ambient_celsius_;
+};
+
+}  // namespace greensched::green

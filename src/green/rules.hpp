@@ -1,0 +1,62 @@
+// Administrator threshold rules (Section IV-C).
+//
+// Administrators "set limits to the number of active nodes in case of
+// out-of-range values".  A rule maps a platform status predicate to the
+// fraction of nodes allowed as candidates; the first matching rule wins.
+// The paper's concrete rule set:
+//
+//   T > 25 degC           -> 20% of all nodes
+//   1.0 >= cost > 0.8     -> 40%
+//   0.8 >= cost > 0.5     -> 70%
+//   cost < 0.5            -> 100%
+//
+// Rules may also carry an action callback — the paper's "actions can be
+// defined through scripts or commands to be called by the scheduler".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace greensched::green {
+
+/// What the provisioner sees when it checks the platform.
+struct PlatformStatus {
+  double electricity_cost = 1.0;  ///< normalized to [0, 1]
+  double temperature = 20.0;      ///< hottest node, degC
+  double utilization = 0.0;       ///< busy cores / total cores
+};
+
+struct Rule {
+  std::string name;
+  std::function<bool(const PlatformStatus&)> applies;
+  double candidate_fraction = 1.0;  ///< fraction of nodes allowed
+  std::function<void(const PlatformStatus&)> action;  ///< optional side effect
+};
+
+class RuleEngine {
+ public:
+  /// Appends a rule (evaluated in insertion order).
+  void add_rule(Rule rule);
+
+  /// Fraction from the first matching rule; `default_fraction` if none
+  /// match.  Fires the matched rule's action.
+  [[nodiscard]] double evaluate(const PlatformStatus& status) const;
+
+  /// First matching rule without firing its action; nullptr if none.
+  [[nodiscard]] const Rule* match(const PlatformStatus& status) const;
+
+  void set_default_fraction(double fraction);
+  [[nodiscard]] double default_fraction() const noexcept { return default_fraction_; }
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return rules_; }
+
+  /// The exact rule set of Section IV-C, with the heat rule first.
+  static RuleEngine paper_default(double heat_threshold_celsius = 25.0);
+
+ private:
+  std::vector<Rule> rules_;
+  double default_fraction_ = 1.0;
+};
+
+}  // namespace greensched::green

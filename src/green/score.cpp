@@ -1,0 +1,28 @@
+#include "green/score.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+
+double score_exponent(const UserPreference& preference) noexcept {
+  return 2.0 / (preference.value() + 1.0) - 1.0;
+}
+
+double score(common::Seconds computation_time, common::Joules energy,
+             const UserPreference& preference) {
+  if (computation_time.value() <= 0.0)
+    throw common::ConfigError("score: computation time must be positive");
+  if (energy.value() <= 0.0) throw common::ConfigError("score: energy must be positive");
+  return std::pow(computation_time.value(), score_exponent(preference)) * energy.value();
+}
+
+double score_server(const ServerCostInputs& server, common::Flops work,
+                    const UserPreference& preference) {
+  server.validate();
+  if (work.value() <= 0.0) throw common::ConfigError("score_server: work must be positive");
+  return score(computation_time(server, work), energy_consumption(server, work), preference);
+}
+
+}  // namespace greensched::green

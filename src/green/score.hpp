@@ -1,0 +1,28 @@
+// The preference-weighted server score (Section III-C, Eqs. 6-7).
+//
+//   Sc(P) = time^(2/(P+1) - 1) * energy
+//
+// Limits (Eq. 7): P -> -0.9 makes the exponent large (score is dominated
+// by computation time, i.e. performance-seeking); P = 0 gives the
+// time*energy product; P -> +0.9 flattens the time term (score tracks
+// energy, i.e. efficiency-seeking).  Lower scores are better.
+#pragma once
+
+#include "common/units.hpp"
+#include "green/cost_model.hpp"
+#include "green/preferences.hpp"
+
+namespace greensched::green {
+
+/// The time exponent 2/(P+1) - 1 for user preference P.
+[[nodiscard]] double score_exponent(const UserPreference& preference) noexcept;
+
+/// Eq. 6 from already-computed time and energy; both must be positive.
+[[nodiscard]] double score(common::Seconds computation_time, common::Joules energy,
+                           const UserPreference& preference);
+
+/// Full pipeline: Eq. 4 + Eq. 5 + Eq. 6 for a task of `work` FLOPs.
+[[nodiscard]] double score_server(const ServerCostInputs& server, common::Flops work,
+                                  const UserPreference& preference);
+
+}  // namespace greensched::green

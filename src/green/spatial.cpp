@@ -1,0 +1,49 @@
+#include "green/spatial.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+
+using diet::Candidate;
+using diet::EstTag;
+
+namespace {
+constexpr const char* kPenaltyTag = "thermal_penalty_watts";
+}
+
+SpatialThermalPolicy::SpatialThermalPolicy(SpatialThermalConfig config) : config_(config) {
+  if (config_.penalty_watts_per_degree < 0.0)
+    throw common::ConfigError("SpatialThermalPolicy: negative penalty");
+}
+
+void SpatialThermalPolicy::estimate(diet::EstimationVector& est,
+                                    const diet::Request& /*request*/) const {
+  const double temp = est.get_or(EstTag::kTemperatureCelsius, config_.soft_limit_celsius);
+  const double excess = std::max(0.0, temp - config_.soft_limit_celsius);
+  est.set_custom(kPenaltyTag, config_.penalty_watts_per_degree * excess);
+}
+
+double SpatialThermalPolicy::key(const diet::EstimationVector& est) const {
+  // Measured power when learned, nameplate otherwise, a large constant
+  // when nothing is known (explored last here: heat safety over learning
+  // eagerness).
+  const double watts = est.get_or(
+      EstTag::kMeasuredPowerWatts, est.get_or(EstTag::kSpecPeakPowerWatts, 1e6));
+  return watts + est.custom(kPenaltyTag).value_or(0.0);
+}
+
+void SpatialThermalPolicy::aggregate(std::vector<Candidate>& candidates,
+                                     const diet::Request& /*request*/) const {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](const Candidate& a, const Candidate& b) {
+                     const double ka = key(a.estimation);
+                     const double kb = key(b.estimation);
+                     if (ka != kb) return ka < kb;
+                     return a.estimation.get_or(EstTag::kRandomDraw, 0.0) <
+                            b.estimation.get_or(EstTag::kRandomDraw, 0.0);
+                   });
+}
+
+}  // namespace greensched::green

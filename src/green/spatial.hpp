@@ -1,0 +1,41 @@
+// Spatially-/thermally-aware scheduling (the paper's future-work item).
+//
+// SpatialThermalPolicy ranks like POWER but charges every candidate a
+// penalty proportional to how far its measured temperature exceeds a
+// soft limit.  With the rack thermal coupler active, this makes the
+// scheduler steer work away from hot racks before the administrator's
+// hard 25 degC rule would cut the candidate pool — trading a little
+// placement quality for thermal headroom.
+#pragma once
+
+#include "diet/plugin.hpp"
+
+namespace greensched::green {
+
+struct SpatialThermalConfig {
+  double soft_limit_celsius = 24.0;  ///< below the 25 degC hard rule
+  /// Equivalent watts charged per degree above the soft limit.
+  double penalty_watts_per_degree = 50.0;
+};
+
+class SpatialThermalPolicy final : public diet::PluginScheduler {
+ public:
+  explicit SpatialThermalPolicy(SpatialThermalConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "SPATIAL-THERMAL"; }
+
+  /// Server-side hook: precomputes the penalty into a custom tag so the
+  /// agents sort on a ready-made key.
+  void estimate(diet::EstimationVector& est, const diet::Request& request) const override;
+  void aggregate(std::vector<diet::Candidate>& candidates,
+                 const diet::Request& request) const override;
+
+  /// The effective ranking key for a vector (power + thermal penalty);
+  /// exposed for tests.
+  [[nodiscard]] double key(const diet::EstimationVector& est) const;
+
+ private:
+  SpatialThermalConfig config_;
+};
+
+}  // namespace greensched::green

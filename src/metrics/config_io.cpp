@@ -1,0 +1,132 @@
+#include "metrics/config_io.hpp"
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::metrics {
+
+using common::ConfigError;
+using xmlite::Document;
+using xmlite::Element;
+using xmlite::ParseError;
+
+xmlite::Document config_to_xml(const PlacementConfig& config) {
+  Element root("experiment");
+  root.set_attribute("policy", config.policy);
+  root.set_attribute("seed", static_cast<long long>(config.seed));
+  root.set_attribute("clients", static_cast<long long>(config.client_count));
+  root.set_attribute("spec_fallback", static_cast<long long>(config.spec_fallback ? 1 : 0));
+  root.set_attribute("per_cluster_tree",
+                     static_cast<long long>(config.per_cluster_tree ? 1 : 0));
+  if (config.task_count_override != 0) {
+    root.set_attribute("task_count", static_cast<long long>(config.task_count_override));
+  }
+
+  for (const auto& setup : config.clusters) {
+    Element& cluster = root.add_child("cluster");
+    // Only catalog machines are expressible in the file format; custom
+    // specs must be built programmatically.
+    cluster.set_attribute("machine", setup.spec.model);
+    if (setup.name != setup.spec.model) cluster.set_attribute("name", setup.name);
+    cluster.set_attribute("count", static_cast<long long>(setup.options.node_count));
+    if (setup.options.power_heterogeneity != 0.0) {
+      cluster.set_attribute("power_heterogeneity", setup.options.power_heterogeneity);
+    }
+    if (setup.options.speed_heterogeneity != 0.0) {
+      cluster.set_attribute("speed_heterogeneity", setup.options.speed_heterogeneity);
+    }
+    if (!setup.options.initially_on) cluster.set_attribute("initially_on", "0");
+  }
+
+  Element& workload = root.add_child("workload");
+  workload.set_attribute("requests_per_core", config.workload.requests_per_core);
+  workload.set_attribute("burst", static_cast<long long>(config.workload.burst_size));
+  workload.set_attribute("rate", config.workload.continuous_rate);
+  workload.set_attribute("work_flops", config.workload.task.work.value());
+  workload.set_attribute("service", config.workload.task.service);
+  if (config.workload.user_preference != 0.0) {
+    workload.set_attribute("user_preference", config.workload.user_preference);
+  }
+  return Document(std::move(root));
+}
+
+std::string config_to_string(const PlacementConfig& config) {
+  return config_to_xml(config).to_string();
+}
+
+PlacementConfig config_from_xml(const Document& doc) {
+  const Element& root = doc.root();
+  if (root.name() != "experiment")
+    throw ParseError("experiment file: expected <experiment> root, got <" + root.name() + ">",
+                     0, 0);
+
+  PlacementConfig config;
+  config.policy = root.attribute("policy").value_or("POWER");
+  config.seed = static_cast<std::uint64_t>(
+      root.has_attribute("seed") ? root.attribute_as_int("seed") : 42);
+  config.client_count = static_cast<std::size_t>(
+      root.has_attribute("clients") ? root.attribute_as_int("clients") : 1);
+  config.spec_fallback =
+      root.has_attribute("spec_fallback") && root.attribute_as_int("spec_fallback") != 0;
+  config.per_cluster_tree =
+      !root.has_attribute("per_cluster_tree") || root.attribute_as_int("per_cluster_tree") != 0;
+  if (root.has_attribute("task_count")) {
+    const long long count = root.attribute_as_int("task_count");
+    if (count < 0) throw ConfigError("experiment file: negative task_count");
+    config.task_count_override = static_cast<std::size_t>(count);
+  }
+
+  config.clusters.clear();
+  for (const Element* cluster : root.find_children("cluster")) {
+    ClusterSetup setup;
+    const auto machine = cluster->attribute("machine");
+    if (!machine) throw ParseError("experiment file: <cluster> needs a machine attribute", 0, 0);
+    setup.spec = cluster::MachineCatalog::by_name(*machine);  // throws on unknown
+    setup.name = cluster->attribute("name").value_or(*machine);
+    const long long count = cluster->attribute_as_int("count");
+    if (count <= 0) throw ConfigError("experiment file: cluster count must be positive");
+    setup.options.node_count = static_cast<std::size_t>(count);
+    if (cluster->has_attribute("power_heterogeneity")) {
+      setup.options.power_heterogeneity = cluster->attribute_as_double("power_heterogeneity");
+    }
+    if (cluster->has_attribute("speed_heterogeneity")) {
+      setup.options.speed_heterogeneity = cluster->attribute_as_double("speed_heterogeneity");
+    }
+    if (cluster->has_attribute("initially_on")) {
+      setup.options.initially_on = cluster->attribute_as_int("initially_on") != 0;
+    }
+    config.clusters.push_back(std::move(setup));
+  }
+  if (config.clusters.empty())
+    throw ParseError("experiment file: at least one <cluster> is required", 0, 0);
+
+  if (const Element* workload = root.find_child("workload")) {
+    if (workload->has_attribute("requests_per_core")) {
+      config.workload.requests_per_core = workload->attribute_as_double("requests_per_core");
+    }
+    if (workload->has_attribute("burst")) {
+      const long long burst = workload->attribute_as_int("burst");
+      if (burst < 0) throw ConfigError("experiment file: negative burst");
+      config.workload.burst_size = static_cast<std::size_t>(burst);
+    }
+    if (workload->has_attribute("rate")) {
+      config.workload.continuous_rate = workload->attribute_as_double("rate");
+    }
+    if (workload->has_attribute("work_flops")) {
+      config.workload.task.work = common::Flops(workload->attribute_as_double("work_flops"));
+    }
+    if (auto service = workload->attribute("service")) {
+      config.workload.task.service = *service;
+    }
+    if (workload->has_attribute("user_preference")) {
+      config.workload.user_preference = workload->attribute_as_double("user_preference");
+    }
+  }
+  return config;
+}
+
+PlacementConfig config_from_string(const std::string& text) {
+  return config_from_xml(Document::parse(text));
+}
+
+}  // namespace greensched::metrics

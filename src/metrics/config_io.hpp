@@ -1,0 +1,31 @@
+// Experiment configuration files.
+//
+// A PlacementConfig can be saved to / loaded from a small XML document,
+// so experiments are shareable artifacts (the CLI's `--config`):
+//
+//   <experiment policy="POWER" seed="42" clients="1" spec_fallback="0">
+//     <cluster machine="taurus" count="4" power_heterogeneity="0.1"/>
+//     ...
+//     <workload requests_per_core="10" burst="50" rate="2"
+//               work_flops="2.1e11" service="cpu-bound"/>
+//   </experiment>
+//
+// Machines are referenced by catalog name.
+#pragma once
+
+#include <string>
+
+#include "metrics/experiment.hpp"
+#include "xmlite/xml.hpp"
+
+namespace greensched::metrics {
+
+[[nodiscard]] xmlite::Document config_to_xml(const PlacementConfig& config);
+[[nodiscard]] std::string config_to_string(const PlacementConfig& config);
+
+/// Throws ParseError on structural problems and ConfigError on invalid
+/// values (unknown machine, bad counts...).
+[[nodiscard]] PlacementConfig config_from_xml(const xmlite::Document& doc);
+[[nodiscard]] PlacementConfig config_from_string(const std::string& text);
+
+}  // namespace greensched::metrics

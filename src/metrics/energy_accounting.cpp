@@ -1,0 +1,54 @@
+#include "metrics/energy_accounting.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace greensched::metrics {
+
+EnergySnapshot::EnergySnapshot(cluster::Platform& platform, common::Seconds at) : time_(at) {
+  // Cluster id -> name lookup built once.
+  std::map<common::ClusterId, std::string> cluster_names;
+  for (std::size_t c = 0; c < platform.cluster_count(); ++c) {
+    cluster_names[platform.cluster(c).id] = platform.cluster(c).name;
+  }
+  for (std::size_t i = 0; i < platform.node_count(); ++i) {
+    cluster::Node& node = platform.node(i);
+    NodeEnergy entry;
+    entry.node = node.name();
+    auto it = cluster_names.find(node.cluster());
+    entry.cluster = it == cluster_names.end() ? "?" : it->second;
+    entry.energy = node.energy(at);
+    total_ += entry.energy;
+    per_node_.push_back(std::move(entry));
+  }
+}
+
+std::vector<ClusterEnergy> EnergySnapshot::per_cluster() const {
+  std::map<std::string, ClusterEnergy> by_cluster;
+  for (const auto& n : per_node_) {
+    ClusterEnergy& entry = by_cluster[n.cluster];
+    entry.cluster = n.cluster;
+    entry.energy += n.energy;
+    ++entry.nodes;
+  }
+  std::vector<ClusterEnergy> out;
+  out.reserve(by_cluster.size());
+  for (auto& [name, entry] : by_cluster) out.push_back(std::move(entry));
+  return out;
+}
+
+common::Joules EnergySnapshot::since(const EnergySnapshot& earlier) const {
+  if (earlier.time_ > time_)
+    throw common::StateError("EnergySnapshot::since: snapshots out of order");
+  return total_ - earlier.total_;
+}
+
+common::Watts EnergySnapshot::mean_power_since(const EnergySnapshot& earlier) const {
+  const common::Seconds dt = time_ - earlier.time_;
+  if (dt.value() <= 0.0)
+    throw common::StateError("EnergySnapshot::mean_power_since: zero or negative interval");
+  return since(earlier) / dt;
+}
+
+}  // namespace greensched::metrics

@@ -1,0 +1,51 @@
+// Energy accounting: platform-wide and per-cluster snapshots and deltas.
+//
+// The paper reports whole-experiment joules (Table II), per-cluster
+// joules (Fig. 5) and 10-minute mean power (Fig. 9); this module produces
+// all three from the nodes' exact energy integrals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/platform.hpp"
+
+namespace greensched::metrics {
+
+struct NodeEnergy {
+  std::string node;
+  std::string cluster;
+  common::Joules energy{0.0};
+};
+
+struct ClusterEnergy {
+  std::string cluster;
+  common::Joules energy{0.0};
+  std::size_t nodes = 0;
+};
+
+/// A full platform energy snapshot at one instant.
+class EnergySnapshot {
+ public:
+  EnergySnapshot() = default;
+  /// Reads every node's energy integral at `at`.
+  EnergySnapshot(cluster::Platform& platform, common::Seconds at);
+
+  [[nodiscard]] common::Seconds time() const noexcept { return time_; }
+  [[nodiscard]] common::Joules total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<NodeEnergy>& per_node() const noexcept { return per_node_; }
+  [[nodiscard]] std::vector<ClusterEnergy> per_cluster() const;
+
+  /// Energy consumed between `earlier` and this snapshot; throws
+  /// StateError if `earlier` is not actually earlier.
+  [[nodiscard]] common::Joules since(const EnergySnapshot& earlier) const;
+  /// Mean platform power between `earlier` and this snapshot.
+  [[nodiscard]] common::Watts mean_power_since(const EnergySnapshot& earlier) const;
+
+ private:
+  common::Seconds time_{0.0};
+  common::Joules total_{0.0};
+  std::vector<NodeEnergy> per_node_;
+};
+
+}  // namespace greensched::metrics

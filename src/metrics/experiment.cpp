@@ -1,0 +1,165 @@
+#include "metrics/experiment.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "des/simulator.hpp"
+#include "diet/client.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/policies.hpp"
+
+namespace greensched::metrics {
+
+using cluster::MachineCatalog;
+using common::Seconds;
+
+namespace {
+
+/// Collapses a multi-core spec into a single-slot server: same total
+/// speed and peak power, one core — so one task drives the server to its
+/// "maximal performance and power" as in the Fig. 6/7 simulations.
+cluster::NodeSpec single_slot(cluster::NodeSpec spec) {
+  spec.flops_per_core = spec.total_flops();
+  spec.cores = 1;
+  // A single busy core now means full load, so idle stays idle and busy
+  // is peak — exactly the simulation's assumption.
+  spec.validate();
+  return spec;
+}
+
+}  // namespace
+
+std::vector<ClusterSetup> table1_clusters() {
+  std::vector<ClusterSetup> out;
+  cluster::ClusterOptions four;
+  four.node_count = 4;
+  out.push_back({"orion", MachineCatalog::orion(), four});
+  out.push_back({"sagittaire", MachineCatalog::sagittaire(), four});
+  out.push_back({"taurus", MachineCatalog::taurus(), four});
+  return out;
+}
+
+std::vector<ClusterSetup> low_heterogeneity_clusters(std::size_t per_type) {
+  std::vector<ClusterSetup> out;
+  cluster::ClusterOptions options;
+  options.node_count = per_type;
+  out.push_back({"orion", single_slot(MachineCatalog::orion()), options});
+  out.push_back({"taurus", single_slot(MachineCatalog::taurus()), options});
+  return out;
+}
+
+std::vector<ClusterSetup> high_heterogeneity_clusters(std::size_t per_type) {
+  std::vector<ClusterSetup> out;
+  cluster::ClusterOptions options;
+  options.node_count = per_type;
+  out.push_back({"orion", single_slot(MachineCatalog::orion()), options});
+  out.push_back({"taurus", single_slot(MachineCatalog::taurus()), options});
+  out.push_back({"sim1", single_slot(MachineCatalog::sim1()), options});
+  out.push_back({"sim2", single_slot(MachineCatalog::sim2()), options});
+  return out;
+}
+
+PlacementResult run_placement(const PlacementConfig& config) {
+  if (config.clusters.empty())
+    throw common::ConfigError("run_placement: no clusters configured");
+  if (config.client_count == 0)
+    throw common::ConfigError("run_placement: need at least one client");
+
+  des::Simulator sim;
+  common::Rng rng(config.seed);
+
+  cluster::Platform platform;
+  for (const auto& setup : config.clusters) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+
+  diet::Hierarchy hierarchy(sim, rng);
+  const std::set<std::string> services{config.workload.task.service};
+  diet::MasterAgent& ma = config.per_cluster_tree
+                              ? hierarchy.build_per_cluster(platform, services, config.sed)
+                              : hierarchy.build_flat(platform, services, config.sed);
+
+  const std::unique_ptr<diet::PluginScheduler> policy = green::make_policy(
+      config.policy, config.spec_fallback ? green::UnknownRanking::kSpecFallback
+                                          : green::UnknownRanking::kExploreFirst);
+  ma.set_plugin(policy.get());
+
+  // Generate the workload and split it round-robin over the clients.
+  workload::WorkloadGenerator generator(config.workload);
+  std::vector<workload::TaskInstance> tasks;
+  if (config.task_count_override != 0) {
+    workload::BurstThenContinuousArrival arrival(config.workload.burst_size,
+                                                 config.workload.continuous_rate);
+    tasks = generator.generate_with(arrival, config.task_count_override, Seconds(0.0), rng);
+  } else {
+    tasks = generator.generate(platform.total_cores(), rng);
+  }
+  const std::size_t task_count = tasks.size();
+
+  std::vector<std::unique_ptr<diet::Client>> clients;
+  std::vector<std::vector<workload::TaskInstance>> shares(config.client_count);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    shares[i % config.client_count].push_back(tasks[i]);
+  }
+  for (std::size_t c = 0; c < config.client_count; ++c) {
+    clients.push_back(
+        std::make_unique<diet::Client>(hierarchy, "client-" + std::to_string(c)));
+    clients[c]->submit_workload(std::move(shares[c]));
+  }
+
+  sim.run();
+
+  // Every task must have completed — anything else is a scheduling bug.
+  for (const auto& client : clients) {
+    if (!client->all_done())
+      throw common::StateError("run_placement: client '" + client->name() +
+                               "' finished with unplaced or incomplete tasks");
+  }
+
+  PlacementResult result;
+  result.policy = config.policy;
+  result.seed = config.seed;
+  result.tasks = task_count;
+  result.sim_events = sim.executed();
+
+  double makespan = 0.0;
+  double wait_sum = 0.0;
+  std::size_t wait_count = 0;
+  std::map<std::string, std::size_t> per_server;
+  for (const auto& client : clients) {
+    makespan = std::max(makespan, client->makespan().value());
+    for (const auto& r : client->records()) {
+      if (r.start) {
+        wait_sum += (r.start->value() - r.submit.value());
+        ++wait_count;
+      }
+      if (!r.server.empty() && r.end) ++per_server[r.server];
+    }
+  }
+  result.makespan = Seconds(makespan);
+  result.mean_wait_seconds = wait_count ? wait_sum / static_cast<double>(wait_count) : 0.0;
+  result.tasks_per_server.assign(per_server.begin(), per_server.end());
+
+  // Whole-infrastructure energy over the experiment (idle draw included,
+  // as the wattmeters of the testbed would measure it).
+  EnergySnapshot snapshot(platform, Seconds(makespan));
+  result.energy = snapshot.total();
+  for (const auto& c : snapshot.per_cluster()) {
+    result.per_cluster.push_back(ClusterEnergyRow{c.cluster, c.energy});
+  }
+  return result;
+}
+
+std::vector<PlacementResult> run_placement_sweep(PlacementConfig config,
+                                                 const std::vector<std::uint64_t>& seeds) {
+  std::vector<PlacementResult> results;
+  results.reserve(seeds.size());
+  for (std::uint64_t seed : seeds) {
+    config.seed = seed;
+    results.push_back(run_placement(config));
+  }
+  return results;
+}
+
+}  // namespace greensched::metrics

@@ -1,0 +1,84 @@
+// Reusable experiment harness.
+//
+// Every evaluation artifact of the paper is a run (or sweep of runs) of
+// the *placement experiment*: build a platform, deploy the DIET tree,
+// install a policy, replay a workload, report makespan / energy /
+// per-cluster energy / per-server task counts.  Benches, examples and
+// integration tests all call this harness instead of re-wiring the stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/catalog.hpp"
+#include "cluster/platform.hpp"
+#include "diet/sed.hpp"
+#include "metrics/energy_accounting.hpp"
+#include "workload/generator.hpp"
+
+namespace greensched::metrics {
+
+struct ClusterSetup {
+  std::string name;
+  cluster::NodeSpec spec;
+  cluster::ClusterOptions options;
+};
+
+/// Table I: 4x Orion + 4x Sagittaire + 4x Taurus as SED nodes (the MA and
+/// client nodes carry no computational load and are not modeled).
+[[nodiscard]] std::vector<ClusterSetup> table1_clusters();
+
+/// Fig. 6's low-heterogeneity platform: two similar server types
+/// (Orion/Taurus-like), flattened to one task per server ("each server is
+/// limited to the computation of one task" — served by single-slot SEDs).
+[[nodiscard]] std::vector<ClusterSetup> low_heterogeneity_clusters(std::size_t per_type = 6);
+
+/// Fig. 7's high-heterogeneity platform: four server types (adds the
+/// Table III simulated clusters Sim1 and Sim2).
+[[nodiscard]] std::vector<ClusterSetup> high_heterogeneity_clusters(std::size_t per_type = 4);
+
+struct PlacementConfig {
+  std::vector<ClusterSetup> clusters = table1_clusters();
+  workload::WorkloadConfig workload{};
+  std::string policy = "POWER";
+  std::uint64_t seed = 42;
+  bool per_cluster_tree = true;  ///< MA -> LA per cluster -> SEDs
+  diet::SedConfig sed{};
+  std::size_t client_count = 1;  ///< tasks split round-robin across clients
+  /// Override the task count (0 = requests_per_core * total cores).
+  std::size_t task_count_override = 0;
+  /// True = servers' nameplate figures are known up front (the paper's
+  /// simulations, after an initial benchmark); false = pure learning (the
+  /// paper's live runs).
+  bool spec_fallback = false;
+};
+
+struct ClusterEnergyRow {
+  std::string cluster;
+  common::Joules energy{0.0};
+};
+
+struct PlacementResult {
+  std::string policy;
+  std::uint64_t seed = 0;
+  std::size_t tasks = 0;
+  common::Seconds makespan{0.0};
+  common::Joules energy{0.0};
+  std::vector<ClusterEnergyRow> per_cluster;
+  std::vector<std::pair<std::string, std::size_t>> tasks_per_server;
+  std::uint64_t sim_events = 0;
+  double mean_wait_seconds = 0.0;  ///< mean (start - submit) over tasks
+};
+
+/// Runs one placement experiment to completion (deterministic in `seed`).
+[[nodiscard]] PlacementResult run_placement(const PlacementConfig& config);
+
+/// Runs the same config under several seeds (the RANDOM envelope of
+/// Figs. 6-7).
+[[nodiscard]] std::vector<PlacementResult> run_placement_sweep(PlacementConfig config,
+                                                               const std::vector<std::uint64_t>&
+                                                                   seeds);
+
+}  // namespace greensched::metrics

@@ -1,0 +1,66 @@
+#include "metrics/power_log.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace greensched::metrics {
+
+using common::ConfigError;
+
+PowerLogAnalyzer::PowerLogAnalyzer(PowerLogConfig config) : config_(config) {
+  if (config_.idle_band_watts < 0.0 || config_.peak_band_watts < 0.0)
+    throw ConfigError("PowerLogAnalyzer: bands must be non-negative");
+}
+
+PowerLogSummary PowerLogAnalyzer::summarize(const common::TimeSeries& series) const {
+  if (series.empty()) throw ConfigError("PowerLogAnalyzer: empty series");
+
+  common::RunningStats stats;
+  for (std::size_t i = 0; i < series.size(); ++i) stats.add(series.value_at(i));
+
+  PowerLogSummary summary;
+  summary.samples = stats.count();
+  summary.mean_watts = stats.mean();
+  summary.min_watts = stats.min();
+  summary.max_watts = stats.max();
+  summary.stddev_watts = stats.stddev();
+  summary.energy_joules = series.integrate();
+
+  std::size_t idle = 0, peak = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double v = series.value_at(i);
+    if (v <= stats.min() + config_.idle_band_watts) ++idle;
+    if (v >= stats.max() - config_.peak_band_watts) ++peak;
+  }
+  summary.idle_fraction = static_cast<double>(idle) / static_cast<double>(series.size());
+  summary.peak_fraction = static_cast<double>(peak) / static_cast<double>(series.size());
+  return summary;
+}
+
+common::Histogram PowerLogAnalyzer::histogram(const common::TimeSeries& series,
+                                              std::size_t bins) const {
+  const PowerLogSummary summary = summarize(series);
+  const double lo = summary.min_watts;
+  // A flat series still needs a non-degenerate range.
+  const double hi = summary.max_watts > lo ? summary.max_watts + 1e-9 : lo + 1.0;
+  common::Histogram h(lo, hi, bins);
+  for (std::size_t i = 0; i < series.size(); ++i) h.add(series.value_at(i));
+  return h;
+}
+
+common::TimeSeries PowerLogAnalyzer::resample(const common::TimeSeries& series,
+                                              double window_seconds) const {
+  if (window_seconds <= 0.0)
+    throw ConfigError("PowerLogAnalyzer: window must be positive");
+  common::TimeSeries out;
+  if (series.empty()) return out;
+  const double start = series.time_at(0);
+  const double end = series.time_at(series.size() - 1);
+  for (double t = start + window_seconds; t <= end + 1e-9; t += window_seconds) {
+    out.add(t, series.window_average(t - window_seconds, t));
+  }
+  return out;
+}
+
+}  // namespace greensched::metrics

@@ -1,0 +1,53 @@
+// Power-log analysis.
+//
+// The authors' earlier work ("An analysis of power consumption logs from
+// a monitored grid site", GreenCom 2010 — reference [23]) motivates the
+// dynamic method: wattmeter logs show long low-utilization periods and
+// per-node variation.  This analyzer produces the same kind of summary
+// from a wattmeter's sample series: mean/min/max/σ, the time share spent
+// near idle and near peak, a power histogram and fixed-window
+// downsampling (Fig. 9's 10-minute means).
+#pragma once
+
+#include "common/stats.hpp"
+
+namespace greensched::metrics {
+
+struct PowerLogSummary {
+  std::size_t samples = 0;
+  double mean_watts = 0.0;
+  double min_watts = 0.0;
+  double max_watts = 0.0;
+  double stddev_watts = 0.0;
+  double energy_joules = 0.0;   ///< trapezoidal integral of the series
+  double idle_fraction = 0.0;   ///< samples within the idle band of min
+  double peak_fraction = 0.0;   ///< samples within the peak band of max
+};
+
+struct PowerLogConfig {
+  double idle_band_watts = 10.0;  ///< "near idle" means min + band
+  double peak_band_watts = 10.0;  ///< "near peak" means max - band
+};
+
+class PowerLogAnalyzer {
+ public:
+  explicit PowerLogAnalyzer(PowerLogConfig config = {});
+
+  /// Full-series summary; throws ConfigError on an empty series.
+  [[nodiscard]] PowerLogSummary summarize(const common::TimeSeries& series) const;
+
+  /// Power-value histogram over [min, max] of the series.
+  [[nodiscard]] common::Histogram histogram(const common::TimeSeries& series,
+                                            std::size_t bins) const;
+
+  /// Downsamples to one mean value per `window_seconds` (the Fig. 9
+  /// "average value of energy consumption measured during the previous
+  /// 10 minutes" series).
+  [[nodiscard]] common::TimeSeries resample(const common::TimeSeries& series,
+                                            double window_seconds) const;
+
+ private:
+  PowerLogConfig config_;
+};
+
+}  // namespace greensched::metrics

@@ -1,0 +1,62 @@
+#include "metrics/replication.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace greensched::metrics {
+
+std::string Estimate::to_string(int precision) const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f +/- %.*f (n=%zu)", precision, mean, precision, ci95,
+                n);
+  return buf;
+}
+
+Estimate estimate_from(const std::vector<double>& samples) {
+  if (samples.empty()) throw common::ConfigError("estimate_from: no samples");
+  common::RunningStats stats;
+  for (double s : samples) stats.add(s);
+  Estimate e;
+  e.mean = stats.mean();
+  e.stddev = stats.stddev();
+  e.n = stats.count();
+  e.min = stats.min();
+  e.max = stats.max();
+  if (e.n >= 2) e.ci95 = 1.96 * e.stddev / std::sqrt(static_cast<double>(e.n));
+  return e;
+}
+
+bool intervals_overlap(const Estimate& a, const Estimate& b) {
+  return a.mean - a.ci95 <= b.mean + b.ci95 && b.mean - b.ci95 <= a.mean + a.ci95;
+}
+
+std::vector<std::uint64_t> default_seeds(std::size_t n) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) seeds.push_back(i);
+  return seeds;
+}
+
+ReplicatedResult run_replicated(PlacementConfig config,
+                                const std::vector<std::uint64_t>& seeds) {
+  if (seeds.empty()) throw common::ConfigError("run_replicated: no seeds");
+  ReplicatedResult result;
+  result.policy = config.policy;
+  std::vector<double> makespans, energies, waits;
+  for (std::uint64_t seed : seeds) {
+    config.seed = seed;
+    result.runs.push_back(run_placement(config));
+    makespans.push_back(result.runs.back().makespan.value());
+    energies.push_back(result.runs.back().energy.value());
+    waits.push_back(result.runs.back().mean_wait_seconds);
+  }
+  result.makespan_seconds = estimate_from(makespans);
+  result.energy_joules = estimate_from(energies);
+  result.mean_wait_seconds = estimate_from(waits);
+  return result;
+}
+
+}  // namespace greensched::metrics

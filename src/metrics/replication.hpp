@@ -1,0 +1,51 @@
+// Replicated runs with confidence intervals.
+//
+// The paper reports single runs; for a simulator it is cheap to replicate
+// across seeds and report mean ± 95% confidence interval, which is what
+// the benches use for the RANDOM envelope and what downstream users
+// should do for their own comparisons.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.hpp"
+
+namespace greensched::metrics {
+
+/// Mean, spread and a normal-approximation 95% confidence half-width.
+struct Estimate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< 1.96 * stddev / sqrt(n); 0 for n < 2
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] std::string to_string(int precision = 1) const;
+};
+
+/// Aggregated replication of one placement configuration.
+struct ReplicatedResult {
+  std::string policy;
+  Estimate makespan_seconds;
+  Estimate energy_joules;
+  Estimate mean_wait_seconds;
+  std::vector<PlacementResult> runs;
+};
+
+/// Runs `config` under each seed and aggregates.
+[[nodiscard]] ReplicatedResult run_replicated(PlacementConfig config,
+                                              const std::vector<std::uint64_t>& seeds);
+
+/// Convenience: seeds 1..n (deterministic default replication set).
+[[nodiscard]] std::vector<std::uint64_t> default_seeds(std::size_t n);
+
+/// Builds an Estimate from raw samples.
+[[nodiscard]] Estimate estimate_from(const std::vector<double>& samples);
+
+/// Welch-style check: do the two estimates' 95% intervals overlap?  A
+/// *false* result is evidence the difference is real.
+[[nodiscard]] bool intervals_overlap(const Estimate& a, const Estimate& b);
+
+}  // namespace greensched::metrics

@@ -1,0 +1,90 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/ascii_plot.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace greensched::metrics {
+
+using common::TextTable;
+
+std::string render_policy_comparison(const std::vector<PlacementResult>& results) {
+  if (results.empty()) throw common::ConfigError("render_policy_comparison: no results");
+  std::vector<std::string> headers{"Metric"};
+  for (const auto& r : results) headers.push_back(r.policy);
+  TextTable table(std::move(headers));
+
+  std::vector<std::string> makespan_row{"Makespan (s)"};
+  std::vector<std::string> energy_row{"Energy (J)"};
+  std::vector<std::string> tasks_row{"Tasks"};
+  for (const auto& r : results) {
+    makespan_row.push_back(TextTable::grouped(std::llround(r.makespan.value())));
+    energy_row.push_back(TextTable::grouped(std::llround(r.energy.value())));
+    tasks_row.push_back(TextTable::integer(static_cast<long long>(r.tasks)));
+  }
+  table.add_row(std::move(makespan_row));
+  table.add_row(std::move(energy_row));
+  table.add_row(std::move(tasks_row));
+  return table.render();
+}
+
+std::string render_cluster_energy(const std::vector<PlacementResult>& results) {
+  if (results.empty()) throw common::ConfigError("render_cluster_energy: no results");
+  // Collect the union of cluster names, preserving first-seen order.
+  std::vector<std::string> cluster_names;
+  for (const auto& r : results) {
+    for (const auto& c : r.per_cluster) {
+      if (std::find(cluster_names.begin(), cluster_names.end(), c.cluster) ==
+          cluster_names.end()) {
+        cluster_names.push_back(c.cluster);
+      }
+    }
+  }
+
+  std::vector<std::string> headers{"Cluster"};
+  for (const auto& r : results) headers.push_back(r.policy + " (J)");
+  TextTable table(std::move(headers));
+  for (const auto& name : cluster_names) {
+    std::vector<std::string> row{name};
+    for (const auto& r : results) {
+      double joules = 0.0;
+      for (const auto& c : r.per_cluster) {
+        if (c.cluster == name) joules = c.energy.value();
+      }
+      row.push_back(TextTable::grouped(std::llround(joules)));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string render_task_distribution(const PlacementResult& result) {
+  std::vector<std::pair<std::string, double>> bars;
+  for (const auto& [server, count] : result.tasks_per_server) {
+    bars.emplace_back(server, static_cast<double>(count));
+  }
+  std::ostringstream os;
+  os << "Tasks per server under " << result.policy << " (" << result.tasks << " tasks total):\n";
+  os << common::ascii_bars(bars);
+  return os.str();
+}
+
+double energy_saving_percent(const PlacementResult& baseline, const PlacementResult& candidate) {
+  if (baseline.energy.value() <= 0.0)
+    throw common::ConfigError("energy_saving_percent: baseline energy must be positive");
+  return (baseline.energy.value() - candidate.energy.value()) / baseline.energy.value() * 100.0;
+}
+
+double makespan_loss_percent(const PlacementResult& baseline, const PlacementResult& candidate) {
+  if (baseline.makespan.value() <= 0.0)
+    throw common::ConfigError("makespan_loss_percent: baseline makespan must be positive");
+  return (candidate.makespan.value() - baseline.makespan.value()) / baseline.makespan.value() *
+         100.0;
+}
+
+}  // namespace greensched::metrics

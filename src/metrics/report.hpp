@@ -1,0 +1,30 @@
+// Report rendering: turns experiment results into the tables and series
+// the paper prints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.hpp"
+
+namespace greensched::metrics {
+
+/// Table II-style comparison: one column per policy, rows Makespan (s)
+/// and Energy (J), plus derived percentage rows.
+[[nodiscard]] std::string render_policy_comparison(const std::vector<PlacementResult>& results);
+
+/// Fig. 5-style per-cluster energy table (one row per cluster, one column
+/// per policy).
+[[nodiscard]] std::string render_cluster_energy(const std::vector<PlacementResult>& results);
+
+/// Fig. 2/3/4-style per-server task distribution with ASCII bars.
+[[nodiscard]] std::string render_task_distribution(const PlacementResult& result);
+
+/// Percentage of energy saved by `candidate` relative to `baseline`.
+[[nodiscard]] double energy_saving_percent(const PlacementResult& baseline,
+                                           const PlacementResult& candidate);
+/// Percentage of makespan lost by `candidate` relative to `baseline`.
+[[nodiscard]] double makespan_loss_percent(const PlacementResult& baseline,
+                                           const PlacementResult& candidate);
+
+}  // namespace greensched::metrics

@@ -1,0 +1,208 @@
+#include "testbed/emulation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace greensched::testbed {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// std::atomic<double> has no fetch_add until C++20's compare-exchange
+// loop idiom; keep it explicit and portable.
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+std::uint64_t run_busy_task(const BusyTask& task) noexcept {
+  // Successive additions, as in the paper's CPU-bound problem.  The
+  // volatile accumulator stops the compiler from collapsing the loop.
+  volatile std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < task.additions; ++i) acc = acc + 1;
+  return acc;
+}
+
+EmulatedNode::EmulatedNode(std::string name, cluster::NodeSpec spec,
+                           std::chrono::milliseconds sample_period)
+    : name_(std::move(name)), spec_(std::move(spec)), sample_period_(sample_period) {
+  spec_.validate();
+  epoch_ = Clock::now();
+  if (sample_period_.count() <= 0)
+    throw common::ConfigError("EmulatedNode: sample period must be positive");
+  workers_.reserve(spec_.cores);
+  for (unsigned i = 0; i < spec_.cores; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+EmulatedNode::~EmulatedNode() { shutdown(); }
+
+bool EmulatedNode::submit(BusyTask task, std::function<void(double)> on_done) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return false;
+    queue_.emplace_back(task, std::move(on_done));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t EmulatedNode::queued() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+double EmulatedNode::instantaneous_power_watts() const noexcept {
+  const unsigned busy = busy_workers_.load();
+  if (busy == 0) return spec_.idle_watts.value();
+  // Same active-floor model as cluster::Node: any busy worker wakes the
+  // package to active_watts; extra workers scale toward peak.
+  const double load = static_cast<double>(busy) / static_cast<double>(spec_.cores);
+  return spec_.active_watts.value() +
+         (spec_.peak_watts.value() - spec_.active_watts.value()) * load;
+}
+
+double EmulatedNode::sampled_energy_joules() const noexcept {
+  // Integral so far plus the slice the sampler has not booked yet.
+  const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch_);
+  const double pending_seconds =
+      static_cast<double>(now_ns.count() - last_sample_ns_.load(std::memory_order_acquire)) /
+      1e9;
+  return energy_joules_.load() +
+         (pending_seconds > 0.0 ? instantaneous_power_watts() * pending_seconds : 0.0);
+}
+
+double EmulatedNode::measured_additions_per_second() const noexcept {
+  const std::uint64_t n = rate_samples_.load();
+  if (n == 0) return 0.0;
+  return rate_sum_.load() / static_cast<double>(n);
+}
+
+void EmulatedNode::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  sampler_stop_.store(true, std::memory_order_release);
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void EmulatedNode::worker_loop() {
+  for (;;) {
+    std::pair<BusyTask, std::function<void(double)>> item;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    busy_workers_.fetch_add(1);
+    const Clock::time_point start = Clock::now();
+    run_busy_task(item.first);
+    const double elapsed = seconds_between(start, Clock::now());
+    busy_workers_.fetch_sub(1);
+    completed_.fetch_add(1);
+    if (elapsed > 0.0) {
+      atomic_add(rate_sum_, static_cast<double>(item.first.additions) / elapsed);
+      rate_samples_.fetch_add(1);
+    }
+    if (item.second) item.second(elapsed);
+  }
+}
+
+void EmulatedNode::sampler_loop() {
+  Clock::time_point last = epoch_;
+  auto book = [&](Clock::time_point now) {
+    atomic_add(energy_joules_, instantaneous_power_watts() * seconds_between(last, now));
+    last_sample_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_).count(),
+        std::memory_order_release);
+    last = now;
+  };
+  while (!sampler_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(sample_period_);
+    book(Clock::now());
+  }
+  // Final slice so energy covers the node's full lifetime.
+  book(Clock::now());
+}
+
+Emulation::Emulation(std::vector<std::pair<std::string, cluster::NodeSpec>> machines) {
+  if (machines.empty()) throw common::ConfigError("Emulation: no machines");
+  for (auto& [name, spec] : machines) {
+    nodes_.push_back(std::make_unique<EmulatedNode>(name, spec));
+  }
+}
+
+EmulationReport Emulation::run(BusyTask task, std::uint64_t task_count) {
+  const Clock::time_point start = Clock::now();
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::uint64_t done = 0;
+  std::vector<std::uint64_t> per_node(nodes_.size(), 0);
+
+  for (std::uint64_t i = 0; i < task_count; ++i) {
+    // GreenPerf-greedy live placement: lowest modeled watts-per-rate node
+    // with a free worker; if all are saturated, the globally best node
+    // queues it (its workers are the cheapest anyway).
+    std::size_t best = 0;
+    double best_key = std::numeric_limits<double>::infinity();
+    std::size_t best_free = 0;
+    double best_free_key = std::numeric_limits<double>::infinity();
+    bool any_free = false;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      const auto& spec = nodes_[n]->spec();
+      const double key = spec.peak_watts.value() / spec.total_flops().value();
+      if (key < best_key) {
+        best_key = key;
+        best = n;
+      }
+      const bool has_free = nodes_[n]->busy_workers() + nodes_[n]->queued() < spec.cores;
+      if (has_free && key < best_free_key) {
+        best_free_key = key;
+        best_free = n;
+        any_free = true;
+      }
+    }
+    const std::size_t chosen = any_free ? best_free : best;
+    per_node[chosen] += 1;
+    nodes_[chosen]->submit(task, [&](double) {
+      std::lock_guard lock(done_mutex);
+      ++done;
+      done_cv.notify_one();
+    });
+  }
+
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return done == task_count; });
+  }
+
+  EmulationReport report;
+  report.tasks = task_count;
+  report.wall_seconds = seconds_between(start, Clock::now());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    report.energy_joules += nodes_[n]->sampled_energy_joules();
+    report.tasks_per_node.emplace_back(nodes_[n]->name(), per_node[n]);
+  }
+  return report;
+}
+
+}  // namespace greensched::testbed

@@ -1,0 +1,62 @@
+#include "workload/arrival.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::workload {
+
+using common::ConfigError;
+
+std::vector<Seconds> BurstArrival::generate(std::size_t count, Seconds start,
+                                            common::Rng& /*rng*/) const {
+  return std::vector<Seconds>(count, start);
+}
+
+FixedRateArrival::FixedRateArrival(double requests_per_second) : rate_(requests_per_second) {
+  if (rate_ <= 0.0) throw ConfigError("FixedRateArrival: rate must be positive");
+}
+
+std::vector<Seconds> FixedRateArrival::generate(std::size_t count, Seconds start,
+                                                common::Rng& /*rng*/) const {
+  std::vector<Seconds> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(start + Seconds(static_cast<double>(i) / rate_));
+  }
+  return out;
+}
+
+PoissonArrival::PoissonArrival(double requests_per_second) : rate_(requests_per_second) {
+  if (rate_ <= 0.0) throw ConfigError("PoissonArrival: rate must be positive");
+}
+
+std::vector<Seconds> PoissonArrival::generate(std::size_t count, Seconds start,
+                                              common::Rng& rng) const {
+  std::vector<Seconds> out;
+  out.reserve(count);
+  double t = start.value();
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.exponential(rate_);
+    out.push_back(Seconds(t));
+  }
+  return out;
+}
+
+BurstThenContinuousArrival::BurstThenContinuousArrival(std::size_t burst_size,
+                                                       double requests_per_second)
+    : burst_size_(burst_size), rate_(requests_per_second) {
+  if (rate_ <= 0.0) throw ConfigError("BurstThenContinuousArrival: rate must be positive");
+}
+
+std::vector<Seconds> BurstThenContinuousArrival::generate(std::size_t count, Seconds start,
+                                                          common::Rng& /*rng*/) const {
+  std::vector<Seconds> out;
+  out.reserve(count);
+  const std::size_t burst = std::min(burst_size_, count);
+  for (std::size_t i = 0; i < burst; ++i) out.push_back(start);
+  for (std::size_t i = burst; i < count; ++i) {
+    out.push_back(start + Seconds(static_cast<double>(i - burst + 1) / rate_));
+  }
+  return out;
+}
+
+}  // namespace greensched::workload

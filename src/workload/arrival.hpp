@@ -1,0 +1,73 @@
+// Arrival processes: when tasks reach the middleware.
+//
+// The paper's workload has "a burst phase, when the client submits r
+// simultaneous requests and a continuous phase when the client submits
+// requests at an arbitrary rate of two requests/second".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace greensched::workload {
+
+using common::Seconds;
+
+/// Generates submission timestamps for a fixed number of tasks.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Returns `count` non-decreasing timestamps starting at `start`.
+  [[nodiscard]] virtual std::vector<Seconds> generate(std::size_t count, Seconds start,
+                                                      common::Rng& rng) const = 0;
+};
+
+/// All tasks at the same instant.
+class BurstArrival final : public ArrivalProcess {
+ public:
+  [[nodiscard]] std::vector<Seconds> generate(std::size_t count, Seconds start,
+                                              common::Rng& rng) const override;
+};
+
+/// Deterministic fixed rate (requests per second).
+class FixedRateArrival final : public ArrivalProcess {
+ public:
+  explicit FixedRateArrival(double requests_per_second);
+  [[nodiscard]] std::vector<Seconds> generate(std::size_t count, Seconds start,
+                                              common::Rng& rng) const override;
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Poisson process with the given mean rate.
+class PoissonArrival final : public ArrivalProcess {
+ public:
+  explicit PoissonArrival(double requests_per_second);
+  [[nodiscard]] std::vector<Seconds> generate(std::size_t count, Seconds start,
+                                              common::Rng& rng) const override;
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// The paper's two-phase workload: `burst_size` requests at `start`, then
+/// the remainder at a continuous fixed rate.
+class BurstThenContinuousArrival final : public ArrivalProcess {
+ public:
+  BurstThenContinuousArrival(std::size_t burst_size, double requests_per_second);
+  [[nodiscard]] std::vector<Seconds> generate(std::size_t count, Seconds start,
+                                              common::Rng& rng) const override;
+  [[nodiscard]] std::size_t burst_size() const noexcept { return burst_size_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  std::size_t burst_size_;
+  double rate_;
+};
+
+}  // namespace greensched::workload

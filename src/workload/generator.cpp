@@ -1,0 +1,48 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace greensched::workload {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config) : config_(std::move(config)) {
+  config_.task.validate();
+  if (config_.requests_per_core <= 0.0)
+    throw common::ConfigError("WorkloadGenerator: requests_per_core must be positive");
+  if (config_.continuous_rate <= 0.0)
+    throw common::ConfigError("WorkloadGenerator: continuous_rate must be positive");
+  if (config_.user_preference < -0.9 || config_.user_preference > 0.9)
+    throw common::ConfigError("WorkloadGenerator: user preference outside [-0.9, 0.9]");
+}
+
+std::size_t WorkloadGenerator::task_count(unsigned total_cores) const noexcept {
+  return static_cast<std::size_t>(
+      std::llround(config_.requests_per_core * static_cast<double>(total_cores)));
+}
+
+std::vector<TaskInstance> WorkloadGenerator::generate(unsigned total_cores,
+                                                      common::Rng& rng) const {
+  BurstThenContinuousArrival arrival(config_.burst_size, config_.continuous_rate);
+  return generate_with(arrival, task_count(total_cores), Seconds(0.0), rng);
+}
+
+std::vector<TaskInstance> WorkloadGenerator::generate_with(const ArrivalProcess& arrival,
+                                                           std::size_t count, Seconds start,
+                                                           common::Rng& rng) const {
+  const std::vector<Seconds> times = arrival.generate(count, start, rng);
+  std::vector<TaskInstance> out;
+  out.reserve(count);
+  common::IdAllocator<TaskId> ids;
+  for (std::size_t i = 0; i < count; ++i) {
+    TaskInstance task;
+    task.id = ids.next();
+    task.spec = config_.task;
+    task.submit_time = times[i];
+    task.user_preference = config_.user_preference;
+    out.push_back(std::move(task));
+  }
+  return out;
+}
+
+}  // namespace greensched::workload

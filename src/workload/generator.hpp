@@ -1,0 +1,44 @@
+// Workload generator: combines a task spec, a task count rule and an
+// arrival process into the stream of TaskInstances a client submits.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/arrival.hpp"
+#include "workload/task.hpp"
+
+namespace greensched::workload {
+
+struct WorkloadConfig {
+  TaskSpec task = paper_cpu_bound_task();
+  /// The paper submits "10 client requests per available core".
+  double requests_per_core = 10.0;
+  std::size_t burst_size = 50;
+  double continuous_rate = 2.0;  ///< requests/second after the burst
+  double user_preference = 0.0;  ///< Preference_user attached to each task
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  /// Task count for a platform exposing `total_cores` cores.
+  [[nodiscard]] std::size_t task_count(unsigned total_cores) const noexcept;
+
+  /// Generates submissions for a platform with `total_cores` cores using
+  /// the paper's burst+continuous arrival shape.
+  [[nodiscard]] std::vector<TaskInstance> generate(unsigned total_cores, common::Rng& rng) const;
+
+  /// Generates exactly `count` tasks with a caller-provided arrival process.
+  [[nodiscard]] std::vector<TaskInstance> generate_with(const ArrivalProcess& arrival,
+                                                        std::size_t count, Seconds start,
+                                                        common::Rng& rng) const;
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+ private:
+  WorkloadConfig config_;
+};
+
+}  // namespace greensched::workload

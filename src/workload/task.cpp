@@ -1,0 +1,25 @@
+#include "workload/task.hpp"
+
+#include "common/error.hpp"
+
+namespace greensched::workload {
+
+void TaskSpec::validate() const {
+  if (service.empty()) throw common::ConfigError("TaskSpec: service name must not be empty");
+  if (work.value() <= 0.0) throw common::ConfigError("TaskSpec: work must be positive");
+  if (cores == 0) throw common::ConfigError("TaskSpec: cores must be >= 1");
+}
+
+TaskSpec paper_cpu_bound_task() {
+  TaskSpec spec;
+  spec.service = "cpu-bound";
+  // Calibrated so that the steady-state demand of the Section IV-A
+  // workload (2 requests/second) occupies ~46 cores — just inside one
+  // cluster's 48-core capacity: 2.1e11 FLOP runs 22.8 s on a Taurus
+  // core, 21.4 s on Orion, 52.5 s on Sagittaire.
+  spec.work = common::Flops(2.1e11);
+  spec.cores = 1;
+  return spec;
+}
+
+}  // namespace greensched::workload

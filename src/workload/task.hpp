@@ -1,0 +1,42 @@
+// Task model: what a client asks the middleware to compute.
+//
+// In the paper's first experiment a task is "a CPU-bound problem which
+// consists in 1e8 successive additions", occupying exactly one core.  We
+// express tasks as FLOP counts; the default size is calibrated so per-task
+// service time on the Table I machines lands in the few-minutes range the
+// makespans imply.
+#pragma once
+
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace greensched::workload {
+
+using common::Flops;
+using common::Seconds;
+using common::TaskId;
+
+struct TaskSpec {
+  std::string service = "cpu-bound";  ///< DIET service name this task needs
+  Flops work{0.0};                    ///< n_i, FLOPs to perform
+  unsigned cores = 1;                 ///< cores occupied while running
+
+  void validate() const;
+};
+
+/// The paper's benchmark task (1e8 successive additions), scaled to our
+/// machine models so that ~10 tasks/core produce a makespan of the order
+/// reported in Table II.
+[[nodiscard]] TaskSpec paper_cpu_bound_task();
+
+/// One submitted task instance.
+struct TaskInstance {
+  TaskId id{};
+  TaskSpec spec;
+  Seconds submit_time{0.0};
+  double user_preference = 0.0;  ///< Preference_user in [-0.9, 0.9]
+};
+
+}  // namespace greensched::workload

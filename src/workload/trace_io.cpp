@@ -1,0 +1,114 @@
+#include "workload/trace_io.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace greensched::workload {
+
+using common::ParseError;
+
+namespace {
+
+constexpr const char* kHeader = "submit_time,work_flops,cores,service,user_preference";
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(field);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  out.push_back(field);
+  return out;
+}
+
+double parse_double_field(const std::string& text, std::size_t line, const char* what) {
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw ParseError(std::string("trace: bad ") + what + " '" + text + "'", line, 1);
+  return value;
+}
+
+}  // namespace
+
+void save_trace(std::ostream& out, const std::vector<TaskInstance>& tasks) {
+  out << kHeader << '\n';
+  char buf[160];
+  for (const auto& task : tasks) {
+    std::snprintf(buf, sizeof(buf), "%.9g,%.9g,%u,%s,%.4g\n", task.submit_time.value(),
+                  task.spec.work.value(), task.spec.cores, task.spec.service.c_str(),
+                  task.user_preference);
+    out << buf;
+  }
+}
+
+std::string trace_to_string(const std::vector<TaskInstance>& tasks) {
+  std::ostringstream os;
+  save_trace(os, tasks);
+  return os.str();
+}
+
+std::vector<TaskInstance> load_trace(std::istream& in) {
+  std::string line;
+  std::size_t line_number = 0;
+
+  if (!std::getline(in, line)) throw ParseError("trace: empty input", 1, 1);
+  ++line_number;
+  // Tolerate trailing \r from Windows-edited files.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kHeader)
+    throw ParseError("trace: missing header '" + std::string(kHeader) + "'", 1, 1);
+
+  std::vector<TaskInstance> tasks;
+  common::IdAllocator<common::TaskId> ids;
+  double previous_time = -1.0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    const auto fields = split_fields(line);
+    if (fields.size() != 5)
+      throw ParseError("trace: expected 5 fields, got " + std::to_string(fields.size()),
+                       line_number, 1);
+
+    TaskInstance task;
+    task.id = ids.next();
+    task.submit_time = common::Seconds(parse_double_field(fields[0], line_number, "submit_time"));
+    task.spec.work = common::Flops(parse_double_field(fields[1], line_number, "work_flops"));
+    const double cores = parse_double_field(fields[2], line_number, "cores");
+    if (cores < 1.0 || cores != static_cast<double>(static_cast<unsigned>(cores)))
+      throw ParseError("trace: cores must be a positive integer", line_number, 1);
+    task.spec.cores = static_cast<unsigned>(cores);
+    task.spec.service = fields[3];
+    task.user_preference = parse_double_field(fields[4], line_number, "user_preference");
+    if (task.user_preference < -1.0 || task.user_preference > 1.0)
+      throw ParseError("trace: user_preference outside [-1, 1]", line_number, 1);
+    try {
+      task.spec.validate();
+    } catch (const common::ConfigError& e) {
+      // Surface spec problems as parse errors with the offending line.
+      throw ParseError(std::string("trace: ") + e.what(), line_number, 1);
+    }
+    if (task.submit_time.value() < previous_time)
+      throw ParseError("trace: submit times must be non-decreasing", line_number, 1);
+    previous_time = task.submit_time.value();
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+std::vector<TaskInstance> trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_trace(is);
+}
+
+}  // namespace greensched::workload

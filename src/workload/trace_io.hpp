@@ -1,0 +1,26 @@
+// Workload trace I/O: save and replay task submission traces as CSV.
+//
+// Lets an experiment be captured once and replayed bit-identically (or
+// shared), and lets externally produced traces drive the simulator.
+// Format (header required):
+//   submit_time,work_flops,cores,service,user_preference
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace greensched::workload {
+
+/// Serializes tasks (sorted by submit time) to CSV.
+void save_trace(std::ostream& out, const std::vector<TaskInstance>& tasks);
+[[nodiscard]] std::string trace_to_string(const std::vector<TaskInstance>& tasks);
+
+/// Parses a CSV trace; throws ParseError (with line info) on malformed
+/// input.  Task ids are assigned sequentially in file order.
+[[nodiscard]] std::vector<TaskInstance> load_trace(std::istream& in);
+[[nodiscard]] std::vector<TaskInstance> trace_from_string(const std::string& text);
+
+}  // namespace greensched::workload

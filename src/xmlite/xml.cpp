@@ -1,0 +1,403 @@
+#include "xmlite/xml.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace greensched::xmlite {
+
+namespace {
+
+bool name_start_char(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool name_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' || c == '.' ||
+         c == '-';
+}
+
+double parse_double_or_throw(std::string_view text, const char* what) {
+  double out = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  // Skip surrounding whitespace, which is common in hand-edited planning
+  // files.
+  while (begin != end && std::isspace(static_cast<unsigned char>(*begin))) ++begin;
+  while (end != begin && std::isspace(static_cast<unsigned char>(end[-1]))) --end;
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end)
+    throw ParseError(std::string(what) + ": not a number: '" + std::string(text) + "'", 0, 0);
+  return out;
+}
+
+long long parse_int_or_throw(std::string_view text, const char* what) {
+  long long out = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  while (begin != end && std::isspace(static_cast<unsigned char>(*begin))) ++begin;
+  while (end != begin && std::isspace(static_cast<unsigned char>(end[-1]))) --end;
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end)
+    throw ParseError(std::string(what) + ": not an integer: '" + std::string(text) + "'", 0, 0);
+  return out;
+}
+
+std::string format_double(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+}  // namespace
+
+bool valid_name(std::string_view name) noexcept {
+  if (name.empty() || !name_start_char(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!name_char(c)) return false;
+  }
+  return true;
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Element::Element(std::string name) : name_(std::move(name)) {
+  if (!valid_name(name_))
+    throw ParseError("invalid element name: '" + name_ + "'", 0, 0);
+}
+
+Element& Element::set_attribute(std::string_view key, std::string_view value) {
+  if (!valid_name(key)) throw ParseError("invalid attribute name: '" + std::string(key) + "'", 0, 0);
+  attributes_[std::string(key)] = std::string(value);
+  return *this;
+}
+
+Element& Element::set_attribute(std::string_view key, double value) {
+  return set_attribute(key, format_double(value));
+}
+
+Element& Element::set_attribute(std::string_view key, long long value) {
+  return set_attribute(key, std::to_string(value));
+}
+
+bool Element::has_attribute(std::string_view key) const noexcept {
+  return attributes_.find(key) != attributes_.end();
+}
+
+std::optional<std::string> Element::attribute(std::string_view key) const {
+  auto it = attributes_.find(key);
+  if (it == attributes_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Element::attribute_as_double(std::string_view key) const {
+  auto v = attribute(key);
+  if (!v) throw ParseError("missing attribute '" + std::string(key) + "' on <" + name_ + ">", 0, 0);
+  return parse_double_or_throw(*v, "attribute");
+}
+
+long long Element::attribute_as_int(std::string_view key) const {
+  auto v = attribute(key);
+  if (!v) throw ParseError("missing attribute '" + std::string(key) + "' on <" + name_ + ">", 0, 0);
+  return parse_int_or_throw(*v, "attribute");
+}
+
+Element& Element::set_text(std::string_view text) {
+  text_ = std::string(text);
+  return *this;
+}
+
+Element& Element::set_text(double value) { return set_text(format_double(value)); }
+
+double Element::text_as_double() const { return parse_double_or_throw(text_, "element text"); }
+long long Element::text_as_int() const { return parse_int_or_throw(text_, "element text"); }
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::add_child(Element child) {
+  children_.push_back(std::make_unique<Element>(std::move(child)));
+  return *children_.back();
+}
+
+Element& Element::child_at(std::size_t i) { return *children_.at(i); }
+const Element& Element::child_at(std::size_t i) const { return *children_.at(i); }
+
+const Element* Element::find_child(std::string_view name) const noexcept {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::find_child(std::string_view name) noexcept {
+  for (auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::find_children(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const Element& Element::require_child(std::string_view name) const {
+  const Element* c = find_child(name);
+  if (!c) throw ParseError("missing child <" + std::string(name) + "> in <" + name_ + ">", 0, 0);
+  return *c;
+}
+
+std::string Element::to_string(int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << '<' << name_;
+  for (const auto& [k, v] : attributes_) {
+    os << ' ' << k << "=\"" << escape(v) << '"';
+  }
+  if (text_.empty() && children_.empty()) {
+    os << "/>";
+    return os.str();
+  }
+  os << '>';
+  if (!text_.empty()) os << escape(text_);
+  if (!children_.empty()) {
+    os << '\n';
+    for (const auto& c : children_) os << c->to_string(indent + 1) << '\n';
+    os << pad;
+  }
+  os << "</" << name_ << '>';
+  return os.str();
+}
+
+std::string Document::to_string() const {
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root_.to_string() + "\n";
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent over a string_view with line/column tracking.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Document parse_document() {
+    skip_prolog();
+    Element root = parse_element();
+    skip_misc();
+    if (!at_end()) fail("trailing content after root element");
+    return Document(std::move(root));
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, line_, column_);
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  [[nodiscard]] bool starts_with(std::string_view s) const noexcept {
+    return text_.substr(pos_, s.size()) == s;
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    advance();
+  }
+
+  void expect(std::string_view s) {
+    for (char c : s) expect(c);
+  }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(text_[pos_]))) advance();
+  }
+
+  void skip_comment() {
+    expect("<!--");
+    while (!starts_with("-->")) {
+      if (at_end()) fail("unterminated comment");
+      advance();
+    }
+    expect("-->");
+  }
+
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (starts_with("<?xml")) {
+      while (!starts_with("?>")) {
+        if (at_end()) fail("unterminated XML declaration");
+        advance();
+      }
+      expect("?>");
+    }
+    skip_misc();
+  }
+
+  std::string parse_name() {
+    if (at_end() || !name_start_char(peek())) fail("expected a name");
+    std::string name;
+    name.push_back(advance());
+    while (!at_end() && name_char(text_[pos_])) name.push_back(advance());
+    return name;
+  }
+
+  std::string parse_reference() {
+    expect('&');
+    std::string entity;
+    while (peek() != ';') {
+      entity.push_back(advance());
+      if (entity.size() > 8) fail("entity reference too long");
+    }
+    expect(';');
+    if (entity == "amp") return "&";
+    if (entity == "lt") return "<";
+    if (entity == "gt") return ">";
+    if (entity == "quot") return "\"";
+    if (entity == "apos") return "'";
+    if (!entity.empty() && entity[0] == '#') {
+      int base = 10;
+      std::string_view digits(entity);
+      digits.remove_prefix(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits.remove_prefix(1);
+      }
+      unsigned long code = 0;
+      auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), code, base);
+      if (ec != std::errc{} || ptr != digits.data() + digits.size() || code == 0 || code > 127)
+        fail("unsupported character reference &" + entity + "; (ASCII only)");
+      return std::string(1, static_cast<char>(code));
+    }
+    fail("unknown entity &" + entity + ";");
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+    advance();
+    std::string value;
+    while (peek() != quote) {
+      if (peek() == '&') {
+        value += parse_reference();
+      } else if (peek() == '<') {
+        fail("'<' not allowed in attribute value");
+      } else {
+        value.push_back(advance());
+      }
+    }
+    advance();  // closing quote
+    return value;
+  }
+
+  Element parse_element() {
+    expect('<');
+    Element element(parse_name());
+    for (;;) {
+      skip_ws();
+      if (starts_with("/>")) {
+        expect("/>");
+        return element;
+      }
+      if (peek() == '>') {
+        advance();
+        break;
+      }
+      const std::string key = parse_name();
+      skip_ws();
+      expect('=');
+      skip_ws();
+      if (element.has_attribute(key)) fail("duplicate attribute '" + key + "'");
+      element.set_attribute(key, parse_attribute_value());
+    }
+    // Content: text, children, comments, until the matching close tag.
+    std::string text;
+    for (;;) {
+      if (at_end()) fail("unterminated element <" + element.name() + ">");
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("</")) {
+        expect("</");
+        const std::string close = parse_name();
+        if (close != element.name())
+          fail("mismatched close tag </" + close + "> for <" + element.name() + ">");
+        skip_ws();
+        expect('>');
+        break;
+      } else if (peek() == '<') {
+        element.add_child(parse_element());
+      } else if (peek() == '&') {
+        text += parse_reference();
+      } else {
+        text.push_back(advance());
+      }
+    }
+    // Trim pure-whitespace text (indentation between children).
+    const auto first = text.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos) {
+      const auto last = text.find_last_not_of(" \t\r\n");
+      element.set_text(text.substr(first, last - first + 1));
+    }
+    return element;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+Document Document::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace greensched::xmlite

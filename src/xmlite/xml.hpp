@@ -1,0 +1,98 @@
+// Minimal XML document model, serializer and parser.
+//
+// The provisioning planning of the paper (Fig. 8) is "a shared XML file";
+// rather than pulling a dependency we implement the subset needed:
+// elements, attributes, text content, comments, an optional declaration,
+// and the five predefined entities plus numeric character references.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace greensched::xmlite {
+
+using greensched::common::ParseError;
+
+/// One XML element.  Children are owned; text is the concatenated
+/// character data directly inside this element.
+class Element {
+ public:
+  explicit Element(std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // --- attributes ---
+  Element& set_attribute(std::string_view key, std::string_view value);
+  Element& set_attribute(std::string_view key, double value);
+  Element& set_attribute(std::string_view key, long long value);
+  [[nodiscard]] bool has_attribute(std::string_view key) const noexcept;
+  [[nodiscard]] std::optional<std::string> attribute(std::string_view key) const;
+  /// Attribute parsed as double; throws ParseError if missing or malformed.
+  [[nodiscard]] double attribute_as_double(std::string_view key) const;
+  [[nodiscard]] long long attribute_as_int(std::string_view key) const;
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& attributes() const noexcept {
+    return attributes_;
+  }
+
+  // --- text content ---
+  Element& set_text(std::string_view text);
+  Element& set_text(double value);
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  [[nodiscard]] double text_as_double() const;
+  [[nodiscard]] long long text_as_int() const;
+
+  // --- children ---
+  Element& add_child(std::string name);
+  Element& add_child(Element child);
+  [[nodiscard]] std::size_t child_count() const noexcept { return children_.size(); }
+  [[nodiscard]] Element& child_at(std::size_t i);
+  [[nodiscard]] const Element& child_at(std::size_t i) const;
+  /// First child with the given name, or nullptr.
+  [[nodiscard]] const Element* find_child(std::string_view name) const noexcept;
+  [[nodiscard]] Element* find_child(std::string_view name) noexcept;
+  /// All children with the given name.
+  [[nodiscard]] std::vector<const Element*> find_children(std::string_view name) const;
+  /// First child with the given name; throws ParseError if absent.
+  [[nodiscard]] const Element& require_child(std::string_view name) const;
+
+  /// Serializes this element (and subtree) with 2-space indentation.
+  [[nodiscard]] std::string to_string(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string, std::less<>> attributes_;
+  std::string text_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// A document: optional declaration plus exactly one root element.
+class Document {
+ public:
+  explicit Document(Element root) : root_(std::move(root)) {}
+
+  [[nodiscard]] Element& root() noexcept { return root_; }
+  [[nodiscard]] const Element& root() const noexcept { return root_; }
+
+  /// Serializes with an XML declaration line.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses a document from text; throws ParseError with line/column info.
+  static Document parse(std::string_view text);
+
+ private:
+  Element root_;
+};
+
+/// Escapes &, <, >, ", ' for use in text or attribute values.
+[[nodiscard]] std::string escape(std::string_view raw);
+/// True iff `name` is a valid element/attribute name in our subset
+/// ([A-Za-z_:][A-Za-z0-9._:-]*).
+[[nodiscard]] bool valid_name(std::string_view name) noexcept;
+
+}  // namespace greensched::xmlite

@@ -1,0 +1,148 @@
+#include "cluster/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "cluster/dvfs_governor.hpp"
+#include "cluster/platform.hpp"
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+namespace {
+
+using common::Seconds;
+
+TEST(DvfsLadder, DefaultIsSingleFullSpeedState) {
+  const DvfsLadder ladder;
+  EXPECT_EQ(ladder.size(), 1u);
+  EXPECT_DOUBLE_EQ(ladder.state(0).speed_factor, 1.0);
+  EXPECT_EQ(ladder.fastest(), ladder.slowest());
+}
+
+TEST(DvfsLadder, ValidationRejectsBadStates) {
+  EXPECT_THROW(DvfsLadder(std::vector<PState>{}), common::ConfigError);
+  EXPECT_THROW(DvfsLadder({PState{"P0", 1.5, 1.0, 1.0}}), common::ConfigError);
+  EXPECT_THROW(DvfsLadder({PState{"P0", 1.0, 0.0, 1.0}}), common::ConfigError);
+  // Must be ordered fastest first.
+  EXPECT_THROW(DvfsLadder({PState{"P1", 0.5, 0.5, 1.0}, PState{"P0", 1.0, 1.0, 1.0}}),
+               common::ConfigError);
+  EXPECT_THROW((void)DvfsLadder().state(5), common::ConfigError);
+}
+
+TEST(DvfsLadder, TypicalXeonShape) {
+  const DvfsLadder ladder = DvfsLadder::typical_xeon();
+  EXPECT_EQ(ladder.size(), 4u);
+  // Dynamic power falls faster than frequency; static power barely moves.
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_LT(ladder.state(i).power_factor, ladder.state(i).speed_factor);
+    EXPECT_GT(ladder.state(i).static_factor, 0.9);
+  }
+}
+
+Node make_node() {
+  return Node(common::NodeId(0), "taurus-0", MachineCatalog::taurus(), common::ClusterId(0));
+}
+
+TEST(NodeDvfs, PstateScalesSpeedAndPower) {
+  Node node = make_node();
+  node.set_dvfs_ladder(DvfsLadder::typical_xeon());
+  EXPECT_EQ(node.pstate(), 0u);
+  EXPECT_DOUBLE_EQ(node.current_flops_per_core().value(), 9.2e9);
+
+  node.set_pstate(Seconds(0.0), 3);  // P3: speed 0.4, dyn 0.32, static 0.93
+  EXPECT_DOUBLE_EQ(node.current_flops_per_core().value(), 9.2e9 * 0.4);
+  // Idle power scales by the static factor only.
+  EXPECT_DOUBLE_EQ(node.instantaneous_power().value(), 95.0 * 0.93);
+
+  node.acquire_core(Seconds(0.0));
+  // static + dynamic share scaled by the power factor.
+  const double full_speed = 190.0 + 30.0 / 12.0;
+  EXPECT_DOUBLE_EQ(node.instantaneous_power().value(),
+                   95.0 * 0.93 + (full_speed - 95.0) * 0.32);
+}
+
+TEST(NodeDvfs, TransitionsCountAndIntegrateEnergy) {
+  Node node = make_node();
+  node.set_dvfs_ladder(DvfsLadder::typical_xeon());
+  // 10 s at P0 idle (95 W), then 10 s at P3 idle (95*0.93 W).
+  node.set_pstate(Seconds(10.0), 3);
+  EXPECT_EQ(node.pstate_transitions(), 1u);
+  node.set_pstate(Seconds(10.0), 3);  // no-op
+  EXPECT_EQ(node.pstate_transitions(), 1u);
+  EXPECT_DOUBLE_EQ(node.energy(Seconds(20.0)).value(), 95.0 * 10.0 + 95.0 * 0.93 * 10.0);
+}
+
+TEST(NodeDvfs, OutOfRangePstateThrows) {
+  Node node = make_node();
+  EXPECT_THROW(node.set_pstate(Seconds(0.0), 1), common::StateError);
+}
+
+TEST(NodeDvfs, LoadChangeHookFires) {
+  Node node = make_node();
+  int calls = 0;
+  node.set_load_change_hook([&](Node&, Seconds) { ++calls; });
+  node.acquire_core(Seconds(0.0));
+  node.release_core(Seconds(1.0));
+  EXPECT_EQ(calls, 2);
+}
+
+struct GovernorFixture {
+  common::Rng rng{1};
+  Platform platform;
+  GovernorFixture() {
+    ClusterOptions two;
+    two.node_count = 2;
+    platform.add_cluster("taurus", MachineCatalog::taurus(), two, rng);
+  }
+};
+
+TEST(OndemandGovernor, StartsNodesAtSlowestState) {
+  GovernorFixture f;
+  OndemandGovernor governor(f.platform, DvfsLadder::typical_xeon(), Seconds(0.0));
+  for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
+    EXPECT_EQ(f.platform.node(i).pstate(), 3u);
+  }
+}
+
+TEST(OndemandGovernor, RaceToIdleOnLoadEvents) {
+  GovernorFixture f;
+  OndemandGovernor governor(f.platform, DvfsLadder::typical_xeon(), Seconds(0.0));
+  Node& node = f.platform.node(0);
+
+  node.acquire_core(Seconds(1.0));
+  EXPECT_EQ(node.pstate(), 0u);  // raised immediately on first task
+  node.acquire_core(Seconds(2.0));
+  EXPECT_EQ(node.pstate(), 0u);
+  node.release_core(Seconds(3.0));
+  EXPECT_EQ(node.pstate(), 0u);  // still one core busy
+  node.release_core(Seconds(4.0));
+  EXPECT_EQ(node.pstate(), 3u);  // idle again -> slowest
+  EXPECT_EQ(governor.transitions(), 2u);
+}
+
+TEST(OndemandGovernor, DvfsSavesLessThanShutdown) {
+  // The quantitative version of the paper's premise (Le Sueur & Heiser):
+  // over an idle hour, DVFS trims the idle draw a little, while shutdown
+  // removes almost all of it.
+  const double idle_hour = 3600.0;
+  Node plain = make_node();
+  const double baseline = plain.energy(Seconds(idle_hour)).value();
+
+  Node dvfs = make_node();
+  dvfs.set_dvfs_ladder(DvfsLadder::typical_xeon());
+  dvfs.set_pstate(Seconds(0.0), 3);
+  const double dvfs_energy = dvfs.energy(Seconds(idle_hour)).value();
+
+  Node off = make_node();
+  off.power_off(Seconds(0.0));
+  off.complete_shutdown(Seconds(20.0));
+  const double off_energy = off.energy(Seconds(idle_hour)).value();
+
+  const double dvfs_saving = baseline - dvfs_energy;
+  const double shutdown_saving = baseline - off_energy;
+  EXPECT_GT(dvfs_saving, 0.0);
+  EXPECT_GT(shutdown_saving, dvfs_saving * 5.0);
+}
+
+}  // namespace
+}  // namespace greensched::cluster

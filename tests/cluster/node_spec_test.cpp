@@ -1,0 +1,147 @@
+#include "cluster/node_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+namespace {
+
+using common::ConfigError;
+
+NodeSpec valid_spec() {
+  NodeSpec spec;
+  spec.model = "test";
+  spec.cores = 4;
+  spec.flops_per_core = common::gflops_per_sec(5.0);
+  spec.idle_watts = common::watts(100.0);
+  spec.active_watts = common::watts(150.0);
+  spec.peak_watts = common::watts(200.0);
+  spec.off_watts = common::watts(5.0);
+  spec.boot_watts = common::watts(120.0);
+  spec.boot_seconds = common::seconds(60.0);
+  spec.shutdown_seconds = common::seconds(10.0);
+  return spec;
+}
+
+TEST(NodeSpec, ValidSpecPasses) { EXPECT_NO_THROW(valid_spec().validate()); }
+
+TEST(NodeSpec, TotalFlops) {
+  EXPECT_DOUBLE_EQ(valid_spec().total_flops().value(), 20e9);
+}
+
+TEST(NodeSpec, RejectsEmptyModel) {
+  auto s = valid_spec();
+  s.model.clear();
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(NodeSpec, RejectsZeroCores) {
+  auto s = valid_spec();
+  s.cores = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(NodeSpec, RejectsNonPositiveSpeed) {
+  auto s = valid_spec();
+  s.flops_per_core = common::FlopsRate(0.0);
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(NodeSpec, RejectsNegativePower) {
+  auto s = valid_spec();
+  s.idle_watts = common::watts(-1.0);
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(NodeSpec, RejectsPeakBelowIdle) {
+  auto s = valid_spec();
+  s.peak_watts = common::watts(50.0);
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(NodeSpec, RejectsActiveOutsideIdlePeak) {
+  auto s = valid_spec();
+  s.active_watts = common::watts(50.0);
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = valid_spec();
+  s.active_watts = common::watts(250.0);
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(NodeSpec, RejectsOffAboveIdle) {
+  auto s = valid_spec();
+  s.off_watts = common::watts(150.0);
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(NodeSpec, RejectsNegativeTimes) {
+  auto s = valid_spec();
+  s.boot_seconds = common::seconds(-1.0);
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(NodeSpec, PerturbedScalesPowerAndSpeed) {
+  const NodeSpec base = valid_spec();
+  const NodeSpec p = base.perturbed(1.1, 0.9);
+  EXPECT_DOUBLE_EQ(p.idle_watts.value(), 110.0);
+  EXPECT_DOUBLE_EQ(p.active_watts.value(), 165.0);
+  EXPECT_DOUBLE_EQ(p.peak_watts.value(), 220.0);
+  EXPECT_DOUBLE_EQ(p.boot_watts.value(), 132.0);
+  EXPECT_DOUBLE_EQ(p.flops_per_core.value(), 4.5e9);
+  // Times and cores untouched.
+  EXPECT_DOUBLE_EQ(p.boot_seconds.value(), base.boot_seconds.value());
+  EXPECT_EQ(p.cores, base.cores);
+}
+
+TEST(NodeSpec, PerturbedRejectsNonPositiveFactors) {
+  EXPECT_THROW(valid_spec().perturbed(0.0, 1.0), ConfigError);
+  EXPECT_THROW(valid_spec().perturbed(1.0, -0.5), ConfigError);
+}
+
+// --- catalog -------------------------------------------------------------------
+
+TEST(MachineCatalog, AllEntriesValidate) {
+  for (const auto& name : MachineCatalog::names()) {
+    EXPECT_NO_THROW(MachineCatalog::by_name(name).validate()) << name;
+  }
+}
+
+TEST(MachineCatalog, UnknownNameThrows) {
+  EXPECT_THROW(MachineCatalog::by_name("cray"), ConfigError);
+}
+
+TEST(MachineCatalog, TableIIIExactValues) {
+  const NodeSpec sim1 = MachineCatalog::sim1();
+  EXPECT_DOUBLE_EQ(sim1.idle_watts.value(), 190.0);
+  EXPECT_DOUBLE_EQ(sim1.peak_watts.value(), 230.0);
+  const NodeSpec sim2 = MachineCatalog::sim2();
+  EXPECT_DOUBLE_EQ(sim2.idle_watts.value(), 160.0);
+  EXPECT_DOUBLE_EQ(sim2.peak_watts.value(), 190.0);
+}
+
+TEST(MachineCatalog, TableIShape) {
+  // Table I: Orion/Taurus are 2x6-core, Sagittaire 2x1-core.
+  EXPECT_EQ(MachineCatalog::orion().cores, 12u);
+  EXPECT_EQ(MachineCatalog::taurus().cores, 12u);
+  EXPECT_EQ(MachineCatalog::sagittaire().cores, 2u);
+}
+
+TEST(MachineCatalog, OrionIsFastestTaurusIsMostEfficient) {
+  const NodeSpec orion = MachineCatalog::orion();
+  const NodeSpec taurus = MachineCatalog::taurus();
+  const NodeSpec sagittaire = MachineCatalog::sagittaire();
+  // Fastest: orion.
+  EXPECT_GT(orion.total_flops().value(), taurus.total_flops().value());
+  EXPECT_GT(taurus.total_flops().value(), sagittaire.total_flops().value());
+  // Most efficient (lowest W per FLOP/s): taurus.
+  const auto ratio = [](const NodeSpec& s) {
+    return s.peak_watts.value() / s.total_flops().value();
+  };
+  EXPECT_LT(ratio(taurus), ratio(orion));
+  EXPECT_LT(ratio(orion), ratio(sagittaire));
+}
+
+}  // namespace
+}  // namespace greensched::cluster

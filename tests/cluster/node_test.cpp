@@ -1,0 +1,169 @@
+#include "cluster/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+namespace {
+
+using common::Seconds;
+using common::StateError;
+
+Node make_node(bool on = true) {
+  return Node(common::NodeId(0), "taurus-0", MachineCatalog::taurus(), common::ClusterId(0),
+              ThermalConfig{}, on);
+}
+
+TEST(Node, InitialState) {
+  Node node = make_node();
+  EXPECT_TRUE(node.is_on());
+  EXPECT_EQ(node.busy_cores(), 0u);
+  EXPECT_EQ(node.free_cores(), 12u);
+  EXPECT_EQ(node.tasks_started(), 0u);
+}
+
+TEST(Node, PowerByState) {
+  Node off_node = make_node(false);
+  EXPECT_DOUBLE_EQ(off_node.instantaneous_power().value(), 6.0);  // off
+
+  Node node = make_node();
+  EXPECT_DOUBLE_EQ(node.instantaneous_power().value(), 95.0);  // idle
+
+  node.acquire_core(Seconds(0.0));
+  // Active floor + 1/12 of the span to peak.
+  EXPECT_DOUBLE_EQ(node.instantaneous_power().value(), 190.0 + 30.0 / 12.0);
+
+  for (int i = 0; i < 11; ++i) node.acquire_core(Seconds(0.0));
+  EXPECT_DOUBLE_EQ(node.instantaneous_power().value(), 220.0);  // peak
+}
+
+TEST(Node, BootingAndShutdownPower) {
+  Node node = make_node(false);
+  node.power_on(Seconds(0.0));
+  EXPECT_EQ(node.state(), NodeState::kBooting);
+  EXPECT_DOUBLE_EQ(node.instantaneous_power().value(), 150.0);  // boot draw
+  node.complete_boot(Seconds(150.0));
+  EXPECT_TRUE(node.is_on());
+  node.power_off(Seconds(200.0));
+  EXPECT_EQ(node.state(), NodeState::kShuttingDown);
+  EXPECT_DOUBLE_EQ(node.instantaneous_power().value(), 95.0);  // idle during shutdown
+  node.complete_shutdown(Seconds(220.0));
+  EXPECT_EQ(node.state(), NodeState::kOff);
+  EXPECT_EQ(node.boots(), 1u);
+}
+
+TEST(Node, EnergyIntegrationHandComputed) {
+  Node node = make_node();
+  // 0..10 idle (95 W), 10..20 one core busy (192.5 W), 20..30 idle again.
+  node.acquire_core(Seconds(10.0));
+  node.release_core(Seconds(20.0));
+  const double expected = 95.0 * 10.0 + (190.0 + 30.0 / 12.0) * 10.0 + 95.0 * 10.0;
+  EXPECT_DOUBLE_EQ(node.energy(Seconds(30.0)).value(), expected);
+}
+
+TEST(Node, ActiveEnergyOnlyCountsBusyPeriods) {
+  Node node = make_node();
+  node.acquire_core(Seconds(10.0));
+  node.release_core(Seconds(20.0));
+  EXPECT_DOUBLE_EQ(node.active_time(Seconds(30.0)).value(), 10.0);
+  EXPECT_DOUBLE_EQ(node.active_energy(Seconds(30.0)).value(), (190.0 + 30.0 / 12.0) * 10.0);
+}
+
+TEST(Node, BootEnergyMatchesSpec) {
+  Node node = make_node(false);
+  node.power_on(Seconds(0.0));
+  node.complete_boot(Seconds(150.0));
+  // Boot: 150 s at 150 W.
+  EXPECT_DOUBLE_EQ(node.energy(Seconds(150.0)).value(), 150.0 * 150.0);
+}
+
+TEST(Node, TasksCounting) {
+  Node node = make_node();
+  node.acquire_core(Seconds(0.0));
+  node.acquire_core(Seconds(1.0));
+  node.release_core(Seconds(5.0));
+  EXPECT_EQ(node.tasks_started(), 2u);
+  EXPECT_EQ(node.tasks_completed(), 1u);
+  EXPECT_EQ(node.busy_cores(), 1u);
+}
+
+TEST(Node, StateMachineRejectsInvalidTransitions) {
+  Node node = make_node();  // ON
+  EXPECT_THROW(node.power_on(Seconds(0.0)), StateError);
+  EXPECT_THROW(node.complete_boot(Seconds(0.0)), StateError);
+  EXPECT_THROW(node.complete_shutdown(Seconds(0.0)), StateError);
+
+  node.acquire_core(Seconds(0.0));
+  EXPECT_THROW(node.power_off(Seconds(1.0)), StateError);  // busy
+  node.release_core(Seconds(2.0));
+  node.power_off(Seconds(3.0));
+  EXPECT_THROW(node.power_off(Seconds(4.0)), StateError);
+  EXPECT_THROW(node.acquire_core(Seconds(4.0)), StateError);
+  node.complete_shutdown(Seconds(5.0));
+  EXPECT_THROW(node.release_core(Seconds(6.0)), StateError);
+}
+
+TEST(Node, AcquireBeyondCoresThrows) {
+  Node node = make_node();
+  for (unsigned i = 0; i < 12; ++i) node.acquire_core(Seconds(0.0));
+  EXPECT_THROW(node.acquire_core(Seconds(0.0)), StateError);
+}
+
+TEST(Node, OffNodeRejectsWork) {
+  Node node = make_node(false);
+  EXPECT_THROW(node.acquire_core(Seconds(0.0)), StateError);
+}
+
+TEST(Node, TimeCannotGoBackwards) {
+  Node node = make_node();
+  node.advance_to(Seconds(10.0));
+  EXPECT_THROW(node.advance_to(Seconds(5.0)), StateError);
+  EXPECT_NO_THROW(node.advance_to(Seconds(10.0)));  // idempotent
+}
+
+TEST(Node, TemperatureConvergesToIdleSteadyState) {
+  Node node = make_node();
+  // Steady state for idle: ambient + rise * idle_watts.
+  const double target = 20.0 + 0.011 * 95.0;
+  const double temp = node.temperature(Seconds(10000.0)).value();
+  EXPECT_NEAR(temp, target, 0.01);
+}
+
+TEST(Node, TemperatureRisesUnderLoadAndWithAmbient) {
+  Node node = make_node();
+  for (unsigned i = 0; i < 12; ++i) node.acquire_core(Seconds(0.0));
+  const double loaded = node.temperature(Seconds(5000.0)).value();
+  EXPECT_NEAR(loaded, 20.0 + 0.011 * 220.0, 0.05);
+
+  node.set_ambient(common::celsius(35.0));
+  const double heated = node.temperature(Seconds(10000.0)).value();
+  EXPECT_NEAR(heated, 35.0 + 0.011 * 220.0, 0.05);
+  EXPECT_GT(heated, 25.0);  // crosses the administrator threshold
+}
+
+TEST(Node, TemperatureResponseIsFirstOrder) {
+  Node node = make_node();
+  node.set_ambient(common::celsius(30.0));
+  // After one time constant (tau = 300 s), ~63% of the step is covered.
+  const double t0 = 20.0 + 0.011 * 95.0;  // close to initial 20
+  const double target = 30.0 + 0.011 * 95.0;
+  const double at_tau = node.temperature(Seconds(300.0)).value();
+  const double expected = target - (target - 20.0) * std::exp(-1.0);
+  (void)t0;
+  EXPECT_NEAR(at_tau, expected, 0.2);
+}
+
+TEST(Node, InvalidThermalConfigThrows) {
+  ThermalConfig thermal;
+  thermal.tau = Seconds(0.0);
+  EXPECT_THROW(Node(common::NodeId(1), "x", MachineCatalog::taurus(), common::ClusterId(0),
+                    thermal),
+               common::ConfigError);
+}
+
+}  // namespace
+}  // namespace greensched::cluster

@@ -1,0 +1,143 @@
+#include "cluster/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+namespace {
+
+using common::Seconds;
+
+TEST(Platform, AddClusterCreatesNamedNodes) {
+  Platform platform;
+  common::Rng rng(1);
+  ClusterOptions options;
+  options.node_count = 3;
+  const common::ClusterId id =
+      platform.add_cluster("taurus", MachineCatalog::taurus(), options, rng);
+
+  EXPECT_EQ(platform.node_count(), 3u);
+  EXPECT_EQ(platform.cluster_count(), 1u);
+  EXPECT_EQ(platform.cluster(0).id, id);
+  EXPECT_EQ(platform.node(0).name(), "taurus-0");
+  EXPECT_EQ(platform.node(2).name(), "taurus-2");
+  EXPECT_EQ(platform.node(1).cluster(), id);
+}
+
+TEST(Platform, RejectsEmptyAndDuplicateClusters) {
+  Platform platform;
+  common::Rng rng(1);
+  ClusterOptions zero;
+  zero.node_count = 0;
+  EXPECT_THROW(platform.add_cluster("x", MachineCatalog::taurus(), zero, rng),
+               common::ConfigError);
+  ClusterOptions one;
+  one.node_count = 1;
+  platform.add_cluster("taurus", MachineCatalog::taurus(), one, rng);
+  EXPECT_THROW(platform.add_cluster("taurus", MachineCatalog::taurus(), one, rng),
+               common::ConfigError);
+}
+
+TEST(Platform, FindByIdAndName) {
+  Platform platform;
+  common::Rng rng(1);
+  ClusterOptions two;
+  two.node_count = 2;
+  platform.add_cluster("orion", MachineCatalog::orion(), two, rng);
+  Node* by_name = platform.find_node_by_name("orion-1");
+  ASSERT_NE(by_name, nullptr);
+  EXPECT_EQ(platform.find_node(by_name->id()), by_name);
+  EXPECT_EQ(platform.find_node_by_name("nope"), nullptr);
+  EXPECT_EQ(platform.find_node(common::NodeId(999)), nullptr);
+  EXPECT_NE(platform.find_cluster("orion"), nullptr);
+  EXPECT_EQ(platform.find_cluster("nope"), nullptr);
+}
+
+TEST(Platform, TotalsAggregateNodes) {
+  Platform platform;
+  common::Rng rng(1);
+  ClusterOptions two;
+  two.node_count = 2;
+  platform.add_cluster("taurus", MachineCatalog::taurus(), two, rng);
+  platform.add_cluster("sagittaire", MachineCatalog::sagittaire(), two, rng);
+
+  EXPECT_EQ(platform.total_cores(), 2u * 12u + 2u * 2u);
+  EXPECT_DOUBLE_EQ(platform.total_power(Seconds(0.0)).value(), 2 * 95.0 + 2 * 200.0);
+  EXPECT_DOUBLE_EQ(platform.total_energy(Seconds(10.0)).value(),
+                   (2 * 95.0 + 2 * 200.0) * 10.0);
+}
+
+TEST(Platform, ClusterEnergyIsPerCluster) {
+  Platform platform;
+  common::Rng rng(1);
+  ClusterOptions one;
+  one.node_count = 1;
+  const auto taurus = platform.add_cluster("taurus", MachineCatalog::taurus(), one, rng);
+  const auto sagittaire =
+      platform.add_cluster("sagittaire", MachineCatalog::sagittaire(), one, rng);
+  EXPECT_DOUBLE_EQ(platform.cluster_energy(taurus, Seconds(10.0)).value(), 950.0);
+  EXPECT_DOUBLE_EQ(platform.cluster_energy(sagittaire, Seconds(10.0)).value(), 2000.0);
+}
+
+TEST(Platform, HeterogeneityPerturbsNodes) {
+  Platform platform;
+  common::Rng rng(7);
+  ClusterOptions options;
+  options.node_count = 16;
+  options.power_heterogeneity = 0.05;
+  options.speed_heterogeneity = 0.03;
+  platform.add_cluster("taurus", MachineCatalog::taurus(), options, rng);
+
+  bool power_differs = false, speed_differs = false;
+  const NodeSpec base = MachineCatalog::taurus();
+  for (std::size_t i = 0; i < platform.node_count(); ++i) {
+    const NodeSpec& spec = platform.node(i).spec();
+    if (spec.peak_watts.value() != base.peak_watts.value()) power_differs = true;
+    if (spec.flops_per_core.value() != base.flops_per_core.value()) speed_differs = true;
+    // Perturbation is bounded to +/- 3 sigma.
+    EXPECT_NEAR(spec.peak_watts.value(), base.peak_watts.value(),
+                base.peak_watts.value() * 0.151);
+    EXPECT_NO_THROW(spec.validate());
+  }
+  EXPECT_TRUE(power_differs);
+  EXPECT_TRUE(speed_differs);
+}
+
+TEST(Platform, ZeroHeterogeneityKeepsSpecExact) {
+  Platform platform;
+  common::Rng rng(7);
+  ClusterOptions options;
+  options.node_count = 4;
+  platform.add_cluster("taurus", MachineCatalog::taurus(), options, rng);
+  for (std::size_t i = 0; i < platform.node_count(); ++i) {
+    EXPECT_DOUBLE_EQ(platform.node(i).spec().peak_watts.value(), 220.0);
+  }
+}
+
+TEST(Platform, InitiallyOffNodes) {
+  Platform platform;
+  common::Rng rng(1);
+  ClusterOptions options;
+  options.node_count = 2;
+  options.initially_on = false;
+  platform.add_cluster("taurus", MachineCatalog::taurus(), options, rng);
+  EXPECT_EQ(platform.node(0).state(), NodeState::kOff);
+  EXPECT_DOUBLE_EQ(platform.total_power(Seconds(0.0)).value(), 12.0);  // 2 x off draw
+}
+
+TEST(Platform, SetAmbientReachesEveryNode) {
+  Platform platform;
+  common::Rng rng(1);
+  ClusterOptions two;
+  two.node_count = 2;
+  platform.add_cluster("taurus", MachineCatalog::taurus(), two, rng);
+  platform.set_ambient(common::celsius(35.0));
+  for (std::size_t i = 0; i < platform.node_count(); ++i) {
+    EXPECT_DOUBLE_EQ(platform.node(i).thermal_config().ambient.value(), 35.0);
+  }
+}
+
+}  // namespace
+}  // namespace greensched::cluster

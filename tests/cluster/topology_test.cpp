@@ -1,0 +1,147 @@
+#include "cluster/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+namespace {
+
+using common::NodeId;
+using common::Seconds;
+
+TEST(RackTopology, ValidationAndPlacement) {
+  EXPECT_THROW(RackTopology(0, 4), common::ConfigError);
+  EXPECT_THROW(RackTopology(2, 0), common::ConfigError);
+
+  RackTopology topo(2, 3);
+  topo.place(NodeId(1), {0, 0});
+  EXPECT_THROW(topo.place(NodeId(1), {0, 1}), common::ConfigError);  // already placed
+  EXPECT_THROW(topo.place(NodeId(2), {0, 0}), common::ConfigError);  // occupied
+  EXPECT_THROW(topo.place(NodeId(2), {2, 0}), common::ConfigError);  // rack out of range
+  EXPECT_THROW(topo.place(NodeId(2), {0, 3}), common::ConfigError);  // slot out of range
+  EXPECT_THROW(topo.place(NodeId{}, {1, 0}), common::ConfigError);   // invalid id
+  EXPECT_EQ(topo.placed(), 1u);
+}
+
+TEST(RackTopology, PositionAndOccupantRoundTrip) {
+  RackTopology topo(2, 2);
+  topo.place(NodeId(7), {1, 1});
+  ASSERT_TRUE(topo.position(NodeId(7)).has_value());
+  EXPECT_EQ(topo.position(NodeId(7))->rack, 1u);
+  EXPECT_EQ(*topo.occupant({1, 1}), NodeId(7));
+  EXPECT_FALSE(topo.position(NodeId(8)).has_value());
+  EXPECT_FALSE(topo.occupant({0, 0}).has_value());
+}
+
+TEST(RackTopology, NeighbourQueries) {
+  RackTopology topo(2, 4);
+  topo.place(NodeId(0), {0, 0});
+  topo.place(NodeId(1), {0, 1});
+  topo.place(NodeId(2), {0, 2});
+  topo.place(NodeId(3), {1, 0});
+
+  const auto mates = topo.rack_mates(NodeId(1));
+  EXPECT_EQ(mates.size(), 2u);  // 0 and 2, not 3 (other rack), not itself
+
+  const auto neighbours = topo.slot_neighbours(NodeId(1));
+  ASSERT_EQ(neighbours.size(), 2u);  // slots 0 and 2
+  const auto edge = topo.slot_neighbours(NodeId(0));
+  ASSERT_EQ(edge.size(), 1u);
+  EXPECT_EQ(edge[0], NodeId(1));
+
+  EXPECT_EQ(topo.nodes_in_rack(0).size(), 3u);
+  EXPECT_EQ(topo.nodes_in_rack(1).size(), 1u);
+  EXPECT_TRUE(topo.slot_neighbours(NodeId(99)).empty());  // unplaced
+}
+
+struct CouplerFixture {
+  des::Simulator sim;
+  common::Rng rng{1};
+  Platform platform;
+
+  CouplerFixture() {
+    ClusterOptions four;
+    four.node_count = 4;
+    platform.add_cluster("taurus", MachineCatalog::taurus(), four, rng);
+  }
+
+  RackTopology two_racks() {
+    // Nodes 0,1 in rack 0 (adjacent); nodes 2,3 in rack 1.
+    RackTopology topo(2, 2);
+    topo.place(platform.node(0).id(), {0, 0});
+    topo.place(platform.node(1).id(), {0, 1});
+    topo.place(platform.node(2).id(), {1, 0});
+    topo.place(platform.node(3).id(), {1, 1});
+    return topo;
+  }
+};
+
+TEST(RackTopology, PlaceAllRoundRobin) {
+  CouplerFixture f;
+  RackTopology topo(2, 2);
+  topo.place_all(f.platform);
+  EXPECT_EQ(topo.placed(), 4u);
+  EXPECT_EQ(topo.nodes_in_rack(0).size(), 2u);
+  EXPECT_EQ(topo.nodes_in_rack(1).size(), 2u);
+
+  RackTopology tiny(1, 2);
+  EXPECT_THROW(tiny.place_all(f.platform), common::ConfigError);
+}
+
+TEST(ThermalCoupler, AmbientReflectsNeighbourPower) {
+  CouplerFixture f;
+  ThermalCoupler coupler(f.sim, f.platform, f.two_racks());
+
+  // All idle: ambient = room + coefficients x idle draw of the mates.
+  const double idle = 95.0;
+  const double expected_idle = 20.0 + 0.002 * idle + 0.008 * idle;
+  EXPECT_NEAR(coupler.ambient_for(f.platform.node(0).id(), Seconds(0.0)).value(),
+              expected_idle, 1e-9);
+
+  // Load node 1 fully: node 0's ambient rises with 220 W next door.
+  for (int i = 0; i < 12; ++i) f.platform.node(1).acquire_core(Seconds(0.0));
+  const double expected_loaded = 20.0 + (0.002 + 0.008) * 220.0;
+  EXPECT_NEAR(coupler.ambient_for(f.platform.node(0).id(), Seconds(0.0)).value(),
+              expected_loaded, 1e-9);
+  // Rack 1 is unaffected.
+  EXPECT_NEAR(coupler.ambient_for(f.platform.node(2).id(), Seconds(0.0)).value(),
+              expected_idle, 1e-9);
+  EXPECT_GT(coupler.rack_ambient(0, Seconds(0.0)).value(),
+            coupler.rack_ambient(1, Seconds(0.0)).value());
+}
+
+TEST(ThermalCoupler, PeriodicUpdatesPushAmbientIntoNodes) {
+  CouplerFixture f;
+  ThermalCoupler coupler(f.sim, f.platform, f.two_racks());
+  for (int i = 0; i < 12; ++i) f.platform.node(1).acquire_core(Seconds(0.0));
+
+  coupler.start();
+  f.sim.run_until(Seconds(120.0));
+  coupler.stop();
+
+  EXPECT_GT(coupler.updates(), 0u);
+  // Node 0 (next to the hot node) got a raised ambient; rack-1 nodes
+  // stayed near the room temperature.
+  EXPECT_GT(f.platform.node(0).thermal_config().ambient.value(), 21.5);
+  EXPECT_LT(f.platform.node(2).thermal_config().ambient.value(), 21.5);
+}
+
+TEST(ThermalCoupler, RejectsNegativeCoefficients) {
+  CouplerFixture f;
+  ThermalCouplingConfig config;
+  config.rack_coeff = -1.0;
+  EXPECT_THROW(ThermalCoupler(f.sim, f.platform, f.two_racks(), config),
+               common::ConfigError);
+}
+
+TEST(ThermalCoupler, RoomTemperatureChangesCompose) {
+  CouplerFixture f;
+  ThermalCoupler coupler(f.sim, f.platform, f.two_racks());
+  coupler.set_room(common::celsius(30.0));
+  EXPECT_GT(coupler.ambient_for(f.platform.node(0).id(), Seconds(0.0)).value(), 30.0);
+}
+
+}  // namespace
+}  // namespace greensched::cluster

@@ -1,0 +1,134 @@
+#include "cluster/wattmeter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::cluster {
+namespace {
+
+using common::Seconds;
+
+struct Fixture {
+  des::Simulator sim;
+  Node node{common::NodeId(0), "taurus-0", MachineCatalog::taurus(), common::ClusterId(0)};
+};
+
+TEST(Wattmeter, SamplesOncePerSecond) {
+  Fixture f;
+  Wattmeter meter(f.sim, f.node);
+  f.sim.run_until(Seconds(10.0));
+  EXPECT_EQ(meter.total_samples(), 10u);  // t = 1..10
+  EXPECT_EQ(meter.samples_in_window(), 10u);
+  EXPECT_TRUE(meter.running());
+}
+
+TEST(Wattmeter, NoSamplesBeforeFirstPeriod) {
+  Fixture f;
+  Wattmeter meter(f.sim, f.node);
+  EXPECT_FALSE(meter.average_power().has_value());
+  EXPECT_FALSE(meter.last_sample().has_value());
+}
+
+TEST(Wattmeter, AverageMatchesIdleDraw) {
+  Fixture f;
+  Wattmeter meter(f.sim, f.node);
+  f.sim.run_until(Seconds(100.0));
+  ASSERT_TRUE(meter.average_power().has_value());
+  EXPECT_DOUBLE_EQ(meter.average_power()->value(), 95.0);
+  EXPECT_DOUBLE_EQ(meter.last_sample()->value(), 95.0);
+}
+
+TEST(Wattmeter, TracksLoadChanges) {
+  Fixture f;
+  Wattmeter meter(f.sim, f.node);
+  f.sim.schedule_at(Seconds(5.0), [&] {
+    for (int i = 0; i < 12; ++i) f.node.acquire_core(Seconds(5.0));
+  });
+  f.sim.run_until(Seconds(10.0));
+  EXPECT_DOUBLE_EQ(meter.last_sample()->value(), 220.0);
+  // The load change at t=5 was scheduled before the t=5 sample, so the
+  // window holds 4 idle + 6 peak samples.
+  EXPECT_DOUBLE_EQ(meter.average_power()->value(), (4 * 95.0 + 6 * 220.0) / 10.0);
+}
+
+TEST(Wattmeter, MeasuredEnergyApproximatesExactIntegral) {
+  Fixture f;
+  Wattmeter meter(f.sim, f.node);
+  f.sim.schedule_at(Seconds(100.0), [&] { f.node.acquire_core(Seconds(100.0)); });
+  f.sim.schedule_at(Seconds(500.0), [&] { f.node.release_core(Seconds(500.0)); });
+  f.sim.run_until(Seconds(1000.0));
+  const double exact = f.node.energy(Seconds(1000.0)).value();
+  const double measured = meter.measured_energy().value();
+  EXPECT_NEAR(measured, exact, exact * 0.005);  // 1 Hz Riemann vs exact
+}
+
+TEST(Wattmeter, SlidingWindowEvictsOldSamples) {
+  Fixture f;
+  WattmeterConfig config;
+  config.window_samples = 10;
+  Wattmeter meter(f.sim, f.node, config);
+  // 20 idle seconds, then full load for 10: window should hold only peak.
+  f.sim.schedule_at(Seconds(20.0), [&] {
+    for (int i = 0; i < 12; ++i) f.node.acquire_core(Seconds(20.0));
+  });
+  f.sim.run_until(Seconds(30.0));
+  EXPECT_EQ(meter.samples_in_window(), 10u);
+  EXPECT_DOUBLE_EQ(meter.average_power()->value(), 220.0);
+  EXPECT_EQ(meter.total_samples(), 30u);
+}
+
+TEST(Wattmeter, NoiseRequiresRng) {
+  Fixture f;
+  WattmeterConfig config;
+  config.noise_stddev_watts = 2.0;
+  EXPECT_THROW(Wattmeter(f.sim, f.node, config, nullptr), common::ConfigError);
+}
+
+TEST(Wattmeter, NoisySamplesAverageToTruth) {
+  Fixture f;
+  common::Rng rng(42);
+  WattmeterConfig config;
+  config.noise_stddev_watts = 5.0;
+  Wattmeter meter(f.sim, f.node, config, &rng);
+  f.sim.run_until(Seconds(6000.0));  // the paper's >6000 measurements
+  EXPECT_NEAR(meter.average_power()->value(), 95.0, 0.5);
+}
+
+TEST(Wattmeter, FullSeriesRecordingIsOptIn) {
+  Fixture f;
+  Wattmeter plain(f.sim, f.node);
+  WattmeterConfig config;
+  config.keep_full_series = true;
+  Wattmeter recording(f.sim, f.node, config);
+  f.sim.run_until(Seconds(5.0));
+  EXPECT_TRUE(plain.series().empty());
+  EXPECT_EQ(recording.series().size(), 5u);
+}
+
+TEST(Wattmeter, StopHaltsSampling) {
+  Fixture f;
+  Wattmeter meter(f.sim, f.node);
+  f.sim.run_until(Seconds(5.0));
+  meter.stop();
+  f.sim.run_until(Seconds(10.0));
+  EXPECT_EQ(meter.total_samples(), 5u);
+  EXPECT_FALSE(meter.running());
+}
+
+TEST(Wattmeter, RejectsBadConfig) {
+  Fixture f;
+  WattmeterConfig config;
+  config.sample_period = des::SimDuration(0.0);
+  EXPECT_THROW(Wattmeter(f.sim, f.node, config), common::ConfigError);
+  config = WattmeterConfig{};
+  config.window_samples = 0;
+  EXPECT_THROW(Wattmeter(f.sim, f.node, config), common::ConfigError);
+  config = WattmeterConfig{};
+  config.noise_stddev_watts = -1.0;
+  EXPECT_THROW(Wattmeter(f.sim, f.node, config), common::ConfigError);
+}
+
+}  // namespace
+}  // namespace greensched::cluster

@@ -1,0 +1,67 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greensched::common {
+namespace {
+
+CliArgs parse(std::initializer_list<std::string> tokens) {
+  return CliArgs::parse(std::vector<std::string>(tokens));
+}
+
+TEST(CliArgs, PositionalAndCommand) {
+  const CliArgs args = parse({"placement", "extra"});
+  EXPECT_EQ(args.command(), "placement");
+  EXPECT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(CliArgs::parse(std::vector<std::string>{}).command(), "");
+}
+
+TEST(CliArgs, KeyValueForms) {
+  const CliArgs args = parse({"cmd", "--policy", "POWER", "--seed=42"});
+  EXPECT_EQ(args.get_or("policy", ""), "POWER");
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_FALSE(args.get("missing").has_value());
+  EXPECT_EQ(args.get_or("missing", "dflt"), "dflt");
+}
+
+TEST(CliArgs, BooleanFlags) {
+  const CliArgs args = parse({"cmd", "--verbose", "--dry-run", "--out", "f.csv"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_TRUE(args.get_bool("dry-run"));
+  EXPECT_FALSE(args.get_bool("quiet"));
+  EXPECT_EQ(args.get_or("out", ""), "f.csv");
+}
+
+TEST(CliArgs, BooleanValueSpellings) {
+  EXPECT_TRUE(parse({"--x", "yes"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x"));
+  EXPECT_FALSE(parse({"--x", "off"}).get_bool("x"));
+  EXPECT_THROW((void)parse({"--x", "maybe"}).get_bool("x"), ConfigError);
+}
+
+TEST(CliArgs, NumericValidation) {
+  EXPECT_DOUBLE_EQ(parse({"--r", "2.5"}).get_double("r", 0.0), 2.5);
+  EXPECT_THROW((void)parse({"--r", "abc"}).get_double("r", 0.0), ConfigError);
+  EXPECT_THROW((void)parse({"--n", "1.5"}).get_int("n", 0), ConfigError);
+  EXPECT_EQ(parse({}).get_int("n", 7), 7);
+}
+
+TEST(CliArgs, BareDoubleDashRejected) {
+  EXPECT_THROW(parse({"--"}), ConfigError);
+}
+
+TEST(CliArgs, UnusedKeyDetection) {
+  const CliArgs args = parse({"--used", "1", "--typo", "2"});
+  (void)args.get("used");
+  const auto unused = args.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(CliArgs, LastValueWinsOnRepeat) {
+  const CliArgs args = parse({"--k", "a", "--k", "b"});
+  EXPECT_EQ(args.get_or("k", ""), "b");
+}
+
+}  // namespace
+}  // namespace greensched::common

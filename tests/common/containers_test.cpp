@@ -1,0 +1,213 @@
+// RingBuffer, CSV, TextTable, mathutil, ascii plot, logging.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/mathutil.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/table.hpp"
+
+namespace greensched::common {
+namespace {
+
+// --- RingBuffer -------------------------------------------------------------
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, FillsThenWraps) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_FALSE(rb.full());
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  rb.push(4);  // overwrites 1
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.oldest(), 2);
+  EXPECT_EQ(rb.newest(), 4);
+  EXPECT_EQ(rb.at(0), 2);
+  EXPECT_EQ(rb.at(1), 3);
+  EXPECT_EQ(rb.at(2), 4);
+}
+
+TEST(RingBuffer, AtOutOfRangeThrows) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW((void)rb.at(1), std::out_of_range);
+}
+
+TEST(RingBuffer, ForEachVisitsOldestFirst) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  std::vector<int> seen;
+  rb.for_each([&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.oldest(), 9);
+}
+
+// --- CSV --------------------------------------------------------------------
+
+TEST(Csv, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b,c", "d"});
+  csv.cell(1.5).cell(std::size_t{42}).cell("x");
+  csv.end_row();
+  EXPECT_EQ(os.str(), "a,\"b,c\",d\n1.5,42,x\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, CustomSeparator) {
+  std::ostringstream os;
+  CsvWriter csv(os, ';');
+  csv.row({"a;b", "c"});
+  EXPECT_EQ(os.str(), "\"a;b\";c\n");
+}
+
+// --- TextTable ---------------------------------------------------------------
+
+TEST(TextTable, RejectsEmptyHeadersAndOversizedRows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"x", "y"});
+  t.add_row({"1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1 "), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(TextTable, GroupedThousands) {
+  EXPECT_EQ(TextTable::grouped(0), "0");
+  EXPECT_EQ(TextTable::grouped(999), "999");
+  EXPECT_EQ(TextTable::grouped(6041436), "6,041,436");
+  EXPECT_EQ(TextTable::grouped(-12345), "-12,345");
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::integer(-7), "-7");
+}
+
+TEST(TextTable, RenderAlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2"});
+  const std::string out = t.render();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("| name   |"), std::string::npos);
+}
+
+// --- mathutil ---------------------------------------------------------------
+
+TEST(MathUtil, LerpAndClamp) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 3.0), 2.0);
+}
+
+TEST(MathUtil, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(approx_equal(1.0, 1.01));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+}
+
+TEST(MathUtil, PercentChange) {
+  EXPECT_DOUBLE_EQ(percent_change(100.0, 125.0), 25.0);
+  EXPECT_DOUBLE_EQ(percent_change(100.0, 75.0), -25.0);
+  EXPECT_DOUBLE_EQ(percent_change(0.0, 5.0), 0.0);
+}
+
+TEST(MathUtil, FractionFloorMatchesPaperRules) {
+  // 12 SED nodes under the Section IV-C rules.
+  EXPECT_EQ(fraction_floor(12, 0.20), 2u);   // T > 25  -> 2 candidates
+  EXPECT_EQ(fraction_floor(12, 0.40), 4u);   // regular -> 4
+  EXPECT_EQ(fraction_floor(12, 0.70), 8u);   // off-peak 1 -> 8
+  EXPECT_EQ(fraction_floor(12, 1.00), 12u);  // off-peak 2 -> 12
+  EXPECT_EQ(fraction_floor(0, 0.5), 0u);
+}
+
+// --- ascii plot ---------------------------------------------------------------
+
+TEST(AsciiPlot, RejectsBadInput) {
+  EXPECT_THROW(ascii_plot({}, {}), std::invalid_argument);
+  EXPECT_THROW(ascii_plot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(AsciiPlot, ContainsMarksAndLabel) {
+  AsciiPlotOptions options;
+  options.label = "demo";
+  const std::string out = ascii_plot({0.0, 1.0, 2.0}, {0.0, 1.0, 4.0}, options);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, BarsProportional) {
+  const std::string out = ascii_bars({{"a", 1.0}, {"bb", 2.0}});
+  EXPECT_NE(out.find("a  |"), std::string::npos);
+  // The larger bar has more '#'.
+  const auto a_hashes = std::count(out.begin(), out.begin() + static_cast<long>(out.find('\n')),
+                                   '#');
+  const auto rest = out.substr(out.find('\n') + 1);
+  const auto b_hashes = std::count(rest.begin(), rest.end(), '#');
+  EXPECT_LT(a_hashes, b_hashes);
+}
+
+TEST(AsciiPlot, EmptyBarsGiveEmptyString) { EXPECT_EQ(ascii_bars({}), ""); }
+
+// --- logging ----------------------------------------------------------------
+
+TEST(Logging, LevelNamesRoundTrip) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(to_string(LogLevel::kWarn), "warn");
+  EXPECT_THROW((void)parse_log_level("loud"), std::invalid_argument);
+}
+
+TEST(Logging, RespectsLevelAndSink) {
+  std::ostringstream sink;
+  Logger& logger = Logger::global();
+  const LogLevel old_level = logger.level();
+  logger.set_sink(&sink);
+  logger.set_level(LogLevel::kWarn);
+
+  GS_LOG_DEBUG("test") << "hidden";
+  GS_LOG_WARN("test") << "visible " << 42;
+
+  logger.set_sink(nullptr);
+  logger.set_level(old_level);
+
+  EXPECT_EQ(sink.str(), "[warn] [test] visible 42\n");
+}
+
+}  // namespace
+}  // namespace greensched::common

@@ -1,0 +1,60 @@
+#include "common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace greensched::common {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  EXPECT_FALSE(NodeId{}.valid());
+  EXPECT_EQ(NodeId{}, NodeId::invalid());
+}
+
+TEST(Ids, ExplicitValueIsValid) {
+  const NodeId id(42);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, TaskId>);
+  static_assert(!std::is_same_v<RequestId, ClusterId>);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(TaskId(1), TaskId(2));
+  EXPECT_EQ(TaskId(7), TaskId(7));
+  EXPECT_NE(TaskId(7), TaskId(8));
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId(1));
+  set.insert(NodeId(2));
+  set.insert(NodeId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(NodeId(2)));
+}
+
+TEST(Ids, AllocatorIsMonotonic) {
+  IdAllocator<TaskId> alloc;
+  EXPECT_EQ(alloc.next(), TaskId(0));
+  EXPECT_EQ(alloc.next(), TaskId(1));
+  EXPECT_EQ(alloc.next(), TaskId(2));
+  EXPECT_EQ(alloc.allocated(), 3u);
+  alloc.reset();
+  EXPECT_EQ(alloc.next(), TaskId(0));
+}
+
+TEST(Ids, StreamOutput) {
+  std::ostringstream os;
+  os << NodeId(3) << " " << TaskId(9) << " " << RequestId{} << " " << ClusterId(1) << " "
+     << AgentId(0) << " " << ServiceId(5);
+  EXPECT_EQ(os.str(), "node-3 task-9 req-<invalid> cluster-1 agent-0 svc-5");
+}
+
+}  // namespace
+}  // namespace greensched::common

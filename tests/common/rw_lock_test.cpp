@@ -1,0 +1,126 @@
+#include "common/rw_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace greensched::common {
+namespace {
+
+TEST(ReadersWriterLock, CountsAcquisitions) {
+  ReadersWriterLock lock;
+  {
+    ReadGuard r1(lock);
+  }
+  {
+    ReadGuard r2(lock);
+  }
+  {
+    WriteGuard w(lock);
+  }
+  EXPECT_EQ(lock.shared_acquisitions(), 2u);
+  EXPECT_EQ(lock.exclusive_acquisitions(), 1u);
+}
+
+TEST(ReadersWriterLock, MultipleConcurrentReaders) {
+  ReadersWriterLock lock;
+  lock.lock_shared();
+  EXPECT_TRUE(lock.try_lock_shared());  // second reader enters
+  lock.unlock_shared();
+  lock.unlock_shared();
+}
+
+TEST(ReadersWriterLock, WriterExcludesReaders) {
+  ReadersWriterLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock_shared());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock_shared());
+  lock.unlock_shared();
+}
+
+TEST(ReadersWriterLock, ReaderExcludesWriter) {
+  ReadersWriterLock lock;
+  lock.lock_shared();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock_shared();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(ReadersWriterLock, WriterMakesProgressUnderReadLoad) {
+  ReadersWriterLock lock;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> wrote{false};
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        ReadGuard guard(lock);
+      }
+    });
+  }
+  std::thread writer([&] {
+    WriteGuard guard(lock);
+    wrote.store(true);
+  });
+  writer.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_TRUE(wrote.load());  // writer preference: no starvation
+}
+
+TEST(ReadersWriterLock, ProtectsSharedCounter) {
+  ReadersWriterLock lock;
+  long long counter = 0;
+  const int kThreads = 8;
+  const int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        WriteGuard guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long long>(kThreads) * kIncrements);
+}
+
+TEST(ReadersWriterLock, ReadersSeeConsistentSnapshots) {
+  // Writers keep two variables equal under the lock; readers must never
+  // observe them out of sync.
+  ReadersWriterLock lock;
+  long long a = 0, b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      WriteGuard guard(lock);
+      ++a;
+      ++b;
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        ReadGuard guard(lock);
+        if (a != b) torn.store(true);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(torn.load());
+}
+
+}  // namespace
+}  // namespace greensched::common

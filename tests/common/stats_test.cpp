@@ -1,0 +1,193 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace greensched::common {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsSamplesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.0, 3.0, 5.5, 9.9}) h.add(x);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // 0.5, 1.0
+  EXPECT_EQ(h.bin_count(1), 1u);  // 3.0
+  EXPECT_EQ(h.bin_count(2), 1u);  // 5.5
+  EXPECT_EQ(h.bin_count(4), 1u);  // 9.9
+}
+
+TEST(Histogram, OutOfRangeClampsAndCounts) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(11.0);
+  h.add(10.0);  // hi is exclusive
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+  EXPECT_THROW((void)h.bin_lo(4), std::out_of_range);
+}
+
+TEST(Percentiles, ThrowsWithoutSamples) {
+  Percentiles p;
+  EXPECT_THROW((void)p.percentile(50.0), std::logic_error);
+}
+
+TEST(Percentiles, RejectsOutOfRangeP) {
+  Percentiles p;
+  p.add(1.0);
+  EXPECT_THROW((void)p.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)p.percentile(101.0), std::invalid_argument);
+}
+
+TEST(Percentiles, InterpolatesLinearly) {
+  Percentiles p;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(p.median(), 25.0);
+  EXPECT_DOUBLE_EQ(p.percentile(25.0), 17.5);
+}
+
+TEST(Percentiles, SingleSample) {
+  Percentiles p;
+  p.add(7.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100.0), 7.0);
+}
+
+TEST(TimeSeries, RejectsTimeGoingBackwards) {
+  TimeSeries ts;
+  ts.add(1.0, 5.0);
+  EXPECT_THROW(ts.add(0.5, 6.0), std::invalid_argument);
+  ts.add(1.0, 6.0);  // equal timestamps allowed
+}
+
+TEST(TimeSeries, TrapezoidalIntegration) {
+  TimeSeries ts;
+  ts.add(0.0, 0.0);
+  ts.add(2.0, 4.0);  // triangle: area 4
+  ts.add(4.0, 4.0);  // rectangle: area 8
+  EXPECT_DOUBLE_EQ(ts.integrate(), 12.0);
+}
+
+TEST(TimeSeries, WindowAverage) {
+  TimeSeries ts;
+  ts.add(0.0, 10.0);
+  ts.add(10.0, 10.0);
+  ts.add(20.0, 30.0);
+  EXPECT_DOUBLE_EQ(ts.window_average(0.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.window_average(10.0, 20.0), 20.0);  // ramp 10 -> 30
+  EXPECT_DOUBLE_EQ(ts.window_average(0.0, 20.0), 15.0);
+  // Window clipped to a sub-range of one segment.
+  EXPECT_NEAR(ts.window_average(12.0, 14.0), 16.0, 1e-12);
+}
+
+TEST(TimeSeries, WindowAverageDegenerateCases) {
+  TimeSeries ts;
+  EXPECT_EQ(ts.window_average(0.0, 1.0), 0.0);
+  ts.add(5.0, 2.0);
+  EXPECT_EQ(ts.window_average(6.0, 7.0), 0.0);  // window outside data
+  EXPECT_EQ(ts.window_average(3.0, 3.0), 0.0);  // empty window
+}
+
+TEST(TimeSeries, ValueBefore) {
+  TimeSeries ts;
+  ts.add(10.0, 1.0);
+  ts.add(20.0, 2.0);
+  EXPECT_EQ(ts.value_before(5.0), 0.0);
+  EXPECT_EQ(ts.value_before(10.0), 1.0);
+  EXPECT_EQ(ts.value_before(15.0), 1.0);
+  EXPECT_EQ(ts.value_before(25.0), 2.0);
+}
+
+TEST(TimeSeries, Accessors) {
+  TimeSeries ts;
+  ts.add(1.0, 2.0);
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_FALSE(ts.empty());
+  EXPECT_EQ(ts.time_at(0), 1.0);
+  EXPECT_EQ(ts.value_at(0), 2.0);
+  EXPECT_THROW((void)ts.time_at(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace greensched::common

@@ -1,0 +1,112 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace greensched::common {
+namespace {
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_EQ(Watts{}.value(), 0.0);
+  EXPECT_EQ(Joules{}.value(), 0.0);
+  EXPECT_EQ(Seconds{}.value(), 0.0);
+}
+
+TEST(Units, AdditionAndSubtraction) {
+  const Watts a(100.0), b(40.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 140.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 60.0);
+  EXPECT_DOUBLE_EQ((-b).value(), -40.0);
+}
+
+TEST(Units, ScalarMultiplicationAndDivision) {
+  const Joules e(500.0);
+  EXPECT_DOUBLE_EQ((e * 2.0).value(), 1000.0);
+  EXPECT_DOUBLE_EQ((2.0 * e).value(), 1000.0);
+  EXPECT_DOUBLE_EQ((e / 4.0).value(), 125.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Watts w(10.0);
+  w += Watts(5.0);
+  EXPECT_DOUBLE_EQ(w.value(), 15.0);
+  w -= Watts(3.0);
+  EXPECT_DOUBLE_EQ(w.value(), 12.0);
+  w *= 2.0;
+  EXPECT_DOUBLE_EQ(w.value(), 24.0);
+  w /= 4.0;
+  EXPECT_DOUBLE_EQ(w.value(), 6.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  const double ratio = Joules(300.0) / Joules(60.0);
+  EXPECT_DOUBLE_EQ(ratio, 5.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Watts(90.0), Watts(100.0));
+  EXPECT_GE(Seconds(10.0), Seconds(10.0));
+  EXPECT_EQ(Flops(1.0), Flops(1.0));
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Joules e = Watts(220.0) * Seconds(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 2200.0);
+  EXPECT_DOUBLE_EQ((Seconds(10.0) * Watts(220.0)).value(), 2200.0);
+}
+
+TEST(Units, EnergyOverTimeIsPower) {
+  EXPECT_DOUBLE_EQ((Joules(2200.0) / Seconds(10.0)).value(), 220.0);
+}
+
+TEST(Units, EnergyOverPowerIsTime) {
+  EXPECT_DOUBLE_EQ((Joules(2200.0) / Watts(220.0)).value(), 10.0);
+}
+
+TEST(Units, WorkOverRateIsTime) {
+  EXPECT_DOUBLE_EQ((Flops(2.1e11) / FlopsRate(9.2e9)).value(), 2.1e11 / 9.2e9);
+}
+
+TEST(Units, RateTimesTimeIsWork) {
+  EXPECT_DOUBLE_EQ((FlopsRate(1e9) * Seconds(3.0)).value(), 3e9);
+  EXPECT_DOUBLE_EQ((Seconds(3.0) * FlopsRate(1e9)).value(), 3e9);
+}
+
+TEST(Units, WorkOverTimeIsRate) {
+  EXPECT_DOUBLE_EQ((Flops(6e9) / Seconds(2.0)).value(), 3e9);
+}
+
+TEST(Units, Factories) {
+  EXPECT_DOUBLE_EQ(kilojoules(2.0).value(), 2000.0);
+  EXPECT_DOUBLE_EQ(megajoules(1.5).value(), 1.5e6);
+  EXPECT_DOUBLE_EQ(gigaflops(3.0).value(), 3e9);
+  EXPECT_DOUBLE_EQ(gflops_per_sec(9.2).value(), 9.2e9);
+  EXPECT_DOUBLE_EQ(minutes(2.0).value(), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1.0).value(), 3600.0);
+  EXPECT_DOUBLE_EQ(celsius(25.0).value(), 25.0);
+}
+
+TEST(Units, WattHoursRoundTrip) {
+  const Joules e = watt_hours(2.5);
+  EXPECT_DOUBLE_EQ(e.value(), 9000.0);
+  EXPECT_DOUBLE_EQ(to_watt_hours(e), 2.5);
+}
+
+TEST(Units, ToStringScalesUnits) {
+  EXPECT_EQ(to_string(Watts(230.0)), "230.000 W");
+  EXPECT_EQ(to_string(Watts(2300.0)), "2.300 kW");
+  EXPECT_EQ(to_string(Joules(4528547.0)), "4.529 MJ");
+  EXPECT_EQ(to_string(Seconds(90.0)), "1.50 min");
+  EXPECT_EQ(to_string(Seconds(7200.0)), "2.00 h");
+  EXPECT_EQ(to_string(Seconds(2.5)), "2.500 s");
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream os;
+  os << Watts(95.0) << " / " << Celsius(25.0);
+  EXPECT_EQ(os.str(), "95.000 W / 25.0 degC");
+}
+
+}  // namespace
+}  // namespace greensched::common

@@ -1,0 +1,189 @@
+#include "des/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace greensched::des {
+namespace {
+
+using greensched::common::StateError;
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().value(), 0.0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime(3.0), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime(2.0), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().value(), 3.0);
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(SimTime(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesDelay) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(SimTime(5.0), [&] {
+    sim.schedule_after(SimDuration(2.5), [&] { fired_at = sim.now().value(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, RejectsPastAndInvalid) {
+  Simulator sim;
+  sim.schedule_at(SimTime(10.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime(5.0), [] {}), StateError);
+  EXPECT_THROW(sim.schedule_after(SimDuration(-1.0), [] {}), StateError);
+  EXPECT_THROW(sim.schedule_at(SimTime(20.0), Simulator::Callback{}), StateError);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle handle = sim.schedule_at(SimTime(1.0), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(handle));  // double cancel is a no-op
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInvalidHandle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(SimDuration(1.0), recurse);
+  };
+  sim.schedule_at(SimTime(0.0), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 9.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(SimTime(t), [&fired, t] { fired.push_back(t); });
+  }
+  EXPECT_EQ(sim.run_until(SimTime(2.5)), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now().value(), 2.5);  // advances even without events
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_THROW(sim.run_until(SimTime(1.0)), StateError);
+}
+
+TEST(Simulator, RunUntilInclusiveOfBoundaryEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(SimTime(5.0), [&] { fired = true; });
+  sim.run_until(SimTime(5.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime(1.0), [&] { ++count; });
+  sim.schedule_at(SimTime(2.0), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, ExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(SimTime(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(Simulator, EventLimitGuardsRunaway) {
+  Simulator sim;
+  sim.set_event_limit(100);
+  std::function<void()> forever = [&] { sim.schedule_after(SimDuration(1.0), forever); };
+  sim.schedule_at(SimTime(0.0), forever);
+  EXPECT_THROW(sim.run(), StateError);
+}
+
+TEST(PeriodicProcess, TicksAtPeriod) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicProcess process(sim, SimDuration(10.0), [&](SimTime at) {
+    ticks.push_back(at.value());
+    return ticks.size() < 3;
+  });
+  process.start();
+  sim.run();
+  EXPECT_EQ(ticks, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_FALSE(process.running());
+  EXPECT_EQ(process.ticks(), 3u);
+}
+
+TEST(PeriodicProcess, StartAtCustomFirstTick) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicProcess process(sim, SimDuration(5.0), [&](SimTime at) {
+    ticks.push_back(at.value());
+    return ticks.size() < 2;
+  });
+  process.start_at(SimTime(0.0));
+  sim.run();
+  EXPECT_EQ(ticks, (std::vector<double>{0.0, 5.0}));
+}
+
+TEST(PeriodicProcess, StopCancelsPendingTick) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicProcess process(sim, SimDuration(1.0), [&](SimTime) {
+    ++ticks;
+    return true;
+  });
+  process.start();
+  sim.run_until(SimTime(3.5));
+  process.stop();
+  sim.run();
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(process.running());
+}
+
+TEST(PeriodicProcess, RejectsBadConfig) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicProcess(sim, SimDuration(0.0), [](SimTime) { return true; }),
+               StateError);
+  EXPECT_THROW(PeriodicProcess(sim, SimDuration(1.0), PeriodicProcess::TickFn{}), StateError);
+}
+
+TEST(PeriodicProcess, DoubleStartThrows) {
+  Simulator sim;
+  PeriodicProcess process(sim, SimDuration(1.0), [](SimTime) { return false; });
+  process.start();
+  EXPECT_THROW(process.start(), StateError);
+}
+
+}  // namespace
+}  // namespace greensched::des

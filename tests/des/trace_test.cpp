@@ -1,0 +1,50 @@
+#include "des/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greensched::des {
+namespace {
+
+TEST(TraceRecorder, RecordsAndQueries) {
+  TraceRecorder trace;
+  trace.record(SimTime(1.0), "task", "taurus-0", "start", 1.0);
+  trace.record(SimTime(2.0), "node", "taurus-0", "power", 220.0);
+  trace.record(SimTime(3.0), "task", "orion-1", "start", 2.0);
+
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_EQ(trace.at(1).category, "node");
+
+  const auto tasks = trace.by_category("task");
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].subject, "taurus-0");
+  EXPECT_EQ(tasks[1].subject, "orion-1");
+
+  const auto taurus_tasks = trace.by_subject("task", "taurus-0");
+  ASSERT_EQ(taurus_tasks.size(), 1u);
+  EXPECT_EQ(taurus_tasks[0].detail, "start");
+
+  EXPECT_EQ(trace.count_if([](const TraceRecord& r) { return r.value > 1.5; }), 2u);
+}
+
+TEST(TraceRecorder, ClearEmpties) {
+  TraceRecorder trace;
+  trace.record(SimTime(0.0), "a", "b", "c");
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceRecorder, CapacityDropsOldestHalf) {
+  TraceRecorder trace;
+  trace.set_capacity(10);
+  for (int i = 0; i < 25; ++i) {
+    trace.record(SimTime(static_cast<double>(i)), "cat", "s", "d", static_cast<double>(i));
+  }
+  EXPECT_LE(trace.size(), 10u);
+  EXPECT_GT(trace.dropped(), 0u);
+  // The newest record always survives.
+  EXPECT_EQ(trace.records().back().value, 24.0);
+}
+
+}  // namespace
+}  // namespace greensched::des

@@ -1,0 +1,220 @@
+#include "diet/agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "cluster/platform.hpp"
+#include "common/error.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/policies.hpp"
+
+namespace greensched::diet {
+namespace {
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  std::unique_ptr<Hierarchy> hierarchy;
+
+  Fixture() {
+    cluster::ClusterOptions two;
+    two.node_count = 2;
+    platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), two, rng);
+    platform.add_cluster("sagittaire", cluster::MachineCatalog::sagittaire(), two, rng);
+    hierarchy = std::make_unique<Hierarchy>(sim, rng);
+  }
+
+  Request make_request(const std::string& service = "cpu-bound") {
+    Request request;
+    request.id = common::RequestId(0);
+    request.task.spec = workload::paper_cpu_bound_task();
+    request.task.spec.service = service;
+    return request;
+  }
+};
+
+TEST(Agent, RejectsBadChildren) {
+  Agent agent(common::AgentId(0), "LA");
+  EXPECT_THROW(agent.attach_agent(nullptr), common::ConfigError);
+  EXPECT_THROW(agent.attach_agent(&agent), common::ConfigError);
+  EXPECT_THROW(agent.attach_sed(nullptr), common::ConfigError);
+  EXPECT_THROW(Agent(common::AgentId(0), ""), common::ConfigError);
+}
+
+TEST(Agent, CollectsOnlyOfferingSeds) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->create_master();
+  f.hierarchy->create_sed(ma, f.platform.node(0), {"cpu-bound"});
+  f.hierarchy->create_sed(ma, f.platform.node(1), {"matmul"});
+
+  green::PowerPolicy policy;
+  const auto candidates = ma.handle_request(f.make_request(), policy);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].sed->name(), "taurus-0");
+}
+
+TEST(Agent, PropagatesThroughTree) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_per_cluster(f.platform, {"cpu-bound"});
+  green::PowerPolicy policy;
+  const auto candidates = ma.handle_request(f.make_request(), policy);
+  EXPECT_EQ(candidates.size(), 4u);
+  EXPECT_EQ(ma.child_agent_count(), 2u);  // one LA per cluster
+  EXPECT_EQ(ma.child_sed_count(), 0u);
+
+  std::vector<Sed*> seds;
+  ma.collect_seds(seds);
+  EXPECT_EQ(seds.size(), 4u);
+}
+
+TEST(Agent, ForwardLimitTruncatesButKeepsBest) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  ma.set_forward_limit(2);
+  // SCORE uses spec figures, so ranking is deterministic without learning.
+  green::ScorePolicy policy;
+  const auto limited = ma.handle_request(f.make_request(), policy);
+  ASSERT_EQ(limited.size(), 2u);
+  ma.set_forward_limit(0);
+  const auto full = ma.handle_request(f.make_request(), policy);
+  ASSERT_EQ(full.size(), 4u);
+  EXPECT_EQ(limited[0].sed, full[0].sed);
+  EXPECT_EQ(limited[1].sed, full[1].sed);
+}
+
+TEST(MasterAgent, RequiresPlugin) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  EXPECT_THROW((void)ma.submit(f.make_request()), common::StateError);
+}
+
+TEST(MasterAgent, ElectsFirstAvailable) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  green::ScorePolicy policy;
+  ma.set_plugin(&policy);
+  const SchedulingDecision decision = ma.submit(f.make_request());
+  ASSERT_NE(decision.elected, nullptr);
+  EXPECT_FALSE(decision.service_unknown);
+  EXPECT_EQ(decision.considered, 4u);
+  // With spec figures, taurus wins the score (fast and efficient).
+  EXPECT_EQ(decision.elected->node().spec().model, "taurus");
+  EXPECT_EQ(ma.submissions(), 1u);
+  EXPECT_EQ(ma.elections(), 1u);
+}
+
+TEST(MasterAgent, SkipsSaturatedServers) {
+  Fixture f;
+  SedConfig config;
+  config.max_concurrent = 1;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"}, config);
+  green::ScorePolicy policy;
+  ma.set_plugin(&policy);
+
+  // Saturate both taurus SEDs (one slot each).
+  for (int i = 0; i < 2; ++i) {
+    const auto decision = ma.submit(f.make_request());
+    ASSERT_NE(decision.elected, nullptr);
+    EXPECT_EQ(decision.elected->node().spec().model, "taurus");
+    workload::TaskInstance task;
+    task.id = common::TaskId(i);
+    task.spec = workload::paper_cpu_bound_task();
+    decision.elected->execute(task, common::RequestId(i), nullptr);
+  }
+  // Next election must fall through to sagittaire.
+  const auto decision = ma.submit(f.make_request());
+  ASSERT_NE(decision.elected, nullptr);
+  EXPECT_EQ(decision.elected->node().spec().model, "sagittaire");
+}
+
+TEST(MasterAgent, NullElectionWhenEverythingBusy) {
+  Fixture f;
+  SedConfig config;
+  config.max_concurrent = 1;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"}, config);
+  green::ScorePolicy policy;
+  ma.set_plugin(&policy);
+  for (int i = 0; i < 4; ++i) {
+    const auto decision = ma.submit(f.make_request());
+    workload::TaskInstance task;
+    task.id = common::TaskId(i);
+    task.spec = workload::paper_cpu_bound_task();
+    decision.elected->execute(task, common::RequestId(i), nullptr);
+  }
+  const auto decision = ma.submit(f.make_request());
+  EXPECT_EQ(decision.elected, nullptr);
+  EXPECT_FALSE(decision.service_unknown);
+  EXPECT_EQ(decision.ranked.size(), 4u);  // ranked but unavailable
+}
+
+TEST(MasterAgent, ServiceUnknownFlag) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  green::ScorePolicy policy;
+  ma.set_plugin(&policy);
+  const auto decision = ma.submit(f.make_request("unknown-service"));
+  EXPECT_TRUE(decision.service_unknown);
+  EXPECT_EQ(decision.elected, nullptr);
+}
+
+TEST(MasterAgent, CandidateFilterRestrictsElection) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  green::ScorePolicy policy;
+  ma.set_plugin(&policy);
+  // Only sagittaire nodes pass the filter.
+  ma.set_candidate_filter([](std::vector<Candidate>& candidates, const Request&) {
+    std::erase_if(candidates, [](const Candidate& c) {
+      return !c.estimation.server_name().starts_with("sagittaire");
+    });
+  });
+  const auto decision = ma.submit(f.make_request());
+  ASSERT_NE(decision.elected, nullptr);
+  EXPECT_EQ(decision.elected->node().spec().model, "sagittaire");
+  EXPECT_EQ(decision.ranked.size(), 2u);
+}
+
+/// Property: with a deterministic total order (SCORE on spec figures) and
+/// no truncation, the tree shape must not change the elected server.
+TEST(MasterAgent, TreeShapeDoesNotChangeElection) {
+  Fixture flat_f, tree_f;
+  MasterAgent& flat = flat_f.hierarchy->build_flat(flat_f.platform, {"cpu-bound"});
+  MasterAgent& tree = tree_f.hierarchy->build_per_cluster(tree_f.platform, {"cpu-bound"});
+  green::ScorePolicy policy;
+  flat.set_plugin(&policy);
+  tree.set_plugin(&policy);
+
+  const auto d1 = flat.submit(flat_f.make_request());
+  const auto d2 = tree.submit(tree_f.make_request());
+  ASSERT_NE(d1.elected, nullptr);
+  ASSERT_NE(d2.elected, nullptr);
+  EXPECT_EQ(d1.elected->name(), d2.elected->name());
+  ASSERT_EQ(d1.ranked.size(), d2.ranked.size());
+  for (std::size_t i = 0; i < d1.ranked.size(); ++i) {
+    EXPECT_EQ(d1.ranked[i].sed->name(), d2.ranked[i].sed->name()) << "rank " << i;
+  }
+}
+
+TEST(Hierarchy, SingleMasterOnly) {
+  Fixture f;
+  f.hierarchy->create_master();
+  EXPECT_THROW(f.hierarchy->create_master(), common::ConfigError);
+}
+
+TEST(Hierarchy, MasterAccessorRequiresCreation) {
+  Fixture f;
+  EXPECT_FALSE(f.hierarchy->has_master());
+  EXPECT_THROW((void)f.hierarchy->master(), common::StateError);
+}
+
+TEST(Hierarchy, FindSed) {
+  Fixture f;
+  f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  EXPECT_NE(f.hierarchy->find_sed("taurus-1"), nullptr);
+  EXPECT_EQ(f.hierarchy->find_sed("nope"), nullptr);
+  EXPECT_EQ(f.hierarchy->sed_count(), 4u);
+}
+
+}  // namespace
+}  // namespace greensched::diet

@@ -1,0 +1,164 @@
+#include "diet/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "cluster/platform.hpp"
+#include "common/error.hpp"
+#include "green/policies.hpp"
+
+namespace greensched::diet {
+namespace {
+
+using common::Seconds;
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  std::unique_ptr<Hierarchy> hierarchy;
+  std::unique_ptr<PluginScheduler> policy = std::make_unique<green::ScorePolicy>();
+
+  explicit Fixture(std::size_t taurus_nodes = 1, unsigned max_concurrent = 0) {
+    cluster::ClusterOptions options;
+    options.node_count = taurus_nodes;
+    platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), options, rng);
+    hierarchy = std::make_unique<Hierarchy>(sim, rng);
+    SedConfig sed;
+    sed.max_concurrent = max_concurrent;
+    MasterAgent& ma = hierarchy->build_flat(platform, {"cpu-bound"}, sed);
+    ma.set_plugin(policy.get());
+  }
+
+  std::vector<workload::TaskInstance> make_tasks(std::size_t count, double spacing = 0.0) {
+    std::vector<workload::TaskInstance> tasks;
+    for (std::size_t i = 0; i < count; ++i) {
+      workload::TaskInstance task;
+      task.id = common::TaskId(i);
+      task.spec = workload::paper_cpu_bound_task();
+      task.submit_time = Seconds(static_cast<double>(i) * spacing);
+      tasks.push_back(task);
+    }
+    return tasks;
+  }
+};
+
+TEST(Client, RunsWorkloadToCompletion) {
+  Fixture f;
+  Client client(*f.hierarchy);
+  client.submit_workload(f.make_tasks(6, 1.0));
+  f.sim.run();
+  EXPECT_TRUE(client.all_done());
+  EXPECT_EQ(client.completed(), 6u);
+  EXPECT_EQ(client.pending(), 0u);
+  const auto per_server = client.tasks_per_server();
+  ASSERT_EQ(per_server.size(), 1u);
+  EXPECT_EQ(per_server[0].first, "taurus-0");
+  EXPECT_EQ(per_server[0].second, 6u);
+}
+
+TEST(Client, MakespanCoversSubmitToLastEnd) {
+  Fixture f;
+  Client client(*f.hierarchy);
+  client.submit_workload(f.make_tasks(1));
+  f.sim.run();
+  const double task_seconds = 2.1e11 / 9.2e9;
+  EXPECT_NEAR(client.makespan().value(), task_seconds, 1e-9);
+}
+
+TEST(Client, MakespanWithoutTasksThrows) {
+  Fixture f;
+  Client client(*f.hierarchy);
+  EXPECT_THROW((void)client.makespan(), common::StateError);
+}
+
+TEST(Client, QueuesWhenSaturatedAndRetriesOnCompletion) {
+  Fixture f(/*taurus_nodes=*/1, /*max_concurrent=*/1);
+  Client client(*f.hierarchy);
+  client.submit_workload(f.make_tasks(3));  // all at t=0, single slot
+  f.sim.run_until(Seconds(1.0));
+  EXPECT_EQ(client.pending(), 2u);  // two queued behind the running one
+  f.sim.run();
+  EXPECT_TRUE(client.all_done());
+  // Tasks ran back to back on the single slot.
+  const double task_seconds = 2.1e11 / 9.2e9;
+  EXPECT_NEAR(client.makespan().value(), 3.0 * task_seconds, 1e-9);
+  // Queued tasks record wait: placement attempts > 1.
+  std::size_t retried = 0;
+  for (const auto& r : client.records()) {
+    if (r.placement_attempts > 1) ++retried;
+  }
+  EXPECT_EQ(retried, 2u);
+}
+
+TEST(Client, UnknownServiceThrows) {
+  Fixture f;
+  Client client(*f.hierarchy);
+  auto tasks = f.make_tasks(1);
+  tasks[0].spec.service = "does-not-exist";
+  client.submit_workload(tasks);
+  EXPECT_THROW(f.sim.run(), common::StateError);
+}
+
+TEST(Client, RecordsTrackPlacement) {
+  Fixture f;
+  Client client(*f.hierarchy);
+  client.submit_workload(f.make_tasks(2, 5.0));
+  f.sim.run();
+  const auto& records = client.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[1].submit.value(), 5.0);
+  ASSERT_TRUE(records[1].start.has_value());
+  EXPECT_DOUBLE_EQ(records[1].start->value(), 5.0);  // placed instantly
+  ASSERT_TRUE(records[1].end.has_value());
+  EXPECT_EQ(records[1].server, "taurus-0");
+}
+
+TEST(SaturatingClient, KeepsPlatformAtCapacity) {
+  Fixture f(/*taurus_nodes=*/1);
+  SaturatingClient client(
+      *f.hierarchy, workload::paper_cpu_bound_task(), [] { return std::size_t{4}; },
+      des::SimDuration(1.0));
+  client.start();
+  f.sim.run_until(Seconds(10.0));
+  EXPECT_EQ(client.in_flight(), 4u);
+  client.stop();
+  f.sim.run();
+  EXPECT_GE(client.completed(), 4u);
+}
+
+TEST(SaturatingClient, FollowsCapacityChanges) {
+  Fixture f(/*taurus_nodes=*/1);
+  std::size_t capacity = 2;
+  SaturatingClient client(
+      *f.hierarchy, workload::paper_cpu_bound_task(), [&] { return capacity; },
+      des::SimDuration(1.0));
+  client.start();
+  f.sim.run_until(Seconds(5.0));
+  EXPECT_EQ(client.in_flight(), 2u);
+  capacity = 6;
+  f.sim.run_until(Seconds(10.0));
+  EXPECT_EQ(client.in_flight(), 6u);
+  capacity = 0;
+  f.sim.run_until(Seconds(60.0));
+  EXPECT_EQ(client.in_flight(), 0u);  // existing tasks drained, no new ones
+  client.stop();
+}
+
+TEST(SaturatingClient, RequiresCapacityCallback) {
+  Fixture f;
+  EXPECT_THROW(SaturatingClient(*f.hierarchy, workload::paper_cpu_bound_task(), nullptr,
+                                des::SimDuration(1.0)),
+               common::ConfigError);
+}
+
+TEST(Client, PastSubmissionRejected) {
+  Fixture f;
+  f.sim.schedule_at(des::SimTime(10.0), [] {});
+  f.sim.run();
+  Client client(*f.hierarchy);
+  EXPECT_THROW(client.submit_workload(f.make_tasks(1)), common::StateError);
+}
+
+}  // namespace
+}  // namespace greensched::diet

@@ -1,0 +1,89 @@
+// DVFS interaction with the middleware layer: task durations, learned
+// throughput and placement all reflect the node's operating point.
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "cluster/dvfs_governor.hpp"
+#include "diet/client.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/policies.hpp"
+
+namespace greensched::diet {
+namespace {
+
+using common::Seconds;
+
+TEST(DvfsMiddleware, TaskDurationFollowsPstate) {
+  des::Simulator sim;
+  common::Rng rng(1);
+  cluster::Node node(common::NodeId(0), "taurus-0", cluster::MachineCatalog::taurus(),
+                     common::ClusterId(0));
+  node.set_dvfs_ladder(cluster::DvfsLadder::typical_xeon());
+  node.set_pstate(Seconds(0.0), 3);  // 40% speed
+  Sed sed(sim, node, {"cpu-bound"}, rng);
+
+  workload::TaskInstance task;
+  task.id = common::TaskId(0);
+  task.spec = workload::paper_cpu_bound_task();
+  std::optional<TaskRecord> done;
+  sed.execute(task, common::RequestId(0), [&](const TaskRecord& r) { done = r; });
+  sim.run();
+  ASSERT_TRUE(done.has_value());
+  const double full_speed_duration = 2.1e11 / 9.2e9;
+  EXPECT_NEAR((done->end - done->start).value(), full_speed_duration / 0.4, 1e-9);
+  // The learned throughput reflects the downclocked run.
+  EXPECT_NEAR(sed.measured_flops_per_core()->value(), 9.2e9 * 0.4, 1e-3);
+}
+
+TEST(DvfsMiddleware, GovernorRaisesSpeedBeforeDurationIsComputed) {
+  // With the ondemand governor, acquire_core raises the P-state *before*
+  // the SED freezes the task duration — tasks run at full speed even on
+  // a node that idled at the lowest state.
+  des::Simulator sim;
+  common::Rng rng(1);
+  cluster::Platform platform;
+  cluster::ClusterOptions one;
+  one.node_count = 1;
+  platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), one, rng);
+  cluster::OndemandGovernor governor(platform, cluster::DvfsLadder::typical_xeon(),
+                                     Seconds(0.0));
+  EXPECT_EQ(platform.node(0).pstate(), 3u);  // idles slow
+
+  Hierarchy hierarchy(sim, rng);
+  MasterAgent& ma = hierarchy.build_flat(platform, {"cpu-bound"});
+  green::ScorePolicy policy;
+  ma.set_plugin(&policy);
+  Client client(hierarchy);
+  workload::TaskInstance task;
+  task.id = common::TaskId(0);
+  task.spec = workload::paper_cpu_bound_task();
+  client.submit_workload({task});
+  sim.run();
+
+  ASSERT_TRUE(client.all_done());
+  EXPECT_NEAR(client.makespan().value(), 2.1e11 / 9.2e9, 1e-9);  // full speed
+  EXPECT_EQ(platform.node(0).pstate(), 3u);  // back to slow after idle
+  EXPECT_GE(governor.transitions(), 2u);
+}
+
+TEST(DvfsMiddleware, HierarchyShapesReportDepth) {
+  des::Simulator sim;
+  common::Rng rng(1);
+  cluster::Platform platform;
+  cluster::ClusterOptions two;
+  two.node_count = 2;
+  platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), two, rng);
+  platform.add_cluster("orion", cluster::MachineCatalog::orion(), two, rng);
+
+  Hierarchy flat(sim, rng);
+  flat.build_flat(platform, {"cpu-bound"});
+  EXPECT_EQ(flat.depth(), 2u);  // MA -> SED
+
+  Hierarchy tree(sim, rng);
+  tree.build_per_cluster(platform, {"cpu-bound"});
+  EXPECT_EQ(tree.depth(), 3u);  // MA -> LA -> SED
+  EXPECT_EQ(tree.agent_count(), 3u);
+}
+
+}  // namespace
+}  // namespace greensched::diet

@@ -1,0 +1,75 @@
+#include "diet/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace greensched::diet {
+namespace {
+
+TEST(EstimationVector, Identity) {
+  EstimationVector est("taurus-0", common::NodeId(7));
+  EXPECT_EQ(est.server_name(), "taurus-0");
+  EXPECT_EQ(est.node_id(), common::NodeId(7));
+}
+
+TEST(EstimationVector, SetGetRoundTrip) {
+  EstimationVector est;
+  est.set(EstTag::kFreeCores, 4.0);
+  EXPECT_TRUE(est.has(EstTag::kFreeCores));
+  EXPECT_FALSE(est.has(EstTag::kMeasuredPowerWatts));
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kFreeCores), 4.0);
+  est.set(EstTag::kFreeCores, 3.0);  // overwrite
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kFreeCores), 3.0);
+}
+
+TEST(EstimationVector, MissingTagThrowsWithName) {
+  EstimationVector est("sed-x", common::NodeId(0));
+  try {
+    (void)est.get(EstTag::kMeasuredPowerWatts);
+    FAIL() << "expected StateError";
+  } catch (const common::StateError& e) {
+    EXPECT_NE(std::string(e.what()).find("measured_power"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sed-x"), std::string::npos);
+  }
+}
+
+TEST(EstimationVector, GetOrAndFind) {
+  EstimationVector est;
+  EXPECT_DOUBLE_EQ(est.get_or(EstTag::kQueueWaitSeconds, 9.0), 9.0);
+  EXPECT_FALSE(est.find(EstTag::kQueueWaitSeconds).has_value());
+  est.set(EstTag::kQueueWaitSeconds, 2.0);
+  EXPECT_DOUBLE_EQ(est.get_or(EstTag::kQueueWaitSeconds, 9.0), 2.0);
+  EXPECT_DOUBLE_EQ(*est.find(EstTag::kQueueWaitSeconds), 2.0);
+}
+
+TEST(EstimationVector, CustomTags) {
+  EstimationVector est;
+  EXPECT_FALSE(est.custom("rack").has_value());
+  est.set_custom("rack", 3.0);
+  EXPECT_DOUBLE_EQ(*est.custom("rack"), 3.0);
+  EXPECT_EQ(est.size(), 1u);
+}
+
+TEST(EstimationVector, ToStringListsTags) {
+  EstimationVector est("sed-1", common::NodeId(1));
+  est.set(EstTag::kNodeOn, 1.0);
+  est.set_custom("x", 2.5);
+  const std::string s = est.to_string();
+  EXPECT_NE(s.find("sed-1"), std::string::npos);
+  EXPECT_NE(s.find("node_on=1"), std::string::npos);
+  EXPECT_NE(s.find("x=2.5"), std::string::npos);
+}
+
+TEST(EstimationVector, TagNamesAreUnique) {
+  std::set<std::string> names;
+  for (int t = 0; t <= static_cast<int>(EstTag::kRandomDraw); ++t) {
+    names.insert(to_string(static_cast<EstTag>(t)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(EstTag::kRandomDraw) + 1);
+}
+
+}  // namespace
+}  // namespace greensched::diet

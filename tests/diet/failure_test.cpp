@@ -1,0 +1,162 @@
+#include "diet/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+#include "diet/client.hpp"
+#include "green/policies.hpp"
+
+namespace greensched::diet {
+namespace {
+
+using common::Seconds;
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  std::unique_ptr<Hierarchy> hierarchy;
+  std::unique_ptr<PluginScheduler> policy = std::make_unique<green::ScorePolicy>();
+
+  explicit Fixture(std::size_t nodes = 2) {
+    cluster::ClusterOptions options;
+    options.node_count = nodes;
+    platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), options, rng);
+    hierarchy = std::make_unique<Hierarchy>(sim, rng);
+    MasterAgent& ma = hierarchy->build_flat(platform, {"cpu-bound"});
+    ma.set_plugin(policy.get());
+  }
+
+  std::vector<workload::TaskInstance> burst(std::size_t count) {
+    std::vector<workload::TaskInstance> tasks;
+    for (std::size_t i = 0; i < count; ++i) {
+      workload::TaskInstance task;
+      task.id = common::TaskId(i);
+      task.spec = workload::paper_cpu_bound_task();
+      tasks.push_back(task);
+    }
+    return tasks;
+  }
+};
+
+TEST(NodeFailure, StateMachine) {
+  cluster::Node node(common::NodeId(0), "n", cluster::MachineCatalog::taurus(),
+                     common::ClusterId(0));
+  node.acquire_core(Seconds(0.0));
+  node.fail(Seconds(5.0));
+  EXPECT_EQ(node.state(), cluster::NodeState::kFailed);
+  EXPECT_EQ(node.busy_cores(), 0u);
+  EXPECT_EQ(node.failures(), 1u);
+  // Failed draws only residual power.
+  EXPECT_DOUBLE_EQ(node.instantaneous_power().value(), 6.0);
+  EXPECT_THROW(node.fail(Seconds(6.0)), common::StateError);
+  EXPECT_THROW(node.acquire_core(Seconds(6.0)), common::StateError);
+  EXPECT_THROW(node.power_on(Seconds(6.0)), common::StateError);
+  node.repair(Seconds(10.0));
+  EXPECT_EQ(node.state(), cluster::NodeState::kOff);
+  node.power_on(Seconds(11.0));
+  node.complete_boot(Seconds(161.0));
+  EXPECT_TRUE(node.is_on());
+}
+
+TEST(NodeFailure, OffNodeCannotFail) {
+  cluster::Node node(common::NodeId(0), "n", cluster::MachineCatalog::taurus(),
+                     common::ClusterId(0), cluster::ThermalConfig{}, false);
+  EXPECT_THROW(node.fail(Seconds(0.0)), common::StateError);
+}
+
+TEST(SedFailure, KillsRunningTasksWithFailedRecords) {
+  Fixture f(1);
+  Sed* sed = f.hierarchy->find_sed("taurus-0");
+  std::vector<TaskRecord> outcomes;
+  for (std::size_t i = 0; i < 3; ++i) {
+    workload::TaskInstance task;
+    task.id = common::TaskId(i);
+    task.spec = workload::paper_cpu_bound_task();
+    sed->execute(task, common::RequestId(i),
+                 [&](const TaskRecord& r) { outcomes.push_back(r); });
+  }
+  f.sim.run_until(Seconds(5.0));
+  EXPECT_EQ(sed->inject_failure(), 3u);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto& r : outcomes) {
+    EXPECT_TRUE(r.failed);
+    EXPECT_DOUBLE_EQ(r.end.value(), 5.0);
+  }
+  // No completion ever fires for the killed tasks.
+  f.sim.run();
+  EXPECT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(sed->tasks_completed(), 0u);  // history untouched
+  EXPECT_FALSE(sed->can_accept());
+}
+
+TEST(FailureInjector, UnknownSedThrows) {
+  Fixture f;
+  FailureInjector injector(*f.hierarchy);
+  EXPECT_THROW(injector.schedule_failure("nope", des::SimTime(1.0)), common::ConfigError);
+}
+
+TEST(FailureInjector, ClientResubmitsAndFinishes) {
+  Fixture f(2);
+  Client client(*f.hierarchy);
+  client.submit_workload(f.burst(8));
+
+  FailureInjector injector(*f.hierarchy);
+  injector.schedule_failure("taurus-0", des::SimTime(5.0));
+
+  f.sim.run();
+  EXPECT_EQ(injector.failures_injected(), 1u);
+  EXPECT_GT(injector.tasks_killed(), 0u);
+  EXPECT_TRUE(client.all_done());  // every task completed despite the crash
+  std::size_t resubmitted = 0;
+  for (const auto& r : client.records()) resubmitted += r.failures;
+  EXPECT_EQ(resubmitted, injector.tasks_killed());
+  // The survivors all ran on the healthy node.
+  for (const auto& [server, count] : client.tasks_per_server()) {
+    EXPECT_EQ(server, "taurus-1");
+  }
+}
+
+TEST(FailureInjector, RepairAndRebootRestoreCapacity) {
+  Fixture f(1);
+  Client client(*f.hierarchy);
+  client.submit_workload(f.burst(4));
+
+  FailureInjector injector(*f.hierarchy);
+  // Crash the only node; repair after 60 s and reboot (150 s boot).
+  injector.schedule_failure("taurus-0", des::SimTime(5.0), des::SimDuration(60.0));
+
+  f.sim.run();
+  EXPECT_EQ(injector.repairs(), 1u);
+  EXPECT_TRUE(client.all_done());
+  // Tasks restarted after repair+boot: completion after ~65+150+22.8 s.
+  EXPECT_GT(client.makespan().value(), 5.0 + 60.0 + 150.0);
+}
+
+TEST(FailureInjector, CrashOfOffNodeIsSkipped) {
+  Fixture f(1);
+  f.platform.node(0).power_off(Seconds(0.0));
+  f.platform.node(0).complete_shutdown(Seconds(0.0));
+  FailureInjector injector(*f.hierarchy);
+  injector.schedule_failure("taurus-0", des::SimTime(1.0));
+  f.sim.run();
+  EXPECT_EQ(injector.failures_injected(), 0u);
+  EXPECT_EQ(injector.failures_skipped(), 1u);
+}
+
+TEST(FailureInjector, RepeatedFailuresOnRepairedNode) {
+  Fixture f(2);
+  Client client(*f.hierarchy);
+  client.submit_workload(f.burst(12));
+  FailureInjector injector(*f.hierarchy);
+  injector.schedule_failure("taurus-0", des::SimTime(3.0), des::SimDuration(30.0));
+  injector.schedule_failure("taurus-0", des::SimTime(400.0), des::SimDuration(30.0));
+  f.sim.run();
+  EXPECT_TRUE(client.all_done());
+  EXPECT_EQ(f.platform.node(0).failures(), injector.failures_injected());
+  EXPECT_EQ(injector.repairs(), injector.failures_injected());
+}
+
+}  // namespace
+}  // namespace greensched::diet

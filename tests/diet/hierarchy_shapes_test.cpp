@@ -1,0 +1,149 @@
+// Balanced trees, depth computation, multi-service SEDs.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+#include "diet/client.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/policies.hpp"
+
+namespace greensched::diet {
+namespace {
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  std::unique_ptr<Hierarchy> hierarchy;
+
+  explicit Fixture(std::size_t nodes) {
+    cluster::ClusterOptions options;
+    options.node_count = nodes;
+    platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), options, rng);
+    hierarchy = std::make_unique<Hierarchy>(sim, rng);
+  }
+};
+
+TEST(BalancedTree, SmallPlatformStaysFlat) {
+  Fixture f(3);
+  MasterAgent& ma = f.hierarchy->build_balanced(f.platform, {"cpu-bound"}, 4);
+  EXPECT_EQ(ma.child_sed_count(), 3u);
+  EXPECT_EQ(ma.child_agent_count(), 0u);
+  EXPECT_EQ(f.hierarchy->depth(), 2u);  // MA -> SEDs
+}
+
+TEST(BalancedTree, FanoutIsRespectedEverywhere) {
+  Fixture f(20);
+  MasterAgent& ma = f.hierarchy->build_balanced(f.platform, {"cpu-bound"}, 4);
+
+  std::function<void(const Agent&)> check = [&](const Agent& agent) {
+    EXPECT_LE(agent.child_agent_count() + agent.child_sed_count(), 4u) << agent.name();
+    for (const Agent* child : agent.child_agents()) check(*child);
+  };
+  check(ma);
+
+  std::vector<Sed*> seds;
+  ma.collect_seds(seds);
+  EXPECT_EQ(seds.size(), 20u);  // nothing lost
+  EXPECT_GE(f.hierarchy->depth(), 3u);  // needed at least one LA layer
+}
+
+TEST(BalancedTree, RejectsZeroFanout) {
+  Fixture f(2);
+  EXPECT_THROW(f.hierarchy->build_balanced(f.platform, {"cpu-bound"}, 0),
+               common::ConfigError);
+}
+
+TEST(BalancedTree, ElectionMatchesFlatTree) {
+  // The plug-in ordering is total (SCORE on spec), so tree shape must not
+  // change scheduling outcomes.
+  Fixture deep(16), flat(16);
+  MasterAgent& deep_ma = deep.hierarchy->build_balanced(deep.platform, {"cpu-bound"}, 2);
+  MasterAgent& flat_ma = flat.hierarchy->build_flat(flat.platform, {"cpu-bound"});
+  green::ScorePolicy policy;
+  deep_ma.set_plugin(&policy);
+  flat_ma.set_plugin(&policy);
+
+  Request request;
+  request.id = common::RequestId(0);
+  request.task.spec = workload::paper_cpu_bound_task();
+  const auto a = deep_ma.submit(request);
+  const auto b = flat_ma.submit(request);
+  ASSERT_NE(a.elected, nullptr);
+  ASSERT_NE(b.elected, nullptr);
+  EXPECT_EQ(a.elected->name(), b.elected->name());
+  EXPECT_EQ(a.ranked.size(), b.ranked.size());
+}
+
+TEST(BalancedTree, AgentCountGrowsWithDepth) {
+  Fixture f(16);
+  f.hierarchy->build_balanced(f.platform, {"cpu-bound"}, 2);
+  // Binary tree over 16 leaves: at least 8 + 4 + 2 = 14 internal LAs.
+  EXPECT_GE(f.hierarchy->agent_count(), 15u);  // LAs + MA
+  EXPECT_GE(f.hierarchy->depth(), 5u);
+}
+
+TEST(MultiService, SedRunsServicesAtDifferentSpeeds) {
+  Fixture f(1);
+  SedConfig config;
+  config.service_speed_factor = {{"io-mixed", 0.5}};
+  Sed& sed = f.hierarchy->create_sed(f.hierarchy->create_master(), f.platform.node(0),
+                                     {"cpu-bound", "io-mixed"}, config);
+  EXPECT_DOUBLE_EQ(sed.service_speed("cpu-bound"), 1.0);
+  EXPECT_DOUBLE_EQ(sed.service_speed("io-mixed"), 0.5);
+
+  std::vector<TaskRecord> done;
+  workload::TaskInstance fast;
+  fast.id = common::TaskId(0);
+  fast.spec = workload::paper_cpu_bound_task();
+  workload::TaskInstance slow = fast;
+  slow.id = common::TaskId(1);
+  slow.spec.service = "io-mixed";
+  sed.execute(fast, common::RequestId(0), [&](const TaskRecord& r) { done.push_back(r); });
+  sed.execute(slow, common::RequestId(1), [&](const TaskRecord& r) { done.push_back(r); });
+  f.sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  const double fast_duration = (done[0].end - done[0].start).value();
+  const double slow_duration = (done[1].end - done[1].start).value();
+  EXPECT_DOUBLE_EQ(slow_duration, 2.0 * fast_duration);
+}
+
+TEST(MultiService, RejectsNonPositiveFactor) {
+  Fixture f(1);
+  SedConfig config;
+  config.service_speed_factor = {{"bad", 0.0}};
+  EXPECT_THROW(
+      f.hierarchy->create_sed(f.hierarchy->create_master(), f.platform.node(0), {"bad"}, config),
+      common::ConfigError);
+}
+
+TEST(MultiService, MixedWorkloadRoutesByServiceOffering) {
+  // Two SEDs with disjoint services: requests must land on the right one.
+  Fixture f(2);
+  MasterAgent& ma = f.hierarchy->create_master();
+  f.hierarchy->create_sed(ma, f.platform.node(0), {"cpu-bound"});
+  f.hierarchy->create_sed(ma, f.platform.node(1), {"matmul"});
+  green::ScorePolicy policy;
+  ma.set_plugin(&policy);
+
+  Client client(*f.hierarchy);
+  std::vector<workload::TaskInstance> tasks;
+  for (std::size_t i = 0; i < 6; ++i) {
+    workload::TaskInstance task;
+    task.id = common::TaskId(i);
+    task.spec = workload::paper_cpu_bound_task();
+    task.spec.service = (i % 2 == 0) ? "cpu-bound" : "matmul";
+    tasks.push_back(task);
+  }
+  client.submit_workload(tasks);
+  f.sim.run();
+  EXPECT_TRUE(client.all_done());
+  for (const auto& r : client.records()) {
+    EXPECT_EQ(r.server, r.task.spec.service == "cpu-bound" ? "taurus-0" : "taurus-1");
+  }
+}
+
+}  // namespace
+}  // namespace greensched::diet

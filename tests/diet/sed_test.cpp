@@ -1,0 +1,227 @@
+#include "diet/sed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::diet {
+namespace {
+
+using common::Seconds;
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Node node{common::NodeId(0), "taurus-0", cluster::MachineCatalog::taurus(),
+                     common::ClusterId(3)};
+
+  Sed make_sed(SedConfig config = {}) { return Sed(sim, node, {"cpu-bound"}, rng, config); }
+
+  workload::TaskInstance make_task(common::TaskId id = common::TaskId(0)) {
+    workload::TaskInstance task;
+    task.id = id;
+    task.spec = workload::paper_cpu_bound_task();
+    return task;
+  }
+
+  Request make_request() {
+    Request request;
+    request.id = common::RequestId(1);
+    request.task = make_task();
+    return request;
+  }
+};
+
+TEST(Sed, OffersConfiguredServices) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  EXPECT_TRUE(sed.offers("cpu-bound"));
+  EXPECT_FALSE(sed.offers("matmul"));
+  EXPECT_EQ(sed.name(), "taurus-0");
+}
+
+TEST(Sed, RequiresAtLeastOneService) {
+  Fixture f;
+  EXPECT_THROW(Sed(f.sim, f.node, {}, f.rng), common::ConfigError);
+}
+
+TEST(Sed, ConcurrencyCapDefaultsToCores) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  EXPECT_TRUE(sed.can_accept());
+  for (int i = 0; i < 12; ++i) {
+    sed.execute(f.make_task(common::TaskId(i)), common::RequestId(0), nullptr);
+  }
+  EXPECT_FALSE(sed.can_accept());
+  EXPECT_EQ(sed.tasks_running(), 12u);
+}
+
+TEST(Sed, ConcurrencyCapCanBeLowered) {
+  Fixture f;
+  SedConfig config;
+  config.max_concurrent = 1;
+  Sed sed = f.make_sed(config);
+  sed.execute(f.make_task(), common::RequestId(0), nullptr);
+  EXPECT_FALSE(sed.can_accept());
+  EXPECT_EQ(f.node.free_cores(), 11u);  // cores exist but the SED caps
+}
+
+TEST(Sed, ConcurrencyCapAboveCoresRejected) {
+  Fixture f;
+  SedConfig config;
+  config.max_concurrent = 99;
+  EXPECT_THROW(f.make_sed(config), common::ConfigError);
+}
+
+TEST(Sed, ExecuteRunsForWorkOverRate) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  std::optional<TaskRecord> done;
+  sed.execute(f.make_task(), common::RequestId(5), [&](const TaskRecord& r) { done = r; });
+  f.sim.run();
+  ASSERT_TRUE(done.has_value());
+  const double expected = 2.1e11 / 9.2e9;
+  EXPECT_DOUBLE_EQ(done->end.value() - done->start.value(), expected);
+  EXPECT_EQ(done->request, common::RequestId(5));
+  EXPECT_EQ(done->server_name, "taurus-0");
+  EXPECT_EQ(done->cluster, common::ClusterId(3));
+  EXPECT_EQ(sed.tasks_completed(), 1u);
+  EXPECT_EQ(f.node.busy_cores(), 0u);
+}
+
+TEST(Sed, ExecuteWithoutCapacityThrows) {
+  Fixture f;
+  SedConfig config;
+  config.max_concurrent = 1;
+  Sed sed = f.make_sed(config);
+  sed.execute(f.make_task(common::TaskId(1)), common::RequestId(0), nullptr);
+  EXPECT_THROW(sed.execute(f.make_task(common::TaskId(2)), common::RequestId(0), nullptr),
+               common::StateError);
+}
+
+TEST(Sed, MultiCoreTasksUnsupported) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  workload::TaskInstance task = f.make_task();
+  task.spec.cores = 2;
+  EXPECT_THROW(sed.execute(task, common::RequestId(0), nullptr), common::StateError);
+}
+
+TEST(Sed, LearningPhaseHasNoMeasurements) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  EXPECT_FALSE(sed.measured_power().has_value());
+  EXPECT_FALSE(sed.measured_flops_per_core().has_value());
+  const EstimationVector est = sed.fill_estimation(f.make_request());
+  EXPECT_FALSE(est.has(EstTag::kMeasuredPowerWatts));
+  EXPECT_FALSE(est.has(EstTag::kMeasuredFlopsPerCore));
+}
+
+TEST(Sed, MeasurementsAppearAfterFirstCompletion) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  sed.execute(f.make_task(), common::RequestId(0), nullptr);
+  f.sim.run();
+  ASSERT_TRUE(sed.measured_power().has_value());
+  ASSERT_TRUE(sed.measured_flops_per_core().has_value());
+  // One task on a 12-core node: active floor + 1/12 span.
+  EXPECT_DOUBLE_EQ(sed.measured_power()->value(), 190.0 + 30.0 / 12.0);
+  EXPECT_DOUBLE_EQ(sed.measured_flops_per_core()->value(), 9.2e9);
+  const EstimationVector est = sed.fill_estimation(f.make_request());
+  EXPECT_TRUE(est.has(EstTag::kMeasuredPowerWatts));
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kTasksCompleted), 1.0);
+}
+
+TEST(Sed, DefaultEstimationCarriesSpecAndState) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  const EstimationVector est = sed.fill_estimation(f.make_request());
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kFreeCores), 12.0);
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kTotalCores), 12.0);
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kNodeOn), 1.0);
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kSpecFlopsPerCore), 9.2e9);
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kSpecPeakPowerWatts), 220.0);
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kBootSeconds), 150.0);
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kQueueWaitSeconds), 0.0);
+  EXPECT_GE(est.get(EstTag::kRandomDraw), 0.0);
+  EXPECT_LT(est.get(EstTag::kRandomDraw), 1.0);
+  EXPECT_EQ(sed.estimations_served(), 1u);
+}
+
+TEST(Sed, SpecTagsCanBeHidden) {
+  Fixture f;
+  SedConfig config;
+  config.expose_spec = false;
+  Sed sed = f.make_sed(config);
+  const EstimationVector est = sed.fill_estimation(f.make_request());
+  EXPECT_FALSE(est.has(EstTag::kSpecFlopsPerCore));
+  EXPECT_FALSE(est.has(EstTag::kSpecPeakPowerWatts));
+  EXPECT_TRUE(est.has(EstTag::kFreeCores));  // state tags stay
+}
+
+TEST(Sed, CustomEstimationFunctionRuns) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  sed.set_estimation_function([](EstimationVector& est, const Request&) {
+    est.set_custom("my_metric", 12.5);
+    est.set(EstTag::kQueueWaitSeconds, 99.0);  // may overwrite defaults
+  });
+  const EstimationVector est = sed.fill_estimation(f.make_request());
+  EXPECT_DOUBLE_EQ(*est.custom("my_metric"), 12.5);
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kQueueWaitSeconds), 99.0);
+}
+
+TEST(Sed, QueueWaitEstimate) {
+  Fixture f;
+  SedConfig config;
+  config.max_concurrent = 2;
+  Sed sed = f.make_sed(config);
+  EXPECT_DOUBLE_EQ(sed.queue_wait_estimate().value(), 0.0);
+
+  sed.execute(f.make_task(common::TaskId(1)), common::RequestId(0), nullptr);
+  EXPECT_DOUBLE_EQ(sed.queue_wait_estimate().value(), 0.0);  // still a slot
+
+  f.sim.run_until(Seconds(5.0));
+  sed.execute(f.make_task(common::TaskId(2)), common::RequestId(0), nullptr);
+  // Saturated: wait until the earliest completion (task 1 ends at ~22.8 s).
+  const double task_seconds = 2.1e11 / 9.2e9;
+  EXPECT_NEAR(sed.queue_wait_estimate().value(), task_seconds - 5.0, 1e-9);
+}
+
+TEST(Sed, QueueWaitForOffNodeIsBootTime) {
+  Fixture f;
+  cluster::Node off_node(common::NodeId(1), "taurus-9", cluster::MachineCatalog::taurus(),
+                         common::ClusterId(0), cluster::ThermalConfig{}, false);
+  Sed sed(f.sim, off_node, {"cpu-bound"}, f.rng);
+  EXPECT_FALSE(sed.can_accept());
+  EXPECT_DOUBLE_EQ(sed.queue_wait_estimate().value(), 150.0);
+  const EstimationVector est = sed.fill_estimation(f.make_request());
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kNodeOn), 0.0);
+  EXPECT_DOUBLE_EQ(est.get(EstTag::kFreeCores), 0.0);
+}
+
+TEST(Sed, CompletionHookFiresBeforeClientCallback) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  std::vector<std::string> order;
+  sed.set_completion_hook([&](const TaskRecord&) { order.push_back("hook"); });
+  sed.execute(f.make_task(), common::RequestId(0),
+              [&](const TaskRecord&) { order.push_back("client"); });
+  f.sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"hook", "client"}));
+}
+
+TEST(Sed, HistoryAccumulates) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  for (int i = 0; i < 3; ++i) {
+    sed.execute(f.make_task(common::TaskId(i)), common::RequestId(i), nullptr);
+  }
+  f.sim.run();
+  EXPECT_EQ(sed.history().size(), 3u);
+  EXPECT_EQ(sed.tasks_running(), 0u);
+}
+
+}  // namespace
+}  // namespace greensched::diet

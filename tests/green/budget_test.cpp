@@ -1,0 +1,170 @@
+#include "green/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/policies.hpp"
+
+namespace greensched::green {
+namespace {
+
+using common::Seconds;
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  std::unique_ptr<diet::Hierarchy> hierarchy;
+  std::unique_ptr<diet::PluginScheduler> policy;
+  EventSchedule events;
+  ProvisioningPlanning planning;
+  std::unique_ptr<Provisioner> provisioner;
+
+  Fixture() {
+    cluster::ClusterOptions four;
+    four.node_count = 4;
+    platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), four, rng);
+    platform.add_cluster("orion", cluster::MachineCatalog::orion(), four, rng);
+    hierarchy = std::make_unique<diet::Hierarchy>(sim, rng);
+    diet::MasterAgent& ma = hierarchy->build_per_cluster(platform, {"cpu-bound"});
+    policy = make_policy("GREENPERF");
+    ma.set_plugin(policy.get());
+
+    events.set_initial_cost(0.2);  // cheap: rules alone would allow 100%
+    ProvisionerConfig pconfig;
+    pconfig.check_period = Seconds(300.0);
+    pconfig.ramp_up_step = 8;
+    pconfig.ramp_down_step = 8;
+    provisioner = std::make_unique<Provisioner>(sim, platform, ma,
+                                                RuleEngine::paper_default(), events, planning,
+                                                pconfig);
+  }
+};
+
+TEST(BudgetGovernor, ConfigValidation) {
+  Fixture f;
+  BudgetConfig config;
+  config.budget_per_period = common::Joules(0.0);
+  EXPECT_THROW(BudgetGovernor(f.sim, f.platform, *f.provisioner, config),
+               common::ConfigError);
+  config = BudgetConfig{};
+  config.period = Seconds(0.0);
+  EXPECT_THROW(BudgetGovernor(f.sim, f.platform, *f.provisioner, config),
+               common::ConfigError);
+  config = BudgetConfig{};
+  config.check_period = Seconds(7200.0);  // > period
+  EXPECT_THROW(BudgetGovernor(f.sim, f.platform, *f.provisioner, config),
+               common::ConfigError);
+  config = BudgetConfig{};
+  config.min_cap = 0;
+  EXPECT_THROW(BudgetGovernor(f.sim, f.platform, *f.provisioner, config),
+               common::ConfigError);
+}
+
+TEST(BudgetGovernor, CapForAllowanceAccumulatesEfficientFirst) {
+  Fixture f;
+  BudgetGovernor governor(f.sim, f.platform, *f.provisioner);
+  // taurus peaks 4x220, then orion 4x400 (efficiency order).
+  EXPECT_EQ(governor.cap_for_allowance(common::watts(100.0)), 1u);   // min_cap floor
+  EXPECT_EQ(governor.cap_for_allowance(common::watts(440.0)), 2u);   // two taurus
+  EXPECT_EQ(governor.cap_for_allowance(common::watts(880.0)), 4u);   // all taurus
+  EXPECT_EQ(governor.cap_for_allowance(common::watts(1280.0)), 5u);  // + one orion
+  EXPECT_EQ(governor.cap_for_allowance(common::watts(1e6)), 8u);     // everything
+}
+
+TEST(BudgetGovernor, GenerousBudgetLeavesPoolUncapped) {
+  Fixture f;
+  BudgetConfig config;
+  config.budget_per_period = common::megajoules(100.0);
+  config.period = Seconds(3600.0);
+  config.check_period = Seconds(300.0);
+  BudgetGovernor governor(f.sim, f.platform, *f.provisioner, config);
+  f.provisioner->start();
+  governor.start();
+  f.sim.run_until(Seconds(1800.0));
+  EXPECT_EQ(governor.current_cap(), 8u);
+  EXPECT_EQ(f.provisioner->candidate_count(), 8u);  // cheap tariff, no cap
+  EXPECT_EQ(governor.overruns(), 0u);
+}
+
+TEST(BudgetGovernor, TightBudgetShrinksThePool) {
+  Fixture f;
+  BudgetConfig config;
+  // ~600 W mean allowance: room for two to three taurus nodes only.
+  config.budget_per_period = common::Joules(600.0 * 3600.0);
+  config.period = Seconds(3600.0);
+  config.check_period = Seconds(300.0);
+  BudgetGovernor governor(f.sim, f.platform, *f.provisioner, config);
+  f.provisioner->start();
+  governor.start();
+  f.sim.run_until(Seconds(3000.0));
+  // The governor tightened the pool while the early spend rate threatened
+  // the budget (it may relax again once spending is back under control).
+  double min_cap = 1e18;
+  for (std::size_t i = 0; i < governor.cap_series().size(); ++i) {
+    min_cap = std::min(min_cap, governor.cap_series().value_at(i));
+  }
+  EXPECT_LE(min_cap, 3.0);
+  // And the control loop worked: the period stays within budget.
+  EXPECT_GT(governor.spent_this_period().value(), 0.0);
+  EXPECT_LE(governor.spent_this_period().value(), config.budget_per_period.value());
+}
+
+TEST(BudgetGovernor, PeriodsRollAndCountOverruns) {
+  Fixture f;
+  BudgetConfig config;
+  // Impossible budget: even powered-off machines overrun it.
+  config.budget_per_period = common::Joules(10.0);
+  config.period = Seconds(600.0);
+  config.check_period = Seconds(200.0);
+  BudgetGovernor governor(f.sim, f.platform, *f.provisioner, config);
+  f.provisioner->start();
+  governor.start();
+  f.sim.run_until(Seconds(2400.0));
+  EXPECT_GE(governor.periods_completed(), 3u);
+  EXPECT_EQ(governor.overruns(), governor.periods_completed());
+  EXPECT_EQ(governor.current_cap(), 1u);  // pinned at min_cap
+}
+
+TEST(BudgetGovernor, SeriesRecordEveryCheck) {
+  Fixture f;
+  BudgetConfig config;
+  config.period = Seconds(3600.0);
+  config.check_period = Seconds(600.0);
+  BudgetGovernor governor(f.sim, f.platform, *f.provisioner, config);
+  f.provisioner->start();
+  governor.start();
+  f.sim.run_until(Seconds(3000.0));
+  EXPECT_EQ(governor.cap_series().size(), 5u);
+  EXPECT_EQ(governor.spend_series().size(), 5u);
+  // Spend within a period is monotonically increasing.
+  for (std::size_t i = 1; i < governor.spend_series().size(); ++i) {
+    EXPECT_GE(governor.spend_series().value_at(i), governor.spend_series().value_at(i - 1));
+  }
+}
+
+TEST(BudgetGovernor, DestructorRemovesCap) {
+  Fixture f;
+  f.provisioner->start();
+  {
+    BudgetConfig config;
+    config.budget_per_period = common::Joules(10.0);
+    BudgetGovernor governor(f.sim, f.platform, *f.provisioner, config);
+    governor.start();
+    f.sim.run_until(Seconds(400.0));
+    EXPECT_TRUE(f.provisioner->external_cap().has_value());
+  }
+  EXPECT_FALSE(f.provisioner->external_cap().has_value());
+}
+
+TEST(BudgetGovernor, DoubleStartThrows) {
+  Fixture f;
+  BudgetGovernor governor(f.sim, f.platform, *f.provisioner);
+  governor.start();
+  EXPECT_THROW(governor.start(), common::StateError);
+}
+
+}  // namespace
+}  // namespace greensched::green

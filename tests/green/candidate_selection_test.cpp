@@ -1,0 +1,116 @@
+#include "green/candidate_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace greensched::green {
+namespace {
+
+std::vector<RankedServer> three_servers() {
+  // taurus-like (efficient), orion-like, sagittaire-like.
+  return {
+      RankedServer{common::NodeId(0), "taurus", common::watts(220.0), 2.0},
+      RankedServer{common::NodeId(1), "orion", common::watts(400.0), 3.4},
+      RankedServer{common::NodeId(2), "sagittaire", common::watts(240.0), 30.0},
+  };
+}
+
+TEST(CandidateSelection, SortByGreenPerfIsStableAscending) {
+  auto servers = three_servers();
+  std::swap(servers[0], servers[2]);
+  sort_by_greenperf(servers);
+  EXPECT_EQ(servers[0].name, "taurus");
+  EXPECT_EQ(servers[1].name, "orion");
+  EXPECT_EQ(servers[2].name, "sagittaire");
+}
+
+TEST(CandidateSelection, TotalPower) {
+  EXPECT_DOUBLE_EQ(total_power(three_servers()).value(), 860.0);
+  EXPECT_DOUBLE_EQ(total_power({}).value(), 0.0);
+}
+
+TEST(CandidateSelection, ZeroPreferenceSelectsNothing) {
+  EXPECT_TRUE(select_candidate_servers(three_servers(), 0.0).empty());
+}
+
+TEST(CandidateSelection, FullPreferenceSelectsEverything) {
+  const auto selected = select_candidate_servers(three_servers(), 1.0);
+  ASSERT_EQ(selected.size(), 3u);
+  // Most efficient first.
+  EXPECT_EQ(selected[0].name, "taurus");
+  EXPECT_EQ(selected[2].name, "sagittaire");
+}
+
+TEST(CandidateSelection, GreedyAccumulationStopsAtCap) {
+  // P_total = 860; preference 0.5 -> P_required = 430.
+  // taurus (220) < 430, add; 220+400=620 >= 430, stop after orion.
+  const auto selected = select_candidate_servers(three_servers(), 0.5);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].name, "taurus");
+  EXPECT_EQ(selected[1].name, "orion");
+}
+
+TEST(CandidateSelection, TinyPreferenceStillSelectsOneServer) {
+  // P_required > 0 forces at least the most efficient server in.
+  const auto selected = select_candidate_servers(three_servers(), 0.01);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].name, "taurus");
+}
+
+TEST(CandidateSelection, UnsortedInputIsSortedInternally) {
+  auto servers = three_servers();
+  std::reverse(servers.begin(), servers.end());
+  const auto selected = select_candidate_servers(servers, 0.3);  // cap 258
+  ASSERT_EQ(selected.size(), 2u);  // taurus (220) then orion crosses the cap
+  EXPECT_EQ(selected[0].name, "taurus");
+}
+
+TEST(CandidateSelection, RejectsBadInputs) {
+  EXPECT_THROW(select_candidate_servers(three_servers(), -0.1), common::ConfigError);
+  EXPECT_THROW(select_candidate_servers(three_servers(), 1.1), common::ConfigError);
+  auto servers = three_servers();
+  servers[0].power = common::watts(-5.0);
+  EXPECT_THROW(select_candidate_servers(servers, 0.5), common::ConfigError);
+}
+
+TEST(CandidateSelection, EmptyInput) {
+  EXPECT_TRUE(select_candidate_servers({}, 0.7).empty());
+}
+
+/// Property: a larger preference never selects fewer servers, and the
+/// selection is always a prefix of the GreenPerf order (Algorithm 1's
+/// greediness).
+class SelectionMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectionMonotonic, PrefixAndMonotone) {
+  std::vector<RankedServer> servers;
+  common::Rng rng(17);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    servers.push_back(RankedServer{common::NodeId(i), "n" + std::to_string(i),
+                                   common::watts(rng.uniform(80.0, 400.0)),
+                                   rng.uniform(1.0, 40.0)});
+  }
+  auto sorted = servers;
+  sort_by_greenperf(sorted);
+
+  const double preference = GetParam();
+  const auto selected = select_candidate_servers(servers, preference);
+  // Prefix property.
+  ASSERT_LE(selected.size(), sorted.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    EXPECT_EQ(selected[i].name, sorted[i].name);
+  }
+  // Monotonicity vs a smaller preference.
+  const auto fewer = select_candidate_servers(servers, preference * 0.5);
+  EXPECT_LE(fewer.size(), selected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Preferences, SelectionMonotonic,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9, 1.0));
+
+}  // namespace
+}  // namespace greensched::green

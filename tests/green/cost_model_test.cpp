@@ -1,0 +1,132 @@
+#include "green/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+namespace {
+
+using common::Flops;
+using common::Seconds;
+using diet::EstimationVector;
+using diet::EstTag;
+
+ServerCostInputs active_server() {
+  ServerCostInputs s;
+  s.flops = common::gflops_per_sec(10.0);
+  s.full_load_watts = common::watts(200.0);
+  s.boot_watts = common::watts(150.0);
+  s.boot_seconds = common::seconds(100.0);
+  s.queue_wait = common::seconds(30.0);
+  s.active = true;
+  return s;
+}
+
+TEST(CostModel, Eq4ActiveServer) {
+  // time = w_s + n_i/f_s
+  const Seconds t = computation_time(active_server(), Flops(50e9));
+  EXPECT_DOUBLE_EQ(t.value(), 30.0 + 5.0);
+}
+
+TEST(CostModel, Eq4InactiveServer) {
+  // time = bt_s + n_i/f_s
+  ServerCostInputs s = active_server();
+  s.active = false;
+  const Seconds t = computation_time(s, Flops(50e9));
+  EXPECT_DOUBLE_EQ(t.value(), 100.0 + 5.0);
+}
+
+TEST(CostModel, Eq5ActiveServer) {
+  // energy = c_s * n_i/f_s
+  const common::Joules e = energy_consumption(active_server(), Flops(50e9));
+  EXPECT_DOUBLE_EQ(e.value(), 200.0 * 5.0);
+}
+
+TEST(CostModel, Eq5InactiveServerAddsBootEnergy) {
+  // energy = bt_s * bc_s + c_s * n_i/f_s
+  ServerCostInputs s = active_server();
+  s.active = false;
+  const common::Joules e = energy_consumption(s, Flops(50e9));
+  EXPECT_DOUBLE_EQ(e.value(), 100.0 * 150.0 + 200.0 * 5.0);
+}
+
+TEST(CostModel, ValidationRejectsBadInputs) {
+  ServerCostInputs s = active_server();
+  s.flops = common::FlopsRate(0.0);
+  EXPECT_THROW(s.validate(), common::ConfigError);
+  s = active_server();
+  s.full_load_watts = common::watts(-1.0);
+  EXPECT_THROW(s.validate(), common::ConfigError);
+  s = active_server();
+  s.queue_wait = common::seconds(-1.0);
+  EXPECT_THROW(s.validate(), common::ConfigError);
+}
+
+EstimationVector full_estimation() {
+  EstimationVector est("sed", common::NodeId(0));
+  est.set(EstTag::kSpecFlopsPerCore, 9.2e9);
+  est.set(EstTag::kSpecPeakPowerWatts, 220.0);
+  est.set(EstTag::kBootPowerWatts, 150.0);
+  est.set(EstTag::kBootSeconds, 150.0);
+  est.set(EstTag::kQueueWaitSeconds, 12.0);
+  est.set(EstTag::kNodeOn, 1.0);
+  return est;
+}
+
+TEST(CostModel, FromEstimationUsesSpecByDefault) {
+  const ServerCostInputs s = ServerCostInputs::from_estimation(full_estimation());
+  EXPECT_DOUBLE_EQ(s.flops.value(), 9.2e9);
+  EXPECT_DOUBLE_EQ(s.full_load_watts.value(), 220.0);
+  EXPECT_DOUBLE_EQ(s.boot_watts.value(), 150.0);
+  EXPECT_DOUBLE_EQ(s.boot_seconds.value(), 150.0);
+  EXPECT_DOUBLE_EQ(s.queue_wait.value(), 12.0);
+  EXPECT_TRUE(s.active);
+}
+
+TEST(CostModel, FromEstimationPrefersMeasured) {
+  EstimationVector est = full_estimation();
+  est.set(EstTag::kMeasuredFlopsPerCore, 8.0e9);
+  est.set(EstTag::kMeasuredPowerWatts, 190.0);
+  const ServerCostInputs s = ServerCostInputs::from_estimation(est);
+  EXPECT_DOUBLE_EQ(s.flops.value(), 8.0e9);
+  EXPECT_DOUBLE_EQ(s.full_load_watts.value(), 190.0);
+}
+
+TEST(CostModel, FromEstimationReadsPowerState) {
+  EstimationVector est = full_estimation();
+  est.set(EstTag::kNodeOn, 0.0);
+  EXPECT_FALSE(ServerCostInputs::from_estimation(est).active);
+}
+
+TEST(CostModel, FromEstimationMissingTagsThrow) {
+  EstimationVector est;  // nothing filled
+  EXPECT_THROW(ServerCostInputs::from_estimation(est), common::StateError);
+}
+
+TEST(CostModel, BootMakesInactiveServerStrictlyWorse) {
+  // For equal specs, an inactive server always costs more time and more
+  // energy — the scheduler's wake-or-wait trade-off baseline.
+  ServerCostInputs on = active_server();
+  on.queue_wait = common::seconds(0.0);
+  ServerCostInputs off = on;
+  off.active = false;
+  const Flops work(100e9);
+  EXPECT_LT(computation_time(on, work).value(), computation_time(off, work).value());
+  EXPECT_LT(energy_consumption(on, work).value(), energy_consumption(off, work).value());
+}
+
+TEST(CostModel, LongQueueCanMakeActiveSlowerThanBooting) {
+  // But a long enough queue flips the time comparison (not the energy
+  // one) — exactly why Eq. 4 includes w_s.
+  ServerCostInputs on = active_server();
+  on.queue_wait = common::seconds(500.0);
+  ServerCostInputs off = on;
+  off.active = false;
+  const Flops work(100e9);
+  EXPECT_GT(computation_time(on, work).value(), computation_time(off, work).value());
+  EXPECT_LT(energy_consumption(on, work).value(), energy_consumption(off, work).value());
+}
+
+}  // namespace
+}  // namespace greensched::green

@@ -1,0 +1,117 @@
+#include "green/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::green {
+namespace {
+
+TEST(EventSchedule, InitialCostHoldsUntilFirstEvent) {
+  EventSchedule schedule;
+  EXPECT_DOUBLE_EQ(schedule.cost_at(0.0), 1.0);  // paper default: regular time
+  schedule.set_initial_cost(0.7);
+  EXPECT_DOUBLE_EQ(schedule.cost_at(1e9), 0.7);
+}
+
+TEST(EventSchedule, CostStepsAtEventTimes) {
+  EventSchedule schedule;
+  schedule.add(EventSchedule::scheduled_cost_change(100.0, 0.8, 50.0));
+  schedule.add(EventSchedule::scheduled_cost_change(200.0, 0.4, 50.0));
+  EXPECT_DOUBLE_EQ(schedule.cost_at(99.0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.cost_at(100.0), 0.8);
+  EXPECT_DOUBLE_EQ(schedule.cost_at(150.0), 0.8);
+  EXPECT_DOUBLE_EQ(schedule.cost_at(200.0), 0.4);
+}
+
+TEST(EventSchedule, EventsSortedByEffectTime) {
+  EventSchedule schedule;
+  schedule.add(EventSchedule::scheduled_cost_change(200.0, 0.4, 0.0));
+  schedule.add(EventSchedule::scheduled_cost_change(100.0, 0.8, 0.0));
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_DOUBLE_EQ(schedule.events()[0].at, 100.0);
+}
+
+TEST(EventSchedule, ScheduledVsUnexpected) {
+  const EnergyEvent scheduled = EventSchedule::scheduled_cost_change(100.0, 0.8, 20.0);
+  EXPECT_TRUE(scheduled.scheduled());
+  EXPECT_DOUBLE_EQ(scheduled.announced_at, 80.0);
+  const EnergyEvent surprise = EventSchedule::unexpected_temperature(100.0, 35.0);
+  EXPECT_FALSE(surprise.scheduled());
+  EXPECT_DOUBLE_EQ(surprise.announced_at, 100.0);
+}
+
+TEST(EventSchedule, VisibilityRespectsAnnouncement) {
+  EventSchedule schedule;
+  // Effective at 3600, announced at 2400 (the paper's Event 1).
+  schedule.add(EventSchedule::scheduled_cost_change(3600.0, 0.8, 1200.0));
+
+  // Before the announcement: invisible even within the horizon.
+  EXPECT_FALSE(schedule.next_visible_cost_change(2000.0, 1200.0).has_value());
+  // After the announcement, within the horizon: visible.
+  const auto visible = schedule.next_visible_cost_change(2400.0, 1200.0);
+  ASSERT_TRUE(visible.has_value());
+  EXPECT_DOUBLE_EQ(visible->value, 0.8);
+  // Announced but beyond the horizon: invisible.
+  EXPECT_FALSE(schedule.next_visible_cost_change(2400.0, 1000.0).has_value());
+  // Already in effect: no longer a *future* change.
+  EXPECT_FALSE(schedule.next_visible_cost_change(3600.0, 1200.0).has_value());
+}
+
+TEST(EventSchedule, VisibilitySkipsTemperatureEvents) {
+  EventSchedule schedule;
+  schedule.add(EventSchedule::unexpected_temperature(100.0, 35.0));
+  EXPECT_FALSE(schedule.next_visible_cost_change(50.0, 100.0).has_value());
+}
+
+TEST(EventSchedule, EarliestVisibleWins) {
+  EventSchedule schedule;
+  schedule.add(EventSchedule::scheduled_cost_change(300.0, 0.4, 300.0));
+  schedule.add(EventSchedule::scheduled_cost_change(200.0, 0.8, 300.0));
+  const auto visible = schedule.next_visible_cost_change(0.0, 1000.0);
+  ASSERT_TRUE(visible.has_value());
+  EXPECT_DOUBLE_EQ(visible->at, 200.0);
+}
+
+TEST(EventSchedule, Validation) {
+  EventSchedule schedule;
+  EnergyEvent bad;
+  bad.kind = EventKind::kElectricityCost;
+  bad.at = 10.0;
+  bad.announced_at = 20.0;  // announced after effect
+  EXPECT_THROW(schedule.add(bad), common::ConfigError);
+  bad.announced_at = 0.0;
+  bad.value = 1.5;  // cost outside [0,1]
+  EXPECT_THROW(schedule.add(bad), common::ConfigError);
+  EXPECT_THROW(schedule.set_initial_cost(-0.1), common::ConfigError);
+  EXPECT_THROW(EventSchedule::scheduled_cost_change(10.0, 0.5, -1.0), common::ConfigError);
+}
+
+TEST(EventInjector, AppliesTemperatureEventsToPlatform) {
+  des::Simulator sim;
+  common::Rng rng(1);
+  cluster::Platform platform;
+  cluster::ClusterOptions one;
+  one.node_count = 1;
+  platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), one, rng);
+
+  EventSchedule schedule;
+  schedule.add(EventSchedule::unexpected_temperature(100.0, 35.0));
+  schedule.add(EventSchedule::scheduled_cost_change(50.0, 0.5, 0.0));
+  EventInjector injector(sim, platform, schedule);
+  EXPECT_EQ(injector.injected(), 1u);  // cost events are not physical
+
+  sim.run_until(des::SimTime(99.0));
+  EXPECT_DOUBLE_EQ(platform.node(0).thermal_config().ambient.value(), 20.0);
+  sim.run_until(des::SimTime(100.0));
+  EXPECT_DOUBLE_EQ(platform.node(0).thermal_config().ambient.value(), 35.0);
+}
+
+TEST(EventKindNames, AreStable) {
+  EXPECT_STREQ(to_string(EventKind::kElectricityCost), "electricity-cost");
+  EXPECT_STREQ(to_string(EventKind::kTemperature), "temperature");
+}
+
+}  // namespace
+}  // namespace greensched::green

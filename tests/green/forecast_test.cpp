@@ -1,0 +1,111 @@
+#include "green/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+namespace {
+
+TEST(Forecast, ConfigValidation) {
+  ForecasterConfig config;
+  config.window = 0;
+  EXPECT_THROW(UsageForecaster{config}, common::ConfigError);
+  config = ForecasterConfig{};
+  config.season_seconds = 0.0;
+  EXPECT_THROW(UsageForecaster{config}, common::ConfigError);
+  config = ForecasterConfig{};
+  config.seasons = 0;
+  EXPECT_THROW(UsageForecaster{config}, common::ConfigError);
+}
+
+TEST(Forecast, RejectsOutOfRangeUtilization) {
+  UsageForecaster forecaster;
+  EXPECT_THROW(forecaster.observe(0.0, 1.5), common::ConfigError);
+  EXPECT_THROW(forecaster.observe(0.0, -0.1), common::ConfigError);
+}
+
+TEST(Forecast, NoHistoryNoPrediction) {
+  UsageForecaster forecaster;
+  EXPECT_FALSE(forecaster.predict(100.0).has_value());
+  EXPECT_DOUBLE_EQ(forecaster.predict_or(100.0, 0.3), 0.3);
+  EXPECT_FALSE(forecaster.mean_absolute_error().has_value());
+}
+
+TEST(Forecast, LastValueHolds) {
+  ForecasterConfig config;
+  config.method = ForecastMethod::kLastValue;
+  UsageForecaster forecaster(config);
+  forecaster.observe(0.0, 0.2);
+  forecaster.observe(10.0, 0.8);
+  EXPECT_DOUBLE_EQ(*forecaster.predict(20.0), 0.8);
+}
+
+TEST(Forecast, WindowMeanAveragesTrailingSamples) {
+  ForecasterConfig config;
+  config.method = ForecastMethod::kWindowMean;
+  config.window = 3;
+  UsageForecaster forecaster(config);
+  for (double u : {0.0, 0.0, 0.3, 0.6, 0.9}) {
+    forecaster.observe(forecaster.samples() * 10.0, u);
+  }
+  EXPECT_NEAR(*forecaster.predict(60.0), (0.3 + 0.6 + 0.9) / 3.0, 1e-12);
+}
+
+TEST(Forecast, SeasonalFallsBackBeforeOneSeason) {
+  ForecasterConfig config;
+  config.method = ForecastMethod::kSeasonal;
+  config.season_seconds = 86400.0;
+  config.window = 2;
+  UsageForecaster forecaster(config);
+  forecaster.observe(0.0, 0.4);
+  forecaster.observe(600.0, 0.6);
+  // Less than one season of history: behaves like the window mean.
+  EXPECT_NEAR(*forecaster.predict(1200.0), 0.5, 1e-12);
+}
+
+TEST(Forecast, SeasonalPicksUpDailyPattern) {
+  // Day shape: busy at 12 h (u=0.9), quiet at 0 h (u=0.1), sampled every
+  // hour for 3 days.
+  ForecasterConfig config;
+  config.method = ForecastMethod::kSeasonal;
+  config.season_seconds = 86400.0;
+  config.season_slack_seconds = 1800.0;
+  UsageForecaster seasonal(config);
+  config.method = ForecastMethod::kWindowMean;
+  config.window = 6;
+  UsageForecaster window(config);
+
+  auto pattern = [](double t) {
+    const double hour = std::fmod(t / 3600.0, 24.0);
+    return (hour >= 9.0 && hour <= 17.0) ? 0.9 : 0.1;  // office-hours peak
+  };
+  for (double t = 0.0; t < 3.0 * 86400.0; t += 3600.0) {
+    seasonal.observe(t, pattern(t));
+    window.observe(t, pattern(t));
+  }
+
+  // Predict noon of day 4 (peak) and 3 am of day 4 (quiet).
+  const double noon = 3.0 * 86400.0 + 12.0 * 3600.0;
+  const double night = 3.0 * 86400.0 + 3.0 * 3600.0;
+  EXPECT_NEAR(*seasonal.predict(noon), 0.9, 1e-9);
+  EXPECT_NEAR(*seasonal.predict(night), 0.1, 1e-9);
+
+  // The seasonal estimator's one-step error is far lower on this pattern.
+  ASSERT_TRUE(seasonal.mean_absolute_error().has_value());
+  ASSERT_TRUE(window.mean_absolute_error().has_value());
+  EXPECT_LT(*seasonal.mean_absolute_error(), *window.mean_absolute_error() * 0.6);
+}
+
+TEST(Forecast, PredictOrClampsToUnitInterval) {
+  ForecasterConfig config;
+  config.method = ForecastMethod::kLastValue;
+  UsageForecaster forecaster(config);
+  forecaster.observe(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(forecaster.predict_or(10.0, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace greensched::green

@@ -1,0 +1,68 @@
+#include "green/greenperf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+namespace {
+
+using diet::EstimationVector;
+using diet::EstTag;
+
+TEST(GreenPerf, RatioIsWattsPerFlopsRate) {
+  EXPECT_DOUBLE_EQ(greenperf_ratio(common::watts(220.0), common::gflops_per_sec(110.0)),
+                   2.0e-9);
+}
+
+TEST(GreenPerf, LowerRatioMeansMoreEfficient) {
+  const double taurus = greenperf_ratio(common::watts(220.0), common::gflops_per_sec(110.4));
+  const double sagittaire = greenperf_ratio(common::watts(240.0), common::gflops_per_sec(8.0));
+  EXPECT_LT(taurus, sagittaire);
+}
+
+TEST(GreenPerf, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)greenperf_ratio(common::watts(100.0), common::FlopsRate(0.0)),
+               common::ConfigError);
+  EXPECT_THROW((void)greenperf_ratio(common::watts(-1.0), common::gflops_per_sec(1.0)),
+               common::ConfigError);
+}
+
+TEST(GreenPerf, MeasuredNeedsBothTags) {
+  EstimationVector est;
+  EXPECT_FALSE(measured_greenperf(est).has_value());
+  est.set(EstTag::kMeasuredPowerWatts, 220.0);
+  EXPECT_FALSE(measured_greenperf(est).has_value());
+  est.set(EstTag::kMeasuredFlopsPerCore, 9.2e9);
+  est.set(EstTag::kTotalCores, 12.0);
+  ASSERT_TRUE(measured_greenperf(est).has_value());
+  EXPECT_DOUBLE_EQ(*measured_greenperf(est), 220.0 / (9.2e9 * 12.0));
+}
+
+TEST(GreenPerf, SpecUsesNameplateTags) {
+  EstimationVector est;
+  est.set(EstTag::kSpecPeakPowerWatts, 240.0);
+  est.set(EstTag::kSpecFlopsPerCore, 4.0e9);
+  est.set(EstTag::kTotalCores, 2.0);
+  ASSERT_TRUE(spec_greenperf(est).has_value());
+  EXPECT_DOUBLE_EQ(*spec_greenperf(est), 240.0 / 8.0e9);
+}
+
+TEST(GreenPerf, BestPrefersMeasuredOverSpec) {
+  EstimationVector est;
+  est.set(EstTag::kTotalCores, 1.0);
+  est.set(EstTag::kSpecPeakPowerWatts, 100.0);
+  est.set(EstTag::kSpecFlopsPerCore, 1.0e9);
+  EXPECT_DOUBLE_EQ(*best_greenperf(est), 100.0 / 1.0e9);  // spec only
+  est.set(EstTag::kMeasuredPowerWatts, 50.0);
+  est.set(EstTag::kMeasuredFlopsPerCore, 1.0e9);
+  EXPECT_DOUBLE_EQ(*best_greenperf(est), 50.0 / 1.0e9);  // dynamic wins
+}
+
+TEST(GreenPerf, EmptyVectorHasNoRatio) {
+  EstimationVector est;
+  EXPECT_FALSE(best_greenperf(est).has_value());
+}
+
+}  // namespace
+}  // namespace greensched::green

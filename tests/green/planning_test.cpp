@@ -1,0 +1,169 @@
+#include "green/planning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace greensched::green {
+namespace {
+
+PlanningEntry entry(double t, double temp, std::size_t candidates, double cost) {
+  return PlanningEntry{t, temp, candidates, cost};
+}
+
+TEST(Planning, AddKeepsSortedOrder) {
+  ProvisioningPlanning planning;
+  planning.add_entry(entry(600.0, 22.0, 8, 0.8));
+  planning.add_entry(entry(0.0, 21.0, 4, 1.0));
+  planning.add_entry(entry(1200.0, 23.0, 12, 0.4));
+  const auto all = planning.all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].timestamp, 0.0);
+  EXPECT_EQ(all[1].timestamp, 600.0);
+  EXPECT_EQ(all[2].timestamp, 1200.0);
+}
+
+TEST(Planning, EqualTimestampReplaces) {
+  ProvisioningPlanning planning;
+  planning.add_entry(entry(600.0, 22.0, 8, 0.8));
+  planning.add_entry(entry(600.0, 25.0, 2, 0.8));
+  ASSERT_EQ(planning.size(), 1u);
+  EXPECT_EQ(planning.all()[0].candidates, 2u);
+}
+
+TEST(Planning, AtOrBeforeQueries) {
+  ProvisioningPlanning planning;
+  planning.add_entry(entry(100.0, 21.0, 4, 1.0));
+  planning.add_entry(entry(200.0, 22.0, 8, 0.8));
+  EXPECT_FALSE(planning.at_or_before(50.0).has_value());
+  EXPECT_EQ(planning.at_or_before(100.0)->candidates, 4u);
+  EXPECT_EQ(planning.at_or_before(150.0)->candidates, 4u);
+  EXPECT_EQ(planning.at_or_before(500.0)->candidates, 8u);
+}
+
+TEST(Planning, NextAfterQueries) {
+  ProvisioningPlanning planning;
+  planning.add_entry(entry(100.0, 21.0, 4, 1.0));
+  planning.add_entry(entry(200.0, 22.0, 8, 0.8));
+  EXPECT_EQ(planning.next_after(50.0)->candidates, 4u);
+  EXPECT_EQ(planning.next_after(100.0)->candidates, 8u);
+  EXPECT_FALSE(planning.next_after(200.0).has_value());
+}
+
+TEST(Planning, BetweenIsInclusive) {
+  ProvisioningPlanning planning;
+  for (double t : {0.0, 100.0, 200.0, 300.0}) planning.add_entry(entry(t, 20.0, 1, 1.0));
+  EXPECT_EQ(planning.between(100.0, 200.0).size(), 2u);
+  EXPECT_EQ(planning.between(50.0, 350.0).size(), 3u);
+  EXPECT_TRUE(planning.between(400.0, 500.0).empty());
+}
+
+TEST(Planning, XmlRoundTripPreservesEntries) {
+  ProvisioningPlanning planning;
+  planning.add_entry(entry(1385896446.0, 23.5, 8, 0.6));  // Fig. 8's sample
+  planning.add_entry(entry(1385897046.0, 24.0, 4, 0.8));
+
+  const std::string xml = planning.to_xml_string();
+  EXPECT_NE(xml.find("<planning>"), std::string::npos);
+  EXPECT_NE(xml.find("<temperature>23.5</temperature>"), std::string::npos);
+  EXPECT_NE(xml.find("<candidates>8</candidates>"), std::string::npos);
+  EXPECT_NE(xml.find("<electricity_cost>0.6</electricity_cost>"), std::string::npos);
+
+  ProvisioningPlanning loaded;
+  loaded.load_xml_string(xml);
+  ASSERT_EQ(loaded.size(), 2u);
+  const auto all = loaded.all();
+  EXPECT_DOUBLE_EQ(all[0].timestamp, 1385896446.0);
+  EXPECT_DOUBLE_EQ(all[0].temperature, 23.5);
+  EXPECT_EQ(all[0].candidates, 8u);
+  EXPECT_DOUBLE_EQ(all[0].electricity_cost, 0.6);
+}
+
+TEST(Planning, LoadsFig8StyleDocument) {
+  ProvisioningPlanning planning;
+  planning.load_xml_string(R"(<planning>
+    <timestamp value="1385896446">
+      <temperature>23.5</temperature>
+      <candidates>8</candidates>
+      <electricity_cost>0.6</electricity_cost>
+    </timestamp>
+  </planning>)");
+  ASSERT_EQ(planning.size(), 1u);
+  EXPECT_EQ(planning.all()[0].candidates, 8u);
+}
+
+TEST(Planning, LoadSortsUnorderedEntries) {
+  ProvisioningPlanning planning;
+  planning.load_xml_string(
+      "<planning>"
+      "<timestamp value=\"200\"><temperature>1</temperature><candidates>2</candidates>"
+      "<electricity_cost>0.5</electricity_cost></timestamp>"
+      "<timestamp value=\"100\"><temperature>1</temperature><candidates>1</candidates>"
+      "<electricity_cost>0.5</electricity_cost></timestamp>"
+      "</planning>");
+  const auto all = planning.all();
+  EXPECT_EQ(all[0].candidates, 1u);
+  EXPECT_EQ(all[1].candidates, 2u);
+}
+
+TEST(Planning, RejectsMalformedDocuments) {
+  ProvisioningPlanning planning;
+  EXPECT_THROW(planning.load_xml_string("<notplanning/>"), xmlite::ParseError);
+  EXPECT_THROW(planning.load_xml_string("<planning><timestamp value=\"1\"/></planning>"),
+               xmlite::ParseError);  // missing children
+  EXPECT_THROW(planning.load_xml_string(
+                   "<planning><timestamp><temperature>1</temperature>"
+                   "<candidates>1</candidates><electricity_cost>1</electricity_cost>"
+                   "</timestamp></planning>"),
+               xmlite::ParseError);  // missing value attribute
+  EXPECT_THROW(planning.load_xml_string(
+                   "<planning><timestamp value=\"1\"><temperature>1</temperature>"
+                   "<candidates>-3</candidates><electricity_cost>1</electricity_cost>"
+                   "</timestamp></planning>"),
+               xmlite::ParseError);  // negative candidates
+}
+
+TEST(Planning, LockCountersAdvance) {
+  ProvisioningPlanning planning;
+  planning.add_entry(entry(1.0, 20.0, 1, 1.0));
+  const auto writes_before = planning.writes();
+  (void)planning.at_or_before(1.0);
+  (void)planning.all();
+  planning.add_entry(entry(2.0, 20.0, 1, 1.0));
+  EXPECT_GT(planning.reads(), 0u);
+  EXPECT_EQ(planning.writes(), writes_before + 1);
+}
+
+TEST(Planning, ConcurrentReadersAndWriterStayConsistent) {
+  ProvisioningPlanning planning;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> inconsistent{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 2000; ++i) {
+      planning.add_entry(entry(static_cast<double>(i), 20.0, static_cast<std::size_t>(i), 1.0));
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const auto all = planning.all();
+        // The record must always be sorted — a torn read would violate it.
+        for (std::size_t i = 1; i < all.size(); ++i) {
+          if (all[i - 1].timestamp > all[i].timestamp) inconsistent.store(true);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(inconsistent.load());
+  EXPECT_EQ(planning.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace greensched::green

@@ -1,0 +1,266 @@
+#include "green/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+namespace {
+
+using diet::Candidate;
+using diet::EstimationVector;
+using diet::EstTag;
+using diet::Request;
+
+Candidate make_candidate(const std::string& name, double draw) {
+  Candidate c;
+  c.estimation = EstimationVector(name, common::NodeId(std::hash<std::string>{}(name) % 1000));
+  c.estimation.set(EstTag::kRandomDraw, draw);
+  c.estimation.set(EstTag::kTotalCores, 1.0);
+  return c;
+}
+
+Candidate measured(const std::string& name, double watts, double flops, double draw = 0.5) {
+  Candidate c = make_candidate(name, draw);
+  c.estimation.set(EstTag::kMeasuredPowerWatts, watts);
+  c.estimation.set(EstTag::kMeasuredFlopsPerCore, flops);
+  return c;
+}
+
+Candidate spec_only(const std::string& name, double watts, double flops, double draw = 0.5) {
+  Candidate c = make_candidate(name, draw);
+  c.estimation.set(EstTag::kSpecPeakPowerWatts, watts);
+  c.estimation.set(EstTag::kSpecFlopsPerCore, flops);
+  return c;
+}
+
+Request request() {
+  Request r;
+  r.task.spec = workload::paper_cpu_bound_task();
+  return r;
+}
+
+std::vector<std::string> order_of(const std::vector<Candidate>& candidates) {
+  std::vector<std::string> names;
+  for (const auto& c : candidates) names.push_back(c.estimation.server_name());
+  return names;
+}
+
+TEST(PowerPolicy, RanksByMeasuredWattsAscending) {
+  std::vector<Candidate> candidates{measured("orion", 320.0, 9.8e9),
+                                    measured("taurus", 192.0, 9.2e9),
+                                    measured("sagittaire", 232.0, 4.0e9)};
+  PowerPolicy policy;
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(order_of(candidates),
+            (std::vector<std::string>{"taurus", "sagittaire", "orion"}));
+}
+
+TEST(PerformancePolicy, RanksByNodeFlopsDescending) {
+  std::vector<Candidate> candidates{measured("slow", 100.0, 4.0e9),
+                                    measured("fast", 400.0, 9.8e9),
+                                    measured("mid", 200.0, 9.2e9)};
+  PerformancePolicy policy;
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(order_of(candidates), (std::vector<std::string>{"fast", "mid", "slow"}));
+}
+
+TEST(PerformancePolicy, UsesWholeNodeFlops) {
+  // 12 cores at 9.2 GF beat 1 core at 90 GF... they don't: 110.4 > 90.
+  Candidate many = measured("many-cores", 220.0, 9.2e9);
+  many.estimation.set(EstTag::kTotalCores, 12.0);
+  Candidate one = measured("one-core", 220.0, 90.0e9);
+  std::vector<Candidate> candidates{one, many};
+  PerformancePolicy policy;
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(candidates[0].estimation.server_name(), "many-cores");
+}
+
+TEST(GreenPerfPolicy, RanksByPowerOverPerformance) {
+  // taurus 192/9.2e9 ~ 2.1e-8 beats sagittaire 232/4e9 = 5.8e-8 even
+  // though sagittaire's watts are below orion's.
+  std::vector<Candidate> candidates{measured("sagittaire", 232.0, 4.0e9),
+                                    measured("orion", 320.0, 9.8e9),
+                                    measured("taurus", 192.0, 9.2e9)};
+  GreenPerfPolicy policy;
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(order_of(candidates),
+            (std::vector<std::string>{"taurus", "orion", "sagittaire"}));
+}
+
+TEST(KeyedPolicies, LearningPhaseExploresUnknownFirst) {
+  // An unmeasured server outranks every measured one; ties among the
+  // unmeasured break on the random draw.
+  std::vector<Candidate> candidates{measured("known-good", 100.0, 9.0e9),
+                                    make_candidate("unknown-b", 0.7),
+                                    make_candidate("unknown-a", 0.2)};
+  PowerPolicy policy;
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(order_of(candidates),
+            (std::vector<std::string>{"unknown-a", "unknown-b", "known-good"}));
+}
+
+TEST(KeyedPolicies, SpecFallbackRanksUnmeasuredByNameplate) {
+  std::vector<Candidate> candidates{spec_only("hungry", 400.0, 9.8e9),
+                                    spec_only("frugal", 190.0, 9.2e9),
+                                    measured("measured", 300.0, 9.0e9)};
+  PowerPolicy policy(UnknownRanking::kSpecFallback);
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(order_of(candidates),
+            (std::vector<std::string>{"frugal", "measured", "hungry"}));
+}
+
+TEST(KeyedPolicies, SpecFallbackWithoutAnyDataStillExplores) {
+  std::vector<Candidate> candidates{make_candidate("b", 0.9), make_candidate("a", 0.1)};
+  GreenPerfPolicy policy(UnknownRanking::kSpecFallback);
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(order_of(candidates), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(KeyedPolicies, SpecOnlyNeverConsultsMeasurements) {
+  // The paper's *static* method: a server measured at 300 W still ranks
+  // by its 150 W nameplate.
+  Candidate lying = measured("stale-nameplate", 300.0, 9.0e9);
+  lying.estimation.set(EstTag::kSpecPeakPowerWatts, 150.0);
+  lying.estimation.set(EstTag::kSpecFlopsPerCore, 9.0e9);
+  Candidate honest = measured("honest", 200.0, 9.0e9);
+  honest.estimation.set(EstTag::kSpecPeakPowerWatts, 200.0);
+  honest.estimation.set(EstTag::kSpecFlopsPerCore, 9.0e9);
+
+  std::vector<Candidate> candidates{honest, lying};
+  PowerPolicy static_policy(UnknownRanking::kSpecOnly);
+  static_policy.aggregate(candidates, request());
+  EXPECT_EQ(candidates[0].estimation.server_name(), "stale-nameplate");
+
+  PowerPolicy dynamic_policy(UnknownRanking::kExploreFirst);
+  dynamic_policy.aggregate(candidates, request());
+  EXPECT_EQ(candidates[0].estimation.server_name(), "honest");
+}
+
+TEST(KeyedPolicies, MeasuredBeatsSpecWhenBothPresent) {
+  // Dynamic method precedence: a server measured at 150 W outranks a
+  // server whose nameplate says 140 W but measured says 200 W.
+  Candidate measured_low = measured("dyn-low", 150.0, 9.0e9);
+  Candidate measured_high = measured("dyn-high", 200.0, 9.0e9);
+  measured_high.estimation.set(EstTag::kSpecPeakPowerWatts, 140.0);
+  std::vector<Candidate> candidates{measured_high, measured_low};
+  PowerPolicy policy(UnknownRanking::kSpecFallback);
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(candidates[0].estimation.server_name(), "dyn-low");
+}
+
+TEST(RandomPolicy, OrdersByDraw) {
+  std::vector<Candidate> candidates{make_candidate("c", 0.9), make_candidate("a", 0.1),
+                                    make_candidate("b", 0.5)};
+  RandomPolicy policy;
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(order_of(candidates), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ScorePolicy, PrefersEfficientServerForGreenUser) {
+  auto efficient = spec_only("efficient", 190.0, 9.2e9);
+  efficient.estimation.set(EstTag::kBootPowerWatts, 150.0);
+  efficient.estimation.set(EstTag::kBootSeconds, 150.0);
+  efficient.estimation.set(EstTag::kNodeOn, 1.0);
+  auto fast = spec_only("fast", 400.0, 9.8e9);
+  fast.estimation.set(EstTag::kBootPowerWatts, 200.0);
+  fast.estimation.set(EstTag::kBootSeconds, 150.0);
+  fast.estimation.set(EstTag::kNodeOn, 1.0);
+
+  Request green_request = request();
+  green_request.user_preference = 0.9;
+  std::vector<Candidate> candidates{fast, efficient};
+  ScorePolicy policy;
+  policy.aggregate(candidates, green_request);
+  EXPECT_EQ(candidates[0].estimation.server_name(), "efficient");
+
+  Request perf_request = request();
+  perf_request.user_preference = -0.9;
+  policy.aggregate(candidates, perf_request);
+  EXPECT_EQ(candidates[0].estimation.server_name(), "fast");
+}
+
+TEST(ScorePolicy, WeighsBootingAgainstQueueing) {
+  // An active server with a long queue loses to an inactive one whose
+  // boot is shorter than the queue, for a performance-seeking user.
+  auto busy = spec_only("busy", 220.0, 9.2e9);
+  busy.estimation.set(EstTag::kBootPowerWatts, 150.0);
+  busy.estimation.set(EstTag::kBootSeconds, 150.0);
+  busy.estimation.set(EstTag::kNodeOn, 1.0);
+  busy.estimation.set(EstTag::kQueueWaitSeconds, 600.0);
+  auto asleep = spec_only("asleep", 220.0, 9.2e9);
+  asleep.estimation.set(EstTag::kBootPowerWatts, 150.0);
+  asleep.estimation.set(EstTag::kBootSeconds, 150.0);
+  asleep.estimation.set(EstTag::kNodeOn, 0.0);
+
+  Request perf_request = request();
+  perf_request.user_preference = -0.9;
+  std::vector<Candidate> candidates{busy, asleep};
+  ScorePolicy policy;
+  policy.aggregate(candidates, perf_request);
+  EXPECT_EQ(candidates[0].estimation.server_name(), "asleep");
+
+  // A strongly green user keeps the active server (boot energy counts).
+  Request green_request = request();
+  green_request.user_preference = 0.9;
+  policy.aggregate(candidates, green_request);
+  EXPECT_EQ(candidates[0].estimation.server_name(), "busy");
+}
+
+TEST(MctPolicy, RanksByEstimatedCompletionTime) {
+  // Faster per-core rate wins; a queue can flip the order.
+  Candidate fast = measured("fast", 300.0, 9.8e9);
+  fast.estimation.set(EstTag::kQueueWaitSeconds, 0.0);
+  Candidate slow = measured("slow", 190.0, 4.0e9);
+  slow.estimation.set(EstTag::kQueueWaitSeconds, 0.0);
+  MinCompletionTimePolicy policy;
+  Request r = request();
+  std::vector<Candidate> candidates{slow, fast};
+  policy.aggregate(candidates, r);
+  EXPECT_EQ(candidates[0].estimation.server_name(), "fast");
+
+  // A long queue on the fast server makes the slow one finish sooner:
+  // task is ~21.4 s on fast vs ~52.5 s on slow, so > 31 s of queue flips.
+  candidates[0].estimation.set(EstTag::kQueueWaitSeconds, 60.0);
+  policy.aggregate(candidates, r);
+  EXPECT_EQ(candidates[0].estimation.server_name(), "slow");
+}
+
+TEST(MctPolicy, IsEnergyBlind) {
+  // Identical speed, wildly different power: MCT ties (random draw
+  // decides), it never consults the power tags.
+  Candidate hungry = measured("hungry", 400.0, 9.0e9, 0.2);
+  Candidate frugal = measured("frugal", 100.0, 9.0e9, 0.8);
+  MinCompletionTimePolicy policy;
+  std::vector<Candidate> candidates{frugal, hungry};
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(candidates[0].estimation.server_name(), "hungry");  // lower draw
+}
+
+TEST(MakePolicy, KnownNamesAndUnknown) {
+  for (const std::string name :
+       {"POWER", "PERFORMANCE", "RANDOM", "GREENPERF", "SCORE", "MCT"}) {
+    const auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+  // SPATIAL reports its composite name.
+  EXPECT_EQ(make_policy("SPATIAL")->name(), "SPATIAL-THERMAL");
+  EXPECT_THROW((void)make_policy("FIFO"), common::ConfigError);
+}
+
+TEST(Policies, AggregationIsDeterministic) {
+  // Same estimation vectors -> same order, regardless of input order
+  // (required because every agent level re-sorts).
+  std::vector<Candidate> a{measured("x", 200.0, 9.0e9, 0.3), measured("y", 200.0, 9.0e9, 0.6),
+                           measured("z", 150.0, 8.0e9, 0.1)};
+  std::vector<Candidate> b{a[2], a[0], a[1]};
+  GreenPerfPolicy policy;
+  Request r = request();
+  policy.aggregate(a, r);
+  policy.aggregate(b, r);
+  EXPECT_EQ(order_of(a), order_of(b));
+}
+
+}  // namespace
+}  // namespace greensched::green

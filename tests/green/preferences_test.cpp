@@ -1,0 +1,109 @@
+#include "green/preferences.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+namespace {
+
+using common::ConfigError;
+
+// --- Eq. 1: provider preference -------------------------------------------------
+
+TEST(ProviderPreference, EvaluatesEq1) {
+  const ProviderPreference pref(0.6, 0.4);
+  // alpha*(1-c) + beta*u
+  EXPECT_DOUBLE_EQ(pref.evaluate(0.5, 0.5), 0.6 * 0.5 + 0.4 * 0.5);
+  EXPECT_DOUBLE_EQ(pref.evaluate(0.0, 1.0), 0.0);  // max cost, no load
+  EXPECT_DOUBLE_EQ(pref.evaluate(1.0, 0.0), 1.0);  // free power, full load
+}
+
+TEST(ProviderPreference, StaysInUnitIntervalForAllInputs) {
+  const ProviderPreference pref(0.5, 0.5);
+  for (double u = 0.0; u <= 1.0; u += 0.25) {
+    for (double c = 0.0; c <= 1.0; c += 0.25) {
+      const double v = pref.evaluate(u, c);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(ProviderPreference, HigherCostLowersPreference) {
+  const ProviderPreference pref(0.7, 0.3);
+  EXPECT_GT(pref.evaluate(0.5, 0.2), pref.evaluate(0.5, 0.9));
+}
+
+TEST(ProviderPreference, HigherUtilizationRaisesPreference) {
+  const ProviderPreference pref(0.7, 0.3);
+  EXPECT_GT(pref.evaluate(0.9, 0.5), pref.evaluate(0.1, 0.5));
+}
+
+TEST(ProviderPreference, RejectsBadWeights) {
+  EXPECT_THROW(ProviderPreference(-0.1, 0.5), ConfigError);
+  EXPECT_THROW(ProviderPreference(0.5, -0.1), ConfigError);
+  EXPECT_THROW(ProviderPreference(0.7, 0.7), ConfigError);  // sum > 1
+  EXPECT_NO_THROW(ProviderPreference(0.5, 0.5));
+  EXPECT_NO_THROW(ProviderPreference(0.0, 0.0));
+}
+
+TEST(ProviderPreference, RejectsOutOfRangeInputs) {
+  const ProviderPreference pref(0.5, 0.5);
+  EXPECT_THROW((void)pref.evaluate(-0.1, 0.5), ConfigError);
+  EXPECT_THROW((void)pref.evaluate(0.5, 1.5), ConfigError);
+}
+
+// --- Eq. 2: user preference -----------------------------------------------------
+
+TEST(UserPreference, ClampsToPracticalRange) {
+  EXPECT_DOUBLE_EQ(UserPreference(1.0).value(), 0.9);    // "+1" clamps to 0.9
+  EXPECT_DOUBLE_EQ(UserPreference(-1.0).value(), -0.9);  // "-1" clamps to -0.9
+  EXPECT_DOUBLE_EQ(UserPreference(0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(UserPreference(0.5).value(), 0.5);
+}
+
+TEST(UserPreference, NamedFactories) {
+  EXPECT_DOUBLE_EQ(UserPreference::max_performance().value(), -0.9);
+  EXPECT_DOUBLE_EQ(UserPreference::neutral().value(), 0.0);
+  EXPECT_DOUBLE_EQ(UserPreference::max_energy_efficiency().value(), 0.9);
+}
+
+TEST(UserPreference, RejectsOutsideDefinitionRange) {
+  EXPECT_THROW(UserPreference(1.1), ConfigError);
+  EXPECT_THROW(UserPreference(-2.0), ConfigError);
+}
+
+// --- Eq. 3: combination ---------------------------------------------------------
+
+TEST(CombinePreferences, MatchesEq3) {
+  // P_provider * (P_user - 1)
+  EXPECT_DOUBLE_EQ(combine_preferences(0.5, UserPreference(0.5)), 0.5 * (0.5 - 1.0));
+  EXPECT_DOUBLE_EQ(combine_preferences(0.0, UserPreference(0.9)), 0.0);
+  EXPECT_DOUBLE_EQ(combine_preferences(1.0, UserPreference(-0.9)), -1.9);
+}
+
+TEST(CombinePreferences, RejectsBadProviderValue) {
+  EXPECT_THROW((void)combine_preferences(-0.1, UserPreference(0.0)), ConfigError);
+  EXPECT_THROW((void)combine_preferences(1.1, UserPreference(0.0)), ConfigError);
+}
+
+/// Sweep Eq. 3 over the whole preference plane: result is never positive
+/// (the expression discounts, never boosts) and is monotone in P_user.
+class CombineSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CombineSweep, NonPositiveAndMonotone) {
+  const double provider = GetParam();
+  double previous = -1e9;
+  for (double user = -0.9; user <= 0.9; user += 0.3) {
+    const double combined = combine_preferences(provider, UserPreference(user));
+    EXPECT_LE(combined, 0.0);
+    EXPECT_GE(combined, previous);
+    previous = combined;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Providers, CombineSweep, ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace greensched::green

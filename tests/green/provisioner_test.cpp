@@ -1,0 +1,282 @@
+#include "green/provisioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/policies.hpp"
+
+namespace greensched::green {
+namespace {
+
+using common::Seconds;
+
+/// The Table I platform with the paper's provisioning setup around it.
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  std::unique_ptr<diet::Hierarchy> hierarchy;
+  diet::MasterAgent* ma = nullptr;
+  std::unique_ptr<diet::PluginScheduler> policy;
+  EventSchedule events;
+  ProvisioningPlanning planning;
+
+  Fixture() {
+    cluster::ClusterOptions four;
+    four.node_count = 4;
+    platform.add_cluster("orion", cluster::MachineCatalog::orion(), four, rng);
+    platform.add_cluster("sagittaire", cluster::MachineCatalog::sagittaire(), four, rng);
+    platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), four, rng);
+    hierarchy = std::make_unique<diet::Hierarchy>(sim, rng);
+    ma = &hierarchy->build_per_cluster(platform, {"cpu-bound"});
+    policy = make_policy("GREENPERF");
+    ma->set_plugin(policy.get());
+  }
+
+  std::unique_ptr<Provisioner> make_provisioner(ProvisionerConfig config = {}) {
+    return std::make_unique<Provisioner>(sim, platform, *ma, RuleEngine::paper_default(),
+                                         events, planning, config);
+  }
+};
+
+TEST(Provisioner, EfficiencyOrderPutsTaurusFirstSagittaireLast) {
+  Fixture f;
+  const auto provisioner = f.make_provisioner();
+  const auto& order = provisioner->efficiency_order();
+  ASSERT_EQ(order.size(), 12u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(f.platform.node(order[i]).spec().model, "taurus") << i;
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    EXPECT_EQ(f.platform.node(order[i]).spec().model, "orion") << i;
+  }
+  for (std::size_t i = 8; i < 12; ++i) {
+    EXPECT_EQ(f.platform.node(order[i]).spec().model, "sagittaire") << i;
+  }
+}
+
+TEST(Provisioner, InitialTargetFollowsRegularTariffRule) {
+  Fixture f;  // initial cost 1.0 -> 40% of 12 = 4 candidates
+  auto provisioner = f.make_provisioner();
+  provisioner->start();
+  EXPECT_EQ(provisioner->candidate_count(), 4u);
+  // All four are taurus nodes (the efficient prefix).
+  for (const auto id : provisioner->candidates()) {
+    EXPECT_EQ(f.platform.find_node(id)->spec().model, "taurus");
+  }
+  EXPECT_EQ(f.planning.size(), 1u);
+  EXPECT_EQ(f.planning.all()[0].candidates, 4u);
+}
+
+TEST(Provisioner, DoubleStartThrows) {
+  Fixture f;
+  auto provisioner = f.make_provisioner();
+  provisioner->start();
+  EXPECT_THROW(provisioner->start(), common::StateError);
+}
+
+TEST(Provisioner, ConfigValidation) {
+  Fixture f;
+  ProvisionerConfig config;
+  config.check_period = des::SimDuration(0.0);
+  EXPECT_THROW(f.make_provisioner(config), common::ConfigError);
+  config = ProvisionerConfig{};
+  config.ramp_up_step = 0;
+  EXPECT_THROW(f.make_provisioner(config), common::ConfigError);
+  config = ProvisionerConfig{};
+  config.min_candidates = 99;
+  EXPECT_THROW(f.make_provisioner(config), common::ConfigError);
+}
+
+TEST(Provisioner, PowersOffNonCandidatesAndKeepsCandidatesOn) {
+  Fixture f;
+  auto provisioner = f.make_provisioner();
+  provisioner->start();
+  // Shutdown takes a few (simulated) seconds; run past it.
+  f.sim.run_until(Seconds(60.0));
+  std::size_t on = 0, off_ish = 0;
+  for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
+    const auto state = f.platform.node(i).state();
+    if (state == cluster::NodeState::kOn) ++on;
+    if (state == cluster::NodeState::kOff) ++off_ish;
+  }
+  EXPECT_EQ(on, 4u);
+  EXPECT_EQ(off_ish, 8u);
+  EXPECT_EQ(provisioner->candidate_capacity(), 4u * 12u);
+}
+
+TEST(Provisioner, PowerManagementCanBeDisabled) {
+  Fixture f;
+  ProvisionerConfig config;
+  config.manage_node_power = false;
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+  f.sim.run_until(Seconds(60.0));
+  for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
+    EXPECT_EQ(f.platform.node(i).state(), cluster::NodeState::kOn);
+  }
+}
+
+TEST(Provisioner, MasterAgentFilterExcludesNonCandidates) {
+  Fixture f;
+  auto provisioner = f.make_provisioner();
+  provisioner->start();
+
+  diet::Request request;
+  request.id = common::RequestId(0);
+  request.task.spec = workload::paper_cpu_bound_task();
+  const auto decision = f.ma->submit(request);
+  ASSERT_NE(decision.elected, nullptr);
+  EXPECT_EQ(decision.elected->node().spec().model, "taurus");
+  EXPECT_EQ(decision.ranked.size(), 4u);  // only candidates survive
+}
+
+TEST(Provisioner, DestructorRemovesFilter) {
+  Fixture f;
+  {
+    auto provisioner = f.make_provisioner();
+    provisioner->start();
+  }
+  diet::Request request;
+  request.id = common::RequestId(0);
+  request.task.spec = workload::paper_cpu_bound_task();
+  const auto decision = f.ma->submit(request);
+  EXPECT_EQ(decision.ranked.size(), 12u);  // unfiltered again
+}
+
+TEST(Provisioner, ScheduledEventPreRampsPacedToEventTime) {
+  Fixture f;
+  // The paper's Event 1: cost 0.8 at t+60 min, announced at t+40 min.
+  f.events.add(EventSchedule::scheduled_cost_change(3600.0, 0.8, 1200.0, "event-1"));
+  ProvisionerConfig config;
+  config.check_period = common::minutes(10.0);
+  config.lookahead = common::minutes(20.0);
+  config.ramp_up_step = 2;
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+
+  f.sim.run_until(Seconds(2400.0));  // t+40: aware, but paced -> still 4
+  EXPECT_EQ(provisioner->candidate_count(), 4u);
+  f.sim.run_until(Seconds(3000.0));  // t+50: first increment
+  EXPECT_EQ(provisioner->candidate_count(), 6u);
+  f.sim.run_until(Seconds(3600.0));  // t+60: reaches 8 as the tariff drops
+  EXPECT_EQ(provisioner->candidate_count(), 8u);
+}
+
+TEST(Provisioner, HeatEventDropsPoolInSteps) {
+  Fixture f;
+  f.events.set_initial_cost(0.4);  // 100% rule -> 12 candidates
+  f.events.add(EventSchedule::unexpected_temperature(900.0, 35.0, "heat"));
+  EventInjector injector(f.sim, f.platform, f.events);
+  ProvisionerConfig config;
+  config.check_period = common::minutes(10.0);
+  config.ramp_down_step = 4;
+  config.min_candidates = 2;
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+  EXPECT_EQ(provisioner->candidate_count(), 12u);
+
+  // Heat at t=900 s; nodes warm over the thermal time constant, so the
+  // checks at 1200/1800/2400 s ramp 12 -> 8 -> 4 -> 2 (three steps).
+  f.sim.run_until(Seconds(1200.0));
+  EXPECT_EQ(provisioner->candidate_count(), 8u);
+  f.sim.run_until(Seconds(1800.0));
+  EXPECT_EQ(provisioner->candidate_count(), 4u);
+  f.sim.run_until(Seconds(2400.0));
+  EXPECT_EQ(provisioner->candidate_count(), 2u);
+  f.sim.run_until(Seconds(3600.0));
+  EXPECT_EQ(provisioner->candidate_count(), 2u);  // floor holds
+}
+
+TEST(Provisioner, RecoveryRampsBackAfterCooling) {
+  Fixture f;
+  f.events.set_initial_cost(0.4);
+  f.events.add(EventSchedule::unexpected_temperature(600.0, 35.0, "heat"));
+  f.events.add(EventSchedule::unexpected_temperature(3000.0, 20.0, "cooling"));
+  EventInjector injector(f.sim, f.platform, f.events);
+  ProvisionerConfig config;
+  config.check_period = common::minutes(10.0);
+  config.ramp_up_step = 2;
+  config.ramp_down_step = 4;
+  config.min_candidates = 2;
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+
+  f.sim.run_until(Seconds(2400.0));
+  EXPECT_EQ(provisioner->candidate_count(), 2u);
+  // After cooling (ambient back to 20 at t=3000), temperature needs a few
+  // time constants to fall below 25; then +2 per check toward 12.
+  f.sim.run_until(Seconds(7800.0));
+  EXPECT_EQ(provisioner->candidate_count(), 12u);
+}
+
+TEST(Provisioner, PowerCapModeUsesAlgorithm1) {
+  Fixture f;
+  ProvisionerConfig config;
+  config.mode = ProvisioningMode::kPowerCap;
+  config.provider = ProviderPreference(0.5, 0.5);
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+  // cost 1.0, utilization 0 -> preference 0; floor of min_candidates.
+  EXPECT_EQ(provisioner->candidate_count(), config.min_candidates);
+}
+
+TEST(Provisioner, PowerCapModeGrowsWithCheaperEnergy) {
+  Fixture f;
+  f.events.set_initial_cost(0.0);  // free energy -> preference alpha
+  ProvisionerConfig config;
+  config.mode = ProvisioningMode::kPowerCap;
+  config.provider = ProviderPreference(1.0, 0.0);  // preference = 1 - c = 1
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+  EXPECT_EQ(provisioner->candidate_count(), 12u);  // cap = full P_total
+}
+
+TEST(Provisioner, SeriesAndPlanningGrowPerCheck) {
+  Fixture f;
+  ProvisionerConfig config;
+  config.check_period = common::minutes(10.0);
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+  f.sim.run_until(Seconds(3600.0));
+  EXPECT_EQ(provisioner->checks(), 6u);
+  EXPECT_EQ(provisioner->candidate_series().size(), 7u);  // initial + 6
+  EXPECT_EQ(provisioner->power_series().size(), 6u);
+  EXPECT_EQ(f.planning.size(), 7u);
+  // Mean power is positive and bounded by the platform's peak.
+  for (std::size_t i = 0; i < provisioner->power_series().size(); ++i) {
+    EXPECT_GT(provisioner->power_series().value_at(i), 0.0);
+    EXPECT_LT(provisioner->power_series().value_at(i), 4000.0);
+  }
+}
+
+TEST(Provisioner, CheckHookObservesStatus) {
+  Fixture f;
+  auto provisioner = f.make_provisioner();
+  std::size_t hooks = 0;
+  provisioner->set_check_hook(
+      [&](des::SimTime, const PlatformStatus& status, std::size_t candidates) {
+        ++hooks;
+        EXPECT_DOUBLE_EQ(status.electricity_cost, 1.0);
+        EXPECT_GT(candidates, 0u);
+      });
+  provisioner->start();
+  f.sim.run_until(Seconds(1800.0));
+  EXPECT_EQ(hooks, 3u);
+}
+
+TEST(Provisioner, StopHaltsChecks) {
+  Fixture f;
+  auto provisioner = f.make_provisioner();
+  provisioner->start();
+  f.sim.run_until(Seconds(1200.0));
+  provisioner->stop();
+  const auto checks = provisioner->checks();
+  f.sim.run_until(Seconds(3600.0));
+  EXPECT_EQ(provisioner->checks(), checks);
+}
+
+}  // namespace
+}  // namespace greensched::green

@@ -1,0 +1,105 @@
+#include "green/reactivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+namespace {
+
+EventSchedule fig9_events() {
+  EventSchedule events;
+  events.set_initial_cost(1.0);
+  events.add(EventSchedule::scheduled_cost_change(3600.0, 0.8, 1200.0, "e1"));
+  events.add(EventSchedule::scheduled_cost_change(7200.0, 0.4, 1200.0, "e2"));
+  events.add(EventSchedule::unexpected_temperature(9300.0, 35.0, "heat"));
+  events.add(EventSchedule::unexpected_temperature(13500.0, 20.0, "cooling"));
+  return events;
+}
+
+TEST(Reactivity, RejectsEmptyPlatform) {
+  EXPECT_THROW(ReactivityAnalyzer(RuleEngine::paper_default(), 0), common::ConfigError);
+}
+
+TEST(Reactivity, TargetsFollowPaperRules) {
+  const ReactivityAnalyzer analyzer(RuleEngine::paper_default(), 12);
+  const EventSchedule events = fig9_events();
+  // cost 0.8 -> 70% of 12 = 8; cost 0.4 -> 100% = 12; heat -> 20% = 2;
+  // cooling with cost still 0.4 -> back to 12.
+  EXPECT_EQ(analyzer.target_after(events, events.events()[0]), 8u);
+  EXPECT_EQ(analyzer.target_after(events, events.events()[1]), 12u);
+  EXPECT_EQ(analyzer.target_after(events, events.events()[2]), 2u);
+  EXPECT_EQ(analyzer.target_after(events, events.events()[3]), 12u);
+}
+
+TEST(Reactivity, HeatInForceAffectsLaterCostEvents) {
+  EventSchedule events;
+  events.set_initial_cost(1.0);
+  events.add(EventSchedule::unexpected_temperature(100.0, 35.0));
+  events.add(EventSchedule::scheduled_cost_change(200.0, 0.4, 0.0));
+  const ReactivityAnalyzer analyzer(RuleEngine::paper_default(), 10);
+  // The tariff drop happens while the platform is hot: heat rule wins.
+  EXPECT_EQ(analyzer.target_after(events, events.events()[1]), 2u);
+}
+
+TEST(Reactivity, MeasuresSettlingAgainstASeries) {
+  const ReactivityAnalyzer analyzer(RuleEngine::paper_default(), 12);
+  const EventSchedule events = fig9_events();
+
+  // The Fig. 9 trajectory: paced pre-ramp to e1, ramp to e2, three-step
+  // drop after heat, staged recovery after cooling.
+  common::TimeSeries series;
+  series.add(0.0, 4.0);
+  series.add(3000.0, 6.0);
+  series.add(3600.0, 8.0);   // e1 settles exactly at its effect time
+  series.add(6600.0, 10.0);
+  series.add(7200.0, 12.0);  // e2 settles on time
+  series.add(9600.0, 8.0);   // heat detected one check late
+  series.add(10200.0, 4.0);
+  series.add(10800.0, 2.0);  // heat target reached
+  series.add(14400.0, 4.0);  // recovery begins after cooling
+  series.add(15000.0, 8.0);
+  series.add(15600.0, 12.0);
+
+  const auto report = analyzer.analyze(events, series);
+  ASSERT_EQ(report.size(), 4u);
+
+  // e1: pool reached 8 exactly when the tariff changed -> reaction 0.
+  ASSERT_TRUE(report[0].settled_at.has_value());
+  EXPECT_DOUBLE_EQ(*report[0].reaction_seconds(), 0.0);
+  // e2: same.
+  EXPECT_DOUBLE_EQ(*report[1].reaction_seconds(), 0.0);
+  // heat: settled at 10800, 1500 s after the 9300 s event.
+  EXPECT_DOUBLE_EQ(*report[2].reaction_seconds(), 10800.0 - 9300.0);
+  EXPECT_DOUBLE_EQ(*report[2].first_move_at, 9600.0);
+  // cooling: recovery completes at 15600.
+  EXPECT_DOUBLE_EQ(*report[3].reaction_seconds(), 15600.0 - 13500.0);
+}
+
+TEST(Reactivity, UnsettledEventReportsNothing) {
+  const ReactivityAnalyzer analyzer(RuleEngine::paper_default(), 12);
+  EventSchedule events;
+  events.add(EventSchedule::scheduled_cost_change(100.0, 0.4, 0.0));
+  common::TimeSeries series;
+  series.add(0.0, 4.0);
+  series.add(200.0, 6.0);  // never reaches 12
+  const auto report = analyzer.analyze(events, series);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_TRUE(report[0].first_move_at.has_value());
+  EXPECT_FALSE(report[0].settled_at.has_value());
+  EXPECT_FALSE(report[0].reaction_seconds().has_value());
+}
+
+TEST(Reactivity, PreProvisionedPoolGetsZeroReaction) {
+  const ReactivityAnalyzer analyzer(RuleEngine::paper_default(), 12);
+  EventSchedule events;
+  events.add(EventSchedule::scheduled_cost_change(100.0, 0.8, 50.0));
+  common::TimeSeries series;
+  series.add(0.0, 8.0);  // already at the post-event target
+  const auto report = analyzer.analyze(events, series);
+  ASSERT_TRUE(report[0].settled_at.has_value());
+  EXPECT_DOUBLE_EQ(*report[0].reaction_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace greensched::green

@@ -1,0 +1,103 @@
+#include "green/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+namespace {
+
+PlatformStatus status(double cost, double temperature) {
+  PlatformStatus s;
+  s.electricity_cost = cost;
+  s.temperature = temperature;
+  return s;
+}
+
+TEST(RuleEngine, ValidationOfRules) {
+  RuleEngine engine;
+  EXPECT_THROW(engine.add_rule(Rule{"", [](const PlatformStatus&) { return true; }, 0.5, {}}),
+               common::ConfigError);
+  EXPECT_THROW(engine.add_rule(Rule{"x", nullptr, 0.5, {}}), common::ConfigError);
+  EXPECT_THROW(
+      engine.add_rule(Rule{"x", [](const PlatformStatus&) { return true; }, 1.5, {}}),
+      common::ConfigError);
+  EXPECT_THROW(engine.set_default_fraction(-0.1), common::ConfigError);
+}
+
+TEST(RuleEngine, FirstMatchWins) {
+  RuleEngine engine;
+  engine.add_rule(Rule{"first", [](const PlatformStatus&) { return true; }, 0.25, {}});
+  engine.add_rule(Rule{"second", [](const PlatformStatus&) { return true; }, 0.75, {}});
+  EXPECT_DOUBLE_EQ(engine.evaluate(status(1.0, 20.0)), 0.25);
+  EXPECT_EQ(engine.match(status(1.0, 20.0))->name, "first");
+}
+
+TEST(RuleEngine, DefaultFractionWhenNothingMatches) {
+  RuleEngine engine;
+  engine.add_rule(Rule{"never", [](const PlatformStatus&) { return false; }, 0.1, {}});
+  engine.set_default_fraction(0.6);
+  EXPECT_DOUBLE_EQ(engine.evaluate(status(1.0, 20.0)), 0.6);
+  EXPECT_EQ(engine.match(status(1.0, 20.0)), nullptr);
+}
+
+TEST(RuleEngine, ActionFiresOnEvaluateOnly) {
+  RuleEngine engine;
+  int fired = 0;
+  engine.add_rule(Rule{"counting", [](const PlatformStatus&) { return true; }, 0.5,
+                       [&fired](const PlatformStatus&) { ++fired; }});
+  (void)engine.match(status(1.0, 20.0));
+  EXPECT_EQ(fired, 0);
+  (void)engine.evaluate(status(1.0, 20.0));
+  EXPECT_EQ(fired, 1);
+}
+
+struct PaperRuleCase {
+  double cost;
+  double temperature;
+  double expected_fraction;
+  const char* name;
+};
+
+class PaperRules : public ::testing::TestWithParam<PaperRuleCase> {};
+
+TEST_P(PaperRules, MatchesSectionIVC) {
+  const RuleEngine engine = RuleEngine::paper_default();
+  const PaperRuleCase& c = GetParam();
+  EXPECT_DOUBLE_EQ(engine.evaluate(status(c.cost, c.temperature)), c.expected_fraction);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PaperRules,
+    ::testing::Values(
+        // Heat overrides everything (first rule).
+        PaperRuleCase{0.3, 26.0, 0.20, "hot_cheap"},
+        PaperRuleCase{1.0, 30.0, 0.20, "hot_expensive"},
+        PaperRuleCase{0.5, 25.1, 0.20, "hot_boundary"},
+        // T exactly at the threshold is in range (strict >).
+        PaperRuleCase{1.0, 25.0, 0.40, "threshold_temp_regular"},
+        // Cost buckets: 1.0 >= c > 0.8 -> 40%.
+        PaperRuleCase{1.0, 20.0, 0.40, "regular_max"},
+        PaperRuleCase{0.9, 20.0, 0.40, "regular_mid"},
+        PaperRuleCase{0.81, 20.0, 0.40, "regular_low_edge"},
+        // 0.8 >= c > 0.5 -> 70% (c == 0.5 included: 100% needs c < 0.5).
+        PaperRuleCase{0.8, 20.0, 0.70, "offpeak1_high_edge"},
+        PaperRuleCase{0.6, 20.0, 0.70, "offpeak1_mid"},
+        PaperRuleCase{0.5, 20.0, 0.70, "offpeak1_boundary"},
+        // c < 0.5 -> 100%.
+        PaperRuleCase{0.49, 20.0, 1.00, "offpeak2_edge"},
+        PaperRuleCase{0.0, 20.0, 1.00, "offpeak2_free"}),
+    [](const ::testing::TestParamInfo<PaperRuleCase>& param) { return param.param.name; });
+
+TEST(PaperRulesConfig, CustomHeatThreshold) {
+  const RuleEngine engine = RuleEngine::paper_default(30.0);
+  EXPECT_DOUBLE_EQ(engine.evaluate(status(1.0, 27.0)), 0.40);  // below new limit
+  EXPECT_DOUBLE_EQ(engine.evaluate(status(1.0, 31.0)), 0.20);
+}
+
+TEST(PaperRulesConfig, HasFourRules) {
+  EXPECT_EQ(RuleEngine::paper_default().rule_count(), 4u);
+}
+
+}  // namespace
+}  // namespace greensched::green

@@ -1,0 +1,118 @@
+#include "green/score.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace greensched::green {
+namespace {
+
+using common::Joules;
+using common::Seconds;
+
+TEST(Score, ExponentMatchesEq6) {
+  // 2/(P+1) - 1
+  EXPECT_NEAR(score_exponent(UserPreference(-0.9)), 2.0 / 0.1 - 1.0, 1e-12);  // 19
+  EXPECT_DOUBLE_EQ(score_exponent(UserPreference(0.0)), 1.0);
+  EXPECT_NEAR(score_exponent(UserPreference(0.9)), 2.0 / 1.9 - 1.0, 1e-12);  // ~0.0526
+}
+
+TEST(Score, NeutralPreferenceIsTimeEnergyProduct) {
+  // Eq. 7, middle case: Sc ~ time * energy.
+  EXPECT_DOUBLE_EQ(score(Seconds(10.0), Joules(500.0), UserPreference(0.0)), 5000.0);
+}
+
+TEST(Score, PerformanceSeekerIgnoresEnergy) {
+  // Eq. 7, P -> -0.9: Sc ~ computation time.  A 2x faster server wins
+  // even when it spends 100x more energy.
+  const UserPreference p(-0.9);
+  const double fast_hungry = score(Seconds(10.0), Joules(100000.0), p);
+  const double slow_frugal = score(Seconds(20.0), Joules(1000.0), p);
+  EXPECT_LT(fast_hungry, slow_frugal);
+}
+
+TEST(Score, EfficiencySeekerIgnoresTime) {
+  // Eq. 7, P -> 0.9: Sc ~ energy.  A 10x more frugal server wins even
+  // when it is 10x slower.
+  const UserPreference p(0.9);
+  const double slow_frugal = score(Seconds(100.0), Joules(1000.0), p);
+  const double fast_hungry = score(Seconds(10.0), Joules(10000.0), p);
+  EXPECT_LT(slow_frugal, fast_hungry);
+}
+
+TEST(Score, NeutralBalancesBoth) {
+  // At P = 0, equal time*energy products tie.
+  const UserPreference p(0.0);
+  EXPECT_DOUBLE_EQ(score(Seconds(10.0), Joules(100.0), p),
+                   score(Seconds(100.0), Joules(10.0), p));
+}
+
+TEST(Score, RejectsNonPositiveInputs) {
+  EXPECT_THROW((void)score(Seconds(0.0), Joules(1.0), UserPreference(0.0)), common::ConfigError);
+  EXPECT_THROW((void)score(Seconds(1.0), Joules(-1.0), UserPreference(0.0)), common::ConfigError);
+}
+
+TEST(Score, ScoreServerPipelinesEq456) {
+  ServerCostInputs s;
+  s.flops = common::gflops_per_sec(10.0);
+  s.full_load_watts = common::watts(200.0);
+  s.boot_watts = common::watts(150.0);
+  s.boot_seconds = common::seconds(100.0);
+  s.queue_wait = common::seconds(0.0);
+  s.active = true;
+  const common::Flops work(100e9);  // 10 s, 2000 J
+  const double expected = std::pow(10.0, 1.0) * 2000.0;
+  EXPECT_DOUBLE_EQ(score_server(s, work, UserPreference(0.0)), expected);
+  EXPECT_THROW((void)score_server(s, common::Flops(0.0), UserPreference(0.0)), common::ConfigError);
+}
+
+/// Property sweep over the preference grid: the score ranking between a
+/// "fast but hungry" and a "slow but frugal" server must swap exactly
+/// once as P moves from performance-seeking to efficiency-seeking, i.e.
+/// the preference knob is monotone.
+class ScorePreferenceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScorePreferenceSweep, ScoreIsFiniteAndPositive) {
+  const UserPreference p(GetParam());
+  const double s = score(Seconds(12.5), Joules(2750.0), p);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_GT(s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ScorePreferenceSweep,
+                         ::testing::Values(-0.9, -0.6, -0.3, 0.0, 0.3, 0.6, 0.9));
+
+TEST(Score, PreferenceKnobSwapsRankingMonotonically) {
+  ServerCostInputs fast_hungry;
+  fast_hungry.flops = common::gflops_per_sec(20.0);
+  fast_hungry.full_load_watts = common::watts(400.0);
+  fast_hungry.boot_watts = common::watts(200.0);
+  fast_hungry.boot_seconds = common::seconds(100.0);
+  fast_hungry.active = true;
+
+  ServerCostInputs slow_frugal = fast_hungry;
+  slow_frugal.flops = common::gflops_per_sec(8.0);
+  slow_frugal.full_load_watts = common::watts(100.0);
+
+  const common::Flops work(200e9);
+  int swaps = 0;
+  bool previous_fast_wins = true;
+  for (double p = -0.9; p <= 0.9001; p += 0.05) {
+    const UserPreference pref(p);
+    const bool fast_wins =
+        score_server(fast_hungry, work, pref) < score_server(slow_frugal, work, pref);
+    if (p > -0.9 && fast_wins != previous_fast_wins) ++swaps;
+    previous_fast_wins = fast_wins;
+  }
+  EXPECT_EQ(swaps, 1);  // exactly one crossover
+  // And the endpoints agree with Eq. 7.
+  EXPECT_LT(score_server(fast_hungry, work, UserPreference(-0.9)),
+            score_server(slow_frugal, work, UserPreference(-0.9)));
+  EXPECT_GT(score_server(fast_hungry, work, UserPreference(0.9)),
+            score_server(slow_frugal, work, UserPreference(0.9)));
+}
+
+}  // namespace
+}  // namespace greensched::green

@@ -1,0 +1,134 @@
+#include "green/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "cluster/topology.hpp"
+#include "common/error.hpp"
+#include "diet/client.hpp"
+#include "diet/hierarchy.hpp"
+#include "workload/generator.hpp"
+
+namespace greensched::green {
+namespace {
+
+using diet::Candidate;
+using diet::EstimationVector;
+using diet::EstTag;
+
+Candidate candidate(const std::string& name, double watts, double temperature, double draw) {
+  Candidate c;
+  c.estimation = EstimationVector(name, common::NodeId(0));
+  c.estimation.set(EstTag::kMeasuredPowerWatts, watts);
+  c.estimation.set(EstTag::kTemperatureCelsius, temperature);
+  c.estimation.set(EstTag::kRandomDraw, draw);
+  return c;
+}
+
+TEST(SpatialThermalPolicy, RejectsNegativePenalty) {
+  SpatialThermalConfig config;
+  config.penalty_watts_per_degree = -1.0;
+  EXPECT_THROW(SpatialThermalPolicy{config}, common::ConfigError);
+}
+
+TEST(SpatialThermalPolicy, NoPenaltyBelowSoftLimit) {
+  SpatialThermalPolicy policy;
+  diet::Request request;
+  auto c = candidate("cool", 200.0, 22.0, 0.5);
+  policy.estimate(c.estimation, request);
+  EXPECT_DOUBLE_EQ(*c.estimation.custom("thermal_penalty_watts"), 0.0);
+  EXPECT_DOUBLE_EQ(policy.key(c.estimation), 200.0);
+}
+
+TEST(SpatialThermalPolicy, HotServerPaysWattEquivalent) {
+  SpatialThermalPolicy policy;  // 50 W per degree above 24
+  diet::Request request;
+  auto c = candidate("hot", 200.0, 26.0, 0.5);
+  policy.estimate(c.estimation, request);
+  EXPECT_DOUBLE_EQ(*c.estimation.custom("thermal_penalty_watts"), 100.0);
+  EXPECT_DOUBLE_EQ(policy.key(c.estimation), 300.0);
+}
+
+TEST(SpatialThermalPolicy, DemotesHotEfficientBelowCoolHungry) {
+  SpatialThermalPolicy policy;
+  diet::Request request;
+  // Efficient-but-hot (190 W at 27 degC -> key 340) loses to
+  // hungrier-but-cool (250 W at 22 degC -> key 250).
+  std::vector<Candidate> candidates{candidate("hot-efficient", 190.0, 27.0, 0.1),
+                                    candidate("cool-hungry", 250.0, 22.0, 0.9)};
+  for (auto& c : candidates) policy.estimate(c.estimation, request);
+  policy.aggregate(candidates, request);
+  EXPECT_EQ(candidates[0].estimation.server_name(), "cool-hungry");
+}
+
+TEST(SpatialThermalPolicy, FallsBackToSpecThenUnknownLast) {
+  SpatialThermalPolicy policy;
+  diet::Request request;
+  Candidate spec_only;
+  spec_only.estimation = EstimationVector("spec", common::NodeId(1));
+  spec_only.estimation.set(EstTag::kSpecPeakPowerWatts, 220.0);
+  Candidate unknown;
+  unknown.estimation = EstimationVector("unknown", common::NodeId(2));
+  std::vector<Candidate> candidates{unknown, spec_only};
+  policy.aggregate(candidates, request);
+  EXPECT_EQ(candidates[0].estimation.server_name(), "spec");
+}
+
+/// End to end with the thermal coupler: identical machines, one rack
+/// pre-heated by a pinned load; the spatial policy moves new work to the
+/// cool rack, plain POWER cannot tell them apart.
+TEST(SpatialThermalPolicy, SteersWorkAwayFromHotRack) {
+  auto run = [&](diet::PluginScheduler& policy) {
+    des::Simulator sim;
+    common::Rng rng(5);
+    cluster::Platform platform;
+    cluster::ClusterOptions four;
+    four.node_count = 4;
+    platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), four, rng);
+
+    // Nodes 0/1 in rack 0, nodes 2/3 in rack 1.
+    cluster::RackTopology topo(2, 2);
+    topo.place_all(platform);  // round robin: 0->r0, 1->r1, 2->r0, 3->r1
+    cluster::ThermalCouplingConfig coupling;
+    coupling.neighbour_coeff = 0.03;  // strong, so the effect is quick
+    coupling.rack_coeff = 0.01;
+    cluster::ThermalCoupler coupler(sim, platform, std::move(topo), coupling);
+    coupler.start();
+
+    // Pin rack 0 hot: node 0 fully loaded outside the middleware.
+    for (int i = 0; i < 12; ++i) platform.node(0).acquire_core(common::Seconds(0.0));
+
+    diet::Hierarchy hierarchy(sim, rng);
+    diet::MasterAgent& ma = hierarchy.build_flat(platform, {"cpu-bound"});
+    ma.set_plugin(&policy);
+
+    // Let the rack heat up before the workload arrives.
+    sim.run_until(common::Seconds(600.0));
+
+    workload::WorkloadConfig wconfig;
+    wconfig.burst_size = 1;
+    wconfig.continuous_rate = 0.25;
+    workload::WorkloadGenerator generator(wconfig);
+    workload::BurstThenContinuousArrival arrival(1, 0.25);
+    diet::Client client(hierarchy);
+    client.submit_workload(generator.generate_with(arrival, 40, common::Seconds(600.0), rng));
+    sim.run_until(common::Seconds(2000.0));
+    coupler.stop();
+    sim.run();
+
+    std::size_t hot_rack = 0, cool_rack = 0;
+    for (const auto& [server, count] : client.tasks_per_server()) {
+      // Rack 0 holds taurus-0 and taurus-2; rack 1 holds taurus-1/3.
+      if (server == "taurus-0" || server == "taurus-2") hot_rack += count;
+      if (server == "taurus-1" || server == "taurus-3") cool_rack += count;
+    }
+    return std::pair{hot_rack, cool_rack};
+  };
+
+  SpatialThermalPolicy spatial(SpatialThermalConfig{23.0, 80.0});
+  const auto [hot, cool] = run(spatial);
+  EXPECT_GT(cool, hot * 2) << "spatial policy should prefer the cool rack";
+}
+
+}  // namespace
+}  // namespace greensched::green

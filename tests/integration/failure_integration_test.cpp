@@ -1,0 +1,105 @@
+// Failure injection at experiment scale: the Table I platform runs the
+// placement workload while nodes crash and recover; the middleware must
+// finish every task and keep its accounting coherent.
+#include <gtest/gtest.h>
+
+#include "diet/client.hpp"
+#include "diet/failure.hpp"
+#include "green/policies.hpp"
+#include "metrics/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace greensched::diet {
+namespace {
+
+using common::Seconds;
+
+TEST(FailureIntegration, ExperimentSurvivesCrashesAndRecoveries) {
+  des::Simulator sim;
+  common::Rng rng(42);
+  cluster::Platform platform;
+  for (const auto& setup : metrics::table1_clusters()) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+  Hierarchy hierarchy(sim, rng);
+  MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+  const auto policy = green::make_policy("GREENPERF");
+  ma.set_plugin(policy.get());
+
+  workload::WorkloadConfig wconfig;
+  wconfig.requests_per_core = 3.0;
+  wconfig.burst_size = 30;
+  workload::WorkloadGenerator generator(wconfig);
+  Client client(hierarchy);
+  client.submit_workload(generator.generate(platform.total_cores(), rng));
+
+  FailureInjector injector(hierarchy);
+  // Crash the preferred cluster's nodes mid-run; two recover, one stays
+  // dead.  A crash of an already-crashed node must be skipped cleanly.
+  injector.schedule_failure("taurus-0", des::SimTime(30.0), des::SimDuration(60.0));
+  injector.schedule_failure("taurus-1", des::SimTime(45.0), des::SimDuration(120.0));
+  injector.schedule_failure("taurus-2", des::SimTime(60.0));  // never repaired
+  injector.schedule_failure("taurus-2", des::SimTime(90.0));  // already dead -> skipped
+  injector.schedule_failure("orion-0", des::SimTime(120.0), des::SimDuration(60.0));
+
+  sim.run();
+
+  EXPECT_TRUE(client.all_done());
+  EXPECT_EQ(client.completed(), 312u);
+  EXPECT_EQ(injector.failures_injected(), 4u);
+  EXPECT_EQ(injector.failures_skipped(), 1u);
+  EXPECT_EQ(injector.repairs(), 3u);
+  EXPECT_GT(injector.tasks_killed(), 0u);
+
+  // Client-side resubmission bookkeeping matches the injector's count.
+  std::size_t resubmissions = 0;
+  for (const auto& r : client.records()) resubmissions += r.failures;
+  EXPECT_EQ(resubmissions, injector.tasks_killed());
+
+  // The dead node is still dead; the repaired ones are back on.
+  EXPECT_EQ(platform.find_node_by_name("taurus-2")->state(), cluster::NodeState::kFailed);
+  EXPECT_EQ(platform.find_node_by_name("taurus-0")->state(), cluster::NodeState::kOn);
+  EXPECT_EQ(platform.find_node_by_name("orion-0")->state(), cluster::NodeState::kOn);
+
+  // Energy accounting remains coherent: positive, and bounded by every
+  // node at peak for the whole run.
+  const double energy = platform.total_energy(sim.now()).value();
+  EXPECT_GT(energy, 0.0);
+  EXPECT_LT(energy, 3600.0 * sim.now().value());
+}
+
+TEST(FailureIntegration, LearningSurvivesFailures) {
+  // A SED that crashed and rebooted keeps serving estimations; its
+  // learned figures persist (history survives in the SED object).
+  des::Simulator sim;
+  common::Rng rng(7);
+  cluster::Platform platform;
+  cluster::ClusterOptions two;
+  two.node_count = 2;
+  platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), two, rng);
+  Hierarchy hierarchy(sim, rng);
+  MasterAgent& ma = hierarchy.build_flat(platform, {"cpu-bound"});
+  const auto policy = green::make_policy("GREENPERF");
+  ma.set_plugin(policy.get());
+
+  Client client(hierarchy);
+  workload::WorkloadConfig wconfig;
+  wconfig.requests_per_core = 2.0;
+  wconfig.burst_size = 10;
+  workload::WorkloadGenerator generator(wconfig);
+  client.submit_workload(generator.generate(platform.total_cores(), rng));
+
+  FailureInjector injector(hierarchy);
+  injector.schedule_failure("taurus-0", des::SimTime(10.0), des::SimDuration(30.0));
+  sim.run();
+
+  EXPECT_TRUE(client.all_done());
+  Sed* sed = hierarchy.find_sed("taurus-0");
+  ASSERT_NE(sed, nullptr);
+  // Its pre-crash measurements survive the crash (the dynamic method's
+  // history lives in the SED, not on the machine).
+  EXPECT_TRUE(sed->measured_power().has_value());
+}
+
+}  // namespace
+}  // namespace greensched::diet

@@ -1,0 +1,184 @@
+// End-to-end checks that the reproduction preserves the paper's headline
+// shapes on a scaled-down version of the Section IV-A experiment (the
+// full-size runs live in the bench binaries).
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.hpp"
+#include "metrics/report.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+PlacementConfig scaled_experiment(const std::string& policy) {
+  PlacementConfig config;
+  config.clusters = table1_clusters();
+  config.policy = policy;
+  config.workload.requests_per_core = 3.0;  // 312 tasks instead of 1040
+  config.workload.burst_size = 30;
+  config.workload.continuous_rate = 2.0;
+  config.seed = 42;
+  return config;
+}
+
+std::size_t cluster_tasks(const PlacementResult& result, const std::string& prefix) {
+  std::size_t total = 0;
+  for (const auto& [server, count] : result.tasks_per_server) {
+    if (server.starts_with(prefix)) total += count;
+  }
+  return total;
+}
+
+class PlacementShapes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    random_ = new PlacementResult(run_placement(scaled_experiment("RANDOM")));
+    power_ = new PlacementResult(run_placement(scaled_experiment("POWER")));
+    performance_ = new PlacementResult(run_placement(scaled_experiment("PERFORMANCE")));
+    greenperf_ = new PlacementResult(run_placement(scaled_experiment("GREENPERF")));
+  }
+  static void TearDownTestSuite() {
+    delete random_;
+    delete power_;
+    delete performance_;
+    delete greenperf_;
+  }
+  static PlacementResult* random_;
+  static PlacementResult* power_;
+  static PlacementResult* performance_;
+  static PlacementResult* greenperf_;
+};
+
+PlacementResult* PlacementShapes::random_ = nullptr;
+PlacementResult* PlacementShapes::power_ = nullptr;
+PlacementResult* PlacementShapes::performance_ = nullptr;
+PlacementResult* PlacementShapes::greenperf_ = nullptr;
+
+TEST_F(PlacementShapes, AllTasksComplete) {
+  for (const auto* r : {random_, power_, performance_, greenperf_}) {
+    EXPECT_EQ(r->tasks, 312u);
+  }
+}
+
+TEST_F(PlacementShapes, TableII_PowerSavesEnergyVersusRandom) {
+  // Paper: ~25% saving.  Require a substantial saving (> 15%).
+  EXPECT_GT(energy_saving_percent(*random_, *power_), 15.0);
+}
+
+TEST_F(PlacementShapes, TableII_PowerSavesEnergyVersusPerformance) {
+  // Paper: up to 19%.  Require a clear saving (> 8%).
+  EXPECT_GT(energy_saving_percent(*performance_, *power_), 8.0);
+}
+
+TEST_F(PlacementShapes, TableII_PerformanceIsFastest) {
+  EXPECT_LE(performance_->makespan.value(), power_->makespan.value());
+  EXPECT_LE(performance_->makespan.value(), random_->makespan.value());
+}
+
+TEST_F(PlacementShapes, TableII_PowerMakespanLossIsSmall) {
+  // Paper: up to 6% loss; allow up to 12% at this reduced scale.
+  EXPECT_LT(makespan_loss_percent(*performance_, *power_), 12.0);
+}
+
+TEST_F(PlacementShapes, Fig2_PowerConcentratesOnTaurus) {
+  const std::size_t taurus = cluster_tasks(*power_, "taurus");
+  const std::size_t orion = cluster_tasks(*power_, "orion");
+  const std::size_t sagittaire = cluster_tasks(*power_, "sagittaire");
+  EXPECT_GT(taurus, orion * 3);
+  EXPECT_GT(taurus, sagittaire * 3);
+}
+
+TEST_F(PlacementShapes, Fig3_PerformanceConcentratesOnOrion) {
+  const std::size_t orion = cluster_tasks(*performance_, "orion");
+  EXPECT_GT(orion, cluster_tasks(*performance_, "taurus") * 3);
+  EXPECT_GT(orion, cluster_tasks(*performance_, "sagittaire") * 3);
+}
+
+TEST_F(PlacementShapes, Fig4_RandomSpreadsButSagittaireLags) {
+  const std::size_t taurus = cluster_tasks(*random_, "taurus");
+  const std::size_t orion = cluster_tasks(*random_, "orion");
+  const std::size_t sagittaire = cluster_tasks(*random_, "sagittaire");
+  // Taurus and orion (same core counts) receive similar shares.
+  EXPECT_LT(std::abs(static_cast<long>(taurus) - static_cast<long>(orion)),
+            static_cast<long>(random_->tasks / 4));
+  // Sagittaire computes visibly fewer tasks (fewer cores, slower).
+  EXPECT_LT(sagittaire, taurus / 2);
+  EXPECT_GT(sagittaire, 0u);
+}
+
+TEST_F(PlacementShapes, LearningPhaseTouchesEveryNode) {
+  // The burst explores unmeasured servers first, so every node computes
+  // at least one task even under POWER.
+  EXPECT_EQ(power_->tasks_per_server.size(), 12u);
+  for (const auto& [server, count] : power_->tasks_per_server) {
+    EXPECT_GE(count, 1u) << server;
+  }
+}
+
+TEST_F(PlacementShapes, Fig5_PerClusterEnergyShape) {
+  auto cluster_energy = [](const PlacementResult& r, const std::string& name) {
+    for (const auto& c : r.per_cluster) {
+      if (c.cluster == name) return c.energy.value();
+    }
+    return 0.0;
+  };
+  // Under POWER, orion burns far less than under PERFORMANCE.
+  EXPECT_LT(cluster_energy(*power_, "orion"), cluster_energy(*performance_, "orion") * 0.6);
+  // Under PERFORMANCE, taurus is mostly idle compared to POWER.
+  EXPECT_LT(cluster_energy(*performance_, "taurus"), cluster_energy(*power_, "taurus"));
+  // RANDOM keeps every cluster higher than the policy that avoids it.
+  EXPECT_GT(cluster_energy(*random_, "orion"), cluster_energy(*power_, "orion"));
+  EXPECT_GT(cluster_energy(*random_, "taurus"), cluster_energy(*performance_, "taurus"));
+}
+
+TEST_F(PlacementShapes, GreenPerfTracksPowerOnThisPlatform) {
+  // With taurus both fastest-per-watt and efficient, GREENPERF lands near
+  // POWER in energy while staying close to PERFORMANCE in makespan.
+  EXPECT_LT(greenperf_->energy.value(), random_->energy.value());
+  EXPECT_LT(greenperf_->energy.value(), performance_->energy.value());
+}
+
+// Fig. 6/7 shapes at reduced scale.
+TEST(HeterogeneityShapes, GreenPerfNeedsDiversity) {
+  PlacementConfig config;
+  config.client_count = 2;
+  config.spec_fallback = true;
+  config.workload.requests_per_core = 6.0;
+  config.workload.burst_size = 4;
+  config.workload.continuous_rate = 0.2;
+  config.workload.task.work = common::Flops(4.0e12);
+
+  auto run = [&](const std::string& policy,
+                 std::vector<ClusterSetup> clusters) {
+    config.policy = policy;
+    config.clusters = std::move(clusters);
+    return run_placement(config);
+  };
+
+  // Low heterogeneity: G and GP agree at the cluster level (the two
+  // metrics induce the same type ordering; only tie-breaks inside a type
+  // differ once measurements start replacing nameplate figures).
+  const auto g6 = run("POWER", low_heterogeneity_clusters());
+  const auto gp6 = run("GREENPERF", low_heterogeneity_clusters());
+  auto cluster_share = [](const PlacementResult& r, const std::string& prefix) {
+    std::size_t total = 0;
+    for (const auto& [server, count] : r.tasks_per_server) {
+      if (server.starts_with(prefix)) total += count;
+    }
+    return total;
+  };
+  EXPECT_EQ(cluster_share(g6, "taurus"), cluster_share(gp6, "taurus"));
+  EXPECT_EQ(cluster_share(g6, "orion"), cluster_share(gp6, "orion"));
+
+  // High heterogeneity: the metrics diverge, and GreenPerf beats POWER on
+  // makespan (it dodges the slow-but-frugal Sim machines).
+  const auto g7 = run("POWER", high_heterogeneity_clusters());
+  const auto gp7 = run("GREENPERF", high_heterogeneity_clusters());
+  const auto p7 = run("PERFORMANCE", high_heterogeneity_clusters());
+  EXPECT_NE(g7.tasks_per_server, gp7.tasks_per_server);
+  EXPECT_LT(gp7.makespan.value(), g7.makespan.value());
+  // And stays cheaper than pure PERFORMANCE.
+  EXPECT_LT(gp7.energy.value(), p7.energy.value());
+}
+
+}  // namespace
+}  // namespace greensched::metrics

@@ -1,0 +1,89 @@
+#include "metrics/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+TEST(ConfigIo, RoundTripPreservesEverything) {
+  PlacementConfig config;
+  config.clusters = table1_clusters();
+  config.clusters[0].options.power_heterogeneity = 0.1;
+  config.clusters[1].options.speed_heterogeneity = 0.05;
+  config.clusters[2].options.initially_on = false;
+  config.clusters[2].name = "taurus-lyon";
+  config.policy = "GREENPERF";
+  config.seed = 1234;
+  config.client_count = 2;
+  config.spec_fallback = true;
+  config.per_cluster_tree = false;
+  config.task_count_override = 99;
+  config.workload.requests_per_core = 5.0;
+  config.workload.burst_size = 17;
+  config.workload.continuous_rate = 1.5;
+  config.workload.task.work = common::Flops(3.3e11);
+  config.workload.user_preference = 0.4;
+
+  const PlacementConfig loaded = config_from_string(config_to_string(config));
+  EXPECT_EQ(loaded.policy, "GREENPERF");
+  EXPECT_EQ(loaded.seed, 1234u);
+  EXPECT_EQ(loaded.client_count, 2u);
+  EXPECT_TRUE(loaded.spec_fallback);
+  EXPECT_FALSE(loaded.per_cluster_tree);
+  EXPECT_EQ(loaded.task_count_override, 99u);
+  ASSERT_EQ(loaded.clusters.size(), 3u);
+  EXPECT_EQ(loaded.clusters[0].spec.model, "orion");
+  EXPECT_DOUBLE_EQ(loaded.clusters[0].options.power_heterogeneity, 0.1);
+  EXPECT_DOUBLE_EQ(loaded.clusters[1].options.speed_heterogeneity, 0.05);
+  EXPECT_FALSE(loaded.clusters[2].options.initially_on);
+  EXPECT_EQ(loaded.clusters[2].name, "taurus-lyon");
+  EXPECT_DOUBLE_EQ(loaded.workload.requests_per_core, 5.0);
+  EXPECT_EQ(loaded.workload.burst_size, 17u);
+  EXPECT_DOUBLE_EQ(loaded.workload.continuous_rate, 1.5);
+  EXPECT_DOUBLE_EQ(loaded.workload.task.work.value(), 3.3e11);
+  EXPECT_DOUBLE_EQ(loaded.workload.user_preference, 0.4);
+}
+
+TEST(ConfigIo, DefaultsApplyWhenAttributesAbsent) {
+  const PlacementConfig loaded =
+      config_from_string("<experiment><cluster machine=\"taurus\" count=\"2\"/></experiment>");
+  EXPECT_EQ(loaded.policy, "POWER");
+  EXPECT_EQ(loaded.seed, 42u);
+  EXPECT_EQ(loaded.client_count, 1u);
+  EXPECT_TRUE(loaded.per_cluster_tree);
+  ASSERT_EQ(loaded.clusters.size(), 1u);
+  EXPECT_EQ(loaded.clusters[0].options.node_count, 2u);
+  EXPECT_TRUE(loaded.clusters[0].options.initially_on);
+}
+
+TEST(ConfigIo, LoadedConfigActuallyRuns) {
+  const PlacementConfig loaded = config_from_string(
+      "<experiment policy=\"POWER\" seed=\"7\">"
+      "<cluster machine=\"taurus\" count=\"1\"/>"
+      "<workload requests_per_core=\"1\" burst=\"4\" rate=\"2\"/>"
+      "</experiment>");
+  const PlacementResult result = run_placement(loaded);
+  EXPECT_EQ(result.tasks, 12u);
+  EXPECT_GT(result.energy.value(), 0.0);
+}
+
+TEST(ConfigIo, RejectsMalformedDocuments) {
+  EXPECT_THROW(config_from_string("<notexperiment/>"), xmlite::ParseError);
+  EXPECT_THROW(config_from_string("<experiment/>"), xmlite::ParseError);  // no clusters
+  EXPECT_THROW(config_from_string("<experiment><cluster count=\"2\"/></experiment>"),
+               xmlite::ParseError);  // no machine
+  EXPECT_THROW(
+      config_from_string("<experiment><cluster machine=\"cray\" count=\"2\"/></experiment>"),
+      common::ConfigError);  // unknown machine
+  EXPECT_THROW(
+      config_from_string("<experiment><cluster machine=\"taurus\" count=\"0\"/></experiment>"),
+      common::ConfigError);
+  EXPECT_THROW(config_from_string("<experiment task_count=\"-1\">"
+                                  "<cluster machine=\"taurus\" count=\"1\"/></experiment>"),
+               common::ConfigError);
+}
+
+}  // namespace
+}  // namespace greensched::metrics

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+#include "metrics/energy_accounting.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/report.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+using common::Seconds;
+
+// --- EnergySnapshot -----------------------------------------------------------
+
+struct PlatformFixture {
+  common::Rng rng{1};
+  cluster::Platform platform;
+
+  PlatformFixture() {
+    cluster::ClusterOptions two;
+    two.node_count = 2;
+    platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), two, rng);
+    platform.add_cluster("sagittaire", cluster::MachineCatalog::sagittaire(), two, rng);
+  }
+};
+
+TEST(EnergySnapshot, TotalsEqualSumOfNodes) {
+  PlatformFixture f;
+  EnergySnapshot snapshot(f.platform, Seconds(10.0));
+  EXPECT_EQ(snapshot.per_node().size(), 4u);
+  double sum = 0.0;
+  for (const auto& n : snapshot.per_node()) sum += n.energy.value();
+  EXPECT_DOUBLE_EQ(snapshot.total().value(), sum);
+  // 2 taurus idle (95 W) + 2 sagittaire idle (200 W) over 10 s.
+  EXPECT_DOUBLE_EQ(snapshot.total().value(), (2 * 95.0 + 2 * 200.0) * 10.0);
+}
+
+TEST(EnergySnapshot, PerClusterAggregation) {
+  PlatformFixture f;
+  EnergySnapshot snapshot(f.platform, Seconds(10.0));
+  const auto clusters = snapshot.per_cluster();
+  ASSERT_EQ(clusters.size(), 2u);
+  for (const auto& c : clusters) {
+    EXPECT_EQ(c.nodes, 2u);
+    if (c.cluster == "taurus") {
+      EXPECT_DOUBLE_EQ(c.energy.value(), 1900.0);
+    }
+    if (c.cluster == "sagittaire") {
+      EXPECT_DOUBLE_EQ(c.energy.value(), 4000.0);
+    }
+  }
+}
+
+TEST(EnergySnapshot, SinceAndMeanPower) {
+  PlatformFixture f;
+  EnergySnapshot early(f.platform, Seconds(10.0));
+  EnergySnapshot late(f.platform, Seconds(20.0));
+  EXPECT_DOUBLE_EQ(late.since(early).value(), (2 * 95.0 + 2 * 200.0) * 10.0);
+  EXPECT_DOUBLE_EQ(late.mean_power_since(early).value(), 2 * 95.0 + 2 * 200.0);
+  EXPECT_THROW((void)early.since(late), common::StateError);
+  EXPECT_THROW((void)early.mean_power_since(early), common::StateError);
+}
+
+// --- platform presets -----------------------------------------------------------
+
+TEST(Presets, Table1ClustersMatchPaper) {
+  const auto clusters = table1_clusters();
+  ASSERT_EQ(clusters.size(), 3u);
+  unsigned cores = 0;
+  for (const auto& c : clusters) {
+    EXPECT_EQ(c.options.node_count, 4u);
+    cores += c.spec.cores * 4;
+  }
+  EXPECT_EQ(cores, 104u);  // 2x48 + 8: "10 requests per core" -> 1040 tasks
+}
+
+TEST(Presets, HeterogeneityPlatformsAreSingleSlot) {
+  for (const auto& c : low_heterogeneity_clusters()) {
+    EXPECT_EQ(c.spec.cores, 1u);
+    EXPECT_NO_THROW(c.spec.validate());
+  }
+  const auto high = high_heterogeneity_clusters();
+  EXPECT_EQ(high.size(), 4u);
+  // Single-slot conversion preserves total speed.
+  EXPECT_DOUBLE_EQ(high[0].spec.total_flops().value(),
+                   cluster::MachineCatalog::orion().total_flops().value());
+}
+
+// --- run_placement -----------------------------------------------------------
+
+PlacementConfig small_config(const std::string& policy) {
+  PlacementConfig config;
+  cluster::ClusterOptions one;
+  one.node_count = 1;
+  config.clusters = {{"taurus", cluster::MachineCatalog::taurus(), one},
+                     {"sagittaire", cluster::MachineCatalog::sagittaire(), one}};
+  config.policy = policy;
+  config.workload.requests_per_core = 2.0;
+  config.workload.burst_size = 4;
+  return config;
+}
+
+TEST(RunPlacement, CompletesAllTasks) {
+  const PlacementResult result = run_placement(small_config("POWER"));
+  EXPECT_EQ(result.tasks, 28u);  // (12 + 2) cores x 2
+  EXPECT_GT(result.makespan.value(), 0.0);
+  EXPECT_GT(result.energy.value(), 0.0);
+  EXPECT_EQ(result.per_cluster.size(), 2u);
+  std::size_t placed = 0;
+  for (const auto& [server, count] : result.tasks_per_server) placed += count;
+  EXPECT_EQ(placed, 28u);
+}
+
+TEST(RunPlacement, DeterministicInSeed) {
+  const PlacementResult a = run_placement(small_config("RANDOM"));
+  const PlacementResult b = run_placement(small_config("RANDOM"));
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
+  EXPECT_DOUBLE_EQ(a.energy.value(), b.energy.value());
+  EXPECT_EQ(a.tasks_per_server, b.tasks_per_server);
+}
+
+TEST(RunPlacement, DifferentSeedsChangeRandomPlacement) {
+  // Two identical nodes give RANDOM freedom: the per-node split must
+  // depend on the seed.
+  PlacementConfig config;
+  cluster::ClusterOptions two;
+  two.node_count = 2;
+  config.clusters = {{"taurus", cluster::MachineCatalog::taurus(), two}};
+  config.policy = "RANDOM";
+  config.workload.requests_per_core = 3.0;
+  config.workload.burst_size = 10;
+  // Light tasks keep the platform unsaturated, so the random draw (not
+  // queue drain) decides every placement.
+  config.workload.task.work = common::Flops(1.0e10);
+  const PlacementResult a = run_placement(config);
+  config.seed = 777;
+  const PlacementResult b = run_placement(config);
+  EXPECT_NE(a.tasks_per_server, b.tasks_per_server);
+}
+
+TEST(RunPlacement, TaskCountOverride) {
+  auto config = small_config("POWER");
+  config.task_count_override = 5;
+  const PlacementResult result = run_placement(config);
+  EXPECT_EQ(result.tasks, 5u);
+}
+
+TEST(RunPlacement, MultipleClientsShareTheWorkload) {
+  auto config = small_config("POWER");
+  config.client_count = 3;
+  const PlacementResult result = run_placement(config);
+  EXPECT_EQ(result.tasks, 28u);  // unchanged total
+}
+
+TEST(RunPlacement, ConfigValidation) {
+  PlacementConfig config;
+  config.clusters.clear();
+  EXPECT_THROW(run_placement(config), common::ConfigError);
+  config = small_config("POWER");
+  config.client_count = 0;
+  EXPECT_THROW(run_placement(config), common::ConfigError);
+  config = small_config("NOPE");
+  EXPECT_THROW(run_placement(config), common::ConfigError);
+}
+
+TEST(RunPlacement, SweepRunsEachSeed) {
+  const auto results = run_placement_sweep(small_config("RANDOM"), {1, 2, 3});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].seed, 1u);
+  EXPECT_EQ(results[2].seed, 3u);
+}
+
+// --- report -------------------------------------------------------------------
+
+TEST(Report, PolicyComparisonTable) {
+  std::vector<PlacementResult> results{run_placement(small_config("POWER")),
+                                       run_placement(small_config("RANDOM"))};
+  const std::string out = render_policy_comparison(results);
+  EXPECT_NE(out.find("POWER"), std::string::npos);
+  EXPECT_NE(out.find("RANDOM"), std::string::npos);
+  EXPECT_NE(out.find("Makespan (s)"), std::string::npos);
+  EXPECT_NE(out.find("Energy (J)"), std::string::npos);
+  EXPECT_THROW(render_policy_comparison({}), common::ConfigError);
+}
+
+TEST(Report, ClusterEnergyTable) {
+  std::vector<PlacementResult> results{run_placement(small_config("POWER"))};
+  const std::string out = render_cluster_energy(results);
+  EXPECT_NE(out.find("taurus"), std::string::npos);
+  EXPECT_NE(out.find("sagittaire"), std::string::npos);
+}
+
+TEST(Report, TaskDistribution) {
+  const std::string out = render_task_distribution(run_placement(small_config("POWER")));
+  EXPECT_NE(out.find("taurus-0"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Report, PercentHelpers) {
+  PlacementResult baseline, candidate;
+  baseline.energy = common::joules(1000.0);
+  baseline.makespan = common::seconds(100.0);
+  candidate.energy = common::joules(750.0);
+  candidate.makespan = common::seconds(106.0);
+  EXPECT_DOUBLE_EQ(energy_saving_percent(baseline, candidate), 25.0);
+  EXPECT_DOUBLE_EQ(makespan_loss_percent(baseline, candidate), 6.0);
+  PlacementResult zero;
+  EXPECT_THROW((void)energy_saving_percent(zero, candidate), common::ConfigError);
+  EXPECT_THROW((void)makespan_loss_percent(zero, candidate), common::ConfigError);
+}
+
+}  // namespace
+}  // namespace greensched::metrics

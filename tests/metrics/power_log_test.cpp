@@ -1,0 +1,94 @@
+#include "metrics/power_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "cluster/wattmeter.hpp"
+#include "common/error.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+common::TimeSeries square_wave() {
+  // 0..10 s at 100 W, 10..20 s at 200 W, sampled at 1 Hz.
+  common::TimeSeries s;
+  for (int t = 0; t <= 20; ++t) s.add(t, t < 10 ? 100.0 : 200.0);
+  return s;
+}
+
+TEST(PowerLog, SummaryBasics) {
+  PowerLogAnalyzer analyzer;
+  const PowerLogSummary summary = analyzer.summarize(square_wave());
+  EXPECT_EQ(summary.samples, 21u);
+  EXPECT_DOUBLE_EQ(summary.min_watts, 100.0);
+  EXPECT_DOUBLE_EQ(summary.max_watts, 200.0);
+  EXPECT_NEAR(summary.mean_watts, (10 * 100.0 + 11 * 200.0) / 21.0, 1e-9);
+  EXPECT_GT(summary.stddev_watts, 0.0);
+  EXPECT_GT(summary.energy_joules, 0.0);
+}
+
+TEST(PowerLog, IdleAndPeakFractions) {
+  PowerLogAnalyzer analyzer;  // 10 W bands
+  const PowerLogSummary summary = analyzer.summarize(square_wave());
+  EXPECT_NEAR(summary.idle_fraction, 10.0 / 21.0, 1e-9);
+  EXPECT_NEAR(summary.peak_fraction, 11.0 / 21.0, 1e-9);
+}
+
+TEST(PowerLog, EmptySeriesThrows) {
+  PowerLogAnalyzer analyzer;
+  EXPECT_THROW((void)analyzer.summarize(common::TimeSeries{}), common::ConfigError);
+  PowerLogConfig config;
+  config.idle_band_watts = -1.0;
+  EXPECT_THROW(PowerLogAnalyzer{config}, common::ConfigError);
+}
+
+TEST(PowerLog, HistogramSplitsLevels) {
+  PowerLogAnalyzer analyzer;
+  const common::Histogram h = analyzer.histogram(square_wave(), 2);
+  EXPECT_EQ(h.bin_count(0), 10u);
+  EXPECT_EQ(h.bin_count(1), 11u);
+}
+
+TEST(PowerLog, HistogramOfFlatSeries) {
+  common::TimeSeries flat;
+  flat.add(0.0, 95.0);
+  flat.add(1.0, 95.0);
+  PowerLogAnalyzer analyzer;
+  const common::Histogram h = analyzer.histogram(flat, 4);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+}
+
+TEST(PowerLog, ResampleProducesWindowMeans) {
+  PowerLogAnalyzer analyzer;
+  const common::TimeSeries resampled = analyzer.resample(square_wave(), 10.0);
+  ASSERT_EQ(resampled.size(), 2u);
+  EXPECT_NEAR(resampled.value_at(0), 105.0, 1.0);   // mostly the 100 W half
+  EXPECT_DOUBLE_EQ(resampled.value_at(1), 200.0);
+  EXPECT_THROW(analyzer.resample(square_wave(), 0.0), common::ConfigError);
+  EXPECT_TRUE(analyzer.resample(common::TimeSeries{}, 10.0).empty());
+}
+
+TEST(PowerLog, WorksOnRealWattmeterSeries) {
+  des::Simulator sim;
+  cluster::Node node(common::NodeId(0), "taurus-0", cluster::MachineCatalog::taurus(),
+                     common::ClusterId(0));
+  cluster::WattmeterConfig config;
+  config.keep_full_series = true;
+  cluster::Wattmeter meter(sim, node, config);
+  sim.schedule_at(des::SimTime(30.0), [&] {
+    for (int i = 0; i < 12; ++i) node.acquire_core(common::Seconds(30.0));
+  });
+  sim.run_until(des::SimTime(60.0));
+  meter.stop();
+
+  PowerLogAnalyzer analyzer;
+  const PowerLogSummary summary = analyzer.summarize(meter.series());
+  EXPECT_DOUBLE_EQ(summary.min_watts, 95.0);
+  EXPECT_DOUBLE_EQ(summary.max_watts, 220.0);
+  EXPECT_NEAR(summary.idle_fraction, 0.5, 0.05);
+  EXPECT_NEAR(summary.peak_fraction, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace greensched::metrics

@@ -1,0 +1,85 @@
+#include "metrics/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+TEST(Estimate, FromSamples) {
+  const Estimate e = estimate_from({10.0, 12.0, 14.0});
+  EXPECT_DOUBLE_EQ(e.mean, 12.0);
+  EXPECT_DOUBLE_EQ(e.stddev, 2.0);
+  EXPECT_NEAR(e.ci95, 1.96 * 2.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(e.min, 10.0);
+  EXPECT_DOUBLE_EQ(e.max, 14.0);
+  EXPECT_EQ(e.n, 3u);
+  EXPECT_THROW((void)estimate_from({}), common::ConfigError);
+}
+
+TEST(Estimate, SingleSampleHasNoInterval) {
+  const Estimate e = estimate_from({5.0});
+  EXPECT_DOUBLE_EQ(e.ci95, 0.0);
+  EXPECT_NE(e.to_string().find("5.0"), std::string::npos);
+}
+
+TEST(Estimate, IntervalOverlap) {
+  Estimate a, b;
+  a.mean = 10.0;
+  a.ci95 = 1.0;
+  b.mean = 12.5;
+  b.ci95 = 1.0;
+  EXPECT_FALSE(intervals_overlap(a, b));
+  b.mean = 11.5;
+  EXPECT_TRUE(intervals_overlap(a, b));
+  EXPECT_TRUE(intervals_overlap(b, a));
+}
+
+TEST(Replication, DefaultSeeds) {
+  const auto seeds = default_seeds(4);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(Replication, AggregatesRuns) {
+  PlacementConfig config;
+  cluster::ClusterOptions two;
+  two.node_count = 2;
+  config.clusters = {{"taurus", cluster::MachineCatalog::taurus(), two}};
+  config.policy = "RANDOM";
+  config.workload.requests_per_core = 2.0;
+  config.workload.burst_size = 8;
+  config.workload.task.work = common::Flops(1.0e10);  // light: seeds differ
+
+  const ReplicatedResult result = run_replicated(config, default_seeds(5));
+  EXPECT_EQ(result.policy, "RANDOM");
+  EXPECT_EQ(result.runs.size(), 5u);
+  EXPECT_EQ(result.makespan_seconds.n, 5u);
+  EXPECT_GT(result.energy_joules.mean, 0.0);
+  EXPECT_GE(result.energy_joules.max, result.energy_joules.min);
+  EXPECT_THROW(run_replicated(config, {}), common::ConfigError);
+}
+
+TEST(Replication, PolicyDifferenceIsStatisticallyVisible) {
+  // POWER vs RANDOM on the heterogeneous platform: the energy intervals
+  // must not overlap — the Table II effect survives replication.
+  PlacementConfig config;
+  cluster::ClusterOptions one;
+  one.node_count = 1;
+  config.clusters = {{"taurus", cluster::MachineCatalog::taurus(), one},
+                     {"orion", cluster::MachineCatalog::orion(), one}};
+  config.workload.requests_per_core = 3.0;
+  config.workload.burst_size = 10;
+  config.workload.continuous_rate = 0.4;  // below capacity: policies differ
+
+  config.policy = "POWER";
+  const ReplicatedResult power = run_replicated(config, default_seeds(5));
+  config.policy = "RANDOM";
+  const ReplicatedResult random = run_replicated(config, default_seeds(5));
+  EXPECT_LT(power.energy_joules.mean, random.energy_joules.mean);
+  EXPECT_FALSE(intervals_overlap(power.energy_joules, random.energy_joules));
+}
+
+}  // namespace
+}  // namespace greensched::metrics

@@ -1,0 +1,210 @@
+// Cross-cutting property tests: invariants that must hold for *any*
+// workload, platform or seed — not just the crafted cases of the unit
+// tests.
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "cluster/wattmeter.hpp"
+#include "des/simulator.hpp"
+#include "green/score.hpp"
+#include "metrics/experiment.hpp"
+#include "xmlite/xml.hpp"
+
+namespace greensched {
+namespace {
+
+// --- DES determinism ------------------------------------------------------
+
+class DesDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesDeterminism, IdenticalSchedulesExecuteIdentically) {
+  auto run = [&](std::uint64_t seed) {
+    common::Rng rng(seed);
+    des::Simulator sim;
+    std::vector<int> order;
+    // A random tangle of events that spawn further events.
+    for (int i = 0; i < 50; ++i) {
+      const double at = rng.uniform(0.0, 100.0);
+      const double chain_delay = rng.uniform(0.1, 10.0);
+      const int tag = i;
+      sim.schedule_at(des::SimTime(at), [&sim, &order, tag, chain_delay] {
+        order.push_back(tag);
+        sim.schedule_after(des::SimDuration(chain_delay),
+                           [&order, tag] { order.push_back(1000 + tag); });
+      });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run(GetParam()), run(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesDeterminism, ::testing::Values(1u, 17u, 2029u, 999983u));
+
+// --- energy conservation ----------------------------------------------------
+
+class EnergyConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnergyConservation, NodeInvariantsUnderRandomLoad) {
+  common::Rng rng(GetParam());
+  des::Simulator sim;
+  cluster::Node node(common::NodeId(0), "taurus-0", cluster::MachineCatalog::taurus(),
+                     common::ClusterId(0));
+  cluster::Wattmeter meter(sim, node);
+
+  // Random acquire/release pattern over ~2000 s.
+  unsigned busy = 0;
+  double t = 0.0;
+  while (t < 2000.0) {
+    t += rng.uniform(1.0, 50.0);
+    const double at = t;
+    if (busy > 0 && rng.bernoulli(0.5)) {
+      --busy;
+      sim.schedule_at(des::SimTime(at), [&node, at] { node.release_core(common::Seconds(at)); });
+    } else if (busy < node.spec().cores) {
+      ++busy;
+      sim.schedule_at(des::SimTime(at), [&node, at] { node.acquire_core(common::Seconds(at)); });
+    }
+  }
+  const double horizon = 2100.0;
+  sim.run_until(des::SimTime(horizon));
+  meter.stop();
+
+  const double energy = node.energy(common::Seconds(horizon)).value();
+  const double active_energy = node.active_energy(common::Seconds(horizon)).value();
+  const double active_time = node.active_time(common::Seconds(horizon)).value();
+
+  // Bounds: idle floor <= energy <= peak ceiling.
+  EXPECT_GE(energy, 95.0 * horizon - 1e-6);
+  EXPECT_LE(energy, 220.0 * horizon + 1e-6);
+  // Active accounting is a sub-measure of the total.
+  EXPECT_LE(active_energy, energy + 1e-9);
+  EXPECT_LE(active_time, horizon + 1e-9);
+  // The wattmeter's 1 Hz Riemann sum tracks the exact integral closely.
+  EXPECT_NEAR(meter.measured_energy().value(), energy, energy * 0.01);
+  // Average power during computation lies within the machine's envelope.
+  if (active_time > 0.0) {
+    const double avg_active = active_energy / active_time;
+    EXPECT_GE(avg_active, 95.0);
+    EXPECT_LE(avg_active, 220.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnergyConservation, ::testing::Values(3u, 14u, 159u, 2653u));
+
+// --- placement conservation ---------------------------------------------------
+
+struct PlacementCase {
+  const char* policy;
+  std::uint64_t seed;
+};
+
+class PlacementConservation : public ::testing::TestWithParam<PlacementCase> {};
+
+TEST_P(PlacementConservation, WorkAndEnergyAreConserved) {
+  metrics::PlacementConfig config;
+  cluster::ClusterOptions two;
+  two.node_count = 2;
+  config.clusters = {{"taurus", cluster::MachineCatalog::taurus(), two},
+                     {"orion", cluster::MachineCatalog::orion(), two},
+                     {"sagittaire", cluster::MachineCatalog::sagittaire(), two}};
+  config.policy = GetParam().policy;
+  config.seed = GetParam().seed;
+  config.workload.requests_per_core = 2.0;
+  config.workload.burst_size = 13;
+  const metrics::PlacementResult result = metrics::run_placement(config);
+
+  // Every task ran exactly once.
+  std::size_t placed = 0;
+  for (const auto& [server, count] : result.tasks_per_server) placed += count;
+  EXPECT_EQ(placed, result.tasks);
+
+  // Per-cluster energies sum to the total.
+  double cluster_sum = 0.0;
+  for (const auto& c : result.per_cluster) cluster_sum += c.energy.value();
+  EXPECT_NEAR(cluster_sum, result.energy.value(), 1e-6);
+
+  // Physical bounds: the run cannot beat the aggregate speed of the
+  // platform, nor undercut the idle floor.
+  const double total_flop = static_cast<double>(result.tasks) * 2.1e11;
+  double total_rate = 0.0, idle_floor = 0.0, peak_ceiling = 0.0;
+  for (const auto& setup : config.clusters) {
+    total_rate += 2.0 * setup.spec.total_flops().value();
+    idle_floor += 2.0 * setup.spec.idle_watts.value();
+    peak_ceiling += 2.0 * setup.spec.peak_watts.value();
+  }
+  EXPECT_GE(result.makespan.value(), total_flop / total_rate - 1e-6);
+  EXPECT_GE(result.energy.value(), idle_floor * result.makespan.value() * 0.999);
+  EXPECT_LE(result.energy.value(), peak_ceiling * result.makespan.value() * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlacementConservation,
+    ::testing::Values(PlacementCase{"POWER", 1}, PlacementCase{"POWER", 99},
+                      PlacementCase{"PERFORMANCE", 1}, PlacementCase{"RANDOM", 1},
+                      PlacementCase{"RANDOM", 7}, PlacementCase{"GREENPERF", 1},
+                      PlacementCase{"SCORE", 1}),
+    [](const ::testing::TestParamInfo<PlacementCase>& param) {
+      return std::string(param.param.policy) + "_" + std::to_string(param.param.seed);
+    });
+
+// --- score continuity -----------------------------------------------------------
+
+TEST(ScoreContinuity, LogScoreIsSmoothAndMonotone) {
+  // log Sc(P) = (2/(P+1) - 1) ln t + ln E, so
+  //   d(log Sc)/dP = -2 ln(t) / (P+1)^2.
+  // The knob is smooth (finite differences match the analytic derivative)
+  // and, for t > 1 s, strictly decreasing: a greener preference always
+  // discounts the time term, never re-weights erratically.
+  const common::Seconds time(37.5);
+  const common::Joules energy(8120.0);
+  const double step = 1e-3;
+  double previous = std::log(green::score(time, energy, green::UserPreference(-0.9)));
+  for (double p = -0.9 + step; p <= 0.9; p += step) {
+    const double current = std::log(green::score(time, energy, green::UserPreference(p)));
+    EXPECT_LT(current, previous) << "at P=" << p;  // monotone decreasing
+    const double mid = p - step / 2.0;
+    const double analytic = -2.0 * std::log(time.value()) / ((mid + 1.0) * (mid + 1.0));
+    EXPECT_NEAR((current - previous) / step, analytic, std::fabs(analytic) * 0.05 + 1e-9)
+        << "at P=" << p;
+    previous = current;
+  }
+}
+
+// --- XML round-trip under random documents ---------------------------------------
+
+class XmlRandomRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlRandomRoundTrip, SerializeParseIsStable) {
+  common::Rng rng(GetParam());
+  // Build a random tree (bounded depth/width) with awkward content.
+  const std::vector<std::string> texts{"", "plain", "a&b", "<tag>", "\"quoted\"",
+                                       "spaces  and\ttabs"};
+  std::function<void(xmlite::Element&, int)> grow = [&](xmlite::Element& element, int depth) {
+    const std::size_t attributes = rng.index(3);
+    for (std::size_t a = 0; a < attributes; ++a) {
+      element.set_attribute("a" + std::to_string(a), texts[rng.index(texts.size())]);
+    }
+    if (depth >= 4 || rng.bernoulli(0.3)) {
+      element.set_text(texts[rng.index(texts.size())]);
+      return;
+    }
+    const std::size_t children = rng.index(4);
+    for (std::size_t c = 0; c < children; ++c) {
+      grow(element.add_child("child" + std::to_string(c)), depth + 1);
+    }
+  };
+  xmlite::Element root("root");
+  grow(root, 0);
+  const xmlite::Document original(std::move(root));
+
+  const std::string once = original.to_string();
+  const xmlite::Document reparsed = xmlite::Document::parse(once);
+  EXPECT_EQ(once, reparsed.to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRandomRoundTrip,
+                         ::testing::Values(2u, 29u, 307u, 4001u, 50023u));
+
+}  // namespace
+}  // namespace greensched

@@ -1,0 +1,43 @@
+// Build-and-link smoke test touching every library.
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/units.hpp"
+#include "des/simulator.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/policies.hpp"
+#include "metrics/experiment.hpp"
+#include "workload/generator.hpp"
+#include "xmlite/xml.hpp"
+
+namespace {
+
+using namespace greensched;
+
+TEST(Smoke, EveryLibraryLinks) {
+  EXPECT_GT(cluster::MachineCatalog::taurus().cores, 0u);
+  des::Simulator sim;
+  EXPECT_EQ(sim.now().value(), 0.0);
+  auto doc = xmlite::Document::parse("<a x=\"1\"/>");
+  EXPECT_EQ(doc.root().name(), "a");
+  EXPECT_NE(green::make_policy("POWER"), nullptr);
+}
+
+TEST(Smoke, TinyPlacementExperimentRuns) {
+  metrics::PlacementConfig config;
+  config.policy = "POWER";
+  config.workload.requests_per_core = 1.0;
+  config.workload.burst_size = 4;
+  cluster::ClusterOptions one;
+  one.node_count = 1;
+  config.clusters = {
+      {"taurus", cluster::MachineCatalog::taurus(), one},
+      {"sagittaire", cluster::MachineCatalog::sagittaire(), one},
+  };
+  const metrics::PlacementResult result = metrics::run_placement(config);
+  EXPECT_EQ(result.tasks, 14u);  // 12 + 2 cores, 1 request/core
+  EXPECT_GT(result.makespan.value(), 0.0);
+  EXPECT_GT(result.energy.value(), 0.0);
+}
+
+}  // namespace

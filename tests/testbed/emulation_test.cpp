@@ -1,0 +1,113 @@
+#include "testbed/emulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::testbed {
+namespace {
+
+cluster::NodeSpec small_spec(const char* model, double peak_watts) {
+  cluster::NodeSpec spec = cluster::MachineCatalog::taurus();
+  spec.model = model;
+  spec.cores = 2;
+  spec.peak_watts = common::watts(peak_watts);
+  spec.active_watts = common::watts(std::min(peak_watts, 190.0));
+  return spec;
+}
+
+TEST(BusyTask, ReallyExecutesAdditions) {
+  EXPECT_EQ(run_busy_task(BusyTask{0}), 0u);
+  EXPECT_EQ(run_busy_task(BusyTask{1000}), 1000u);
+  EXPECT_EQ(run_busy_task(BusyTask{123456}), 123456u);
+}
+
+TEST(EmulatedNode, ExecutesSubmittedTasks) {
+  EmulatedNode node("test-0", small_spec("test", 220.0));
+  std::atomic<int> done{0};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(node.submit(BusyTask{100'000}, [&](double elapsed) {
+      EXPECT_GT(elapsed, 0.0);
+      done.fetch_add(1);
+    }));
+  }
+  node.shutdown();
+  EXPECT_EQ(done.load(), 6);
+  EXPECT_EQ(node.completed(), 6u);
+  EXPECT_EQ(node.busy_workers(), 0u);
+  EXPECT_GT(node.measured_additions_per_second(), 0.0);
+}
+
+TEST(EmulatedNode, RejectsWorkAfterShutdown) {
+  EmulatedNode node("test-0", small_spec("test", 220.0));
+  node.shutdown();
+  EXPECT_FALSE(node.submit(BusyTask{10}, nullptr));
+}
+
+TEST(EmulatedNode, ShutdownIsIdempotent) {
+  EmulatedNode node("test-0", small_spec("test", 220.0));
+  node.shutdown();
+  node.shutdown();
+}
+
+TEST(EmulatedNode, PowerModelFollowsBusyWorkers) {
+  EmulatedNode node("test-0", small_spec("test", 220.0));
+  EXPECT_DOUBLE_EQ(node.instantaneous_power_watts(), 95.0);  // idle
+  node.shutdown();
+}
+
+TEST(EmulatedNode, AccumulatesEnergyOverLifetime) {
+  EmulatedNode node("test-0", small_spec("test", 220.0),
+                    std::chrono::milliseconds(2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  node.shutdown();
+  // Idle the whole time: roughly idle watts x elapsed; just require > 0
+  // and sane magnitude (< 1 s of peak draw).
+  EXPECT_GT(node.sampled_energy_joules(), 0.0);
+  EXPECT_LT(node.sampled_energy_joules(), 220.0);
+}
+
+TEST(Emulation, RequiresMachines) {
+  EXPECT_THROW(Emulation({}), common::ConfigError);
+}
+
+TEST(Emulation, GreedyPlacementFavoursEfficientNode) {
+  // "efficient" has a far better watts-per-flops ratio, so it should take
+  // the bulk of the tasks.
+  cluster::NodeSpec efficient = small_spec("efficient", 150.0);
+  cluster::NodeSpec hungry = small_spec("hungry", 220.0);
+  hungry.flops_per_core = common::gflops_per_sec(4.0);  // slower AND hungrier
+
+  Emulation emulation({{"efficient-0", efficient}, {"hungry-0", hungry}});
+  const EmulationReport report = emulation.run(BusyTask{200'000}, 10);
+
+  EXPECT_EQ(report.tasks, 10u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.energy_joules, 0.0);
+  ASSERT_EQ(report.tasks_per_node.size(), 2u);
+  std::uint64_t efficient_tasks = 0, hungry_tasks = 0;
+  for (const auto& [name, count] : report.tasks_per_node) {
+    if (name == "efficient-0") efficient_tasks = count;
+    if (name == "hungry-0") hungry_tasks = count;
+  }
+  EXPECT_EQ(efficient_tasks + hungry_tasks, 10u);
+  EXPECT_GT(efficient_tasks, hungry_tasks);
+}
+
+TEST(Emulation, AllTasksCompleteAcrossNodes) {
+  Emulation emulation({{"a", small_spec("a", 200.0)}, {"b", small_spec("b", 210.0)}});
+  const EmulationReport report = emulation.run(BusyTask{50'000}, 32);
+  EXPECT_EQ(report.tasks, 32u);
+  std::uint64_t total = 0;
+  for (const auto& [name, count] : report.tasks_per_node) total += count;
+  EXPECT_EQ(total, 32u);
+}
+
+}  // namespace
+}  // namespace greensched::testbed

@@ -1,0 +1,107 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/generator.hpp"
+
+namespace greensched::workload {
+namespace {
+
+using common::ParseError;
+
+std::vector<TaskInstance> sample_tasks() {
+  WorkloadConfig config;
+  config.burst_size = 3;
+  config.user_preference = 0.5;
+  WorkloadGenerator generator(config);
+  BurstThenContinuousArrival arrival(3, 2.0);
+  common::Rng rng(1);
+  return generator.generate_with(arrival, 10, common::Seconds(0.0), rng);
+}
+
+TEST(TraceIo, RoundTripPreservesTasks) {
+  const auto original = sample_tasks();
+  const std::string csv = trace_to_string(original);
+  const auto loaded = trace_from_string(csv);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].submit_time.value(), original[i].submit_time.value());
+    EXPECT_DOUBLE_EQ(loaded[i].spec.work.value(), original[i].spec.work.value());
+    EXPECT_EQ(loaded[i].spec.cores, original[i].spec.cores);
+    EXPECT_EQ(loaded[i].spec.service, original[i].spec.service);
+    EXPECT_DOUBLE_EQ(loaded[i].user_preference, original[i].user_preference);
+    EXPECT_EQ(loaded[i].id, common::TaskId(i));
+  }
+}
+
+TEST(TraceIo, HeaderIsWritten) {
+  const std::string csv = trace_to_string({});
+  EXPECT_EQ(csv, "submit_time,work_flops,cores,service,user_preference\n");
+}
+
+TEST(TraceIo, ParsesHandWrittenTrace) {
+  const auto tasks = trace_from_string(
+      "submit_time,work_flops,cores,service,user_preference\n"
+      "0,1e10,1,cpu-bound,0\n"
+      "2.5,2e10,1,matmul,-0.5\n");
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_DOUBLE_EQ(tasks[1].submit_time.value(), 2.5);
+  EXPECT_EQ(tasks[1].spec.service, "matmul");
+  EXPECT_DOUBLE_EQ(tasks[1].user_preference, -0.5);
+}
+
+TEST(TraceIo, ToleratesBlankLinesAndCrLf) {
+  const auto tasks = trace_from_string(
+      "submit_time,work_flops,cores,service,user_preference\r\n"
+      "0,1e10,1,cpu-bound,0\r\n"
+      "\n"
+      "1,1e10,1,cpu-bound,0\n");
+  EXPECT_EQ(tasks.size(), 2u);
+}
+
+struct BadTrace {
+  const char* name;
+  const char* text;
+};
+
+class TraceIoErrors : public ::testing::TestWithParam<BadTrace> {};
+
+TEST_P(TraceIoErrors, Rejects) {
+  EXPECT_THROW((void)trace_from_string(GetParam().text), ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, TraceIoErrors,
+    ::testing::Values(
+        BadTrace{"empty", ""},
+        BadTrace{"wrong_header", "a,b,c\n"},
+        BadTrace{"too_few_fields",
+                 "submit_time,work_flops,cores,service,user_preference\n1,2,3\n"},
+        BadTrace{"bad_number",
+                 "submit_time,work_flops,cores,service,user_preference\nx,1e10,1,s,0\n"},
+        BadTrace{"fractional_cores",
+                 "submit_time,work_flops,cores,service,user_preference\n0,1e10,1.5,s,0\n"},
+        BadTrace{"zero_work",
+                 "submit_time,work_flops,cores,service,user_preference\n0,0,1,s,0\n"},
+        BadTrace{"preference_out_of_range",
+                 "submit_time,work_flops,cores,service,user_preference\n0,1e10,1,s,2\n"},
+        BadTrace{"time_goes_backwards",
+                 "submit_time,work_flops,cores,service,user_preference\n"
+                 "5,1e10,1,s,0\n3,1e10,1,s,0\n"}),
+    [](const ::testing::TestParamInfo<BadTrace>& param) { return param.param.name; });
+
+TEST(TraceIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)trace_from_string(
+        "submit_time,work_flops,cores,service,user_preference\n"
+        "0,1e10,1,s,0\n"
+        "bad,1e10,1,s,0\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace greensched::workload

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "workload/arrival.hpp"
+#include "workload/generator.hpp"
+#include "workload/task.hpp"
+
+namespace greensched::workload {
+namespace {
+
+using common::ConfigError;
+using common::Seconds;
+
+TEST(TaskSpec, ValidationRejectsBadFields) {
+  TaskSpec spec = paper_cpu_bound_task();
+  EXPECT_NO_THROW(spec.validate());
+  spec.work = common::Flops(0.0);
+  EXPECT_THROW(spec.validate(), ConfigError);
+  spec = paper_cpu_bound_task();
+  spec.service.clear();
+  EXPECT_THROW(spec.validate(), ConfigError);
+  spec = paper_cpu_bound_task();
+  spec.cores = 0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(TaskSpec, PaperTaskIsSingleCoreCpuBound) {
+  const TaskSpec spec = paper_cpu_bound_task();
+  EXPECT_EQ(spec.cores, 1u);
+  EXPECT_EQ(spec.service, "cpu-bound");
+  EXPECT_GT(spec.work.value(), 0.0);
+}
+
+TEST(Arrival, BurstAllAtStart) {
+  BurstArrival arrival;
+  common::Rng rng(1);
+  const auto times = arrival.generate(5, Seconds(3.0), rng);
+  ASSERT_EQ(times.size(), 5u);
+  for (const auto& t : times) EXPECT_DOUBLE_EQ(t.value(), 3.0);
+}
+
+TEST(Arrival, FixedRateEvenlySpaced) {
+  FixedRateArrival arrival(2.0);
+  common::Rng rng(1);
+  const auto times = arrival.generate(4, Seconds(10.0), rng);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0].value(), 10.0);
+  EXPECT_DOUBLE_EQ(times[1].value(), 10.5);
+  EXPECT_DOUBLE_EQ(times[3].value(), 11.5);
+}
+
+TEST(Arrival, FixedRateRejectsNonPositive) {
+  EXPECT_THROW(FixedRateArrival(0.0), ConfigError);
+  EXPECT_THROW(FixedRateArrival(-1.0), ConfigError);
+}
+
+TEST(Arrival, PoissonMeanRate) {
+  PoissonArrival arrival(2.0);
+  common::Rng rng(5);
+  const std::size_t n = 20000;
+  const auto times = arrival.generate(n, Seconds(0.0), rng);
+  // Mean inter-arrival should be ~0.5 s.
+  EXPECT_NEAR(times.back().value() / static_cast<double>(n), 0.5, 0.02);
+  // Non-decreasing.
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_GE(times[i], times[i - 1]);
+}
+
+TEST(Arrival, BurstThenContinuousShape) {
+  BurstThenContinuousArrival arrival(3, 2.0);
+  common::Rng rng(1);
+  const auto times = arrival.generate(6, Seconds(0.0), rng);
+  ASSERT_EQ(times.size(), 6u);
+  EXPECT_DOUBLE_EQ(times[0].value(), 0.0);
+  EXPECT_DOUBLE_EQ(times[2].value(), 0.0);   // burst of 3
+  EXPECT_DOUBLE_EQ(times[3].value(), 0.5);   // then 2/s
+  EXPECT_DOUBLE_EQ(times[5].value(), 1.5);
+}
+
+TEST(Arrival, BurstLargerThanCount) {
+  BurstThenContinuousArrival arrival(10, 2.0);
+  common::Rng rng(1);
+  const auto times = arrival.generate(4, Seconds(0.0), rng);
+  for (const auto& t : times) EXPECT_DOUBLE_EQ(t.value(), 0.0);
+}
+
+TEST(Generator, TaskCountMatchesRequestsPerCore) {
+  WorkloadConfig config;
+  config.requests_per_core = 10.0;
+  WorkloadGenerator generator(config);
+  // The paper: 104 cores -> 1040 tasks.
+  EXPECT_EQ(generator.task_count(104), 1040u);
+  EXPECT_EQ(generator.task_count(0), 0u);
+}
+
+TEST(Generator, GeneratesSequentialIdsAndPreference) {
+  WorkloadConfig config;
+  config.user_preference = 0.5;
+  config.burst_size = 2;
+  WorkloadGenerator generator(config);
+  common::Rng rng(1);
+  const auto tasks = generator.generate(1, rng);  // 10 tasks for 1 core
+  ASSERT_EQ(tasks.size(), 10u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].id, common::TaskId(i));
+    EXPECT_DOUBLE_EQ(tasks[i].user_preference, 0.5);
+  }
+  EXPECT_DOUBLE_EQ(tasks[1].submit_time.value(), 0.0);  // in burst
+  EXPECT_GT(tasks[9].submit_time.value(), 0.0);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  WorkloadConfig config;
+  config.requests_per_core = 0.0;
+  EXPECT_THROW(WorkloadGenerator{config}, ConfigError);
+  config = WorkloadConfig{};
+  config.continuous_rate = -2.0;
+  EXPECT_THROW(WorkloadGenerator{config}, ConfigError);
+  config = WorkloadConfig{};
+  config.user_preference = 1.0;  // outside the clamped range
+  EXPECT_THROW(WorkloadGenerator{config}, ConfigError);
+  config = WorkloadConfig{};
+  config.task.work = common::Flops(-1.0);
+  EXPECT_THROW(WorkloadGenerator{config}, ConfigError);
+}
+
+/// Sweep: generated timestamps are always non-decreasing for any arrival.
+class ArrivalMonotonic : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArrivalMonotonic, TimestampsNonDecreasing) {
+  const std::size_t count = GetParam();
+  common::Rng rng(9);
+  const std::vector<std::unique_ptr<ArrivalProcess>> processes = [] {
+    std::vector<std::unique_ptr<ArrivalProcess>> v;
+    v.push_back(std::make_unique<BurstArrival>());
+    v.push_back(std::make_unique<FixedRateArrival>(3.0));
+    v.push_back(std::make_unique<PoissonArrival>(1.5));
+    v.push_back(std::make_unique<BurstThenContinuousArrival>(5, 2.0));
+    return v;
+  }();
+  for (const auto& p : processes) {
+    const auto times = p->generate(count, Seconds(1.0), rng);
+    ASSERT_EQ(times.size(), count);
+    for (std::size_t i = 1; i < times.size(); ++i) EXPECT_GE(times[i], times[i - 1]);
+    if (!times.empty()) {
+      EXPECT_GE(times[0].value(), 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ArrivalMonotonic, ::testing::Values(0u, 1u, 7u, 100u));
+
+}  // namespace
+}  // namespace greensched::workload

@@ -1,0 +1,200 @@
+#include "xmlite/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greensched::xmlite {
+namespace {
+
+// --- building & serializing ---------------------------------------------------
+
+TEST(XmlElement, RejectsInvalidNames) {
+  EXPECT_THROW(Element(""), ParseError);
+  EXPECT_THROW(Element("1abc"), ParseError);
+  EXPECT_THROW(Element("a b"), ParseError);
+  EXPECT_NO_THROW(Element("_ok"));
+  EXPECT_NO_THROW(Element("ns:tag-1.2"));
+}
+
+TEST(XmlElement, ValidNamePredicate) {
+  EXPECT_TRUE(valid_name("timestamp"));
+  EXPECT_FALSE(valid_name("-x"));
+  EXPECT_FALSE(valid_name(""));
+}
+
+TEST(XmlElement, AttributesSetAndGet) {
+  Element e("node");
+  e.set_attribute("name", "taurus-1");
+  e.set_attribute("watts", 220.5);
+  e.set_attribute("cores", static_cast<long long>(12));
+  EXPECT_TRUE(e.has_attribute("name"));
+  EXPECT_FALSE(e.has_attribute("missing"));
+  EXPECT_EQ(*e.attribute("name"), "taurus-1");
+  EXPECT_DOUBLE_EQ(e.attribute_as_double("watts"), 220.5);
+  EXPECT_EQ(e.attribute_as_int("cores"), 12);
+  EXPECT_THROW(e.set_attribute("bad name", "x"), ParseError);
+}
+
+TEST(XmlElement, MissingOrMalformedAttributeThrows) {
+  Element e("n");
+  e.set_attribute("txt", "abc");
+  EXPECT_THROW((void)e.attribute_as_double("missing"), ParseError);
+  EXPECT_THROW((void)e.attribute_as_double("txt"), ParseError);
+  EXPECT_THROW((void)e.attribute_as_int("txt"), ParseError);
+}
+
+TEST(XmlElement, TextContent) {
+  Element e("temperature");
+  e.set_text(23.5);
+  EXPECT_DOUBLE_EQ(e.text_as_double(), 23.5);
+  e.set_text("42");
+  EXPECT_EQ(e.text_as_int(), 42);
+  e.set_text("nope");
+  EXPECT_THROW((void)e.text_as_double(), ParseError);
+}
+
+TEST(XmlElement, ChildManagement) {
+  Element root("planning");
+  root.add_child("timestamp").set_attribute("value", 100.0);
+  root.add_child("timestamp").set_attribute("value", 200.0);
+  root.add_child("other");
+  EXPECT_EQ(root.child_count(), 3u);
+  EXPECT_EQ(root.find_children("timestamp").size(), 2u);
+  EXPECT_NE(root.find_child("other"), nullptr);
+  EXPECT_EQ(root.find_child("missing"), nullptr);
+  EXPECT_NO_THROW((void)root.require_child("other"));
+  EXPECT_THROW((void)root.require_child("missing"), ParseError);
+  EXPECT_EQ(root.child_at(0).attribute_as_double("value"), 100.0);
+}
+
+TEST(XmlEscape, FiveEntities) {
+  EXPECT_EQ(escape("a&b<c>d\"e'f"), "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(XmlSerialize, SelfClosingWhenEmpty) {
+  Element e("empty");
+  e.set_attribute("a", "1");
+  EXPECT_EQ(e.to_string(), "<empty a=\"1\"/>");
+}
+
+TEST(XmlSerialize, NestedIndentation) {
+  Element root("a");
+  root.add_child("b").set_text("x");
+  const std::string out = root.to_string();
+  EXPECT_EQ(out, "<a>\n  <b>x</b>\n</a>");
+}
+
+TEST(XmlSerialize, DocumentHasDeclaration) {
+  Document doc(Element("root"));
+  EXPECT_EQ(doc.to_string(), "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<root/>\n");
+}
+
+// --- parsing -------------------------------------------------------------------
+
+TEST(XmlParse, MinimalDocument) {
+  const Document doc = Document::parse("<a/>");
+  EXPECT_EQ(doc.root().name(), "a");
+  EXPECT_EQ(doc.root().child_count(), 0u);
+}
+
+TEST(XmlParse, DeclarationAndComments) {
+  const Document doc = Document::parse(
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<a><!-- inner --><b/></a>\n<!-- trailer -->");
+  EXPECT_EQ(doc.root().name(), "a");
+  EXPECT_EQ(doc.root().child_count(), 1u);
+}
+
+TEST(XmlParse, AttributesBothQuoteStyles) {
+  const Document doc = Document::parse("<a x=\"1\" y='two'/>");
+  EXPECT_EQ(*doc.root().attribute("x"), "1");
+  EXPECT_EQ(*doc.root().attribute("y"), "two");
+}
+
+TEST(XmlParse, EntityDecoding) {
+  const Document doc = Document::parse("<a t=\"&lt;&amp;&gt;\">x &quot;y&quot; &#65;&#x42;</a>");
+  EXPECT_EQ(*doc.root().attribute("t"), "<&>");
+  EXPECT_EQ(doc.root().text(), "x \"y\" AB");
+}
+
+TEST(XmlParse, TrimsWhitespaceOnlyText) {
+  const Document doc = Document::parse("<a>\n  <b/>\n</a>");
+  EXPECT_EQ(doc.root().text(), "");
+  const Document doc2 = Document::parse("<a>  hello  </a>");
+  EXPECT_EQ(doc2.root().text(), "hello");
+}
+
+TEST(XmlParse, Fig8PlanningSample) {
+  // The exact sample of Fig. 8 in the paper.
+  const Document doc = Document::parse(R"(<timestamp value="1385896446">
+  <temperature>23.5</temperature>
+  <candidates>8</candidates>
+  <electricity_cost>0.6</electricity_cost>
+</timestamp>)");
+  const Element& root = doc.root();
+  EXPECT_EQ(root.name(), "timestamp");
+  EXPECT_EQ(root.attribute_as_int("value"), 1385896446);
+  EXPECT_DOUBLE_EQ(root.require_child("temperature").text_as_double(), 23.5);
+  EXPECT_EQ(root.require_child("candidates").text_as_int(), 8);
+  EXPECT_DOUBLE_EQ(root.require_child("electricity_cost").text_as_double(), 0.6);
+}
+
+struct ParseErrorCase {
+  const char* name;
+  const char* input;
+};
+
+class XmlParseErrors : public ::testing::TestWithParam<ParseErrorCase> {};
+
+TEST_P(XmlParseErrors, Rejects) {
+  EXPECT_THROW(Document::parse(GetParam().input), ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XmlParseErrors,
+    ::testing::Values(
+        ParseErrorCase{"empty", ""},
+        ParseErrorCase{"no_root", "   "},
+        ParseErrorCase{"unclosed", "<a>"},
+        ParseErrorCase{"mismatched", "<a></b>"},
+        ParseErrorCase{"trailing", "<a/><b/>"},
+        ParseErrorCase{"dup_attr", "<a x=\"1\" x=\"2\"/>"},
+        ParseErrorCase{"bad_entity", "<a>&nope;</a>"},
+        ParseErrorCase{"unterminated_entity", "<a>&amp</a>"},
+        ParseErrorCase{"unquoted_attr", "<a x=1/>"},
+        ParseErrorCase{"lt_in_attr", "<a x=\"<\"/>"},
+        ParseErrorCase{"unterminated_comment", "<!-- foo <a/>"},
+        ParseErrorCase{"bad_name", "<1a/>"},
+        ParseErrorCase{"high_charref", "<a>&#300;</a>"}),
+    [](const ::testing::TestParamInfo<ParseErrorCase>& param) { return param.param.name; });
+
+TEST(XmlParse, ReportsLineAndColumn) {
+  try {
+    Document::parse("<a>\n  <b>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.line(), 3u);  // the mismatch is discovered on line 3
+  }
+}
+
+// --- round trip ---------------------------------------------------------------
+
+class XmlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTrip, SerializeParseSerializeIsStable) {
+  const Document first = Document::parse(GetParam());
+  const std::string once = first.to_string();
+  const Document second = Document::parse(once);
+  EXPECT_EQ(once, second.to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, XmlRoundTrip,
+    ::testing::Values("<a/>", "<a x=\"1\" y=\"two words\"/>", "<a>text</a>",
+                      "<a><b><c deep=\"yes\">v</c></b><b/></a>",
+                      "<a t=\"&lt;&amp;&gt;\">body &amp; soul</a>",
+                      "<planning><timestamp value=\"1\"><temperature>23.5</temperature>"
+                      "<candidates>8</candidates><electricity_cost>0.6</electricity_cost>"
+                      "</timestamp></planning>"));
+
+}  // namespace
+}  // namespace greensched::xmlite

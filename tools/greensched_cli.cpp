@@ -1,0 +1,325 @@
+// greensched — command-line front end for the library.
+//
+//   greensched catalog
+//       Print the machine catalog with derived GreenPerf ratios.
+//   greensched placement --policy POWER [--seed N] [--requests-per-core R]
+//       [--burst B] [--rate REQ_PER_S] [--clients N] [--spec-only]
+//       [--heterogeneity SIGMA] [--csv FILE]
+//       Run the Section IV-A placement experiment on the Table I platform.
+//   greensched compare [--policies POWER,RANDOM,...] [...placement flags]
+//       Table II-style comparison across policies.
+//   greensched fig9 [--minutes M] [--check-minutes C] [--ramp-up N]
+//       [--ramp-down N] [--planning FILE]
+//       Run the adaptive-provisioning timeline and dump the XML planning.
+//   greensched trace-generate --out FILE [--tasks N] [--burst B] [--rate R]
+//   greensched trace-run --in FILE [--policy P] [--seed N]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cluster/catalog.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "des/simulator.hpp"
+#include "diet/client.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/events.hpp"
+#include "green/greenperf.hpp"
+#include "green/planning.hpp"
+#include "green/policies.hpp"
+#include "green/provisioner.hpp"
+#include "metrics/config_io.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/replication.hpp"
+#include "metrics/report.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace greensched;
+using common::CliArgs;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: greensched <command> [options]\n"
+               "commands:\n"
+               "  catalog          print machine catalog and GreenPerf ratios\n"
+               "  placement        run one placement experiment (--policy, --seed,\n"
+               "                   --requests-per-core, --burst, --rate, --clients,\n"
+               "                   --spec-only, --heterogeneity, --csv FILE)\n"
+               "  compare          compare policies (--policies A,B,C + placement flags)\n"
+               "  fig9             adaptive provisioning timeline (--minutes,\n"
+               "                   --check-minutes, --ramp-up, --ramp-down, --planning FILE)\n"
+               "  trace-generate   write a workload trace (--out FILE, --tasks, --burst, --rate)\n"
+               "  trace-run        replay a workload trace (--in FILE, --policy, --seed)\n");
+  return 2;
+}
+
+metrics::PlacementConfig placement_config_from(const CliArgs& args) {
+  metrics::PlacementConfig config;
+  if (const auto config_path = args.get("config")) {
+    // Start from an experiment file; explicit flags below still override.
+    std::ifstream in(*config_path);
+    if (!in) throw common::ConfigError("cannot open experiment file " + *config_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    config = metrics::config_from_string(buffer.str());
+    config.policy = args.get_or("policy", config.policy);
+    config.seed = static_cast<std::uint64_t>(
+        args.get_int("seed", static_cast<long long>(config.seed)));
+    return config;
+  }
+  config.clusters = metrics::table1_clusters();
+  const double heterogeneity = args.get_double("heterogeneity", 0.0);
+  for (auto& setup : config.clusters) {
+    setup.options.power_heterogeneity = heterogeneity;
+  }
+  config.policy = args.get_or("policy", "POWER");
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.client_count = static_cast<std::size_t>(args.get_int("clients", 1));
+  config.spec_fallback = args.get_bool("spec-only", false);
+  config.workload.requests_per_core = args.get_double("requests-per-core", 10.0);
+  config.workload.burst_size = static_cast<std::size_t>(args.get_int("burst", 50));
+  config.workload.continuous_rate = args.get_double("rate", 2.0);
+  return config;
+}
+
+void print_placement(const metrics::PlacementResult& result) {
+  std::printf("policy     : %s (seed %llu)\n", result.policy.c_str(),
+              static_cast<unsigned long long>(result.seed));
+  std::printf("tasks      : %zu\n", result.tasks);
+  std::printf("makespan   : %.1f s\n", result.makespan.value());
+  std::printf("energy     : %.0f J (%.2f kWh)\n", result.energy.value(),
+              result.energy.value() / 3.6e6);
+  std::printf("mean wait  : %.2f s\n", result.mean_wait_seconds);
+  std::printf("%s", metrics::render_task_distribution(result).c_str());
+}
+
+int cmd_catalog() {
+  std::printf("%-12s %6s %10s %10s %10s %12s %16s\n", "machine", "cores", "idle W", "active W",
+              "peak W", "GFLOP/s", "GreenPerf W/GF");
+  for (const auto& name : cluster::MachineCatalog::names()) {
+    const cluster::NodeSpec spec = cluster::MachineCatalog::by_name(name);
+    std::printf("%-12s %6u %10.0f %10.0f %10.0f %12.1f %16.3f\n", name.c_str(), spec.cores,
+                spec.idle_watts.value(), spec.active_watts.value(), spec.peak_watts.value(),
+                spec.total_flops().value() / 1e9,
+                green::greenperf_ratio(spec.peak_watts, spec.total_flops()) * 1e9);
+  }
+  return 0;
+}
+
+int cmd_placement(const CliArgs& args) {
+  const metrics::PlacementConfig config = placement_config_from(args);
+  if (const auto save_path = args.get("save-config")) {
+    std::ofstream out(*save_path);
+    out << metrics::config_to_string(config);
+    std::printf("experiment file written to %s\n", save_path->c_str());
+  }
+  const metrics::PlacementResult result = metrics::run_placement(config);
+  print_placement(result);
+  if (const auto csv_path = args.get("csv")) {
+    std::ofstream out(*csv_path);
+    common::CsvWriter csv(out);
+    csv.row({"server", "tasks"});
+    for (const auto& [server, count] : result.tasks_per_server) {
+      csv.cell(server).cell(count);
+      csv.end_row();
+    }
+    std::printf("per-server CSV written to %s\n", csv_path->c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(const CliArgs& args) {
+  const std::string list = args.get_or("policies", "RANDOM,POWER,PERFORMANCE,GREENPERF");
+  std::vector<std::string> policies;
+  std::stringstream ss(list);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) policies.push_back(token);
+  }
+  if (policies.empty()) {
+    std::fprintf(stderr, "compare: no policies given\n");
+    return 2;
+  }
+  metrics::PlacementConfig config = placement_config_from(args);
+
+  const auto replicate = args.get_int("replicate", 0);
+  if (replicate > 1) {
+    // Replicated comparison: mean +/- 95% CI per policy.
+    const auto seeds = metrics::default_seeds(static_cast<std::size_t>(replicate));
+    std::printf("%-14s %-32s %-32s\n", "policy", "energy (J)", "makespan (s)");
+    for (const auto& policy : policies) {
+      config.policy = policy;
+      const metrics::ReplicatedResult r = metrics::run_replicated(config, seeds);
+      std::printf("%-14s %-32s %-32s\n", policy.c_str(),
+                  r.energy_joules.to_string(0).c_str(),
+                  r.makespan_seconds.to_string(1).c_str());
+    }
+    return 0;
+  }
+
+  std::vector<metrics::PlacementResult> results;
+  for (const auto& policy : policies) {
+    config.policy = policy;
+    results.push_back(metrics::run_placement(config));
+  }
+  std::printf("%s\n", metrics::render_policy_comparison(results).c_str());
+  std::printf("%s", metrics::render_cluster_energy(results).c_str());
+  return 0;
+}
+
+int cmd_fig9(const CliArgs& args) {
+  des::Simulator sim;
+  common::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  cluster::Platform platform;
+  for (const auto& setup : metrics::table1_clusters()) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+  const auto policy = green::make_policy(args.get_or("policy", "GREENPERF"));
+  ma.set_plugin(policy.get());
+
+  green::EventSchedule events;
+  events.set_initial_cost(1.0);
+  events.add(green::EventSchedule::scheduled_cost_change(60 * 60.0, 0.8, 20 * 60.0));
+  events.add(green::EventSchedule::scheduled_cost_change(120 * 60.0, 0.4, 20 * 60.0));
+  events.add(green::EventSchedule::unexpected_temperature(155 * 60.0, 35.0));
+  events.add(green::EventSchedule::unexpected_temperature(225 * 60.0, 20.0));
+  green::EventInjector injector(sim, platform, events);
+
+  green::ProvisioningPlanning planning;
+  green::ProvisionerConfig pconfig;
+  pconfig.check_period = common::minutes(args.get_double("check-minutes", 10.0));
+  pconfig.lookahead = common::minutes(20.0);
+  pconfig.ramp_up_step = static_cast<std::size_t>(args.get_int("ramp-up", 2));
+  pconfig.ramp_down_step = static_cast<std::size_t>(args.get_int("ramp-down", 4));
+  pconfig.min_candidates = 2;
+  green::Provisioner provisioner(sim, platform, ma, green::RuleEngine::paper_default(), events,
+                                 planning, pconfig);
+  provisioner.start();
+
+  diet::SaturatingClient client(
+      hierarchy, workload::paper_cpu_bound_task(),
+      [&provisioner] { return provisioner.candidate_capacity(); }, common::seconds(30.0));
+  client.start();
+
+  sim.run_until(common::minutes(args.get_double("minutes", 260.0)));
+  client.stop();
+  provisioner.stop();
+
+  std::printf("%-8s %-11s %-16s\n", "t(min)", "candidates", "mean power (W)");
+  const auto& candidates = provisioner.candidate_series();
+  const auto& power = provisioner.power_series();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    double watts = 0.0;
+    for (std::size_t j = 0; j < power.size(); ++j) {
+      if (power.time_at(j) == candidates.time_at(i)) watts = power.value_at(j);
+    }
+    std::printf("%-8.0f %-11.0f %-16.0f\n", candidates.time_at(i) / 60.0,
+                candidates.value_at(i), watts);
+  }
+  std::printf("tasks completed: %zu\n", client.completed());
+
+  const std::string planning_path = args.get_or("planning", "planning.xml");
+  std::ofstream out(planning_path);
+  out << planning.to_xml_string();
+  std::printf("planning written to %s (%zu entries)\n", planning_path.c_str(),
+              planning.size());
+  return 0;
+}
+
+int cmd_trace_generate(const CliArgs& args) {
+  const auto out_path = args.get("out");
+  if (!out_path) {
+    std::fprintf(stderr, "trace-generate: --out FILE is required\n");
+    return 2;
+  }
+  common::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  workload::WorkloadConfig wconfig;
+  wconfig.burst_size = static_cast<std::size_t>(args.get_int("burst", 50));
+  wconfig.continuous_rate = args.get_double("rate", 2.0);
+  workload::WorkloadGenerator generator(wconfig);
+  workload::BurstThenContinuousArrival arrival(wconfig.burst_size, wconfig.continuous_rate);
+  const auto tasks = generator.generate_with(
+      arrival, static_cast<std::size_t>(args.get_int("tasks", 1040)), common::seconds(0.0),
+      rng);
+  std::ofstream out(*out_path);
+  workload::save_trace(out, tasks);
+  std::printf("wrote %zu tasks to %s\n", tasks.size(), out_path->c_str());
+  return 0;
+}
+
+int cmd_trace_run(const CliArgs& args) {
+  const auto in_path = args.get("in");
+  if (!in_path) {
+    std::fprintf(stderr, "trace-run: --in FILE is required\n");
+    return 2;
+  }
+  std::ifstream in(*in_path);
+  if (!in) {
+    std::fprintf(stderr, "trace-run: cannot open %s\n", in_path->c_str());
+    return 1;
+  }
+  const auto tasks = workload::load_trace(in);
+
+  metrics::PlacementConfig config;
+  config.clusters = metrics::table1_clusters();
+  config.policy = args.get_or("policy", "POWER");
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.task_count_override = tasks.size();
+  // Reuse the harness for platform/tree setup, but replay the trace
+  // manually for exact timing.
+  des::Simulator sim;
+  common::Rng rng(config.seed);
+  cluster::Platform platform;
+  for (const auto& setup : config.clusters) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+  const auto policy = green::make_policy(config.policy);
+  ma.set_plugin(policy.get());
+  diet::Client client(hierarchy);
+  client.submit_workload(tasks);
+  sim.run();
+
+  std::printf("replayed %zu tasks under %s: makespan %.1f s, energy %.0f J\n",
+              client.submitted(), config.policy.c_str(), client.makespan().value(),
+              platform.total_energy(client.makespan()).value());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv);
+    const std::string command = args.command();
+    int status;
+    if (command == "catalog") {
+      status = cmd_catalog();
+    } else if (command == "placement") {
+      status = cmd_placement(args);
+    } else if (command == "compare") {
+      status = cmd_compare(args);
+    } else if (command == "fig9") {
+      status = cmd_fig9(args);
+    } else if (command == "trace-generate") {
+      status = cmd_trace_generate(args);
+    } else if (command == "trace-run") {
+      status = cmd_trace_run(args);
+    } else {
+      return usage();
+    }
+    for (const auto& key : args.unused_keys()) {
+      std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+    }
+    return status;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
