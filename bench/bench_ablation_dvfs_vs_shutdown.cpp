@@ -18,6 +18,7 @@
 
 #include "bench_common.hpp"
 #include "cluster/dvfs_governor.hpp"
+#include "common/thread_pool.hpp"
 #include "diet/client.hpp"
 #include "diet/hierarchy.hpp"
 #include "green/events.hpp"
@@ -110,10 +111,26 @@ int main() {
   bench::print_banner("Ablation — DVFS vs shutdown (the paper's premise, ref. [8])",
                       "Bursty workload: 20 busy minutes per hour over 4 hours, 7200 tasks");
 
-  const StrategyResult baseline = run_strategy("baseline (all on)", false, false);
-  const StrategyResult dvfs = run_strategy("dvfs (ondemand)", true, false);
-  const StrategyResult shutdown = run_strategy("shutdown (provisioner)", false, true);
-  const StrategyResult both = run_strategy("shutdown + dvfs", true, true);
+  // Four independent simulations — one per strategy — run concurrently.
+  struct Strategy {
+    const char* name;
+    bool dvfs;
+    bool shutdown;
+  };
+  const std::vector<Strategy> strategies{{"baseline (all on)", false, false},
+                                         {"dvfs (ondemand)", true, false},
+                                         {"shutdown (provisioner)", false, true},
+                                         {"shutdown + dvfs", true, true}};
+  std::vector<StrategyResult> results(strategies.size());
+  std::vector<std::size_t> indices{0, 1, 2, 3};
+  common::ThreadPool pool(common::ThreadPool::default_worker_count());
+  common::parallel_for_each(pool, indices, [&](std::size_t i) {
+    results[i] = run_strategy(strategies[i].name, strategies[i].dvfs, strategies[i].shutdown);
+  });
+  const StrategyResult& baseline = results[0];
+  const StrategyResult& dvfs = results[1];
+  const StrategyResult& shutdown = results[2];
+  const StrategyResult& both = results[3];
 
   std::printf("%-24s %14s %10s %12s %10s\n", "strategy", "energy (J)", "saving", "completed",
               "last (s)");

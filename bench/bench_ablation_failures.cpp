@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "diet/client.hpp"
 #include "diet/failure.hpp"
 #include "green/policies.hpp"
@@ -69,11 +70,22 @@ int main() {
   bench::print_banner("Ablation — resilience to node failures",
                       "Section IV-A workload; random crashes (MTTR 90 s); all tasks must finish");
 
-  const Outcome baseline = run_with_failures(0);
+  // Each crash budget is an isolated simulation — run the whole sweep
+  // concurrently on the experiment engine's pool.
+  const std::vector<std::size_t> crash_counts{0, 2, 4, 8, 12};
+  std::vector<Outcome> outcomes(crash_counts.size());
+  std::vector<std::size_t> indices{0, 1, 2, 3, 4};
+  common::ThreadPool pool(common::ThreadPool::default_worker_count());
+  common::parallel_for_each(pool, indices, [&](std::size_t i) {
+    outcomes[i] = run_with_failures(crash_counts[i]);
+  });
+
+  const Outcome& baseline = outcomes.front();
   std::printf("%-10s %-9s %-13s %-14s %-16s %-14s\n", "scheduled", "crashes", "tasks killed",
               "makespan (s)", "makespan cost", "energy cost");
-  for (std::size_t crashes : {0u, 2u, 4u, 8u, 12u}) {
-    const Outcome o = run_with_failures(crashes);
+  for (std::size_t i = 0; i < crash_counts.size(); ++i) {
+    const std::size_t crashes = crash_counts[i];
+    const Outcome& o = outcomes[i];
     std::printf("%-10zu %-9llu %-13llu %-14.0f %+14.1f%% %+13.1f%%\n", crashes,
                 static_cast<unsigned long long>(o.crashes),
                 static_cast<unsigned long long>(o.tasks_killed), o.makespan,

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "metrics/replication.hpp"
+#include "metrics/sweep.hpp"
 
 using namespace greensched;
 
@@ -17,9 +17,14 @@ int main() {
   bench::print_banner("Ablation — GreenPerf saving vs hardware heterogeneity",
                       "One machine type; per-node power spread grows; saving vs RANDOM");
 
-  std::printf("%-14s %-26s %-26s %-10s\n", "heterogeneity", "GREENPERF energy (J)",
-              "RANDOM energy (J)", "saving");
-  for (double sigma : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25}) {
+  // The full 6 sigma x 2 policies x 5 seeds grid (60 independent runs)
+  // as one pooled sweep.
+  const std::vector<double> sigmas{0.0, 0.05, 0.10, 0.15, 0.20, 0.25};
+  metrics::SweepOptions options;
+  options.seeds = metrics::default_seeds(5);
+  options.jobs = 0;  // hardware concurrency
+  metrics::SweepRunner runner(options);
+  for (double sigma : sigmas) {
     metrics::PlacementConfig config;
     cluster::ClusterOptions eight;
     eight.node_count = 8;
@@ -31,17 +36,21 @@ int main() {
     // docs/CALIBRATION.md).
     config.workload.continuous_rate = 0.8;
 
-    const auto seeds = metrics::default_seeds(5);
     config.policy = "GREENPERF";
-    const metrics::ReplicatedResult green = metrics::run_replicated(config, seeds);
+    runner.add("greenperf", config);
     config.policy = "RANDOM";
-    const metrics::ReplicatedResult random = metrics::run_replicated(config, seeds);
+    runner.add("random", config);
+  }
+  const std::vector<metrics::SweepRow> rows = runner.run();
 
-    std::printf("%-14.2f %-26s %-26s %9.1f%%\n", sigma,
-                green.energy_joules.to_string(0).c_str(),
-                random.energy_joules.to_string(0).c_str(),
-                (random.energy_joules.mean - green.energy_joules.mean) /
-                    random.energy_joules.mean * 100.0);
+  std::printf("%-14s %-26s %-26s %-10s\n", "heterogeneity", "GREENPERF energy (J)",
+              "RANDOM energy (J)", "saving");
+  for (std::size_t i = 0; i < sigmas.size(); ++i) {
+    const metrics::Estimate& green = rows[2 * i].replicated.energy_joules;
+    const metrics::Estimate& random = rows[2 * i + 1].replicated.energy_joules;
+    std::printf("%-14.2f %-26s %-26s %9.1f%%\n", sigmas[i], green.to_string(0).c_str(),
+                random.to_string(0).c_str(),
+                (random.mean - green.mean) / random.mean * 100.0);
   }
   std::printf("\nExpected: at zero heterogeneity GreenPerf has nothing to exploit beyond\n"
               "load concentration; the saving grows with the per-node spread — the\n"

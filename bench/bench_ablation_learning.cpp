@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "common/thread_pool.hpp"
 #include "des/simulator.hpp"
 #include "diet/client.hpp"
 #include "diet/hierarchy.hpp"
@@ -87,11 +88,28 @@ int main() {
 
   double static_energy = 0.0, dynamic_energy = 0.0;
   const std::vector<std::uint64_t> seeds{11, 22, 33, 44, 55};
+
+  // 5 seeds x 2 ranking methods = 10 independent fleets; fan them out on
+  // the engine's pool and report in seed order.
+  std::vector<Outcome> statics(seeds.size()), dynamics(seeds.size());
+  std::vector<std::size_t> indices(2 * seeds.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  common::ThreadPool pool(common::ThreadPool::default_worker_count());
+  common::parallel_for_each(pool, indices, [&](std::size_t i) {
+    const std::size_t seed_index = i / 2;
+    if (i % 2 == 0) {
+      statics[seed_index] = run_fleet(green::UnknownRanking::kSpecOnly, seeds[seed_index]);
+    } else {
+      dynamics[seed_index] =
+          run_fleet(green::UnknownRanking::kExploreFirst, seeds[seed_index]);
+    }
+  });
+
   std::printf("%-6s %14s %16s %14s %16s\n", "seed", "static (J)", "static deg-share",
               "dynamic (J)", "dynamic deg-share");
-  for (std::uint64_t seed : seeds) {
-    const Outcome stat = run_fleet(green::UnknownRanking::kSpecOnly, seed);
-    const Outcome dyn = run_fleet(green::UnknownRanking::kExploreFirst, seed);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const Outcome& stat = statics[i];
+    const Outcome& dyn = dynamics[i];
     static_energy += stat.energy;
     dynamic_energy += dyn.energy;
     const auto share = [](const Outcome& o) {
@@ -99,8 +117,8 @@ int main() {
              static_cast<double>(o.degraded_tasks + o.healthy_tasks) * 100.0;
     };
     std::printf("%-6llu %14.0f %15.1f%% %14.0f %15.1f%%\n",
-                static_cast<unsigned long long>(seed), stat.energy, share(stat), dyn.energy,
-                share(dyn));
+                static_cast<unsigned long long>(seeds[i]), stat.energy, share(stat),
+                dyn.energy, share(dyn));
   }
   const double n = static_cast<double>(seeds.size());
   std::printf("\nmean energy: static %.0f J, dynamic %.0f J -> dynamic saves %.2f%%\n",

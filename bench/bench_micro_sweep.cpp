@@ -1,0 +1,85 @@
+// Micro: serial vs thread-pooled sweep wall-time.
+//
+// Runs the same policy x seed grid through metrics::SweepRunner at 1, 2,
+// 4 and 8 workers, checks the pooled results stay bit-identical to the
+// serial ones, and emits one machine-readable JSON line (prefixed
+// "BENCH_JSON:") so the perf trajectory can be tracked across commits.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/sweep.hpp"
+
+using namespace greensched;
+
+namespace {
+
+metrics::SweepRunner make_runner(std::size_t jobs) {
+  metrics::SweepOptions options;
+  options.seeds = metrics::default_seeds(8);
+  options.jobs = jobs;
+  metrics::SweepRunner runner(options);
+  metrics::PlacementConfig config = bench::placement_config("RANDOM");
+  config.workload.requests_per_core = 3.0;  // light enough to iterate
+  runner.add_policies(config, {"RANDOM", "POWER", "GREENPERF"});
+  return runner;
+}
+
+double timed_run(std::size_t jobs, std::vector<metrics::SweepRow>& rows) {
+  const metrics::SweepRunner runner = make_runner(jobs);
+  const auto start = std::chrono::steady_clock::now();
+  rows = runner.run();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+bool identical(const std::vector<metrics::SweepRow>& a,
+               const std::vector<metrics::SweepRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ra = a[i].replicated.runs;
+    const auto& rb = b[i].replicated.runs;
+    if (ra.size() != rb.size()) return false;
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      if (ra[j].seed != rb[j].seed || ra[j].makespan.value() != rb[j].makespan.value() ||
+          ra[j].energy.value() != rb[j].energy.value() ||
+          ra[j].sim_events != rb[j].sim_events) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Micro — sweep engine scaling",
+                      "3 policies x 8 seeds (24 runs); wall-time at 1/2/4/8 workers");
+
+  std::vector<metrics::SweepRow> serial_rows;
+  const double serial_ms = timed_run(1, serial_rows);
+
+  std::printf("%-8s %12s %10s %12s\n", "jobs", "time (ms)", "speedup", "identical");
+  std::printf("%-8d %12.1f %10.2f %12s\n", 1, serial_ms, 1.0, "yes");
+
+  std::string json = "{\"bench\":\"micro_sweep\",\"grid_runs\":24,\"serial_ms\":" +
+                     std::to_string(serial_ms);
+  bool all_identical = true;
+  for (std::size_t jobs : {2u, 4u, 8u}) {
+    std::vector<metrics::SweepRow> rows;
+    const double ms = timed_run(jobs, rows);
+    const bool same = identical(serial_rows, rows);
+    all_identical = all_identical && same;
+    std::printf("%-8zu %12.1f %10.2f %12s\n", jobs, ms, serial_ms / ms, same ? "yes" : "NO");
+    json += ",\"jobs" + std::to_string(jobs) + "_ms\":" + std::to_string(ms);
+    json += ",\"speedup_" + std::to_string(jobs) + "\":" + std::to_string(serial_ms / ms);
+  }
+  json += ",\"identical\":";
+  json += all_identical ? "true" : "false";
+  json += "}";
+  std::printf("\nBENCH_JSON: %s\n", json.c_str());
+  return all_identical ? 0 : 1;
+}

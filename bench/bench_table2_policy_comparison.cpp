@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "metrics/replication.hpp"
+#include "metrics/sweep.hpp"
 
 using namespace greensched;
 
@@ -17,11 +17,22 @@ int main() {
   bench::print_banner("Table II — policy comparison (makespan, energy)",
                       "Workload: 1040 single-core CPU-bound tasks (10/core), burst 50 then 2/s");
 
-  std::vector<metrics::PlacementResult> results;
-  for (const std::string policy : {"RANDOM", "POWER", "PERFORMANCE"}) {
-    results.push_back(metrics::run_placement(bench::placement_config(policy)));
-  }
+  const std::vector<std::string> policies{"RANDOM", "POWER", "PERFORMANCE"};
 
+  // Headline rows (seed 42, the paper's single-run style) and the 5-seed
+  // replication run as one grid on the pooled sweep engine: 3 policies x
+  // 6 seeds, every cell an independent simulation.
+  metrics::SweepOptions options;
+  options.seeds = {42, 1, 2, 3, 4, 5};
+  options.jobs = 0;  // hardware concurrency
+  metrics::SweepRunner runner(options);
+  runner.add_policies(bench::placement_config("RANDOM"), policies);
+  const std::vector<metrics::SweepRow> rows = runner.run();
+
+  std::vector<metrics::PlacementResult> results;
+  for (const metrics::SweepRow& row : rows) {
+    results.push_back(row.replicated.runs.front());  // the seed-42 run
+  }
   std::printf("%s\n", metrics::render_policy_comparison(results).c_str());
 
   const metrics::PlacementResult& random = results[0];
@@ -37,17 +48,18 @@ int main() {
   // Replication across seeds (the paper reports single runs; we check
   // the effect survives): non-overlapping 95% intervals confirm it.
   std::printf("\nReplication over 5 seeds (energy, J):\n");
-  std::vector<metrics::ReplicatedResult> replicated;
-  for (const std::string policy : {"RANDOM", "POWER", "PERFORMANCE"}) {
-    metrics::PlacementConfig config = bench::placement_config(policy);
-    replicated.push_back(
-        metrics::run_replicated(config, metrics::default_seeds(5)));
-    std::printf("  %-12s %s\n", policy.c_str(),
-                replicated.back().energy_joules.to_string(0).c_str());
+  std::vector<metrics::Estimate> replicated;
+  for (const metrics::SweepRow& row : rows) {
+    // Drop the headline seed so the estimate matches default_seeds(5).
+    std::vector<double> energies;
+    for (std::size_t i = 1; i < row.replicated.runs.size(); ++i) {
+      energies.push_back(row.replicated.runs[i].energy.value());
+    }
+    replicated.push_back(metrics::estimate_from(energies));
+    std::printf("  %-12s %s\n", row.label.c_str(), replicated.back().to_string(0).c_str());
   }
-  const bool distinct =
-      !metrics::intervals_overlap(replicated[0].energy_joules, replicated[1].energy_joules) &&
-      !metrics::intervals_overlap(replicated[1].energy_joules, replicated[2].energy_joules);
+  const bool distinct = !metrics::intervals_overlap(replicated[0], replicated[1]) &&
+                        !metrics::intervals_overlap(replicated[1], replicated[2]);
   std::printf("POWER's saving is outside the 95%% intervals of both baselines: %s\n",
               distinct ? "yes" : "no");
   return 0;

@@ -73,7 +73,7 @@ inline int run_heterogeneity_bench(const std::string& figure,
   config.policy = "RANDOM";
   std::vector<std::uint64_t> seeds;
   for (std::uint64_t s = 1; s <= 15; ++s) seeds.push_back(s * 1000 + 7);
-  const auto random_runs = metrics::run_placement_sweep(config, seeds);
+  const auto random_runs = metrics::run_placement_sweep(config, seeds, /*jobs=*/0);
   std::vector<Point> random_points;
   double rp_min = 1e300, rp_max = 0, rw_min = 1e300, rw_max = 0;
   for (const auto& r : random_runs) {

@@ -31,6 +31,10 @@ struct ClusterOptions {
   ThermalConfig thermal{};
 };
 
+/// One run's machines.  Owned by a single experiment run (see
+/// docs/ARCHITECTURE.md, "Concurrency model"): per-node heterogeneity
+/// draws come from the run's RNG passed into add_cluster, nothing is
+/// shared between Platform instances, so concurrent runs never interact.
 class Platform {
  public:
   Platform() = default;

@@ -32,13 +32,26 @@ Logger& Logger::global() {
   return instance;
 }
 
+namespace {
+thread_local std::ostream* t_thread_sink = nullptr;
+}  // namespace
+
 void Logger::set_sink(std::ostream* sink) noexcept {
   std::lock_guard lock(mutex_);
   sink_ = sink;
 }
 
+void Logger::set_thread_sink(std::ostream* sink) noexcept { t_thread_sink = sink; }
+
+std::ostream* Logger::thread_sink() noexcept { return t_thread_sink; }
+
 void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
   if (!enabled(level)) return;
+  if (std::ostream* local = t_thread_sink) {
+    // Per-thread sink: only this thread writes to it, no lock needed.
+    *local << '[' << to_string(level) << "] [" << component << "] " << message << '\n';
+    return;
+  }
   std::lock_guard lock(mutex_);
   std::ostream& out = sink_ ? *sink_ : std::cerr;
   out << '[' << to_string(level) << "] [" << component << "] " << message << '\n';

@@ -6,6 +6,7 @@
 // helpers would be overkill here.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -19,28 +20,57 @@ enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError
 /// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; throws on anything else.
 [[nodiscard]] LogLevel parse_log_level(std::string_view text);
 
+/// Process-wide leveled logger.  Thread-safe: `enabled()` is called from
+/// concurrent experiment runs (GS_LOG's guard), so the level is atomic;
+/// emission serialises on a mutex.  A run that wants its own log stream
+/// installs a *thread-local* sink (`set_thread_sink`), which takes
+/// precedence over the shared sink and needs no locking.
 class Logger {
  public:
   /// Process-wide logger used by GS_LOG macros.
   static Logger& global();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= static_cast<int>(this->level());
   }
 
-  /// Route output somewhere else (default: stderr).  Not owned.
+  /// Route output somewhere else (default: stderr).  Not owned.  Shared
+  /// by every thread without a thread sink.
   void set_sink(std::ostream* sink) noexcept;
+
+  /// Route *this thread's* output somewhere else (nullptr restores the
+  /// shared sink).  Not owned; the caller keeps the stream alive while
+  /// installed.  This is how concurrent sweep runs keep per-run logs.
+  static void set_thread_sink(std::ostream* sink) noexcept;
+  [[nodiscard]] static std::ostream* thread_sink() noexcept;
 
   /// Emit one formatted line: "[level] [component] message".
   void log(LogLevel level, std::string_view component, std::string_view message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::ostream* sink_ = nullptr;
   std::mutex mutex_;
+};
+
+/// RAII guard installing a thread-local log sink for the current scope
+/// (one experiment run, typically).
+class ScopedThreadLogSink {
+ public:
+  explicit ScopedThreadLogSink(std::ostream& sink) : previous_(Logger::thread_sink()) {
+    Logger::set_thread_sink(&sink);
+  }
+  ~ScopedThreadLogSink() { Logger::set_thread_sink(previous_); }
+  ScopedThreadLogSink(const ScopedThreadLogSink&) = delete;
+  ScopedThreadLogSink& operator=(const ScopedThreadLogSink&) = delete;
+
+ private:
+  std::ostream* previous_;
 };
 
 namespace detail {

@@ -1,0 +1,63 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace greensched::common {
+
+ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  if (workers == 0) throw ConfigError("ThreadPool: need at least one worker");
+  if (queue_capacity == 0) throw ConfigError("ThreadPool: queue capacity must be positive");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::enqueue(Job job) {
+  {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return queue_.size() < capacity_ || stopping_; });
+    if (stopping_) throw StateError("ThreadPool::submit: pool is shutting down");
+    queue_.push_back(std::move(job));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      // Drain-on-shutdown: only exit once the queue is empty.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    job();  // packaged_task routes any exception into the future
+  }
+}
+
+std::size_t ThreadPool::default_worker_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, hw);
+}
+
+}  // namespace greensched::common

@@ -1,0 +1,128 @@
+// Fixed-size worker pool with a bounded submission queue.
+//
+// The experiment engine fans independent simulation runs out over this
+// pool (`metrics::SweepRunner`, `metrics::run_replicated`).  Design
+// constraints, in order:
+//   * determinism is the caller's job — the pool guarantees only that
+//     every submitted task runs exactly once and its result (or
+//     exception) is observable through the returned future;
+//   * the queue is bounded so a producer enumerating a huge sweep grid
+//     cannot balloon memory: `submit` blocks once `queue_capacity`
+//     tasks are waiting;
+//   * the destructor drains — every task submitted before destruction
+//     runs to completion before the workers join.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace greensched::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (>= 1, else ConfigError).  `queue_capacity`
+  /// bounds the number of *waiting* tasks; `submit` blocks when full.
+  explicit ThreadPool(std::size_t workers, std::size_t queue_capacity = 1024);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue (all submitted tasks complete), then joins.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Tasks submitted but not yet picked up by a worker.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Schedules `fn` and returns a future carrying its result or
+  /// exception.  Blocks while the queue is at capacity; throws
+  /// StateError after shutdown began.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> future = task.get_future();
+    enqueue(Job(std::move(task)));
+    return future;
+  }
+
+  /// A sensible worker count for CPU-bound simulation runs.
+  [[nodiscard]] static std::size_t default_worker_count() noexcept;
+
+ private:
+  /// Move-only type-erased callable (std::function requires copyable;
+  /// packaged_task is not).
+  class Job {
+   public:
+    Job() = default;
+    template <typename F>
+    explicit Job(F&& fn)
+        : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(fn))) {}
+    void operator()() { impl_->call(); }
+    [[nodiscard]] explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+   private:
+    struct Concept {
+      virtual ~Concept() = default;
+      virtual void call() = 0;
+    };
+    template <typename F>
+    struct Model final : Concept {
+      explicit Model(F f) : fn(std::move(f)) {}
+      void call() override { fn(); }
+      F fn;
+    };
+    std::unique_ptr<Concept> impl_;
+  };
+
+  void enqueue(Job job);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Job> queue_;
+  std::size_t capacity_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Applies `fn` to every element of [first, last) on the pool and waits
+/// for all of them.  Exceptions propagate: the first failing element (in
+/// iteration order) rethrows after every task has finished running.
+template <typename Iterator, typename F>
+void parallel_for_each(ThreadPool& pool, Iterator first, Iterator last, F&& fn) {
+  std::vector<std::future<void>> futures;
+  for (Iterator it = first; it != last; ++it) {
+    futures.push_back(pool.submit([&fn, it] { fn(*it); }));
+  }
+  std::exception_ptr error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+/// Container convenience overload.
+template <typename Container, typename F>
+void parallel_for_each(ThreadPool& pool, Container& items, F&& fn) {
+  parallel_for_each(pool, std::begin(items), std::end(items), std::forward<F>(fn));
+}
+
+}  // namespace greensched::common

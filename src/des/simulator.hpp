@@ -35,6 +35,11 @@ class EventHandle {
 };
 
 /// Single-threaded event-driven simulator.
+///
+/// Not thread-safe, by design: one Simulator belongs to one experiment
+/// run on one thread.  It holds no global state, so any number of
+/// instances may run concurrently on different threads — the experiment
+/// engine (metrics::SweepRunner) relies on exactly this.
 class Simulator {
  public:
   using Callback = std::function<void()>;

@@ -20,6 +20,10 @@
 
 namespace greensched::diet {
 
+/// Builds and owns one run's MA/LA/SED tree.  Bound to one Simulator and
+/// one RNG (the run's), keeps no global state: independent hierarchies
+/// on different threads are fully isolated, which is what lets the
+/// experiment engine replay many placements concurrently.
 class Hierarchy {
  public:
   using CompletionListener = std::function<void(const TaskRecord&)>;

@@ -126,7 +126,11 @@ class MinCompletionTimePolicy final : public KeyedPolicy {
 };
 
 /// Factory for the benchmark harnesses ("POWER", "PERFORMANCE", "RANDOM",
-/// "GREENPERF", "SCORE"); throws ConfigError on unknown names.  `unknown`
+/// "GREENPERF", "SCORE"); throws ConfigError on unknown names.  Each call
+/// returns a fresh, fully independent policy object; policies are
+/// stateless rankers (even RANDOM — its draws come from the SEDs' own
+/// per-run RNG streams), so a policy instance belongs to one run and is
+/// never shared across threads.  `unknown`
 /// selects learning behaviour for the measurement-driven policies:
 /// kExploreFirst reproduces the paper's live experiments (Section IV-A),
 /// kSpecFallback its simulations, where an initial benchmark made every

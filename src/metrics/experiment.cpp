@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "des/simulator.hpp"
 #include "diet/client.hpp"
 #include "diet/hierarchy.hpp"
@@ -151,15 +153,32 @@ PlacementResult run_placement(const PlacementConfig& config) {
   return result;
 }
 
-std::vector<PlacementResult> run_placement_sweep(PlacementConfig config,
-                                                 const std::vector<std::uint64_t>& seeds) {
-  std::vector<PlacementResult> results;
-  results.reserve(seeds.size());
-  for (std::uint64_t seed : seeds) {
-    config.seed = seed;
-    results.push_back(run_placement(config));
+std::vector<PlacementResult> run_placement_sweep(const PlacementConfig& config,
+                                                 const std::vector<std::uint64_t>& seeds,
+                                                 std::size_t jobs) {
+  std::vector<PlacementResult> results(seeds.size());
+  const std::size_t workers = resolve_jobs(jobs, seeds.size());
+  auto run_seed = [&](std::size_t i) {
+    PlacementConfig run_config = config;  // the input config stays untouched
+    run_config.seed = seeds[i];
+    results[i] = run_placement(run_config);
+  };
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) run_seed(i);
+    return results;
   }
+  common::ThreadPool pool(workers);
+  std::vector<std::size_t> indices(seeds.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  // Each slot of `results` is written by exactly one task; ordering by
+  // seed index (not completion) keeps the output identical to serial.
+  common::parallel_for_each(pool, indices, run_seed);
   return results;
+}
+
+std::size_t resolve_jobs(std::size_t jobs, std::size_t task_count) {
+  if (jobs == 0) jobs = common::ThreadPool::default_worker_count();
+  return std::max<std::size_t>(1, std::min(jobs, task_count));
 }
 
 }  // namespace greensched::metrics

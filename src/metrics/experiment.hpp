@@ -73,12 +73,25 @@ struct PlacementResult {
 };
 
 /// Runs one placement experiment to completion (deterministic in `seed`).
+///
+/// Reentrant: every run owns its whole stack (Simulator, Platform,
+/// Hierarchy, policy, workload, RNG) and all randomness flows from
+/// `config.seed`, so any number of runs may execute concurrently on
+/// different threads — this is the contract the sweep engine builds on.
 [[nodiscard]] PlacementResult run_placement(const PlacementConfig& config);
 
 /// Runs the same config under several seeds (the RANDOM envelope of
-/// Figs. 6-7).
-[[nodiscard]] std::vector<PlacementResult> run_placement_sweep(PlacementConfig config,
-                                                               const std::vector<std::uint64_t>&
-                                                                   seeds);
+/// Figs. 6-7).  `config` is never mutated; each run sees a copy whose
+/// `seed` is replaced by the corresponding entry of `seeds`.  `jobs`
+/// parallelises over a thread pool (0 = hardware concurrency, 1 =
+/// serial); the returned vector is ordered like `seeds` and is
+/// bit-identical for every `jobs` value.
+[[nodiscard]] std::vector<PlacementResult> run_placement_sweep(
+    const PlacementConfig& config, const std::vector<std::uint64_t>& seeds,
+    std::size_t jobs = 1);
+
+/// Resolves a `--jobs` request to a worker count: 0 means hardware
+/// concurrency, and the result never exceeds `task_count` (>= 1).
+[[nodiscard]] std::size_t resolve_jobs(std::size_t jobs, std::size_t task_count);
 
 }  // namespace greensched::metrics

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -40,23 +41,30 @@ std::vector<std::uint64_t> default_seeds(std::size_t n) {
   return seeds;
 }
 
-ReplicatedResult run_replicated(PlacementConfig config,
-                                const std::vector<std::uint64_t>& seeds) {
-  if (seeds.empty()) throw common::ConfigError("run_replicated: no seeds");
+ReplicatedResult aggregate_runs(std::string policy, std::vector<PlacementResult> runs) {
+  if (runs.empty()) throw common::ConfigError("aggregate_runs: no runs");
   ReplicatedResult result;
-  result.policy = config.policy;
+  result.policy = std::move(policy);
   std::vector<double> makespans, energies, waits;
-  for (std::uint64_t seed : seeds) {
-    config.seed = seed;
-    result.runs.push_back(run_placement(config));
-    makespans.push_back(result.runs.back().makespan.value());
-    energies.push_back(result.runs.back().energy.value());
-    waits.push_back(result.runs.back().mean_wait_seconds);
+  makespans.reserve(runs.size());
+  energies.reserve(runs.size());
+  waits.reserve(runs.size());
+  for (const PlacementResult& run : runs) {
+    makespans.push_back(run.makespan.value());
+    energies.push_back(run.energy.value());
+    waits.push_back(run.mean_wait_seconds);
   }
   result.makespan_seconds = estimate_from(makespans);
   result.energy_joules = estimate_from(energies);
   result.mean_wait_seconds = estimate_from(waits);
+  result.runs = std::move(runs);
   return result;
+}
+
+ReplicatedResult run_replicated(const PlacementConfig& config,
+                                const std::vector<std::uint64_t>& seeds, std::size_t jobs) {
+  if (seeds.empty()) throw common::ConfigError("run_replicated: no seeds");
+  return aggregate_runs(config.policy, run_placement_sweep(config, seeds, jobs));
 }
 
 }  // namespace greensched::metrics

@@ -4,6 +4,16 @@
 // across seeds and report mean ± 95% confidence interval, which is what
 // the benches use for the RANDOM envelope and what downstream users
 // should do for their own comparisons.
+//
+// Seed-override contract: the caller's `PlacementConfig` is immutable —
+// it is taken by const reference and never written.  For every entry of
+// `seeds` the engine derives a private copy whose `seed` field is
+// replaced by that entry; whatever `config.seed` held is ignored.  Each
+// derived run is fully self-contained (its own Simulator, Platform,
+// Hierarchy, policy and RNG), so replications may execute concurrently:
+// with `jobs > 1` the runs are spread over a `common::ThreadPool`, and
+// the results are ordered by seed index — bit-identical to a serial
+// (`jobs == 1`) execution of the same seeds.
 #pragma once
 
 #include <string>
@@ -31,18 +41,25 @@ struct ReplicatedResult {
   Estimate makespan_seconds;
   Estimate energy_joules;
   Estimate mean_wait_seconds;
-  std::vector<PlacementResult> runs;
+  std::vector<PlacementResult> runs;  ///< ordered like the input seeds
 };
 
-/// Runs `config` under each seed and aggregates.
-[[nodiscard]] ReplicatedResult run_replicated(PlacementConfig config,
-                                              const std::vector<std::uint64_t>& seeds);
+/// Runs `config` under each seed and aggregates.  `jobs` is the worker
+/// count (0 = hardware concurrency, 1 = serial in the calling thread);
+/// results do not depend on it.
+[[nodiscard]] ReplicatedResult run_replicated(const PlacementConfig& config,
+                                              const std::vector<std::uint64_t>& seeds,
+                                              std::size_t jobs = 1);
 
 /// Convenience: seeds 1..n (deterministic default replication set).
 [[nodiscard]] std::vector<std::uint64_t> default_seeds(std::size_t n);
 
 /// Builds an Estimate from raw samples.
 [[nodiscard]] Estimate estimate_from(const std::vector<double>& samples);
+
+/// Aggregates already-computed runs into a ReplicatedResult.
+[[nodiscard]] ReplicatedResult aggregate_runs(std::string policy,
+                                              std::vector<PlacementResult> runs);
 
 /// Welch-style check: do the two estimates' 95% intervals overlap?  A
 /// *false* result is evidence the difference is real.

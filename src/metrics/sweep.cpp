@@ -1,0 +1,113 @@
+#include "metrics/sweep.hpp"
+
+#include <numeric>
+#include <ostream>
+#include <utility>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace greensched::metrics {
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {
+  if (options_.seeds.empty()) throw common::ConfigError("SweepRunner: no seeds");
+}
+
+SweepRunner& SweepRunner::add(std::string label, PlacementConfig config) {
+  points_.push_back(SweepPoint{std::move(label), std::move(config)});
+  return *this;
+}
+
+SweepRunner& SweepRunner::add_policies(const PlacementConfig& base,
+                                       const std::vector<std::string>& policies) {
+  for (const std::string& policy : policies) {
+    PlacementConfig config = base;
+    config.policy = policy;
+    add(policy, std::move(config));
+  }
+  return *this;
+}
+
+std::vector<SweepRow> SweepRunner::run() const {
+  if (points_.empty()) throw common::ConfigError("SweepRunner: no grid points");
+  const std::size_t seed_count = options_.seeds.size();
+  const std::size_t cell_count = points_.size() * seed_count;
+
+  // One flat slot per (point, seed) cell, written by exactly one task and
+  // indexed by grid position so completion order cannot leak in.
+  std::vector<PlacementResult> cells(cell_count);
+  auto run_cell = [&](std::size_t cell) {
+    const std::size_t point = cell / seed_count;
+    const std::size_t seed = cell % seed_count;
+    PlacementConfig config = points_[point].config;  // grid stays immutable
+    config.seed = options_.seeds[seed];
+    cells[cell] = run_placement(config);
+  };
+
+  const std::size_t workers = resolve_jobs(options_.jobs, cell_count);
+  if (workers <= 1) {
+    for (std::size_t cell = 0; cell < cell_count; ++cell) run_cell(cell);
+  } else {
+    common::ThreadPool pool(workers);
+    std::vector<std::size_t> indices(cell_count);
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    common::parallel_for_each(pool, indices, run_cell);
+  }
+
+  std::vector<SweepRow> rows;
+  rows.reserve(points_.size());
+  for (std::size_t point = 0; point < points_.size(); ++point) {
+    std::vector<PlacementResult> runs(cells.begin() + point * seed_count,
+                                      cells.begin() + (point + 1) * seed_count);
+    SweepRow row;
+    row.label = points_[point].label;
+    row.policy = points_[point].config.policy;
+    row.replicated = aggregate_runs(row.policy, std::move(runs));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+
+void estimate_cells(common::CsvWriter& csv, const Estimate& e) {
+  csv.cell(e.mean).cell(e.ci95).cell(e.min).cell(e.max);
+}
+
+}  // namespace
+
+void SweepRunner::write_csv(std::ostream& out, const std::vector<SweepRow>& rows) {
+  common::CsvWriter csv(out);
+  csv.row({"label", "policy", "n", "energy_j_mean", "energy_j_ci95", "energy_j_min",
+           "energy_j_max", "makespan_s_mean", "makespan_s_ci95", "makespan_s_min",
+           "makespan_s_max", "wait_s_mean", "wait_s_ci95", "wait_s_min", "wait_s_max"});
+  for (const SweepRow& row : rows) {
+    csv.cell(row.label).cell(row.policy).cell(row.replicated.energy_joules.n);
+    estimate_cells(csv, row.replicated.energy_joules);
+    estimate_cells(csv, row.replicated.makespan_seconds);
+    estimate_cells(csv, row.replicated.mean_wait_seconds);
+    csv.end_row();
+  }
+}
+
+void SweepRunner::write_runs_csv(std::ostream& out, const std::vector<SweepRow>& rows) {
+  common::CsvWriter csv(out);
+  csv.row({"label", "policy", "seed", "tasks", "makespan_s", "energy_j", "mean_wait_s",
+           "sim_events"});
+  for (const SweepRow& row : rows) {
+    for (const PlacementResult& run : row.replicated.runs) {
+      csv.cell(row.label)
+          .cell(row.policy)
+          .cell(static_cast<std::size_t>(run.seed))
+          .cell(run.tasks)
+          .cell(run.makespan.value())
+          .cell(run.energy.value())
+          .cell(run.mean_wait_seconds)
+          .cell(static_cast<std::size_t>(run.sim_events));
+      csv.end_row();
+    }
+  }
+}
+
+}  // namespace greensched::metrics

@@ -1,0 +1,74 @@
+// Grid sweep engine: many placement configurations × many seeds on a
+// thread pool.
+//
+// The paper's evaluation (Section IV) is a grid of independent runs —
+// policies × seeds × heterogeneity levels.  `SweepRunner` executes an
+// arbitrary such grid on a `common::ThreadPool`, exploiting that
+// `run_placement` is reentrant (see experiment.hpp).  Determinism
+// contract: every (point, seed) cell is computed by an isolated run
+// seeded only by its seed, and cells are stored by grid position, never
+// by completion order — so the output is bit-identical for any `jobs`
+// value, including serial.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.hpp"
+#include "metrics/replication.hpp"
+
+namespace greensched::metrics {
+
+/// One grid point: a labelled configuration.  The config's `seed` field
+/// is ignored; seeds come from `SweepOptions` (same override contract as
+/// run_replicated).
+struct SweepPoint {
+  std::string label;
+  PlacementConfig config;
+};
+
+struct SweepOptions {
+  std::vector<std::uint64_t> seeds = default_seeds(5);
+  /// Worker threads: 0 = hardware concurrency, 1 = serial.
+  std::size_t jobs = 1;
+};
+
+/// Aggregated outcome of one grid point across all seeds.
+struct SweepRow {
+  std::string label;
+  std::string policy;
+  ReplicatedResult replicated;  ///< runs ordered like the seed list
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Adds one grid point.  Returns *this for chaining.
+  SweepRunner& add(std::string label, PlacementConfig config);
+  /// Adds one point per policy, cloning `base` (label = policy name).
+  SweepRunner& add_policies(const PlacementConfig& base,
+                            const std::vector<std::string>& policies);
+
+  [[nodiscard]] std::size_t point_count() const noexcept { return points_.size(); }
+  [[nodiscard]] const SweepOptions& options() const noexcept { return options_; }
+
+  /// Executes the whole grid (points × seeds cells, each a self-contained
+  /// run) and aggregates per point.  Const and reentrant: the runner
+  /// itself may be shared across threads once configured.
+  [[nodiscard]] std::vector<SweepRow> run() const;
+
+  /// Aggregate CSV: one row per grid point (mean/ci95/min/max per metric).
+  static void write_csv(std::ostream& out, const std::vector<SweepRow>& rows);
+  /// Raw CSV: one row per (point, seed) run.
+  static void write_runs_csv(std::ostream& out, const std::vector<SweepRow>& rows);
+
+ private:
+  SweepOptions options_;
+  std::vector<SweepPoint> points_;
+};
+
+}  // namespace greensched::metrics

@@ -1,0 +1,109 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace greensched::common {
+namespace {
+
+TEST(ThreadPool, RejectsZeroWorkersOrCapacity) {
+  EXPECT_THROW(ThreadPool(0), ConfigError);
+  EXPECT_THROW(ThreadPool(1, 0), ConfigError);
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  auto a = pool.submit([] { return 21 * 2; });
+  auto b = pool.submit([] { return std::string("done"); });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "done");
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(32);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2, 64);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        completed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // destructor must wait for all 50
+  EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(ThreadPool, BoundedQueueAcceptsMoreTasksThanCapacity) {
+  // Submitting far more tasks than the queue holds must block (not
+  // throw, not drop) until workers free slots; everything still runs.
+  ThreadPool pool(4, 2);
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(
+        pool.submit([&completed] { completed.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(completed.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForEachVisitsEveryElement) {
+  ThreadPool pool(4);
+  std::vector<int> values(100, 1);
+  parallel_for_each(pool, values, [](int& v) { v = 2 * v + 1; });
+  for (int v : values) EXPECT_EQ(v, 3);
+}
+
+TEST(ThreadPool, ParallelForEachPropagatesFirstError) {
+  ThreadPool pool(4);
+  std::vector<int> values(16);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<int> visited{0};
+  try {
+    parallel_for_each(pool, values, [&visited](int v) {
+      visited.fetch_add(1, std::memory_order_relaxed);
+      if (v == 3) throw StateError("element 3 failed");
+    });
+    FAIL() << "expected StateError";
+  } catch (const StateError& e) {
+    EXPECT_STREQ(e.what(), "element 3 failed");
+  }
+  // Every task still ran (failures do not cancel siblings).
+  EXPECT_EQ(visited.load(), 16);
+}
+
+TEST(ThreadPool, DefaultWorkerCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace greensched::common

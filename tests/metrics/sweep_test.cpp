@@ -1,0 +1,158 @@
+#include "metrics/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+PlacementConfig small_config(const std::string& policy) {
+  PlacementConfig config;
+  cluster::ClusterOptions two;
+  two.node_count = 2;
+  config.clusters = {{"taurus", cluster::MachineCatalog::taurus(), two},
+                     {"orion", cluster::MachineCatalog::orion(), two}};
+  config.policy = policy;
+  config.workload.requests_per_core = 2.0;
+  config.workload.burst_size = 8;
+  config.workload.task.work = common::Flops(1.0e10);  // light: seeds differ
+  return config;
+}
+
+void expect_bit_identical(const PlacementResult& a, const PlacementResult& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  // Exact double equality on purpose: parallel execution must not change
+  // a single bit of any run's arithmetic.
+  EXPECT_EQ(a.makespan.value(), b.makespan.value());
+  EXPECT_EQ(a.energy.value(), b.energy.value());
+  EXPECT_EQ(a.mean_wait_seconds, b.mean_wait_seconds);
+  EXPECT_EQ(a.tasks_per_server, b.tasks_per_server);
+  ASSERT_EQ(a.per_cluster.size(), b.per_cluster.size());
+  for (std::size_t i = 0; i < a.per_cluster.size(); ++i) {
+    EXPECT_EQ(a.per_cluster[i].cluster, b.per_cluster[i].cluster);
+    EXPECT_EQ(a.per_cluster[i].energy.value(), b.per_cluster[i].energy.value());
+  }
+}
+
+TEST(SweepRunner, ParallelIsBitIdenticalToSerial) {
+  const auto build = [](std::size_t jobs) {
+    SweepOptions options;
+    options.seeds = default_seeds(4);
+    options.jobs = jobs;
+    SweepRunner runner(options);
+    runner.add_policies(small_config("RANDOM"), {"RANDOM", "POWER", "GREENPERF"});
+    return runner.run();
+  };
+  const std::vector<SweepRow> serial = build(1);
+  const std::vector<SweepRow> parallel = build(8);
+
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    EXPECT_EQ(serial[p].label, parallel[p].label);
+    ASSERT_EQ(serial[p].replicated.runs.size(), 4u);
+    ASSERT_EQ(parallel[p].replicated.runs.size(), 4u);
+    for (std::size_t s = 0; s < 4; ++s) {
+      expect_bit_identical(serial[p].replicated.runs[s], parallel[p].replicated.runs[s]);
+    }
+    EXPECT_EQ(serial[p].replicated.energy_joules.mean,
+              parallel[p].replicated.energy_joules.mean);
+    EXPECT_EQ(serial[p].replicated.makespan_seconds.mean,
+              parallel[p].replicated.makespan_seconds.mean);
+  }
+}
+
+TEST(SweepRunner, RunsAreOrderedBySeedAndLabelled) {
+  SweepOptions options;
+  options.seeds = {9, 3, 27};
+  options.jobs = 4;
+  SweepRunner runner(options);
+  runner.add("point-a", small_config("RANDOM"));
+  const std::vector<SweepRow> rows = runner.run();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].label, "point-a");
+  EXPECT_EQ(rows[0].policy, "RANDOM");
+  ASSERT_EQ(rows[0].replicated.runs.size(), 3u);
+  EXPECT_EQ(rows[0].replicated.runs[0].seed, 9u);
+  EXPECT_EQ(rows[0].replicated.runs[1].seed, 3u);
+  EXPECT_EQ(rows[0].replicated.runs[2].seed, 27u);
+}
+
+TEST(SweepRunner, InputConfigStaysImmutable) {
+  // The seed-override contract: the caller's config (including its seed)
+  // is never touched; every run sees a copy with the sweep's seed.
+  PlacementConfig config = small_config("POWER");
+  config.seed = 999;
+  SweepOptions options;
+  options.seeds = {1, 2};
+  options.jobs = 2;
+  SweepRunner runner(options);
+  runner.add("p", config);
+
+  const std::vector<SweepRow> rows = runner.run();
+  EXPECT_EQ(config.seed, 999u);
+  EXPECT_EQ(config.policy, "POWER");
+  ASSERT_EQ(rows[0].replicated.runs.size(), 2u);
+  EXPECT_EQ(rows[0].replicated.runs[0].seed, 1u);
+  EXPECT_EQ(rows[0].replicated.runs[1].seed, 2u);
+
+  const ReplicatedResult replicated = run_replicated(config, {5, 6}, /*jobs=*/2);
+  EXPECT_EQ(config.seed, 999u);
+  EXPECT_EQ(replicated.runs[0].seed, 5u);
+  EXPECT_EQ(replicated.runs[1].seed, 6u);
+}
+
+TEST(SweepRunner, ReplicatedParallelMatchesSerial) {
+  const PlacementConfig config = small_config("RANDOM");
+  const auto seeds = default_seeds(4);
+  const ReplicatedResult serial = run_replicated(config, seeds, 1);
+  const ReplicatedResult parallel = run_replicated(config, seeds, 4);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    expect_bit_identical(serial.runs[i], parallel.runs[i]);
+  }
+  EXPECT_EQ(serial.energy_joules.mean, parallel.energy_joules.mean);
+  EXPECT_EQ(serial.energy_joules.stddev, parallel.energy_joules.stddev);
+}
+
+TEST(SweepRunner, RejectsEmptyGridOrSeeds) {
+  SweepOptions no_seeds;
+  no_seeds.seeds.clear();
+  EXPECT_THROW(SweepRunner{no_seeds}, common::ConfigError);
+  SweepRunner empty_grid{SweepOptions{}};
+  EXPECT_THROW((void)empty_grid.run(), common::ConfigError);
+}
+
+TEST(SweepRunner, CsvExportsAggregateAndRuns) {
+  SweepOptions options;
+  options.seeds = {1, 2};
+  options.jobs = 2;
+  SweepRunner runner(options);
+  runner.add_policies(small_config("RANDOM"), {"RANDOM", "POWER"});
+  const std::vector<SweepRow> rows = runner.run();
+
+  std::ostringstream aggregate;
+  SweepRunner::write_csv(aggregate, rows);
+  const std::string agg = aggregate.str();
+  EXPECT_NE(agg.find("label,policy,n,energy_j_mean"), std::string::npos);
+  EXPECT_NE(agg.find("\nRANDOM,RANDOM,2,"), std::string::npos);
+  EXPECT_NE(agg.find("\nPOWER,POWER,2,"), std::string::npos);
+
+  std::ostringstream runs;
+  SweepRunner::write_runs_csv(runs, rows);
+  const std::string raw = runs.str();
+  EXPECT_NE(raw.find("label,policy,seed,tasks"), std::string::npos);
+  // 1 header + 2 points x 2 seeds.
+  EXPECT_EQ(static_cast<int>(std::count(raw.begin(), raw.end(), '\n')), 5);
+}
+
+}  // namespace
+}  // namespace greensched::metrics

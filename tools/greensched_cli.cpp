@@ -6,13 +6,17 @@
 //       [--burst B] [--rate REQ_PER_S] [--clients N] [--spec-only]
 //       [--heterogeneity SIGMA] [--csv FILE]
 //       Run the Section IV-A placement experiment on the Table I platform.
-//   greensched compare [--policies POWER,RANDOM,...] [...placement flags]
+//   greensched compare [--policies POWER,RANDOM,...] [--jobs N] [...placement flags]
 //       Table II-style comparison across policies.
+//   greensched sweep --policies POWER,RANDOM,... [--seeds N] [--jobs N]
+//       [--csv FILE] [--runs-csv FILE] [...placement flags]
+//       Replicated policy grid on the thread-pooled sweep engine.
 //   greensched fig9 [--minutes M] [--check-minutes C] [--ramp-up N]
 //       [--ramp-down N] [--planning FILE]
 //       Run the adaptive-provisioning timeline and dump the XML planning.
 //   greensched trace-generate --out FILE [--tasks N] [--burst B] [--rate R]
 //   greensched trace-run --in FILE [--policy P] [--seed N]
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -33,6 +37,7 @@
 #include "metrics/experiment.hpp"
 #include "metrics/replication.hpp"
 #include "metrics/report.hpp"
+#include "metrics/sweep.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace greensched;
@@ -48,7 +53,10 @@ int usage() {
                "  placement        run one placement experiment (--policy, --seed,\n"
                "                   --requests-per-core, --burst, --rate, --clients,\n"
                "                   --spec-only, --heterogeneity, --csv FILE)\n"
-               "  compare          compare policies (--policies A,B,C + placement flags)\n"
+               "  compare          compare policies (--policies A,B,C, --jobs N + placement\n"
+               "                   flags)\n"
+               "  sweep            replicated policy grid on the thread pool (--policies,\n"
+               "                   --seeds N, --jobs N, --csv FILE, --runs-csv FILE)\n"
                "  fig9             adaptive provisioning timeline (--minutes,\n"
                "                   --check-minutes, --ramp-up, --ramp-down, --planning FILE)\n"
                "  trace-generate   write a workload trace (--out FILE, --tasks, --burst, --rate)\n"
@@ -131,7 +139,7 @@ int cmd_placement(const CliArgs& args) {
   return 0;
 }
 
-int cmd_compare(const CliArgs& args) {
+std::vector<std::string> parse_policy_list(const CliArgs& args) {
   const std::string list = args.get_or("policies", "RANDOM,POWER,PERFORMANCE,GREENPERF");
   std::vector<std::string> policies;
   std::stringstream ss(list);
@@ -139,34 +147,88 @@ int cmd_compare(const CliArgs& args) {
   while (std::getline(ss, token, ',')) {
     if (!token.empty()) policies.push_back(token);
   }
+  return policies;
+}
+
+int cmd_compare(const CliArgs& args) {
+  const std::vector<std::string> policies = parse_policy_list(args);
   if (policies.empty()) {
     std::fprintf(stderr, "compare: no policies given\n");
     return 2;
   }
-  metrics::PlacementConfig config = placement_config_from(args);
+  const metrics::PlacementConfig config = placement_config_from(args);
+  const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
 
   const auto replicate = args.get_int("replicate", 0);
   if (replicate > 1) {
-    // Replicated comparison: mean +/- 95% CI per policy.
-    const auto seeds = metrics::default_seeds(static_cast<std::size_t>(replicate));
+    // Replicated comparison: mean +/- 95% CI per policy, all runs on the
+    // sweep engine (one pool for the whole grid).
+    metrics::SweepOptions options;
+    options.seeds = metrics::default_seeds(static_cast<std::size_t>(replicate));
+    options.jobs = jobs;
+    metrics::SweepRunner runner(options);
+    runner.add_policies(config, policies);
     std::printf("%-14s %-32s %-32s\n", "policy", "energy (J)", "makespan (s)");
-    for (const auto& policy : policies) {
-      config.policy = policy;
-      const metrics::ReplicatedResult r = metrics::run_replicated(config, seeds);
-      std::printf("%-14s %-32s %-32s\n", policy.c_str(),
-                  r.energy_joules.to_string(0).c_str(),
-                  r.makespan_seconds.to_string(1).c_str());
+    for (const metrics::SweepRow& row : runner.run()) {
+      std::printf("%-14s %-32s %-32s\n", row.label.c_str(),
+                  row.replicated.energy_joules.to_string(0).c_str(),
+                  row.replicated.makespan_seconds.to_string(1).c_str());
     }
     return 0;
   }
 
+  // Single-seed comparison: one grid point per policy, one seed.
+  metrics::SweepOptions options;
+  options.seeds = {config.seed};
+  options.jobs = jobs;
+  metrics::SweepRunner runner(options);
+  runner.add_policies(config, policies);
   std::vector<metrics::PlacementResult> results;
-  for (const auto& policy : policies) {
-    config.policy = policy;
-    results.push_back(metrics::run_placement(config));
+  for (metrics::SweepRow& row : runner.run()) {
+    results.push_back(std::move(row.replicated.runs.front()));
   }
   std::printf("%s\n", metrics::render_policy_comparison(results).c_str());
   std::printf("%s", metrics::render_cluster_energy(results).c_str());
+  return 0;
+}
+
+int cmd_sweep(const CliArgs& args) {
+  const std::vector<std::string> policies = parse_policy_list(args);
+  if (policies.empty()) {
+    std::fprintf(stderr, "sweep: no policies given\n");
+    return 2;
+  }
+  const metrics::PlacementConfig config = placement_config_from(args);
+
+  metrics::SweepOptions options;
+  options.seeds = metrics::default_seeds(
+      static_cast<std::size_t>(std::max(1LL, args.get_int("seeds", 5))));
+  options.jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  metrics::SweepRunner runner(options);
+  runner.add_policies(config, policies);
+
+  const std::vector<metrics::SweepRow> rows = runner.run();
+  std::printf("sweep: %zu policies x %zu seeds (%zu workers)\n\n", rows.size(),
+              options.seeds.size(),
+              metrics::resolve_jobs(options.jobs, rows.size() * options.seeds.size()));
+  std::printf("%-14s %-30s %-26s %-20s\n", "policy", "energy (J)", "makespan (s)",
+              "mean wait (s)");
+  for (const metrics::SweepRow& row : rows) {
+    std::printf("%-14s %-30s %-26s %-20s\n", row.label.c_str(),
+                row.replicated.energy_joules.to_string(0).c_str(),
+                row.replicated.makespan_seconds.to_string(1).c_str(),
+                row.replicated.mean_wait_seconds.to_string(2).c_str());
+  }
+  if (const auto csv_path = args.get("csv")) {
+    std::ofstream out(*csv_path);
+    metrics::SweepRunner::write_csv(out, rows);
+    std::printf("\naggregate CSV written to %s\n", csv_path->c_str());
+  }
+  if (const auto runs_path = args.get("runs-csv")) {
+    std::ofstream out(*runs_path);
+    metrics::SweepRunner::write_runs_csv(out, rows);
+    std::printf("per-run CSV written to %s\n", runs_path->c_str());
+  }
   return 0;
 }
 
@@ -305,6 +367,8 @@ int main(int argc, char** argv) {
       status = cmd_placement(args);
     } else if (command == "compare") {
       status = cmd_compare(args);
+    } else if (command == "sweep") {
+      status = cmd_sweep(args);
     } else if (command == "fig9") {
       status = cmd_fig9(args);
     } else if (command == "trace-generate") {
