@@ -1,0 +1,176 @@
+// Micro: telemetry overhead, per-op and whole-run.
+//
+// Measures (a) the per-site cost of the disabled-mode guard (one relaxed
+// atomic load + branch), (b) per-op costs of the enabled hot paths, and
+// (c) wall-time of a Fig. 9-sized adaptive-provisioning run with
+// telemetry off vs on.  The disabled-mode overhead contract is enforced
+// here: the estimated cost of all guard checks executed during the run
+// must stay below 2% of the run's wall time, or the bench exits 1.
+// Emits one machine-readable "BENCH_JSON:" line for trend tracking.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "diet/client.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/events.hpp"
+#include "green/planning.hpp"
+#include "green/policies.hpp"
+#include "green/provisioner.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace greensched;
+using telemetry::Telemetry;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One compressed Fig. 9 run (Table I platform, saturating client,
+/// tariff event, 60 simulated minutes).  Returns tasks completed so the
+/// work cannot be optimized away.
+std::size_t run_scenario() {
+  des::Simulator sim;
+  common::Rng rng(42);
+  cluster::Platform platform;
+  for (const auto& setup : metrics::table1_clusters()) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+  const auto policy = green::make_policy("GREENPERF");
+  ma.set_plugin(policy.get());
+
+  green::EventSchedule events;
+  events.set_initial_cost(1.0);
+  events.add(green::EventSchedule::scheduled_cost_change(1800.0, 0.4, 600.0));
+  green::ProvisioningPlanning planning;
+  green::ProvisionerConfig config;
+  config.check_period = common::minutes(10.0);
+  config.ramp_up_step = 2;
+  config.ramp_down_step = 4;
+  config.min_candidates = 2;
+  green::Provisioner provisioner(sim, platform, ma, green::RuleEngine::paper_default(), events,
+                                 planning, config);
+  green::EventInjector injector(sim, platform, events);
+  provisioner.start();
+  diet::SaturatingClient client(
+      hierarchy, workload::paper_cpu_bound_task(),
+      [&provisioner] { return provisioner.candidate_capacity(); }, common::seconds(30.0));
+  client.start();
+  sim.run_until(common::minutes(60.0));
+  client.stop();
+  provisioner.stop();
+  return client.completed();
+}
+
+double timed_scenario(std::size_t& tasks) {
+  const double start = now_ms();
+  tasks = run_scenario();
+  return now_ms() - start;
+}
+
+/// Per-op cost of one instrumentation site while telemetry is disabled:
+/// the relaxed-load guard plus its branch.
+double disabled_guard_ns() {
+  constexpr std::uint64_t kIters = 20'000'000;
+  std::uint64_t sink = 0;
+  const double start = now_ms();
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    GS_TCOUNT(requests_submitted);
+    telemetry::TraceSpan span("bench.op", "bench");
+    sink += i;
+  }
+  const double elapsed = now_ms() - start;
+  if (sink == 0) std::printf("(unreachable)\n");
+  // The loop body holds two guarded sites (a counter and a span).
+  return elapsed * 1e6 / static_cast<double>(kIters) / 2.0;
+}
+
+double enabled_counter_ns() {
+  constexpr std::uint64_t kIters = 5'000'000;
+  const double start = now_ms();
+  for (std::uint64_t i = 0; i < kIters; ++i) GS_TCOUNT(requests_submitted);
+  return (now_ms() - start) * 1e6 / static_cast<double>(kIters);
+}
+
+double enabled_span_ns() {
+  constexpr std::uint64_t kIters = 2'000'000;
+  const double start = now_ms();
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    telemetry::TraceSpan span("bench.op", "bench");
+  }
+  return (now_ms() - start) * 1e6 / static_cast<double>(kIters);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Micro — telemetry overhead",
+                      "per-op guard/record cost + Fig. 9-sized run, telemetry off vs on");
+
+  const double guard_ns = disabled_guard_ns();
+
+  // Whole run, telemetry disabled (the default state).
+  Telemetry::disable();
+  std::size_t tasks_off = 0;
+  timed_scenario(tasks_off);  // warm-up
+  const double off_ms = timed_scenario(tasks_off);
+
+  // Whole run, telemetry enabled; afterwards count how many hot-path
+  // operations the run actually executed (events recorded plus counter
+  // increments and histogram observations).
+  Telemetry::enable();
+  Telemetry::reset();
+  std::size_t tasks_on = 0;
+  const double on_ms = timed_scenario(tasks_on);
+  const telemetry::MetricsSnapshot snapshot = Telemetry::metrics().snapshot();
+  double ops = static_cast<double>(Telemetry::tracing().recorded());
+  for (const auto& counter : snapshot.counters) ops += static_cast<double>(counter.value);
+  for (const auto& histogram : snapshot.histograms)
+    ops += static_cast<double>(histogram.total_count());
+
+  const double counter_ns = enabled_counter_ns();
+  const double span_ns = enabled_span_ns();
+  Telemetry::reset();
+  Telemetry::disable();
+
+  // Disabled-mode overhead estimate: every op above was one guarded site
+  // executing; with telemetry off each would have cost ~guard_ns.
+  const double disabled_overhead_pct = ops * guard_ns / (off_ms * 1e6) * 100.0;
+  const double enabled_overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+
+  std::printf("disabled guard         : %8.2f ns/site\n", guard_ns);
+  std::printf("enabled counter add    : %8.2f ns/op\n", counter_ns);
+  std::printf("enabled span record    : %8.2f ns/op\n", span_ns);
+  std::printf("run, telemetry off     : %8.1f ms (%zu tasks)\n", off_ms, tasks_off);
+  std::printf("run, telemetry on      : %8.1f ms (%zu tasks)\n", on_ms, tasks_on);
+  std::printf("instrumented ops       : %8.0f\n", ops);
+  std::printf("disabled-mode overhead : %8.3f %% (contract: < 2%%)\n", disabled_overhead_pct);
+  std::printf("enabled-mode overhead  : %8.1f %%\n", enabled_overhead_pct);
+
+  const bool deterministic = tasks_off == tasks_on;
+  const bool pass = disabled_overhead_pct < 2.0 && deterministic;
+  if (!deterministic) std::printf("ERROR: telemetry changed the task count\n");
+  if (!pass) std::printf("FAIL: disabled-mode overhead contract violated\n");
+
+  std::string json = "{\"bench\":\"micro_telemetry\"";
+  json += ",\"guard_ns\":" + std::to_string(guard_ns);
+  json += ",\"counter_ns\":" + std::to_string(counter_ns);
+  json += ",\"span_ns\":" + std::to_string(span_ns);
+  json += ",\"run_off_ms\":" + std::to_string(off_ms);
+  json += ",\"run_on_ms\":" + std::to_string(on_ms);
+  json += ",\"ops\":" + std::to_string(static_cast<std::uint64_t>(ops));
+  json += ",\"disabled_overhead_pct\":" + std::to_string(disabled_overhead_pct);
+  json += ",\"enabled_overhead_pct\":" + std::to_string(enabled_overhead_pct);
+  json += ",\"deterministic\":";
+  json += deterministic ? "true" : "false";
+  json += "}";
+  std::printf("\nBENCH_JSON: %s\n", json.c_str());
+  return pass ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greensched::cluster {
 
@@ -85,6 +86,9 @@ void Node::power_on(Seconds now) {
     throw StateError("Node '" + name_ + "': power_on from state " + to_string(state_));
   state_ = NodeState::kBooting;
   ++boots_;
+  state_since_ = now;
+  GS_TCOUNT(node_boots);
+  telemetry::Telemetry::instant("node.power_on", "power", now.value(), id_.value(), name_);
 }
 
 void Node::complete_boot(Seconds now) {
@@ -92,6 +96,9 @@ void Node::complete_boot(Seconds now) {
   if (state_ != NodeState::kBooting)
     throw StateError("Node '" + name_ + "': complete_boot from state " + to_string(state_));
   state_ = NodeState::kOn;
+  telemetry::Telemetry::span("node.boot", "power", state_since_.value(), now.value(),
+                             id_.value(), name_);
+  state_since_ = now;
 }
 
 void Node::power_off(Seconds now) {
@@ -102,6 +109,9 @@ void Node::power_off(Seconds now) {
     throw StateError("Node '" + name_ + "': power_off while " + std::to_string(busy_cores_) +
                      " cores are busy");
   state_ = NodeState::kShuttingDown;
+  state_since_ = now;
+  GS_TCOUNT(node_shutdowns);
+  telemetry::Telemetry::instant("node.power_off", "power", now.value(), id_.value(), name_);
 }
 
 void Node::complete_shutdown(Seconds now) {
@@ -109,6 +119,9 @@ void Node::complete_shutdown(Seconds now) {
   if (state_ != NodeState::kShuttingDown)
     throw StateError("Node '" + name_ + "': complete_shutdown from state " + to_string(state_));
   state_ = NodeState::kOff;
+  telemetry::Telemetry::span("node.shutdown", "power", state_since_.value(), now.value(),
+                             id_.value(), name_);
+  state_since_ = now;
 }
 
 void Node::fail(Seconds now) {
@@ -118,6 +131,9 @@ void Node::fail(Seconds now) {
   state_ = NodeState::kFailed;
   busy_cores_ = 0;  // whatever ran here is gone
   ++failures_;
+  state_since_ = now;
+  GS_TCOUNT(node_failures);
+  telemetry::Telemetry::instant("node.fail", "power", now.value(), id_.value(), name_);
 }
 
 void Node::repair(Seconds now) {
@@ -125,6 +141,9 @@ void Node::repair(Seconds now) {
   if (state_ != NodeState::kFailed)
     throw StateError("Node '" + name_ + "': repair from state " + to_string(state_));
   state_ = NodeState::kOff;
+  state_since_ = now;
+  GS_TCOUNT(node_repairs);
+  telemetry::Telemetry::instant("node.repair", "power", now.value(), id_.value(), name_);
 }
 
 void Node::acquire_core(Seconds now) {
@@ -163,6 +182,7 @@ void Node::set_pstate(Seconds now, std::size_t index) {
   advance_to(now);  // integrate energy at the old operating point
   pstate_ = index;
   ++pstate_transitions_;
+  GS_TCOUNT(pstate_transitions);
 }
 
 common::FlopsRate Node::current_flops_per_core() const noexcept {

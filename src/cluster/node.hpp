@@ -150,6 +150,7 @@ class Node {
   unsigned busy_cores_ = 0;
 
   Seconds last_update_{0.0};
+  Seconds state_since_{0.0};  ///< when the current power state was entered
   Joules energy_{0.0};
   Joules active_energy_{0.0};
   Seconds active_time_{0.0};

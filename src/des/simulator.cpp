@@ -1,6 +1,7 @@
 #include "des/simulator.hpp"
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greensched::des {
 
@@ -39,6 +40,9 @@ void Simulator::execute(const QueueEntry& entry) {
   --live_events_;
   now_ = SimTime(entry.time);
   ++executed_;
+  // Stamp the simulated "now" for telemetry spans opened inside the
+  // callback (thread-local, so concurrent simulators never collide).
+  if (telemetry::Telemetry::enabled()) telemetry::Telemetry::set_sim_now(entry.time);
   fn();
 }
 

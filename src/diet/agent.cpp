@@ -1,6 +1,7 @@
 #include "diet/agent.hpp"
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greensched::diet {
 
@@ -24,6 +25,7 @@ void Agent::attach_sed(Sed* sed) {
 
 std::vector<Candidate> Agent::handle_request(const Request& request,
                                              const PluginScheduler& plugin) {
+  telemetry::TraceSpan span("agent.propagate", "lifecycle", request.id.value(), name_);
   ++requests_handled_;
   std::vector<Candidate> candidates;
 
@@ -44,7 +46,12 @@ std::vector<Candidate> Agent::handle_request(const Request& request,
   }
 
   // Step 4: sort at this level, forward the best ones only.
-  plugin.aggregate(candidates, request);
+  {
+    telemetry::TraceSpan aggregate_span("agent.aggregate", "lifecycle", request.id.value(),
+                                        name_);
+    plugin.aggregate(candidates, request);
+    GS_TCOUNT(aggregations);
+  }
   if (forward_limit_ != 0 && candidates.size() > forward_limit_) {
     candidates.resize(forward_limit_);
   }
@@ -67,19 +74,26 @@ SchedulingDecision MasterAgent::submit(const Request& request) {
   decision.service_unknown = candidates.empty();
   decision.considered = candidates.size();
 
-  // Step 3 (adjusted process): the provisioner restricts the candidate set
-  // according to thresholds and Preference_provider.
-  if (filter_) filter_(candidates, request);
+  {
+    telemetry::TraceSpan election_span("ma.election", "lifecycle", request.id.value(), name());
+    GS_TCOUNT(elections);
+    GS_TOBSERVE(election_candidates, static_cast<double>(decision.considered));
 
-  // Step 4/5: the list is already sorted; elect the first server that can
-  // take the task *now* (the paper's one-task-per-core rule).
-  for (auto& c : candidates) {
-    if (c.sed->can_accept(request.task.spec.cores)) {
-      decision.elected = c.sed;
-      ++elections_;
-      break;
+    // Step 3 (adjusted process): the provisioner restricts the candidate set
+    // according to thresholds and Preference_provider.
+    if (filter_) filter_(candidates, request);
+
+    // Step 4/5: the list is already sorted; elect the first server that can
+    // take the task *now* (the paper's one-task-per-core rule).
+    for (auto& c : candidates) {
+      if (c.sed->can_accept(request.task.spec.cores)) {
+        decision.elected = c.sed;
+        ++elections_;
+        break;
+      }
     }
   }
+  if (decision.elected == nullptr) GS_TCOUNT(elections_unplaced);
   decision.ranked = std::move(candidates);
   return decision;
 }

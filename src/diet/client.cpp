@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greensched::diet {
 
@@ -28,6 +29,8 @@ void Client::submit_workload(std::vector<workload::TaskInstance> tasks) {
 }
 
 void Client::submit_now(const workload::TaskInstance& task) {
+  telemetry::TraceSpan span("client.submit", "lifecycle", task.id.value(), name_);
+  GS_TCOUNT(requests_submitted);
   ClientTaskRecord record;
   record.task = task;
   record.submit = hierarchy_.sim().now();

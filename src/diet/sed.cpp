@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greensched::diet {
 
@@ -38,6 +39,8 @@ bool Sed::can_accept(unsigned cores) const noexcept {
 }
 
 EstimationVector Sed::fill_estimation(const Request& request) {
+  telemetry::TraceSpan span("sed.estimate", "lifecycle", request.id.value(), name());
+  GS_TCOUNT(estimations);
   ++estimations_served_;
   const Seconds now = sim_.now();
   EstimationVector est(name(), node_.id());
@@ -85,6 +88,9 @@ common::TaskId Sed::execute(const workload::TaskInstance& task, common::RequestI
 
   const Seconds now = sim_.now();
   node_.acquire_core(now);
+  GS_TCOUNT(tasks_started);
+  telemetry::Telemetry::instant("task.start", "lifecycle", now.value(), task.id.value(),
+                                name());
 
   // The core's speed at start (including any DVFS P-state, which a
   // governor may have just raised in reaction to acquire_core, and the
@@ -126,6 +132,11 @@ void Sed::complete(std::size_t running_index) {
 
   const double duration = (finished.record.end - finished.record.start).value();
   if (duration > 0.0) per_core_rate_.add(finished.record.work.value() / duration);
+  GS_TCOUNT(tasks_completed);
+  GS_TOBSERVE(task_run_seconds, duration);
+  telemetry::Telemetry::span("task.run", "lifecycle", finished.record.start.value(),
+                             finished.record.end.value(), finished.record.task.value(),
+                             name());
   history_.push_back(finished.record);
 
   if (completion_hook_) completion_hook_(finished.record);
@@ -144,6 +155,9 @@ std::size_t Sed::inject_failure() {
   for (auto& r : killed) {
     r.record.end = now;
     r.record.failed = true;
+    GS_TCOUNT(tasks_failed);
+    telemetry::Telemetry::instant("task.failed", "lifecycle", now.value(),
+                                  r.record.task.value(), name());
     // Failed work contributes to neither the learning history nor the
     // per-core rate estimate.
     if (completion_hook_) completion_hook_(r.record);

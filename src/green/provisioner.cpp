@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/mathutil.hpp"
 #include "green/greenperf.hpp"
+#include "telemetry/telemetry.hpp"
 
 
 namespace greensched::green {
@@ -81,6 +82,7 @@ void Provisioner::start() {
   if (config_.manage_node_power) manage_power(now);
   planning_.add_entry(PlanningEntry{now.value(), last_status_.temperature, candidate_count_,
                                     last_status_.electricity_cost});
+  GS_TCOUNT(planning_writes);
   candidate_series_.add(now.value(), static_cast<double>(candidate_count_));
 
   process_.start();
@@ -139,6 +141,7 @@ std::size_t Provisioner::target_for(const PlatformStatus& status) const {
 
   // Rule mode: fraction of all nodes from the first matching rule.
   const Rule* rule = rules_.match(status);
+  if (rule != nullptr) GS_TCOUNT(rule_firings);
   const double fraction = rule ? rule->candidate_fraction : rules_.default_fraction();
   if (rule && rule->action) rule->action(status);
   return fraction_floor(n, fraction);
@@ -176,6 +179,8 @@ void Provisioner::manage_power(SimTime at) {
 }
 
 bool Provisioner::tick(SimTime at) {
+  telemetry::TraceSpan tick_span("provisioner.tick", "provisioner");
+  GS_TCOUNT(provisioner_ticks);
   PlatformStatus status = read_status(at);
   if (forecaster_) {
     // Section III-B: size the pool for the *coming* period's utilization
@@ -212,9 +217,11 @@ bool Provisioner::tick(SimTime at) {
   // Progressive ramp toward the target.
   if (target > candidate_count_) {
     candidate_count_ = std::min(target, candidate_count_ + config_.ramp_up_step);
+    GS_TCOUNT(ramp_up_steps);
   } else if (target < candidate_count_) {
     const std::size_t step = std::min(config_.ramp_down_step, candidate_count_);
     candidate_count_ = std::max(target, candidate_count_ - step);
+    GS_TCOUNT(ramp_down_steps);
   }
 
   apply_candidate_set(at);
@@ -223,6 +230,9 @@ bool Provisioner::tick(SimTime at) {
   // Record the decision in the shared planning (Fig. 8's XML record).
   planning_.add_entry(PlanningEntry{at.value(), status.temperature, candidate_count_,
                                     status.electricity_cost});
+  GS_TCOUNT(planning_writes);
+  GS_TGAUGE(candidate_nodes, static_cast<double>(candidate_count_));
+  GS_TGAUGE(electricity_cost, status.electricity_cost);
 
   // Fig. 9 series: candidates and mean power over the elapsed period.
   candidate_series_.add(at.value(), static_cast<double>(candidate_count_));

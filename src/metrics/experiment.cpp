@@ -10,6 +10,7 @@
 #include "diet/client.hpp"
 #include "diet/hierarchy.hpp"
 #include "green/policies.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greensched::metrics {
 
@@ -67,6 +68,8 @@ PlacementResult run_placement(const PlacementConfig& config) {
     throw common::ConfigError("run_placement: no clusters configured");
   if (config.client_count == 0)
     throw common::ConfigError("run_placement: need at least one client");
+
+  telemetry::TraceSpan run_span("run.placement", "engine", config.seed, config.policy);
 
   des::Simulator sim;
   common::Rng rng(config.seed);

@@ -1,5 +1,7 @@
 #include "metrics/sweep.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <ostream>
 #include <utility>
@@ -7,6 +9,8 @@
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greensched::metrics {
 
@@ -42,6 +46,10 @@ std::vector<SweepRow> SweepRunner::run() const {
     const std::size_t seed = cell % seed_count;
     PlacementConfig config = points_[point].config;  // grid stays immutable
     config.seed = options_.seeds[seed];
+    // Tag every event this cell records with its grid position so the
+    // merged collection can be split into per-point trace files.
+    telemetry::ScopedRunContext context(points_[point].label + "/seed" +
+                                        std::to_string(config.seed));
     cells[cell] = run_placement(config);
   };
 
@@ -53,6 +61,10 @@ std::vector<SweepRow> SweepRunner::run() const {
     std::vector<std::size_t> indices(cell_count);
     std::iota(indices.begin(), indices.end(), std::size_t{0});
     common::parallel_for_each(pool, indices, run_cell);
+  }
+
+  if (!options_.trace_dir.empty() && telemetry::Telemetry::enabled()) {
+    export_traces();
   }
 
   std::vector<SweepRow> rows;
@@ -67,6 +79,30 @@ std::vector<SweepRow> SweepRunner::run() const {
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+void SweepRunner::export_traces() const {
+  // Called after all cells finished (the pool is destroyed), so the
+  // collector is quiescent — the collect() contract holds.
+  const telemetry::TraceCollector& collector = telemetry::Telemetry::tracing();
+  const std::vector<telemetry::TraceEvent> events = telemetry::Telemetry::tracing().collect();
+  std::filesystem::create_directories(options_.trace_dir);
+  for (const SweepPoint& point : points_) {
+    // Cells tag events with "<label>/seed<seed>": gather this point's.
+    std::vector<telemetry::TraceEvent> mine;
+    const std::string prefix = point.label + "/seed";
+    for (const telemetry::TraceEvent& e : events) {
+      if (collector.context_label(e.context).starts_with(prefix)) mine.push_back(e);
+    }
+    std::string file = point.label;
+    for (char& c : file) {
+      if (c == '/' || c == '\\' || c == ':' || c == ' ') c = '_';
+    }
+    std::ofstream out(std::filesystem::path(options_.trace_dir) /
+                      (file + ".trace.json"));
+    if (!out) throw common::StateError("SweepRunner: cannot write trace for '" + point.label + "'");
+    telemetry::write_chrome_trace(out, mine, collector);
+  }
 }
 
 namespace {

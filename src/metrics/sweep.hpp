@@ -34,6 +34,11 @@ struct SweepOptions {
   std::vector<std::uint64_t> seeds = default_seeds(5);
   /// Worker threads: 0 = hardware concurrency, 1 = serial.
   std::size_t jobs = 1;
+  /// When non-empty (and telemetry is enabled), each grid point's trace
+  /// events are exported to `<trace_dir>/<label>.trace.json` after the
+  /// run (Chrome trace_event format).  Cells tag their events with a
+  /// `ScopedRunContext` labelled "<label>/seed<seed>" either way.
+  std::string trace_dir;
 };
 
 /// Aggregated outcome of one grid point across all seeds.
@@ -67,6 +72,10 @@ class SweepRunner {
   static void write_runs_csv(std::ostream& out, const std::vector<SweepRow>& rows);
 
  private:
+  /// Splits the collected trace by grid point and writes one Chrome-trace
+  /// JSON file per point into `options_.trace_dir`.
+  void export_traces() const;
+
   SweepOptions options_;
   std::vector<SweepPoint> points_;
 };

@@ -1,0 +1,143 @@
+#include "telemetry/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+#include "common/csv.hpp"
+
+namespace greensched::telemetry {
+
+namespace {
+
+/// Formats a double the way JSON requires (no inf/nan, no locale).
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events,
+                        const TraceCollector& collector) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    const double ts_us = e.sim_begin * 1e6;
+    out << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"" << json_escape(e.category)
+        << "\",\"ph\":\"" << static_cast<char>(e.phase) << "\",\"ts\":" << json_number(ts_us)
+        << ",\"pid\":1,\"tid\":" << e.thread;
+    if (e.phase == TracePhase::kComplete) {
+      const double dur_us = (e.sim_end - e.sim_begin) * 1e6;
+      out << ",\"dur\":" << json_number(dur_us < 0.0 ? 0.0 : dur_us);
+    } else {
+      out << ",\"s\":\"t\"";
+    }
+    out << ",\"args\":{\"wall_us\":" << json_number(static_cast<double>(e.wall_dur_ns) / 1e3);
+    if (e.id != TraceEvent::kNoId) out << ",\"id\":" << e.id;
+    if (!e.detail_view().empty())
+      out << ",\"detail\":\"" << json_escape(e.detail_view()) << "\"";
+    if (e.context != 0)
+      out << ",\"run\":\"" << json_escape(collector.context_label(e.context)) << "\"";
+    out << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_trace_csv(std::ostream& out, const std::vector<TraceEvent>& events,
+                     const TraceCollector& collector) {
+  common::CsvWriter csv(out);
+  csv.row({"name", "category", "phase", "run", "thread", "sim_begin_s", "sim_dur_s",
+           "wall_us", "id", "detail"});
+  for (const TraceEvent& e : events) {
+    csv.cell(std::string(e.name))
+        .cell(std::string(e.category))
+        .cell(std::string(1, static_cast<char>(e.phase)))
+        .cell(collector.context_label(e.context))
+        .cell(static_cast<std::size_t>(e.thread))
+        .cell(e.sim_begin)
+        .cell(e.sim_end - e.sim_begin)
+        .cell(static_cast<double>(e.wall_dur_ns) / 1e3)
+        .cell(e.id == TraceEvent::kNoId ? std::string() : std::to_string(e.id))
+        .cell(std::string(e.detail_view()));
+    csv.end_row();
+  }
+}
+
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "greensched_";
+  for (const char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+  for (const CounterValue& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name);
+    out << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+  }
+  for (const GaugeValue& g : snapshot.gauges) {
+    if (!g.set) continue;
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n" << name << " " << prometheus_number(g.value)
+        << "\n";
+  }
+  for (const HistogramValue& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += h.counts[b];
+      out << name << "_bucket{le=\"" << prometheus_number(h.bounds[b]) << "\"} " << cumulative
+          << "\n";
+    }
+    cumulative += h.counts.back();
+    out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    out << name << "_sum " << prometheus_number(h.sum) << "\n";
+    out << name << "_count " << cumulative << "\n";
+  }
+}
+
+}  // namespace greensched::telemetry

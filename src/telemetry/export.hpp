@@ -1,0 +1,38 @@
+// Exporters for collected telemetry.
+//
+//   * Chrome trace_event JSON — load in chrome://tracing or Perfetto
+//     (https://ui.perfetto.dev).  Timestamps are *simulated* microseconds
+//     so the trace lines up with the paper's figures; the measured
+//     wall-clock cost of each span rides along in args.wall_us.
+//   * CSV — one row per event, for ad-hoc analysis.
+//   * Prometheus text exposition — counters, gauges and histograms in
+//     the standard scrape format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace greensched::telemetry {
+
+/// Writes `{"traceEvents":[...]}`.  `collector` resolves run-context
+/// labels; pass the collector the events came from.
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events,
+                        const TraceCollector& collector);
+
+/// One CSV row per event: name, category, phase, context, thread,
+/// sim_begin_s, sim_dur_s, wall_us, id, detail.
+void write_trace_csv(std::ostream& out, const std::vector<TraceEvent>& events,
+                     const TraceCollector& collector);
+
+/// Prometheus text exposition (metric names are sanitized to
+/// [a-zA-Z0-9_] and prefixed "greensched_").
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// JSON string escaping shared by the exporters (and handy in tests).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace greensched::telemetry

@@ -1,0 +1,239 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace greensched::telemetry {
+
+namespace {
+
+/// Thread-local cache of "my shard in that registry".  Keyed by a unique
+/// per-instance id so a registry destroyed and another constructed at the
+/// same address can never alias.
+struct ShardCache {
+  std::uint64_t instance = 0;
+  void* shard = nullptr;
+};
+thread_local ShardCache t_shard_cache;
+
+}  // namespace
+
+std::uint64_t MetricRegistry::next_instance() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricRegistry::~MetricRegistry() {
+  // Invalidate the calling thread's cache; other threads' caches cannot
+  // match a future registry because instance ids are never reused.
+  if (t_shard_cache.instance == instance_) t_shard_cache = ShardCache{};
+}
+
+MetricRegistry::Shard& MetricRegistry::local_shard() noexcept {
+  if (t_shard_cache.instance == instance_) {
+    return *static_cast<Shard*>(t_shard_cache.shard);
+  }
+  return register_shard();
+}
+
+MetricRegistry::Shard& MetricRegistry::register_shard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A thread that alternated between registries re-finds its old shard
+  // instead of leaking a new one.
+  const std::thread::id self = std::this_thread::get_id();
+  for (auto& shard : shards_) {
+    if (shard->owner == self) {
+      t_shard_cache = ShardCache{instance_, shard.get()};
+      return *shard;
+    }
+  }
+  shards_.push_back(std::make_unique<Shard>());
+  shards_.back()->owner = self;
+  t_shard_cache = ShardCache{instance_, shards_.back().get()};
+  return *shards_.back();
+}
+
+CounterId MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    if (counter_names_[i] == name) return CounterId{i};
+  }
+  if (counter_names_.size() >= kMaxCounters)
+    throw common::ConfigError("MetricRegistry: counter capacity exhausted");
+  counter_names_.push_back(name);
+  return CounterId{counter_names_.size() - 1};
+}
+
+GaugeId MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    if (gauge_names_[i] == name) return GaugeId{i};
+  }
+  if (gauge_names_.size() >= kMaxGauges)
+    throw common::ConfigError("MetricRegistry: gauge capacity exhausted");
+  gauge_names_.push_back(name);
+  return GaugeId{gauge_names_.size() - 1};
+}
+
+HistogramId MetricRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  if (upper_bounds.empty())
+    throw common::ConfigError("MetricRegistry: histogram '" + name + "' has no buckets");
+  if (upper_bounds.size() > kMaxHistogramBuckets)
+    throw common::ConfigError("MetricRegistry: histogram '" + name + "' has too many buckets");
+  for (std::size_t i = 1; i < upper_bounds.size(); ++i) {
+    if (!(upper_bounds[i - 1] < upper_bounds[i]))
+      throw common::ConfigError("MetricRegistry: histogram '" + name +
+                                "' bounds must be strictly increasing");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    if (histogram_names_[i] == name) {
+      const std::size_t n = histogram_bucket_counts_[i].load(std::memory_order_relaxed);
+      const bool same = n == upper_bounds.size() &&
+                        std::equal(upper_bounds.begin(), upper_bounds.end(),
+                                   histogram_bounds_[i].begin());
+      if (!same)
+        throw common::ConfigError("MetricRegistry: histogram '" + name +
+                                  "' re-registered with different bounds");
+      return HistogramId{i};
+    }
+  }
+  if (histogram_names_.size() >= kMaxHistograms)
+    throw common::ConfigError("MetricRegistry: histogram capacity exhausted");
+  histogram_names_.push_back(name);
+  const std::size_t index = histogram_names_.size() - 1;
+  std::copy(upper_bounds.begin(), upper_bounds.end(), histogram_bounds_[index].begin());
+  // Publish: observers acquire the count and then read the plain bounds.
+  histogram_bucket_counts_[index].store(upper_bounds.size(), std::memory_order_release);
+  return HistogramId{index};
+}
+
+void MetricRegistry::add(CounterId id, std::uint64_t delta) noexcept {
+  if (!id.valid() || id.index >= kMaxCounters) return;
+  local_shard().counters[id.index].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricRegistry::set(GaugeId id, double value) noexcept {
+  if (!id.valid() || id.index >= kMaxGauges) return;
+  gauges_[id.index].store(value, std::memory_order_relaxed);
+  gauge_set_[id.index].store(true, std::memory_order_relaxed);
+}
+
+void MetricRegistry::observe(HistogramId id, double value) noexcept {
+  if (!id.valid() || id.index >= kMaxHistograms) return;
+  // Acquire pairs with the release in histogram(): the bounds this count
+  // covers are fully written before it becomes visible.
+  const std::size_t n = histogram_bucket_counts_[id.index].load(std::memory_order_acquire);
+  if (n == 0) return;
+  const auto& bounds = histogram_bounds_[id.index];
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.begin() + n, value) - bounds.begin());
+  Shard& shard = local_shard();
+  shard.buckets[id.index * (kMaxHistogramBuckets + 1) + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.sums[id.index].fetch_add(value, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.resize(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    out.counters[i].name = counter_names_[i];
+  }
+  out.gauges.resize(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    out.gauges[i].name = gauge_names_[i];
+    out.gauges[i].value = gauges_[i].load(std::memory_order_relaxed);
+    out.gauges[i].set = gauge_set_[i].load(std::memory_order_relaxed);
+  }
+  out.histograms.resize(histogram_names_.size());
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    const std::size_t n = histogram_bucket_counts_[i].load(std::memory_order_relaxed);
+    out.histograms[i].name = histogram_names_[i];
+    out.histograms[i].bounds.assign(histogram_bounds_[i].begin(),
+                                    histogram_bounds_[i].begin() + n);
+    out.histograms[i].counts.assign(n + 1, 0);
+  }
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < out.counters.size(); ++i) {
+      out.counters[i].value += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t h = 0; h < out.histograms.size(); ++h) {
+      HistogramValue& hv = out.histograms[h];
+      for (std::size_t b = 0; b < hv.counts.size(); ++b) {
+        hv.counts[b] +=
+            shard->buckets[h * (kMaxHistogramBuckets + 1) + b].load(std::memory_order_relaxed);
+      }
+      hv.sum += shard->sums[h].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void MetricRegistry::reset() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& b : shard->buckets) b.store(0, std::memory_order_relaxed);
+    for (auto& s : shard->sums) s.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+  for (auto& f : gauge_set_) f.store(false, std::memory_order_relaxed);
+}
+
+std::size_t MetricRegistry::shard_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_.size();
+}
+
+std::size_t MetricRegistry::counter_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counter_names_.size();
+}
+
+std::uint64_t HistogramValue::total_count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  return total;
+}
+
+double HistogramValue::quantile(double q) const {
+  const std::uint64_t total = total_count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The rank of the target observation, 1-based.
+  const double rank = std::max(1.0, std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b >= bounds.size()) return bounds.back();  // overflow bucket
+    const double lower = b == 0 ? 0.0 : bounds[b - 1];
+    const double upper = bounds[b];
+    const double within = (rank - before) / static_cast<double>(counts[b]);
+    return lower + (upper - lower) * within;
+  }
+  return bounds.back();
+}
+
+const CounterValue* MetricsSnapshot::find_counter(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const HistogramValue* MetricsSnapshot::find_histogram(const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace greensched::telemetry

@@ -1,0 +1,155 @@
+// MetricRegistry: named counters, gauges and fixed-bucket histograms.
+//
+// Hot-path writes go to *lock-free thread-local shards*: each recording
+// thread owns a slab of relaxed atomics that only it writes, so the
+// `--jobs N` experiment engine can record from every worker without a
+// shared cache line, let alone a lock.  A scrape (`snapshot()`) merges
+// the shards; counter and bucket totals are integral, so the merged
+// values are bit-identical no matter how the work was partitioned across
+// threads — the same determinism contract the sweep engine gives for
+// results.  Registration (name -> id) is mutex-guarded but happens once
+// per metric, never on the hot path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace greensched::telemetry {
+
+/// Capacity limits: shards are fixed-size slabs so they can be merged
+/// while other threads keep writing (no reallocation ever happens).
+inline constexpr std::size_t kMaxCounters = 128;
+inline constexpr std::size_t kMaxGauges = 32;
+inline constexpr std::size_t kMaxHistograms = 32;
+/// Finite buckets per histogram (an overflow bucket is added on top).
+inline constexpr std::size_t kMaxHistogramBuckets = 32;
+
+struct CounterId {
+  std::size_t index = static_cast<std::size_t>(-1);
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index != static_cast<std::size_t>(-1);
+  }
+};
+
+struct GaugeId {
+  std::size_t index = static_cast<std::size_t>(-1);
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index != static_cast<std::size_t>(-1);
+  }
+};
+
+struct HistogramId {
+  std::size_t index = static_cast<std::size_t>(-1);
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index != static_cast<std::size_t>(-1);
+  }
+};
+
+/// Merged view of one counter.
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Merged view of one gauge (last relaxed store wins).
+struct GaugeValue {
+  std::string name;
+  double value = 0.0;
+  bool set = false;  ///< false until the first set()
+};
+
+/// Merged view of one histogram.  `counts` has one entry per upper bound
+/// plus a final overflow bucket; bucket i holds observations v with
+/// bounds[i-1] < v <= bounds[i] (Prometheus "le" semantics).
+struct HistogramValue {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< size bounds.size() + 1
+  double sum = 0.0;
+
+  [[nodiscard]] std::uint64_t total_count() const noexcept;
+  /// Quantile estimate by linear interpolation inside the bucket that
+  /// holds the q-th observation.  Assumes non-negative observations
+  /// (bucket 0 spans [0, bounds[0]]); observations above the last bound
+  /// report the last bound.  Returns 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  [[nodiscard]] const CounterValue* find_counter(const std::string& name) const;
+  [[nodiscard]] const HistogramValue* find_histogram(const std::string& name) const;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  ~MetricRegistry();
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // --- registration (mutex-guarded, get-or-create by name) ---
+  CounterId counter(const std::string& name);
+  GaugeId gauge(const std::string& name);
+  /// `upper_bounds` must be non-empty, strictly increasing and no longer
+  /// than kMaxHistogramBuckets; re-registering a name requires identical
+  /// bounds.  Throws common::ConfigError otherwise.
+  HistogramId histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  // --- hot path (lock-free: one relaxed RMW on a thread-owned slab) ---
+  void add(CounterId id, std::uint64_t delta = 1) noexcept;
+  void set(GaugeId id, double value) noexcept;
+  void observe(HistogramId id, double value) noexcept;
+
+  // --- scrape ---
+  /// Merges every shard.  Safe to call while other threads record:
+  /// relaxed loads may miss in-flight increments but never tear.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zeroes every shard and gauge; registrations survive.  Call only
+  /// while no other thread is recording.
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] std::size_t counter_count() const;
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<std::atomic<std::uint64_t>,
+               kMaxHistograms*(kMaxHistogramBuckets + 1)>
+        buckets{};
+    std::array<std::atomic<double>, kMaxHistograms> sums{};
+    std::thread::id owner;
+  };
+
+  [[nodiscard]] Shard& local_shard() noexcept;
+  Shard& register_shard();
+
+  const std::uint64_t instance_ = next_instance();
+  static std::uint64_t next_instance() noexcept;
+
+  mutable std::mutex mutex_;  ///< registration + shard list only
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  /// Bounds live in fixed slots published by a release-store of the
+  /// bucket count, so `observe` can read them without the mutex.
+  std::array<std::array<double, kMaxHistogramBuckets>, kMaxHistograms> histogram_bounds_{};
+  std::array<std::atomic<std::size_t>, kMaxHistograms> histogram_bucket_counts_{};
+  std::deque<std::unique_ptr<Shard>> shards_;  ///< stable addresses
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
+  std::array<std::atomic<bool>, kMaxGauges> gauge_set_{};
+};
+
+}  // namespace greensched::telemetry

@@ -1,0 +1,135 @@
+#include "telemetry/telemetry.hpp"
+
+namespace greensched::telemetry {
+
+std::atomic<bool> Telemetry::enabled_{false};
+
+namespace {
+
+thread_local double t_sim_now = 0.0;
+
+std::uint64_t wall_now_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+/// Trace capacity applied to the collector on first construction; kept
+/// simple because enable() runs before any recording thread exists.
+std::atomic<std::size_t> g_trace_capacity{1u << 16};
+
+BuiltinMetrics register_builtin(MetricRegistry& registry) {
+  BuiltinMetrics b;
+  b.requests_submitted = registry.counter("diet.requests_submitted");
+  b.estimations = registry.counter("diet.estimations");
+  b.aggregations = registry.counter("diet.aggregations");
+  b.elections = registry.counter("diet.elections");
+  b.elections_unplaced = registry.counter("diet.elections_unplaced");
+  b.tasks_started = registry.counter("diet.tasks_started");
+  b.tasks_completed = registry.counter("diet.tasks_completed");
+  b.tasks_failed = registry.counter("diet.tasks_failed");
+  b.provisioner_ticks = registry.counter("green.provisioner_ticks");
+  b.planning_writes = registry.counter("green.planning_writes");
+  b.rule_firings = registry.counter("green.rule_firings");
+  b.ramp_up_steps = registry.counter("green.ramp_up_steps");
+  b.ramp_down_steps = registry.counter("green.ramp_down_steps");
+  b.node_boots = registry.counter("cluster.node_boots");
+  b.node_shutdowns = registry.counter("cluster.node_shutdowns");
+  b.node_failures = registry.counter("cluster.node_failures");
+  b.node_repairs = registry.counter("cluster.node_repairs");
+  b.pstate_transitions = registry.counter("cluster.pstate_transitions");
+  b.candidate_nodes = registry.gauge("green.candidate_nodes");
+  b.electricity_cost = registry.gauge("green.electricity_cost");
+  b.task_run_seconds = registry.histogram(
+      "diet.task_run_seconds", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+  b.election_candidates =
+      registry.histogram("diet.election_candidates", {1, 2, 4, 8, 16, 32, 64, 128});
+  return b;
+}
+
+}  // namespace
+
+void Telemetry::enable(TelemetryConfig config) {
+  g_trace_capacity.store(config.trace_capacity_per_thread, std::memory_order_relaxed);
+  // Force registration before the flag flips so enabled-path code never
+  // pays the registration mutex.
+  (void)builtin();
+  (void)tracing();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Telemetry::reset() noexcept {
+  metrics().reset();
+  tracing().clear();
+}
+
+MetricRegistry& Telemetry::metrics() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+TraceCollector& Telemetry::tracing() {
+  static TraceCollector collector(g_trace_capacity.load(std::memory_order_relaxed));
+  return collector;
+}
+
+const BuiltinMetrics& Telemetry::builtin() {
+  static const BuiltinMetrics b = register_builtin(metrics());
+  return b;
+}
+
+void Telemetry::set_sim_now(double seconds) noexcept { t_sim_now = seconds; }
+
+double Telemetry::sim_now() noexcept { return t_sim_now; }
+
+void Telemetry::span(const char* name, const char* category, double sim_begin,
+                     double sim_end, std::uint64_t id, std::string_view detail) noexcept {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = TracePhase::kComplete;
+  event.sim_begin = sim_begin;
+  event.sim_end = sim_end;
+  event.wall_begin_ns = wall_now_ns();
+  event.id = id;
+  event.set_detail(detail);
+  tracing().record(event);
+}
+
+void Telemetry::instant(const char* name, const char* category, double sim_at,
+                        std::uint64_t id, std::string_view detail) noexcept {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = TracePhase::kInstant;
+  event.sim_begin = sim_at;
+  event.sim_end = sim_at;
+  event.wall_begin_ns = wall_now_ns();
+  event.id = id;
+  event.set_detail(detail);
+  tracing().record(event);
+}
+
+void TraceSpan::finish() noexcept {
+  // Disabled mid-span: drop the event rather than record half a story.
+  if (!Telemetry::enabled()) return;
+  const auto wall_end = std::chrono::steady_clock::now();
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.phase = TracePhase::kComplete;
+  event.sim_begin = sim_begin_;
+  event.sim_end = Telemetry::sim_now();
+  event.wall_begin_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_begin_.time_since_epoch())
+          .count());
+  event.wall_dur_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end - wall_begin_).count());
+  event.id = id_;
+  event.set_detail(detail_);
+  Telemetry::tracing().record(event);
+}
+
+}  // namespace greensched::telemetry

@@ -1,0 +1,189 @@
+// Telemetry facade: the one switch the instrumented hot paths check.
+//
+// Instrumentation all over the stack (client submit, agent propagation,
+// SED estimation, aggregation, election, execution, completion, the
+// provisioner's autonomic loop, node power-state transitions) is gated
+// behind `Telemetry::enabled()` — a single relaxed atomic load — so the
+// disabled-mode overhead is a branch on a hot cached flag, ~zero
+// (`bench_micro_telemetry` enforces < 2% on a whole run).  Enabling never
+// changes behaviour: instrumentation only *reads* simulation state and
+// never touches an Rng, so scheduling decisions and energy totals are
+// bit-identical with telemetry on or off (a unit test guards this).
+//
+// Like `common::Logger`, the telemetry state is process-wide and
+// thread-safe; per-run separation inside a sweep comes from run contexts
+// (`ScopedRunContext`), not from per-run instances.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace greensched::telemetry {
+
+/// Ids of the metrics the built-in instrumentation records, registered
+/// once in the global registry.  Names follow "layer.metric".
+struct BuiltinMetrics {
+  // request lifecycle (diet)
+  CounterId requests_submitted;
+  CounterId estimations;
+  CounterId aggregations;
+  CounterId elections;
+  CounterId elections_unplaced;  ///< scheduling rounds electing nobody
+  CounterId tasks_started;
+  CounterId tasks_completed;
+  CounterId tasks_failed;
+  // provisioner autonomic loop (green)
+  CounterId provisioner_ticks;
+  CounterId planning_writes;
+  CounterId rule_firings;
+  CounterId ramp_up_steps;
+  CounterId ramp_down_steps;
+  // node power state machine (cluster)
+  CounterId node_boots;
+  CounterId node_shutdowns;
+  CounterId node_failures;
+  CounterId node_repairs;
+  CounterId pstate_transitions;
+  // gauges
+  GaugeId candidate_nodes;
+  GaugeId electricity_cost;
+  // histograms
+  HistogramId task_run_seconds;
+  HistogramId election_candidates;
+};
+
+struct TelemetryConfig {
+  std::size_t trace_capacity_per_thread = 1u << 16;
+};
+
+class Telemetry {
+ public:
+  /// The hot-path guard: one relaxed atomic load.  Every instrumentation
+  /// site checks this before touching the registry or collector.
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Turns recording on.  Re-enabling with a different trace capacity
+  /// only affects buffers registered afterwards.
+  static void enable(TelemetryConfig config = {});
+  static void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  /// Drops recorded data (events, counters); registrations and the
+  /// enabled flag survive.  Call only while no thread is recording.
+  static void reset() noexcept;
+
+  [[nodiscard]] static MetricRegistry& metrics();
+  [[nodiscard]] static TraceCollector& tracing();
+  [[nodiscard]] static const BuiltinMetrics& builtin();
+
+  // --- simulated-time channel ---
+  /// The DES loop stamps the executing event's time here (thread-local)
+  /// so spans opened anywhere below know the simulated "now".
+  static void set_sim_now(double seconds) noexcept;
+  [[nodiscard]] static double sim_now() noexcept;
+
+  // --- recording helpers (no-ops while disabled) ---
+  /// A span with explicit simulated begin/end (task execution, a node
+  /// boot): recorded once, at the moment it ends.
+  static void span(const char* name, const char* category, double sim_begin, double sim_end,
+                   std::uint64_t id = TraceEvent::kNoId,
+                   std::string_view detail = {}) noexcept;
+  /// A point event at one simulated instant.
+  static void instant(const char* name, const char* category, double sim_at,
+                      std::uint64_t id = TraceEvent::kNoId,
+                      std::string_view detail = {}) noexcept;
+  /// Counter/gauge/histogram shorthands.
+  static void count(CounterId id, std::uint64_t delta = 1) noexcept {
+    if (enabled()) metrics().add(id, delta);
+  }
+  static void gauge(GaugeId id, double value) noexcept {
+    if (enabled()) metrics().set(id, value);
+  }
+  static void observe(HistogramId id, double value) noexcept {
+    if (enabled()) metrics().observe(id, value);
+  }
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII wall-clock span: measures the enclosed code block, stamped with
+/// the simulated time it ran at.  Construction while disabled is a
+/// relaxed load and a branch; nothing is recorded.
+class TraceSpan {
+ public:
+  /// `name` and `category` must be string literals (static storage).
+  TraceSpan(const char* name, const char* category,
+            std::uint64_t id = TraceEvent::kNoId, std::string_view detail = {}) noexcept {
+    if (!Telemetry::enabled()) return;
+    active_ = true;
+    name_ = name;
+    category_ = category;
+    id_ = id;
+    detail_ = detail;
+    sim_begin_ = Telemetry::sim_now();
+    wall_begin_ = std::chrono::steady_clock::now();
+  }
+  ~TraceSpan() { if (active_) finish(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void finish() noexcept;
+
+  bool active_ = false;
+  const char* name_ = "";
+  const char* category_ = "";
+  std::uint64_t id_ = TraceEvent::kNoId;
+  std::string_view detail_;
+  double sim_begin_ = 0.0;
+  std::chrono::steady_clock::time_point wall_begin_;
+};
+
+/// Labels every event this thread records while in scope (a sweep grid
+/// point, typically) so exporters can split a merged collection into
+/// per-run files.  No-op while telemetry is disabled.
+class ScopedRunContext {
+ public:
+  explicit ScopedRunContext(std::string_view label) {
+    if (!Telemetry::enabled()) return;
+    active_ = true;
+    previous_ = TraceCollector::exchange_context(Telemetry::tracing().context_id(label));
+  }
+  ~ScopedRunContext() {
+    if (active_) TraceCollector::exchange_context(previous_);
+  }
+  ScopedRunContext(const ScopedRunContext&) = delete;
+  ScopedRunContext& operator=(const ScopedRunContext&) = delete;
+
+ private:
+  bool active_ = false;
+  std::uint16_t previous_ = 0;
+};
+
+}  // namespace greensched::telemetry
+
+/// Counter shorthand for instrumentation sites: resolves the builtin id
+/// only when telemetry is enabled.
+#define GS_TCOUNT(field)                                                      \
+  if (!::greensched::telemetry::Telemetry::enabled()) {                       \
+  } else                                                                      \
+    ::greensched::telemetry::Telemetry::metrics().add(                        \
+        ::greensched::telemetry::Telemetry::builtin().field)
+
+#define GS_TOBSERVE(field, value)                                             \
+  if (!::greensched::telemetry::Telemetry::enabled()) {                       \
+  } else                                                                      \
+    ::greensched::telemetry::Telemetry::metrics().observe(                    \
+        ::greensched::telemetry::Telemetry::builtin().field, (value))
+
+#define GS_TGAUGE(field, value)                                               \
+  if (!::greensched::telemetry::Telemetry::enabled()) {                       \
+  } else                                                                      \
+    ::greensched::telemetry::Telemetry::metrics().set(                        \
+        ::greensched::telemetry::Telemetry::builtin().field, (value))

@@ -1,0 +1,143 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace greensched::telemetry {
+
+void TraceEvent::set_detail(std::string_view text) noexcept {
+  const std::size_t n = std::min(text.size(), sizeof(detail) - 1);
+  std::memcpy(detail, text.data(), n);
+  detail[n] = '\0';
+}
+
+std::string_view TraceEvent::detail_view() const noexcept {
+  return std::string_view(detail);
+}
+
+namespace {
+
+struct BufferCache {
+  std::uint64_t instance = 0;
+  void* buffer = nullptr;
+};
+thread_local BufferCache t_buffer_cache;
+thread_local std::uint16_t t_context = 0;
+
+std::uint64_t next_collector_instance() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(std::size_t capacity_per_thread)
+    : instance_(next_collector_instance()), capacity_(capacity_per_thread) {
+  if (capacity_ == 0)
+    throw common::ConfigError("TraceCollector: capacity must be positive");
+  context_labels_.push_back("");  // id 0: no context
+}
+
+TraceCollector::~TraceCollector() {
+  if (t_buffer_cache.instance == instance_) t_buffer_cache = BufferCache{};
+}
+
+TraceBuffer& TraceCollector::local_buffer() {
+  if (t_buffer_cache.instance == instance_) {
+    return static_cast<NamedBuffer*>(t_buffer_cache.buffer)->buffer;
+  }
+  return register_buffer().buffer;
+}
+
+TraceCollector::NamedBuffer& TraceCollector::register_buffer() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::thread::id self = std::this_thread::get_id();
+  for (auto& buffer : buffers_) {
+    if (buffer->owner == self) {
+      t_buffer_cache = BufferCache{instance_, buffer.get()};
+      return *buffer;
+    }
+  }
+  buffers_.push_back(std::make_unique<NamedBuffer>(
+      capacity_, self, static_cast<std::uint32_t>(buffers_.size())));
+  t_buffer_cache = BufferCache{instance_, buffers_.back().get()};
+  return *buffers_.back();
+}
+
+void TraceCollector::record(TraceEvent event) noexcept {
+  NamedBuffer* named;
+  if (t_buffer_cache.instance == instance_) {
+    named = static_cast<NamedBuffer*>(t_buffer_cache.buffer);
+  } else {
+    named = &register_buffer();
+  }
+  event.thread = named->ordinal;
+  event.context = t_context;
+  named->buffer.push(event);
+}
+
+std::uint16_t TraceCollector::context_id(std::string_view label) {
+  if (label.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < context_labels_.size(); ++i) {
+    if (context_labels_[i] == label) return static_cast<std::uint16_t>(i);
+  }
+  if (context_labels_.size() >= 0xFFFF)
+    throw common::ConfigError("TraceCollector: run-context table exhausted");
+  context_labels_.emplace_back(label);
+  return static_cast<std::uint16_t>(context_labels_.size() - 1);
+}
+
+std::string TraceCollector::context_label(std::uint16_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= context_labels_.size()) return "";
+  return context_labels_[id];
+}
+
+std::uint16_t TraceCollector::exchange_context(std::uint16_t id) noexcept {
+  const std::uint16_t previous = t_context;
+  t_context = id;
+  return previous;
+}
+
+std::uint16_t TraceCollector::current_context() noexcept { return t_context; }
+
+std::vector<TraceEvent> TraceCollector::collect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers_) buffer->buffer.drain_to(out);
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.sim_begin != b.sim_begin) return a.sim_begin < b.sim_begin;
+    return a.wall_begin_ns < b.wall_begin_ns;
+  });
+  return out;
+}
+
+std::uint64_t TraceCollector::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->buffer.recorded();
+  return total;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->buffer.dropped();
+  return total;
+}
+
+void TraceCollector::clear() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buffer : buffers_) buffer->buffer.clear();
+}
+
+std::size_t TraceCollector::buffer_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+}  // namespace greensched::telemetry

@@ -1,0 +1,141 @@
+// Trace recording: per-thread ring buffers of span/instant events.
+//
+// A `TraceEvent` carries *both* clocks: simulated time (the DES timeline
+// the paper's figures are drawn on) and wall time (what the code actually
+// cost).  Each recording thread owns a `TraceBuffer` — a fixed-capacity
+// `common::RingBuffer` that overwrites the oldest events instead of
+// allocating, so a multi-hour Fig. 9 run keeps a bounded recent window.
+// The `TraceCollector` owns every thread's buffer and merges them for
+// export; merging requires quiescence (no thread recording), which the
+// callers guarantee by exporting after a run / after the pool drained.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+
+namespace greensched::telemetry {
+
+/// Event phases, mirroring the Chrome trace_event vocabulary.
+enum class TracePhase : char {
+  kComplete = 'X',  ///< a span with a duration
+  kInstant = 'i',   ///< a point event
+};
+
+struct TraceEvent {
+  const char* name = "";      ///< must point at static storage (a literal)
+  const char* category = "";  ///< must point at static storage (a literal)
+  TracePhase phase = TracePhase::kInstant;
+  std::uint16_t context = 0;  ///< run-context id (0 = none)
+  std::uint32_t thread = 0;   ///< recording thread ordinal
+  double sim_begin = 0.0;     ///< simulated seconds
+  double sim_end = 0.0;
+  std::uint64_t wall_begin_ns = 0;
+  std::uint64_t wall_dur_ns = 0;
+  std::uint64_t id = 0;  ///< task/node/request id (kNoId = none)
+  /// Small annotation (server name, policy, ...) copied at record time so
+  /// the event never dangles into simulation objects.
+  char detail[24] = {};
+
+  static constexpr std::uint64_t kNoId = ~std::uint64_t{0};
+
+  void set_detail(std::string_view text) noexcept;
+  [[nodiscard]] std::string_view detail_view() const noexcept;
+};
+
+/// One thread's ring of events.  Writes are owner-thread only; reads
+/// (drain) happen under quiescence.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity) : ring_(capacity) {}
+
+  void push(const TraceEvent& event) noexcept {
+    ring_.push(event);
+    ++recorded_;
+  }
+
+  /// Events pushed since construction/clear, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Events lost to ring overwrites.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return recorded_ - ring_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.capacity(); }
+
+  /// Appends the retained events, oldest first.
+  void drain_to(std::vector<TraceEvent>& out) const {
+    ring_.for_each([&out](const TraceEvent& e) { out.push_back(e); });
+  }
+
+  void clear() noexcept {
+    ring_.clear();
+    recorded_ = 0;
+  }
+
+ private:
+  common::RingBuffer<TraceEvent> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
+/// Owns one TraceBuffer per recording thread plus the run-context table.
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::size_t capacity_per_thread = 1u << 16);
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// This thread's buffer (registered on first use).
+  [[nodiscard]] TraceBuffer& local_buffer();
+
+  /// Records a complete span ('X') or instant ('i') into the local
+  /// buffer, stamping thread ordinal and current run context.
+  void record(TraceEvent event) noexcept;
+
+  // --- run contexts (grid-point labels in sweeps) ---
+  /// Get-or-create a context id for `label` (id 0 is the empty label).
+  std::uint16_t context_id(std::string_view label);
+  [[nodiscard]] std::string context_label(std::uint16_t id) const;
+  /// Installs `id` as this thread's current context; returns the
+  /// previous one (restore it when the scope ends).
+  static std::uint16_t exchange_context(std::uint16_t id) noexcept;
+  [[nodiscard]] static std::uint16_t current_context() noexcept;
+
+  // --- merge / maintenance (quiescent callers only) ---
+  /// All retained events from every thread, in recording order per
+  /// thread, sorted by (sim_begin, wall_begin).
+  [[nodiscard]] std::vector<TraceEvent> collect() const;
+  /// Total events pushed / lost to ring overwrites, across threads.
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t buffer_count() const;
+  [[nodiscard]] std::size_t capacity_per_thread() const noexcept { return capacity_; }
+
+ private:
+  struct NamedBuffer {
+    TraceBuffer buffer;
+    std::thread::id owner;
+    std::uint32_t ordinal;
+    explicit NamedBuffer(std::size_t capacity, std::thread::id who, std::uint32_t n)
+        : buffer(capacity), owner(who), ordinal(n) {}
+  };
+
+  NamedBuffer& register_buffer();
+
+  const std::uint64_t instance_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;  ///< buffer list + context table only
+  std::deque<std::unique_ptr<NamedBuffer>> buffers_;
+  std::vector<std::string> context_labels_;  ///< index = id; [0] = ""
+};
+
+}  // namespace greensched::telemetry

@@ -1,0 +1,79 @@
+// Telemetry must be a pure observer: enabling it may not change a single
+// scheduling decision or energy figure, and the metric totals it records
+// must not depend on how a sweep was partitioned across worker threads.
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.hpp"
+#include "metrics/sweep.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace greensched::telemetry {
+namespace {
+
+metrics::PlacementConfig small_config() {
+  metrics::PlacementConfig config;
+  config.clusters = metrics::table1_clusters();
+  config.policy = "GREENPERF";
+  config.seed = 7;
+  config.workload.requests_per_core = 2.0;
+  return config;
+}
+
+TEST(TelemetryDeterminism, EnablingDoesNotChangeResults) {
+  Telemetry::disable();
+  const metrics::PlacementResult off = metrics::run_placement(small_config());
+
+  Telemetry::enable();
+  Telemetry::reset();
+  const metrics::PlacementResult on = metrics::run_placement(small_config());
+  Telemetry::reset();
+  Telemetry::disable();
+
+  // Bit-identical, not approximately equal: instrumentation only reads.
+  EXPECT_EQ(off.energy.value(), on.energy.value());
+  EXPECT_EQ(off.makespan.value(), on.makespan.value());
+  EXPECT_EQ(off.mean_wait_seconds, on.mean_wait_seconds);
+  EXPECT_EQ(off.tasks, on.tasks);
+  EXPECT_EQ(off.sim_events, on.sim_events);
+  EXPECT_EQ(off.tasks_per_server, on.tasks_per_server);
+}
+
+/// Runs the same sweep grid at the given jobs count and returns the
+/// builtin counter totals recorded while it ran.
+MetricsSnapshot sweep_totals(std::size_t jobs) {
+  Telemetry::enable();
+  Telemetry::reset();
+  metrics::SweepOptions options;
+  options.seeds = metrics::default_seeds(4);
+  options.jobs = jobs;
+  metrics::SweepRunner runner(options);
+  runner.add_policies(small_config(), {"POWER", "GREENPERF"});
+  (void)runner.run();
+  return Telemetry::metrics().snapshot();
+}
+
+TEST(TelemetryDeterminism, SweepMetricTotalsIndependentOfJobs) {
+  const MetricsSnapshot serial = sweep_totals(1);
+  const MetricsSnapshot pooled = sweep_totals(8);
+  Telemetry::reset();
+  Telemetry::disable();
+
+  ASSERT_EQ(serial.counters.size(), pooled.counters.size());
+  for (std::size_t i = 0; i < serial.counters.size(); ++i) {
+    EXPECT_EQ(serial.counters[i].name, pooled.counters[i].name);
+    EXPECT_EQ(serial.counters[i].value, pooled.counters[i].value)
+        << "counter " << serial.counters[i].name << " depends on partitioning";
+  }
+  ASSERT_EQ(serial.histograms.size(), pooled.histograms.size());
+  for (std::size_t i = 0; i < serial.histograms.size(); ++i) {
+    EXPECT_EQ(serial.histograms[i].counts, pooled.histograms[i].counts)
+        << "histogram " << serial.histograms[i].name << " depends on partitioning";
+  }
+  // Sanity: the sweep actually recorded something.
+  const CounterValue* submitted = serial.find_counter("diet.requests_submitted");
+  ASSERT_NE(submitted, nullptr);
+  EXPECT_GT(submitted->value, 0u);
+}
+
+}  // namespace
+}  // namespace greensched::telemetry

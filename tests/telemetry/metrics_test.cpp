@@ -1,0 +1,201 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace greensched::telemetry {
+namespace {
+
+TEST(MetricRegistry, CounterAddAndSnapshot) {
+  MetricRegistry registry;
+  const CounterId hits = registry.counter("hits");
+  EXPECT_TRUE(hits.valid());
+  registry.add(hits);
+  registry.add(hits, 41);
+  const MetricsSnapshot snap = registry.snapshot();
+  const CounterValue* value = snap.find_counter("hits");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->value, 42u);
+}
+
+TEST(MetricRegistry, RegistrationIsGetOrCreate) {
+  MetricRegistry registry;
+  const CounterId a = registry.counter("same");
+  const CounterId b = registry.counter("same");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(registry.counter_count(), 1u);
+}
+
+TEST(MetricRegistry, GaugeLastWriteWins) {
+  MetricRegistry registry;
+  const GaugeId g = registry.gauge("level");
+  MetricsSnapshot before = registry.snapshot();
+  EXPECT_FALSE(before.gauges.at(0).set);
+  registry.set(g, 1.5);
+  registry.set(g, 2.5);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.gauges.at(0).set);
+  EXPECT_DOUBLE_EQ(snap.gauges.at(0).value, 2.5);
+}
+
+TEST(MetricRegistry, HistogramBucketBoundariesAreUpperInclusive) {
+  MetricRegistry registry;
+  const HistogramId h = registry.histogram("h", {1.0, 2.0, 4.0});
+  // Prometheus "le" semantics: bucket i counts bounds[i-1] < v <= bounds[i].
+  registry.observe(h, 0.5);  // bucket 0
+  registry.observe(h, 1.0);  // bucket 0 (inclusive upper bound)
+  registry.observe(h, 1.5);  // bucket 1
+  registry.observe(h, 2.0);  // bucket 1
+  registry.observe(h, 4.0);  // bucket 2
+  registry.observe(h, 9.0);  // overflow
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramValue* value = snap.find_histogram("h");
+  ASSERT_NE(value, nullptr);
+  ASSERT_EQ(value->counts.size(), 4u);
+  EXPECT_EQ(value->counts[0], 2u);
+  EXPECT_EQ(value->counts[1], 2u);
+  EXPECT_EQ(value->counts[2], 1u);
+  EXPECT_EQ(value->counts[3], 1u);
+  EXPECT_EQ(value->total_count(), 6u);
+  EXPECT_DOUBLE_EQ(value->sum, 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0);
+}
+
+TEST(MetricRegistry, HistogramRegistrationValidation) {
+  MetricRegistry registry;
+  EXPECT_THROW(registry.histogram("empty", {}), common::ConfigError);
+  EXPECT_THROW(registry.histogram("unsorted", {2.0, 1.0}), common::ConfigError);
+  EXPECT_THROW(registry.histogram("dup", {1.0, 1.0}), common::ConfigError);
+  std::vector<double> too_many(kMaxHistogramBuckets + 1);
+  std::iota(too_many.begin(), too_many.end(), 1.0);
+  EXPECT_THROW(registry.histogram("huge", too_many), common::ConfigError);
+  registry.histogram("ok", {1.0, 2.0});
+  // Re-registering the same name requires identical bounds.
+  EXPECT_THROW(registry.histogram("ok", {1.0, 3.0}), common::ConfigError);
+  const HistogramId again = registry.histogram("ok", {1.0, 2.0});
+  EXPECT_TRUE(again.valid());
+}
+
+TEST(HistogramValue, QuantileInterpolatesInsideBucket) {
+  MetricRegistry registry;
+  const HistogramId h = registry.histogram("q", {10.0, 20.0, 40.0});
+  // 10 observations spread: 5 in (0,10], 5 in (10,20].
+  for (int i = 0; i < 5; ++i) registry.observe(h, 5.0);
+  for (int i = 0; i < 5; ++i) registry.observe(h, 15.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramValue* value = snap.find_histogram("q");
+  ASSERT_NE(value, nullptr);
+  // Median: rank 5 is the last observation of bucket 0 -> interpolates to
+  // the bucket's upper bound.
+  EXPECT_DOUBLE_EQ(value->quantile(0.5), 10.0);
+  // p90 -> rank 9, the 4th of 5 observations in (10, 20].
+  EXPECT_DOUBLE_EQ(value->quantile(0.9), 10.0 + 10.0 * 4.0 / 5.0);
+  // Everything above the last bound clamps to it.
+  MetricRegistry registry2;
+  const HistogramId h2 = registry2.histogram("q2", {1.0});
+  registry2.observe(h2, 100.0);
+  const MetricsSnapshot snap2 = registry2.snapshot();
+  const HistogramValue* overflow = snap2.find_histogram("q2");
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_DOUBLE_EQ(overflow->quantile(0.5), 1.0);
+}
+
+TEST(HistogramValue, QuantileOfEmptyHistogramIsZero) {
+  MetricRegistry registry;
+  registry.histogram("empty", {1.0, 2.0});
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramValue* value = snap.find_histogram("empty");
+  ASSERT_NE(value, nullptr);
+  EXPECT_DOUBLE_EQ(value->quantile(0.5), 0.0);
+}
+
+TEST(MetricRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricRegistry registry;
+  const CounterId c = registry.counter("c");
+  const HistogramId h = registry.histogram("h", {1.0});
+  registry.add(c, 7);
+  registry.observe(h, 0.5);
+  registry.reset();
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find_counter("c")->value, 0u);
+  EXPECT_EQ(snap.find_histogram("h")->total_count(), 0u);
+  registry.add(c);  // ids stay valid after reset
+  const MetricsSnapshot after = registry.snapshot();
+  EXPECT_EQ(after.find_counter("c")->value, 1u);
+}
+
+/// Records a fixed workload of counter increments and observations,
+/// partitioned over `jobs` pool workers, and returns the merged snapshot.
+MetricsSnapshot record_partitioned(MetricRegistry& registry, std::size_t jobs) {
+  const CounterId c = registry.counter("work");
+  const HistogramId h = registry.histogram("latency", {1.0, 2.0, 4.0, 8.0});
+  constexpr std::size_t kItems = 4000;
+  std::vector<std::size_t> items(kItems);
+  std::iota(items.begin(), items.end(), std::size_t{0});
+  auto record = [&](std::size_t i) {
+    registry.add(c, i % 3);
+    registry.observe(h, static_cast<double>(i % 10));
+  };
+  if (jobs <= 1) {
+    for (const std::size_t i : items) record(i);
+  } else {
+    common::ThreadPool pool(jobs);
+    common::parallel_for_each(pool, items, record);
+  }
+  return registry.snapshot();
+}
+
+TEST(MetricRegistry, ShardMergeIsPartitionIndependent) {
+  MetricRegistry serial;
+  const MetricsSnapshot expected = record_partitioned(serial, 1);
+
+  MetricRegistry pooled;
+  const MetricsSnapshot merged = record_partitioned(pooled, 8);
+  EXPECT_GE(pooled.shard_count(), 2u);  // workers registered own shards
+
+  // Integral totals are bit-identical however the work was partitioned.
+  EXPECT_EQ(expected.find_counter("work")->value, merged.find_counter("work")->value);
+  const HistogramValue* a = expected.find_histogram("latency");
+  const HistogramValue* b = merged.find_histogram("latency");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->counts, b->counts);
+  EXPECT_EQ(a->total_count(), b->total_count());
+  // The double sum merges in shard order; with these integer-valued
+  // observations it is still exact.
+  EXPECT_DOUBLE_EQ(a->sum, b->sum);
+}
+
+TEST(MetricRegistry, ConcurrentRegistrationAndRecording) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Every thread registers the same names (get-or-create race) and
+      // a private one, then records.
+      const CounterId shared = registry.counter("shared");
+      const CounterId mine = registry.counter("private-" + std::to_string(t));
+      for (int i = 0; i < 1000; ++i) {
+        registry.add(shared);
+        registry.add(mine);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find_counter("shared")->value, 8000u);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.find_counter("private-" + std::to_string(t))->value, 1000u);
+  }
+}
+
+}  // namespace
+}  // namespace greensched::telemetry

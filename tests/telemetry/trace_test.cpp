@@ -1,0 +1,353 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cluster/catalog.hpp"
+#include "diet/client.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/events.hpp"
+#include "green/planning.hpp"
+#include "green/policies.hpp"
+#include "green/provisioner.hpp"
+#include "metrics/experiment.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace greensched::telemetry {
+namespace {
+
+/// Strict recursive-descent JSON reader: accepts exactly the RFC 8259
+/// grammar (no trailing commas, no NaN, no unquoted keys).  The chrome
+/// exporter's output must survive a parse-back or Perfetto will reject it.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_])))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string_view w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonChecker, SelfTest) {
+  for (const char* good : {"{}", "[]", R"({"a":[1,2.5,-3e4,"x\n",true,null]})"}) {
+    EXPECT_TRUE(JsonChecker(std::string(good)).valid()) << good;
+  }
+  for (const char* bad : {"{", "[1,]", "{'a':1}", "{\"a\":NaN}", "[1] extra"}) {
+    EXPECT_FALSE(JsonChecker(std::string(bad)).valid()) << bad;
+  }
+}
+
+TEST(TraceEvent, DetailIsCopiedInline) {
+  TraceEvent event;
+  event.set_detail("short");
+  EXPECT_EQ(event.detail_view(), "short");
+  // Longer annotations truncate instead of overflowing the inline slot
+  // (one byte is the terminator).
+  event.set_detail("a-very-long-annotation-that-exceeds-the-inline-capacity");
+  EXPECT_EQ(event.detail_view().size(), sizeof(event.detail) - 1);
+}
+
+TEST(TraceBuffer, RingOverwritesOldestAndCountsDrops) {
+  TraceBuffer buffer(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent event;
+    event.sim_begin = static_cast<double>(i);
+    buffer.push(event);
+  }
+  EXPECT_EQ(buffer.recorded(), 10u);
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.dropped(), 6u);
+  std::vector<TraceEvent> events;
+  buffer.drain_to(events);
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and only the newest 4 survived.
+  EXPECT_DOUBLE_EQ(events.front().sim_begin, 6.0);
+  EXPECT_DOUBLE_EQ(events.back().sim_begin, 9.0);
+}
+
+TEST(TraceCollector, CollectSortsBySimTime) {
+  TraceCollector collector(16);
+  TraceEvent late;
+  late.name = "late";
+  late.sim_begin = 5.0;
+  collector.record(late);
+  TraceEvent early;
+  early.name = "early";
+  early.sim_begin = 1.0;
+  collector.record(early);
+  const std::vector<TraceEvent> events = collector.collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "early");
+  EXPECT_STREQ(events[1].name, "late");
+}
+
+TEST(TraceCollector, RunContextsLabelEvents) {
+  TraceCollector collector(16);
+  const std::uint16_t id = collector.context_id("sweep/POWER");
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(collector.context_id("sweep/POWER"), id);  // interned
+  EXPECT_EQ(collector.context_label(id), "sweep/POWER");
+  EXPECT_EQ(collector.context_label(0), "");
+
+  const std::uint16_t previous = TraceCollector::exchange_context(id);
+  TraceEvent event;
+  collector.record(event);
+  TraceCollector::exchange_context(previous);
+  collector.record(event);
+
+  const std::vector<TraceEvent> events = collector.collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].context, id);
+  EXPECT_EQ(events[1].context, previous);
+}
+
+TEST(Exporters, ChromeTraceSurvivesStrictParseBack) {
+  TraceCollector collector(64);
+  TraceEvent span;
+  span.name = "task.run";
+  span.category = "lifecycle";
+  span.phase = TracePhase::kComplete;
+  span.sim_begin = 1.25;
+  span.sim_end = 3.5;
+  span.id = 7;
+  span.set_detail("node \"quoted\"\t\\");  // must be escaped
+  collector.record(span);
+  TraceEvent instant;
+  instant.name = "node.power_on";
+  instant.category = "power";
+  instant.phase = TracePhase::kInstant;
+  instant.sim_begin = 2.0;
+  // record() stamps the *current* run context over whatever the event
+  // carries, so the label must be installed the way instrumentation does.
+  const std::uint16_t previous =
+      TraceCollector::exchange_context(collector.context_id("run/seed1"));
+  collector.record(instant);
+  TraceCollector::exchange_context(previous);
+
+  std::ostringstream out;
+  write_chrome_trace(out, collector.collect(), collector);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("run/seed1"), std::string::npos);
+}
+
+TEST(Exporters, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Exporters, CsvHasOneRowPerEvent) {
+  TraceCollector collector(16);
+  TraceEvent event;
+  event.name = "e";
+  event.category = "c";
+  collector.record(event);
+  collector.record(event);
+  std::ostringstream out;
+  write_trace_csv(out, collector.collect(), collector);
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // header + 2 events
+  EXPECT_NE(text.find("sim_begin_s"), std::string::npos);
+}
+
+/// The whole-stack acceptance check: a compressed adaptive-provisioning
+/// run must produce spans covering every request-lifecycle step, the
+/// provisioner's autonomic loop and node power transitions.
+TEST(TelemetryIntegration, AdaptiveRunCoversLifecycleProvisionerAndPower) {
+  Telemetry::enable();
+  Telemetry::reset();
+
+  {
+    des::Simulator sim;
+    common::Rng rng(42);
+    cluster::Platform platform;
+    for (const auto& setup : metrics::table1_clusters()) {
+      platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+    }
+    diet::Hierarchy hierarchy(sim, rng);
+    diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+    const auto policy = green::make_policy("GREENPERF");
+    ma.set_plugin(policy.get());
+
+    green::EventSchedule events;
+    events.set_initial_cost(1.0);
+    events.add(green::EventSchedule::scheduled_cost_change(1800.0, 0.4, 600.0));
+    green::ProvisioningPlanning planning;
+    green::ProvisionerConfig config;
+    config.check_period = common::minutes(10.0);
+    config.ramp_up_step = 2;
+    config.ramp_down_step = 4;
+    config.min_candidates = 2;
+    green::Provisioner provisioner(sim, platform, ma, green::RuleEngine::paper_default(),
+                                   events, planning, config);
+    green::EventInjector injector(sim, platform, events);
+    provisioner.start();
+    diet::SaturatingClient client(
+        hierarchy, workload::paper_cpu_bound_task(),
+        [&provisioner] { return provisioner.candidate_capacity(); }, common::Seconds(30.0));
+    client.start();
+    sim.run_until(common::minutes(60.0));
+    client.stop();
+    provisioner.stop();
+  }
+
+  std::set<std::string> names;
+  for (const TraceEvent& e : Telemetry::tracing().collect()) names.insert(e.name);
+  for (const char* required :
+       {"client.submit", "agent.propagate", "agent.aggregate", "sed.estimate", "ma.election",
+        "task.start", "task.run", "provisioner.tick", "node.power_on", "node.boot"}) {
+    EXPECT_TRUE(names.contains(required)) << "missing span: " << required;
+  }
+
+  // The merged export of the full run must still be well-formed JSON.
+  std::ostringstream out;
+  write_chrome_trace(out, Telemetry::tracing().collect(), Telemetry::tracing());
+  EXPECT_TRUE(JsonChecker(out.str()).valid());
+
+  // Prometheus text export: counters present with the sanitized names.
+  std::ostringstream prom;
+  write_prometheus(prom, Telemetry::metrics().snapshot());
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("greensched_diet_requests_submitted"), std::string::npos);
+  EXPECT_NE(text.find("greensched_green_provisioner_ticks"), std::string::npos);
+  EXPECT_NE(text.find("greensched_cluster_node_boots"), std::string::npos);
+  EXPECT_NE(text.find("greensched_diet_task_run_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  Telemetry::reset();
+  Telemetry::disable();
+}
+
+}  // namespace
+}  // namespace greensched::telemetry

@@ -38,6 +38,8 @@
 #include "metrics/replication.hpp"
 #include "metrics/report.hpp"
 #include "metrics/sweep.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace greensched;
@@ -52,15 +54,23 @@ int usage() {
                "  catalog          print machine catalog and GreenPerf ratios\n"
                "  placement        run one placement experiment (--policy, --seed,\n"
                "                   --requests-per-core, --burst, --rate, --clients,\n"
-               "                   --spec-only, --heterogeneity, --csv FILE)\n"
-               "  compare          compare policies (--policies A,B,C, --jobs N + placement\n"
-               "                   flags)\n"
+               "                   --spec-only, --heterogeneity, --csv FILE,\n"
+               "                   --config FILE, --save-config FILE)\n"
+               "  compare          compare policies (--policies A,B,C, --jobs N,\n"
+               "                   --replicate N + placement flags)\n"
                "  sweep            replicated policy grid on the thread pool (--policies,\n"
-               "                   --seeds N, --jobs N, --csv FILE, --runs-csv FILE)\n"
+               "                   --seeds N, --jobs N, --csv FILE, --runs-csv FILE,\n"
+               "                   --trace-dir DIR)\n"
                "  fig9             adaptive provisioning timeline (--minutes,\n"
-               "                   --check-minutes, --ramp-up, --ramp-down, --planning FILE)\n"
-               "  trace-generate   write a workload trace (--out FILE, --tasks, --burst, --rate)\n"
-               "  trace-run        replay a workload trace (--in FILE, --policy, --seed)\n");
+               "                   --check-minutes, --ramp-up, --ramp-down, --seed N,\n"
+               "                   --policy P, --planning FILE)\n"
+               "  trace-generate   write a workload trace (--out FILE, --tasks, --burst,\n"
+               "                   --rate, --seed)\n"
+               "  trace-run        replay a workload trace (--in FILE, --policy, --seed)\n"
+               "telemetry (any command):\n"
+               "  --trace-out FILE    record spans, write Chrome trace_event JSON\n"
+               "                      (load it in Perfetto / chrome://tracing)\n"
+               "  --metrics-out FILE  record counters, write Prometheus text format\n");
   return 2;
 }
 
@@ -204,6 +214,10 @@ int cmd_sweep(const CliArgs& args) {
   options.seeds = metrics::default_seeds(
       static_cast<std::size_t>(std::max(1LL, args.get_int("seeds", 5))));
   options.jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  options.trace_dir = args.get_or("trace-dir", "");
+  if (!options.trace_dir.empty() && !telemetry::Telemetry::enabled()) {
+    telemetry::Telemetry::enable();
+  }
   metrics::SweepRunner runner(options);
   runner.add_policies(config, policies);
 
@@ -360,6 +374,13 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args = CliArgs::parse(argc, argv);
     const std::string command = args.command();
+
+    // Telemetry flags apply to every command; read them up front so the
+    // recording is on before any simulation starts.
+    const auto trace_out = args.get("trace-out");
+    const auto metrics_out = args.get("metrics-out");
+    if (trace_out || metrics_out) telemetry::Telemetry::enable();
+
     int status;
     if (command == "catalog") {
       status = cmd_catalog();
@@ -378,8 +399,32 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+
+    // Unknown options are errors: a typo must not silently run the
+    // default configuration.
+    bool unknown = false;
     for (const auto& key : args.unused_keys()) {
-      std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+      std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
+      unknown = true;
+    }
+    if (unknown) return usage();
+
+    // Export after the command finished: every simulator/thread pool is
+    // quiescent by now, so collecting the trace is race-free.
+    if (trace_out) {
+      std::ofstream out(*trace_out);
+      if (!out) throw common::StateError("cannot write trace file " + *trace_out);
+      const auto& collector = telemetry::Telemetry::tracing();
+      telemetry::write_chrome_trace(out, collector.collect(), collector);
+      std::fprintf(stderr, "trace written to %s (%llu events, %llu dropped)\n",
+                   trace_out->c_str(), static_cast<unsigned long long>(collector.recorded()),
+                   static_cast<unsigned long long>(collector.dropped()));
+    }
+    if (metrics_out) {
+      std::ofstream out(*metrics_out);
+      if (!out) throw common::StateError("cannot write metrics file " + *metrics_out);
+      telemetry::write_prometheus(out, telemetry::Telemetry::metrics().snapshot());
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out->c_str());
     }
     return status;
   } catch (const std::exception& e) {
