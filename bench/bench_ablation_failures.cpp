@@ -7,11 +7,13 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "chaos/scenario.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "diet/client.hpp"
 #include "diet/failure.hpp"
 #include "green/policies.hpp"
+#include "metrics/experiment.hpp"
 #include "workload/generator.hpp"
 
 using namespace greensched;
@@ -97,5 +99,48 @@ int main() {
       "moves.  The energy overhead is dominated by *which* machines crash: once an\n"
       "efficient (taurus) node goes down, its load spills to the power-hungry spares\n"
       "for the rest of the run — additional crashes change little beyond that.\n");
+
+  // --- MTBF-driven chaos scenarios ---------------------------------------------
+  // The scripted crashes above place a fixed number of faults by hand;
+  // the chaos layer instead drives continuous stochastic fault processes
+  // (Weibull MTBF, flaky reboots, cluster outages).  Sweep the MTBF and
+  // compare the hardened retry policy against no retries at all.
+  std::printf("\nMTBF-driven chaos (100 nodes, 2000 requests, storm repair model):\n");
+  std::printf("%-12s %-9s %-9s %-9s %-10s %-10s %-9s\n", "mtbf (s)", "crashes", "killed",
+              "retries", "lost", "unfinished", "completed");
+  const std::vector<double> mtbfs{8000.0, 4000.0, 2000.0, 1000.0};
+  std::vector<std::pair<metrics::PlacementResult, metrics::PlacementResult>> rows(mtbfs.size());
+  std::vector<std::size_t> chaos_indices(mtbfs.size());
+  for (std::size_t i = 0; i < mtbfs.size(); ++i) chaos_indices[i] = i;
+  common::parallel_for_each(pool, chaos_indices, [&](std::size_t i) {
+    metrics::PlacementConfig config;
+    config.clusters = metrics::scaled_clusters(100);
+    config.policy = "GREENPERF";
+    config.task_count_override = 2000;
+    char spec[128];
+    std::snprintf(spec, sizeof(spec), "storm,mtbf=%g,outage_mtbf=0,horizon=7200", mtbfs[i]);
+    config.chaos = chaos::ChaosScenario::parse(spec);
+    config.retry = diet::RetryPolicy::hardened();
+    metrics::PlacementResult hardened = metrics::run_placement(config);
+    config.retry = diet::RetryPolicy::none();
+    metrics::PlacementResult fragile = metrics::run_placement(config);
+    rows[i] = {std::move(hardened), std::move(fragile)};
+  });
+  for (std::size_t i = 0; i < mtbfs.size(); ++i) {
+    const auto& [hardened, fragile] = rows[i];
+    std::printf("%-12g %-9llu %-9llu %-9llu %-10zu %-10zu %zu/%zu\n", mtbfs[i],
+                static_cast<unsigned long long>(hardened.crashes),
+                static_cast<unsigned long long>(hardened.tasks_killed),
+                static_cast<unsigned long long>(hardened.retries), hardened.tasks_lost,
+                hardened.tasks_unfinished, hardened.tasks_completed, hardened.tasks);
+    std::printf("%-12s %-9llu %-9llu %-9s %-10zu %-10zu %zu/%zu   (no retry)\n", "",
+                static_cast<unsigned long long>(fragile.crashes),
+                static_cast<unsigned long long>(fragile.tasks_killed), "-", fragile.tasks_lost,
+                fragile.tasks_unfinished, fragile.tasks_completed, fragile.tasks);
+  }
+  std::printf(
+      "\nExpected: the hardened policy completes everything at every MTBF; without\n"
+      "retries the loss count grows as the MTBF shrinks — the self-healing layer,\n"
+      "not luck, is what keeps the green scheduler lossless under churn.\n");
   return 0;
 }

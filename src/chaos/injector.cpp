@@ -1,0 +1,173 @@
+#include "chaos/injector.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace greensched::chaos {
+
+using cluster::NodeState;
+using common::Seconds;
+
+ChaosInjector::ChaosInjector(diet::Hierarchy& hierarchy, ChaosScenario scenario)
+    : hierarchy_(hierarchy), scenario_(scenario), rng_(hierarchy.rng().split()) {
+  scenario_.validate();
+}
+
+void ChaosInjector::start() {
+  if (started_) throw common::StateError("ChaosInjector: start() called twice");
+  started_ = true;
+  if (!scenario_.enabled()) return;
+
+  std::map<std::uint64_t, std::size_t> group_of_cluster;
+  for (const auto& sed : hierarchy_.seds()) {
+    channels_.push_back(Channel{sed.get(), 0});
+    const std::uint64_t cluster = sed->node().cluster().value();
+    auto [it, inserted] = group_of_cluster.try_emplace(cluster, cluster_groups_.size());
+    if (inserted) cluster_groups_.emplace_back();
+    cluster_groups_[it->second].push_back(channels_.size() - 1);
+  }
+  if (channels_.empty())
+    throw common::StateError("ChaosInjector: hierarchy has no SEDs to fail");
+
+  if (scenario_.mtbf_seconds > 0.0) {
+    for (std::size_t i = 0; i < channels_.size(); ++i) arm_crash(i);
+  }
+  if (scenario_.cluster_outage_mtbf > 0.0) arm_outage();
+}
+
+void ChaosInjector::kill(diet::Sed& sed, const char* cause) {
+  tasks_killed_ += sed.inject_failure();
+  ++crashes_;
+  GS_TCOUNT(chaos_crashes);
+  telemetry::Telemetry::instant("chaos.crash", "chaos", hierarchy_.sim().now().value(),
+                                sed.node().id().value(), cause);
+}
+
+void ChaosInjector::arm_crash(std::size_t channel) {
+  const double ttf = rng_.weibull_mean(scenario_.weibull_shape, scenario_.mtbf_seconds);
+  const double at = hierarchy_.sim().now().value() + ttf;
+  if (past_horizon(at)) return;  // chain ends here; the queue can drain
+  hierarchy_.sim().schedule_at(Seconds(at), [this, channel] { on_crash_timer(channel); });
+}
+
+void ChaosInjector::on_crash_timer(std::size_t channel) {
+  diet::Sed& sed = *channels_[channel].sed;
+  const NodeState state = sed.node().state();
+  if (state == NodeState::kOff || state == NodeState::kFailed) {
+    // A down machine cannot crash; it may be back up by the next draw.
+    ++crashes_skipped_;
+  } else {
+    kill(sed, "mtbf");
+    begin_repair_cycle(channel);
+  }
+  arm_crash(channel);
+}
+
+void ChaosInjector::begin_repair_cycle(std::size_t channel) {
+  if (!rng_.bernoulli(scenario_.repair_probability)) {
+    ++unrepaired_;  // dead hardware: FAILED for the rest of the run
+    return;
+  }
+  const double delay = rng_.exponential(1.0 / scenario_.mttr_seconds);
+  hierarchy_.sim().schedule_after(Seconds(delay), [this, channel] { on_repair(channel); });
+}
+
+void ChaosInjector::on_repair(std::size_t channel) {
+  cluster::Node& node = channels_[channel].sed->node();
+  // An outage restore (or another cycle) may have handled it already.
+  if (node.state() != NodeState::kFailed) return;
+  node.repair(hierarchy_.sim().now());
+  ++repairs_;
+  if (!rng_.bernoulli(scenario_.reboot_probability)) {
+    // Repaired but left OFF: the provisioner may reclaim it later.
+    ++left_off_;
+    return;
+  }
+  boot_node(channel);
+}
+
+void ChaosInjector::boot_node(std::size_t channel) {
+  cluster::Node& node = channels_[channel].sed->node();
+  const Seconds now = hierarchy_.sim().now();
+  node.power_on(now);
+  const std::uint64_t epoch = ++channels_[channel].boot_epoch;
+  hierarchy_.sim().schedule_at(now + node.spec().boot_seconds, [this, channel, epoch] {
+    on_boot_complete(channel, epoch);
+  });
+}
+
+void ChaosInjector::on_boot_complete(std::size_t channel, std::uint64_t epoch) {
+  Channel& ch = channels_[channel];
+  if (ch.boot_epoch != epoch) return;  // superseded by a newer boot
+  cluster::Node& node = ch.sed->node();
+  if (node.state() != NodeState::kBooting) return;  // crashed while booting
+  if (rng_.bernoulli(scenario_.boot_failure_probability)) {
+    // The classic half-up failure: dies coming back, repair starts over.
+    kill(*ch.sed, "boot-failure");
+    ++boot_failures_;
+    GS_TCOUNT(chaos_boot_failures);
+    begin_repair_cycle(channel);
+    return;
+  }
+  node.complete_boot(hierarchy_.sim().now());
+  ++reboots_;
+  notify_capacity();
+}
+
+void ChaosInjector::notify_capacity() {
+  if (scenario_.staleness_seconds > 0.0) {
+    // The middleware's view of recovered capacity lags reality; timed
+    // client retries are what rescue requests in the gap.
+    const double delay = rng_.uniform(0.0, scenario_.staleness_seconds);
+    ++stale_notifications_;
+    GS_TCOUNT(chaos_stale_notifications);
+    hierarchy_.sim().schedule_after(Seconds(delay),
+                                    [this] { hierarchy_.notify_capacity_change(); });
+    return;
+  }
+  hierarchy_.notify_capacity_change();
+}
+
+void ChaosInjector::arm_outage() {
+  const double at =
+      hierarchy_.sim().now().value() + rng_.exponential(1.0 / scenario_.cluster_outage_mtbf);
+  if (past_horizon(at)) return;
+  hierarchy_.sim().schedule_at(Seconds(at), [this] { on_outage(); });
+}
+
+void ChaosInjector::on_outage() {
+  const std::size_t group = rng_.index(cluster_groups_.size());
+  ++cluster_outages_;
+  GS_TCOUNT(chaos_cluster_outages);
+  telemetry::Telemetry::instant("chaos.outage", "chaos", hierarchy_.sim().now().value(), group);
+
+  // Power dies for the whole enclosure at once: every powered node
+  // crashes; nodes already OFF or FAILED are untouched (and keep
+  // whatever repair cycle they were in).
+  std::vector<std::size_t> downed;
+  for (const std::size_t index : cluster_groups_[group]) {
+    const NodeState state = channels_[index].sed->node().state();
+    if (state == NodeState::kOff || state == NodeState::kFailed) continue;
+    kill(*channels_[index].sed, "outage");
+    downed.push_back(index);
+  }
+
+  // Restoration brings exactly the nodes this outage took down back in
+  // one sweep (repair + reboot each, with the usual boot hazards).
+  const double delay = rng_.exponential(1.0 / scenario_.cluster_outage_mttr);
+  hierarchy_.sim().schedule_after(Seconds(delay), [this, downed = std::move(downed)] {
+    for (const std::size_t index : downed) {
+      cluster::Node& node = channels_[index].sed->node();
+      if (node.state() != NodeState::kFailed) continue;
+      node.repair(hierarchy_.sim().now());
+      ++repairs_;
+      boot_node(index);
+    }
+  });
+
+  arm_outage();
+}
+
+}  // namespace greensched::chaos

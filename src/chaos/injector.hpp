@@ -1,0 +1,114 @@
+// ChaosInjector: drives a ChaosScenario against a live hierarchy.
+//
+// Every node gets an independent Weibull failure process; crashed nodes
+// go through a stochastic repair -> (maybe) reboot -> (maybe) boot-crash
+// cycle; whole clusters can be taken out at once; and recovery
+// notifications can be delayed to simulate a stale middleware view.
+// All randomness comes from one stream split() off the run's RNG at
+// construction, so a seed reproduces the exact same storm — including
+// across SweepRunner threads, since the injector touches nothing global.
+//
+// Termination contract: no *new* fault is armed at or past the
+// scenario's horizon, and every in-flight repair cycle converges (the
+// scenario validator caps boot_failure_p), so Simulator::run() always
+// drains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+#include "common/rng.hpp"
+#include "diet/hierarchy.hpp"
+
+namespace greensched::chaos {
+
+class ChaosInjector {
+ public:
+  /// Validates the scenario and splits a private RNG stream off the
+  /// run's generator.  Construct *after* clients so a disabled scenario
+  /// leaves the failure-free draw sequence untouched.
+  ChaosInjector(diet::Hierarchy& hierarchy, ChaosScenario scenario);
+  ChaosInjector(const ChaosInjector&) = delete;
+  ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+  /// Arms the per-node failure processes and the cluster-outage process.
+  /// No-op for a disabled scenario.  Call once, before Simulator::run().
+  void start();
+
+  [[nodiscard]] const ChaosScenario& scenario() const noexcept { return scenario_; }
+
+  // --- outcome counters ---
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  /// Crash timers that found the node OFF or already FAILED.
+  [[nodiscard]] std::uint64_t crashes_skipped() const noexcept { return crashes_skipped_; }
+  [[nodiscard]] std::uint64_t tasks_killed() const noexcept { return tasks_killed_; }
+  [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+  /// Repairs that ended with the node powered back ON.
+  [[nodiscard]] std::uint64_t reboots() const noexcept { return reboots_; }
+  /// Repaired nodes left OFF (repair-without-reboot).
+  [[nodiscard]] std::uint64_t left_off() const noexcept { return left_off_; }
+  /// Crashed nodes never repaired (FAILED to the end of the run).
+  [[nodiscard]] std::uint64_t unrepaired() const noexcept { return unrepaired_; }
+  /// Reboots that crashed again during BOOTING.
+  [[nodiscard]] std::uint64_t boot_failures() const noexcept { return boot_failures_; }
+  [[nodiscard]] std::uint64_t cluster_outages() const noexcept { return cluster_outages_; }
+  /// Capacity notifications that were delivered late (staleness).
+  [[nodiscard]] std::uint64_t stale_notifications() const noexcept {
+    return stale_notifications_;
+  }
+
+ private:
+  struct Channel {
+    diet::Sed* sed = nullptr;
+    /// Bumped on every chaos-initiated power_on; a scheduled boot
+    /// completion no-ops unless its epoch still matches, so a crash (or
+    /// outage) during BOOTING can never be "completed" by a stale timer.
+    std::uint64_t boot_epoch = 0;
+  };
+
+  [[nodiscard]] bool past_horizon(double at) const noexcept {
+    return at >= scenario_.horizon_seconds;
+  }
+
+  /// Kills the SED's node (tasks die with record.failed set).
+  void kill(diet::Sed& sed, const char* cause);
+  /// Arms the next crash timer for this node.  The timer chain is
+  /// self-perpetuating until the horizon — a timer that finds the node
+  /// down simply skips — which keeps it independent of the repair
+  /// cycles and outage restores happening in parallel.
+  void arm_crash(std::size_t channel);
+  void on_crash_timer(std::size_t channel);
+  /// Post-crash fate: repair after MTTR, or abandoned FAILED forever.
+  void begin_repair_cycle(std::size_t channel);
+  void on_repair(std::size_t channel);
+  /// Chaos-driven power-on; boot failure and staleness apply on completion.
+  void boot_node(std::size_t channel);
+  void on_boot_complete(std::size_t channel, std::uint64_t epoch);
+  /// Fires the hierarchy's capacity-change channel, possibly late.
+  void notify_capacity();
+
+  void arm_outage();
+  void on_outage();
+
+  diet::Hierarchy& hierarchy_;
+  ChaosScenario scenario_;
+  common::Rng rng_;
+  std::vector<Channel> channels_;
+  /// Channel indices grouped by cluster, for correlated outages.
+  std::vector<std::vector<std::size_t>> cluster_groups_;
+  bool started_ = false;
+
+  std::uint64_t crashes_ = 0;
+  std::uint64_t crashes_skipped_ = 0;
+  std::uint64_t tasks_killed_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t reboots_ = 0;
+  std::uint64_t left_off_ = 0;
+  std::uint64_t unrepaired_ = 0;
+  std::uint64_t boot_failures_ = 0;
+  std::uint64_t cluster_outages_ = 0;
+  std::uint64_t stale_notifications_ = 0;
+};
+
+}  // namespace greensched::chaos

@@ -1,0 +1,149 @@
+#include "chaos/scenario.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace greensched::chaos {
+
+using common::ConfigError;
+
+namespace {
+
+void check_probability(double p, const char* name) {
+  if (p < 0.0 || p > 1.0)
+    throw ConfigError(std::string("ChaosScenario: ") + name + " must be in [0, 1]");
+}
+
+void check_nonnegative(double v, const char* name) {
+  if (v < 0.0) throw ConfigError(std::string("ChaosScenario: ") + name + " must be >= 0");
+}
+
+double parse_double(std::string_view key, std::string_view value) {
+  try {
+    std::size_t consumed = 0;
+    const std::string text(value);
+    const double parsed = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument("trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw ConfigError("ChaosScenario: bad value '" + std::string(value) + "' for '" +
+                      std::string(key) + "'");
+  }
+}
+
+/// The rare-fault baseline: a handful of independent crashes over a
+/// two-hour horizon, always repaired and rebooted cleanly.
+ChaosScenario calm_preset() {
+  ChaosScenario s;
+  s.mtbf_seconds = 20'000.0;
+  s.weibull_shape = 1.0;
+  s.mttr_seconds = 300.0;
+  s.horizon_seconds = 7'200.0;
+  return s;
+}
+
+/// The kitchen sink: infant-mortality Weibull crashes, flaky reboots,
+/// nodes abandoned OFF, correlated cluster outages and stale planning.
+ChaosScenario storm_preset() {
+  ChaosScenario s;
+  s.mtbf_seconds = 4'000.0;
+  s.weibull_shape = 0.7;
+  s.mttr_seconds = 240.0;
+  s.repair_probability = 0.95;
+  s.reboot_probability = 0.85;
+  s.boot_failure_probability = 0.10;
+  s.cluster_outage_mtbf = 10'000.0;
+  s.cluster_outage_mttr = 600.0;
+  s.staleness_seconds = 120.0;
+  s.horizon_seconds = 7'200.0;
+  return s;
+}
+
+bool apply_key(ChaosScenario& s, std::string_view key, double value) {
+  if (key == "mtbf") s.mtbf_seconds = value;
+  else if (key == "shape") s.weibull_shape = value;
+  else if (key == "mttr") s.mttr_seconds = value;
+  else if (key == "repair_p") s.repair_probability = value;
+  else if (key == "reboot_p") s.reboot_probability = value;
+  else if (key == "boot_failure_p") s.boot_failure_probability = value;
+  else if (key == "outage_mtbf") s.cluster_outage_mtbf = value;
+  else if (key == "outage_mttr") s.cluster_outage_mttr = value;
+  else if (key == "staleness") s.staleness_seconds = value;
+  else if (key == "horizon") s.horizon_seconds = value;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+void ChaosScenario::validate() const {
+  check_nonnegative(mtbf_seconds, "mtbf");
+  if (weibull_shape <= 0.0) throw ConfigError("ChaosScenario: shape must be > 0");
+  if (mttr_seconds <= 0.0) throw ConfigError("ChaosScenario: mttr must be > 0");
+  check_probability(repair_probability, "repair_p");
+  check_probability(reboot_probability, "reboot_p");
+  check_probability(boot_failure_probability, "boot_failure_p");
+  // A boot that always fails would cycle crash->repair->crash forever.
+  if (boot_failure_probability > 0.9)
+    throw ConfigError("ChaosScenario: boot_failure_p above 0.9 may never converge");
+  check_nonnegative(cluster_outage_mtbf, "outage_mtbf");
+  if (cluster_outage_mttr <= 0.0) throw ConfigError("ChaosScenario: outage_mttr must be > 0");
+  check_nonnegative(staleness_seconds, "staleness");
+  check_nonnegative(horizon_seconds, "horizon");
+  if (enabled() && horizon_seconds <= 0.0)
+    throw ConfigError(
+        "ChaosScenario: an enabled scenario needs horizon > 0 so the fault "
+        "processes terminate");
+}
+
+ChaosScenario ChaosScenario::parse(std::string_view text) {
+  ChaosScenario scenario;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    std::string_view token =
+        text.substr(pos, comma == std::string_view::npos ? std::string_view::npos : comma - pos);
+    pos = comma == std::string_view::npos ? text.size() + 1 : comma + 1;
+    if (token.empty()) {
+      if (first) break;  // empty spec = inert scenario
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      // A bare word: preset name, only meaningful as the first token.
+      if (!first)
+        throw ConfigError("ChaosScenario: preset '" + std::string(token) +
+                          "' must come first in the spec");
+      if (token == "none") scenario = ChaosScenario{};
+      else if (token == "calm") scenario = calm_preset();
+      else if (token == "storm") scenario = storm_preset();
+      else
+        throw ConfigError("ChaosScenario: unknown preset '" + std::string(token) +
+                          "' (try none, calm, storm)");
+    } else {
+      const std::string_view key = token.substr(0, eq);
+      const double value = parse_double(key, token.substr(eq + 1));
+      if (!apply_key(scenario, key, value))
+        throw ConfigError("ChaosScenario: unknown key '" + std::string(key) + "'");
+    }
+    first = false;
+  }
+  scenario.validate();
+  return scenario;
+}
+
+std::string ChaosScenario::to_string() const {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "mtbf=%g,shape=%g,mttr=%g,repair_p=%g,reboot_p=%g,boot_failure_p=%g,"
+                "outage_mtbf=%g,outage_mttr=%g,staleness=%g,horizon=%g",
+                mtbf_seconds, weibull_shape, mttr_seconds, repair_probability,
+                reboot_probability, boot_failure_probability, cluster_outage_mtbf,
+                cluster_outage_mttr, staleness_seconds, horizon_seconds);
+  return buffer;
+}
+
+}  // namespace greensched::chaos

@@ -1,0 +1,81 @@
+// Chaos scenario: a declarative description of the fault processes to
+// unleash on a run.
+//
+// The paper's premise is that energy-aware provisioning must coexist
+// with machines disappearing — grid tools "interpret powered-off
+// resources as failures that can compromise the execution of services"
+// (Section II-B).  A ChaosScenario bundles every stochastic fault knob
+// into one value that travels through PlacementConfig, the CLI
+// (`greensched chaos --scenario ...`) and the sweep runner, so the same
+// storm is reproducible from a seed anywhere in the stack.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace greensched::chaos {
+
+/// All rates are mean seconds (MTBF/MTTR parameterization); probabilities
+/// are in [0, 1].  The default scenario is inert: enabled() == false and
+/// a run behaves bit-identically to one with no chaos layer at all.
+struct ChaosScenario {
+  /// Per-node mean time between failures (0 disables node crashes).
+  /// Inter-failure times are Weibull(shape, mean = mtbf_seconds) drawn
+  /// per node from a seed-split stream.
+  double mtbf_seconds = 0.0;
+  /// Weibull shape k: 1 = memoryless (exponential), k < 1 infant
+  /// mortality, k > 1 wear-out.  Failure-trace studies of real grids fit
+  /// k in [0.6, 0.8].
+  double weibull_shape = 1.0;
+  /// Mean time to repair a crashed node (exponential).
+  double mttr_seconds = 300.0;
+  /// Chance a crashed node is ever repaired; the remainder stay FAILED
+  /// for the rest of the run (dead-on-the-floor hardware).
+  double repair_probability = 1.0;
+  /// Chance a repaired node is powered straight back on; the remainder
+  /// are left OFF for the provisioner to reclaim (repair-without-reboot).
+  double reboot_probability = 1.0;
+  /// Chance a reboot crashes *during* BOOTING (the classic half-up
+  /// failure mode); the node fails again and re-enters the repair cycle.
+  double boot_failure_probability = 0.0;
+  /// Mean time between correlated cluster-wide outages (0 disables).
+  /// An outage crashes every powered node of one uniformly chosen
+  /// cluster at once — the PDU/switch failure a per-node MTBF never
+  /// produces.
+  double cluster_outage_mtbf = 0.0;
+  /// Mean time to restore an outaged cluster (all nodes repaired and
+  /// rebooted together).
+  double cluster_outage_mttr = 900.0;
+  /// Planning staleness: capacity-change notifications for recovered
+  /// nodes are delayed by Uniform(0, staleness_seconds) — the
+  /// middleware's view of the platform lags reality, which is what makes
+  /// timed client retries matter (0 = notifications are immediate).
+  double staleness_seconds = 0.0;
+  /// Injection horizon: no *new* fault is armed at or past this time, so
+  /// the event queue is guaranteed to drain.  Required (> 0) whenever
+  /// any fault process is enabled.
+  double horizon_seconds = 0.0;
+
+  /// True when any fault process is switched on.
+  [[nodiscard]] bool enabled() const noexcept {
+    return mtbf_seconds > 0.0 || cluster_outage_mtbf > 0.0;
+  }
+
+  /// Throws common::ConfigError on out-of-range values, or on an enabled
+  /// scenario without a horizon.
+  void validate() const;
+
+  /// Parses "preset" or "preset,key=value,..." or "key=value,...".
+  /// Presets: "none" (inert), "calm" (rare single-node crashes, clean
+  /// reboots), "storm" (frequent Weibull crashes, boot failures, cluster
+  /// outages, stale planning).  Keys are the field names without the
+  /// `_seconds` suffix spelled out: mtbf, shape, mttr, repair_p,
+  /// reboot_p, boot_failure_p, outage_mtbf, outage_mttr, staleness,
+  /// horizon.  Throws common::ConfigError on unknown keys or bad values.
+  [[nodiscard]] static ChaosScenario parse(std::string_view text);
+
+  /// Canonical "key=value,..." round-trippable through parse().
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace greensched::chaos

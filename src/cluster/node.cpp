@@ -84,9 +84,8 @@ void Node::power_on(Seconds now) {
   advance_to(now);
   if (state_ != NodeState::kOff)
     throw StateError("Node '" + name_ + "': power_on from state " + to_string(state_));
-  state_ = NodeState::kBooting;
   ++boots_;
-  state_since_ = now;
+  enter_state(NodeState::kBooting, now);
   GS_TCOUNT(node_boots);
   telemetry::Telemetry::instant("node.power_on", "power", now.value(), id_.value(), name_);
 }
@@ -95,10 +94,10 @@ void Node::complete_boot(Seconds now) {
   advance_to(now);
   if (state_ != NodeState::kBooting)
     throw StateError("Node '" + name_ + "': complete_boot from state " + to_string(state_));
-  state_ = NodeState::kOn;
-  telemetry::Telemetry::span("node.boot", "power", state_since_.value(), now.value(),
-                             id_.value(), name_);
-  state_since_ = now;
+  const double boot_began = state_since_.value();
+  enter_state(NodeState::kOn, now);
+  telemetry::Telemetry::span("node.boot", "power", boot_began, now.value(), id_.value(),
+                             name_);
 }
 
 void Node::power_off(Seconds now) {
@@ -108,8 +107,7 @@ void Node::power_off(Seconds now) {
   if (busy_cores_ != 0)
     throw StateError("Node '" + name_ + "': power_off while " + std::to_string(busy_cores_) +
                      " cores are busy");
-  state_ = NodeState::kShuttingDown;
-  state_since_ = now;
+  enter_state(NodeState::kShuttingDown, now);
   GS_TCOUNT(node_shutdowns);
   telemetry::Telemetry::instant("node.power_off", "power", now.value(), id_.value(), name_);
 }
@@ -118,20 +116,19 @@ void Node::complete_shutdown(Seconds now) {
   advance_to(now);
   if (state_ != NodeState::kShuttingDown)
     throw StateError("Node '" + name_ + "': complete_shutdown from state " + to_string(state_));
-  state_ = NodeState::kOff;
-  telemetry::Telemetry::span("node.shutdown", "power", state_since_.value(), now.value(),
+  const double shutdown_began = state_since_.value();
+  enter_state(NodeState::kOff, now);
+  telemetry::Telemetry::span("node.shutdown", "power", shutdown_began, now.value(),
                              id_.value(), name_);
-  state_since_ = now;
 }
 
 void Node::fail(Seconds now) {
   advance_to(now);
   if (state_ == NodeState::kOff || state_ == NodeState::kFailed)
     throw StateError("Node '" + name_ + "': fail from state " + to_string(state_));
-  state_ = NodeState::kFailed;
   busy_cores_ = 0;  // whatever ran here is gone
   ++failures_;
-  state_since_ = now;
+  enter_state(NodeState::kFailed, now);
   GS_TCOUNT(node_failures);
   telemetry::Telemetry::instant("node.fail", "power", now.value(), id_.value(), name_);
 }
@@ -140,10 +137,16 @@ void Node::repair(Seconds now) {
   advance_to(now);
   if (state_ != NodeState::kFailed)
     throw StateError("Node '" + name_ + "': repair from state " + to_string(state_));
-  state_ = NodeState::kOff;
-  state_since_ = now;
+  enter_state(NodeState::kOff, now);
   GS_TCOUNT(node_repairs);
   telemetry::Telemetry::instant("node.repair", "power", now.value(), id_.value(), name_);
+}
+
+void Node::enter_state(NodeState to, Seconds now) {
+  const NodeState from = state_;
+  state_ = to;
+  state_since_ = now;
+  if (state_change_hook_) state_change_hook_(*this, from, to, now);
 }
 
 void Node::acquire_core(Seconds now) {

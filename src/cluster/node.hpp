@@ -129,6 +129,15 @@ class Node {
     load_change_hook_ = std::move(hook);
   }
 
+  /// Fires on every power-state transition (after the change), with the
+  /// state left and the state entered.  Purely observational — the test
+  /// oracle uses it to replay a run's transition log and assert state
+  /// machine legality; nothing in the scheduling path depends on it.
+  void set_state_change_hook(
+      std::function<void(Node&, NodeState from, NodeState to, Seconds)> hook) {
+    state_change_hook_ = std::move(hook);
+  }
+
   // --- counters ---
   [[nodiscard]] std::uint64_t tasks_started() const noexcept { return tasks_started_; }
   [[nodiscard]] std::uint64_t tasks_completed() const noexcept { return tasks_completed_; }
@@ -161,10 +170,13 @@ class Node {
   std::uint64_t boots_ = 0;
   std::uint64_t failures_ = 0;
 
+  void enter_state(NodeState to, Seconds now);
+
   DvfsLadder ladder_{};
   std::size_t pstate_ = 0;
   std::uint64_t pstate_transitions_ = 0;
   std::function<void(Node&, Seconds)> load_change_hook_;
+  std::function<void(Node&, NodeState, NodeState, Seconds)> state_change_hook_;
 };
 
 }  // namespace greensched::cluster

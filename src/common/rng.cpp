@@ -94,6 +94,20 @@ double Rng::exponential(double lambda) noexcept {
   return -std::log(u) / lambda;
 }
 
+double Rng::weibull(double shape, double scale) noexcept {
+  assert(shape > 0.0 && scale > 0.0);
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double Rng::weibull_mean(double shape, double mean) noexcept {
+  assert(shape > 0.0 && mean > 0.0);
+  return weibull(shape, mean / std::tgamma(1.0 + 1.0 / shape));
+}
+
 Rng Rng::split() noexcept { return Rng(next_u64()); }
 
 }  // namespace greensched::common

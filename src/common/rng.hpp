@@ -57,6 +57,14 @@ class Rng {
   double normal(double mean, double stddev) noexcept;
   /// Exponential with given rate lambda (> 0); mean 1/lambda.
   double exponential(double lambda) noexcept;
+  /// Weibull with shape k (> 0) and scale lambda (> 0) by inverse
+  /// transform; k = 1 reduces to exponential(1/lambda).  The workhorse of
+  /// failure-trace modelling: k < 1 gives infant-mortality-heavy
+  /// inter-failure times, k > 1 wear-out-dominated ones.
+  double weibull(double shape, double scale) noexcept;
+  /// Weibull re-parameterized by its *mean* instead of its scale, so MTBF
+  /// specs translate directly: scale = mean / Gamma(1 + 1/shape).
+  double weibull_mean(double shape, double mean) noexcept;
 
   /// Fisher-Yates shuffle.
   template <typename T>

@@ -1,6 +1,7 @@
 #include "diet/client.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "common/error.hpp"
@@ -8,11 +9,61 @@
 
 namespace greensched::diet {
 
+using common::ConfigError;
 using common::Seconds;
 using common::StateError;
 
-Client::Client(Hierarchy& hierarchy, std::string name)
-    : hierarchy_(hierarchy), name_(std::move(name)) {
+RetryPolicy RetryPolicy::none() {
+  RetryPolicy policy;
+  policy.resubmit_on_failure = false;
+  policy.backoff_retries = false;
+  return policy;
+}
+
+RetryPolicy RetryPolicy::hardened() {
+  RetryPolicy policy;
+  policy.resubmit_on_failure = true;
+  policy.backoff_retries = true;
+  policy.max_attempts = 100;
+  policy.base_backoff_seconds = 5.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 300.0;
+  policy.jitter_fraction = 0.2;
+  return policy;
+}
+
+void RetryPolicy::validate() const {
+  if (base_backoff_seconds <= 0.0)
+    throw ConfigError("RetryPolicy: base backoff must be positive");
+  if (backoff_multiplier < 1.0)
+    throw ConfigError("RetryPolicy: backoff multiplier must be >= 1");
+  if (max_backoff_seconds < base_backoff_seconds)
+    throw ConfigError("RetryPolicy: backoff cap below the base interval");
+  if (jitter_fraction < 0.0 || jitter_fraction >= 1.0)
+    throw ConfigError("RetryPolicy: jitter fraction must be in [0, 1)");
+  if (deadline_seconds < 0.0) throw ConfigError("RetryPolicy: negative deadline");
+  // An unbounded timed retry loop would keep a dead platform's event
+  // queue alive forever; insist on a terminal condition.
+  if (backoff_retries && max_attempts == 0 && deadline_seconds == 0.0)
+    throw ConfigError("RetryPolicy: backoff retries need max_attempts or a deadline");
+}
+
+double RetryPolicy::backoff_after(std::size_t attempts, common::Rng& rng) const {
+  const double exponent = attempts > 0 ? static_cast<double>(attempts - 1) : 0.0;
+  double interval = base_backoff_seconds * std::pow(backoff_multiplier, exponent);
+  interval = std::min(interval, max_backoff_seconds);
+  if (jitter_fraction > 0.0) {
+    interval *= 1.0 + jitter_fraction * rng.uniform(-1.0, 1.0);
+  }
+  return interval;
+}
+
+Client::Client(Hierarchy& hierarchy, std::string name, RetryPolicy retry)
+    : hierarchy_(hierarchy),
+      name_(std::move(name)),
+      retry_(retry),
+      rng_(hierarchy.rng().split()) {
+  retry_.validate();
   hierarchy_.subscribe_completions([this](const TaskRecord& record) { on_completion(record); });
   // Capacity can also appear without a completion (a repaired node came
   // back): retry queued tasks then too.
@@ -35,8 +86,13 @@ void Client::submit_now(const workload::TaskInstance& task) {
   record.task = task;
   record.submit = hierarchy_.sim().now();
   records_.push_back(std::move(record));
+  backoff_armed_.push_back(0);
   const std::size_t index = records_.size() - 1;
-  if (!try_place(index)) pending_.push_back(index);
+  if (retry_.deadline_seconds > 0.0) {
+    hierarchy_.sim().schedule_after(Seconds(retry_.deadline_seconds),
+                                    [this, index] { on_deadline(index); });
+  }
+  if (!try_place(index)) queue_unplaced(index);
 }
 
 bool Client::try_place(std::size_t record_index) {
@@ -61,18 +117,80 @@ bool Client::try_place(std::size_t record_index) {
   decision.elected->execute(record.task, request.id, [this, record_index](const TaskRecord& done) {
     ClientTaskRecord& r = records_[record_index];
     if (done.failed) {
-      // The node crashed under the task: resubmit it (grids treat
-      // powered-off resources as failures; the middleware recovers).
+      // The node crashed under the task (grids treat powered-off
+      // resources as failures): the self-healing path resubmits it
+      // through a fresh election — which can only elect a server that
+      // can accept right now, never the crashed or a booting one.
       ++r.failures;
       r.start.reset();
       r.server.clear();
-      if (!try_place(record_index)) pending_.push_back(record_index);
+      if (!retry_.resubmit_on_failure) {
+        abandon(record_index, "crash with retry disabled");
+        return;
+      }
+      if (!try_place(record_index)) queue_unplaced(record_index);
       return;
     }
     r.end = done.end;
     ++completed_;
   });
   return true;
+}
+
+void Client::queue_unplaced(std::size_t record_index) {
+  if (attempts_exhausted(records_[record_index])) {
+    abandon(record_index, "placement attempts exhausted");
+    return;
+  }
+  pending_.push_back(record_index);
+  if (retry_.backoff_retries) arm_backoff(record_index);
+}
+
+void Client::arm_backoff(std::size_t record_index) {
+  // One live timer per record: a crash-resubmit while a timer is armed
+  // must not fork a second chain of retries.
+  if (backoff_armed_[record_index]) return;
+  backoff_armed_[record_index] = 1;
+  const double delay =
+      retry_.backoff_after(records_[record_index].placement_attempts, rng_);
+  hierarchy_.sim().schedule_after(Seconds(delay),
+                                  [this, record_index] { on_backoff(record_index); });
+}
+
+void Client::on_backoff(std::size_t record_index) {
+  backoff_armed_[record_index] = 0;
+  const ClientTaskRecord& record = records_[record_index];
+  if (record.start || record.lost) return;  // placed or abandoned meanwhile
+  ++retries_;
+  GS_TCOUNT(retries);
+  // FIFO fairness: drain the queue head-first rather than jumping this
+  // request ahead of older ones.
+  drain_pending();
+  if (record.start || record.lost) return;
+  if (attempts_exhausted(record)) {
+    abandon(record_index, "placement attempts exhausted");
+    return;
+  }
+  arm_backoff(record_index);
+}
+
+void Client::on_deadline(std::size_t record_index) {
+  const ClientTaskRecord& record = records_[record_index];
+  // The deadline covers *placement*: a request still waiting for a
+  // server when it fires is abandoned; one that started is left to run.
+  if (record.start || record.end || record.lost) return;
+  abandon(record_index, "deadline");
+}
+
+void Client::abandon(std::size_t record_index, const char* reason) {
+  ClientTaskRecord& record = records_[record_index];
+  record.lost = true;
+  ++lost_;
+  GS_TCOUNT(tasks_lost);
+  telemetry::Telemetry::instant("task.lost", "lifecycle", hierarchy_.sim().now().value(),
+                                record.task.id.value(), reason);
+  const auto it = std::find(pending_.begin(), pending_.end(), record_index);
+  if (it != pending_.end()) pending_.erase(it);
 }
 
 void Client::on_completion(const TaskRecord& /*record*/) { drain_pending(); }

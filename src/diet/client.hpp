@@ -9,6 +9,7 @@
 //               nodes").
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -21,6 +22,47 @@
 
 namespace greensched::diet {
 
+/// Self-healing dispatch knobs: how hard the client fights to get a
+/// request executed when nodes crash under it or no server accepts.
+///
+/// The default reproduces the original reactive behaviour exactly —
+/// crashed tasks resubmit immediately, queued tasks retry on completion
+/// and capacity events, nothing is timed — so failure-free runs are
+/// bit-identical with any policy whose timed features are off.
+struct RetryPolicy {
+  /// Resubmit tasks killed by a node crash.  Off (`--no-retry`): a
+  /// crashed task is abandoned and counted lost — the behaviour the
+  /// paper's related work warns about, kept as an ablation baseline.
+  bool resubmit_on_failure = true;
+  /// Timed re-dispatch with capped exponential backoff layered over the
+  /// reactive path.  Rescues requests whose capacity notifications are
+  /// delayed or dropped (chaos staleness injection); requires
+  /// max_attempts or deadline_seconds so a dead platform cannot spin the
+  /// simulation forever.
+  bool backoff_retries = false;
+  std::size_t max_attempts = 0;  ///< placement attempts per request (0 = unlimited)
+  double base_backoff_seconds = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 120.0;
+  /// Interval spread of +/- this fraction, drawn from the client's
+  /// seed-split RNG: deterministic for a seed, decorrelated across
+  /// requests (no synchronized retry storms).
+  double jitter_fraction = 0.1;
+  /// Abandon a request not *started* this long after submission
+  /// (0 = never).  Tasks already running are never killed.
+  double deadline_seconds = 0.0;
+
+  /// Everything off: crashed or unplaceable work is dropped.
+  [[nodiscard]] static RetryPolicy none();
+  /// Chaos-hardened defaults: backoff on, bounded attempts.
+  [[nodiscard]] static RetryPolicy hardened();
+
+  /// Throws ConfigError on nonsensical values or an unbounded backoff.
+  void validate() const;
+  /// Backoff delay after `attempts` placement attempts (>= 1), jittered.
+  [[nodiscard]] double backoff_after(std::size_t attempts, common::Rng& rng) const;
+};
+
 /// Per-task outcome as seen by the client.
 struct ClientTaskRecord {
   workload::TaskInstance task;
@@ -31,11 +73,12 @@ struct ClientTaskRecord {
   common::ClusterId cluster{};
   std::size_t placement_attempts = 0;  ///< submissions before election
   std::size_t failures = 0;            ///< node crashes survived (resubmitted)
+  bool lost = false;  ///< abandoned: retry disabled, attempts exhausted or deadline hit
 };
 
 class Client {
  public:
-  Client(Hierarchy& hierarchy, std::string name = "client");
+  Client(Hierarchy& hierarchy, std::string name = "client", RetryPolicy retry = {});
   virtual ~Client() = default;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -52,8 +95,19 @@ class Client {
   [[nodiscard]] std::size_t submitted() const noexcept { return records_.size(); }
   [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
   [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  /// Requests abandoned under the retry policy (crash with retry off,
+  /// attempts exhausted, deadline passed).
+  [[nodiscard]] std::size_t lost() const noexcept { return lost_; }
+  /// Timed backoff re-dispatch attempts fired.
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
   [[nodiscard]] bool all_done() const noexcept {
     return completed_ == records_.size() && pending_.empty();
+  }
+  /// Every request reached a terminal state: completed or lost, with
+  /// nothing still queued.  The chaos invariant — no request may simply
+  /// vanish or hang un-accounted.
+  [[nodiscard]] bool settled() const noexcept {
+    return completed_ + lost_ == records_.size() && pending_.empty();
   }
   /// Time from first submission to last completion; throws StateError if
   /// nothing completed yet.
@@ -68,12 +122,28 @@ class Client {
   bool try_place(std::size_t record_index);
   void on_completion(const TaskRecord& record);
   void drain_pending();
+  /// Queues an unplaced request: pending list + (if enabled) a jittered
+  /// backoff timer; abandons it instead when attempts are exhausted.
+  void queue_unplaced(std::size_t record_index);
+  void arm_backoff(std::size_t record_index);
+  void on_backoff(std::size_t record_index);
+  void on_deadline(std::size_t record_index);
+  /// Terminal failure: mark lost, drop from the pending queue.
+  void abandon(std::size_t record_index, const char* reason);
+  [[nodiscard]] bool attempts_exhausted(const ClientTaskRecord& record) const noexcept {
+    return retry_.max_attempts != 0 && record.placement_attempts >= retry_.max_attempts;
+  }
 
   Hierarchy& hierarchy_;
   std::string name_;
+  RetryPolicy retry_;
+  common::Rng rng_;  ///< jitter stream, split from the run's RNG
   std::vector<ClientTaskRecord> records_;
+  std::vector<std::uint8_t> backoff_armed_;  ///< per-record timer guard
   std::deque<std::size_t> pending_;  ///< indices awaiting a free server
   std::size_t completed_ = 0;
+  std::size_t lost_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 /// Fig. 9's client: a periodic tick inspects the announced capacity (a

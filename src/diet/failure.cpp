@@ -1,6 +1,7 @@
 #include "diet/failure.hpp"
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greensched::diet {
 
@@ -24,6 +25,9 @@ void FailureInjector::crash(Sed& sed, std::optional<des::SimDuration> repair_aft
   const auto state = node.state();
   if (state == cluster::NodeState::kOff || state == cluster::NodeState::kFailed) {
     ++failures_skipped_;  // an off machine cannot crash
+    GS_TCOUNT(failures_skipped);
+    telemetry::Telemetry::instant("failure.skipped", "chaos", hierarchy_.sim().now().value(),
+                                  sed.node().id().value(), sed.name());
     return;
   }
 

@@ -79,6 +79,9 @@ class Hierarchy {
   void notify_capacity_change();
 
   [[nodiscard]] des::Simulator& sim() noexcept { return sim_; }
+  /// The run's RNG — components that need their own deterministic stream
+  /// (SEDs, clients with jittered backoff, the chaos injector) split() it.
+  [[nodiscard]] common::Rng& rng() noexcept { return rng_; }
   [[nodiscard]] common::RequestId next_request_id() noexcept { return request_ids_.next(); }
 
  private:

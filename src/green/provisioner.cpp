@@ -149,8 +149,24 @@ std::size_t Provisioner::target_for(const PlatformStatus& status) const {
 
 void Provisioner::apply_candidate_set(SimTime /*at*/) {
   candidate_ids_.clear();
-  for (std::size_t i = 0; i < candidate_count_ && i < efficiency_order_.size(); ++i) {
-    candidate_ids_.push_back(platform_.node(efficiency_order_[i]).id());
+  bool skipped_failed = false;
+  for (std::size_t index : efficiency_order_) {
+    if (candidate_ids_.size() >= candidate_count_) break;
+    const cluster::Node& node = platform_.node(index);
+    if (node.state() == cluster::NodeState::kFailed) {
+      // Graceful degradation: a crashed machine must not occupy a
+      // candidacy slot.  Backfilling from the next-most-efficient
+      // healthy node keeps the pool as close to Algorithm 1's power cap
+      // as the surviving hardware allows (the pool may still fall short
+      // when failures outnumber the reserve — counted below).
+      skipped_failed = true;
+      continue;
+    }
+    candidate_ids_.push_back(node.id());
+  }
+  if (skipped_failed) {
+    ++degraded_checks_;
+    GS_TCOUNT(provisioner_degraded);
   }
 }
 

@@ -82,6 +82,10 @@ class Provisioner {
   [[nodiscard]] const common::TimeSeries& power_series() const noexcept { return power_series_; }
   [[nodiscard]] std::uint64_t checks() const noexcept { return process_.ticks(); }
   [[nodiscard]] const PlatformStatus& last_status() const noexcept { return last_status_; }
+  /// Candidate-set applications that had to skip FAILED nodes (graceful
+  /// degradation: crashed machines never occupy candidacy slots, the
+  /// pool backfills from the next-most-efficient healthy nodes).
+  [[nodiscard]] std::uint64_t degraded_checks() const noexcept { return degraded_checks_; }
 
   /// Hook fired after every check (testing / tracing).
   void set_check_hook(std::function<void(des::SimTime, const PlatformStatus&, std::size_t)> hook) {
@@ -128,6 +132,7 @@ class Provisioner {
   std::optional<std::size_t> external_cap_;
   std::size_t candidate_count_ = 0;
   std::vector<common::NodeId> candidate_ids_;
+  std::uint64_t degraded_checks_ = 0;
   bool started_ = false;
 
   common::TimeSeries candidate_series_;

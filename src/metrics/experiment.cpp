@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <optional>
 
+#include "chaos/injector.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "des/simulator.hpp"
@@ -63,6 +65,20 @@ std::vector<ClusterSetup> high_heterogeneity_clusters(std::size_t per_type) {
   return out;
 }
 
+std::vector<ClusterSetup> scaled_clusters(std::size_t total_nodes) {
+  if (total_nodes == 0)
+    throw common::ConfigError("scaled_clusters: need at least one node");
+  std::vector<ClusterSetup> out = table1_clusters();
+  const std::size_t types = out.size();
+  const std::size_t base = total_nodes / types;
+  const std::size_t remainder = total_nodes % types;
+  for (std::size_t i = 0; i < types; ++i) {
+    out[i].options.node_count = base + (i < remainder ? 1 : 0);
+  }
+  std::erase_if(out, [](const ClusterSetup& s) { return s.options.node_count == 0; });
+  return out;
+}
+
 PlacementResult run_placement(const PlacementConfig& config) {
   if (config.clusters.empty())
     throw common::ConfigError("run_placement: no clusters configured");
@@ -108,18 +124,32 @@ PlacementResult run_placement(const PlacementConfig& config) {
     shares[i % config.client_count].push_back(tasks[i]);
   }
   for (std::size_t c = 0; c < config.client_count; ++c) {
-    clients.push_back(
-        std::make_unique<diet::Client>(hierarchy, "client-" + std::to_string(c)));
+    clients.push_back(std::make_unique<diet::Client>(
+        hierarchy, "client-" + std::to_string(c), config.retry));
     clients[c]->submit_workload(std::move(shares[c]));
+  }
+
+  // The injector is built *after* every other consumer of the run's RNG,
+  // and only when the scenario is live, so an inert scenario leaves the
+  // whole draw sequence — and therefore the run — untouched.
+  const bool chaotic = config.chaos.enabled();
+  std::optional<chaos::ChaosInjector> injector;
+  if (chaotic) {
+    injector.emplace(hierarchy, config.chaos);
+    injector->start();
   }
 
   sim.run();
 
-  // Every task must have completed — anything else is a scheduling bug.
-  for (const auto& client : clients) {
-    if (!client->all_done())
-      throw common::StateError("run_placement: client '" + client->name() +
-                               "' finished with unplaced or incomplete tasks");
+  // Without chaos every task must have completed — anything else is a
+  // scheduling bug.  Under chaos, losses and stuck requests are a
+  // measured outcome, not an error.
+  if (!chaotic) {
+    for (const auto& client : clients) {
+      if (!client->all_done())
+        throw common::StateError("run_placement: client '" + client->name() +
+                                 "' finished with unplaced or incomplete tasks");
+    }
   }
 
   PlacementResult result;
@@ -127,13 +157,26 @@ PlacementResult run_placement(const PlacementConfig& config) {
   result.seed = config.seed;
   result.tasks = task_count;
   result.sim_events = sim.executed();
+  for (const auto& client : clients) {
+    result.tasks_completed += client->completed();
+    result.tasks_lost += client->lost();
+    result.retries += client->retries();
+  }
+  result.tasks_unfinished = task_count - result.tasks_completed - result.tasks_lost;
+  if (injector) {
+    result.tasks_killed = injector->tasks_killed();
+    result.crashes = injector->crashes();
+    result.repairs = injector->repairs();
+    result.cluster_outages = injector->cluster_outages();
+    result.boot_failures = injector->boot_failures();
+  }
 
   double makespan = 0.0;
   double wait_sum = 0.0;
   std::size_t wait_count = 0;
   std::map<std::string, std::size_t> per_server;
   for (const auto& client : clients) {
-    makespan = std::max(makespan, client->makespan().value());
+    if (client->completed() > 0) makespan = std::max(makespan, client->makespan().value());
     for (const auto& r : client->records()) {
       if (r.start) {
         wait_sum += (r.start->value() - r.submit.value());
@@ -147,8 +190,10 @@ PlacementResult run_placement(const PlacementConfig& config) {
   result.tasks_per_server.assign(per_server.begin(), per_server.end());
 
   // Whole-infrastructure energy over the experiment (idle draw included,
-  // as the wattmeters of the testbed would measure it).
-  EnergySnapshot snapshot(platform, Seconds(makespan));
+  // as the wattmeters of the testbed would measure it).  A chaotic run
+  // integrates to the end of the repair tail, not just the last
+  // completion, so crash/repair power is conserved in the accounting.
+  EnergySnapshot snapshot(platform, chaotic ? sim.now() : Seconds(makespan));
   result.energy = snapshot.total();
   for (const auto& c : snapshot.per_cluster()) {
     result.per_cluster.push_back(ClusterEnergyRow{c.cluster, c.energy});

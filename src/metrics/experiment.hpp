@@ -12,8 +12,10 @@
 #include <utility>
 #include <vector>
 
+#include "chaos/scenario.hpp"
 #include "cluster/catalog.hpp"
 #include "cluster/platform.hpp"
+#include "diet/client.hpp"
 #include "diet/sed.hpp"
 #include "metrics/energy_accounting.hpp"
 #include "workload/generator.hpp"
@@ -39,6 +41,12 @@ struct ClusterSetup {
 /// Table III simulated clusters Sim1 and Sim2).
 [[nodiscard]] std::vector<ClusterSetup> high_heterogeneity_clusters(std::size_t per_type = 4);
 
+/// A Table I platform scaled to `total_nodes` nodes: the three machine
+/// types keep their 1:1:1 proportions (remainders go to the earlier
+/// Table I entries).  Used by the chaos stress runs, which need
+/// platforms far larger than the paper's 12-node testbed.
+[[nodiscard]] std::vector<ClusterSetup> scaled_clusters(std::size_t total_nodes);
+
 struct PlacementConfig {
   std::vector<ClusterSetup> clusters = table1_clusters();
   workload::WorkloadConfig workload{};
@@ -53,6 +61,13 @@ struct PlacementConfig {
   /// simulations, after an initial benchmark); false = pure learning (the
   /// paper's live runs).
   bool spec_fallback = false;
+  /// Fault processes to drive against the run.  Default is inert, and an
+  /// inert scenario leaves the run bit-identical to a chaos-free build
+  /// (the injector is not even constructed).
+  chaos::ChaosScenario chaos{};
+  /// Client self-healing knobs; the default reproduces the legacy
+  /// reactive behaviour exactly.
+  diet::RetryPolicy retry{};
 };
 
 struct ClusterEnergyRow {
@@ -70,6 +85,20 @@ struct PlacementResult {
   std::vector<std::pair<std::string, std::size_t>> tasks_per_server;
   std::uint64_t sim_events = 0;
   double mean_wait_seconds = 0.0;  ///< mean (start - submit) over tasks
+
+  // --- chaos outcome (all zero for an inert scenario) ---
+  std::size_t tasks_completed = 0;
+  /// Requests abandoned under the retry policy (the `--no-retry` cost).
+  std::size_t tasks_lost = 0;
+  /// Requests neither completed nor lost when the simulation drained —
+  /// stuck in a queue with no retry timer to rescue them.
+  std::size_t tasks_unfinished = 0;
+  std::uint64_t tasks_killed = 0;  ///< executions cut short by crashes
+  std::uint64_t crashes = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t cluster_outages = 0;
+  std::uint64_t boot_failures = 0;
+  std::uint64_t retries = 0;  ///< timed backoff re-dispatch attempts
 };
 
 /// Runs one placement experiment to completion (deterministic in `seed`).

@@ -28,7 +28,15 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
   b.tasks_started = registry.counter("diet.tasks_started");
   b.tasks_completed = registry.counter("diet.tasks_completed");
   b.tasks_failed = registry.counter("diet.tasks_failed");
+  b.tasks_lost = registry.counter("diet.tasks_lost");
+  b.retries = registry.counter("diet.retries");
+  b.failures_skipped = registry.counter("diet.failures_skipped");
+  b.chaos_crashes = registry.counter("chaos.crashes");
+  b.chaos_cluster_outages = registry.counter("chaos.cluster_outages");
+  b.chaos_boot_failures = registry.counter("chaos.boot_failures");
+  b.chaos_stale_notifications = registry.counter("chaos.stale_notifications");
   b.provisioner_ticks = registry.counter("green.provisioner_ticks");
+  b.provisioner_degraded = registry.counter("green.provisioner_degraded");
   b.planning_writes = registry.counter("green.planning_writes");
   b.rule_firings = registry.counter("green.rule_firings");
   b.ramp_up_steps = registry.counter("green.ramp_up_steps");

@@ -37,8 +37,17 @@ struct BuiltinMetrics {
   CounterId tasks_started;
   CounterId tasks_completed;
   CounterId tasks_failed;
+  CounterId tasks_lost;        ///< requests abandoned (retry off / exhausted)
+  CounterId retries;           ///< backoff re-dispatch attempts
+  CounterId failures_skipped;  ///< injected crashes that found the node OFF/FAILED
+  // chaos fault processes (chaos)
+  CounterId chaos_crashes;
+  CounterId chaos_cluster_outages;
+  CounterId chaos_boot_failures;
+  CounterId chaos_stale_notifications;
   // provisioner autonomic loop (green)
   CounterId provisioner_ticks;
+  CounterId provisioner_degraded;  ///< checks with healthy pool below target
   CounterId planning_writes;
   CounterId rule_firings;
   CounterId ramp_up_steps;

@@ -1,0 +1,198 @@
+#include "chaos/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+#include "diet/client.hpp"
+#include "green/policies.hpp"
+#include "support/oracle.hpp"
+
+namespace greensched::chaos {
+namespace {
+
+using common::Seconds;
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng;
+  cluster::Platform platform;
+  std::unique_ptr<diet::Hierarchy> hierarchy;
+  std::unique_ptr<diet::PluginScheduler> policy = std::make_unique<green::ScorePolicy>();
+
+  explicit Fixture(std::size_t nodes = 4, std::uint64_t seed = 42) : rng(seed) {
+    cluster::ClusterOptions options;
+    options.node_count = nodes;
+    platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), options, rng);
+    hierarchy = std::make_unique<diet::Hierarchy>(sim, rng);
+    diet::MasterAgent& ma = hierarchy->build_flat(platform, {"cpu-bound"});
+    ma.set_plugin(policy.get());
+  }
+};
+
+struct StormSummary {
+  std::uint64_t crashes, skipped, repairs, reboots, left_off, unrepaired;
+  std::uint64_t boot_failures, outages, stale;
+  double end;
+  bool operator==(const StormSummary&) const = default;
+};
+
+StormSummary run_storm(std::uint64_t seed) {
+  Fixture f(6, seed);
+  ChaosInjector injector(*f.hierarchy, ChaosScenario::parse("storm,mtbf=300,horizon=1500"));
+  injector.start();
+  f.sim.run();
+  return {injector.crashes(),       injector.crashes_skipped(), injector.repairs(),
+          injector.reboots(),       injector.left_off(),        injector.unrepaired(),
+          injector.boot_failures(), injector.cluster_outages(), injector.stale_notifications(),
+          f.sim.now().value()};
+}
+
+TEST(ChaosInjector, DisabledScenarioIsANoOp) {
+  Fixture f;
+  ChaosInjector injector(*f.hierarchy, ChaosScenario{});
+  injector.start();
+  f.sim.run();
+  EXPECT_EQ(injector.crashes(), 0u);
+  EXPECT_DOUBLE_EQ(f.sim.now().value(), 0.0);
+}
+
+TEST(ChaosInjector, StartTwiceThrows) {
+  Fixture f;
+  ChaosInjector injector(*f.hierarchy, ChaosScenario{});
+  injector.start();
+  EXPECT_THROW(injector.start(), common::StateError);
+}
+
+TEST(ChaosInjector, InvalidScenarioRejectedAtConstruction) {
+  Fixture f;
+  ChaosScenario bad;
+  bad.mtbf_seconds = 100.0;  // enabled but no horizon
+  EXPECT_THROW(ChaosInjector(*f.hierarchy, bad), common::ConfigError);
+}
+
+TEST(ChaosInjector, SameSeedReproducesTheExactStorm) {
+  const StormSummary first = run_storm(7);
+  const StormSummary second = run_storm(7);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.crashes, 0u);
+
+  const StormSummary other = run_storm(8);
+  EXPECT_NE(first.end, other.end);  // a different seed is a different storm
+}
+
+TEST(ChaosInjector, CleanRepairCycleRestoresEveryNode) {
+  Fixture f(4);
+  // Deterministic fate lottery: always repaired, always rebooted, boots
+  // never fail — every crash must end with the node back ON.
+  ChaosInjector injector(
+      *f.hierarchy,
+      ChaosScenario::parse("mtbf=400,mttr=60,repair_p=1,reboot_p=1,horizon=2000"));
+  injector.start();
+  f.sim.run();
+  EXPECT_GT(injector.crashes(), 0u);
+  EXPECT_EQ(injector.repairs(), injector.crashes());
+  // A crash can land mid-BOOTING and restart the cycle, so a repair may
+  // be superseded before its boot completes — but never abandoned.
+  EXPECT_LE(injector.reboots(), injector.repairs());
+  EXPECT_GT(injector.reboots(), 0u);
+  EXPECT_EQ(injector.left_off(), 0u);
+  EXPECT_EQ(injector.unrepaired(), 0u);
+  EXPECT_EQ(injector.boot_failures(), 0u);
+  for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
+    EXPECT_EQ(f.platform.node(i).state(), cluster::NodeState::kOn) << "node " << i;
+  }
+}
+
+TEST(ChaosInjector, UnrepairedHardwareStaysFailed) {
+  Fixture f(4);
+  ChaosInjector injector(*f.hierarchy,
+                         ChaosScenario::parse("mtbf=200,repair_p=0,horizon=2000"));
+  injector.start();
+  f.sim.run();
+  EXPECT_GT(injector.crashes(), 0u);
+  EXPECT_EQ(injector.unrepaired(), injector.crashes());
+  EXPECT_EQ(injector.repairs(), 0u);
+  // Each node crashes at most once (a FAILED node only skips), and every
+  // crashed node is FAILED at the end of the run.
+  EXPECT_LE(injector.crashes(), f.platform.node_count());
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
+    if (f.platform.node(i).state() == cluster::NodeState::kFailed) ++failed;
+  }
+  EXPECT_EQ(failed, injector.crashes());
+}
+
+TEST(ChaosInjector, RepairWithoutRebootLeavesNodesOff) {
+  Fixture f(4);
+  ChaosInjector injector(
+      *f.hierarchy,
+      ChaosScenario::parse("mtbf=200,mttr=30,repair_p=1,reboot_p=0,horizon=2000"));
+  injector.start();
+  f.sim.run();
+  EXPECT_GT(injector.crashes(), 0u);
+  EXPECT_EQ(injector.left_off(), injector.repairs());
+  EXPECT_EQ(injector.reboots(), 0u);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
+    if (f.platform.node(i).state() == cluster::NodeState::kOff) ++off;
+  }
+  EXPECT_EQ(off, injector.repairs());
+}
+
+TEST(ChaosInjector, BootFailuresReenterTheRepairCycle) {
+  Fixture f(4);
+  ChaosInjector injector(
+      *f.hierarchy,
+      ChaosScenario::parse("mtbf=150,mttr=20,boot_failure_p=0.9,horizon=3000"));
+  injector.start();
+  f.sim.run();
+  EXPECT_GT(injector.boot_failures(), 0u);
+  // A boot failure is a crash too, and each one re-enters repair; the
+  // cycle still converges (validate() caps the probability).
+  EXPECT_EQ(injector.crashes(), injector.repairs() + injector.unrepaired());
+}
+
+TEST(ChaosInjector, OutageDownsAClusterAndRestoresIt) {
+  Fixture f(6);
+  ChaosInjector injector(
+      *f.hierarchy, ChaosScenario::parse("outage_mtbf=400,outage_mttr=120,horizon=1500"));
+  injector.start();
+  f.sim.run();
+  EXPECT_GT(injector.cluster_outages(), 0u);
+  EXPECT_GT(injector.crashes(), 0u);
+  // Outage restores repair exactly what they downed, and reboots never
+  // fail here, so everything converges back to ON.
+  EXPECT_EQ(injector.repairs(), injector.crashes());
+  for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
+    EXPECT_EQ(f.platform.node(i).state(), cluster::NodeState::kOn) << "node " << i;
+  }
+}
+
+TEST(ChaosInjector, StormUnderClientLoadSettlesAndStaysOracleClean) {
+  Fixture f(6);
+  testsupport::SimulationOracle oracle;
+  oracle.watch(f.platform);
+  diet::Client client(*f.hierarchy, "client", diet::RetryPolicy::hardened());
+  std::vector<workload::TaskInstance> tasks;
+  for (std::size_t i = 0; i < 60; ++i) {
+    workload::TaskInstance task;
+    task.id = common::TaskId(i);
+    task.spec = workload::paper_cpu_bound_task();
+    task.submit_time = Seconds(static_cast<double>(i));
+    tasks.push_back(task);
+  }
+  client.submit_workload(tasks);
+  ChaosInjector injector(*f.hierarchy, ChaosScenario::parse("storm,mtbf=120,horizon=600"));
+  injector.start();
+  f.sim.run();
+  oracle.check_settled(client);
+  oracle.check_transition_counters(f.platform);
+  oracle.check_energy(f.platform, f.sim.now());
+  EXPECT_TRUE(oracle.clean()) << oracle.report();
+  EXPECT_GT(injector.tasks_killed(), 0u);
+  EXPECT_EQ(client.completed() + client.lost(), client.submitted());
+}
+
+}  // namespace
+}  // namespace greensched::chaos

@@ -1,0 +1,91 @@
+#include "chaos/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace greensched::chaos {
+namespace {
+
+TEST(ChaosScenario, DefaultIsInertAndValid) {
+  ChaosScenario scenario;
+  EXPECT_FALSE(scenario.enabled());
+  EXPECT_NO_THROW(scenario.validate());
+}
+
+TEST(ChaosScenario, PresetsParse) {
+  const ChaosScenario none = ChaosScenario::parse("none");
+  EXPECT_FALSE(none.enabled());
+
+  const ChaosScenario calm = ChaosScenario::parse("calm");
+  EXPECT_TRUE(calm.enabled());
+  EXPECT_DOUBLE_EQ(calm.mtbf_seconds, 20'000.0);
+  EXPECT_DOUBLE_EQ(calm.weibull_shape, 1.0);
+  EXPECT_DOUBLE_EQ(calm.boot_failure_probability, 0.0);
+  EXPECT_GT(calm.horizon_seconds, 0.0);
+
+  const ChaosScenario storm = ChaosScenario::parse("storm");
+  EXPECT_TRUE(storm.enabled());
+  EXPECT_LT(storm.mtbf_seconds, calm.mtbf_seconds);
+  EXPECT_LT(storm.weibull_shape, 1.0);  // infant mortality
+  EXPECT_GT(storm.boot_failure_probability, 0.0);
+  EXPECT_GT(storm.cluster_outage_mtbf, 0.0);
+  EXPECT_GT(storm.staleness_seconds, 0.0);
+}
+
+TEST(ChaosScenario, EmptySpecIsInert) {
+  EXPECT_FALSE(ChaosScenario::parse("").enabled());
+}
+
+TEST(ChaosScenario, PresetPlusOverrides) {
+  const ChaosScenario s = ChaosScenario::parse("storm,mtbf=1234,horizon=999");
+  EXPECT_DOUBLE_EQ(s.mtbf_seconds, 1234.0);
+  EXPECT_DOUBLE_EQ(s.horizon_seconds, 999.0);
+  // Untouched storm fields survive.
+  EXPECT_DOUBLE_EQ(s.weibull_shape, 0.7);
+  EXPECT_DOUBLE_EQ(s.cluster_outage_mtbf, 10'000.0);
+}
+
+TEST(ChaosScenario, BareKeysWithoutPreset) {
+  const ChaosScenario s = ChaosScenario::parse("mtbf=500,mttr=60,horizon=100");
+  EXPECT_TRUE(s.enabled());
+  EXPECT_DOUBLE_EQ(s.mtbf_seconds, 500.0);
+  EXPECT_DOUBLE_EQ(s.mttr_seconds, 60.0);
+}
+
+TEST(ChaosScenario, ToStringRoundTrips) {
+  const ChaosScenario storm = ChaosScenario::parse("storm");
+  const ChaosScenario again = ChaosScenario::parse(storm.to_string());
+  EXPECT_DOUBLE_EQ(again.mtbf_seconds, storm.mtbf_seconds);
+  EXPECT_DOUBLE_EQ(again.weibull_shape, storm.weibull_shape);
+  EXPECT_DOUBLE_EQ(again.mttr_seconds, storm.mttr_seconds);
+  EXPECT_DOUBLE_EQ(again.repair_probability, storm.repair_probability);
+  EXPECT_DOUBLE_EQ(again.reboot_probability, storm.reboot_probability);
+  EXPECT_DOUBLE_EQ(again.boot_failure_probability, storm.boot_failure_probability);
+  EXPECT_DOUBLE_EQ(again.cluster_outage_mtbf, storm.cluster_outage_mtbf);
+  EXPECT_DOUBLE_EQ(again.cluster_outage_mttr, storm.cluster_outage_mttr);
+  EXPECT_DOUBLE_EQ(again.staleness_seconds, storm.staleness_seconds);
+  EXPECT_DOUBLE_EQ(again.horizon_seconds, storm.horizon_seconds);
+  EXPECT_EQ(again.to_string(), storm.to_string());
+}
+
+TEST(ChaosScenario, RejectsUnknownKeyAndPreset) {
+  EXPECT_THROW((void)ChaosScenario::parse("storm,bogus=1"), common::ConfigError);
+  EXPECT_THROW((void)ChaosScenario::parse("hurricane"), common::ConfigError);
+  EXPECT_THROW((void)ChaosScenario::parse("mtbf=100,storm"), common::ConfigError);  // preset not first
+  EXPECT_THROW((void)ChaosScenario::parse("mtbf=abc"), common::ConfigError);
+  EXPECT_THROW((void)ChaosScenario::parse("mtbf=1x"), common::ConfigError);  // trailing junk
+}
+
+TEST(ChaosScenario, ValidateCatchesBadRanges) {
+  EXPECT_THROW((void)ChaosScenario::parse("mtbf=100"), common::ConfigError);  // enabled, no horizon
+  EXPECT_THROW((void)ChaosScenario::parse("mtbf=100,horizon=50,repair_p=1.5"), common::ConfigError);
+  EXPECT_THROW((void)ChaosScenario::parse("mtbf=100,horizon=50,boot_failure_p=0.95"),
+               common::ConfigError);  // would never converge
+  EXPECT_THROW((void)ChaosScenario::parse("mtbf=100,horizon=50,shape=0"), common::ConfigError);
+  EXPECT_THROW((void)ChaosScenario::parse("mtbf=100,horizon=50,mttr=0"), common::ConfigError);
+  EXPECT_THROW((void)ChaosScenario::parse("mtbf=-5,horizon=50"), common::ConfigError);
+}
+
+}  // namespace
+}  // namespace greensched::chaos

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "diet/client.hpp"
 #include "green/policies.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greensched::diet {
 namespace {
@@ -143,6 +144,90 @@ TEST(FailureInjector, CrashOfOffNodeIsSkipped) {
   f.sim.run();
   EXPECT_EQ(injector.failures_injected(), 0u);
   EXPECT_EQ(injector.failures_skipped(), 1u);
+}
+
+TEST(FailureInjector, CrashWhileBootingKillsTheBoot) {
+  Fixture f(2);
+  cluster::Node& node = f.platform.node(0);
+  // Take the node down cleanly, then start a boot and crash mid-boot.
+  node.power_off(Seconds(0.0));
+  node.complete_shutdown(Seconds(0.0));
+  node.power_on(Seconds(1.0));
+  ASSERT_EQ(node.state(), cluster::NodeState::kBooting);
+
+  FailureInjector injector(*f.hierarchy);
+  injector.schedule_failure("taurus-0", des::SimTime(10.0), des::SimDuration(30.0),
+                            /*reboot=*/true);
+  f.sim.run();
+  // A BOOTING node is crashable (that is the half-up failure mode): the
+  // crash lands, the stale boot never completes, and the repair path
+  // reboots it to ON.
+  EXPECT_EQ(injector.failures_injected(), 1u);
+  EXPECT_EQ(injector.failures_skipped(), 0u);
+  EXPECT_EQ(node.failures(), 1u);
+  EXPECT_EQ(node.state(), cluster::NodeState::kOn);
+}
+
+TEST(FailureInjector, CrashOfJustElectedSedResubmitsElsewhere) {
+  Fixture f(2);
+  Client client(*f.hierarchy);
+  client.submit_workload(f.burst(2));
+  FailureInjector injector(*f.hierarchy);
+  // This event is scheduled after the submissions, so it runs once the
+  // MA has elected a server — then that node dies under the brand-new
+  // task, at the very instant of the election, before a single flop.
+  std::string victim;
+  f.sim.schedule_at(des::SimTime(0.0), [&] {
+    ASSERT_TRUE(client.records().front().start.has_value());
+    victim = client.records().front().server;
+    injector.schedule_failure(victim, des::SimTime(0.0));
+  });
+  f.sim.run();
+  EXPECT_TRUE(client.all_done());
+  EXPECT_GT(injector.tasks_killed(), 0u);
+  // Anything the victim was elected for finished on the survivor.
+  for (const auto& [server, count] : client.tasks_per_server()) {
+    EXPECT_NE(server, victim);
+  }
+  std::size_t crash_survivors = 0;
+  for (const auto& r : client.records()) crash_survivors += r.failures;
+  EXPECT_EQ(crash_survivors, injector.tasks_killed());
+}
+
+TEST(FailureInjector, RepairWithoutRebootLeavesNodeOff) {
+  Fixture f(2);
+  FailureInjector injector(*f.hierarchy);
+  injector.schedule_failure("taurus-0", des::SimTime(5.0), des::SimDuration(60.0),
+                            /*reboot=*/false);
+  f.sim.run();
+  EXPECT_EQ(injector.failures_injected(), 1u);
+  EXPECT_EQ(injector.repairs(), 1u);
+  // Repaired hardware is usable again but stays powered down until a
+  // provisioner (or chaos reboot) decides otherwise.
+  EXPECT_EQ(f.platform.node(0).state(), cluster::NodeState::kOff);
+  f.platform.node(0).power_on(Seconds(f.sim.now().value()));
+  EXPECT_EQ(f.platform.node(0).state(), cluster::NodeState::kBooting);
+}
+
+TEST(FailureInjector, SkippedFailuresAreExportedViaTelemetry) {
+  telemetry::Telemetry::enable();
+  const auto before = telemetry::Telemetry::metrics().snapshot();
+  const auto* before_skipped = before.find_counter("diet.failures_skipped");
+  const std::uint64_t base = before_skipped ? before_skipped->value : 0u;
+
+  Fixture f(1);
+  f.platform.node(0).power_off(Seconds(0.0));
+  f.platform.node(0).complete_shutdown(Seconds(0.0));
+  FailureInjector injector(*f.hierarchy);
+  injector.schedule_failure("taurus-0", des::SimTime(1.0));
+  injector.schedule_failure("taurus-0", des::SimTime(2.0));
+  f.sim.run();
+  EXPECT_EQ(injector.failures_skipped(), 2u);
+
+  const auto after = telemetry::Telemetry::metrics().snapshot();
+  const auto* after_skipped = after.find_counter("diet.failures_skipped");
+  ASSERT_NE(after_skipped, nullptr);
+  EXPECT_EQ(after_skipped->value, base + 2u);
 }
 
 TEST(FailureInjector, RepeatedFailuresOnRepairedNode) {

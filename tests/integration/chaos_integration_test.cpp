@@ -1,0 +1,126 @@
+// Chaos acceptance run: the full stack survives an MTBF-driven storm.
+//
+// A 200-node platform serves 10,000 requests while nodes crash on
+// Weibull clocks, reboots fail, whole clusters black out and the
+// middleware's capacity view goes stale — and with the hardened retry
+// policy not a single request may be lost, every oracle invariant must
+// hold, and the run must be bit-identical at any sweep thread count.
+#include <gtest/gtest.h>
+
+#include "chaos/injector.hpp"
+#include "green/policies.hpp"
+#include "metrics/experiment.hpp"
+#include "support/oracle.hpp"
+#include "workload/generator.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+constexpr std::size_t kNodes = 200;
+constexpr std::size_t kTasks = 10'000;
+constexpr std::uint64_t kSeed = 42;
+
+PlacementConfig storm_config() {
+  PlacementConfig config;
+  config.clusters = scaled_clusters(kNodes);
+  config.policy = "POWER";
+  config.seed = kSeed;
+  config.task_count_override = kTasks;
+  config.chaos = chaos::ChaosScenario::parse("storm");
+  config.retry = diet::RetryPolicy::hardened();
+  return config;
+}
+
+TEST(ChaosIntegration, StormRunLosesNothingAtScale) {
+  const PlacementResult result = run_placement(storm_config());
+  EXPECT_EQ(result.tasks, kTasks);
+  EXPECT_EQ(result.tasks_completed, kTasks);
+  EXPECT_EQ(result.tasks_lost, 0u);
+  EXPECT_EQ(result.tasks_unfinished, 0u);
+  // The storm actually happened — the run did not pass by luck of an
+  // empty fault schedule.
+  EXPECT_GT(result.crashes, 100u);
+  EXPECT_GT(result.tasks_killed, 0u);
+  EXPECT_GT(result.repairs, 0u);
+  EXPECT_GT(result.cluster_outages, 0u);
+  EXPECT_GT(result.boot_failures, 0u);
+}
+
+TEST(ChaosIntegration, StormRunIsOracleClean) {
+  // The harness does not expose its internals, so the oracle run builds
+  // the same stack by hand: one client, the same platform scale, the
+  // same storm — with every invariant watched live.
+  des::Simulator sim;
+  common::Rng rng(kSeed);
+  cluster::Platform platform;
+  for (const auto& setup : scaled_clusters(kNodes)) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+  const auto policy = green::make_policy("POWER");
+  ma.set_plugin(policy.get());
+
+  testsupport::SimulationOracle oracle;
+  oracle.watch(platform);
+
+  workload::WorkloadConfig wconfig;
+  workload::WorkloadGenerator generator(wconfig);
+  workload::BurstThenContinuousArrival arrival(wconfig.burst_size, wconfig.continuous_rate);
+  diet::Client client(hierarchy, "client", diet::RetryPolicy::hardened());
+  client.submit_workload(
+      generator.generate_with(arrival, kTasks, common::Seconds(0.0), rng));
+
+  chaos::ChaosInjector injector(hierarchy, chaos::ChaosScenario::parse("storm"));
+  injector.start();
+  sim.run();
+
+  oracle.check_settled(client);
+  oracle.check_transition_counters(platform);
+  oracle.check_energy(platform, sim.now());
+  EXPECT_TRUE(oracle.clean()) << oracle.report();
+  EXPECT_GT(oracle.transitions_observed(), 0u);
+  EXPECT_EQ(client.completed(), kTasks);
+  EXPECT_EQ(client.lost(), 0u);
+  EXPECT_GT(injector.crashes(), 0u);
+}
+
+TEST(ChaosIntegration, StormSweepIsBitIdenticalAcrossJobs) {
+  const PlacementConfig config = storm_config();
+  const std::vector<std::uint64_t> seeds{kSeed};
+  const std::vector<PlacementResult> serial = run_placement_sweep(config, seeds, 1);
+  const std::vector<PlacementResult> threaded = run_placement_sweep(config, seeds, 8);
+  ASSERT_EQ(serial.size(), threaded.size());
+  const PlacementResult& a = serial.front();
+  const PlacementResult& b = threaded.front();
+  EXPECT_EQ(a.makespan.value(), b.makespan.value());  // bitwise, not approximate
+  EXPECT_EQ(a.energy.value(), b.energy.value());
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.mean_wait_seconds, b.mean_wait_seconds);
+  EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+  EXPECT_EQ(a.tasks_lost, b.tasks_lost);
+  EXPECT_EQ(a.tasks_unfinished, b.tasks_unfinished);
+  EXPECT_EQ(a.tasks_killed, b.tasks_killed);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.cluster_outages, b.cluster_outages);
+  EXPECT_EQ(a.boot_failures, b.boot_failures);
+  EXPECT_EQ(a.retries, b.retries);
+  ASSERT_EQ(a.tasks_per_server.size(), b.tasks_per_server.size());
+  for (std::size_t i = 0; i < a.tasks_per_server.size(); ++i) {
+    EXPECT_EQ(a.tasks_per_server[i], b.tasks_per_server[i]);
+  }
+}
+
+TEST(ChaosIntegration, DisablingRetriesLosesRequestsInTheSameStorm) {
+  PlacementConfig config = storm_config();
+  config.retry = diet::RetryPolicy::none();
+  const PlacementResult result = run_placement(config);
+  // Same storm, no self-healing: every task killed mid-flight is gone.
+  EXPECT_GT(result.tasks_lost, 0u);
+  EXPECT_LT(result.tasks_completed, kTasks);
+  EXPECT_EQ(result.tasks_completed + result.tasks_lost + result.tasks_unfinished, kTasks);
+}
+
+}  // namespace
+}  // namespace greensched::metrics

@@ -1,0 +1,47 @@
+// Golden regression pin for the Table II policy-comparison sweep.
+//
+// The CSV the sweep engine emits for a fixed seed is part of the repo's
+// reproducibility contract: the paper-facing numbers must not drift
+// under refactors (and must not depend on the thread count).  If an
+// intentional change to the simulation moves these values, regenerate
+// the golden block below from the test's failure output and say why in
+// the commit.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/sweep.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+constexpr const char* kGoldenRunsCsv =
+    "label,policy,seed,tasks,makespan_s,energy_j,mean_wait_s,sim_events\n"
+    "RANDOM,RANDOM,42,104,63,178582,0,208\n"
+    "POWER,POWER,42,104,68,177364,0,208\n"
+    "PERFORMANCE,PERFORMANCE,42,104,63,177575,0,208\n";
+
+std::string runs_csv(std::size_t jobs) {
+  SweepOptions options;
+  options.seeds = {42};
+  options.jobs = jobs;
+  SweepRunner runner(options);
+  PlacementConfig base;
+  base.workload.requests_per_core = 1.0;  // 1 task/core keeps the pin fast
+  runner.add_policies(base, {"RANDOM", "POWER", "PERFORMANCE"});
+  const std::vector<SweepRow> rows = runner.run();
+  std::ostringstream out;
+  SweepRunner::write_runs_csv(out, rows);
+  return out.str();
+}
+
+TEST(GoldenTable2, PolicyComparisonCsvIsPinned) {
+  EXPECT_EQ(runs_csv(1), kGoldenRunsCsv);
+}
+
+TEST(GoldenTable2, PinHoldsAtAnyThreadCount) {
+  EXPECT_EQ(runs_csv(4), kGoldenRunsCsv);
+}
+
+}  // namespace
+}  // namespace greensched::metrics

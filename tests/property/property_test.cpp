@@ -3,11 +3,16 @@
 // tests.
 #include <gtest/gtest.h>
 
+#include "chaos/injector.hpp"
 #include "cluster/catalog.hpp"
 #include "cluster/wattmeter.hpp"
 #include "des/simulator.hpp"
+#include "green/candidate_selection.hpp"
+#include "green/policies.hpp"
 #include "green/score.hpp"
 #include "metrics/experiment.hpp"
+#include "support/oracle.hpp"
+#include "workload/generator.hpp"
 #include "xmlite/xml.hpp"
 
 namespace greensched {
@@ -170,6 +175,122 @@ TEST(ScoreContinuity, LogScoreIsSmoothAndMonotone) {
     previous = current;
   }
 }
+
+// --- Algorithm 1 monotonicity ---------------------------------------------------
+
+class CandidateMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CandidateMonotonicity, CandidateSetGrowsMonotonicallyWithPreference) {
+  // For any fleet, sweeping the provider preference upward must only
+  // ever *add* servers, and every smaller set must be a prefix of every
+  // larger one (Algorithm 1 is a greedy prefix under a rising cap) —
+  // the administrator knob cannot reshuffle which machines are exposed.
+  common::Rng rng(GetParam());
+  std::vector<green::RankedServer> fleet;
+  const std::size_t size = 3 + rng.index(40);
+  for (std::size_t i = 0; i < size; ++i) {
+    green::RankedServer server;
+    server.node = common::NodeId(i);
+    server.name = "n" + std::to_string(i);
+    server.power = common::Watts(rng.uniform(80.0, 450.0));
+    server.greenperf = rng.uniform(0.1, 5.0);
+    fleet.push_back(std::move(server));
+  }
+
+  std::vector<green::RankedServer> previous;
+  for (double preference = 0.0; preference <= 1.0 + 1e-12; preference += 0.05) {
+    std::vector<green::RankedServer> current =
+        green::select_candidate_servers(fleet, std::min(preference, 1.0));
+    ASSERT_GE(current.size(), previous.size()) << "preference " << preference;
+    for (std::size_t i = 0; i < previous.size(); ++i) {
+      EXPECT_EQ(current[i].node.value(), previous[i].node.value())
+          << "set reshuffled at preference " << preference;
+    }
+    previous = std::move(current);
+  }
+  // preference 1 exposes the whole fleet; preference 0 exposes nothing.
+  EXPECT_EQ(previous.size(), fleet.size());
+  EXPECT_TRUE(green::select_candidate_servers(fleet, 0.0).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CandidateMonotonicity,
+                         ::testing::Values(5u, 71u, 443u, 9311u, 60013u));
+
+// --- Eq. 6 boundary limits (Eq. 7) ----------------------------------------------
+
+class ScoreBoundaryLimits : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScoreBoundaryLimits, Eq6ReproducesEq7AtTheBoundaries) {
+  common::Rng rng(GetParam());
+  for (int draw = 0; draw < 200; ++draw) {
+    const double t = rng.uniform(1.5, 500.0);
+    const double e = rng.uniform(10.0, 1e6);
+    const common::Seconds time(t);
+    const common::Joules energy(e);
+
+    // P = 0: the plain time x energy product.
+    EXPECT_NEAR(green::score(time, energy, green::UserPreference(0.0)), t * e,
+                1e-9 * t * e);
+    // P -> -0.9: exponent 2/0.1 - 1 = 19, the time-dominated limit.
+    const double perf = green::score(time, energy, green::UserPreference(-0.9));
+    EXPECT_NEAR(perf, std::pow(t, 19.0) * e, 1e-6 * perf);
+    // P -> +0.9: exponent 2/1.9 - 1, the energy-dominated limit.
+    const double eco = green::score(time, energy, green::UserPreference(0.9));
+    EXPECT_NEAR(eco, std::pow(t, 2.0 / 1.9 - 1.0) * e, 1e-6 * eco);
+
+    // Dominance: at P=-0.9 a 2x faster server wins even at 100x the
+    // energy (100 << 2^19); at P=+0.9 a 2x greener server wins even at
+    // 100x the time (100^(2/1.9-1) ~ 1.27 < 2).
+    EXPECT_LT(green::score(common::Seconds(t / 2.0), common::Joules(e * 100.0),
+                           green::UserPreference(-0.9)),
+              perf);
+    EXPECT_LT(green::score(common::Seconds(t * 100.0), common::Joules(e / 2.0),
+                           green::UserPreference(0.9)),
+              eco);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreBoundaryLimits, ::testing::Values(11u, 137u, 7919u));
+
+// --- chaos invariants through the oracle ------------------------------------------
+
+class ChaosInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosInvariants, StormRunStaysOracleClean) {
+  des::Simulator sim;
+  common::Rng rng(GetParam());
+  cluster::Platform platform;
+  for (const auto& setup : metrics::scaled_clusters(12)) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+  const auto policy = green::make_policy("POWER");
+  ma.set_plugin(policy.get());
+
+  testsupport::SimulationOracle oracle;
+  oracle.watch(platform);
+
+  workload::WorkloadConfig wconfig;
+  workload::WorkloadGenerator generator(wconfig);
+  workload::BurstThenContinuousArrival arrival(wconfig.burst_size, wconfig.continuous_rate);
+  diet::Client client(hierarchy, "chaos-client", diet::RetryPolicy::hardened());
+  client.submit_workload(generator.generate_with(arrival, 400, common::Seconds(0.0), rng));
+
+  chaos::ChaosInjector injector(
+      hierarchy, chaos::ChaosScenario::parse("storm,mtbf=1500,horizon=2500"));
+  injector.start();
+  sim.run();
+
+  oracle.check_settled(client);
+  oracle.check_transition_counters(platform);
+  oracle.check_energy(platform, sim.now());
+  EXPECT_TRUE(oracle.clean()) << oracle.report();
+  EXPECT_GT(injector.crashes(), 0u);
+  EXPECT_GT(oracle.transitions_observed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosInvariants, ::testing::Values(1u, 23u, 404u, 8191u));
 
 // --- XML round-trip under random documents ---------------------------------------
 

@@ -1,0 +1,259 @@
+// Simulation oracle: global invariants every run must satisfy, chaotic
+// or not.
+//
+// The oracle is deliberately framework-free (no gtest): checks append
+// human-readable violation strings, and the caller asserts that the list
+// is empty.  That lets the same oracle serve unit tests, property tests
+// and the chaos integration suite, and makes a failure message carry the
+// whole story instead of a bare EXPECT.
+//
+// Invariants covered:
+//   1. Node state machine legality — every power-state transition taken
+//      during the run is an edge of the documented machine, observed
+//      live through Node::set_state_change_hook, with per-node
+//      monotonic timestamps.
+//   2. Counter consistency — Node::boots()/failures() equal the number
+//      of corresponding transitions actually observed.
+//   3. Task conservation — per client: completed + lost + queued ==
+//      submitted; no task double-completed; terminal states are
+//      mutually exclusive.  A settled() client lost nothing silently.
+//   4. Energy conservation — per node, consumed energy lies within
+//      [min-state-power x elapsed, max-state-power x elapsed] and never
+//      decreases between checks; crash/repair cycles cannot create or
+//      destroy energy.
+//   5. Candidate-set legality — every candidate is a live platform
+//      node, no duplicates, and (in power-cap mode) the candidate
+//      nameplate power does not overshoot Algorithm 1's
+//      Preference_provider x P_total cap by more than one server.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "diet/client.hpp"
+#include "green/provisioner.hpp"
+
+namespace greensched::testsupport {
+
+class SimulationOracle {
+ public:
+  /// Installs a state-change hook on every platform node.  Call before
+  /// the simulation runs; the oracle must outlive the platform's use.
+  /// (Replaces any previously installed hook — the oracle assumes it is
+  /// the only observer, which holds in tests.)
+  void watch(cluster::Platform& platform) {
+    for (std::size_t i = 0; i < platform.node_count(); ++i) {
+      platform.node(i).set_state_change_hook(
+          [this](cluster::Node& node, cluster::NodeState from, cluster::NodeState to,
+                 common::Seconds at) { on_transition(node, from, to, at); });
+    }
+  }
+
+  // --- invariant checks (append violations; call after sim.run()) ---
+
+  /// Invariant 2: node counters agree with the observed transition log.
+  void check_transition_counters(cluster::Platform& platform) {
+    for (std::size_t i = 0; i < platform.node_count(); ++i) {
+      const cluster::Node& node = platform.node(i);
+      const NodeLog& log = logs_[node.id().value()];
+      if (node.boots() != log.boots)
+        fail() << node.name() << ": boots() = " << node.boots() << " but observed "
+               << log.boots << " OFF->BOOTING transitions";
+      if (node.failures() != log.failures)
+        fail() << node.name() << ": failures() = " << node.failures() << " but observed "
+               << log.failures << " ->FAILED transitions";
+    }
+  }
+
+  /// Invariant 3: no task lost silently, none double-completed.
+  void check_task_conservation(const diet::Client& client) {
+    const auto& records = client.records();
+    std::size_t with_end = 0;
+    std::size_t lost = 0;
+    for (const auto& r : records) {
+      if (r.end) ++with_end;
+      if (r.lost) ++lost;
+      if (r.end && r.lost)
+        fail() << client.name() << ": task " << r.task.id.value()
+               << " both completed and lost";
+      if (r.end && !r.start)
+        fail() << client.name() << ": task " << r.task.id.value()
+               << " has an end but no start";
+    }
+    // completed_ counts completion callbacks; records with an end count
+    // terminal tasks.  A double-fired completion breaks the equality.
+    if (client.completed() != with_end)
+      fail() << client.name() << ": completed() = " << client.completed() << " but "
+             << with_end << " records carry an end time (double completion?)";
+    if (client.lost() != lost)
+      fail() << client.name() << ": lost() = " << client.lost() << " but " << lost
+             << " records are marked lost";
+    if (client.completed() + client.lost() + client.pending() < client.submitted())
+      fail() << client.name() << ": " << client.submitted() << " submitted but only "
+             << client.completed() << " completed + " << client.lost() << " lost + "
+             << client.pending() << " queued — tasks vanished";
+  }
+
+  /// Invariant 3, strict form: every request reached a terminal state.
+  void check_settled(const diet::Client& client) {
+    check_task_conservation(client);
+    if (!client.settled())
+      fail() << client.name() << ": not settled — " << client.submitted() << " submitted, "
+             << client.completed() << " completed, " << client.lost() << " lost, "
+             << client.pending() << " still queued";
+  }
+
+  /// Invariant 4: per-node energy within physical bounds, monotonic
+  /// across successive checks.
+  void check_energy(cluster::Platform& platform, common::Seconds now) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < platform.node_count(); ++i) {
+      cluster::Node& node = platform.node(i);
+      const double joules = node.energy(now).value();
+      total += joules;
+      const auto& spec = node.spec();
+      const double lo = std::min({spec.off_watts.value(), spec.idle_watts.value(),
+                                  spec.boot_watts.value()});
+      const double hi = std::max({spec.peak_watts.value(), spec.boot_watts.value(),
+                                  spec.idle_watts.value()});
+      const double elapsed = now.value();
+      if (joules < lo * elapsed - 1e-6 || joules > hi * elapsed + 1e-6)
+        fail() << node.name() << ": energy " << joules << " J outside physical bounds ["
+               << lo * elapsed << ", " << hi * elapsed << "] at t=" << elapsed;
+      double& previous = last_energy_[node.id().value()];
+      if (joules + 1e-9 < previous)
+        fail() << node.name() << ": energy decreased from " << previous << " to " << joules;
+      previous = joules;
+    }
+    const double reported = platform.total_energy(now).value();
+    if (std::abs(reported - total) > 1e-6 * std::max(1.0, total))
+      fail() << "platform total_energy " << reported << " != sum of node energies " << total;
+  }
+
+  /// Invariant 5: candidate set well-formed; in power-cap mode the
+  /// candidate nameplate power may exceed Preference_provider x P_total
+  /// only by the final server Algorithm 1 admitted to reach the cap.
+  void check_candidate_set(const green::Provisioner& provisioner,
+                           cluster::Platform& platform, double cap_fraction) {
+    std::set<std::uint64_t> seen;
+    double candidate_watts = 0.0;
+    double max_single = 0.0;
+    double total_watts = 0.0;
+    for (std::size_t i = 0; i < platform.node_count(); ++i) {
+      const auto& spec = platform.node(i).spec();
+      total_watts += spec.peak_watts.value();
+      max_single = std::max(max_single, spec.peak_watts.value());
+    }
+    for (const common::NodeId id : provisioner.candidates()) {
+      if (!seen.insert(id.value()).second)
+        fail() << "candidate set contains node " << id.value() << " twice";
+      const cluster::Node* node = platform.find_node(id);
+      if (node == nullptr) {
+        fail() << "candidate set names unknown node " << id.value();
+        continue;
+      }
+      candidate_watts += node->spec().peak_watts.value();
+    }
+    if (cap_fraction > 0.0) {
+      const double cap = cap_fraction * total_watts;
+      if (candidate_watts > cap + max_single + 1e-9)
+        fail() << "candidate power " << candidate_watts << " W overshoots Algorithm 1 cap "
+               << cap << " W by more than one server (" << max_single << " W)";
+    }
+  }
+
+  // --- outcome ---
+  [[nodiscard]] bool clean() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  /// All violations joined, for one-shot assertion messages.
+  [[nodiscard]] std::string report() const {
+    std::string out;
+    for (const auto& v : violations_) {
+      out += v;
+      out += '\n';
+    }
+    return out;
+  }
+  [[nodiscard]] std::uint64_t transitions_observed() const noexcept { return transitions_; }
+
+ private:
+  struct NodeLog {
+    cluster::NodeState last = cluster::NodeState::kOff;
+    bool seen = false;
+    double last_at = 0.0;
+    std::uint64_t boots = 0;
+    std::uint64_t failures = 0;
+  };
+
+  /// Builder for one violation line; the string lands in violations_
+  /// when the temporary dies.
+  class Failure {
+   public:
+    explicit Failure(std::vector<std::string>& sink) : sink_(sink) {}
+    Failure(Failure&& other) = delete;
+    ~Failure() { sink_.push_back(stream_.str()); }
+    template <typename T>
+    Failure& operator<<(const T& value) {
+      stream_ << value;
+      return *this;
+    }
+
+   private:
+    std::vector<std::string>& sink_;
+    std::ostringstream stream_;
+  };
+
+  Failure fail() { return Failure(violations_); }
+
+  static bool legal_edge(cluster::NodeState from, cluster::NodeState to) noexcept {
+    using S = cluster::NodeState;
+    switch (from) {
+      case S::kOff:
+        return to == S::kBooting;
+      case S::kBooting:
+        return to == S::kOn || to == S::kFailed;
+      case S::kOn:
+        return to == S::kShuttingDown || to == S::kFailed;
+      case S::kShuttingDown:
+        return to == S::kOff || to == S::kFailed;
+      case S::kFailed:
+        return to == S::kOff;
+    }
+    return false;
+  }
+
+  void on_transition(cluster::Node& node, cluster::NodeState from, cluster::NodeState to,
+                     common::Seconds at) {
+    ++transitions_;
+    NodeLog& log = logs_[node.id().value()];
+    if (log.seen && log.last != from)
+      fail() << node.name() << ": transition claims to leave " << cluster::to_string(from)
+             << " but the node was last seen in " << cluster::to_string(log.last);
+    if (log.seen && at.value() < log.last_at)
+      fail() << node.name() << ": transition at t=" << at.value()
+             << " earlier than previous transition at t=" << log.last_at;
+    if (!legal_edge(from, to))
+      fail() << node.name() << ": illegal transition " << cluster::to_string(from) << " -> "
+             << cluster::to_string(to) << " at t=" << at.value();
+    if (from == cluster::NodeState::kOff && to == cluster::NodeState::kBooting) ++log.boots;
+    if (to == cluster::NodeState::kFailed) ++log.failures;
+    log.last = to;
+    log.seen = true;
+    log.last_at = at.value();
+  }
+
+  std::vector<std::string> violations_;
+  std::map<std::uint64_t, NodeLog> logs_;
+  std::map<std::uint64_t, double> last_energy_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace greensched::testsupport

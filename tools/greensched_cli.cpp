@@ -16,12 +16,16 @@
 //       Run the adaptive-provisioning timeline and dump the XML planning.
 //   greensched trace-generate --out FILE [--tasks N] [--burst B] [--rate R]
 //   greensched trace-run --in FILE [--policy P] [--seed N]
+//   greensched chaos --scenario storm [--nodes N] [--tasks N] [--policy P]
+//       [--seed N] [--seeds K] [--jobs J] [--no-retry] [--csv FILE]
+//       Run a placement experiment under stochastic fault injection.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "chaos/scenario.hpp"
 #include "cluster/catalog.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
@@ -67,6 +71,10 @@ int usage() {
                "  trace-generate   write a workload trace (--out FILE, --tasks, --burst,\n"
                "                   --rate, --seed)\n"
                "  trace-run        replay a workload trace (--in FILE, --policy, --seed)\n"
+               "  chaos            placement under fault injection (--scenario\n"
+               "                   none|calm|storm[,key=value,...], --nodes N, --tasks N,\n"
+               "                   --policy P, --seed N, --seeds K, --jobs J, --no-retry,\n"
+               "                   --requests-per-core R, --csv FILE)\n"
                "telemetry (any command):\n"
                "  --trace-out FILE    record spans, write Chrome trace_event JSON\n"
                "                      (load it in Perfetto / chrome://tracing)\n"
@@ -307,6 +315,90 @@ int cmd_fig9(const CliArgs& args) {
   return 0;
 }
 
+void print_chaos_result(const metrics::PlacementResult& r) {
+  std::printf("policy       : %s (seed %llu)\n", r.policy.c_str(),
+              static_cast<unsigned long long>(r.seed));
+  std::printf("tasks        : %zu submitted, %zu completed, %zu lost, %zu unfinished\n",
+              r.tasks, r.tasks_completed, r.tasks_lost, r.tasks_unfinished);
+  std::printf("faults       : %llu crashes (%llu tasks killed), %llu repairs, "
+              "%llu cluster outages, %llu boot failures\n",
+              static_cast<unsigned long long>(r.crashes),
+              static_cast<unsigned long long>(r.tasks_killed),
+              static_cast<unsigned long long>(r.repairs),
+              static_cast<unsigned long long>(r.cluster_outages),
+              static_cast<unsigned long long>(r.boot_failures));
+  std::printf("retries      : %llu timed re-dispatches\n",
+              static_cast<unsigned long long>(r.retries));
+  if (r.tasks_completed > 0) std::printf("makespan     : %.1f s\n", r.makespan.value());
+  std::printf("energy       : %.0f J (%.2f kWh)\n", r.energy.value(),
+              r.energy.value() / 3.6e6);
+}
+
+int cmd_chaos(const CliArgs& args) {
+  metrics::PlacementConfig config;
+  config.clusters =
+      metrics::scaled_clusters(static_cast<std::size_t>(args.get_int("nodes", 12)));
+  config.policy = args.get_or("policy", "POWER");
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.client_count = static_cast<std::size_t>(args.get_int("clients", 1));
+  config.workload.requests_per_core = args.get_double("requests-per-core", 10.0);
+  config.workload.burst_size = static_cast<std::size_t>(args.get_int("burst", 50));
+  config.workload.continuous_rate = args.get_double("rate", 2.0);
+  config.task_count_override = static_cast<std::size_t>(args.get_int("tasks", 0));
+  config.chaos = chaos::ChaosScenario::parse(args.get_or("scenario", "storm"));
+  config.retry = args.get_bool("no-retry", false) ? diet::RetryPolicy::none()
+                                                  : diet::RetryPolicy::hardened();
+  std::printf("scenario     : %s%s\n", config.chaos.to_string().c_str(),
+              args.get_bool("no-retry", false) ? " (retries disabled)" : "");
+
+  const auto seed_count = static_cast<std::size_t>(std::max(1LL, args.get_int("seeds", 1)));
+  std::vector<metrics::PlacementResult> results;
+  if (seed_count > 1) {
+    const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
+    results = metrics::run_placement_sweep(config, metrics::default_seeds(seed_count), jobs);
+    std::printf("%-8s %10s %10s %8s %12s %10s %10s %10s\n", "seed", "completed", "lost",
+                "crashes", "outages", "retries", "makespan", "energy J");
+    for (const auto& r : results) {
+      std::printf("%-8llu %10zu %10zu %8llu %12llu %10llu %10.1f %10.0f\n",
+                  static_cast<unsigned long long>(r.seed), r.tasks_completed, r.tasks_lost,
+                  static_cast<unsigned long long>(r.crashes),
+                  static_cast<unsigned long long>(r.cluster_outages),
+                  static_cast<unsigned long long>(r.retries),
+                  r.tasks_completed ? r.makespan.value() : 0.0, r.energy.value());
+    }
+  } else {
+    results.push_back(metrics::run_placement(config));
+    print_chaos_result(results.back());
+  }
+
+  if (const auto csv_path = args.get("csv")) {
+    std::ofstream out(*csv_path);
+    common::CsvWriter csv(out);
+    csv.row({"seed", "policy", "tasks", "completed", "lost", "unfinished", "crashes",
+             "tasks_killed", "repairs", "cluster_outages", "boot_failures", "retries",
+             "makespan_s", "energy_j"});
+    for (const auto& r : results) {
+      csv.cell(r.seed)
+          .cell(r.policy)
+          .cell(r.tasks)
+          .cell(r.tasks_completed)
+          .cell(r.tasks_lost)
+          .cell(r.tasks_unfinished)
+          .cell(r.crashes)
+          .cell(r.tasks_killed)
+          .cell(r.repairs)
+          .cell(r.cluster_outages)
+          .cell(r.boot_failures)
+          .cell(r.retries)
+          .cell(r.makespan.value())
+          .cell(r.energy.value());
+      csv.end_row();
+    }
+    std::printf("chaos CSV written to %s\n", csv_path->c_str());
+  }
+  return 0;
+}
+
 int cmd_trace_generate(const CliArgs& args) {
   const auto out_path = args.get("out");
   if (!out_path) {
@@ -396,6 +488,8 @@ int main(int argc, char** argv) {
       status = cmd_trace_generate(args);
     } else if (command == "trace-run") {
       status = cmd_trace_run(args);
+    } else if (command == "chaos") {
+      status = cmd_chaos(args);
     } else {
       return usage();
     }
