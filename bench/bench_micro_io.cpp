@@ -1,10 +1,17 @@
 // Micro-benchmarks of the I/O substrates: XML parse/serialize, workload
-// trace round trip and the RNG.
+// trace round trip, the RNG, and the durability layer (journal append,
+// snapshot compaction, and the planning write-ahead observer hook).
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <filesystem>
 #include <sstream>
+#include <string>
 
 #include "common/rng.hpp"
+#include "durable/journal.hpp"
+#include "durable/planning_store.hpp"
+#include "green/planning.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace_io.hpp"
 #include "xmlite/xml.hpp"
@@ -69,6 +76,90 @@ void BM_RngNormal(benchmark::State& state) {
   }
 }
 
+green::PlanningEntry bench_entry(double t) {
+  green::PlanningEntry entry;
+  entry.timestamp = t;
+  entry.temperature = 23.5;
+  entry.candidates = 8;
+  entry.electricity_cost = 0.6;
+  return entry;
+}
+
+// Scratch directory for the durability benches; recreated per benchmark
+// so runs do not feed off each other's files.
+std::filesystem::path bench_dir(const char* name) {
+  const std::filesystem::path dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Journal append throughput; range(0) is the fsync batch size, so the
+// first point (1) shows the fsync-per-record floor and the later points
+// show what batching buys back.
+void BM_JournalAppend(benchmark::State& state) {
+  const std::filesystem::path dir = bench_dir("gs_bench_journal");
+  durable::Journal::Options options;
+  options.fsync_every = static_cast<std::size_t>(state.range(0));
+  durable::Journal journal = durable::Journal::open(dir / "bench.journal", options);
+  const std::string payload = durable::encode_planning_entry(bench_entry(1.0));
+  for (auto _ : state) {
+    journal.append(payload);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(payload.size()));
+  std::filesystem::remove_all(dir);
+}
+
+// Full compaction cycle (snapshot write + journal reset) at several
+// planning sizes.
+void BM_SnapshotCompaction(benchmark::State& state) {
+  const std::filesystem::path dir = bench_dir("gs_bench_snapshot");
+  green::ProvisioningPlanning planning;
+  {
+    durable::PlanningStore store(dir, planning);
+    const auto entries = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < entries; ++i) {
+      planning.add_entry(bench_entry(static_cast<double>(i) * 600.0));
+    }
+    for (auto _ : state) {
+      store.compact();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// The zero-overhead contract: with no observer attached, add_entry must
+// cost the same as before the durability layer existed (one null-pointer
+// branch).  Compare against BM_PlanningAddEntryJournaled for the price
+// of write-ahead journaling.
+void BM_PlanningAddEntryBare(benchmark::State& state) {
+  green::ProvisioningPlanning planning;
+  double t = 0.0;
+  for (auto _ : state) {
+    planning.add_entry(bench_entry(t));
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PlanningAddEntryJournaled(benchmark::State& state) {
+  const std::filesystem::path dir = bench_dir("gs_bench_planning");
+  green::ProvisioningPlanning planning;
+  {
+    durable::Journal::Options journal_options;
+    journal_options.fsync_every = 64;  // batched: measure the append path
+    durable::PlanningStore store(dir, planning, {journal_options, 0});
+    double t = 0.0;
+    for (auto _ : state) {
+      planning.add_entry(bench_entry(t));
+      t += 1.0;
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 
 BENCHMARK(BM_XmlParse)->Range(8, 1024);
@@ -76,3 +167,7 @@ BENCHMARK(BM_XmlSerialize)->Range(8, 1024);
 BENCHMARK(BM_TraceRoundTrip)->Range(64, 4096);
 BENCHMARK(BM_RngUniform);
 BENCHMARK(BM_RngNormal);
+BENCHMARK(BM_JournalAppend)->RangeMultiplier(8)->Range(1, 64);
+BENCHMARK(BM_SnapshotCompaction)->Range(64, 1024);
+BENCHMARK(BM_PlanningAddEntryBare);
+BENCHMARK(BM_PlanningAddEntryJournaled);

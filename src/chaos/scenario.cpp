@@ -1,5 +1,6 @@
 #include "chaos/scenario.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -11,12 +12,22 @@ using common::ConfigError;
 
 namespace {
 
+// Every check starts with isfinite: NaN slips through any ordering
+// comparison ("NaN < 0" is false), so a plain range test would wave a
+// "mtbf=nan" spec straight into the fault processes.
+void check_finite(double v, const char* name) {
+  if (!std::isfinite(v))
+    throw ConfigError(std::string("ChaosScenario: ") + name + " must be finite");
+}
+
 void check_probability(double p, const char* name) {
+  check_finite(p, name);
   if (p < 0.0 || p > 1.0)
     throw ConfigError(std::string("ChaosScenario: ") + name + " must be in [0, 1]");
 }
 
 void check_nonnegative(double v, const char* name) {
+  check_finite(v, name);
   if (v < 0.0) throw ConfigError(std::string("ChaosScenario: ") + name + " must be >= 0");
 }
 
@@ -80,7 +91,9 @@ bool apply_key(ChaosScenario& s, std::string_view key, double value) {
 
 void ChaosScenario::validate() const {
   check_nonnegative(mtbf_seconds, "mtbf");
+  check_finite(weibull_shape, "shape");
   if (weibull_shape <= 0.0) throw ConfigError("ChaosScenario: shape must be > 0");
+  check_finite(mttr_seconds, "mttr");
   if (mttr_seconds <= 0.0) throw ConfigError("ChaosScenario: mttr must be > 0");
   check_probability(repair_probability, "repair_p");
   check_probability(reboot_probability, "reboot_p");
@@ -89,6 +102,7 @@ void ChaosScenario::validate() const {
   if (boot_failure_probability > 0.9)
     throw ConfigError("ChaosScenario: boot_failure_p above 0.9 may never converge");
   check_nonnegative(cluster_outage_mtbf, "outage_mtbf");
+  check_finite(cluster_outage_mttr, "outage_mttr");
   if (cluster_outage_mttr <= 0.0) throw ConfigError("ChaosScenario: outage_mttr must be > 0");
   check_nonnegative(staleness_seconds, "staleness");
   check_nonnegative(horizon_seconds, "horizon");

@@ -42,4 +42,19 @@ class StateError : public Error {
   using Error::Error;
 };
 
+/// Environment I/O failure (file unreadable, directory missing, disk
+/// full...).  Distinct from ParseError — the *content* was never the
+/// problem — so callers (notably the CLI, exit code 3) can react
+/// differently.  Carries the offending path.
+class IoError : public Error {
+ public:
+  IoError(const std::string& message, std::string path)
+      : Error(message + ": " + path), path_(std::move(path)) {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
 }  // namespace greensched::common

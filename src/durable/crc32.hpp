@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Every durable artifact — journal records, XML snapshots, checkpoint
+// manifests — is framed with this checksum so that a torn write or a
+// bit flip on disk is *detected* at recovery time instead of silently
+// corrupting the recovered state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace greensched::durable {
+
+/// Incremental CRC-32: feed `seed` the previous return value to chain
+/// buffers.  `seed = 0` starts a fresh checksum.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view text,
+                                         std::uint32_t seed = 0) noexcept {
+  return crc32(text.data(), text.size(), seed);
+}
+
+}  // namespace greensched::durable

@@ -1,0 +1,111 @@
+#include "durable/fsio.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace greensched::durable {
+
+using common::IoError;
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what, const std::filesystem::path& path) {
+  throw IoError(std::string(what) + " failed (" + std::strerror(errno) + ")", path.string());
+}
+
+}  // namespace
+
+FileHandle& FileHandle::operator=(FileHandle&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FileHandle::~FileHandle() { close(); }
+
+void FileHandle::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FileHandle open_append(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("open", path);
+  return FileHandle(fd);
+}
+
+void write_all(const FileHandle& file, std::string_view data) {
+  const char* cursor = data.data();
+  std::size_t remaining = data.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(file.fd(), cursor, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("write failed (") + std::strerror(errno) + ")", "<fd>");
+    }
+    cursor += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+}
+
+void sync_file(const FileHandle& file) {
+  if (::fsync(file.fd()) != 0) {
+    throw IoError(std::string("fsync failed (") + std::strerror(errno) + ")", "<fd>");
+  }
+}
+
+void sync_parent_dir(const std::filesystem::path& path) {
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open directory", dir);
+  // Some filesystems (and some container overlays) refuse fsync on a
+  // directory; that weakens durability but is not our bug to fail on.
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void truncate_file(const std::filesystem::path& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) throw_errno("truncate", path);
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open file for reading", path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw IoError("read failed", path.string());
+  return std::move(buffer).str();
+}
+
+void write_file_atomic(const std::filesystem::path& path, std::string_view content) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) throw_errno("open", tmp);
+    FileHandle file(fd);
+    write_all(file, content);
+    sync_file(file);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) throw IoError("rename failed (" + ec.message() + ")", path.string());
+  sync_parent_dir(path);
+}
+
+}  // namespace greensched::durable

@@ -1,0 +1,63 @@
+// Thin POSIX file helpers shared by the durable subsystem.
+//
+// std::ofstream cannot fsync, and durability is exactly the property
+// that data reached the platter (or at least the kernel's notion of
+// stable storage) before we acknowledge it.  These wrappers expose the
+// few syscalls the journal and snapshot writers need, translating
+// failures into common::IoError.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace greensched::durable {
+
+/// RAII file descriptor.  Move-only.
+class FileHandle {
+ public:
+  FileHandle() = default;
+  explicit FileHandle(int fd) noexcept : fd_(fd) {}
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+  FileHandle(FileHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FileHandle& operator=(FileHandle&& other) noexcept;
+  ~FileHandle();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens (creating if needed) a file for appending.  Throws IoError.
+[[nodiscard]] FileHandle open_append(const std::filesystem::path& path);
+
+/// Writes the whole buffer (retrying short writes).  Throws IoError.
+void write_all(const FileHandle& file, std::string_view data);
+
+/// fsync(2) the descriptor.  Throws IoError.
+void sync_file(const FileHandle& file);
+
+/// fsync the directory containing `path`, making a rename/create of that
+/// entry durable.  Best effort on filesystems that reject O_DIRECTORY
+/// fsync; throws IoError only on unexpected failures.
+void sync_parent_dir(const std::filesystem::path& path);
+
+/// Truncates the file to `size` bytes.  Throws IoError.
+void truncate_file(const std::filesystem::path& path, std::uint64_t size);
+
+/// Reads a whole file into a string.  Throws IoError if unreadable;
+/// returns std::nullopt semantics via `exists` checks are the caller's
+/// business — a missing file throws too.
+[[nodiscard]] std::string read_file(const std::filesystem::path& path);
+
+/// Writes `content` to `path` atomically: tmp file in the same
+/// directory, write, fsync, rename over `path`, fsync the directory.
+/// Readers see either the old content or the new, never a torn mix.
+void write_file_atomic(const std::filesystem::path& path, std::string_view content);
+
+}  // namespace greensched::durable

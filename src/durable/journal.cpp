@@ -1,0 +1,112 @@
+#include "durable/journal.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "durable/crc32.hpp"
+
+namespace greensched::durable {
+
+using common::IoError;
+using common::ParseError;
+
+namespace {
+
+constexpr std::size_t kFrameHeader = 2 * sizeof(std::uint32_t);
+
+std::uint32_t load_u32(const char* bytes) noexcept {
+  std::uint32_t value;
+  std::memcpy(&value, bytes, sizeof value);
+  return value;
+}
+
+void store_u32(std::string& out, std::uint32_t value) {
+  char bytes[sizeof value];
+  std::memcpy(bytes, &value, sizeof value);
+  out.append(bytes, sizeof bytes);
+}
+
+}  // namespace
+
+std::string frame_record(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  store_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  store_u32(frame, crc32(payload));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+Journal Journal::open(const std::filesystem::path& path) { return open(path, Options{}); }
+
+Journal Journal::open(const std::filesystem::path& path, Options options) {
+  std::error_code ec;
+  const std::uint64_t existing =
+      std::filesystem::exists(path, ec) ? std::filesystem::file_size(path, ec) : 0;
+  FileHandle file = open_append(path);
+  if (existing == 0) {
+    write_all(file, kJournalMagic);
+    sync_file(file);
+    sync_parent_dir(path);
+  }
+  return Journal(path, std::move(file), options);
+}
+
+Journal::Replay Journal::replay(const std::filesystem::path& path) {
+  Replay result;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return result;
+
+  const std::string bytes = read_file(path);
+  if (bytes.size() < kJournalMagic.size() ||
+      std::string_view(bytes).substr(0, kJournalMagic.size()) != kJournalMagic) {
+    throw ParseError("journal " + path.string() + ": bad or missing magic header", 0, 0);
+  }
+
+  std::size_t pos = kJournalMagic.size();
+  std::size_t last_good = pos;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeader) break;  // torn frame header
+    const std::uint32_t size = load_u32(bytes.data() + pos);
+    const std::uint32_t expected_crc = load_u32(bytes.data() + pos + sizeof(std::uint32_t));
+    if (bytes.size() - pos - kFrameHeader < size) break;  // torn payload
+    const std::string_view payload(bytes.data() + pos + kFrameHeader, size);
+    if (crc32(payload) != expected_crc) break;  // bit rot or torn overwrite
+    result.records.emplace_back(payload);
+    pos += kFrameHeader + size;
+    last_good = pos;
+  }
+
+  result.valid_bytes = last_good;
+  if (last_good != bytes.size()) {
+    result.truncated = true;
+    truncate_file(path, last_good);
+  }
+  return result;
+}
+
+void Journal::reset(const std::filesystem::path& path) {
+  write_file_atomic(path, kJournalMagic);
+}
+
+void Journal::append(std::string_view payload) {
+  const std::string frame = frame_record(payload);
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  // O_APPEND makes the frame a single atomic-offset write; a crash can
+  // tear its tail, which replay() detects by length/CRC and truncates.
+  write_all(file_, frame);
+  ++appended_;
+  ++unsynced_;
+  if (options_.fsync_every != 0 && unsynced_ >= options_.fsync_every) {
+    sync_file(file_);
+    unsynced_ = 0;
+  }
+}
+
+void Journal::sync() {
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  sync_file(file_);
+  unsynced_ = 0;
+}
+
+}  // namespace greensched::durable

@@ -1,0 +1,101 @@
+// Write-ahead journal: an append-only log of CRC32-framed records.
+//
+// File layout:
+//
+//   bytes 0..7   magic "GSJRNL1\n"
+//   record:      u32 payload_size | u32 crc32(payload) | payload bytes
+//   record: ...
+//
+// Appends are written with write(2) and fsync-batched: with
+// `fsync_every = N` the journal fsyncs once per N appends (and on
+// sync()/close()), amortising the flush over bursts while bounding the
+// window of acknowledged-but-volatile records.  `fsync_every = 1` is
+// classic write-ahead durability; `0` leaves flushing to the OS.
+//
+// Recovery (`replay`) scans records until the file ends or a frame
+// fails its length or CRC check.  Everything before the bad frame is
+// returned; the file is truncated back to the last complete record so
+// subsequent appends produce a well-formed log — a torn final record
+// from a crash mid-write heals instead of poisoning the journal.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "durable/fsio.hpp"
+
+namespace greensched::durable {
+
+inline constexpr std::string_view kJournalMagic = "GSJRNL1\n";
+
+class Journal {
+ public:
+  struct Options {
+    /// fsync after every Nth append; 0 = never fsync implicitly.
+    std::size_t fsync_every = 1;
+  };
+
+  /// What replay() found on disk.
+  struct Replay {
+    std::vector<std::string> records;  ///< complete, CRC-verified payloads
+    /// True when a torn/corrupt tail was detected and truncated away.
+    bool truncated = false;
+    /// File size after truncation (= offset of the first bad byte).
+    std::uint64_t valid_bytes = 0;
+  };
+
+  /// Opens `path` for appending, writing the magic header if the file is
+  /// new/empty.  The caller should replay() first when recovering; open()
+  /// itself does not validate existing contents.  Throws common::IoError.
+  static Journal open(const std::filesystem::path& path, Options options);
+  static Journal open(const std::filesystem::path& path);
+
+  /// Verifies and loads all complete records of `path`, truncating a
+  /// torn or corrupt tail in place.  A missing file yields an empty
+  /// replay.  A file whose *header* is corrupt throws common::ParseError
+  /// — the caller decides whether to quarantine.  Throws common::IoError
+  /// on environment failures.
+  [[nodiscard]] static Replay replay(const std::filesystem::path& path);
+
+  /// Atomically replaces the journal file with a fresh, empty one (used
+  /// after a snapshot compaction).  Any open Journal on that path must
+  /// be reopened.  Throws common::IoError.
+  static void reset(const std::filesystem::path& path);
+
+  Journal(Journal&&) noexcept = default;
+  Journal& operator=(Journal&&) noexcept = default;
+
+  /// Appends one framed record.  Thread-safe.  Throws common::IoError.
+  void append(std::string_view payload);
+
+  /// Flushes and fsyncs everything appended so far.  Thread-safe.
+  void sync();
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+
+ private:
+  Journal(std::filesystem::path path, FileHandle file, Options options)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        options_(options),
+        mutex_(std::make_unique<std::mutex>()) {}
+
+  std::filesystem::path path_;
+  FileHandle file_;
+  Options options_;
+  std::unique_ptr<std::mutex> mutex_;  ///< unique_ptr keeps Journal movable
+  std::uint64_t appended_ = 0;
+  std::size_t unsynced_ = 0;
+};
+
+/// Frames `payload` exactly as append() writes it (tests and corpus
+/// builders use this to craft journals byte by byte).
+[[nodiscard]] std::string frame_record(std::string_view payload);
+
+}  // namespace greensched::durable

@@ -1,0 +1,167 @@
+#include "durable/planning_store.hpp"
+
+#include <system_error>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "durable/serialize.hpp"
+#include "durable/snapshot.hpp"
+
+namespace greensched::durable {
+
+using common::IoError;
+using common::ParseError;
+
+std::string encode_planning_entry(const green::PlanningEntry& entry) {
+  ByteWriter writer;
+  writer.f64(entry.timestamp);
+  writer.f64(entry.temperature);
+  writer.u64(static_cast<std::uint64_t>(entry.candidates));
+  writer.f64(entry.electricity_cost);
+  return writer.take();
+}
+
+green::PlanningEntry decode_planning_entry(std::string_view payload) {
+  ByteReader reader(payload);
+  green::PlanningEntry entry;
+  entry.timestamp = reader.f64();
+  entry.temperature = reader.f64();
+  entry.candidates = static_cast<std::size_t>(reader.u64());
+  entry.electricity_cost = reader.f64();
+  reader.expect_end();
+  return entry;
+}
+
+PlanningStore::PlanningStore(std::filesystem::path dir,
+                             green::ProvisioningPlanning& planning)
+    : PlanningStore(std::move(dir), planning, Options{}) {}
+
+PlanningStore::PlanningStore(std::filesystem::path dir,
+                             green::ProvisioningPlanning& planning, Options options)
+    : dir_(std::move(dir)), planning_(planning), options_(options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) throw IoError("cannot create state directory (" + ec.message() + ")", dir_.string());
+  recover();
+  journal_ = Journal::open(journal_path(), options_.journal);
+  planning_.set_observer(this);
+}
+
+PlanningStore::~PlanningStore() {
+  if (planning_.observer() == this) planning_.set_observer(nullptr);
+  try {
+    if (journal_) journal_->sync();
+  } catch (const std::exception&) {
+    // Destructors must not throw; the journal is as durable as the last
+    // successful fsync.
+  }
+}
+
+void PlanningStore::recover() {
+  // 1. Newest verifiable snapshot.  A snapshot that fails its checksum
+  //    (or no longer parses) is moved aside for inspection and we fall
+  //    back to the previous one — quarantine, don't crash.
+  auto try_load = [this](const std::filesystem::path& path) -> bool {
+    SnapshotRead snap = read_snapshot(path);
+    if (snap.status == SnapshotStatus::kMissing) return false;
+    if (snap.status == SnapshotStatus::kOk) {
+      try {
+        planning_.load_xml_string(snap.content);
+        return true;
+      } catch (const ParseError& e) {
+        GS_LOG_WARN("durable") << "planning snapshot " << path.string()
+                               << " unparseable: " << e.what();
+      }
+    } else {
+      GS_LOG_WARN("durable") << "planning snapshot " << path.string() << " corrupt: "
+                             << snap.detail;
+    }
+    quarantine(path);
+    recovery_.snapshot_quarantined = true;
+    return false;
+  };
+
+  if (try_load(snapshot_path())) {
+    recovery_.snapshot_entries = planning_.size();
+  } else if (try_load(previous_snapshot_path())) {
+    recovery_.snapshot_entries = planning_.size();
+    recovery_.used_previous_snapshot = true;
+  }
+
+  // 2. Journal tail.  replay() already CRC-checks every frame and
+  //    truncates a torn tail in place; replaying into add_entry is
+  //    idempotent (equal timestamps replace), so records that were
+  //    already compacted into the snapshot are harmless.
+  Journal::Replay replay;
+  try {
+    replay = Journal::replay(journal_path());
+  } catch (const ParseError& e) {
+    GS_LOG_WARN("durable") << "planning journal unusable: " << e.what();
+    quarantine(journal_path());
+    recovery_.journal_quarantined = true;
+    return;
+  }
+  recovery_.journal_truncated = replay.truncated;
+  for (const std::string& record : replay.records) {
+    try {
+      planning_.add_entry(decode_planning_entry(record));
+      ++recovery_.journal_entries;
+    } catch (const std::exception& e) {
+      // A CRC-valid but undecodable record means writer/reader schema
+      // drift; everything before it is good, nothing after is trusted.
+      GS_LOG_WARN("durable") << "planning journal: stopping replay at undecodable record: "
+                             << e.what();
+      recovery_.journal_truncated = true;
+      break;
+    }
+  }
+}
+
+void PlanningStore::on_add(const green::PlanningEntry& entry) {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  // Compact BEFORE appending: the snapshot captures the state without
+  // this entry, and the entry's record lands in the fresh journal.  The
+  // other order would reset the journal right after acknowledging the
+  // append, losing the entry on a crash.
+  if (options_.compact_every != 0 && since_compact_ >= options_.compact_every) {
+    compact_locked();
+  }
+  journal_->append(encode_planning_entry(entry));
+  ++since_compact_;
+}
+
+void PlanningStore::compact() {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  compact_locked();
+}
+
+void PlanningStore::compact_locked() {
+  // Order matters for crash safety:
+  //   a) demote the current snapshot to .prev (keeps a fallback),
+  //   b) write the new snapshot atomically,
+  //   c) reset the journal.
+  // A crash after (a) recovers from .prev + the still-intact journal; a
+  // crash after (b) merely replays entries the snapshot already holds.
+  const std::string xml = planning_.to_xml_string();
+  std::error_code ec;
+  if (std::filesystem::exists(snapshot_path(), ec)) {
+    std::filesystem::rename(snapshot_path(), previous_snapshot_path(), ec);
+    if (ec) {
+      throw IoError("cannot demote snapshot (" + ec.message() + ")",
+                    snapshot_path().string());
+    }
+    sync_parent_dir(snapshot_path());
+  }
+  write_snapshot(snapshot_path(), xml);
+  journal_.reset();  // close the handle before replacing the file
+  Journal::reset(journal_path());
+  journal_ = Journal::open(journal_path(), options_.journal);
+  since_compact_ = 0;
+}
+
+void PlanningStore::sync() {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  journal_->sync();
+}
+
+}  // namespace greensched::durable

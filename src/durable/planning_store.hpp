@@ -1,0 +1,102 @@
+// Durable persistence for the Fig. 8 provisioning planning.
+//
+// The paper's planning is "a shared XML file" — the one artifact the
+// provisioner, monitors and forecasters all agree on.  In-process we
+// keep it in green::ProvisioningPlanning; this store makes that record
+// survive the process:
+//
+//   <dir>/planning.xml        last compacted snapshot (checksummed XML)
+//   <dir>/planning.prev.xml   the snapshot before that (fallback)
+//   <dir>/planning.journal    write-ahead log of entries since snapshot
+//
+// Protocol:
+//   * add_entry  → journal append (fsync-batched) happens BEFORE the
+//     in-memory insert (ProvisioningPlanning's write-ahead observer).
+//   * compact    → snapshot written atomically, previous snapshot kept
+//     as .prev, journal reset.  Crash at any point between those steps
+//     recovers correctly because journal replay is idempotent
+//     (add_entry replaces on equal timestamps).
+//   * recovery   → newest verifiable snapshot (corrupt ones are
+//     quarantined, never deleted) + journal tail; a torn final record
+//     is detected by its CRC frame and truncated away.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "durable/journal.hpp"
+#include "green/planning.hpp"
+
+namespace greensched::durable {
+
+/// Encodes a planning entry as a journal payload (binary, bit-exact).
+[[nodiscard]] std::string encode_planning_entry(const green::PlanningEntry& entry);
+/// Decodes; throws common::ParseError on malformed payloads.
+[[nodiscard]] green::PlanningEntry decode_planning_entry(std::string_view payload);
+
+class PlanningStore final : public green::PlanningObserver {
+ public:
+  struct Options {
+    Journal::Options journal{};
+    /// Compact automatically once the journal holds this many records
+    /// (0 = only on explicit compact()).
+    std::size_t compact_every = 0;
+  };
+
+  /// What recovery found.  All counters refer to the open() call.
+  struct Recovery {
+    std::size_t snapshot_entries = 0;   ///< entries restored from XML
+    std::size_t journal_entries = 0;    ///< entries replayed from the log
+    bool journal_truncated = false;     ///< torn tail detected + healed
+    bool snapshot_quarantined = false;  ///< planning.xml failed its CRC
+    bool journal_quarantined = false;   ///< journal header was unusable
+    bool used_previous_snapshot = false;  ///< fell back to planning.prev.xml
+  };
+
+  /// Opens (creating) `dir`, recovers `planning` from snapshot+journal,
+  /// and attaches itself as the planning's write-ahead observer.
+  /// Throws common::IoError on environment failures; malformed state is
+  /// quarantined, not thrown.
+  PlanningStore(std::filesystem::path dir, green::ProvisioningPlanning& planning,
+                Options options);
+  PlanningStore(std::filesystem::path dir, green::ProvisioningPlanning& planning);
+  ~PlanningStore() override;
+
+  PlanningStore(const PlanningStore&) = delete;
+  PlanningStore& operator=(const PlanningStore&) = delete;
+
+  /// green::PlanningObserver: journal the entry ahead of the insert.
+  void on_add(const green::PlanningEntry& entry) override;
+
+  /// Writes a fresh snapshot atomically and truncates the journal.
+  void compact();
+
+  /// Flushes the journal to stable storage.
+  void sync();
+
+  [[nodiscard]] const Recovery& recovery() const noexcept { return recovery_; }
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::filesystem::path snapshot_path() const { return dir_ / kSnapshotFile; }
+  [[nodiscard]] std::filesystem::path previous_snapshot_path() const {
+    return dir_ / kPreviousSnapshotFile;
+  }
+  [[nodiscard]] std::filesystem::path journal_path() const { return dir_ / kJournalFile; }
+
+  static constexpr const char* kSnapshotFile = "planning.xml";
+  static constexpr const char* kPreviousSnapshotFile = "planning.prev.xml";
+  static constexpr const char* kJournalFile = "planning.journal";
+
+ private:
+  void recover();
+  void compact_locked();
+
+  std::filesystem::path dir_;
+  green::ProvisioningPlanning& planning_;
+  Options options_;
+  std::optional<Journal> journal_;
+  Recovery recovery_;
+  std::mutex store_mutex_;  ///< serializes on_add / compact / sync
+  std::size_t since_compact_ = 0;
+};
+
+}  // namespace greensched::durable

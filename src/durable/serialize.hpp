@@ -1,0 +1,90 @@
+// Little-endian binary encoding for durable record payloads.
+//
+// Doubles travel as their IEEE-754 bit pattern, so a value round-trips
+// *bitwise* — the property the sweep checkpoint needs for resumed runs
+// to emit byte-identical CSVs.  ByteReader is bounds-checked and throws
+// common::ParseError on truncation, which the recovery paths treat the
+// same way as a CRC mismatch: the record is discarded, never trusted.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace greensched::durable {
+
+class ByteWriter {
+ public:
+  void u32(std::uint32_t value) { raw(&value, sizeof value); }
+  void u64(std::uint64_t value) { raw(&value, sizeof value); }
+  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+  /// Length-prefixed (u32) byte string.
+  void str(std::string_view value) {
+    u32(static_cast<std::uint32_t>(value.size()));
+    buffer_.append(value.data(), value.size());
+  }
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return buffer_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buffer_); }
+
+ private:
+  void raw(const void* data, std::size_t size) {
+    // The library only targets little-endian hosts (x86-64 / aarch64);
+    // make the assumption explicit rather than silently writing
+    // byte-swapped journals on an exotic port.
+    static_assert(std::endian::native == std::endian::little,
+                  "durable record encoding assumes a little-endian host");
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  std::string buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) noexcept : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint32_t u32() { return read_as<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return read_as<std::uint64_t>(); }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] std::string str() {
+    const std::uint32_t size = u32();
+    if (bytes_.size() - pos_ < size) fail("string extends past end of record");
+    std::string out(bytes_.substr(pos_, size));
+    pos_ += size;
+    return out;
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == bytes_.size(); }
+  /// Bytes left to read.  Decoders use this to sanity-bound collection
+  /// counts read from the payload before reserving memory for them.
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  /// Throws ParseError unless the whole payload was consumed — catches
+  /// schema drift between writer and reader.
+  void expect_end() const {
+    if (!at_end()) fail("trailing bytes after record payload");
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T read_as() {
+    if (bytes_.size() - pos_ < sizeof(T)) fail("record payload truncated");
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  [[noreturn]] void fail(const char* message) const {
+    throw common::ParseError(std::string("durable record: ") + message, 0, 0);
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace greensched::durable

@@ -1,0 +1,69 @@
+#include "durable/snapshot.hpp"
+
+#include <cstdio>
+#include <system_error>
+
+#include "common/error.hpp"
+#include "durable/crc32.hpp"
+#include "durable/fsio.hpp"
+
+namespace greensched::durable {
+
+using common::IoError;
+
+namespace {
+
+std::string trailer_for(std::string_view content) {
+  char line[40];
+  std::snprintf(line, sizeof line, "%s%08x -->\n", std::string(kSnapshotTrailerPrefix).c_str(),
+                crc32(content));
+  return line;
+}
+
+}  // namespace
+
+void write_snapshot(const std::filesystem::path& path, std::string_view content) {
+  std::string framed;
+  framed.reserve(content.size() + 40);
+  framed.append(content);
+  framed.append(trailer_for(content));
+  write_file_atomic(path, framed);
+}
+
+SnapshotRead read_snapshot(const std::filesystem::path& path) {
+  SnapshotRead result;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return result;
+
+  const std::string bytes = read_file(path);
+  // The trailer is the last line; find it from the back so snapshot
+  // content may itself contain comments.
+  const std::size_t at = bytes.rfind(kSnapshotTrailerPrefix);
+  if (at == std::string::npos) {
+    result.status = SnapshotStatus::kCorrupt;
+    result.detail = "checksum trailer missing";
+    return result;
+  }
+  const std::string_view content(bytes.data(), at);
+  const std::string expected = trailer_for(content);
+  if (std::string_view(bytes).substr(at) != std::string_view(expected)) {
+    result.status = SnapshotStatus::kCorrupt;
+    result.detail = "crc32 mismatch (file modified or torn)";
+    return result;
+  }
+  result.status = SnapshotStatus::kOk;
+  result.content = std::string(content);
+  return result;
+}
+
+std::filesystem::path quarantine(const std::filesystem::path& path) {
+  const std::filesystem::path target = path.string() + ".quarantined";
+  std::error_code ec;
+  std::filesystem::rename(path, target, ec);
+  if (ec == std::errc::no_such_file_or_directory) return target;  // nothing to move
+  if (ec) throw IoError("quarantine rename failed (" + ec.message() + ")", path.string());
+  sync_parent_dir(path);
+  return target;
+}
+
+}  // namespace greensched::durable

@@ -1,0 +1,53 @@
+// Checksummed, atomically-replaced snapshot files.
+//
+// A snapshot is ordinary text (the Fig. 8 planning XML, say) with one
+// trailing checksum line:
+//
+//   <!-- gs-crc32:xxxxxxxx -->
+//
+// computed over everything before it.  The trailer doubles as an XML
+// comment, so the file on disk stays loadable by any XML tool while
+// read_snapshot() can prove it was written completely and has not
+// rotted.  Writes go through write_file_atomic (tmp + fsync + rename),
+// so a crash mid-compaction leaves the previous snapshot untouched.
+//
+// A snapshot that fails verification is never deleted: quarantine()
+// moves it aside (".quarantined") for the operator to inspect, and the
+// caller falls back to the last good state — quarantine, don't crash.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace greensched::durable {
+
+inline constexpr std::string_view kSnapshotTrailerPrefix = "<!-- gs-crc32:";
+
+/// Appends the checksum trailer and writes the file atomically.
+/// Throws common::IoError.
+void write_snapshot(const std::filesystem::path& path, std::string_view content);
+
+enum class SnapshotStatus {
+  kOk,       ///< verified; content is trustworthy
+  kMissing,  ///< no file (first run, or compaction never happened)
+  kCorrupt,  ///< trailer missing/mangled or CRC mismatch
+};
+
+struct SnapshotRead {
+  SnapshotStatus status = SnapshotStatus::kMissing;
+  std::string content;  ///< trailer stripped; empty unless kOk
+  std::string detail;   ///< human-readable reason when kCorrupt
+};
+
+/// Reads and verifies a snapshot.  Never throws on *content* problems
+/// (that is what SnapshotStatus::kCorrupt is for); throws
+/// common::IoError only when the environment fails (unreadable file).
+[[nodiscard]] SnapshotRead read_snapshot(const std::filesystem::path& path);
+
+/// Moves a bad file aside to "<path>.quarantined" (replacing any older
+/// quarantined copy) and returns the new location.  A missing file is a
+/// harmless no-op.  Throws common::IoError on any other failure.
+std::filesystem::path quarantine(const std::filesystem::path& path);
+
+}  // namespace greensched::durable

@@ -1,13 +1,30 @@
 #include "green/planning.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
 
 namespace greensched::green {
 
 using common::ReadGuard;
 using common::WriteGuard;
 
+void PlanningEntry::validate() const {
+  if (!std::isfinite(timestamp))
+    throw common::ConfigError("PlanningEntry: timestamp must be finite");
+  if (!std::isfinite(temperature))
+    throw common::ConfigError("PlanningEntry: temperature must be finite");
+  if (!std::isfinite(electricity_cost))
+    throw common::ConfigError("PlanningEntry: electricity_cost must be finite");
+}
+
 void ProvisioningPlanning::add_entry(const PlanningEntry& entry) {
+  entry.validate();
+  // Write-ahead: the observer persists the mutation before the shared
+  // in-memory record changes, so a crash after the journal append but
+  // before the insert replays to the same state.
+  if (observer_ != nullptr) observer_->on_add(entry);
   WriteGuard guard(lock_);
   auto it = std::lower_bound(entries_.begin(), entries_.end(), entry.timestamp,
                              [](const PlanningEntry& e, double t) { return e.timestamp < t; });
@@ -81,12 +98,28 @@ void ProvisioningPlanning::load_xml(const xmlite::Document& doc) {
       throw xmlite::ParseError("planning file: negative candidate count", 0, 0);
     e.candidates = static_cast<std::size_t>(candidates);
     e.electricity_cost = ts->require_child("electricity_cost").text_as_double();
+    try {
+      e.validate();
+    } catch (const common::ConfigError& err) {
+      throw xmlite::ParseError(std::string("planning file: ") + err.what(), 0, 0);
+    }
     loaded.push_back(e);
   }
   std::stable_sort(loaded.begin(), loaded.end(),
                    [](const PlanningEntry& a, const PlanningEntry& b) {
                      return a.timestamp < b.timestamp;
                    });
+  // Two records for one instant is ambiguous (which is the platform
+  // status?) and previously slipped through silently; reject instead of
+  // guessing.  add_entry() deliberately *replaces* on equal timestamps —
+  // that is an in-process update, not a conflicting historical record.
+  for (std::size_t i = 1; i < loaded.size(); ++i) {
+    if (loaded[i - 1].timestamp == loaded[i].timestamp) {
+      throw xmlite::ParseError("planning file: duplicate timestamp " +
+                                   std::to_string(loaded[i].timestamp),
+                               0, 0);
+    }
+  }
   WriteGuard guard(lock_);
   entries_ = std::move(loaded);
 }

@@ -26,6 +26,21 @@ struct PlanningEntry {
   double temperature = 0.0;
   std::size_t candidates = 0;
   double electricity_cost = 0.0;
+
+  /// Throws common::ConfigError on non-finite fields — NaN timestamps
+  /// would silently break the sorted-insert invariant.
+  void validate() const;
+};
+
+/// Write-ahead hook: add_entry() hands each entry to the observer
+/// *before* taking the write lock, so a durability layer (see
+/// durable::PlanningStore) can persist the mutation ahead of applying
+/// it — the classic WAL ordering.  Observers must be thread-safe if the
+/// planning is written from several threads.
+class PlanningObserver {
+ public:
+  virtual ~PlanningObserver() = default;
+  virtual void on_add(const PlanningEntry& entry) = 0;
 };
 
 class ProvisioningPlanning {
@@ -35,8 +50,16 @@ class ProvisioningPlanning {
   ProvisioningPlanning& operator=(const ProvisioningPlanning&) = delete;
 
   /// Inserts (or replaces, for an equal timestamp) an entry; keeps the
-  /// record sorted.  Takes the write lock.
+  /// record sorted.  Takes the write lock.  Validates the entry and
+  /// notifies the observer (write-ahead) first.
   void add_entry(const PlanningEntry& entry);
+
+  /// Attaches a write-ahead observer (nullptr detaches).  With no
+  /// observer the hot path costs one predictable branch — journaling
+  /// disabled is zero-overhead.  Not synchronized against concurrent
+  /// add_entry; attach before the writers start.
+  void set_observer(PlanningObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] PlanningObserver* observer() const noexcept { return observer_; }
 
   /// Latest entry with timestamp <= t.  Takes the read lock.
   [[nodiscard]] std::optional<PlanningEntry> at_or_before(double t) const;
@@ -50,7 +73,9 @@ class ProvisioningPlanning {
   // --- XML round trip (the Fig. 8 file format) ---
   [[nodiscard]] xmlite::Document to_xml() const;
   /// Replaces the contents from a parsed planning document; throws
-  /// ParseError on malformed input.
+  /// ParseError on malformed input, including duplicate or non-finite
+  /// timestamps (the sorted-insert invariant admits neither).  The
+  /// observer is NOT notified — loading is recovery, not mutation.
   void load_xml(const xmlite::Document& doc);
   /// Serializes to / parses from text.
   [[nodiscard]] std::string to_xml_string() const;
@@ -63,6 +88,7 @@ class ProvisioningPlanning {
  private:
   mutable common::ReadersWriterLock lock_;
   std::vector<PlanningEntry> entries_;  ///< sorted by timestamp
+  PlanningObserver* observer_ = nullptr;
 };
 
 }  // namespace greensched::green

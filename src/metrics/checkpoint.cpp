@@ -1,0 +1,205 @@
+#include "metrics/checkpoint.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "durable/crc32.hpp"
+#include "durable/serialize.hpp"
+#include "durable/snapshot.hpp"
+
+namespace greensched::metrics {
+
+using common::ConfigError;
+using common::IoError;
+using common::ParseError;
+using durable::ByteReader;
+using durable::ByteWriter;
+
+namespace {
+
+constexpr std::string_view kFingerprintTag = "greensched-sweep-fingerprint-v1:";
+
+}  // namespace
+
+std::string grid_fingerprint(const std::vector<SweepPoint>& points,
+                             const std::vector<std::uint64_t>& seeds) {
+  // Digest every knob a cell result depends on.  Text first (auditable
+  // in a debugger), then CRC'd down to a short id.
+  std::ostringstream os;
+  os.precision(17);
+  os << "seeds:";
+  for (const std::uint64_t seed : seeds) os << seed << ',';
+  for (const SweepPoint& point : points) {
+    const PlacementConfig& c = point.config;
+    os << "|label=" << point.label << ";policy=" << c.policy
+       << ";clients=" << c.client_count << ";tree=" << c.per_cluster_tree
+       << ";tasks=" << c.task_count_override << ";spec=" << c.spec_fallback
+       << ";sed=" << c.sed.expose_spec << ',' << c.sed.max_concurrent;
+    for (const auto& [service, factor] : c.sed.service_speed_factor) {
+      os << ',' << service << '=' << factor;
+    }
+    os
+       << ";wl=" << c.workload.requests_per_core << ',' << c.workload.burst_size << ','
+       << c.workload.continuous_rate << ',' << c.workload.user_preference << ','
+       << c.workload.task.work.value() << ',' << c.workload.task.cores << ','
+       << c.workload.task.service << ";chaos=" << c.chaos.to_string()
+       << ";retry=" << c.retry.resubmit_on_failure << ',' << c.retry.backoff_retries << ','
+       << c.retry.max_attempts << ',' << c.retry.base_backoff_seconds << ','
+       << c.retry.backoff_multiplier << ',' << c.retry.max_backoff_seconds << ','
+       << c.retry.jitter_fraction << ',' << c.retry.deadline_seconds << ";clusters=";
+    for (const ClusterSetup& setup : c.clusters) {
+      os << '[' << setup.name << ',' << setup.spec.model << ',' << setup.spec.cores << ','
+         << setup.spec.flops_per_core.value() << ',' << setup.spec.idle_watts.value() << ','
+         << setup.spec.peak_watts.value() << ',' << setup.options.node_count << ','
+         << setup.options.power_heterogeneity << ',' << setup.options.speed_heterogeneity
+         << ',' << setup.options.initially_on << ']';
+    }
+  }
+  const std::string described = os.str();
+  char digest[64];
+  std::snprintf(digest, sizeof digest, "%08x-%zx-%zx", durable::crc32(described),
+                points.size(), seeds.size());
+  return std::string(kFingerprintTag) + digest;
+}
+
+std::string encode_placement_result(const PlacementResult& r) {
+  ByteWriter w;
+  w.str(r.policy);
+  w.u64(r.seed);
+  w.u64(r.tasks);
+  w.f64(r.makespan.value());
+  w.f64(r.energy.value());
+  w.u32(static_cast<std::uint32_t>(r.per_cluster.size()));
+  for (const ClusterEnergyRow& row : r.per_cluster) {
+    w.str(row.cluster);
+    w.f64(row.energy.value());
+  }
+  w.u32(static_cast<std::uint32_t>(r.tasks_per_server.size()));
+  for (const auto& [server, count] : r.tasks_per_server) {
+    w.str(server);
+    w.u64(count);
+  }
+  w.u64(r.sim_events);
+  w.f64(r.mean_wait_seconds);
+  w.u64(r.tasks_completed);
+  w.u64(r.tasks_lost);
+  w.u64(r.tasks_unfinished);
+  w.u64(r.tasks_killed);
+  w.u64(r.crashes);
+  w.u64(r.repairs);
+  w.u64(r.cluster_outages);
+  w.u64(r.boot_failures);
+  w.u64(r.retries);
+  return w.take();
+}
+
+PlacementResult decode_placement_result(std::string_view payload) {
+  ByteReader reader(payload);
+  PlacementResult r;
+  r.policy = reader.str();
+  r.seed = reader.u64();
+  r.tasks = static_cast<std::size_t>(reader.u64());
+  r.makespan = common::Seconds(reader.f64());
+  r.energy = common::Joules(reader.f64());
+  const std::uint32_t clusters = reader.u32();
+  // Never reserve off an untrusted count: each entry needs >= 12 payload
+  // bytes, so a count beyond that is a corrupt record, not a big vector.
+  if (clusters > reader.remaining() / 12) {
+    throw ParseError("durable record: cluster count exceeds payload", 0, 0);
+  }
+  r.per_cluster.reserve(clusters);
+  for (std::uint32_t i = 0; i < clusters; ++i) {
+    ClusterEnergyRow row;
+    row.cluster = reader.str();
+    row.energy = common::Joules(reader.f64());
+    r.per_cluster.push_back(std::move(row));
+  }
+  const std::uint32_t servers = reader.u32();
+  if (servers > reader.remaining() / 12) {
+    throw ParseError("durable record: server count exceeds payload", 0, 0);
+  }
+  r.tasks_per_server.reserve(servers);
+  for (std::uint32_t i = 0; i < servers; ++i) {
+    std::string server = reader.str();
+    const std::uint64_t count = reader.u64();
+    r.tasks_per_server.emplace_back(std::move(server), static_cast<std::size_t>(count));
+  }
+  r.sim_events = reader.u64();
+  r.mean_wait_seconds = reader.f64();
+  r.tasks_completed = static_cast<std::size_t>(reader.u64());
+  r.tasks_lost = static_cast<std::size_t>(reader.u64());
+  r.tasks_unfinished = static_cast<std::size_t>(reader.u64());
+  r.tasks_killed = reader.u64();
+  r.crashes = reader.u64();
+  r.repairs = reader.u64();
+  r.cluster_outages = reader.u64();
+  r.boot_failures = reader.u64();
+  r.retries = reader.u64();
+  reader.expect_end();
+  return r;
+}
+
+SweepCheckpoint::SweepCheckpoint(std::filesystem::path dir, std::string fingerprint)
+    : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw IoError("cannot create checkpoint directory (" + ec.message() + ")", dir_.string());
+  }
+  const std::filesystem::path manifest = dir_ / kManifestFile;
+
+  durable::Journal::Replay replay;
+  try {
+    replay = durable::Journal::replay(manifest);
+  } catch (const ParseError& e) {
+    GS_LOG_WARN("durable") << "sweep manifest unusable, starting fresh: " << e.what();
+    durable::quarantine(manifest);
+  }
+  tail_truncated_ = replay.truncated;
+
+  if (!replay.records.empty()) {
+    // Record 0 is the fingerprint; a mismatch means this directory holds
+    // a different experiment's progress.  Refusing is the only safe
+    // answer — mixing cells across grids fabricates results.
+    if (replay.records.front() != fingerprint) {
+      throw ConfigError("sweep checkpoint " + dir_.string() +
+                        " belongs to a different grid (fingerprint mismatch); use a fresh "
+                        "directory or delete the old manifest");
+    }
+    for (std::size_t i = 1; i < replay.records.size(); ++i) {
+      try {
+        ByteReader reader(replay.records[i]);
+        const std::size_t cell = static_cast<std::size_t>(reader.u64());
+        PlacementResult result = decode_placement_result(replay.records[i].substr(8));
+        completed_[cell] = std::move(result);
+      } catch (const ParseError& e) {
+        // CRC-valid but undecodable: schema drift.  Older cells are
+        // fine; drop everything from here on.
+        GS_LOG_WARN("durable") << "sweep manifest: stopping replay at record " << i << ": "
+                               << e.what();
+        tail_truncated_ = true;
+        break;
+      }
+    }
+  }
+
+  journal_ = durable::Journal::open(manifest, durable::Journal::Options{});
+  if (replay.records.empty()) {
+    journal_->append(fingerprint);
+    journal_->sync();
+  }
+}
+
+void SweepCheckpoint::record(std::size_t cell, const PlacementResult& result) {
+  ByteWriter w;
+  w.u64(static_cast<std::uint64_t>(cell));
+  std::string payload = w.take();
+  payload += encode_placement_result(result);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  journal_->append(payload);  // fsync_every = 1: durable before we move on
+  completed_[cell] = result;
+}
+
+}  // namespace greensched::metrics

@@ -1,0 +1,73 @@
+// Checkpoint/resume for SweepRunner grids.
+//
+// A sweep is a grid of (point, seed) cells, each an expensive yet
+// deterministic run (the PR 1 seed-determinism contract).  The
+// checkpoint records every finished cell in a durable::Journal manifest
+// so an interrupted sweep resumes by *skipping* completed cells — and
+// because cell results are stored bitwise (IEEE-754 bit patterns) and
+// slotted by grid position, the resumed sweep's CSV is byte-identical
+// to an uninterrupted run.
+//
+//   <dir>/cells.journal    record 0: grid fingerprint
+//                          record N: cell index + PlacementResult
+//
+// The fingerprint digests everything that shapes cell outcomes
+// (labels, policies, seeds, platform, workload, chaos, retry).  A
+// manifest whose fingerprint differs from the configured grid is
+// rejected — resuming someone else's sweep would silently fabricate
+// results.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "durable/journal.hpp"
+#include "metrics/sweep.hpp"
+
+namespace greensched::metrics {
+
+/// Digest of a sweep grid: every knob that can change a cell's result.
+[[nodiscard]] std::string grid_fingerprint(const std::vector<SweepPoint>& points,
+                                           const std::vector<std::uint64_t>& seeds);
+
+/// Bit-exact binary round trip for one cell result.
+[[nodiscard]] std::string encode_placement_result(const PlacementResult& result);
+/// Throws common::ParseError on malformed payloads.
+[[nodiscard]] PlacementResult decode_placement_result(std::string_view payload);
+
+class SweepCheckpoint {
+ public:
+  /// Opens (creating) the checkpoint directory.  An existing manifest is
+  /// replayed: fingerprint verified (common::ConfigError on mismatch),
+  /// torn tail truncated, completed cells loaded.  A manifest that is
+  /// unusable from the first byte is quarantined and a fresh one
+  /// started.  Throws common::IoError on environment failures.
+  SweepCheckpoint(std::filesystem::path dir, std::string fingerprint);
+
+  /// Cells already completed in a previous run, keyed by flat cell index.
+  [[nodiscard]] const std::map<std::size_t, PlacementResult>& completed() const noexcept {
+    return completed_;
+  }
+
+  /// Persists one finished cell (fsynced before returning).  Thread-safe.
+  void record(std::size_t cell, const PlacementResult& result);
+
+  /// True when the previous manifest ended in a torn record.
+  [[nodiscard]] bool tail_truncated() const noexcept { return tail_truncated_; }
+
+  static constexpr const char* kManifestFile = "cells.journal";
+
+ private:
+  std::filesystem::path dir_;
+  std::optional<durable::Journal> journal_;
+  std::map<std::size_t, PlacementResult> completed_;
+  std::mutex mutex_;
+  bool tail_truncated_ = false;
+};
+
+}  // namespace greensched::metrics

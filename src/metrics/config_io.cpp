@@ -1,5 +1,7 @@
 #include "metrics/config_io.hpp"
 
+#include <cmath>
+
 #include "cluster/catalog.hpp"
 #include "common/error.hpp"
 
@@ -9,6 +11,31 @@ using common::ConfigError;
 using xmlite::Document;
 using xmlite::Element;
 using xmlite::ParseError;
+
+namespace {
+
+/// Experiment files are hand-edited; a stray "nan", "1e999" or absurd
+/// count must die here with the field name, not deep in the simulator.
+double finite_attribute(const Element& element, const char* key) {
+  const double value = element.attribute_as_double(key);
+  if (!std::isfinite(value)) {
+    throw ConfigError(std::string("experiment file: ") + key + " must be finite");
+  }
+  return value;
+}
+
+long long bounded_count(const Element& element, const char* key, long long min,
+                        long long max) {
+  const long long value = element.attribute_as_int(key);
+  if (value < min || value > max) {
+    throw ConfigError(std::string("experiment file: ") + key + " must be in [" +
+                      std::to_string(min) + ", " + std::to_string(max) + "], got " +
+                      std::to_string(value));
+  }
+  return value;
+}
+
+}  // namespace
 
 xmlite::Document config_to_xml(const PlacementConfig& config) {
   Element root("experiment");
@@ -65,15 +92,14 @@ PlacementConfig config_from_xml(const Document& doc) {
   config.seed = static_cast<std::uint64_t>(
       root.has_attribute("seed") ? root.attribute_as_int("seed") : 42);
   config.client_count = static_cast<std::size_t>(
-      root.has_attribute("clients") ? root.attribute_as_int("clients") : 1);
+      root.has_attribute("clients") ? bounded_count(root, "clients", 1, 1000000) : 1);
   config.spec_fallback =
       root.has_attribute("spec_fallback") && root.attribute_as_int("spec_fallback") != 0;
   config.per_cluster_tree =
       !root.has_attribute("per_cluster_tree") || root.attribute_as_int("per_cluster_tree") != 0;
   if (root.has_attribute("task_count")) {
-    const long long count = root.attribute_as_int("task_count");
-    if (count < 0) throw ConfigError("experiment file: negative task_count");
-    config.task_count_override = static_cast<std::size_t>(count);
+    config.task_count_override =
+        static_cast<std::size_t>(bounded_count(root, "task_count", 0, 100000000));
   }
 
   config.clusters.clear();
@@ -83,14 +109,13 @@ PlacementConfig config_from_xml(const Document& doc) {
     if (!machine) throw ParseError("experiment file: <cluster> needs a machine attribute", 0, 0);
     setup.spec = cluster::MachineCatalog::by_name(*machine);  // throws on unknown
     setup.name = cluster->attribute("name").value_or(*machine);
-    const long long count = cluster->attribute_as_int("count");
-    if (count <= 0) throw ConfigError("experiment file: cluster count must be positive");
-    setup.options.node_count = static_cast<std::size_t>(count);
+    setup.options.node_count =
+        static_cast<std::size_t>(bounded_count(*cluster, "count", 1, 1000000));
     if (cluster->has_attribute("power_heterogeneity")) {
-      setup.options.power_heterogeneity = cluster->attribute_as_double("power_heterogeneity");
+      setup.options.power_heterogeneity = finite_attribute(*cluster, "power_heterogeneity");
     }
     if (cluster->has_attribute("speed_heterogeneity")) {
-      setup.options.speed_heterogeneity = cluster->attribute_as_double("speed_heterogeneity");
+      setup.options.speed_heterogeneity = finite_attribute(*cluster, "speed_heterogeneity");
     }
     if (cluster->has_attribute("initially_on")) {
       setup.options.initially_on = cluster->attribute_as_int("initially_on") != 0;
@@ -102,24 +127,29 @@ PlacementConfig config_from_xml(const Document& doc) {
 
   if (const Element* workload = root.find_child("workload")) {
     if (workload->has_attribute("requests_per_core")) {
-      config.workload.requests_per_core = workload->attribute_as_double("requests_per_core");
+      config.workload.requests_per_core = finite_attribute(*workload, "requests_per_core");
+      if (config.workload.requests_per_core < 0.0) {
+        throw ConfigError("experiment file: requests_per_core must be non-negative");
+      }
     }
     if (workload->has_attribute("burst")) {
-      const long long burst = workload->attribute_as_int("burst");
-      if (burst < 0) throw ConfigError("experiment file: negative burst");
-      config.workload.burst_size = static_cast<std::size_t>(burst);
+      config.workload.burst_size =
+          static_cast<std::size_t>(bounded_count(*workload, "burst", 0, 100000000));
     }
     if (workload->has_attribute("rate")) {
-      config.workload.continuous_rate = workload->attribute_as_double("rate");
+      config.workload.continuous_rate = finite_attribute(*workload, "rate");
+      if (config.workload.continuous_rate < 0.0) {
+        throw ConfigError("experiment file: rate must be non-negative");
+      }
     }
     if (workload->has_attribute("work_flops")) {
-      config.workload.task.work = common::Flops(workload->attribute_as_double("work_flops"));
+      config.workload.task.work = common::Flops(finite_attribute(*workload, "work_flops"));
     }
     if (auto service = workload->attribute("service")) {
       config.workload.task.service = *service;
     }
     if (workload->has_attribute("user_preference")) {
-      config.workload.user_preference = workload->attribute_as_double("user_preference");
+      config.workload.user_preference = finite_attribute(*workload, "user_preference");
     }
   }
   return config;

@@ -3,12 +3,14 @@
 #include <filesystem>
 #include <fstream>
 #include <numeric>
+#include <optional>
 #include <ostream>
 #include <utility>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "metrics/checkpoint.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -41,7 +43,25 @@ std::vector<SweepRow> SweepRunner::run() const {
   // One flat slot per (point, seed) cell, written by exactly one task and
   // indexed by grid position so completion order cannot leak in.
   std::vector<PlacementResult> cells(cell_count);
+
+  // Checkpoint/resume: restore completed cells from the manifest and skip
+  // them.  Because results are stored bitwise and slotted by grid
+  // position, a resumed sweep's aggregate is byte-identical to an
+  // uninterrupted one.
+  std::optional<SweepCheckpoint> checkpoint;
+  std::vector<char> done(cell_count, 0);
+  if (!options_.checkpoint_dir.empty()) {
+    checkpoint.emplace(options_.checkpoint_dir,
+                       grid_fingerprint(points_, options_.seeds));
+    for (const auto& [cell, result] : checkpoint->completed()) {
+      if (cell >= cell_count) continue;  // defensive: stale manifest slop
+      cells[cell] = result;
+      done[cell] = 1;
+    }
+  }
+
   auto run_cell = [&](std::size_t cell) {
+    if (done[cell] != 0) return;  // restored from the checkpoint
     const std::size_t point = cell / seed_count;
     const std::size_t seed = cell % seed_count;
     PlacementConfig config = points_[point].config;  // grid stays immutable
@@ -51,6 +71,7 @@ std::vector<SweepRow> SweepRunner::run() const {
     telemetry::ScopedRunContext context(points_[point].label + "/seed" +
                                         std::to_string(config.seed));
     cells[cell] = run_placement(config);
+    if (checkpoint) checkpoint->record(cell, cells[cell]);
   };
 
   const std::size_t workers = resolve_jobs(options_.jobs, cell_count);
@@ -79,6 +100,19 @@ std::vector<SweepRow> SweepRunner::run() const {
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+std::size_t SweepRunner::checkpointed_cells() const {
+  if (options_.checkpoint_dir.empty()) return 0;
+  const std::size_t cell_count = points_.size() * options_.seeds.size();
+  SweepCheckpoint checkpoint(options_.checkpoint_dir,
+                             grid_fingerprint(points_, options_.seeds));
+  std::size_t count = 0;
+  for (const auto& [cell, result] : checkpoint.completed()) {
+    (void)result;
+    if (cell < cell_count) ++count;
+  }
+  return count;
 }
 
 void SweepRunner::export_traces() const {

@@ -39,6 +39,13 @@ struct SweepOptions {
   /// run (Chrome trace_event format).  Cells tag their events with a
   /// `ScopedRunContext` labelled "<label>/seed<seed>" either way.
   std::string trace_dir;
+  /// When non-empty, completed cells are persisted to
+  /// `<checkpoint_dir>/cells.journal` and a re-run of the same grid
+  /// skips them (`greensched sweep --resume DIR`).  Results are stored
+  /// bit-exactly, so a resumed sweep's output is byte-identical to an
+  /// uninterrupted one.  A directory holding a *different* grid's
+  /// manifest is rejected with ConfigError.
+  std::string checkpoint_dir;
 };
 
 /// Aggregated outcome of one grid point across all seeds.
@@ -63,8 +70,15 @@ class SweepRunner {
 
   /// Executes the whole grid (points × seeds cells, each a self-contained
   /// run) and aggregates per point.  Const and reentrant: the runner
-  /// itself may be shared across threads once configured.
+  /// itself may be shared across threads once configured.  With a
+  /// checkpoint_dir, previously-completed cells are restored instead of
+  /// re-run and fresh cells are persisted as they finish.
   [[nodiscard]] std::vector<SweepRow> run() const;
+
+  /// Cells of this grid already present in options().checkpoint_dir
+  /// (0 when checkpointing is off or the directory is fresh).  Useful
+  /// for "resuming: k/n cells done" progress reports.
+  [[nodiscard]] std::size_t checkpointed_cells() const;
 
   /// Aggregate CSV: one row per grid point (mean/ci95/min/max per metric).
   static void write_csv(std::ostream& out, const std::vector<SweepRow>& rows);

@@ -1,6 +1,7 @@
 #include "workload/trace_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -32,7 +33,9 @@ std::vector<std::string> split_fields(const std::string& line) {
 double parse_double_field(const std::string& text, std::size_t line, const char* what) {
   double value = 0.0;
   auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
-  if (ec != std::errc{} || ptr != text.data() + text.size())
+  // "nan"/"inf" parse fine but poison every downstream computation (and
+  // casting them is outright UB), so a trace may only carry finite values.
+  if (ec != std::errc{} || ptr != text.data() + text.size() || !std::isfinite(value))
     throw ParseError(std::string("trace: bad ") + what + " '" + text + "'", line, 1);
   return value;
 }
@@ -83,10 +86,15 @@ std::vector<TaskInstance> load_trace(std::istream& in) {
     TaskInstance task;
     task.id = ids.next();
     task.submit_time = common::Seconds(parse_double_field(fields[0], line_number, "submit_time"));
+    if (task.submit_time.value() < 0.0)
+      throw ParseError("trace: submit_time must be non-negative", line_number, 1);
     task.spec.work = common::Flops(parse_double_field(fields[1], line_number, "work_flops"));
     const double cores = parse_double_field(fields[2], line_number, "cores");
-    if (cores < 1.0 || cores != static_cast<double>(static_cast<unsigned>(cores)))
-      throw ParseError("trace: cores must be a positive integer", line_number, 1);
+    // Range check BEFORE the cast: float-to-unsigned conversion of an
+    // out-of-range value is undefined behaviour, not a wrong answer.
+    if (cores < 1.0 || cores > 1e6 ||
+        cores != static_cast<double>(static_cast<unsigned>(cores)))
+      throw ParseError("trace: cores must be a positive integer (at most 1e6)", line_number, 1);
     task.spec.cores = static_cast<unsigned>(cores);
     task.spec.service = fields[3];
     task.user_preference = parse_double_field(fields[4], line_number, "user_preference");

@@ -200,9 +200,13 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const ParseLimits& limits) : text_(text), limits_(limits) {}
 
   Document parse_document() {
+    if (text_.size() > limits_.max_input_bytes) {
+      fail("input exceeds " + std::to_string(limits_.max_input_bytes) +
+           " byte limit (" + std::to_string(text_.size()) + " bytes)");
+    }
     skip_prolog();
     Element root = parse_element();
     skip_misc();
@@ -287,11 +291,20 @@ class Parser {
     if (at_end() || !name_start_char(peek())) fail("expected a name");
     std::string name;
     name.push_back(advance());
-    while (!at_end() && name_char(text_[pos_])) name.push_back(advance());
+    while (!at_end() && name_char(text_[pos_])) {
+      name.push_back(advance());
+      if (name.size() > limits_.max_name_length) {
+        fail("name exceeds " + std::to_string(limits_.max_name_length) + " character limit");
+      }
+    }
     return name;
   }
 
   std::string parse_reference() {
+    if (++entities_ > limits_.max_entity_expansions) {
+      fail("more than " + std::to_string(limits_.max_entity_expansions) +
+           " entity references");
+    }
     expect('&');
     std::string entity;
     while (peek() != ';') {
@@ -340,12 +353,22 @@ class Parser {
   }
 
   Element parse_element() {
+    // Nesting burns real stack frames (recursive descent), and nodes burn
+    // real heap; both must be bounded before a hostile document can
+    // exhaust either.
+    if (++depth_ > limits_.max_depth) {
+      fail("element nesting exceeds depth limit of " + std::to_string(limits_.max_depth));
+    }
+    if (++nodes_ > limits_.max_nodes) {
+      fail("document exceeds " + std::to_string(limits_.max_nodes) + " element limit");
+    }
     expect('<');
     Element element(parse_name());
     for (;;) {
       skip_ws();
       if (starts_with("/>")) {
         expect("/>");
+        --depth_;
         return element;
       }
       if (peek() == '>') {
@@ -387,17 +410,38 @@ class Parser {
       const auto last = text.find_last_not_of(" \t\r\n");
       element.set_text(text.substr(first, last - first + 1));
     }
+    --depth_;
     return element;
   }
 
   std::string_view text_;
+  ParseLimits limits_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
   std::size_t column_ = 1;
+  std::size_t depth_ = 0;
+  std::size_t nodes_ = 0;
+  std::size_t entities_ = 0;
 };
 
 }  // namespace
 
-Document Document::parse(std::string_view text) { return Parser(text).parse_document(); }
+ParseLimits ParseLimits::unlimited() noexcept {
+  ParseLimits limits;
+  limits.max_input_bytes = static_cast<std::size_t>(-1);
+  // Depth stays bounded even here: the parser recurses, and no amount of
+  // trust in the input makes stack exhaustion recoverable.
+  limits.max_depth = 4096;
+  limits.max_nodes = static_cast<std::size_t>(-1);
+  limits.max_name_length = static_cast<std::size_t>(-1);
+  limits.max_entity_expansions = static_cast<std::size_t>(-1);
+  return limits;
+}
+
+Document Document::parse(std::string_view text) { return parse(text, ParseLimits{}); }
+
+Document Document::parse(std::string_view text, const ParseLimits& limits) {
+  return Parser(text, limits).parse_document();
+}
 
 }  // namespace greensched::xmlite

@@ -6,6 +6,7 @@
 // and the five predefined entities plus numeric character references.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <optional>
@@ -71,6 +72,22 @@ class Element {
   std::vector<std::unique_ptr<Element>> children_;
 };
 
+/// Resource ceilings for the parser.  Planning files, experiment configs
+/// and traces are all small; anything that trips these defaults is
+/// corrupt or hostile input (an "XML bomb"), and the parser must refuse
+/// it with a ParseError instead of exhausting memory or the stack.
+struct ParseLimits {
+  std::size_t max_input_bytes = 16u << 20;   ///< whole-document size cap
+  std::size_t max_depth = 64;                ///< element nesting (recursion) cap
+  std::size_t max_nodes = 262144;            ///< total element count cap
+  std::size_t max_name_length = 256;         ///< element/attribute name cap
+  std::size_t max_entity_expansions = 65536; ///< entity/char-reference cap
+
+  /// Effectively unbounded limits, for callers that already vetted the
+  /// input (e.g. re-reading a snapshot this process wrote).
+  [[nodiscard]] static ParseLimits unlimited() noexcept;
+};
+
 /// A document: optional declaration plus exactly one root element.
 class Document {
  public:
@@ -82,8 +99,10 @@ class Document {
   /// Serializes with an XML declaration line.
   [[nodiscard]] std::string to_string() const;
 
-  /// Parses a document from text; throws ParseError with line/column info.
+  /// Parses a document from text; throws ParseError with line/column
+  /// info.  The no-limits overload applies the ParseLimits defaults.
   static Document parse(std::string_view text);
+  static Document parse(std::string_view text, const ParseLimits& limits);
 
  private:
   Element root_;

@@ -1,0 +1,194 @@
+// Sweep checkpoint/resume: bit-exact result codec, fingerprint guard,
+// manifest replay, and byte-identical resumed CSVs.
+#include "metrics/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "durable/fsio.hpp"
+#include "durable/journal.hpp"
+#include "metrics/sweep.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+namespace fs = std::filesystem;
+
+PlacementConfig small_config() {
+  PlacementConfig config;
+  config.workload.requests_per_core = 0.5;
+  return config;
+}
+
+SweepRunner make_runner(const fs::path& dir, const std::string& policies_b = "RANDOM") {
+  SweepOptions options;
+  options.seeds = default_seeds(2);
+  options.jobs = 1;
+  options.checkpoint_dir = dir.string();
+  SweepRunner runner(options);
+  runner.add("POWER", small_config());
+  PlacementConfig other = small_config();
+  other.policy = policies_b;
+  runner.add(policies_b, other);
+  return runner;
+}
+
+std::string csv_of(const std::vector<SweepRow>& rows) {
+  std::ostringstream agg;
+  SweepRunner::write_csv(agg, rows);
+  std::ostringstream runs;
+  SweepRunner::write_runs_csv(runs, rows);
+  return agg.str() + "\n===\n" + runs.str();
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("gs_ckpt_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointTest, ResultCodecIsBitExact) {
+  PlacementResult r;
+  r.policy = "GREENPERF";
+  r.seed = 0xDEADBEEFCAFEull;
+  r.tasks = 123;
+  r.makespan = common::Seconds(0.1 + 0.2);  // a value with no short decimal form
+  r.energy = common::Joules(987654.321);
+  r.per_cluster.push_back({"orion", common::Joules(1.0 / 3.0)});
+  r.tasks_per_server.emplace_back("orion-0", 7);
+  r.sim_events = 99;
+  r.mean_wait_seconds = 2.5e-17;
+  r.tasks_completed = 120;
+  r.tasks_lost = 2;
+  r.tasks_unfinished = 1;
+  r.tasks_killed = 4;
+  r.crashes = 3;
+  r.repairs = 2;
+  r.cluster_outages = 1;
+  r.boot_failures = 5;
+  r.retries = 6;
+
+  const PlacementResult d = decode_placement_result(encode_placement_result(r));
+  EXPECT_EQ(d.policy, r.policy);
+  EXPECT_EQ(d.seed, r.seed);
+  EXPECT_EQ(d.tasks, r.tasks);
+  // Bitwise, not approximate: the resumed CSV must be byte-identical.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(d.makespan.value()),
+            std::bit_cast<std::uint64_t>(r.makespan.value()));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(d.mean_wait_seconds),
+            std::bit_cast<std::uint64_t>(r.mean_wait_seconds));
+  ASSERT_EQ(d.per_cluster.size(), 1u);
+  EXPECT_EQ(d.per_cluster[0].cluster, "orion");
+  ASSERT_EQ(d.tasks_per_server.size(), 1u);
+  EXPECT_EQ(d.tasks_per_server[0].second, 7u);
+  EXPECT_EQ(d.boot_failures, 5u);
+  EXPECT_EQ(d.retries, 6u);
+}
+
+TEST_F(CheckpointTest, DecodeRejectsTruncatedPayload) {
+  const std::string payload = encode_placement_result(PlacementResult{});
+  EXPECT_THROW((void)decode_placement_result(payload.substr(0, payload.size() / 2)),
+               common::ParseError);
+  EXPECT_THROW((void)decode_placement_result(payload + "extra"), common::ParseError);
+}
+
+TEST_F(CheckpointTest, FingerprintTracksGridKnobs) {
+  SweepOptions options;
+  std::vector<SweepPoint> grid{{"POWER", small_config()}};
+  const std::string base = grid_fingerprint(grid, default_seeds(2));
+  EXPECT_EQ(base, grid_fingerprint(grid, default_seeds(2)));  // deterministic
+
+  EXPECT_NE(base, grid_fingerprint(grid, default_seeds(3)));
+  std::vector<SweepPoint> renamed{{"POWER2", small_config()}};
+  EXPECT_NE(base, grid_fingerprint(renamed, default_seeds(2)));
+  PlacementConfig tweaked = small_config();
+  tweaked.workload.requests_per_core = 0.75;
+  std::vector<SweepPoint> changed{{"POWER", tweaked}};
+  EXPECT_NE(base, grid_fingerprint(changed, default_seeds(2)));
+}
+
+TEST_F(CheckpointTest, RecordsAndReplaysCells) {
+  const std::string fp = "greensched-sweep-fingerprint-v1:test";
+  PlacementResult r;
+  r.policy = "POWER";
+  r.seed = 7;
+  {
+    SweepCheckpoint checkpoint(dir_, fp);
+    EXPECT_TRUE(checkpoint.completed().empty());
+    checkpoint.record(3, r);
+  }
+  SweepCheckpoint reopened(dir_, fp);
+  ASSERT_EQ(reopened.completed().size(), 1u);
+  EXPECT_EQ(reopened.completed().at(3).seed, 7u);
+}
+
+TEST_F(CheckpointTest, RejectsForeignFingerprint) {
+  { SweepCheckpoint checkpoint(dir_, "fingerprint-A"); }
+  EXPECT_THROW(SweepCheckpoint(dir_, "fingerprint-B"), common::ConfigError);
+}
+
+TEST_F(CheckpointTest, QuarantinesGarbageManifest) {
+  fs::create_directories(dir_);
+  durable::write_file_atomic(dir_ / SweepCheckpoint::kManifestFile, "junk bytes");
+  SweepCheckpoint checkpoint(dir_, "fp");  // must not throw
+  EXPECT_TRUE(checkpoint.completed().empty());
+  EXPECT_TRUE(fs::exists((dir_ / SweepCheckpoint::kManifestFile).string() + ".quarantined"));
+}
+
+TEST_F(CheckpointTest, ResumedSweepIsByteIdentical) {
+  // Ground truth: the same grid with no checkpointing at all.
+  SweepOptions plain_options;
+  plain_options.seeds = default_seeds(2);
+  plain_options.jobs = 1;
+  SweepRunner plain(plain_options);
+  plain.add("POWER", small_config());
+  PlacementConfig other = small_config();
+  other.policy = "RANDOM";
+  plain.add("RANDOM", other);
+  const std::string expected = csv_of(plain.run());
+
+  // First checkpointed run computes everything and persists it.
+  EXPECT_EQ(csv_of(make_runner(dir_).run()), expected);
+  // Second run restores every cell from the manifest — and must emit the
+  // exact same bytes.
+  SweepRunner resumed = make_runner(dir_);
+  EXPECT_EQ(resumed.checkpointed_cells(), 4u);
+  EXPECT_EQ(csv_of(resumed.run()), expected);
+}
+
+TEST_F(CheckpointTest, PartialManifestSkipsOnlyCompletedCells) {
+  // Run fully once, then drop the manifest's last record to fake an
+  // interrupted sweep; the resumed run recomputes just that cell and
+  // still matches.
+  const std::string expected = csv_of(make_runner(dir_).run());
+
+  const fs::path manifest = dir_ / SweepCheckpoint::kManifestFile;
+  const durable::Journal::Replay replay = durable::Journal::replay(manifest);
+  ASSERT_EQ(replay.records.size(), 5u);  // fingerprint + 4 cells
+  std::string rebuilt(durable::kJournalMagic);
+  for (std::size_t i = 0; i + 1 < replay.records.size(); ++i) {
+    rebuilt += durable::frame_record(replay.records[i]);
+  }
+  durable::write_file_atomic(manifest, rebuilt);
+
+  SweepRunner resumed = make_runner(dir_);
+  EXPECT_EQ(resumed.checkpointed_cells(), 3u);
+  EXPECT_EQ(csv_of(resumed.run()), expected);
+}
+
+}  // namespace
+}  // namespace greensched::metrics

@@ -1,0 +1,159 @@
+// Write-ahead journal: framing, replay, torn-tail healing, corruption.
+#include "durable/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "durable/crc32.hpp"
+#include "durable/fsio.hpp"
+
+namespace greensched::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("gs_journal_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = dir_ / "test.journal";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  fs::path path_;
+};
+
+TEST_F(JournalTest, RoundTripsRecords) {
+  {
+    Journal journal = Journal::open(path_);
+    journal.append("alpha");
+    journal.append("");
+    journal.append(std::string(1000, 'x'));
+  }
+  const Journal::Replay replay = Journal::replay(path_);
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_EQ(replay.records[0], "alpha");
+  EXPECT_EQ(replay.records[1], "");
+  EXPECT_EQ(replay.records[2], std::string(1000, 'x'));
+  EXPECT_FALSE(replay.truncated);
+}
+
+TEST_F(JournalTest, BinaryPayloadsSurvive) {
+  // Frames are length-prefixed, so NULs and newlines are ordinary bytes.
+  const std::string payload("\0\n\r\xff\x00binary", 13);
+  {
+    Journal journal = Journal::open(path_);
+    journal.append(payload);
+  }
+  const Journal::Replay replay = Journal::replay(path_);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0], payload);
+}
+
+TEST_F(JournalTest, MissingFileReplaysEmpty) {
+  const Journal::Replay replay = Journal::replay(path_);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_FALSE(replay.truncated);
+}
+
+TEST_F(JournalTest, TornTailIsDetectedAndTruncated) {
+  {
+    Journal journal = Journal::open(path_);
+    journal.append("kept-1");
+    journal.append("kept-2");
+  }
+  const auto intact_size = fs::file_size(path_);
+  {
+    // Simulate a crash mid-append: a frame whose payload never finished.
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    const std::string frame = frame_record("never-finished");
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size() / 2));
+  }
+  const Journal::Replay replay = Journal::replay(path_);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[1], "kept-2");
+  EXPECT_TRUE(replay.truncated);
+  EXPECT_EQ(replay.valid_bytes, intact_size);
+  // The torn bytes are gone from disk: a second replay is clean.
+  EXPECT_EQ(fs::file_size(path_), intact_size);
+  EXPECT_FALSE(Journal::replay(path_).truncated);
+}
+
+TEST_F(JournalTest, BitFlipStopsReplayAtBadFrame) {
+  {
+    Journal journal = Journal::open(path_);
+    journal.append("good");
+    journal.append("flipped");
+    journal.append("unreachable");
+  }
+  // Flip one payload byte of the second record.
+  std::string bytes = read_file(path_);
+  const std::size_t at = bytes.find("flipped");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at] ^= 0x01;
+  write_file_atomic(path_, bytes);
+
+  const Journal::Replay replay = Journal::replay(path_);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0], "good");
+  EXPECT_TRUE(replay.truncated);
+}
+
+TEST_F(JournalTest, BadMagicThrowsParseError) {
+  write_file_atomic(path_, "not a journal at all");
+  EXPECT_THROW((void)Journal::replay(path_), common::ParseError);
+}
+
+TEST_F(JournalTest, ResetLeavesEmptyValidJournal) {
+  {
+    Journal journal = Journal::open(path_);
+    journal.append("old");
+  }
+  Journal::reset(path_);
+  const Journal::Replay replay = Journal::replay(path_);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_FALSE(replay.truncated);
+}
+
+TEST_F(JournalTest, AppendAfterReopenExtends) {
+  {
+    Journal journal = Journal::open(path_);
+    journal.append("one");
+  }
+  {
+    Journal journal = Journal::open(path_);
+    journal.append("two");
+  }
+  const Journal::Replay replay = Journal::replay(path_);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[1], "two");
+}
+
+TEST_F(JournalTest, BatchedFsyncStillReplays) {
+  Journal::Options options;
+  options.fsync_every = 8;
+  {
+    Journal journal = Journal::open(path_, options);
+    for (int i = 0; i < 20; ++i) journal.append("r" + std::to_string(i));
+  }
+  EXPECT_EQ(Journal::replay(path_).records.size(), 20u);
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // IEEE 802.3 reference value for "123456789".
+  EXPECT_EQ(crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view("")), 0u);
+  EXPECT_NE(crc32(std::string_view("a")), crc32(std::string_view("b")));
+}
+
+}  // namespace
+}  // namespace greensched::durable

@@ -1,0 +1,182 @@
+// The hardened ingestion layer: every parser in the stack must turn
+// hostile or corrupt input into a structured error — never UB, never an
+// abort, never a silent wrong answer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "chaos/scenario.hpp"
+#include "common/error.hpp"
+#include "metrics/config_io.hpp"
+#include "workload/trace_io.hpp"
+#include "xmlite/xml.hpp"
+
+namespace greensched {
+namespace {
+
+// --- xmlite resource limits -----------------------------------------------
+
+TEST(XmlLimitsTest, RejectsOversizedInput) {
+  xmlite::ParseLimits limits;
+  limits.max_input_bytes = 64;
+  const std::string doc = "<root>" + std::string(100, 'x') + "</root>";
+  EXPECT_THROW((void)xmlite::Document::parse(doc, limits), common::ParseError);
+  EXPECT_NO_THROW((void)xmlite::Document::parse("<root/>", limits));
+}
+
+TEST(XmlLimitsTest, RejectsDeepNesting) {
+  std::string doc;
+  for (int i = 0; i < 200; ++i) doc += "<a>";
+  doc += "x";
+  for (int i = 0; i < 200; ++i) doc += "</a>";
+  // Default depth limit is 64: this "XML bomb" must die cleanly, not
+  // blow the parser's stack.
+  EXPECT_THROW((void)xmlite::Document::parse(doc), common::ParseError);
+  xmlite::ParseLimits deep;
+  deep.max_depth = 300;
+  EXPECT_NO_THROW((void)xmlite::Document::parse(doc, deep));
+}
+
+TEST(XmlLimitsTest, SiblingsDoNotCountAsDepth) {
+  std::string doc = "<root>";
+  for (int i = 0; i < 500; ++i) doc += "<leaf/>";
+  doc += "</root>";
+  EXPECT_NO_THROW((void)xmlite::Document::parse(doc));
+}
+
+TEST(XmlLimitsTest, RejectsTooManyNodes) {
+  xmlite::ParseLimits limits;
+  limits.max_nodes = 10;
+  std::string doc = "<root>";
+  for (int i = 0; i < 20; ++i) doc += "<leaf/>";
+  doc += "</root>";
+  EXPECT_THROW((void)xmlite::Document::parse(doc, limits), common::ParseError);
+}
+
+TEST(XmlLimitsTest, RejectsEndlessNames) {
+  xmlite::ParseLimits limits;
+  limits.max_name_length = 16;
+  const std::string doc = "<" + std::string(64, 'n') + "/>";
+  EXPECT_THROW((void)xmlite::Document::parse(doc, limits), common::ParseError);
+}
+
+TEST(XmlLimitsTest, RejectsEntityFlood) {
+  xmlite::ParseLimits limits;
+  limits.max_entity_expansions = 8;
+  std::string doc = "<root>";
+  for (int i = 0; i < 20; ++i) doc += "&amp;";
+  doc += "</root>";
+  EXPECT_THROW((void)xmlite::Document::parse(doc, limits), common::ParseError);
+}
+
+TEST(XmlLimitsTest, ErrorsCarryLineAndColumn) {
+  try {
+    (void)xmlite::Document::parse("<root>\n  <broken\n</root>");
+    FAIL() << "expected ParseError";
+  } catch (const common::ParseError& e) {
+    EXPECT_GE(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+// --- workload traces --------------------------------------------------------
+
+std::vector<workload::TaskInstance> parse_trace(const std::string& rows) {
+  std::istringstream in("submit_time,work_flops,cores,service,user_preference\n" + rows);
+  return workload::load_trace(in);
+}
+
+TEST(TraceHardeningTest, RejectsNaNFields) {
+  EXPECT_THROW((void)parse_trace("nan,1e9,1,cpu-bound,0\n"), common::ParseError);
+  EXPECT_THROW((void)parse_trace("0,inf,1,cpu-bound,0\n"), common::ParseError);
+  EXPECT_THROW((void)parse_trace("0,1e9,nan,cpu-bound,0\n"), common::ParseError);
+  EXPECT_THROW((void)parse_trace("0,1e9,1,cpu-bound,nan\n"), common::ParseError);
+}
+
+TEST(TraceHardeningTest, RejectsOutOfRangeCores) {
+  // 1e18 > UINT_MAX: the old float-to-unsigned cast here was UB.
+  EXPECT_THROW((void)parse_trace("0,1e9,1e18,cpu-bound,0\n"), common::ParseError);
+  EXPECT_THROW((void)parse_trace("0,1e9,0,cpu-bound,0\n"), common::ParseError);
+  EXPECT_THROW((void)parse_trace("0,1e9,2.5,cpu-bound,0\n"), common::ParseError);
+  EXPECT_THROW((void)parse_trace("0,1e9,-3,cpu-bound,0\n"), common::ParseError);
+}
+
+TEST(TraceHardeningTest, RejectsNegativeSubmitTime) {
+  EXPECT_THROW((void)parse_trace("-1,1e9,1,cpu-bound,0\n"), common::ParseError);
+}
+
+TEST(TraceHardeningTest, AcceptsCleanRow) {
+  const auto tasks = parse_trace("0,1e9,2,cpu-bound,0.5\n1.5,2e9,1,cpu-bound,-1\n");
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].spec.cores, 2u);
+}
+
+// --- chaos scenario specs ---------------------------------------------------
+
+TEST(ScenarioHardeningTest, RejectsNaNValues) {
+  // "NaN < 0" is false, so these only die if validate() checks isfinite.
+  EXPECT_THROW((void)chaos::ChaosScenario::parse("storm,mtbf=nan"), common::ConfigError);
+  EXPECT_THROW((void)chaos::ChaosScenario::parse("storm,shape=nan"), common::ConfigError);
+  EXPECT_THROW((void)chaos::ChaosScenario::parse("storm,mttr=inf"), common::ConfigError);
+  EXPECT_THROW((void)chaos::ChaosScenario::parse("storm,repair_p=nan"), common::ConfigError);
+  EXPECT_THROW((void)chaos::ChaosScenario::parse("storm,horizon=inf"), common::ConfigError);
+}
+
+TEST(ScenarioHardeningTest, RejectsGarbageSpecs) {
+  EXPECT_THROW((void)chaos::ChaosScenario::parse("storm,mtbf="), common::ConfigError);
+  EXPECT_THROW((void)chaos::ChaosScenario::parse("storm,mtbf=12x"), common::ConfigError);
+  EXPECT_THROW((void)chaos::ChaosScenario::parse("bogus-preset"), common::ConfigError);
+  EXPECT_THROW((void)chaos::ChaosScenario::parse("storm,unknown_key=1"), common::ConfigError);
+  EXPECT_THROW((void)chaos::ChaosScenario::parse("mtbf=1,storm"), common::ConfigError);
+}
+
+// --- experiment config files ------------------------------------------------
+
+TEST(ConfigHardeningTest, RejectsNonFiniteNumbers) {
+  EXPECT_THROW(
+      (void)metrics::config_from_string(
+          "<experiment><cluster machine=\"orion\" count=\"1\"/>"
+          "<workload requests_per_core=\"nan\"/></experiment>"),
+      common::ConfigError);
+  EXPECT_THROW(
+      (void)metrics::config_from_string(
+          "<experiment><cluster machine=\"orion\" count=\"1\" "
+          "power_heterogeneity=\"inf\"/></experiment>"),
+      common::ConfigError);
+}
+
+TEST(ConfigHardeningTest, RejectsAbsurdCounts) {
+  EXPECT_THROW((void)metrics::config_from_string(
+                   "<experiment clients=\"0\">"
+                   "<cluster machine=\"orion\" count=\"1\"/></experiment>"),
+               common::ConfigError);
+  EXPECT_THROW((void)metrics::config_from_string(
+                   "<experiment>"
+                   "<cluster machine=\"orion\" count=\"99999999999\"/></experiment>"),
+               common::ConfigError);
+  EXPECT_THROW((void)metrics::config_from_string(
+                   "<experiment task_count=\"-5\">"
+                   "<cluster machine=\"orion\" count=\"1\"/></experiment>"),
+               common::ConfigError);
+}
+
+TEST(ConfigHardeningTest, RejectsNegativeRates) {
+  EXPECT_THROW(
+      (void)metrics::config_from_string(
+          "<experiment><cluster machine=\"orion\" count=\"1\"/>"
+          "<workload rate=\"-2\"/></experiment>"),
+      common::ConfigError);
+}
+
+TEST(ConfigHardeningTest, StillAcceptsRoundTrip) {
+  const metrics::PlacementConfig config;
+  const metrics::PlacementConfig loaded =
+      metrics::config_from_string(metrics::config_to_string(config));
+  EXPECT_EQ(loaded.policy, config.policy);
+  EXPECT_EQ(loaded.clusters.size(), config.clusters.size());
+}
+
+}  // namespace
+}  // namespace greensched

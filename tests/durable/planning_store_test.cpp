@@ -1,0 +1,232 @@
+// Durable planning store: WAL + snapshot recovery under every corruption
+// the ISSUE's malformed-input matrix lists — torn journal tail,
+// bit-flipped snapshot, garbage files — always structured recovery,
+// never a crash.
+#include "durable/planning_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "durable/fsio.hpp"
+#include "durable/journal.hpp"
+#include "durable/snapshot.hpp"
+#include "green/planning.hpp"
+
+namespace greensched::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+green::PlanningEntry entry_at(double t) {
+  green::PlanningEntry entry;
+  entry.timestamp = t;
+  entry.temperature = 20.0 + t / 100.0;
+  entry.candidates = static_cast<std::size_t>(t) % 12;
+  entry.electricity_cost = 0.5 + t / 1000.0;
+  return entry;
+}
+
+class PlanningStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("gs_store_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path snapshot() const { return dir_ / PlanningStore::kSnapshotFile; }
+  fs::path previous() const { return dir_ / PlanningStore::kPreviousSnapshotFile; }
+  fs::path journal() const { return dir_ / PlanningStore::kJournalFile; }
+
+  fs::path dir_;
+};
+
+TEST_F(PlanningStoreTest, EntryCodecRoundTrips) {
+  const green::PlanningEntry original = entry_at(1234.5);
+  const green::PlanningEntry decoded = decode_planning_entry(encode_planning_entry(original));
+  EXPECT_EQ(decoded.timestamp, original.timestamp);
+  EXPECT_EQ(decoded.temperature, original.temperature);
+  EXPECT_EQ(decoded.candidates, original.candidates);
+  EXPECT_EQ(decoded.electricity_cost, original.electricity_cost);
+}
+
+TEST_F(PlanningStoreTest, JournalRecoversEntriesAcrossRestart) {
+  {
+    green::ProvisioningPlanning planning;
+    PlanningStore store(dir_, planning);
+    planning.add_entry(entry_at(10.0));
+    planning.add_entry(entry_at(20.0));
+    planning.add_entry(entry_at(30.0));
+  }
+  green::ProvisioningPlanning recovered;
+  PlanningStore store(dir_, recovered);
+  EXPECT_EQ(recovered.size(), 3u);
+  EXPECT_EQ(store.recovery().journal_entries, 3u);
+  EXPECT_EQ(store.recovery().snapshot_entries, 0u);
+  const auto last = recovered.at_or_before(1e9);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->timestamp, 30.0);
+}
+
+TEST_F(PlanningStoreTest, CompactionFoldsJournalIntoSnapshot) {
+  {
+    green::ProvisioningPlanning planning;
+    PlanningStore store(dir_, planning);
+    planning.add_entry(entry_at(1.0));
+    planning.add_entry(entry_at(2.0));
+    store.compact();
+    planning.add_entry(entry_at(3.0));  // lands in the fresh journal
+  }
+  EXPECT_EQ(read_snapshot(snapshot()).status, SnapshotStatus::kOk);
+  EXPECT_EQ(Journal::replay(journal()).records.size(), 1u);
+
+  green::ProvisioningPlanning recovered;
+  PlanningStore store(dir_, recovered);
+  EXPECT_EQ(recovered.size(), 3u);
+  EXPECT_EQ(store.recovery().snapshot_entries, 2u);
+  EXPECT_EQ(store.recovery().journal_entries, 1u);
+}
+
+TEST_F(PlanningStoreTest, AutoCompactionKeepsJournalShort) {
+  green::ProvisioningPlanning planning;
+  PlanningStore::Options options;
+  options.compact_every = 4;
+  PlanningStore store(dir_, planning, options);
+  for (int i = 1; i <= 10; ++i) planning.add_entry(entry_at(i * 10.0));
+  EXPECT_LE(Journal::replay(journal()).records.size(), options.compact_every);
+
+  green::ProvisioningPlanning recovered;
+  PlanningStore reopened(dir_, recovered);
+  EXPECT_EQ(recovered.size(), 10u);
+}
+
+TEST_F(PlanningStoreTest, TornJournalTailIsHealed) {
+  {
+    green::ProvisioningPlanning planning;
+    PlanningStore store(dir_, planning);
+    planning.add_entry(entry_at(10.0));
+    planning.add_entry(entry_at(20.0));
+  }
+  {
+    // Crash mid-append: half a frame at the tail.
+    std::ofstream out(journal(), std::ios::binary | std::ios::app);
+    const std::string frame = frame_record(encode_planning_entry(entry_at(30.0)));
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size() - 3));
+  }
+  green::ProvisioningPlanning recovered;
+  PlanningStore store(dir_, recovered);
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_TRUE(store.recovery().journal_truncated);
+  // The healed store keeps working: new entries append cleanly.
+  recovered.add_entry(entry_at(40.0));
+  green::ProvisioningPlanning after;
+  PlanningStore reopened(dir_, after);
+  EXPECT_EQ(after.size(), 3u);
+}
+
+TEST_F(PlanningStoreTest, BitFlippedSnapshotFallsBackToPrevious) {
+  {
+    green::ProvisioningPlanning planning;
+    PlanningStore store(dir_, planning);
+    planning.add_entry(entry_at(10.0));
+    store.compact();                    // snapshot = {10}
+    planning.add_entry(entry_at(20.0));
+    store.compact();                    // prev = {10}, snapshot = {10, 20}
+  }
+  std::string bytes = read_file(snapshot());
+  bytes[bytes.size() / 2] ^= 0x40;
+  write_file_atomic(snapshot(), bytes);
+
+  green::ProvisioningPlanning recovered;
+  PlanningStore store(dir_, recovered);
+  EXPECT_TRUE(store.recovery().snapshot_quarantined);
+  EXPECT_TRUE(store.recovery().used_previous_snapshot);
+  EXPECT_EQ(store.recovery().snapshot_entries, 1u);
+  EXPECT_TRUE(fs::exists(snapshot().string() + ".quarantined"));
+}
+
+TEST_F(PlanningStoreTest, GarbageEverywhereStillComesUpEmpty) {
+  fs::create_directories(dir_);
+  write_file_atomic(snapshot(), "complete garbage");
+  write_file_atomic(previous(), "\x00\x01\x02 more garbage");
+  write_file_atomic(journal(), "not a journal either");
+
+  green::ProvisioningPlanning recovered;
+  PlanningStore store(dir_, recovered);  // must not throw
+  EXPECT_EQ(recovered.size(), 0u);
+  EXPECT_TRUE(store.recovery().snapshot_quarantined);
+  EXPECT_TRUE(store.recovery().journal_quarantined);
+  // And the store is usable from scratch.
+  recovered.add_entry(entry_at(5.0));
+  green::ProvisioningPlanning after;
+  PlanningStore reopened(dir_, after);
+  EXPECT_EQ(after.size(), 1u);
+}
+
+TEST_F(PlanningStoreTest, ReplayIsIdempotentOverCompactionOverlap) {
+  // Simulate the compaction crash window: snapshot written, journal NOT
+  // yet reset.  Replaying journal records the snapshot already contains
+  // must not duplicate entries (equal timestamps replace).
+  {
+    green::ProvisioningPlanning planning;
+    PlanningStore store(dir_, planning);
+    planning.add_entry(entry_at(10.0));
+    planning.add_entry(entry_at(20.0));
+    write_snapshot(snapshot(), planning.to_xml_string());  // journal keeps both
+  }
+  green::ProvisioningPlanning recovered;
+  PlanningStore store(dir_, recovered);
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(store.recovery().snapshot_entries, 2u);
+  EXPECT_EQ(store.recovery().journal_entries, 2u);  // replayed, replaced in place
+}
+
+TEST_F(PlanningStoreTest, DetachesObserverOnDestruction) {
+  green::ProvisioningPlanning planning;
+  {
+    PlanningStore store(dir_, planning);
+    EXPECT_NE(planning.observer(), nullptr);
+  }
+  EXPECT_EQ(planning.observer(), nullptr);
+  planning.add_entry(entry_at(1.0));  // no dangling observer dereference
+}
+
+TEST_F(PlanningStoreTest, LoadRejectsDuplicateTimestamps) {
+  green::ProvisioningPlanning planning;
+  const std::string xml =
+      "<planning>"
+      "<timestamp value=\"10\"><temperature>20</temperature>"
+      "<candidates>4</candidates><electricity_cost>0.5</electricity_cost></timestamp>"
+      "<timestamp value=\"10\"><temperature>21</temperature>"
+      "<candidates>5</candidates><electricity_cost>0.6</electricity_cost></timestamp>"
+      "</planning>";
+  EXPECT_THROW(planning.load_xml_string(xml), common::ParseError);
+}
+
+TEST_F(PlanningStoreTest, LoadRejectsNonFiniteTimestamp) {
+  green::ProvisioningPlanning planning;
+  const std::string xml =
+      "<planning>"
+      "<timestamp value=\"nan\"><temperature>20</temperature>"
+      "<candidates>4</candidates><electricity_cost>0.5</electricity_cost></timestamp>"
+      "</planning>";
+  EXPECT_THROW(planning.load_xml_string(xml), common::ParseError);
+}
+
+TEST_F(PlanningStoreTest, AddEntryRejectsNonFiniteFields) {
+  green::ProvisioningPlanning planning;
+  green::PlanningEntry bad = entry_at(10.0);
+  bad.temperature = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(planning.add_entry(bad), common::ConfigError);
+}
+
+}  // namespace
+}  // namespace greensched::durable

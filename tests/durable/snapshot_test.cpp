@@ -1,0 +1,92 @@
+// Checksummed atomic snapshots: roundtrip, corruption detection, quarantine.
+#include "durable/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "durable/fsio.hpp"
+
+namespace greensched::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("gs_snapshot_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = dir_ / "state.xml";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  fs::path path_;
+};
+
+TEST_F(SnapshotTest, RoundTrips) {
+  const std::string content = "<planning>\n  <entry t=\"1\"/>\n</planning>\n";
+  write_snapshot(path_, content);
+  const SnapshotRead read = read_snapshot(path_);
+  EXPECT_EQ(read.status, SnapshotStatus::kOk);
+  EXPECT_EQ(read.content, content);
+}
+
+TEST_F(SnapshotTest, MissingFile) {
+  EXPECT_EQ(read_snapshot(path_).status, SnapshotStatus::kMissing);
+}
+
+TEST_F(SnapshotTest, MissingTrailerIsCorrupt) {
+  write_file_atomic(path_, "<planning/>");
+  const SnapshotRead read = read_snapshot(path_);
+  EXPECT_EQ(read.status, SnapshotStatus::kCorrupt);
+  EXPECT_FALSE(read.detail.empty());
+}
+
+TEST_F(SnapshotTest, BitFlipIsCorrupt) {
+  write_snapshot(path_, "<planning><entry t=\"42\"/></planning>");
+  std::string bytes = read_file(path_);
+  const std::size_t at = bytes.find("42");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at] = '9';
+  write_file_atomic(path_, bytes);
+  EXPECT_EQ(read_snapshot(path_).status, SnapshotStatus::kCorrupt);
+}
+
+TEST_F(SnapshotTest, TruncationIsCorrupt) {
+  write_snapshot(path_, std::string(4096, 'a'));
+  truncate_file(path_, 100);
+  EXPECT_EQ(read_snapshot(path_).status, SnapshotStatus::kCorrupt);
+}
+
+TEST_F(SnapshotTest, QuarantineMovesFileAside) {
+  write_file_atomic(path_, "garbage");
+  quarantine(path_);
+  EXPECT_FALSE(fs::exists(path_));
+  EXPECT_TRUE(fs::exists(path_.string() + ".quarantined"));
+  // Quarantining what does not exist is a harmless no-op.
+  quarantine(dir_ / "never-existed");
+}
+
+TEST_F(SnapshotTest, OverwriteIsAtomicReplacement) {
+  write_snapshot(path_, "first");
+  write_snapshot(path_, "second");
+  const SnapshotRead read = read_snapshot(path_);
+  EXPECT_EQ(read.status, SnapshotStatus::kOk);
+  EXPECT_EQ(read.content, "second");
+  // No temp files left behind.
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+}  // namespace
+}  // namespace greensched::durable

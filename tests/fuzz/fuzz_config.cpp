@@ -1,0 +1,21 @@
+// Fuzz harness for experiment config files (XML -> PlacementConfig).
+//
+// Oracle: parse or a structured error (ParseError for malformed XML,
+// ConfigError for out-of-range values / unknown machines).  Anything
+// else escaping is a crash.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "metrics/config_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)greensched::metrics::config_from_string(text);
+  } catch (const greensched::common::ParseError&) {
+  } catch (const greensched::common::ConfigError&) {
+  }
+  return 0;
+}

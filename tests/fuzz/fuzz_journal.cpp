@@ -1,0 +1,26 @@
+// Fuzz harness for the durable binary record codecs.
+//
+// These decoders run on bytes that passed a CRC check, but bit rot can
+// strike after the CRC was computed (or a future writer may change the
+// schema), so they must be fully bounds-checked: decode or ParseError,
+// never a wild read or a giant allocation from a corrupt length field.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "durable/planning_store.hpp"
+#include "metrics/checkpoint.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)greensched::durable::decode_planning_entry(payload);
+  } catch (const greensched::common::ParseError&) {
+  }
+  try {
+    (void)greensched::metrics::decode_placement_result(payload);
+  } catch (const greensched::common::ParseError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fuzz harness for chaos scenario spec parsing.
+//
+// Oracle: parse or ConfigError; an accepted scenario is validated (so no
+// NaN or out-of-range knobs ever reach the fault processes) and its
+// to_string() form parses back.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "chaos/scenario.hpp"
+#include "common/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const greensched::chaos::ChaosScenario scenario =
+        greensched::chaos::ChaosScenario::parse(text);
+    try {
+      (void)greensched::chaos::ChaosScenario::parse(scenario.to_string());
+    } catch (const greensched::common::ConfigError&) {
+      std::abort();  // a validated scenario must round-trip
+    }
+  } catch (const greensched::common::ConfigError&) {
+    // Expected for malformed specs.
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fuzz harness for the workload trace reader.
+//
+// Oracle: parse or ParseError, and whatever loads must save/reload to
+// the same task count (the CSV round trip is lossless for accepted
+// traces).
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "workload/trace_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const auto tasks = greensched::workload::trace_from_string(text);
+    try {
+      const auto again =
+          greensched::workload::trace_from_string(greensched::workload::trace_to_string(tasks));
+      if (again.size() != tasks.size()) std::abort();
+    } catch (const greensched::common::ParseError&) {
+      std::abort();  // our own serialization must always re-load
+    }
+  } catch (const greensched::common::ParseError&) {
+    // Expected for malformed traces.
+  }
+  return 0;
+}

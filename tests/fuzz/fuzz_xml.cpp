@@ -1,0 +1,30 @@
+// Fuzz harness for the xmlite parser.
+//
+// Oracle: any input either parses or raises ParseError — no UB, no abort,
+// no unbounded memory (the default ParseLimits are in force).  Anything
+// the parser accepts must serialize and re-parse cleanly (round-trip
+// stability); a document our own serializer emits that our parser then
+// rejects is a bug worth crashing on.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "xmlite/xml.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const greensched::xmlite::Document doc = greensched::xmlite::Document::parse(text);
+    const std::string round = doc.to_string();
+    try {
+      (void)greensched::xmlite::Document::parse(round);
+    } catch (const greensched::common::ParseError&) {
+      std::abort();  // serializer produced something the parser rejects
+    }
+  } catch (const greensched::common::ParseError&) {
+    // Structured rejection is the expected path for most inputs.
+  }
+  return 0;
+}

@@ -23,13 +23,16 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "chaos/scenario.hpp"
 #include "cluster/catalog.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/error.hpp"
 #include "des/simulator.hpp"
+#include "durable/planning_store.hpp"
 #include "diet/client.hpp"
 #include "diet/hierarchy.hpp"
 #include "green/events.hpp"
@@ -64,10 +67,12 @@ int usage() {
                "                   --replicate N + placement flags)\n"
                "  sweep            replicated policy grid on the thread pool (--policies,\n"
                "                   --seeds N, --jobs N, --csv FILE, --runs-csv FILE,\n"
-               "                   --trace-dir DIR)\n"
+               "                   --trace-dir DIR, --resume DIR to checkpoint completed\n"
+               "                   cells and skip them on re-run)\n"
                "  fig9             adaptive provisioning timeline (--minutes,\n"
                "                   --check-minutes, --ramp-up, --ramp-down, --seed N,\n"
-               "                   --policy P, --planning FILE)\n"
+               "                   --policy P, --planning FILE, --state-dir DIR for a\n"
+               "                   crash-safe journaled planning store)\n"
                "  trace-generate   write a workload trace (--out FILE, --tasks, --burst,\n"
                "                   --rate, --seed)\n"
                "  trace-run        replay a workload trace (--in FILE, --policy, --seed)\n"
@@ -78,16 +83,34 @@ int usage() {
                "telemetry (any command):\n"
                "  --trace-out FILE    record spans, write Chrome trace_event JSON\n"
                "                      (load it in Perfetto / chrome://tracing)\n"
-               "  --metrics-out FILE  record counters, write Prometheus text format\n");
+               "  --metrics-out FILE  record counters, write Prometheus text format\n"
+               "exit codes:\n"
+               "  0  success\n"
+               "  1  runtime or configuration error\n"
+               "  2  usage error (unknown command/option, bad flag value)\n"
+               "  3  file or filesystem I/O failure\n");
   return 2;
+}
+
+/// Opens an output file, failing loudly: an unwritable path is an
+/// environment problem (exit code 3), never a silent no-op.
+std::ofstream open_output(const std::string& path, const char* what) {
+  std::ofstream out(path);
+  if (!out) throw common::IoError(std::string("cannot open ") + what + " for writing", path);
+  return out;
+}
+
+std::ifstream open_input(const std::string& path, const char* what) {
+  std::ifstream in(path);
+  if (!in) throw common::IoError(std::string("cannot open ") + what, path);
+  return in;
 }
 
 metrics::PlacementConfig placement_config_from(const CliArgs& args) {
   metrics::PlacementConfig config;
   if (const auto config_path = args.get("config")) {
     // Start from an experiment file; explicit flags below still override.
-    std::ifstream in(*config_path);
-    if (!in) throw common::ConfigError("cannot open experiment file " + *config_path);
+    std::ifstream in = open_input(*config_path, "experiment file");
     std::stringstream buffer;
     buffer << in.rdbuf();
     config = metrics::config_from_string(buffer.str());
@@ -138,14 +161,14 @@ int cmd_catalog() {
 int cmd_placement(const CliArgs& args) {
   const metrics::PlacementConfig config = placement_config_from(args);
   if (const auto save_path = args.get("save-config")) {
-    std::ofstream out(*save_path);
+    std::ofstream out = open_output(*save_path, "experiment file");
     out << metrics::config_to_string(config);
     std::printf("experiment file written to %s\n", save_path->c_str());
   }
   const metrics::PlacementResult result = metrics::run_placement(config);
   print_placement(result);
   if (const auto csv_path = args.get("csv")) {
-    std::ofstream out(*csv_path);
+    std::ofstream out = open_output(*csv_path, "CSV file");
     common::CsvWriter csv(out);
     csv.row({"server", "tasks"});
     for (const auto& [server, count] : result.tasks_per_server) {
@@ -223,11 +246,17 @@ int cmd_sweep(const CliArgs& args) {
       static_cast<std::size_t>(std::max(1LL, args.get_int("seeds", 5))));
   options.jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
   options.trace_dir = args.get_or("trace-dir", "");
+  options.checkpoint_dir = args.get_or("resume", "");
   if (!options.trace_dir.empty() && !telemetry::Telemetry::enabled()) {
     telemetry::Telemetry::enable();
   }
   metrics::SweepRunner runner(options);
   runner.add_policies(config, policies);
+  if (!options.checkpoint_dir.empty()) {
+    std::printf("resume: %zu/%zu cells already complete in %s\n",
+                runner.checkpointed_cells(), policies.size() * options.seeds.size(),
+                options.checkpoint_dir.c_str());
+  }
 
   const std::vector<metrics::SweepRow> rows = runner.run();
   std::printf("sweep: %zu policies x %zu seeds (%zu workers)\n\n", rows.size(),
@@ -242,12 +271,12 @@ int cmd_sweep(const CliArgs& args) {
                 row.replicated.mean_wait_seconds.to_string(2).c_str());
   }
   if (const auto csv_path = args.get("csv")) {
-    std::ofstream out(*csv_path);
+    std::ofstream out = open_output(*csv_path, "aggregate CSV");
     metrics::SweepRunner::write_csv(out, rows);
     std::printf("\naggregate CSV written to %s\n", csv_path->c_str());
   }
   if (const auto runs_path = args.get("runs-csv")) {
-    std::ofstream out(*runs_path);
+    std::ofstream out = open_output(*runs_path, "per-run CSV");
     metrics::SweepRunner::write_runs_csv(out, rows);
     std::printf("per-run CSV written to %s\n", runs_path->c_str());
   }
@@ -275,6 +304,22 @@ int cmd_fig9(const CliArgs& args) {
   green::EventInjector injector(sim, platform, events);
 
   green::ProvisioningPlanning planning;
+  // Crash-safe state: with --state-dir, every planning insert is
+  // journaled before it lands and a previous run's entries are recovered
+  // here (snapshot + journal tail), so the Fig. 8 log survives a kill.
+  std::optional<durable::PlanningStore> store;
+  if (const auto state_dir = args.get("state-dir")) {
+    store.emplace(*state_dir, planning);
+    const durable::PlanningStore::Recovery& rec = store->recovery();
+    if (rec.snapshot_entries + rec.journal_entries > 0 || rec.snapshot_quarantined ||
+        rec.journal_quarantined) {
+      std::printf("state: recovered %zu snapshot + %zu journal entries from %s%s%s%s\n",
+                  rec.snapshot_entries, rec.journal_entries, state_dir->c_str(),
+                  rec.journal_truncated ? " [torn journal tail truncated]" : "",
+                  rec.snapshot_quarantined ? " [corrupt snapshot quarantined]" : "",
+                  rec.used_previous_snapshot ? " [fell back to previous snapshot]" : "");
+    }
+  }
   green::ProvisionerConfig pconfig;
   pconfig.check_period = common::minutes(args.get_double("check-minutes", 10.0));
   pconfig.lookahead = common::minutes(20.0);
@@ -307,8 +352,14 @@ int cmd_fig9(const CliArgs& args) {
   }
   std::printf("tasks completed: %zu\n", client.completed());
 
+  if (store) {
+    // Fold the journal into a fresh checksummed snapshot so the next run
+    // recovers from one file read.
+    store->compact();
+    std::printf("state: compacted %zu entries into snapshot\n", planning.size());
+  }
   const std::string planning_path = args.get_or("planning", "planning.xml");
-  std::ofstream out(planning_path);
+  std::ofstream out = open_output(planning_path, "planning file");
   out << planning.to_xml_string();
   std::printf("planning written to %s (%zu entries)\n", planning_path.c_str(),
               planning.size());
@@ -372,7 +423,7 @@ int cmd_chaos(const CliArgs& args) {
   }
 
   if (const auto csv_path = args.get("csv")) {
-    std::ofstream out(*csv_path);
+    std::ofstream out = open_output(*csv_path, "chaos CSV");
     common::CsvWriter csv(out);
     csv.row({"seed", "policy", "tasks", "completed", "lost", "unfinished", "crashes",
              "tasks_killed", "repairs", "cluster_outages", "boot_failures", "retries",
@@ -414,7 +465,7 @@ int cmd_trace_generate(const CliArgs& args) {
   const auto tasks = generator.generate_with(
       arrival, static_cast<std::size_t>(args.get_int("tasks", 1040)), common::seconds(0.0),
       rng);
-  std::ofstream out(*out_path);
+  std::ofstream out = open_output(*out_path, "trace file");
   workload::save_trace(out, tasks);
   std::printf("wrote %zu tasks to %s\n", tasks.size(), out_path->c_str());
   return 0;
@@ -426,11 +477,7 @@ int cmd_trace_run(const CliArgs& args) {
     std::fprintf(stderr, "trace-run: --in FILE is required\n");
     return 2;
   }
-  std::ifstream in(*in_path);
-  if (!in) {
-    std::fprintf(stderr, "trace-run: cannot open %s\n", in_path->c_str());
-    return 1;
-  }
+  std::ifstream in = open_input(*in_path, "trace file");
   const auto tasks = workload::load_trace(in);
 
   metrics::PlacementConfig config;
@@ -521,6 +568,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "metrics written to %s\n", metrics_out->c_str());
     }
     return status;
+  } catch (const common::IoError& e) {
+    // File/filesystem failures get their own exit code so scripts can
+    // distinguish "disk problem, retry elsewhere" from a bad experiment.
+    std::fprintf(stderr, "io error: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
