@@ -1,0 +1,117 @@
+// Micro: dispatch throughput, fast path vs. baseline.
+//
+// Builds a flat MA -> N SeDs hierarchy at 50/200/1000 servers and pushes
+// a stream of scheduling rounds through both dispatch paths:
+//   baseline  — MasterAgent::submit() with the estimation cache off (the
+//               pre-fast-path behaviour: every estimation vector rebuilt
+//               from scratch, the decision deep-copied to the caller),
+//   fast path — MasterAgent::submit_fast() with the cache on (epoch-hit
+//               estimations, arena-recycled candidate buffers, decision
+//               by reference).
+// The elected-server sequence must be bit-identical between the two runs
+// (the fast path's core guarantee); any divergence fails the bench.
+// Emits one "BENCH_JSON:" line and writes the same record to
+// BENCH_dispatch.json so the perf trajectory is machine-trackable.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/platform.hpp"
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/policies.hpp"
+#include "metrics/experiment.hpp"
+#include "workload/task.hpp"
+
+using namespace greensched;
+
+namespace {
+
+struct DispatchRun {
+  double requests_per_sec = 0.0;
+  std::vector<std::string> elected;  ///< per-round elected server names
+};
+
+/// `rounds` scheduling rounds against a fresh flat hierarchy of
+/// `n_nodes` SEDs.  No task is ever started, so every round sees the
+/// same server state — the cache's steady-state best case, and exactly
+/// the situation a burst of arrivals puts the MA in.
+DispatchRun run_dispatch(std::size_t n_nodes, std::size_t rounds, bool fast_path) {
+  des::Simulator sim;
+  common::Rng rng(42);
+  cluster::Platform platform;
+  for (const auto& setup : metrics::scaled_clusters(n_nodes)) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::SedConfig sed_config;
+  sed_config.estimation_cache = fast_path;
+  diet::MasterAgent& ma = hierarchy.build_flat(platform, {"cpu-bound"}, sed_config);
+  const auto policy = green::make_policy("GREENPERF");
+  ma.set_plugin(policy.get());
+
+  diet::Request request;
+  request.task.spec = workload::paper_cpu_bound_task();
+  request.user_preference = 0.5;
+
+  DispatchRun result;
+  result.elected.reserve(rounds);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < rounds; ++i) {
+    request.id = common::RequestId(i);
+    if (fast_path) {
+      const diet::SchedulingDecision& decision = ma.submit_fast(request);
+      result.elected.push_back(decision.elected != nullptr ? decision.elected->name() : "");
+    } else {
+      const diet::SchedulingDecision decision = ma.submit(request);
+      result.elected.push_back(decision.elected != nullptr ? decision.elected->name() : "");
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  result.requests_per_sec = static_cast<double>(rounds) / seconds;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Micro — dispatch fast path",
+                      "requests/sec: submit_fast + estimation cache vs. the baseline "
+                      "copying submit with the cache off (elected sequences must match)");
+
+  std::printf("%-10s %10s %16s %16s %10s %10s\n", "seds", "rounds", "fast (req/s)",
+              "baseline (req/s)", "speedup", "identical");
+
+  std::string json = "{\"bench\":\"micro_dispatch\"";
+  bool all_identical = true;
+  for (const std::size_t n : {std::size_t{50}, std::size_t{200}, std::size_t{1000}}) {
+    // Scale rounds down as N grows to keep runtime bounded.
+    const std::size_t rounds = n >= 1000 ? 2000 : 10000;
+    const DispatchRun fast = run_dispatch(n, rounds, /*fast_path=*/true);
+    const DispatchRun baseline = run_dispatch(n, rounds, /*fast_path=*/false);
+    const bool same = fast.elected == baseline.elected;
+    all_identical = all_identical && same;
+    const double speedup = fast.requests_per_sec / baseline.requests_per_sec;
+    std::printf("%-10zu %10zu %16.0f %16.0f %9.2fx %10s\n", n, rounds,
+                fast.requests_per_sec, baseline.requests_per_sec, speedup,
+                same ? "yes" : "NO");
+    json += ",\"fast_rps_" + std::to_string(n) + "\":" + std::to_string(fast.requests_per_sec);
+    json += ",\"baseline_rps_" + std::to_string(n) + "\":" +
+            std::to_string(baseline.requests_per_sec);
+    json += ",\"speedup_" + std::to_string(n) + "\":" + std::to_string(speedup);
+  }
+  json += ",\"identical\":";
+  json += all_identical ? "true" : "false";
+  json += "}";
+  std::printf("\nBENCH_JSON: %s\n", json.c_str());
+
+  if (std::FILE* f = std::fopen("BENCH_dispatch.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  return all_identical ? 0 : 1;
+}

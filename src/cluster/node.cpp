@@ -146,6 +146,7 @@ void Node::enter_state(NodeState to, Seconds now) {
   const NodeState from = state_;
   state_ = to;
   state_since_ = now;
+  ++change_stamp_;
   if (state_change_hook_) state_change_hook_(*this, from, to, now);
 }
 
@@ -157,6 +158,7 @@ void Node::acquire_core(Seconds now) {
     throw StateError("Node '" + name_ + "': no free core");
   ++busy_cores_;
   ++tasks_started_;
+  ++change_stamp_;
   if (load_change_hook_) load_change_hook_(*this, now);
 }
 
@@ -165,17 +167,20 @@ void Node::release_core(Seconds now) {
   if (busy_cores_ == 0) throw StateError("Node '" + name_ + "': release_core with none busy");
   --busy_cores_;
   ++tasks_completed_;
+  ++change_stamp_;
   if (load_change_hook_) load_change_hook_(*this, now);
 }
 
 void Node::set_nameplate(NodeSpec nameplate) {
   nameplate.validate();
   nameplate_ = std::move(nameplate);
+  ++change_stamp_;
 }
 
 void Node::set_dvfs_ladder(DvfsLadder ladder) {
   ladder_ = std::move(ladder);
   pstate_ = 0;
+  ++change_stamp_;
 }
 
 void Node::set_pstate(Seconds now, std::size_t index) {
@@ -185,6 +190,7 @@ void Node::set_pstate(Seconds now, std::size_t index) {
   advance_to(now);  // integrate energy at the old operating point
   pstate_ = index;
   ++pstate_transitions_;
+  ++change_stamp_;
   GS_TCOUNT(pstate_transitions);
 }
 

@@ -108,7 +108,10 @@ class Node {
   [[nodiscard]] Celsius temperature(Seconds now);
 
   /// Raises/lowers the thermal ambient (heat-event injection).
-  void set_ambient(Celsius ambient) noexcept { thermal_.ambient = ambient; }
+  void set_ambient(Celsius ambient) noexcept {
+    thermal_.ambient = ambient;
+    ++change_stamp_;
+  }
   [[nodiscard]] const ThermalConfig& thermal_config() const noexcept { return thermal_; }
 
   // --- DVFS ---
@@ -147,6 +150,14 @@ class Node {
   /// equal timestamps; throws StateError if time moves backwards).
   void advance_to(Seconds now);
 
+  /// Monotone counter bumped on every *discrete* state change: power-state
+  /// transitions (boot, shutdown, crash, repair), core acquire/release,
+  /// P-state switches, ladder/nameplate/ambient updates.  Pure time
+  /// advance (energy/thermal integration) does NOT bump it.  The SED's
+  /// estimation cache keys on this stamp: while it is unchanged, every
+  /// non-time-dependent estimation tag is provably unchanged too.
+  [[nodiscard]] std::uint64_t change_stamp() const noexcept { return change_stamp_; }
+
  private:
   NodeId id_;
   std::string name_;
@@ -169,6 +180,7 @@ class Node {
   std::uint64_t tasks_completed_ = 0;
   std::uint64_t boots_ = 0;
   std::uint64_t failures_ = 0;
+  std::uint64_t change_stamp_ = 0;
 
   void enter_state(NodeState to, Seconds now);
 

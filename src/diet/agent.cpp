@@ -25,37 +25,59 @@ void Agent::attach_sed(Sed* sed) {
 
 std::vector<Candidate> Agent::handle_request(const Request& request,
                                              const PluginScheduler& plugin) {
+  DispatchArena arena;
+  std::vector<Candidate> candidates;
+  collect_into(request, plugin, arena, 0, candidates);
+  return candidates;
+}
+
+void Agent::collect_into(const Request& request, const PluginScheduler& plugin,
+                         DispatchArena& arena, std::size_t depth,
+                         std::vector<Candidate>& out) {
   telemetry::TraceSpan span("agent.propagate", "lifecycle", request.id.value(), name_);
   ++requests_handled_;
-  std::vector<Candidate> candidates;
+
+  // `out` keeps last round's Candidate slots alive; filling in place (or
+  // swapping estimation vectors into a slot) recycles their map nodes.
+  std::size_t count = 0;
+  const auto next_slot = [&]() -> Candidate& {
+    if (count < out.size()) return out[count++];
+    ++count;
+    return out.emplace_back();
+  };
 
   // Step 2: propagate to child SEDs offering the service.
   for (Sed* sed : child_seds_) {
     if (!sed->offers(request.task.spec.service)) continue;
-    Candidate c;
+    Candidate& c = next_slot();
     c.sed = sed;
-    c.estimation = sed->fill_estimation(request);
+    sed->fill_estimation_into(c.estimation, request);
     plugin.estimate(c.estimation, request);  // plug-in server-side hook
-    candidates.push_back(std::move(c));
   }
-  // ... and to child agents.
+  // ... and to child agents, each borrowing the next-depth scratch vector
+  // (sequentially — a sibling reuses it only after this child's results
+  // have been hoisted into `out`).
   for (Agent* child : child_agents_) {
-    std::vector<Candidate> sub = child->handle_request(request, plugin);
-    candidates.insert(candidates.end(), std::make_move_iterator(sub.begin()),
-                      std::make_move_iterator(sub.end()));
+    std::vector<Candidate>& sub = arena.level(depth + 1);
+    child->collect_into(request, plugin, arena, depth + 1, sub);
+    for (Candidate& s : sub) {
+      Candidate& dst = next_slot();
+      dst.sed = s.sed;
+      std::swap(dst.estimation, s.estimation);  // keep nodes circulating
+    }
   }
+  out.resize(count);
 
   // Step 4: sort at this level, forward the best ones only.
   {
     telemetry::TraceSpan aggregate_span("agent.aggregate", "lifecycle", request.id.value(),
                                         name_);
-    plugin.aggregate(candidates, request);
+    plugin.aggregate(out, request);
     GS_TCOUNT(aggregations);
   }
-  if (forward_limit_ != 0 && candidates.size() > forward_limit_) {
-    candidates.resize(forward_limit_);
+  if (forward_limit_ != 0 && out.size() > forward_limit_) {
+    out.resize(forward_limit_);
   }
-  return candidates;
 }
 
 void Agent::collect_seds(std::vector<Sed*>& out) const {
@@ -66,36 +88,44 @@ void Agent::collect_seds(std::vector<Sed*>& out) const {
 MasterAgent::MasterAgent(common::AgentId id, std::string name) : Agent(id, std::move(name)) {}
 
 SchedulingDecision MasterAgent::submit(const Request& request) {
+  return submit_fast(request);  // deep copy of the reusable decision
+}
+
+const SchedulingDecision& MasterAgent::submit_fast(const Request& request) {
   if (plugin_ == nullptr) throw StateError("MasterAgent: no plug-in scheduler installed");
   ++submissions_;
 
-  SchedulingDecision decision;
-  std::vector<Candidate> candidates = handle_request(request, *plugin_);
-  decision.service_unknown = candidates.empty();
-  decision.considered = candidates.size();
+  decision_.elected = nullptr;
+  // Collect straight into the ranked buffer: its slots (and their
+  // estimation maps) from the previous round get reused in place.
+  std::vector<Candidate>& candidates = decision_.ranked;
+  collect_into(request, *plugin_, arena_, 0, candidates);
+  decision_.service_unknown = candidates.empty();
+  decision_.considered = candidates.size();
 
   {
     telemetry::TraceSpan election_span("ma.election", "lifecycle", request.id.value(), name());
     GS_TCOUNT(elections);
-    GS_TOBSERVE(election_candidates, static_cast<double>(decision.considered));
+    GS_TOBSERVE(election_candidates, static_cast<double>(decision_.considered));
 
     // Step 3 (adjusted process): the provisioner restricts the candidate set
     // according to thresholds and Preference_provider.
     if (filter_) filter_(candidates, request);
+    decision_.eligible = candidates.size();
+    GS_TOBSERVE(election_eligible, static_cast<double>(decision_.eligible));
 
     // Step 4/5: the list is already sorted; elect the first server that can
     // take the task *now* (the paper's one-task-per-core rule).
     for (auto& c : candidates) {
       if (c.sed->can_accept(request.task.spec.cores)) {
-        decision.elected = c.sed;
+        decision_.elected = c.sed;
         ++elections_;
         break;
       }
     }
   }
-  if (decision.elected == nullptr) GS_TCOUNT(elections_unplaced);
-  decision.ranked = std::move(candidates);
-  return decision;
+  if (decision_.elected == nullptr) GS_TCOUNT(elections_unplaced);
+  return decision_;
 }
 
 }  // namespace greensched::diet

@@ -8,6 +8,7 @@
 // final list (Section III-A, steps 1-5).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,6 +20,22 @@
 #include "diet/sed.hpp"
 
 namespace greensched::diet {
+
+/// Reusable per-master scratch buffers for the dispatch fast path: one
+/// candidate vector per tree depth, kept alive between submits so that
+/// steady-state dispatch allocates nothing (vector capacity and the
+/// estimation maps' nodes are all recycled).  A deque keeps references to
+/// existing levels stable while recursion grows deeper levels.
+class DispatchArena {
+ public:
+  [[nodiscard]] std::vector<Candidate>& level(std::size_t depth) {
+    while (levels_.size() <= depth) levels_.emplace_back();
+    return levels_[depth];
+  }
+
+ private:
+  std::deque<std::vector<Candidate>> levels_;
+};
 
 class Agent {
  public:
@@ -50,6 +67,13 @@ class Agent {
   /// vectors, sort with `plugin`, truncate, return candidates best-first.
   [[nodiscard]] std::vector<Candidate> handle_request(const Request& request,
                                                       const PluginScheduler& plugin);
+
+  /// Allocation-recycling variant of handle_request: candidates for this
+  /// level are written into `out` (existing slots and their estimation
+  /// maps are reused); deeper levels borrow scratch vectors from `arena`.
+  /// Produces exactly the same candidate sequence as handle_request.
+  void collect_into(const Request& request, const PluginScheduler& plugin,
+                    DispatchArena& arena, std::size_t depth, std::vector<Candidate>& out);
 
   /// All SEDs reachable from this agent (depth-first order).
   void collect_seds(std::vector<Sed*>& out) const;
@@ -87,6 +111,15 @@ class MasterAgent : public Agent {
   /// request must be retried on the next completion.
   [[nodiscard]] SchedulingDecision submit(const Request& request);
 
+  /// The dispatch fast path: identical decision to submit(), but the
+  /// result refers to a member that is overwritten by the next
+  /// submit/submit_fast call — callers must consume (or copy) it before
+  /// re-submitting.  Steady-state calls perform no heap allocation: the
+  /// candidate vectors, estimation maps, and the ranked list are all
+  /// recycled from the previous round.  submit() is a deep-copying
+  /// wrapper around this.
+  [[nodiscard]] const SchedulingDecision& submit_fast(const Request& request);
+
   [[nodiscard]] std::uint64_t submissions() const noexcept { return submissions_; }
   [[nodiscard]] std::uint64_t elections() const noexcept { return elections_; }
 
@@ -95,6 +128,8 @@ class MasterAgent : public Agent {
   CandidateFilter filter_;
   std::uint64_t submissions_ = 0;
   std::uint64_t elections_ = 0;
+  DispatchArena arena_;
+  SchedulingDecision decision_;  ///< submit_fast's reusable result buffer
 };
 
 }  // namespace greensched::diet

@@ -104,7 +104,9 @@ bool Client::try_place(std::size_t record_index) {
   request.task = record.task;
   request.user_preference = record.task.user_preference;
 
-  SchedulingDecision decision = hierarchy_.master().submit(request);
+  // Fast path: only `elected`/`service_unknown` are read, and nothing in
+  // this function re-enters submit, so the reference stays valid.
+  const SchedulingDecision& decision = hierarchy_.master().submit_fast(request);
   if (decision.service_unknown)
     throw StateError("Client '" + name_ + "': no server offers service '" +
                      record.task.spec.service + "'");

@@ -48,6 +48,9 @@ class EstimationVector {
   [[nodiscard]] common::NodeId node_id() const noexcept { return node_id_; }
 
   void set(EstTag tag, double value) { values_[tag] = value; }
+  /// Removes `tag` if present (no-op otherwise).  Needed by the SED's
+  /// estimation cache to drop stale optional tags on refresh.
+  void erase(EstTag tag) noexcept { values_.erase(tag); }
   [[nodiscard]] bool has(EstTag tag) const noexcept { return values_.contains(tag); }
   /// Value for `tag`; throws StateError if absent (use get_or on optional
   /// tags like the measured metrics).
@@ -63,6 +66,14 @@ class EstimationVector {
 
   /// "key=value key=value ..." rendering for traces and debugging.
   [[nodiscard]] std::string to_string() const;
+
+  /// Field-for-field equality (identity, well-known tags, custom tags),
+  /// bitwise on the values.  This is what the estimation-cache tests use
+  /// to prove a cached vector identical to a freshly built one.
+  friend bool operator==(const EstimationVector& a, const EstimationVector& b) noexcept {
+    return a.server_name_ == b.server_name_ && a.node_id_ == b.node_id_ &&
+           a.values_ == b.values_ && a.custom_ == b.custom_;
+  }
 
  private:
   std::string server_name_;

@@ -30,7 +30,8 @@ struct Candidate {
 struct SchedulingDecision {
   Sed* elected = nullptr;                ///< null if no server can take the task now
   std::vector<Candidate> ranked;         ///< post-aggregation order, best first
-  std::size_t considered = 0;            ///< candidates before filtering
+  std::size_t considered = 0;            ///< candidates before the provisioner filter
+  std::size_t eligible = 0;              ///< candidates after it (== ranked.size())
   bool service_unknown = false;          ///< no SED offers the service at all
 };
 

@@ -17,6 +17,7 @@ Sed::Sed(des::Simulator& sim, cluster::Node& node, std::set<std::string> service
          common::Rng& rng, SedConfig config)
     : sim_(sim), node_(node), services_(std::move(services)), rng_(rng.split()), config_(config) {
   if (services_.empty()) throw common::ConfigError("Sed: must offer at least one service");
+  cache_enabled_ = config_.estimation_cache;
   if (config_.max_concurrent == 0) config_.max_concurrent = node_.spec().cores;
   if (config_.max_concurrent > node_.spec().cores)
     throw common::ConfigError("Sed '" + name() + "': concurrency above core count");
@@ -39,11 +40,55 @@ bool Sed::can_accept(unsigned cores) const noexcept {
 }
 
 EstimationVector Sed::fill_estimation(const Request& request) {
+  EstimationVector est;
+  fill_estimation_into(est, request);
+  return est;
+}
+
+void Sed::fill_estimation_into(EstimationVector& out, const Request& request) {
   telemetry::TraceSpan span("sed.estimate", "lifecycle", request.id.value(), name());
   GS_TCOUNT(estimations);
   ++estimations_served_;
+
+  // A custom estimation function may read anything (including the request
+  // payload), so its output cannot be keyed on the state epoch — bypass
+  // the cache entirely rather than risk serving a stale custom tag.
+  if (!cache_enabled_ || custom_estimation_) {
+    build_estimation(out, request);
+    return;
+  }
+
+  const bool hit = cache_valid_ && cache_epoch_ == epoch_ &&
+                   cache_node_stamp_ == node_.change_stamp() &&
+                   cache_cores_ == request.task.spec.cores &&
+                   cache_work_ == request.task.spec.work.value() &&
+                   cache_service_ == request.task.spec.service;
+  if (hit) {
+    ++cache_hits_;
+    GS_TCOUNT(estimation_cache_hits);
+    // map assignment reuses the destination's nodes, so at steady state
+    // this copies values without touching the allocator.
+    out = cache_base_;
+    refresh_volatile_tags(out);
+    return;
+  }
+
+  ++cache_misses_;
+  GS_TCOUNT(estimation_cache_misses);
+  build_estimation(out, request);
+  cache_base_ = out;
+  cache_epoch_ = epoch_;
+  cache_node_stamp_ = node_.change_stamp();
+  cache_cores_ = request.task.spec.cores;
+  cache_work_ = request.task.spec.work.value();
+  cache_service_ = request.task.spec.service;
+  cache_valid_ = true;
+}
+
+void Sed::build_estimation(EstimationVector& out, const Request& request) {
   const Seconds now = sim_.now();
-  EstimationVector est(name(), node_.id());
+  out = EstimationVector(name(), node_.id());
+  EstimationVector& est = out;
 
   // Default estimation function: availability, learning state, thermals.
   est.set(EstTag::kFreeCores, static_cast<double>(
@@ -75,7 +120,30 @@ EstimationVector Sed::fill_estimation(const Request& request) {
   if (auto f = measured_flops_per_core()) est.set(EstTag::kMeasuredFlopsPerCore, f->value());
 
   if (custom_estimation_) custom_estimation_(est, request);
-  return est;
+}
+
+void Sed::refresh_volatile_tags(EstimationVector& out) {
+  // Same order as build_estimation: queue wait, then temperature (which
+  // advances the node's integrators), then exactly one RNG draw, then
+  // the measured-power figure.  This keeps the node integrator advance
+  // sequence and the RNG stream bit-identical to an uncached build.
+  const Seconds now = sim_.now();
+  out.set(EstTag::kQueueWaitSeconds, queue_wait_estimate().value());
+  out.set(EstTag::kTemperatureCelsius, node_.temperature(now).value());
+  out.set(EstTag::kRandomDraw, rng_.uniform());
+  // Measured power is a running average over *time*, not just events:
+  // active_time keeps growing while cores stay busy, so the value (and
+  // even its presence — a server mid-first-task flips absent -> present)
+  // can change with no epoch bump.
+  if (auto p = measured_power())
+    out.set(EstTag::kMeasuredPowerWatts, p->value());
+  else
+    out.erase(EstTag::kMeasuredPowerWatts);
+}
+
+void Sed::bump_epoch() noexcept {
+  ++epoch_;
+  GS_TCOUNT(estimation_epoch_bumps);
 }
 
 common::TaskId Sed::execute(const workload::TaskInstance& task, common::RequestId request,
@@ -87,6 +155,7 @@ common::TaskId Sed::execute(const workload::TaskInstance& task, common::RequestI
     throw StateError("Sed '" + name() + "': only single-core tasks are supported");
 
   const Seconds now = sim_.now();
+  bump_epoch();  // queue shape changes: free cores, queue wait, history
   node_.acquire_core(now);
   GS_TCOUNT(tasks_started);
   telemetry::Telemetry::instant("task.start", "lifecycle", now.value(), task.id.value(),
@@ -124,6 +193,7 @@ common::TaskId Sed::execute(const workload::TaskInstance& task, common::RequestI
 }
 
 void Sed::complete(std::size_t running_index) {
+  bump_epoch();
   RunningTask finished = std::move(running_[running_index]);
   running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(running_index));
 
@@ -144,6 +214,7 @@ void Sed::complete(std::size_t running_index) {
 }
 
 std::size_t Sed::inject_failure() {
+  bump_epoch();
   const Seconds now = sim_.now();
   // Detach the running set first so callbacks observing this SED see a
   // consistent (dead, empty) state.

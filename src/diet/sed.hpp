@@ -55,6 +55,12 @@ struct SedConfig {
   /// e.g. a memory-bound service runs below nameplate FLOPS).  Services
   /// not listed run at factor 1.0.
   std::map<std::string, double> service_speed_factor;
+  /// Dispatch fast path: reuse the previous estimation vector while the
+  /// SED's state epoch and the request shape are unchanged, recomputing
+  /// only the time-dependent tags.  Bit-identical to a fresh build (the
+  /// cache never skips an RNG draw or a node integrator advance); off
+  /// rebuilds every vector from scratch, as the seed implementation did.
+  bool estimation_cache = true;
 };
 
 class Sed {
@@ -91,6 +97,31 @@ class Sed {
   /// agent).
   [[nodiscard]] EstimationVector fill_estimation(const Request& request);
 
+  /// Arena-friendly variant: fills `out` in place, reusing its existing
+  /// map nodes (zero allocation at steady state on the cached path).
+  /// `out` is fully overwritten — stale tags from a previous request
+  /// never leak through.  fill_estimation() is a thin wrapper.
+  void fill_estimation_into(EstimationVector& out, const Request& request);
+
+  // --- estimation cache (the dispatch fast path) ---
+  /// Toggles the cache at runtime (also invalidates it).
+  void set_estimation_cache(bool enabled) noexcept {
+    cache_enabled_ = enabled;
+    cache_valid_ = false;
+  }
+  [[nodiscard]] bool estimation_cache_enabled() const noexcept { return cache_enabled_; }
+  [[nodiscard]] std::uint64_t estimation_cache_hits() const noexcept { return cache_hits_; }
+  [[nodiscard]] std::uint64_t estimation_cache_misses() const noexcept { return cache_misses_; }
+  /// Monotone state epoch: bumps on task start/finish, injected failure
+  /// (SED events) and on every discrete node change — power-state
+  /// transition, core acquire/release, P-state switch, nameplate/ambient
+  /// update (node stamp).  Pure time advance does not bump it; the
+  /// time-dependent tags (queue wait, temperature, measured power,
+  /// random draw) are recomputed on every estimate instead.
+  [[nodiscard]] std::uint64_t state_epoch() const noexcept {
+    return epoch_ + node_.change_stamp();
+  }
+
   /// Starts executing `task`; requires can_accept().  `on_complete` fires
   /// at completion time (simulated) — or at failure time with
   /// record.failed set.
@@ -122,6 +153,13 @@ class Sed {
 
  private:
   void complete(std::size_t running_index);
+  void bump_epoch() noexcept;
+  /// The full (seed-identical) estimation build, writing into `out`.
+  void build_estimation(EstimationVector& out, const Request& request);
+  /// Re-derives the tags that may change with nothing but time passing.
+  /// Call order mirrors build_estimation so the node integrators see the
+  /// same advance_to sequence and the RNG consumes exactly one draw.
+  void refresh_volatile_tags(EstimationVector& out);
 
   des::Simulator& sim_;
   cluster::Node& node_;
@@ -141,6 +179,19 @@ class Sed {
   std::vector<TaskRecord> history_;
   common::RunningStats per_core_rate_;  ///< FLOP/s samples from completions
   std::uint64_t estimations_served_ = 0;
+
+  // --- estimation cache state ---
+  bool cache_enabled_ = true;
+  bool cache_valid_ = false;
+  std::uint64_t epoch_ = 0;  ///< SED-side share of state_epoch()
+  std::uint64_t cache_epoch_ = 0;
+  std::uint64_t cache_node_stamp_ = 0;
+  std::string cache_service_;  ///< request shape the cached base was built for
+  unsigned cache_cores_ = 0;
+  double cache_work_ = 0.0;
+  EstimationVector cache_base_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
 };
 
 }  // namespace greensched::diet

@@ -33,12 +33,10 @@ std::optional<double> spec_node_flops(const diet::EstimationVector& est) {
 }  // namespace
 
 void KeyedPolicy::aggregate(std::vector<Candidate>& candidates, const Request& request) const {
-  struct Ranked {
-    bool unknown;
-    double key;
-    double tie;
-  };
-  auto rank_of = [&](const Candidate& c) -> Ranked {
+  // Decorate-sort-undecorate: each candidate's key is evaluated exactly
+  // once (the comparator used to re-derive it on every comparison).
+  // Learning phase: unmeasured servers explored first.
+  scratch_.sort(candidates, /*unknown_last=*/false, [&](const Candidate& c) {
     std::optional<double> key;
     if (unknown_ == UnknownRanking::kSpecOnly) {
       key = spec_key(c.estimation, request);  // static method: never measure
@@ -48,19 +46,9 @@ void KeyedPolicy::aggregate(std::vector<Candidate>& candidates, const Request& r
         key = spec_key(c.estimation, request);
       }
     }
-    if (!key) return Ranked{true, 0.0, tie_break(c)};
-    return Ranked{false, *key, tie_break(c)};
-  };
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](const Candidate& a, const Candidate& b) {
-                     const Ranked ra = rank_of(a);
-                     const Ranked rb = rank_of(b);
-                     // Learning phase: unmeasured servers explored first.
-                     if (ra.unknown != rb.unknown) return ra.unknown;
-                     if (ra.unknown) return ra.tie < rb.tie;
-                     if (ra.key != rb.key) return ra.key < rb.key;
-                     return ra.tie < rb.tie;
-                   });
+    if (!key) return RankedKey{true, 0.0, tie_break(c)};
+    return RankedKey{false, *key, tie_break(c)};
+  });
 }
 
 std::optional<double> PerformancePolicy::measured_key(const diet::EstimationVector& est,
@@ -98,26 +86,23 @@ std::optional<double> GreenPerfPolicy::spec_key(const diet::EstimationVector& es
 }
 
 void RandomPolicy::aggregate(std::vector<Candidate>& candidates, const Request&) const {
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const Candidate& a, const Candidate& b) {
-                     return tie_break(a) < tie_break(b);
-                   });
+  scratch_.sort(candidates, /*unknown_last=*/false, [](const Candidate& c) {
+    const double draw = tie_break(c);
+    return RankedKey{false, draw, draw};
+  });
 }
 
 void ScorePolicy::aggregate(std::vector<Candidate>& candidates, const Request& request) const {
   const UserPreference preference(request.user_preference);
   const common::Flops work = request.task.spec.work;
-  auto score_of = [&](const Candidate& c) {
+  // NaN scores (degenerate cost inputs — e.g. a NaN spec figure slips
+  // through ServerCostInputs::validate) are normalized into the
+  // unknown-last bucket by RankScratch; feeding them to a raw `<`
+  // comparator used to violate the strict-weak-ordering contract (UB).
+  scratch_.sort(candidates, /*unknown_last=*/true, [&](const Candidate& c) {
     const ServerCostInputs inputs = ServerCostInputs::from_estimation(c.estimation);
-    return score_server(inputs, work, preference);
-  };
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](const Candidate& a, const Candidate& b) {
-                     const double sa = score_of(a);
-                     const double sb = score_of(b);
-                     if (sa != sb) return sa < sb;
-                     return tie_break(a) < tie_break(b);
-                   });
+    return RankedKey{false, score_server(inputs, work, preference), tie_break(c)};
+  });
 }
 
 namespace {

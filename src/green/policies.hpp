@@ -20,6 +20,7 @@
 #include <string>
 
 #include "diet/plugin.hpp"
+#include "green/ranking.hpp"
 
 namespace greensched::green {
 
@@ -50,6 +51,9 @@ class KeyedPolicy : public diet::PluginScheduler {
 
  private:
   UnknownRanking unknown_;
+  // Scratch for decorate-sort-undecorate; policies are single-run,
+  // single-threaded objects (see make_policy), so mutable is safe.
+  mutable RankScratch scratch_;
 };
 
 /// Priority to the fastest servers (whole-node FLOPS, descending).
@@ -98,6 +102,9 @@ class RandomPolicy final : public diet::PluginScheduler {
   [[nodiscard]] std::string name() const override { return "RANDOM"; }
   void aggregate(std::vector<diet::Candidate>& candidates,
                  const diet::Request& request) const override;
+
+ private:
+  mutable RankScratch scratch_;
 };
 
 /// Eq. 6 score, ascending; uses the request's Preference_user and weighs
@@ -107,6 +114,9 @@ class ScorePolicy final : public diet::PluginScheduler {
   [[nodiscard]] std::string name() const override { return "SCORE"; }
   void aggregate(std::vector<diet::Candidate>& candidates,
                  const diet::Request& request) const override;
+
+ private:
+  mutable RankScratch scratch_;
 };
 
 /// Minimum completion time (MCT): rank by estimated w_s + n_i/f_s — the

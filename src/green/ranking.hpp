@@ -1,0 +1,91 @@
+// Decorate-sort-undecorate support for the plug-in schedulers.
+//
+// The policies used to evaluate their ranking key *inside* the sort
+// comparator — O(N log N) key evaluations per agent level per request,
+// and (for score keys that can be NaN) a strict-weak-ordering violation.
+// RankScratch computes each candidate's (unknown, key, tie) triple exactly
+// once into a side array, sorts indices, and permutes the candidate vector
+// in place.  The buffers persist between calls so steady-state sorting
+// allocates nothing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "diet/request.hpp"
+
+namespace greensched::green {
+
+/// One candidate's precomputed sort key.
+struct RankedKey {
+  bool unknown = false;  ///< no usable key (NaN or missing measurement)
+  double key = 0.0;      ///< ascending-better ranking key
+  double tie = 0.0;      ///< deterministic tie-breaker (random draw)
+  std::uint32_t index = 0;
+};
+
+/// Reusable decorate-sort-undecorate buffers.  A policy instance belongs
+/// to one run and is never shared across threads (see make_policy), so a
+/// mutable RankScratch member is safe.
+class RankScratch {
+ public:
+  /// Sorts `candidates` best-first by the triple produced by `key_fn`
+  /// (signature: RankedKey(const diet::Candidate&); the `index` field is
+  /// filled here).  Within a bucket, order is ascending (key, tie); NaN
+  /// keys are normalized into the unknown bucket and NaN ties to +inf,
+  /// so the comparator is a total order (no strict-weak-ordering UB).
+  /// `unknown_last` picks where the unknown bucket goes: exploration
+  /// policies rank unknowns first, score-style policies last.  The
+  /// original-index tiebreaker makes the result identical to what a
+  /// stable_sort would produce.
+  template <typename KeyFn>
+  void sort(std::vector<diet::Candidate>& candidates, bool unknown_last, KeyFn&& key_fn) {
+    const std::size_t n = candidates.size();
+    if (n < 2) return;
+    entries_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      RankedKey& e = entries_[i];
+      e = key_fn(static_cast<const diet::Candidate&>(candidates[i]));
+      if (std::isnan(e.key)) e.unknown = true;
+      if (std::isnan(e.tie)) e.tie = std::numeric_limits<double>::infinity();
+      e.index = static_cast<std::uint32_t>(i);
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [unknown_last](const RankedKey& a, const RankedKey& b) {
+                if (a.unknown != b.unknown) return unknown_last ? !a.unknown : a.unknown;
+                if (!a.unknown && a.key != b.key) return a.key < b.key;
+                if (a.tie != b.tie) return a.tie < b.tie;
+                return a.index < b.index;
+              });
+    permute(candidates);
+  }
+
+ private:
+  /// In-place gather: candidates[i] <- original[entries_[i].index], by
+  /// following permutation cycles (each element moves exactly once).
+  void permute(std::vector<diet::Candidate>& candidates) {
+    constexpr std::uint32_t kDone = 0xffffffffu;
+    const std::size_t n = candidates.size();
+    for (std::size_t start = 0; start < n; ++start) {
+      std::uint32_t src = entries_[start].index;
+      if (src == kDone || src == start) continue;
+      diet::Candidate lifted = std::move(candidates[start]);
+      std::size_t hole = start;
+      while (src != start) {
+        candidates[hole] = std::move(candidates[src]);
+        entries_[hole].index = kDone;
+        hole = src;
+        src = entries_[hole].index;
+      }
+      candidates[hole] = std::move(lifted);
+      entries_[hole].index = kDone;
+    }
+  }
+
+  std::vector<RankedKey> entries_;
+};
+
+}  // namespace greensched::green

@@ -36,14 +36,12 @@ double SpatialThermalPolicy::key(const diet::EstimationVector& est) const {
 
 void SpatialThermalPolicy::aggregate(std::vector<Candidate>& candidates,
                                      const diet::Request& /*request*/) const {
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [this](const Candidate& a, const Candidate& b) {
-                     const double ka = key(a.estimation);
-                     const double kb = key(b.estimation);
-                     if (ka != kb) return ka < kb;
-                     return a.estimation.get_or(EstTag::kRandomDraw, 0.0) <
-                            b.estimation.get_or(EstTag::kRandomDraw, 0.0);
-                   });
+  // Key computed once per candidate; a NaN key (corrupt custom tag)
+  // lands in the unknown-last bucket instead of breaking the sort.
+  scratch_.sort(candidates, /*unknown_last=*/true, [this](const Candidate& c) {
+    return RankedKey{false, key(c.estimation),
+                     c.estimation.get_or(EstTag::kRandomDraw, 0.0)};
+  });
 }
 
 }  // namespace greensched::green

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "diet/plugin.hpp"
+#include "green/ranking.hpp"
 
 namespace greensched::green {
 
@@ -36,6 +37,7 @@ class SpatialThermalPolicy final : public diet::PluginScheduler {
 
  private:
   SpatialThermalConfig config_;
+  mutable RankScratch scratch_;  ///< policies are single-run, single-threaded
 };
 
 }  // namespace greensched::green

@@ -31,6 +31,9 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
   b.tasks_lost = registry.counter("diet.tasks_lost");
   b.retries = registry.counter("diet.retries");
   b.failures_skipped = registry.counter("diet.failures_skipped");
+  b.estimation_cache_hits = registry.counter("diet.estimation_cache_hits");
+  b.estimation_cache_misses = registry.counter("diet.estimation_cache_misses");
+  b.estimation_epoch_bumps = registry.counter("diet.estimation_epoch_bumps");
   b.chaos_crashes = registry.counter("chaos.crashes");
   b.chaos_cluster_outages = registry.counter("chaos.cluster_outages");
   b.chaos_boot_failures = registry.counter("chaos.boot_failures");
@@ -52,6 +55,8 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
       "diet.task_run_seconds", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
   b.election_candidates =
       registry.histogram("diet.election_candidates", {1, 2, 4, 8, 16, 32, 64, 128});
+  b.election_eligible =
+      registry.histogram("diet.election_eligible", {1, 2, 4, 8, 16, 32, 64, 128});
   return b;
 }
 

@@ -40,6 +40,10 @@ struct BuiltinMetrics {
   CounterId tasks_lost;        ///< requests abandoned (retry off / exhausted)
   CounterId retries;           ///< backoff re-dispatch attempts
   CounterId failures_skipped;  ///< injected crashes that found the node OFF/FAILED
+  // dispatch fast path (diet)
+  CounterId estimation_cache_hits;    ///< estimations served from the SED cache
+  CounterId estimation_cache_misses;  ///< estimations rebuilt from scratch
+  CounterId estimation_epoch_bumps;   ///< SED-side state-epoch invalidations
   // chaos fault processes (chaos)
   CounterId chaos_crashes;
   CounterId chaos_cluster_outages;
@@ -64,6 +68,7 @@ struct BuiltinMetrics {
   // histograms
   HistogramId task_run_seconds;
   HistogramId election_candidates;
+  HistogramId election_eligible;  ///< candidates surviving the provisioner filter
 };
 
 struct TelemetryConfig {

@@ -98,6 +98,7 @@ TEST(MasterAgent, ElectsFirstAvailable) {
   ASSERT_NE(decision.elected, nullptr);
   EXPECT_FALSE(decision.service_unknown);
   EXPECT_EQ(decision.considered, 4u);
+  EXPECT_EQ(decision.eligible, 4u);  // no provisioner filter installed
   // With spec figures, taurus wins the score (fast and efficient).
   EXPECT_EQ(decision.elected->node().spec().model, "taurus");
   EXPECT_EQ(ma.submissions(), 1u);
@@ -173,6 +174,60 @@ TEST(MasterAgent, CandidateFilterRestrictsElection) {
   ASSERT_NE(decision.elected, nullptr);
   EXPECT_EQ(decision.elected->node().spec().model, "sagittaire");
   EXPECT_EQ(decision.ranked.size(), 2u);
+  // Both counts are recorded: the full pre-filter candidate set and the
+  // post-filter survivors (they used to be conflated in `considered`).
+  EXPECT_EQ(decision.considered, 4u);
+  EXPECT_EQ(decision.eligible, 2u);
+}
+
+/// Pins the forward-limit truncation semantics: an intermediate agent
+/// truncates to its best `forward_limit` candidates *before* the master's
+/// provisioner filter runs.  A deep hierarchy can therefore drop servers
+/// a flat hierarchy would elect — intended DIET behaviour (truncation is
+/// a scalability device executed level-locally), documented in
+/// docs/ARCHITECTURE.md.
+TEST(MasterAgent, ForwardLimitTruncationPrecedesMasterFilter) {
+  const auto sagittaire_only = [](std::vector<Candidate>& candidates, const Request&) {
+    std::erase_if(candidates, [](const Candidate& c) {
+      return !c.estimation.server_name().starts_with("sagittaire");
+    });
+  };
+
+  // Deep tree: two LAs, each owning one taurus and one sagittaire, each
+  // forwarding only its single best candidate.  SCORE on spec figures
+  // ranks taurus first deterministically, so both LAs forward taurus —
+  // and the master's sagittaire-only filter then finds nothing.
+  Fixture deep_f;
+  MasterAgent& deep = deep_f.hierarchy->create_master();
+  green::ScorePolicy policy;
+  deep.set_plugin(&policy);
+  Agent& la1 = deep_f.hierarchy->create_local_agent(deep, "LA1");
+  Agent& la2 = deep_f.hierarchy->create_local_agent(deep, "LA2");
+  deep_f.hierarchy->create_sed(la1, deep_f.platform.node(0), {"cpu-bound"});  // taurus-0
+  deep_f.hierarchy->create_sed(la1, deep_f.platform.node(2), {"cpu-bound"});  // sagittaire-0
+  deep_f.hierarchy->create_sed(la2, deep_f.platform.node(1), {"cpu-bound"});  // taurus-1
+  deep_f.hierarchy->create_sed(la2, deep_f.platform.node(3), {"cpu-bound"});  // sagittaire-1
+  la1.set_forward_limit(1);
+  la2.set_forward_limit(1);
+  deep.set_candidate_filter(sagittaire_only);
+
+  const auto deep_decision = deep.submit(deep_f.make_request());
+  EXPECT_EQ(deep_decision.considered, 2u);  // one per LA after truncation
+  EXPECT_EQ(deep_decision.eligible, 0u);    // filter ran after the drop
+  EXPECT_EQ(deep_decision.elected, nullptr);
+  EXPECT_FALSE(deep_decision.service_unknown);
+
+  // The flat hierarchy sees all four candidates, so the same filter
+  // leaves the sagittaires and one is elected.
+  Fixture flat_f;
+  MasterAgent& flat = flat_f.hierarchy->build_flat(flat_f.platform, {"cpu-bound"});
+  flat.set_plugin(&policy);
+  flat.set_candidate_filter(sagittaire_only);
+  const auto flat_decision = flat.submit(flat_f.make_request());
+  EXPECT_EQ(flat_decision.considered, 4u);
+  EXPECT_EQ(flat_decision.eligible, 2u);
+  ASSERT_NE(flat_decision.elected, nullptr);
+  EXPECT_EQ(flat_decision.elected->node().spec().model, "sagittaire");
 }
 
 /// Property: with a deterministic total order (SCORE on spec figures) and

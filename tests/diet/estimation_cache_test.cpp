@@ -1,0 +1,271 @@
+// The SED estimation cache (the dispatch fast path): hit/miss
+// bookkeeping, epoch invalidation across every discrete state change,
+// and — most importantly — the bit-identical guarantee: a cached
+// fill_estimation must be field-for-field equal to a fresh one under
+// arbitrary event interleavings, including chaos crash/repair.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/catalog.hpp"
+#include "diet/sed.hpp"
+
+namespace greensched::diet {
+namespace {
+
+using common::Seconds;
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Node node{common::NodeId(0), "taurus-0", cluster::MachineCatalog::taurus(),
+                     common::ClusterId(3)};
+
+  Sed make_sed(SedConfig config = {}) { return Sed(sim, node, {"cpu-bound"}, rng, config); }
+
+  workload::TaskInstance make_task(common::TaskId id = common::TaskId(0)) {
+    workload::TaskInstance task;
+    task.id = id;
+    task.spec = workload::paper_cpu_bound_task();
+    return task;
+  }
+
+  Request make_request(common::RequestId id = common::RequestId(1)) {
+    Request request;
+    request.id = id;
+    request.task = make_task();
+    return request;
+  }
+};
+
+TEST(EstimationCache, RepeatEstimatesHitTheCache) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  const Request request = f.make_request();
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_misses(), 1u);
+  EXPECT_EQ(sed.estimation_cache_hits(), 0u);
+  (void)sed.fill_estimation(request);
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_misses(), 1u);
+  EXPECT_EQ(sed.estimation_cache_hits(), 2u);
+}
+
+TEST(EstimationCache, DisabledCacheNeverHits) {
+  Fixture f;
+  SedConfig config;
+  config.estimation_cache = false;
+  Sed sed = f.make_sed(config);
+  const Request request = f.make_request();
+  (void)sed.fill_estimation(request);
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_hits(), 0u);
+  EXPECT_EQ(sed.estimation_cache_misses(), 0u);  // bypassed, not missed
+}
+
+TEST(EstimationCache, RequestShapeChangeMisses) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  Request request = f.make_request();
+  (void)sed.fill_estimation(request);
+  request.task.spec.work = common::Flops(request.task.spec.work.value() * 2.0);
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_misses(), 2u);
+  EXPECT_EQ(sed.estimation_cache_hits(), 0u);
+  // ... and the new shape is what got cached.
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_hits(), 1u);
+}
+
+TEST(EstimationCache, TaskStartAndCompletionInvalidate) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  const Request request = f.make_request();
+  (void)sed.fill_estimation(request);
+  const std::uint64_t epoch_before = sed.state_epoch();
+
+  sed.execute(f.make_task(), common::RequestId(9), nullptr);
+  EXPECT_GT(sed.state_epoch(), epoch_before);
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_misses(), 2u);
+
+  const std::uint64_t epoch_running = sed.state_epoch();
+  f.sim.run();  // completion fires
+  EXPECT_GT(sed.state_epoch(), epoch_running);
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_misses(), 3u);
+}
+
+TEST(EstimationCache, NodePowerTransitionsInvalidate) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  const Request request = f.make_request();
+  (void)sed.fill_estimation(request);
+
+  f.node.power_off(Seconds(0.0));
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_misses(), 2u);
+
+  f.node.complete_shutdown(Seconds(0.0));
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_misses(), 3u);
+  EXPECT_EQ(sed.estimation_cache_hits(), 0u);
+}
+
+TEST(EstimationCache, CrashAndRepairInvalidate) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  const Request request = f.make_request();
+  sed.execute(f.make_task(), common::RequestId(9), nullptr);
+  (void)sed.fill_estimation(request);
+  const std::uint64_t misses = sed.estimation_cache_misses();
+
+  EXPECT_EQ(sed.inject_failure(), 1u);
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_misses(), misses + 1);
+
+  f.node.repair(Seconds(0.0));
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_misses(), misses + 2);
+}
+
+TEST(EstimationCache, PStateSwitchInvalidates) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  f.node.set_dvfs_ladder(cluster::DvfsLadder::typical_xeon());
+  const Request request = f.make_request();
+  (void)sed.fill_estimation(request);
+  const std::uint64_t misses = sed.estimation_cache_misses();
+  f.node.set_pstate(Seconds(0.0), 1);
+  (void)sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_misses(), misses + 1);
+}
+
+TEST(EstimationCache, CustomEstimationFunctionBypassesCache) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  int calls = 0;
+  sed.set_estimation_function([&calls](EstimationVector& est, const Request&) {
+    est.set_custom("call", static_cast<double>(++calls));
+  });
+  const Request request = f.make_request();
+  const EstimationVector a = sed.fill_estimation(request);
+  const EstimationVector b = sed.fill_estimation(request);
+  EXPECT_EQ(calls, 2);  // ran every time, never served stale
+  EXPECT_EQ(a.custom("call"), 1.0);
+  EXPECT_EQ(b.custom("call"), 2.0);
+  EXPECT_EQ(sed.estimation_cache_hits(), 0u);
+  EXPECT_EQ(sed.estimation_cache_misses(), 0u);
+}
+
+TEST(EstimationCache, RandomDrawStaysFreshOnHits) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  const Request request = f.make_request();
+  const EstimationVector a = sed.fill_estimation(request);
+  const EstimationVector b = sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_hits(), 1u);
+  EXPECT_NE(a.get(EstTag::kRandomDraw), b.get(EstTag::kRandomDraw));
+}
+
+TEST(EstimationCache, TemperatureRefreshedOnHits) {
+  Fixture f;
+  Sed sed = f.make_sed();
+  const Request request = f.make_request();
+  sed.execute(f.make_task(), common::RequestId(9), nullptr);  // heat the node
+  const EstimationVector a = sed.fill_estimation(request);
+  // Probe while the ~23 s task is still running: time has advanced (the
+  // node is warmer) but no discrete event has bumped the epoch.
+  f.sim.schedule_at(Seconds(10.0), [] {});
+  f.sim.run_until(Seconds(10.0));
+  const EstimationVector b = sed.fill_estimation(request);
+  EXPECT_EQ(sed.estimation_cache_hits(), 1u);  // pure time advance: no bump
+  EXPECT_NE(a.get(EstTag::kTemperatureCelsius), b.get(EstTag::kTemperatureCelsius));
+}
+
+// The core guarantee, as a twin-simulation property test: two identical
+// fixtures (same seeds) run the same random event script — task starts,
+// completions, time advances, crashes, repairs, power cycles — with the
+// cache on in one and off in the other.  At every probe point the two
+// estimation vectors must be field-for-field (bitwise) identical.
+TEST(EstimationCache, PropertyCachedEqualsFreshAcrossInterleavings) {
+  for (std::uint64_t scenario = 0; scenario < 20; ++scenario) {
+    Fixture cached_f;
+    Fixture fresh_f;
+    SedConfig cached_cfg;
+    cached_cfg.estimation_cache = true;
+    SedConfig fresh_cfg;
+    fresh_cfg.estimation_cache = false;
+    Sed cached = cached_f.make_sed(cached_cfg);
+    Sed fresh = fresh_f.make_sed(fresh_cfg);
+
+    common::Rng script(1000 + scenario);  // drives the event choices only
+    double now = 0.0;
+    std::uint64_t next_task = 0;
+    for (int step = 0; step < 200; ++step) {
+      const int action = script.uniform_int(0, 5);
+      switch (action) {
+        case 0: {  // advance simulated time
+          now += script.uniform(0.1, 120.0);
+          const Seconds t(now);
+          cached_f.sim.schedule_at(t, [] {});
+          cached_f.sim.run_until(t);
+          fresh_f.sim.schedule_at(t, [] {});
+          fresh_f.sim.run_until(t);
+          break;
+        }
+        case 1: {  // start a task if possible
+          if (!cached.can_accept()) break;
+          const auto task_id = common::TaskId(next_task++);
+          cached.execute(cached_f.make_task(task_id), common::RequestId(0), nullptr);
+          fresh.execute(fresh_f.make_task(task_id), common::RequestId(0), nullptr);
+          break;
+        }
+        case 2: {  // crash, then repair + reboot so work can continue
+          if (cached_f.node.state() != cluster::NodeState::kOn) break;
+          cached.inject_failure();
+          fresh.inject_failure();
+          const Seconds t(now);
+          cached_f.node.repair(t);
+          fresh_f.node.repair(t);
+          cached_f.node.power_on(t);
+          fresh_f.node.power_on(t);
+          // Instant boot: keeps the node clock aligned with the (lagging)
+          // simulator clock so later probes never move time backwards.
+          cached_f.node.complete_boot(t);
+          fresh_f.node.complete_boot(t);
+          break;
+        }
+        case 3: {  // power cycle while idle
+          if (cached_f.node.state() != cluster::NodeState::kOn) break;
+          if (cached_f.node.busy_cores() != 0) break;
+          const Seconds t(now);
+          cached_f.node.power_off(t);
+          fresh_f.node.power_off(t);
+          cached_f.node.complete_shutdown(t);
+          fresh_f.node.complete_shutdown(t);
+          cached_f.node.power_on(t);
+          fresh_f.node.power_on(t);
+          cached_f.node.complete_boot(t);
+          fresh_f.node.complete_boot(t);
+          break;
+        }
+        default: {  // probe: both sides must agree bitwise
+          const Request request = cached_f.make_request(common::RequestId(step));
+          const EstimationVector a = cached.fill_estimation(request);
+          const EstimationVector b = fresh.fill_estimation(request);
+          ASSERT_EQ(a, b) << "scenario " << scenario << " step " << step << "\ncached: "
+                          << a.to_string() << "\nfresh:  " << b.to_string();
+          break;
+        }
+      }
+    }
+    // The cache must actually have been exercised for the property to
+    // mean anything.
+    EXPECT_GT(cached.estimation_cache_hits(), 0u) << "scenario " << scenario;
+    EXPECT_EQ(fresh.estimation_cache_hits(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace greensched::diet

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace greensched::green {
@@ -260,6 +262,51 @@ TEST(Policies, AggregationIsDeterministic) {
   policy.aggregate(a, r);
   policy.aggregate(b, r);
   EXPECT_EQ(order_of(a), order_of(b));
+}
+
+// Regression: score_server can produce NaN (a NaN spec figure slips
+// through ServerCostInputs::validate because `NaN <= 0` is false).
+// Feeding NaN to a raw `<` comparator violated the strict-weak-ordering
+// contract of stable_sort (UB); the decorate-sort-undecorate path must
+// instead rank NaN-scored servers last, deterministically, with the
+// random draw breaking ties among them.
+TEST(ScorePolicy, NanScoreRanksLastDeterministically) {
+  const auto scoreable = [](const std::string& name, double watts, double draw) {
+    Candidate c = spec_only(name, watts, 9.2e9, draw);
+    c.estimation.set(EstTag::kBootPowerWatts, 150.0);
+    c.estimation.set(EstTag::kBootSeconds, 150.0);
+    c.estimation.set(EstTag::kNodeOn, 1.0);
+    return c;
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Candidate> candidates{
+      scoreable("poison-late", nan, 0.9), scoreable("good-hungry", 400.0, 0.5),
+      scoreable("poison-early", nan, 0.1), scoreable("good-frugal", 190.0, 0.5)};
+  ScorePolicy policy;
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(order_of(candidates),
+            (std::vector<std::string>{"good-frugal", "good-hungry", "poison-early",
+                                      "poison-late"}));
+
+  // Deterministic under re-sorting and input permutation (each agent
+  // level re-sorts, so the order must be a fixed point).
+  std::vector<Candidate> shuffled{candidates[3], candidates[1], candidates[0],
+                                  candidates[2]};
+  policy.aggregate(shuffled, request());
+  EXPECT_EQ(order_of(shuffled), order_of(candidates));
+}
+
+TEST(KeyedPolicy, NanMeasuredKeyJoinsUnknownBucket) {
+  // A NaN measurement is no measurement: the server ranks with the
+  // unmeasured (explore-first) group instead of poisoning the sort.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Candidate> candidates{measured("solid", 200.0, 9.0e9, 0.5),
+                                    measured("poisoned", nan, 9.0e9, 0.7),
+                                    make_candidate("unmeasured", 0.2)};
+  PowerPolicy policy;
+  policy.aggregate(candidates, request());
+  EXPECT_EQ(order_of(candidates),
+            (std::vector<std::string>{"unmeasured", "poisoned", "solid"}));
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "cluster/catalog.hpp"
 #include "cluster/topology.hpp"
 #include "common/error.hpp"
@@ -128,6 +130,23 @@ TEST(SpatialThermalPolicy, SteersWorkAwayFromHotRack) {
   SpatialThermalPolicy spatial(SpatialThermalConfig{23.0, 80.0});
   const auto [hot, cool] = run(spatial);
   EXPECT_GT(cool, hot * 2) << "spatial policy should prefer the cool rack";
+}
+
+TEST(SpatialThermalPolicy, NanKeyRanksLastDeterministically) {
+  // A corrupt measurement producing a NaN key must land in the
+  // unknown-last bucket instead of breaking the sort's ordering contract.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Candidate> candidates{candidate("poison", nan, 22.0, 0.1),
+                                    candidate("warm", 260.0, 22.0, 0.5),
+                                    candidate("cool", 200.0, 22.0, 0.5)};
+  SpatialThermalPolicy policy;
+  diet::Request request;
+  for (auto& c : candidates) policy.estimate(c.estimation, request);
+  policy.aggregate(candidates, request);
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0].estimation.server_name(), "cool");
+  EXPECT_EQ(candidates[1].estimation.server_name(), "warm");
+  EXPECT_EQ(candidates[2].estimation.server_name(), "poison");
 }
 
 }  // namespace

@@ -137,6 +137,28 @@ TEST_F(PlacementShapes, GreenPerfTracksPowerOnThisPlatform) {
   EXPECT_LT(greenperf_->energy.value(), performance_->energy.value());
 }
 
+// The estimation cache + dispatch fast path must be invisible end to
+// end: a full Section IV-A run with the cache off reproduces the cached
+// run bit for bit.  RANDOM pins the RNG stream (one draw per fill on
+// both paths); POWER pins the measured-power set-or-erase refresh;
+// GREENPERF pins the full cost-model scoring.
+TEST(PlacementDeterminism, EstimationCacheIsBitIdentical) {
+  for (const std::string policy : {"RANDOM", "POWER", "GREENPERF"}) {
+    PlacementConfig cached_config = scaled_experiment(policy);
+    cached_config.sed.estimation_cache = true;
+    PlacementConfig fresh_config = scaled_experiment(policy);
+    fresh_config.sed.estimation_cache = false;
+    const PlacementResult cached = run_placement(cached_config);
+    const PlacementResult fresh = run_placement(fresh_config);
+    EXPECT_EQ(cached.tasks, fresh.tasks) << policy;
+    EXPECT_EQ(cached.makespan.value(), fresh.makespan.value()) << policy;
+    EXPECT_EQ(cached.energy.value(), fresh.energy.value()) << policy;
+    EXPECT_EQ(cached.mean_wait_seconds, fresh.mean_wait_seconds) << policy;
+    EXPECT_EQ(cached.sim_events, fresh.sim_events) << policy;
+    EXPECT_EQ(cached.tasks_per_server, fresh.tasks_per_server) << policy;
+  }
+}
+
 // Fig. 6/7 shapes at reduced scale.
 TEST(HeterogeneityShapes, GreenPerfNeedsDiversity) {
   PlacementConfig config;

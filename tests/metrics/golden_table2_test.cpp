@@ -21,13 +21,14 @@ constexpr const char* kGoldenRunsCsv =
     "POWER,POWER,42,104,68,177364,0,208\n"
     "PERFORMANCE,PERFORMANCE,42,104,63,177575,0,208\n";
 
-std::string runs_csv(std::size_t jobs) {
+std::string runs_csv(std::size_t jobs, bool estimation_cache = true) {
   SweepOptions options;
   options.seeds = {42};
   options.jobs = jobs;
   SweepRunner runner(options);
   PlacementConfig base;
   base.workload.requests_per_core = 1.0;  // 1 task/core keeps the pin fast
+  base.sed.estimation_cache = estimation_cache;
   runner.add_policies(base, {"RANDOM", "POWER", "PERFORMANCE"});
   const std::vector<SweepRow> rows = runner.run();
   std::ostringstream out;
@@ -41,6 +42,12 @@ TEST(GoldenTable2, PolicyComparisonCsvIsPinned) {
 
 TEST(GoldenTable2, PinHoldsAtAnyThreadCount) {
   EXPECT_EQ(runs_csv(4), kGoldenRunsCsv);
+}
+
+// The estimation cache is a pure fast path: turning it off must
+// reproduce the exact same bytes.
+TEST(GoldenTable2, PinHoldsWithEstimationCacheOff) {
+  EXPECT_EQ(runs_csv(1, /*estimation_cache=*/false), kGoldenRunsCsv);
 }
 
 }  // namespace
