@@ -1,0 +1,116 @@
+// Provisioner strategy zoo: the paper's rule engine vs. the literature.
+//
+// Runs every registered provisioning strategy through three workload
+// regimes on the scaled Table I platform:
+//   low-util  — a sparse trickle (one small task every few seconds); the
+//               makespan is arrival-bound, so idle watts dominate and
+//               shrink-to-demand strategies should win on energy,
+//   paper     — the Section IV-A burst-then-continuous shape,
+//   high-util — a dense burst where keeping capacity on buys makespan.
+// Reports energy, losses, boot churn and reactivity per (scenario,
+// strategy) cell, and enforces the zoo's reason to exist: at low
+// utilization at least one literature strategy must beat the paper's
+// rule-fraction provisioner on energy without losing more tasks.
+// Emits one "BENCH_JSON:" line and writes BENCH_provisioner_zoo.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "green/provisioning_strategy.hpp"
+#include "metrics/experiment.hpp"
+
+using namespace greensched;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  double requests_per_core;
+  std::size_t burst;
+  double rate;  ///< requests/second after the burst
+};
+
+constexpr Scenario kScenarios[] = {
+    {"low-util", 1.0, 4, 0.25},
+    {"paper", 10.0, 50, 2.0},
+    {"high-util", 10.0, 100, 8.0},
+};
+
+metrics::PlacementConfig zoo_config(const Scenario& scenario, const std::string& strategy) {
+  metrics::PlacementConfig config;
+  config.clusters = metrics::scaled_clusters(12);
+  config.policy = "POWER";
+  config.workload.requests_per_core = scenario.requests_per_core;
+  config.workload.burst_size = scenario.burst;
+  config.workload.continuous_rate = scenario.rate;
+  config.provisioner = strategy;
+  config.provisioner_check_seconds = 60.0;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Provisioner strategy zoo",
+                      "energy / losses / boot churn / reactivity for every provisioning "
+                      "strategy across low-util, paper and high-util workloads "
+                      "(scaled Table I platform at 12 nodes, POWER placement)");
+
+  std::string json = "{\"bench\":\"provisioner_zoo\"";
+  bool low_util_win = false;
+  double rule_low_energy = 0.0;
+  std::size_t rule_low_lost = 0;
+
+  for (const Scenario& scenario : kScenarios) {
+    std::printf("%s (rpc=%.2g burst=%zu rate=%.2g/s)\n", scenario.name,
+                scenario.requests_per_core, scenario.burst, scenario.rate);
+    std::printf("  %-28s %12s %6s %6s %6s %6s %11s\n", "strategy", "energy (J)", "done",
+                "lost", "boots", "offs", "react. gap");
+
+    for (const std::string& strategy : green::provisioning_strategy_names()) {
+      const metrics::PlacementResult result =
+          metrics::run_placement(zoo_config(scenario, strategy));
+      std::printf("  %-28s %12.0f %6zu %6zu %6llu %6llu %11.3f\n", strategy.c_str(),
+                  result.energy.value(), result.tasks_completed, result.tasks_lost,
+                  static_cast<unsigned long long>(result.boots_ordered),
+                  static_cast<unsigned long long>(result.shutdowns_ordered),
+                  result.mean_target_gap);
+
+      const std::string cell = std::string(scenario.name) + "_" + strategy;
+      json += ",\"energy_" + cell + "\":" + std::to_string(result.energy.value());
+      json += ",\"lost_" + cell + "\":" + std::to_string(result.tasks_lost);
+      json += ",\"boots_" + cell + "\":" + std::to_string(result.boots_ordered);
+      json += ",\"gap_" + cell + "\":" + std::to_string(result.mean_target_gap);
+
+      if (std::string(scenario.name) == "low-util") {
+        if (strategy == "rule-fraction") {
+          rule_low_energy = result.energy.value();
+          rule_low_lost = result.tasks_lost;
+        } else if (strategy != "power-cap") {
+          // A literature strategy wins if it spends less energy without
+          // losing more tasks than the paper's rules.
+          if (rule_low_energy > 0.0 && result.energy.value() < rule_low_energy &&
+              result.tasks_lost <= rule_low_lost) {
+            low_util_win = true;
+          }
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("low-util: literature strategy beats rule-fraction on energy "
+              "without extra losses: %s\n",
+              low_util_win ? "yes" : "NO");
+  json += ",\"low_util_literature_win\":";
+  json += low_util_win ? "true" : "false";
+  json += "}";
+  std::printf("\nBENCH_JSON: %s\n", json.c_str());
+
+  if (std::FILE* f = std::fopen("BENCH_provisioner_zoo.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  return low_util_win ? 0 : 1;
+}

@@ -1,16 +1,15 @@
 #include "green/provisioner.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
-#include "common/mathutil.hpp"
 #include "green/greenperf.hpp"
 #include "telemetry/telemetry.hpp"
 
 
 namespace greensched::green {
 
-using common::fraction_floor;
 using common::Seconds;
 using common::StateError;
 using des::SimTime;
@@ -53,6 +52,13 @@ Provisioner::Provisioner(des::Simulator& sim, cluster::Platform& platform,
                      return greenperf_ratio(sa.peak_watts, sa.total_flops()) <
                             greenperf_ratio(sb.peak_watts, sb.total_flops());
                    });
+  // An empty spec falls back to the legacy mode enum, which keeps every
+  // pre-strategy-zoo configuration bit-identical.
+  strategy_ = make_provisioning_strategy(
+      !config_.strategy.empty()
+          ? config_.strategy
+          : (config_.mode == ProvisioningMode::kPowerCap ? std::string("power-cap")
+                                                         : std::string("rule-fraction")));
 }
 
 Provisioner::~Provisioner() {
@@ -77,7 +83,7 @@ void Provisioner::start() {
   last_energy_joules_ = platform_.total_energy(now).value();
   last_energy_time_ = now.value();
   last_status_ = read_status(now);
-  candidate_count_ = std::max(target_for(last_status_), config_.min_candidates);
+  candidate_count_ = decide(now, last_status_, /*initial=*/true);
   apply_candidate_set(now);
   if (config_.manage_node_power) manage_power(now);
   planning_.add_entry(PlanningEntry{now.value(), last_status_.temperature, candidate_count_,
@@ -94,7 +100,7 @@ bool Provisioner::is_candidate(common::NodeId node) const noexcept {
 
 std::size_t Provisioner::candidate_capacity() const {
   std::size_t capacity = 0;
-  for (std::size_t index : efficiency_order_) {
+  for (std::size_t index : candidacy_order()) {
     const cluster::Node& node = platform_.node(index);
     if (!is_candidate(node.id())) continue;
     if (node.state() == cluster::NodeState::kOn) capacity += node.spec().cores;
@@ -115,42 +121,66 @@ PlatformStatus Provisioner::read_status(SimTime at) {
   }
   status.temperature = hottest;
   status.utilization = total == 0 ? 0.0 : static_cast<double>(busy) / static_cast<double>(total);
+  status.busy_cores = busy;
+  status.total_cores = total;
   return status;
 }
 
-std::size_t Provisioner::target_for(const PlatformStatus& status) const {
-  const std::size_t n = platform_.node_count();
-  if (config_.mode == ProvisioningMode::kPowerCap) {
-    // Algorithm 1: servers sorted by GreenPerf, accumulated until the
-    // power cap Preference_provider * P_total is reached.
-    std::vector<RankedServer> servers;
-    servers.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const cluster::Node& node = platform_.node(i);
-      RankedServer s;
-      s.node = node.id();
-      s.name = node.name();
-      s.power = node.spec().peak_watts;
-      s.greenperf = greenperf_ratio(node.spec().peak_watts, node.spec().total_flops());
-      servers.push_back(std::move(s));
-    }
-    const double preference =
-        config_.provider.evaluate(status.utilization, status.electricity_cost);
-    return select_candidate_servers(std::move(servers), preference).size();
+std::size_t Provisioner::decide(SimTime at, const PlatformStatus& status, bool initial) {
+  StrategyContext ctx;
+  ctx.now = at.value();
+  ctx.initial = initial;
+  ctx.status = &status;
+  ctx.platform = &platform_;
+  ctx.events = &events_;
+  ctx.rules = &rules_;
+  ctx.provider = &config_.provider;
+  ctx.efficiency_order = &efficiency_order_;
+  ctx.check_period = config_.check_period.value();
+  ctx.lookahead = config_.lookahead.value();
+  ctx.ramp_up_step = config_.ramp_up_step;
+  ctx.candidate_count = candidate_count_;
+  for (const common::NodeId id : candidate_ids_) {
+    const cluster::Node* node = platform_.find_node(id);
+    if (node == nullptr || node->state() != cluster::NodeState::kOn) continue;
+    ctx.pool_on_cores += node->spec().cores;
+    ctx.pool_busy_cores += node->busy_cores();
   }
 
-  // Rule mode: fraction of all nodes from the first matching rule.
-  const Rule* rule = rules_.match(status);
-  if (rule != nullptr) GS_TCOUNT(rule_firings);
-  const double fraction = rule ? rule->candidate_fraction : rules_.default_fraction();
-  if (rule && rule->action) rule->action(status);
-  return fraction_floor(n, fraction);
+  StrategyDecision decision = strategy_->decide(ctx);
+  if (decision.order) {
+    // A malformed override would silently corrupt candidacy — refuse.
+    if (decision.order->size() != platform_.node_count())
+      throw StateError("Provisioner: strategy order override must cover every node");
+    for (const std::size_t index : *decision.order) {
+      if (index >= platform_.node_count())
+        throw StateError("Provisioner: strategy order override names an unknown node");
+    }
+    order_override_ = std::move(decision.order);
+  } else {
+    order_override_.reset();
+  }
+  immediate_ = decision.immediate;
+
+  std::size_t target = decision.target;
+  // The external cap (BudgetGovernor) clamps periodic checks; the
+  // initial decision predates any governor, as before the refactor.
+  if (!initial && external_cap_) {
+    if (target > *external_cap_) {
+      ++cap_clamped_checks_;
+      GS_TCOUNT(provisioner_cap_clamped);
+    }
+    target = std::min(target, *external_cap_);
+  }
+  target = std::max(target, config_.min_candidates);
+  last_target_ = target;
+  return target;
 }
 
 void Provisioner::apply_candidate_set(SimTime /*at*/) {
   candidate_ids_.clear();
   bool skipped_failed = false;
-  for (std::size_t index : efficiency_order_) {
+  for (std::size_t index : candidacy_order()) {
     if (candidate_ids_.size() >= candidate_count_) break;
     const cluster::Node& node = platform_.node(index);
     if (node.state() == cluster::NodeState::kFailed) {
@@ -171,11 +201,13 @@ void Provisioner::apply_candidate_set(SimTime /*at*/) {
 }
 
 void Provisioner::manage_power(SimTime at) {
-  for (std::size_t index : efficiency_order_) {
+  for (std::size_t index : candidacy_order()) {
     cluster::Node& node = platform_.node(index);
     const bool wanted = is_candidate(node.id());
     if (wanted && node.state() == cluster::NodeState::kOff) {
       node.power_on(at);
+      ++boots_ordered_;
+      GS_TCOUNT(provisioner_boots_ordered);
       const Seconds done = at + node.spec().boot_seconds;
       // The node may crash mid-transition (failure injection): only
       // finish the transition if it is still in progress.
@@ -186,6 +218,8 @@ void Provisioner::manage_power(SimTime at) {
       // Drain rule: running tasks always complete; idle non-candidates
       // power down now, busy ones are retried on the next check.
       node.power_off(at);
+      ++shutdowns_ordered_;
+      GS_TCOUNT(provisioner_shutdowns_ordered);
       const Seconds done = at + node.spec().shutdown_seconds;
       sim_.schedule_at(done, [&node, done] {
         if (node.state() == cluster::NodeState::kShuttingDown) node.complete_shutdown(done);
@@ -195,6 +229,10 @@ void Provisioner::manage_power(SimTime at) {
 }
 
 bool Provisioner::tick(SimTime at) {
+  // A true stop predicate ends the autonomic loop for good: the periodic
+  // process is not re-armed, letting the simulation drain.
+  if (stop_predicate_ && stop_predicate_()) return false;
+
   telemetry::TraceSpan tick_span("provisioner.tick", "provisioner");
   GS_TCOUNT(provisioner_ticks);
   PlatformStatus status = read_status(at);
@@ -205,33 +243,20 @@ bool Provisioner::tick(SimTime at) {
     status.utilization = forecaster_->predict_or(
         at.value() + config_.check_period.value(), status.utilization);
   }
-  std::size_t target = target_for(status);
+  const std::size_t target = decide(at, status, /*initial=*/false);
 
-  // Forecast: a scheduled tariff change visible within the lookahead can
-  // only *pre-ramp upward* (progressive start, as in Fig. 9's Event 1);
-  // restrictions apply when they take effect.
-  if (auto event = events_.next_visible_cost_change(at.value(), config_.lookahead.value())) {
-    PlatformStatus future = status;
-    future.electricity_cost = event->value;
-    const std::size_t future_target = target_for(future);
-    if (future_target > target) {
-      // Progressive start: pace the ramp so the pool reaches the future
-      // target exactly when the tariff changes — not earlier (no point
-      // paying the old tariff) and without simultaneous starts (the
-      // paper's heat-peak concern).
-      const double remaining = event->at - at.value();
-      const auto ticks_remaining =
-          static_cast<std::size_t>(remaining / config_.check_period.value());
-      const std::size_t deficit = config_.ramp_up_step * ticks_remaining;
-      const std::size_t paced = future_target > deficit ? future_target - deficit : 0;
-      target = std::max(target, paced);
+  if (immediate_) {
+    // Self-pacing strategies (delayed-off family) already encode their
+    // switching costs; the shell applies the target directly.
+    if (target > candidate_count_) {
+      GS_TCOUNT(ramp_up_steps);
     }
-  }
-  if (external_cap_) target = std::min(target, *external_cap_);
-  target = std::max(target, config_.min_candidates);
-
-  // Progressive ramp toward the target.
-  if (target > candidate_count_) {
+    if (target < candidate_count_) {
+      GS_TCOUNT(ramp_down_steps);
+    }
+    candidate_count_ = target;
+  } else if (target > candidate_count_) {
+    // Progressive ramp toward the target.
     candidate_count_ = std::min(target, candidate_count_ + config_.ramp_up_step);
     GS_TCOUNT(ramp_up_steps);
   } else if (target < candidate_count_) {
@@ -239,6 +264,13 @@ bool Provisioner::tick(SimTime at) {
     candidate_count_ = std::max(target, candidate_count_ - step);
     GS_TCOUNT(ramp_down_steps);
   }
+
+  // Reactivity accounting: how far the applied pool lags the target.
+  const double gap = target > candidate_count_
+                         ? static_cast<double>(target - candidate_count_)
+                         : static_cast<double>(candidate_count_ - target);
+  target_gap_sum_ += gap;
+  GS_TGAUGE(provisioner_target_gap, gap);
 
   apply_candidate_set(at);
   if (config_.manage_node_power) manage_power(at);

@@ -2,17 +2,26 @@
 //
 // An autonomic loop checks the platform status on a fixed period (the
 // paper: every 10 minutes, with visibility of scheduled events 20 minutes
-// ahead), derives the allowed number of candidate nodes from the
-// administrator's threshold rules (or from Algorithm 1's power cap), and
-// moves the candidate pool toward that target *progressively* — ramping
-// up slowly "to avoid heat peaks due to side effects of simultaneous
-// starts", and draining down without killing running tasks.  Candidate
-// membership is enforced in the Master Agent through a candidate filter,
-// and non-candidate nodes are powered off once idle.
+// ahead) and moves the candidate pool toward a per-check target —
+// ramping up slowly "to avoid heat peaks due to side effects of
+// simultaneous starts", and draining down without killing running tasks.
+// Candidate membership is enforced in the Master Agent through a
+// candidate filter, and non-candidate nodes are powered off once idle.
+//
+// Since PR 6 the Provisioner is a thin autonomic *shell*: how the target
+// is derived (threshold rules, Algorithm 1's power cap, or one of the
+// online algorithms from the literature) is delegated to a pluggable
+// `ProvisioningStrategy` (provisioning_strategy.hpp).  The shell keeps
+// everything a strategy must not reimplement: status sampling, the
+// external cap clamp, the min-candidates floor, the progressive ramp,
+// candidate-set application with FAILED-node backfill, node power
+// management, and the Fig. 8 planning / Fig. 9 series records.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/platform.hpp"
@@ -24,6 +33,7 @@
 #include "green/forecast.hpp"
 #include "green/planning.hpp"
 #include "green/preferences.hpp"
+#include "green/provisioning_strategy.hpp"
 #include "green/rules.hpp"
 
 namespace greensched::green {
@@ -42,7 +52,11 @@ struct ProvisionerConfig {
   std::size_t min_candidates = 1;        ///< never starve the platform
   bool manage_node_power = true;         ///< boot/shutdown with candidacy
   ProvisioningMode mode = ProvisioningMode::kRuleFraction;
-  /// Only used in kPowerCap mode (Eq. 1 weights).
+  /// Strategy spec ("name" or "name:key=value,..."; see
+  /// provisioning_strategy.hpp).  Empty = derived from `mode`, which
+  /// keeps every pre-PR-6 configuration bit-identical.
+  std::string strategy;
+  /// Only used by the power-cap strategy (Eq. 1 weights).
   ProviderPreference provider{0.5, 0.5};
   /// Size the pool for *forecast* utilization (Section III-B's "resource
   /// usage forecast") instead of the instantaneous value.
@@ -86,6 +100,28 @@ class Provisioner {
   /// degradation: crashed machines never occupy candidacy slots, the
   /// pool backfills from the next-most-efficient healthy nodes).
   [[nodiscard]] std::uint64_t degraded_checks() const noexcept { return degraded_checks_; }
+  /// Checks whose target was actually reduced by the external cap.
+  [[nodiscard]] std::uint64_t cap_clamped_checks() const noexcept { return cap_clamped_checks_; }
+  /// Node power-on / power-off commands this provisioner issued.
+  [[nodiscard]] std::uint64_t boots_ordered() const noexcept { return boots_ordered_; }
+  [[nodiscard]] std::uint64_t shutdowns_ordered() const noexcept { return shutdowns_ordered_; }
+  /// The strategy's most recent (capped, floored) target.
+  [[nodiscard]] std::size_t last_target() const noexcept { return last_target_; }
+  /// Mean |target - applied pool size| over all checks — the reactivity
+  /// gap: 0 means the pool always kept up with the strategy's wishes.
+  [[nodiscard]] double mean_target_gap() const noexcept {
+    const std::uint64_t n = checks();
+    return n == 0 ? 0.0 : target_gap_sum_ / static_cast<double>(n);
+  }
+  /// The active strategy.
+  [[nodiscard]] const ProvisioningStrategy& strategy() const noexcept { return *strategy_; }
+
+  /// When set, the periodic check stops (permanently) at the first tick
+  /// where the predicate is true — lets an experiment harness drain the
+  /// event queue once its clients settled instead of ticking forever.
+  void set_stop_predicate(std::function<bool()> predicate) {
+    stop_predicate_ = std::move(predicate);
+  }
 
   /// Hook fired after every check (testing / tracing).
   void set_check_hook(std::function<void(des::SimTime, const PlatformStatus&, std::size_t)> hook) {
@@ -115,7 +151,15 @@ class Provisioner {
   /// Validates before members (notably the periodic process) are built.
   static ProvisionerConfig checked(ProvisionerConfig config, std::size_t node_count);
   [[nodiscard]] PlatformStatus read_status(des::SimTime at);
-  [[nodiscard]] std::size_t target_for(const PlatformStatus& status) const;
+  /// Asks the strategy for a decision, then applies the shell-owned
+  /// policy: external cap clamp and min-candidates floor on the target,
+  /// order-override validation.
+  [[nodiscard]] std::size_t decide(des::SimTime at, const PlatformStatus& status, bool initial);
+  /// The candidacy order in force: the strategy's override, else
+  /// nameplate GreenPerf.
+  [[nodiscard]] const std::vector<std::size_t>& candidacy_order() const noexcept {
+    return order_override_ ? *order_override_ : efficiency_order_;
+  }
   void apply_candidate_set(des::SimTime at);
   void manage_power(des::SimTime at);
 
@@ -128,11 +172,20 @@ class Provisioner {
   ProvisionerConfig config_;
 
   std::vector<std::size_t> efficiency_order_;  ///< platform node indices
+  std::unique_ptr<ProvisioningStrategy> strategy_;
+  std::optional<std::vector<std::size_t>> order_override_;
   std::optional<UsageForecaster> forecaster_;
   std::optional<std::size_t> external_cap_;
   std::size_t candidate_count_ = 0;
+  std::size_t last_target_ = 0;
+  bool immediate_ = false;  ///< last decision bypasses the shell ramp
   std::vector<common::NodeId> candidate_ids_;
   std::uint64_t degraded_checks_ = 0;
+  std::uint64_t cap_clamped_checks_ = 0;
+  std::uint64_t boots_ordered_ = 0;
+  std::uint64_t shutdowns_ordered_ = 0;
+  double target_gap_sum_ = 0.0;
+  std::function<bool()> stop_predicate_;
   bool started_ = false;
 
   common::TimeSeries candidate_series_;

@@ -1,0 +1,247 @@
+#include "green/provisioning_strategy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+#include "green/candidate_selection.hpp"
+#include "green/greenperf.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace greensched::green {
+
+using common::ConfigError;
+using common::fraction_floor;
+
+// --- shared pre-ramp (bit-identical to the pre-refactor tick) ---
+
+StrategyDecision StatusTargetStrategy::decide(const StrategyContext& ctx) {
+  std::size_t target = base_target(ctx, *ctx.status);
+
+  // A scheduled tariff change visible within the lookahead can only
+  // *pre-ramp upward* (progressive start, as in Fig. 9's Event 1);
+  // restrictions apply when they take effect.  The initial decision
+  // jumps straight to the present target — the experiment *starts* in
+  // that configuration.
+  if (!ctx.initial) {
+    if (auto event = ctx.events->next_visible_cost_change(ctx.now, ctx.lookahead)) {
+      PlatformStatus future = *ctx.status;
+      future.electricity_cost = event->value;
+      const std::size_t future_target = base_target(ctx, future);
+      if (future_target > target) {
+        // Pace the ramp so the pool reaches the future target exactly
+        // when the tariff changes — not earlier (no point paying the old
+        // tariff) and without simultaneous starts (the paper's heat-peak
+        // concern).
+        const double remaining = event->at - ctx.now;
+        const auto ticks_remaining = static_cast<std::size_t>(remaining / ctx.check_period);
+        const std::size_t deficit = ctx.ramp_up_step * ticks_remaining;
+        const std::size_t paced = future_target > deficit ? future_target - deficit : 0;
+        target = std::max(target, paced);
+      }
+    }
+  }
+  return StrategyDecision{target, std::nullopt, false};
+}
+
+std::size_t RuleFractionStrategy::base_target(const StrategyContext& ctx,
+                                              const PlatformStatus& status) const {
+  const Rule* rule = ctx.rules->match(status);
+  if (rule != nullptr) {
+    GS_TCOUNT(rule_firings);
+  }
+  const double fraction = rule ? rule->candidate_fraction : ctx.rules->default_fraction();
+  if (rule && rule->action) rule->action(status);
+  return fraction_floor(ctx.platform->node_count(), fraction);
+}
+
+std::size_t PowerCapStrategy::base_target(const StrategyContext& ctx,
+                                          const PlatformStatus& status) const {
+  // Algorithm 1: servers sorted by GreenPerf, accumulated until the
+  // power cap Preference_provider * P_total is reached.
+  const std::size_t n = ctx.platform->node_count();
+  std::vector<RankedServer> servers;
+  servers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const cluster::Node& node = ctx.platform->node(i);
+    RankedServer s;
+    s.node = node.id();
+    s.name = node.name();
+    s.power = node.spec().peak_watts;
+    s.greenperf = greenperf_ratio(node.spec().peak_watts, node.spec().total_flops());
+    servers.push_back(std::move(s));
+  }
+  const double preference = ctx.provider->evaluate(status.utilization, status.electricity_cost);
+  return select_candidate_servers(std::move(servers), preference).size();
+}
+
+// --- registry / spec parsing ---
+
+double boot_break_even_seconds(const cluster::Platform& platform,
+                               const std::vector<std::size_t>& nodes) {
+  // An idle node burns idle_watts while waiting; cycling it costs
+  // boot_watts x boot_seconds on the way back plus idle-rate draw over
+  // the shutdown.  The break-even is the wait that costs as much as the
+  // cycle — Lu & Chen's timeout that bounds the competitive ratio.
+  if (nodes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::size_t index : nodes) {
+    const cluster::NodeSpec& spec = platform.node(index).spec();
+    const double idle = std::max(spec.idle_watts.value(), 1.0);
+    const double cycle = spec.boot_watts.value() * spec.boot_seconds.value() +
+                         spec.idle_watts.value() * spec.shutdown_seconds.value();
+    sum += cycle / idle;
+  }
+  return sum / static_cast<double>(nodes.size());
+}
+
+namespace {
+
+struct SpecOption {
+  std::string key;
+  std::string value;
+};
+
+std::vector<SpecOption> split_spec(const std::string& spec, std::string& name) {
+  const std::size_t colon = spec.find(':');
+  name = spec.substr(0, colon);
+  std::vector<SpecOption> options;
+  if (colon == std::string::npos) return options;
+  std::string rest = spec.substr(colon + 1);
+  std::size_t start = 0;
+  while (start <= rest.size()) {
+    const std::size_t comma = rest.find(',', start);
+    const std::string token =
+        rest.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!token.empty()) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw ConfigError("provisioning strategy '" + name + "': option '" + token +
+                          "' is not key=value");
+      }
+      options.push_back(SpecOption{token.substr(0, eq), token.substr(eq + 1)});
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return options;
+}
+
+double option_double(const SpecOption& option, const std::string& name) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(option.value, &consumed);
+    if (consumed != option.value.size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw ConfigError("provisioning strategy '" + name + "': option " + option.key + "='" +
+                      option.value + "' is not a number");
+  }
+}
+
+std::size_t option_count(const SpecOption& option, const std::string& name) {
+  const double value = option_double(option, name);
+  if (value < 0.0 || value != static_cast<double>(static_cast<std::size_t>(value))) {
+    throw ConfigError("provisioning strategy '" + name + "': option " + option.key +
+                      " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+[[noreturn]] void unknown_option(const SpecOption& option, const std::string& name,
+                                 const char* known) {
+  throw ConfigError("provisioning strategy '" + name + "': unknown option '" + option.key +
+                    "' (known: " + known + ")");
+}
+
+}  // namespace
+
+std::string provisioning_strategy_base_name(const std::string& spec) {
+  return spec.substr(0, spec.find(':'));
+}
+
+std::vector<std::string> provisioning_strategy_names() {
+  return {"rule-fraction", "power-cap", "delayed-off", "hetero-schedule", "reactive-idle"};
+}
+
+bool is_provisioning_strategy(const std::string& spec) {
+  const std::string name = provisioning_strategy_base_name(spec);
+  const std::vector<std::string> names = provisioning_strategy_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::unique_ptr<ProvisioningStrategy> make_provisioning_strategy(const std::string& spec) {
+  std::string name;
+  const std::vector<SpecOption> options = split_spec(spec, name);
+
+  if (name == "rule-fraction" || name == "power-cap") {
+    if (!options.empty()) {
+      throw ConfigError("provisioning strategy '" + name +
+                        "' takes no options (rules and provider weights come from the "
+                        "provisioner configuration)");
+    }
+    if (name == "power-cap") return std::make_unique<PowerCapStrategy>();
+    return std::make_unique<RuleFractionStrategy>();
+  }
+  if (name == "delayed-off") {
+    DelayedOffOptions config;
+    for (const SpecOption& option : options) {
+      if (option.key == "delay") config.delay = option_double(option, name);
+      else if (option.key == "headroom") config.headroom = option_double(option, name);
+      else if (option.key == "grow") config.grow = option_count(option, name);
+      else unknown_option(option, name, "delay, headroom, grow");
+    }
+    return std::make_unique<DelayedOffStrategy>(config);
+  }
+  if (name == "hetero-schedule") {
+    HeterogeneousScheduleOptions config;
+    for (const SpecOption& option : options) {
+      if (option.key == "delay") config.delay = option_double(option, name);
+      else if (option.key == "headroom") config.headroom = option_double(option, name);
+      else if (option.key == "grow") config.grow = option_count(option, name);
+      else unknown_option(option, name, "delay, headroom, grow");
+    }
+    return std::make_unique<HeterogeneousScheduleStrategy>(config);
+  }
+  if (name == "reactive-idle") {
+    ReactiveIdleOptions config;
+    for (const SpecOption& option : options) {
+      if (option.key == "up") config.up = option_double(option, name);
+      else if (option.key == "down") config.down = option_double(option, name);
+      else if (option.key == "idle") config.idle = option_double(option, name);
+      else if (option.key == "burst") config.burst = option_count(option, name);
+      else if (option.key == "spare") config.spare = option_count(option, name);
+      else unknown_option(option, name, "up, down, idle, burst, spare");
+    }
+    if (config.up <= config.down) {
+      throw ConfigError("provisioning strategy 'reactive-idle': up must exceed down");
+    }
+    return std::make_unique<ReactiveIdleTimeoutStrategy>(config);
+  }
+  throw ConfigError("unknown provisioning strategy '" + name + "' (known: rule-fraction, "
+                    "power-cap, delayed-off, hetero-schedule, reactive-idle)");
+}
+
+std::string provisioning_strategy_help(const std::string& indent) {
+  std::string out;
+  auto line = [&](const char* text) {
+    out += indent;
+    out += text;
+    out += '\n';
+  };
+  line("rule-fraction            paper threshold rules -> fraction of all nodes (Fig. 9)");
+  line("power-cap                Algorithm 1: GreenPerf greedy under the provider power cap");
+  line("delayed-off[:delay=S,headroom=F,grow=N]");
+  line("                         Lu & Chen last-empty-server timeout; delay=0 derives the");
+  line("                         boot-energy break-even from the machine catalog");
+  line("hetero-schedule[:delay=S,headroom=F,grow=N]");
+  line("                         Albers & Quedenfeld-style per-machine-class on/off with");
+  line("                         per-class break-even power-down delays");
+  line("reactive-idle[:up=F,down=F,idle=S,burst=N,spare=N]");
+  line("                         provision-on-arrival (pool hot -> boot a burst), shut");
+  line("                         surplus down after a sustained idle timeout");
+  return out;
+}
+
+}  // namespace greensched::green

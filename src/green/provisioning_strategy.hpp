@@ -1,0 +1,239 @@
+// Pluggable provisioning strategies (ROADMAP item 2).
+//
+// The autonomic shell in `green::Provisioner` owns the mechanics of a
+// check — reading the platform status, applying the candidate set with
+// FAILED-node backfill, booting/draining nodes, recording the Fig. 9
+// series — while the *decision* (how many candidates, and optionally in
+// which order candidacy is granted) is delegated to a strategy behind
+// this interface.  The paper's rule-fraction and power-cap modes are the
+// first two strategies, ported bit-identically; the rest are competitive
+// online algorithms from the literature:
+//
+//   delayed-off      Lu & Chen, "Simple and Effective Dynamic
+//                    Provisioning for Power-Proportional Data Centers":
+//                    capacity tracks demand, but the last empty server
+//                    stays on for a timeout keyed to the boot-energy
+//                    break-even.  Needs no prediction and carries a
+//                    worst-case competitive ratio.
+//   hetero-schedule  Albers & Quedenfeld-style per-machine-class on/off
+//                    scheduling: demand is allocated across the
+//                    heterogeneous Taurus/Orion/Sagittaire classes most
+//                    efficient first, and each class powers down with
+//                    its own break-even delay.
+//   reactive-idle    The cloudsim_eec pattern: provision on arrival
+//                    (pool runs hot -> boot a burst), shut down after a
+//                    sustained idle timeout.
+//
+// Determinism contract: strategies are called from the simulation loop
+// and must be pure functions of (context, own state).  No RNG, no wall
+// clock, no iteration over unordered containers — a fixed seed plus a
+// strategy spec must produce a bit-identical candidate series at any
+// sweep `--jobs` count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "green/events.hpp"
+#include "green/preferences.hpp"
+#include "green/rules.hpp"
+
+namespace greensched::green {
+
+/// Everything a strategy may look at for one decision.  Pointers are
+/// borrowed from the shell and valid only for the duration of the call.
+struct StrategyContext {
+  double now = 0.0;      ///< simulated seconds
+  bool initial = false;  ///< the un-ramped start() decision
+  /// Platform status with the forecaster's utilization override already
+  /// applied (Section III-B) — what the legacy modes decided on.
+  const PlatformStatus* status = nullptr;
+  const cluster::Platform* platform = nullptr;
+  const EventSchedule* events = nullptr;
+  const RuleEngine* rules = nullptr;
+  /// Provider preference weights (Eq. 1), for power-cap style decisions.
+  const ProviderPreference* provider = nullptr;
+  /// Platform node indices by nameplate GreenPerf, most efficient first.
+  const std::vector<std::size_t>* efficiency_order = nullptr;
+  double check_period = 600.0;
+  double lookahead = 1200.0;
+  std::size_t ramp_up_step = 2;
+  /// The pool as of the previous check.
+  std::size_t candidate_count = 0;
+  /// Busy / total cores over candidate nodes that are powered ON — the
+  /// demand signal reactive strategies act on.
+  std::size_t pool_busy_cores = 0;
+  std::size_t pool_on_cores = 0;
+};
+
+/// One decision: a target pool size, an optional candidacy order, and
+/// whether the shell's progressive ramp applies.
+struct StrategyDecision {
+  std::size_t target = 0;
+  /// When set, candidacy (and power management) follows this order of
+  /// platform node indices instead of the GreenPerf efficiency order.
+  /// Must be a permutation of [0, node_count).
+  std::optional<std::vector<std::size_t>> order;
+  /// True = the strategy paces pool changes itself; the shell applies
+  /// `target` directly instead of ramping toward it.
+  bool immediate = false;
+};
+
+class ProvisioningStrategy {
+ public:
+  virtual ~ProvisioningStrategy() = default;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  [[nodiscard]] virtual StrategyDecision decide(const StrategyContext& ctx) = 0;
+};
+
+// --- legacy modes, ported bit-identically from the PR-5 Provisioner ---
+
+/// Shared pre-ramp logic of the two paper modes: a scheduled tariff
+/// change visible within the lookahead paces the ramp so the pool
+/// reaches the future target exactly when the tariff changes.
+class StatusTargetStrategy : public ProvisioningStrategy {
+ public:
+  [[nodiscard]] StrategyDecision decide(const StrategyContext& ctx) final;
+
+ protected:
+  [[nodiscard]] virtual std::size_t base_target(const StrategyContext& ctx,
+                                                const PlatformStatus& status) const = 0;
+};
+
+/// Threshold rules -> fraction of all nodes (Section IV-C, Fig. 9).
+class RuleFractionStrategy final : public StatusTargetStrategy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "rule-fraction"; }
+
+ protected:
+  [[nodiscard]] std::size_t base_target(const StrategyContext& ctx,
+                                        const PlatformStatus& status) const override;
+};
+
+/// Algorithm 1: GreenPerf-sorted greedy under Preference_provider x P_total.
+class PowerCapStrategy final : public StatusTargetStrategy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "power-cap"; }
+
+ protected:
+  [[nodiscard]] std::size_t base_target(const StrategyContext& ctx,
+                                        const PlatformStatus& status) const override;
+};
+
+// --- literature strategies ---
+
+struct DelayedOffOptions {
+  /// Seconds the pool holds surplus capacity before powering it down.
+  /// 0 = derive the boot-energy break-even from the platform catalog.
+  double delay = 0.0;
+  /// Extra capacity fraction kept on top of measured demand.
+  double headroom = 0.0;
+  /// Nodes added per check while the pool is saturated.
+  std::size_t grow = 2;
+};
+
+/// Lu & Chen delayed-off: capacity tracks demand upward immediately,
+/// downward only after the surplus persisted past the break-even delay.
+class DelayedOffStrategy final : public ProvisioningStrategy {
+ public:
+  explicit DelayedOffStrategy(DelayedOffOptions options = {});
+  [[nodiscard]] const char* name() const noexcept override { return "delayed-off"; }
+  [[nodiscard]] StrategyDecision decide(const StrategyContext& ctx) override;
+  [[nodiscard]] const DelayedOffOptions& options() const noexcept { return options_; }
+
+ private:
+  DelayedOffOptions options_;
+  std::optional<double> surplus_since_;
+  std::optional<double> cached_delay_;
+};
+
+struct HeterogeneousScheduleOptions {
+  /// Per-class power-down delay; 0 = each class's own break-even.
+  double delay = 0.0;
+  double headroom = 0.0;
+  /// Nodes added per check while the pool is saturated.
+  std::size_t grow = 1;
+};
+
+/// Albers & Quedenfeld-style heterogeneous on/off scheduling: demand is
+/// allocated across machine classes most efficient first, and every
+/// class runs its own delayed power-down timer.  Emits a candidacy
+/// order override so the per-class allocation survives the shell's
+/// prefix-based candidate application.
+class HeterogeneousScheduleStrategy final : public ProvisioningStrategy {
+ public:
+  explicit HeterogeneousScheduleStrategy(HeterogeneousScheduleOptions options = {});
+  [[nodiscard]] const char* name() const noexcept override { return "hetero-schedule"; }
+  [[nodiscard]] StrategyDecision decide(const StrategyContext& ctx) override;
+  [[nodiscard]] std::size_t class_count() const noexcept { return classes_.size(); }
+
+ private:
+  struct MachineClass {
+    std::string model;
+    std::vector<std::size_t> nodes;  ///< platform indices, efficiency order
+    std::vector<std::size_t> cumulative_cores;
+    double delay = 0.0;
+    std::size_t keep = 0;  ///< committed on-count
+    std::optional<double> surplus_since;
+  };
+
+  void build_classes(const StrategyContext& ctx);
+
+  HeterogeneousScheduleOptions options_;
+  std::vector<MachineClass> classes_;
+  bool built_ = false;
+};
+
+struct ReactiveIdleOptions {
+  double up = 0.8;      ///< pool utilization that triggers growth
+  double down = 0.3;    ///< pool utilization that arms the idle timer
+  double idle = 300.0;  ///< seconds below `down` before surplus drops
+  std::size_t burst = 2;  ///< nodes provisioned per growth trigger
+  std::size_t spare = 1;  ///< warm nodes kept above demand when shrinking
+};
+
+/// cloudsim_eec-style reactive provisioning: boot a burst when the pool
+/// runs hot, release all surplus at once after a sustained idle period.
+class ReactiveIdleTimeoutStrategy final : public ProvisioningStrategy {
+ public:
+  explicit ReactiveIdleTimeoutStrategy(ReactiveIdleOptions options = {});
+  [[nodiscard]] const char* name() const noexcept override { return "reactive-idle"; }
+  [[nodiscard]] StrategyDecision decide(const StrategyContext& ctx) override;
+  [[nodiscard]] const ReactiveIdleOptions& options() const noexcept { return options_; }
+
+ private:
+  ReactiveIdleOptions options_;
+  std::optional<double> idle_since_;
+};
+
+// --- registry ---
+
+/// Builds a strategy from a spec: "name" or "name:key=value,...".
+/// Throws ConfigError on an unknown name, unknown key or bad value.
+[[nodiscard]] std::unique_ptr<ProvisioningStrategy> make_provisioning_strategy(
+    const std::string& spec);
+
+/// All registered strategy names, in documentation order.
+[[nodiscard]] std::vector<std::string> provisioning_strategy_names();
+
+/// The name part of a spec (everything before the first ':').
+[[nodiscard]] std::string provisioning_strategy_base_name(const std::string& spec);
+
+/// True when the spec's name part is a registered strategy.
+[[nodiscard]] bool is_provisioning_strategy(const std::string& spec);
+
+/// One usage block per strategy ("name[:k=v,...]  description"), for the
+/// CLI help text.  Every line is prefixed with `indent`.
+[[nodiscard]] std::string provisioning_strategy_help(const std::string& indent);
+
+/// Mean per-node boot-energy break-even over `nodes` (platform indices):
+/// how long an idle node must stay off before the shutdown+boot cycle
+/// pays for itself.  The auto delay of the delayed-off strategies.
+[[nodiscard]] double boot_break_even_seconds(const cluster::Platform& platform,
+                                             const std::vector<std::size_t>& nodes);
+
+}  // namespace greensched::green

@@ -14,6 +14,7 @@
 // defined through scripts or commands to be called by the scheduler".
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -25,6 +26,10 @@ struct PlatformStatus {
   double electricity_cost = 1.0;  ///< normalized to [0, 1]
   double temperature = 20.0;      ///< hottest node, degC
   double utilization = 0.0;       ///< busy cores / total cores
+  /// Absolute core counts behind `utilization` — the demand signal the
+  /// capacity-tracking strategies (delayed-off et al.) act on.
+  std::size_t busy_cores = 0;
+  std::size_t total_cores = 0;
 };
 
 struct Rule {

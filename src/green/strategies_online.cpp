@@ -1,0 +1,208 @@
+// Online provisioning strategies from the literature (see the header
+// for the algorithm provenance).  All three are pure state machines on
+// simulated time: no RNG, no wall clock — the determinism contract the
+// sweep engine relies on.
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "green/provisioning_strategy.hpp"
+
+namespace greensched::green {
+
+namespace {
+
+/// Demand in cores after the headroom margin, never negative.
+std::size_t padded_demand(std::size_t busy_cores, double headroom) {
+  const double padded = static_cast<double>(busy_cores) * (1.0 + std::max(headroom, 0.0));
+  return static_cast<std::size_t>(std::ceil(padded - 1e-9));
+}
+
+/// Smallest prefix of `order` (platform indices) whose cores cover
+/// `demand_cores`.  Zero demand needs zero nodes — the shell's
+/// min_candidates floor keeps the platform alive.
+std::size_t covering_prefix(const cluster::Platform& platform,
+                            const std::vector<std::size_t>& order, std::size_t demand_cores) {
+  std::size_t covered = 0;
+  std::size_t count = 0;
+  for (const std::size_t index : order) {
+    if (covered >= demand_cores) break;
+    covered += platform.node(index).spec().cores;
+    ++count;
+  }
+  return count;
+}
+
+/// The pool is saturated when every ON candidate core is busy — with no
+/// queue visibility, saturation *is* the arrival signal that more
+/// capacity is wanted (Lu & Chen power servers up as jobs arrive).
+bool pool_saturated(const StrategyContext& ctx) {
+  return ctx.pool_on_cores > 0 && ctx.pool_busy_cores >= ctx.pool_on_cores;
+}
+
+}  // namespace
+
+// --- delayed-off (Lu & Chen) ---
+
+DelayedOffStrategy::DelayedOffStrategy(DelayedOffOptions options) : options_(options) {}
+
+StrategyDecision DelayedOffStrategy::decide(const StrategyContext& ctx) {
+  if (!cached_delay_) {
+    cached_delay_ = options_.delay > 0.0
+                        ? options_.delay
+                        : boot_break_even_seconds(*ctx.platform, *ctx.efficiency_order);
+  }
+  const std::size_t demand = padded_demand(ctx.status->busy_cores, options_.headroom);
+  std::size_t needed = covering_prefix(*ctx.platform, *ctx.efficiency_order, demand);
+  if (pool_saturated(ctx)) {
+    needed = std::max(needed, ctx.candidate_count + options_.grow);
+  }
+
+  if (ctx.initial || needed >= ctx.candidate_count) {
+    surplus_since_.reset();
+    return StrategyDecision{needed, std::nullopt, true};
+  }
+  // Last-empty-server rule: hold the surplus until it has persisted past
+  // the break-even delay, then release it all at once.
+  if (!surplus_since_) surplus_since_ = ctx.now;
+  if (ctx.now - *surplus_since_ + 1e-9 >= *cached_delay_) {
+    surplus_since_.reset();
+    return StrategyDecision{needed, std::nullopt, true};
+  }
+  return StrategyDecision{ctx.candidate_count, std::nullopt, true};
+}
+
+// --- hetero-schedule (Albers & Quedenfeld style) ---
+
+HeterogeneousScheduleStrategy::HeterogeneousScheduleStrategy(
+    HeterogeneousScheduleOptions options)
+    : options_(options) {}
+
+void HeterogeneousScheduleStrategy::build_classes(const StrategyContext& ctx) {
+  // Group the efficiency order by machine model; class order follows the
+  // first appearance of each model, i.e. classes are themselves sorted
+  // most efficient first.
+  std::map<std::string, std::size_t> slot_of_model;
+  for (const std::size_t index : *ctx.efficiency_order) {
+    const std::string& model = ctx.platform->node(index).spec().model;
+    auto [it, inserted] = slot_of_model.try_emplace(model, classes_.size());
+    if (inserted) {
+      MachineClass cls;
+      cls.model = model;
+      classes_.push_back(std::move(cls));
+    }
+    classes_[it->second].nodes.push_back(index);
+  }
+  for (MachineClass& cls : classes_) {
+    cls.cumulative_cores.reserve(cls.nodes.size());
+    std::size_t cores = 0;
+    for (const std::size_t index : cls.nodes) {
+      cores += ctx.platform->node(index).spec().cores;
+      cls.cumulative_cores.push_back(cores);
+    }
+    cls.delay = options_.delay > 0.0 ? options_.delay
+                                     : boot_break_even_seconds(*ctx.platform, cls.nodes);
+  }
+  built_ = true;
+}
+
+StrategyDecision HeterogeneousScheduleStrategy::decide(const StrategyContext& ctx) {
+  if (!built_) build_classes(ctx);
+
+  std::size_t demand = padded_demand(ctx.status->busy_cores, options_.headroom);
+  if (pool_saturated(ctx)) {
+    // One (or `grow`) more node's worth of demand than the pool covers,
+    // so the allocation below opens capacity in the cheapest class that
+    // still has spare machines.
+    demand = std::max(demand, ctx.pool_on_cores + options_.grow);
+  }
+
+  // Allocate demand across classes, most efficient class first.
+  std::size_t remaining = demand;
+  std::vector<std::size_t> wanted(classes_.size(), 0);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const MachineClass& cls = classes_[c];
+    std::size_t take = 0;
+    while (take < cls.nodes.size() && remaining > (take == 0 ? 0 : cls.cumulative_cores[take - 1]))
+      ++take;
+    wanted[c] = take;
+    const std::size_t covered = take == 0 ? 0 : cls.cumulative_cores[take - 1];
+    remaining -= std::min(remaining, covered);
+  }
+
+  // Per-class delayed power-down: growth commits immediately, shrink
+  // only after the class surplus outlived its break-even delay.
+  std::size_t target = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    MachineClass& cls = classes_[c];
+    if (ctx.initial || wanted[c] >= cls.keep) {
+      cls.keep = wanted[c];
+      cls.surplus_since.reset();
+    } else {
+      if (!cls.surplus_since) cls.surplus_since = ctx.now;
+      if (ctx.now - *cls.surplus_since + 1e-9 >= cls.delay) {
+        cls.keep = wanted[c];
+        cls.surplus_since.reset();
+      }
+    }
+    target += cls.keep;
+  }
+
+  // Candidacy order: each class's committed nodes first (so the shell's
+  // prefix application realises the per-class split), then every
+  // leftover node as FAILED-backfill reserve.
+  std::vector<std::size_t> order;
+  order.reserve(ctx.platform->node_count());
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const MachineClass& cls = classes_[c];
+    for (std::size_t i = 0; i < cls.keep && i < cls.nodes.size(); ++i)
+      order.push_back(cls.nodes[i]);
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const MachineClass& cls = classes_[c];
+    for (std::size_t i = cls.keep; i < cls.nodes.size(); ++i) order.push_back(cls.nodes[i]);
+  }
+
+  return StrategyDecision{target, std::move(order), true};
+}
+
+// --- reactive-idle (cloudsim_eec pattern) ---
+
+ReactiveIdleTimeoutStrategy::ReactiveIdleTimeoutStrategy(ReactiveIdleOptions options)
+    : options_(options) {}
+
+StrategyDecision ReactiveIdleTimeoutStrategy::decide(const StrategyContext& ctx) {
+  if (ctx.initial) {
+    // Provision-on-arrival starts lean: cover whatever is already busy
+    // plus the configured warm spares.
+    const std::size_t needed =
+        covering_prefix(*ctx.platform, *ctx.efficiency_order, ctx.status->busy_cores);
+    return StrategyDecision{needed + options_.spare, std::nullopt, true};
+  }
+
+  // Treat an all-dark pool (everything still booting) as hot: capacity
+  // was ordered for a reason and must not be cancelled by a zero sample.
+  const double pool_utilization =
+      ctx.pool_on_cores == 0 ? 1.0
+                             : static_cast<double>(ctx.pool_busy_cores) /
+                                   static_cast<double>(ctx.pool_on_cores);
+
+  if (pool_utilization >= options_.up) {
+    idle_since_.reset();
+    return StrategyDecision{ctx.candidate_count + options_.burst, std::nullopt, true};
+  }
+  if (pool_utilization <= options_.down) {
+    if (!idle_since_) idle_since_ = ctx.now;
+    if (ctx.now - *idle_since_ + 1e-9 >= options_.idle) {
+      idle_since_.reset();
+      const std::size_t needed =
+          covering_prefix(*ctx.platform, *ctx.efficiency_order, ctx.status->busy_cores);
+      return StrategyDecision{needed + options_.spare, std::nullopt, true};
+    }
+    return StrategyDecision{ctx.candidate_count, std::nullopt, true};
+  }
+  idle_since_.reset();
+  return StrategyDecision{ctx.candidate_count, std::nullopt, true};
+}
+
+}  // namespace greensched::green

@@ -48,7 +48,8 @@ std::string grid_fingerprint(const std::vector<SweepPoint>& points,
        << ";retry=" << c.retry.resubmit_on_failure << ',' << c.retry.backoff_retries << ','
        << c.retry.max_attempts << ',' << c.retry.base_backoff_seconds << ','
        << c.retry.backoff_multiplier << ',' << c.retry.max_backoff_seconds << ','
-       << c.retry.jitter_fraction << ',' << c.retry.deadline_seconds << ";clusters=";
+       << c.retry.jitter_fraction << ',' << c.retry.deadline_seconds
+       << ";prov=" << c.provisioner << ',' << c.provisioner_check_seconds << ";clusters=";
     for (const ClusterSetup& setup : c.clusters) {
       os << '[' << setup.name << ',' << setup.spec.model << ',' << setup.spec.cores << ','
          << setup.spec.flops_per_core.value() << ',' << setup.spec.idle_watts.value() << ','
@@ -92,6 +93,16 @@ std::string encode_placement_result(const PlacementResult& r) {
   w.u64(r.cluster_outages);
   w.u64(r.boot_failures);
   w.u64(r.retries);
+  // Provisioning outcome (appended in PR 6; the fingerprint covers the
+  // provisioner knobs, so a manifest never mixes formats within a grid).
+  w.str(r.provisioner);
+  w.u64(r.provisioner_checks);
+  w.u64(r.boots_ordered);
+  w.u64(r.shutdowns_ordered);
+  w.u64(r.degraded_checks);
+  w.f64(r.mean_candidates);
+  w.f64(r.mean_target_gap);
+  w.str(r.candidate_series);
   return w.take();
 }
 
@@ -137,6 +148,14 @@ PlacementResult decode_placement_result(std::string_view payload) {
   r.cluster_outages = reader.u64();
   r.boot_failures = reader.u64();
   r.retries = reader.u64();
+  r.provisioner = reader.str();
+  r.provisioner_checks = reader.u64();
+  r.boots_ordered = reader.u64();
+  r.shutdowns_ordered = reader.u64();
+  r.degraded_checks = reader.u64();
+  r.mean_candidates = reader.f64();
+  r.mean_target_gap = reader.f64();
+  r.candidate_series = reader.str();
   reader.expect_end();
   return r;
 }

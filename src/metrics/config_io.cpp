@@ -48,6 +48,10 @@ xmlite::Document config_to_xml(const PlacementConfig& config) {
   if (config.task_count_override != 0) {
     root.set_attribute("task_count", static_cast<long long>(config.task_count_override));
   }
+  if (!config.provisioner.empty()) {
+    root.set_attribute("provisioner", config.provisioner);
+    root.set_attribute("provisioner_check", config.provisioner_check_seconds);
+  }
 
   for (const auto& setup : config.clusters) {
     Element& cluster = root.add_child("cluster");
@@ -100,6 +104,15 @@ PlacementConfig config_from_xml(const Document& doc) {
   if (root.has_attribute("task_count")) {
     config.task_count_override =
         static_cast<std::size_t>(bounded_count(root, "task_count", 0, 100000000));
+  }
+  if (auto provisioner = root.attribute("provisioner")) {
+    config.provisioner = *provisioner;
+  }
+  if (root.has_attribute("provisioner_check")) {
+    config.provisioner_check_seconds = finite_attribute(root, "provisioner_check");
+    if (config.provisioner_check_seconds <= 0.0) {
+      throw ConfigError("experiment file: provisioner_check must be positive");
+    }
   }
 
   config.clusters.clear();

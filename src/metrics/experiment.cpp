@@ -1,6 +1,7 @@
 #include "metrics/experiment.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <numeric>
 #include <optional>
@@ -12,6 +13,7 @@
 #include "diet/client.hpp"
 #include "diet/hierarchy.hpp"
 #include "green/policies.hpp"
+#include "green/provisioner.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace greensched::metrics {
@@ -123,6 +125,8 @@ PlacementResult run_placement(const PlacementConfig& config) {
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     shares[i % config.client_count].push_back(tasks[i]);
   }
+  std::vector<std::size_t> expected_tasks(config.client_count);
+  for (std::size_t c = 0; c < config.client_count; ++c) expected_tasks[c] = shares[c].size();
   for (std::size_t c = 0; c < config.client_count; ++c) {
     clients.push_back(std::make_unique<diet::Client>(
         hierarchy, "client-" + std::to_string(c), config.retry));
@@ -137,6 +141,60 @@ PlacementResult run_placement(const PlacementConfig& config) {
   if (chaotic) {
     injector.emplace(hierarchy, config.chaos);
     injector->start();
+  }
+
+  // Optional adaptive provisioning: a strategy-driven Provisioner under
+  // a flat tariff (the workload, not scheduled events, drives the
+  // decisions here).  Everything is RNG-free, so an empty spec leaves
+  // the run bit-identical to the pre-strategy-zoo harness.
+  green::EventSchedule events;
+  green::ProvisioningPlanning planning;
+  std::unique_ptr<green::Provisioner> provisioner;
+  const bool provisioned = !config.provisioner.empty();
+  if (provisioned) {
+    events.set_initial_cost(1.0);
+    green::ProvisionerConfig pconfig;
+    if (config.provisioner_check_seconds <= 0.0) {
+      throw common::ConfigError("run_placement: provisioner_check_seconds must be positive");
+    }
+    pconfig.check_period = des::SimDuration(config.provisioner_check_seconds);
+    pconfig.lookahead = des::SimDuration(2.0 * config.provisioner_check_seconds);
+    pconfig.strategy = config.provisioner;
+    provisioner = std::make_unique<green::Provisioner>(
+        sim, platform, ma, green::RuleEngine::paper_default(), events, planning, pconfig);
+    // Newly booted capacity must wake queued requests (completions alone
+    // cannot: a fully drained pool has none in flight), and the periodic
+    // check must stop once every client settled or the run would tick
+    // forever.
+    provisioner->set_check_hook(
+        [&hierarchy](des::SimTime, const green::PlatformStatus&, std::size_t) {
+          hierarchy.notify_capacity_change();
+        });
+    // settled() alone is vacuously true before a client's arrivals fire,
+    // so also require the whole workload share to have been submitted.
+    // A chaotic run can additionally wedge with requests stuck in a
+    // queue no timer will rescue ("unfinished" in the result) — without
+    // a watchdog the periodic check would tick forever; 32 checks with
+    // zero client progress freeze the pool and let the run drain.
+    provisioner->set_stop_predicate(
+        [&clients, &expected_tasks, last = std::uint64_t{0}, stale = 0u]() mutable {
+          bool all_settled = true;
+          std::uint64_t progress = 0;
+          for (std::size_t c = 0; c < clients.size(); ++c) {
+            if (clients[c]->submitted() < expected_tasks[c] || !clients[c]->settled())
+              all_settled = false;
+            progress += clients[c]->submitted() + clients[c]->completed() +
+                        clients[c]->lost() + clients[c]->retries();
+          }
+          if (all_settled) return true;
+          if (progress == last && ++stale >= 32) return true;
+          if (progress != last) {
+            stale = 0;
+            last = progress;
+          }
+          return false;
+        });
+    provisioner->start();
   }
 
   sim.run();
@@ -163,6 +221,29 @@ PlacementResult run_placement(const PlacementConfig& config) {
     result.retries += client->retries();
   }
   result.tasks_unfinished = task_count - result.tasks_completed - result.tasks_lost;
+  if (provisioner) {
+    result.provisioner = config.provisioner;
+    result.provisioner_checks = provisioner->checks();
+    result.boots_ordered = provisioner->boots_ordered();
+    result.shutdowns_ordered = provisioner->shutdowns_ordered();
+    result.degraded_checks = provisioner->degraded_checks();
+    result.mean_target_gap = provisioner->mean_target_gap();
+    const common::TimeSeries& series = provisioner->candidate_series();
+    const std::vector<double>& times = series.times();
+    const std::vector<double>& values = series.values();
+    double sum = 0.0;
+    std::string serialized;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sum += values[i];
+      char entry[64];
+      std::snprintf(entry, sizeof entry, "%.17g:%.17g", times[i], values[i]);
+      if (!serialized.empty()) serialized += ';';
+      serialized += entry;
+    }
+    result.mean_candidates =
+        values.empty() ? 0.0 : sum / static_cast<double>(values.size());
+    result.candidate_series = std::move(serialized);
+  }
   if (injector) {
     result.tasks_killed = injector->tasks_killed();
     result.crashes = injector->crashes();
@@ -192,8 +273,11 @@ PlacementResult run_placement(const PlacementConfig& config) {
   // Whole-infrastructure energy over the experiment (idle draw included,
   // as the wattmeters of the testbed would measure it).  A chaotic run
   // integrates to the end of the repair tail, not just the last
-  // completion, so crash/repair power is conserved in the accounting.
-  EnergySnapshot snapshot(platform, chaotic ? sim.now() : Seconds(makespan));
+  // completion, so crash/repair power is conserved in the accounting; a
+  // provisioned run likewise integrates to the provisioner's final check,
+  // which has already advanced the node power clocks past the makespan.
+  EnergySnapshot snapshot(platform,
+                          chaotic || provisioned ? sim.now() : Seconds(makespan));
   result.energy = snapshot.total();
   for (const auto& c : snapshot.per_cluster()) {
     result.per_cluster.push_back(ClusterEnergyRow{c.cluster, c.energy});

@@ -68,6 +68,15 @@ struct PlacementConfig {
   /// Client self-healing knobs; the default reproduces the legacy
   /// reactive behaviour exactly.
   diet::RetryPolicy retry{};
+  /// Provisioning strategy spec ("rule-fraction", "delayed-off:delay=120",
+  /// ... — see green/provisioning_strategy.hpp).  Empty = no provisioner
+  /// at all: the whole platform stays candidate, bit-identical to the
+  /// pre-strategy-zoo harness.
+  std::string provisioner;
+  /// Check period of the provisioner's autonomic loop.  Experiments run
+  /// far shorter horizons than the paper's day-long Fig. 9 timeline, so
+  /// the default is 60 s rather than the paper's 10 minutes.
+  double provisioner_check_seconds = 60.0;
 };
 
 struct ClusterEnergyRow {
@@ -99,6 +108,21 @@ struct PlacementResult {
   std::uint64_t cluster_outages = 0;
   std::uint64_t boot_failures = 0;
   std::uint64_t retries = 0;  ///< timed backoff re-dispatch attempts
+
+  // --- provisioning outcome (all zero/empty without a provisioner) ---
+  std::string provisioner;  ///< strategy spec in force ("" = none)
+  std::uint64_t provisioner_checks = 0;
+  std::uint64_t boots_ordered = 0;      ///< provisioner power-on commands
+  std::uint64_t shutdowns_ordered = 0;  ///< provisioner power-off commands
+  std::uint64_t degraded_checks = 0;    ///< checks that skipped FAILED nodes
+  double mean_candidates = 0.0;         ///< mean pool size over checks
+  /// Reactivity: mean |strategy target - applied pool| per check (0 =
+  /// the pool always kept up with the strategy's wishes).
+  double mean_target_gap = 0.0;
+  /// The Fig. 9 candidate series as "t:n;..." — pinned bit-exactly by
+  /// the determinism tests (fixed seed + strategy => identical at any
+  /// sweep jobs count).
+  std::string candidate_series;
 };
 
 /// Runs one placement experiment to completion (deterministic in `seed`).

@@ -35,6 +35,16 @@ SweepRunner& SweepRunner::add_policies(const PlacementConfig& base,
   return *this;
 }
 
+SweepRunner& SweepRunner::add_strategies(const PlacementConfig& base,
+                                         const std::vector<std::string>& strategies) {
+  for (const std::string& strategy : strategies) {
+    PlacementConfig config = base;
+    config.provisioner = strategy;
+    add(strategy.empty() ? "none" : strategy, std::move(config));
+  }
+  return *this;
+}
+
 std::vector<SweepRow> SweepRunner::run() const {
   if (points_.empty()) throw common::ConfigError("SweepRunner: no grid points");
   const std::size_t seed_count = options_.seeds.size();
@@ -175,6 +185,34 @@ void SweepRunner::write_runs_csv(std::ostream& out, const std::vector<SweepRow>&
           .cell(run.energy.value())
           .cell(run.mean_wait_seconds)
           .cell(static_cast<std::size_t>(run.sim_events));
+      csv.end_row();
+    }
+  }
+}
+
+void SweepRunner::write_provisioning_csv(std::ostream& out,
+                                         const std::vector<SweepRow>& rows) {
+  common::CsvWriter csv(out);
+  csv.row({"label", "policy", "provisioner", "seed", "tasks", "completed", "lost",
+           "energy_j", "makespan_s", "boots", "shutdowns", "checks", "degraded",
+           "mean_candidates", "reactivity_gap"});
+  for (const SweepRow& row : rows) {
+    for (const PlacementResult& run : row.replicated.runs) {
+      csv.cell(row.label)
+          .cell(row.policy)
+          .cell(run.provisioner.empty() ? std::string("none") : run.provisioner)
+          .cell(static_cast<std::size_t>(run.seed))
+          .cell(run.tasks)
+          .cell(run.tasks_completed)
+          .cell(run.tasks_lost)
+          .cell(run.energy.value())
+          .cell(run.makespan.value())
+          .cell(static_cast<std::size_t>(run.boots_ordered))
+          .cell(static_cast<std::size_t>(run.shutdowns_ordered))
+          .cell(static_cast<std::size_t>(run.provisioner_checks))
+          .cell(static_cast<std::size_t>(run.degraded_checks))
+          .cell(run.mean_candidates)
+          .cell(run.mean_target_gap);
       csv.end_row();
     }
   }

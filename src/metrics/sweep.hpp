@@ -64,6 +64,11 @@ class SweepRunner {
   /// Adds one point per policy, cloning `base` (label = policy name).
   SweepRunner& add_policies(const PlacementConfig& base,
                             const std::vector<std::string>& policies);
+  /// Adds one point per provisioning strategy spec, cloning `base`
+  /// (label = spec, or "none" for the empty spec).  The strategy zoo's
+  /// comparison axis.
+  SweepRunner& add_strategies(const PlacementConfig& base,
+                              const std::vector<std::string>& strategies);
 
   [[nodiscard]] std::size_t point_count() const noexcept { return points_.size(); }
   [[nodiscard]] const SweepOptions& options() const noexcept { return options_; }
@@ -84,6 +89,11 @@ class SweepRunner {
   static void write_csv(std::ostream& out, const std::vector<SweepRow>& rows);
   /// Raw CSV: one row per (point, seed) run.
   static void write_runs_csv(std::ostream& out, const std::vector<SweepRow>& rows);
+  /// Provisioning-comparison CSV: one row per (point, seed) run with the
+  /// strategy-zoo metrics (energy, lost tasks, boots, reactivity).  A
+  /// separate schema so the golden Table II pin on write_runs_csv never
+  /// moves.
+  static void write_provisioning_csv(std::ostream& out, const std::vector<SweepRow>& rows);
 
  private:
   /// Splits the collected trace by grid point and writes one Chrome-trace

@@ -40,6 +40,9 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
   b.chaos_stale_notifications = registry.counter("chaos.stale_notifications");
   b.provisioner_ticks = registry.counter("green.provisioner_ticks");
   b.provisioner_degraded = registry.counter("green.provisioner_degraded");
+  b.provisioner_cap_clamped = registry.counter("green.provisioner_cap_clamped");
+  b.provisioner_boots_ordered = registry.counter("green.provisioner_boots_ordered");
+  b.provisioner_shutdowns_ordered = registry.counter("green.provisioner_shutdowns_ordered");
   b.planning_writes = registry.counter("green.planning_writes");
   b.rule_firings = registry.counter("green.rule_firings");
   b.ramp_up_steps = registry.counter("green.ramp_up_steps");
@@ -51,6 +54,7 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
   b.pstate_transitions = registry.counter("cluster.pstate_transitions");
   b.candidate_nodes = registry.gauge("green.candidate_nodes");
   b.electricity_cost = registry.gauge("green.electricity_cost");
+  b.provisioner_target_gap = registry.gauge("green.provisioner_target_gap");
   b.task_run_seconds = registry.histogram(
       "diet.task_run_seconds", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
   b.election_candidates =

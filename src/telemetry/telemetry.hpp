@@ -52,6 +52,9 @@ struct BuiltinMetrics {
   // provisioner autonomic loop (green)
   CounterId provisioner_ticks;
   CounterId provisioner_degraded;  ///< checks with healthy pool below target
+  CounterId provisioner_cap_clamped;  ///< checks whose target hit the external cap
+  CounterId provisioner_boots_ordered;      ///< power-on commands issued
+  CounterId provisioner_shutdowns_ordered;  ///< power-off commands issued
   CounterId planning_writes;
   CounterId rule_firings;
   CounterId ramp_up_steps;
@@ -65,6 +68,7 @@ struct BuiltinMetrics {
   // gauges
   GaugeId candidate_nodes;
   GaugeId electricity_cost;
+  GaugeId provisioner_target_gap;  ///< |strategy target - applied pool|
   // histograms
   HistogramId task_run_seconds;
   HistogramId election_candidates;

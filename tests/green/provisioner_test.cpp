@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "diet/hierarchy.hpp"
 #include "green/policies.hpp"
+#include "support/oracle.hpp"
 
 namespace greensched::green {
 namespace {
@@ -265,6 +266,64 @@ TEST(Provisioner, CheckHookObservesStatus) {
   provisioner->start();
   f.sim.run_until(Seconds(1800.0));
   EXPECT_EQ(hooks, 3u);
+}
+
+TEST(Provisioner, CapLoweredMidRampUpReversesWithinOneCheck) {
+  Fixture f;
+  // Cost drops to 0.4 at t=900 with no notice: the 100% rule raises the
+  // target to 12 and the pool ramps up +2 per 10-minute check.
+  f.events.add(EventSchedule::scheduled_cost_change(900.0, 0.4, 0.0));
+  EventInjector injector(f.sim, f.platform, f.events);
+  ProvisionerConfig config;
+  config.check_period = common::minutes(10.0);
+  config.ramp_up_step = 2;
+  config.ramp_down_step = 4;
+  config.min_candidates = 2;
+  auto provisioner = f.make_provisioner(config);
+  testsupport::SimulationOracle oracle;
+  oracle.watch(f.platform);
+  provisioner->start();
+  EXPECT_EQ(provisioner->candidate_count(), 4u);
+
+  f.sim.run_until(Seconds(1800.0));  // checks at 600 (4), 1200 (6), 1800 (8)
+  ASSERT_EQ(provisioner->candidate_count(), 8u);
+  EXPECT_EQ(provisioner->cap_clamped_checks(), 0u);
+
+  // Budget intervention mid-ramp-up: the very next check must reverse
+  // direction, not finish the climb first.
+  provisioner->set_external_cap(4);
+  f.sim.run_until(Seconds(2400.0));
+  EXPECT_EQ(provisioner->candidate_count(), 4u);
+  EXPECT_GE(provisioner->cap_clamped_checks(), 1u);
+  EXPECT_EQ(provisioner->last_target(), 4u);  // clamped target, not 12
+
+  oracle.check_candidate_set(*provisioner, f.platform, 0.0);
+  oracle.check_energy(f.platform, f.sim.now());
+  EXPECT_TRUE(oracle.clean()) << oracle.report();
+}
+
+TEST(Provisioner, CapClearedResumesRampToRuleTarget) {
+  Fixture f;
+  f.events.set_initial_cost(0.4);  // 100% rule -> 12, but capped below
+  EventInjector injector(f.sim, f.platform, f.events);
+  ProvisionerConfig config;
+  config.check_period = common::minutes(10.0);
+  config.ramp_up_step = 2;
+  config.min_candidates = 2;
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+  ASSERT_EQ(provisioner->candidate_count(), 12u);  // start() is uncapped
+
+  provisioner->set_external_cap(4);
+  f.sim.run_until(Seconds(1800.0));  // ramp-down obeys the cap
+  EXPECT_EQ(provisioner->candidate_count(), 4u);
+  const auto clamped = provisioner->cap_clamped_checks();
+  EXPECT_GE(clamped, 1u);
+
+  provisioner->set_external_cap(std::nullopt);
+  f.sim.run_until(Seconds(4800.0));  // +2 per check: 6, 8, 10, 12
+  EXPECT_EQ(provisioner->candidate_count(), 12u);
+  EXPECT_EQ(provisioner->cap_clamped_checks(), clamped);  // no new clamps
 }
 
 TEST(Provisioner, StopHaltsChecks) {

@@ -1,0 +1,331 @@
+#include "green/provisioning_strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/policies.hpp"
+#include "green/provisioner.hpp"
+
+namespace greensched::green {
+namespace {
+
+using common::Seconds;
+
+// --- registry / spec parsing ---
+
+TEST(StrategyRegistry, KnowsAllFiveStrategies) {
+  const auto names = provisioning_strategy_names();
+  ASSERT_EQ(names.size(), 5u);
+  for (const char* expected :
+       {"rule-fraction", "power-cap", "delayed-off", "hetero-schedule", "reactive-idle"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
+    EXPECT_TRUE(is_provisioning_strategy(expected)) << expected;
+  }
+  EXPECT_FALSE(is_provisioning_strategy("bogus"));
+  EXPECT_FALSE(is_provisioning_strategy(""));
+}
+
+TEST(StrategyRegistry, SpecCarriesOptionsAfterColon) {
+  EXPECT_EQ(provisioning_strategy_base_name("delayed-off:delay=120,grow=3"), "delayed-off");
+  EXPECT_TRUE(is_provisioning_strategy("delayed-off:delay=120,grow=3"));
+  const auto strategy = make_provisioning_strategy("delayed-off:delay=120,grow=3");
+  EXPECT_STREQ(strategy->name(), "delayed-off");
+  const auto& options = dynamic_cast<const DelayedOffStrategy&>(*strategy).options();
+  EXPECT_DOUBLE_EQ(options.delay, 120.0);
+  EXPECT_EQ(options.grow, 3u);
+}
+
+TEST(StrategyRegistry, RejectsUnknownNamesKeysAndBadValues) {
+  EXPECT_THROW(make_provisioning_strategy("bogus"), common::ConfigError);
+  EXPECT_THROW(make_provisioning_strategy(""), common::ConfigError);
+  EXPECT_THROW(make_provisioning_strategy("delayed-off:frobnicate=1"), common::ConfigError);
+  EXPECT_THROW(make_provisioning_strategy("delayed-off:delay=abc"), common::ConfigError);
+  EXPECT_THROW(make_provisioning_strategy("delayed-off:delay"), common::ConfigError);
+  // reactive-idle requires up > down, or the thresholds are contradictory.
+  EXPECT_THROW(make_provisioning_strategy("reactive-idle:up=0.2,down=0.5"),
+               common::ConfigError);
+}
+
+TEST(StrategyRegistry, HelpMentionsEveryStrategy) {
+  const std::string help = provisioning_strategy_help("  ");
+  for (const std::string& name : provisioning_strategy_names()) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+// --- shared fixture: the Table I platform ---
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  std::unique_ptr<diet::Hierarchy> hierarchy;
+  diet::MasterAgent* ma = nullptr;
+  std::unique_ptr<diet::PluginScheduler> policy;
+  EventSchedule events;
+  ProvisioningPlanning planning;
+
+  Fixture() {
+    cluster::ClusterOptions four;
+    four.node_count = 4;
+    platform.add_cluster("orion", cluster::MachineCatalog::orion(), four, rng);
+    platform.add_cluster("sagittaire", cluster::MachineCatalog::sagittaire(), four, rng);
+    platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), four, rng);
+    hierarchy = std::make_unique<diet::Hierarchy>(sim, rng);
+    ma = &hierarchy->build_per_cluster(platform, {"cpu-bound"});
+    policy = make_policy("GREENPERF");
+    ma->set_plugin(policy.get());
+  }
+
+  std::unique_ptr<Provisioner> make_provisioner(ProvisionerConfig config = {}) {
+    return std::make_unique<Provisioner>(sim, platform, *ma, RuleEngine::paper_default(),
+                                         events, planning, config);
+  }
+};
+
+/// A StrategyContext over the fixture's platform, for direct decide()
+/// unit tests (no simulator involved).
+struct ContextBuilder {
+  PlatformStatus status;
+  std::vector<std::size_t> efficiency_order;
+  ProviderPreference provider{0.5, 0.5};
+  RuleEngine rules = RuleEngine::paper_default();
+  const cluster::Platform* platform = nullptr;
+  EventSchedule* events = nullptr;
+
+  StrategyContext at(double now, std::size_t busy, std::size_t candidates,
+                     std::size_t on_cores) {
+    StrategyContext ctx;
+    ctx.now = now;
+    ctx.status = &status;
+    ctx.platform = platform;
+    ctx.events = events;
+    ctx.rules = &rules;
+    ctx.provider = &provider;
+    ctx.efficiency_order = &efficiency_order;
+    ctx.candidate_count = candidates;
+    ctx.pool_busy_cores = busy;
+    ctx.pool_on_cores = on_cores;
+    status.busy_cores = busy;
+    return ctx;
+  }
+};
+
+ContextBuilder context_for(Fixture& f, const Provisioner& provisioner) {
+  ContextBuilder b;
+  b.platform = &f.platform;
+  b.events = &f.events;
+  b.efficiency_order = provisioner.efficiency_order();
+  return b;
+}
+
+// --- bit-identity: legacy modes vs their strategy ports ---
+
+/// Runs a provisioner for two simulated hours under the paper's Fig. 9
+/// tariff events and returns the candidate series as (t, n) pairs.
+std::vector<std::pair<double, double>> timeline(ProvisionerConfig config) {
+  Fixture f;
+  f.events.set_initial_cost(1.0);
+  f.events.add(EventSchedule::scheduled_cost_change(60 * 60.0, 0.8, 20 * 60.0));
+  f.events.add(EventSchedule::scheduled_cost_change(100 * 60.0, 0.4, 20 * 60.0));
+  EventInjector injector(f.sim, f.platform, f.events);
+  config.check_period = common::minutes(10.0);
+  config.lookahead = common::minutes(20.0);
+  config.min_candidates = 2;
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+  f.sim.run_until(Seconds(120 * 60.0));
+  std::vector<std::pair<double, double>> series;
+  for (std::size_t i = 0; i < provisioner->candidate_series().size(); ++i) {
+    series.emplace_back(provisioner->candidate_series().time_at(i),
+                        provisioner->candidate_series().value_at(i));
+  }
+  return series;
+}
+
+TEST(StrategyBitIdentity, RuleFractionSpecMatchesLegacyMode) {
+  ProvisionerConfig legacy;  // default mode = rule-fraction, no spec
+  ProvisionerConfig spec;
+  spec.strategy = "rule-fraction";
+  EXPECT_EQ(timeline(legacy), timeline(spec));
+}
+
+TEST(StrategyBitIdentity, PowerCapSpecMatchesLegacyMode) {
+  ProvisionerConfig legacy;
+  legacy.mode = ProvisioningMode::kPowerCap;
+  legacy.provider = ProviderPreference(0.7, 0.3);
+  ProvisionerConfig spec;
+  spec.strategy = "power-cap";
+  spec.provider = ProviderPreference(0.7, 0.3);
+  EXPECT_EQ(timeline(legacy), timeline(spec));
+}
+
+TEST(StrategyBitIdentity, UnknownSpecInProvisionerConfigThrows) {
+  Fixture f;
+  ProvisionerConfig config;
+  config.strategy = "definitely-not-a-strategy";
+  EXPECT_THROW(f.make_provisioner(config), common::ConfigError);
+}
+
+// --- delayed-off (Lu & Chen) ---
+
+TEST(DelayedOff, GrowsImmediatelyShrinksOnlyAfterDelay) {
+  Fixture f;
+  const auto provisioner = f.make_provisioner();
+  auto ctx = context_for(f, *provisioner);
+  DelayedOffStrategy strategy(DelayedOffOptions{.delay = 600.0});
+
+  // Demand for 30 cores: taurus nodes have 12 cores each -> 3 nodes.
+  auto d = strategy.decide(ctx.at(0.0, 30, 1, 12));
+  EXPECT_TRUE(d.immediate);
+  EXPECT_EQ(d.target, 3u);
+
+  // Demand falls to one node's worth: the surplus is held, not dropped.
+  d = strategy.decide(ctx.at(300.0, 10, 3, 36));
+  EXPECT_EQ(d.target, 3u);
+  // Still inside the 600 s delay window.
+  d = strategy.decide(ctx.at(700.0, 10, 3, 36));
+  EXPECT_EQ(d.target, 3u);
+  // Past the delay (armed at t=300): surplus released.
+  d = strategy.decide(ctx.at(1000.0, 10, 3, 36));
+  EXPECT_EQ(d.target, 1u);
+}
+
+TEST(DelayedOff, SaturatedPoolGrowsByConfiguredStep) {
+  Fixture f;
+  const auto provisioner = f.make_provisioner();
+  auto ctx = context_for(f, *provisioner);
+  DelayedOffStrategy strategy(DelayedOffOptions{.delay = 600.0, .grow = 3});
+  // Pool fully busy: every on-core occupied -> grow beyond demand cover.
+  const auto d = strategy.decide(ctx.at(0.0, 24, 2, 24));
+  EXPECT_GE(d.target, 5u);  // 2 current + 3 grow
+}
+
+TEST(DelayedOff, AutoDelayUsesBootBreakEven) {
+  Fixture f;
+  const auto provisioner = f.make_provisioner();
+  const double break_even =
+      boot_break_even_seconds(f.platform, provisioner->efficiency_order());
+  EXPECT_GT(break_even, 0.0);
+  EXPECT_LT(break_even, 3600.0);  // sane: minutes, not hours
+}
+
+// --- hetero-schedule (Albers & Quedenfeld) ---
+
+TEST(HeteroSchedule, OrderOverrideIsAPermutationGroupedByClass) {
+  Fixture f;
+  const auto provisioner = f.make_provisioner();
+  auto ctx = context_for(f, *provisioner);
+  HeterogeneousScheduleStrategy strategy;
+
+  // Demand beyond the taurus class (4 x 12 = 48 cores): spills into orion.
+  const auto d = strategy.decide(ctx.at(0.0, 50, 4, 48));
+  EXPECT_TRUE(d.immediate);
+  EXPECT_EQ(d.target, 5u);
+  ASSERT_TRUE(d.order.has_value());
+  ASSERT_EQ(d.order->size(), f.platform.node_count());
+  // Permutation check.
+  std::vector<std::size_t> sorted = *d.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  // The kept prefix is 4 taurus + 1 orion.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(f.platform.node((*d.order)[i]).spec().model, "taurus") << i;
+  }
+  EXPECT_EQ(f.platform.node((*d.order)[4]).spec().model, "orion");
+}
+
+TEST(HeteroSchedule, EachClassHoldsSurplusThroughItsDelay) {
+  Fixture f;
+  const auto provisioner = f.make_provisioner();
+  auto ctx = context_for(f, *provisioner);
+  HeterogeneousScheduleStrategy strategy(HeterogeneousScheduleOptions{.delay = 400.0});
+
+  auto d = strategy.decide(ctx.at(0.0, 50, 4, 48));
+  EXPECT_EQ(d.target, 5u);
+  // Demand collapses to 10 cores (one taurus): both classes hold.
+  d = strategy.decide(ctx.at(100.0, 10, 5, 60));
+  EXPECT_EQ(d.target, 5u);
+  // Past each class's 400 s timer: down to the single needed node.
+  d = strategy.decide(ctx.at(600.0, 10, 5, 60));
+  EXPECT_EQ(d.target, 1u);
+}
+
+// --- reactive-idle (cloudsim_eec pattern) ---
+
+TEST(ReactiveIdle, HotPoolBurstsIdlePoolReleasesAfterTimeout) {
+  Fixture f;
+  const auto provisioner = f.make_provisioner();
+  auto ctx = context_for(f, *provisioner);
+  ReactiveIdleTimeoutStrategy strategy(
+      ReactiveIdleOptions{.up = 0.8, .down = 0.3, .idle = 300.0, .burst = 2, .spare = 1});
+
+  // 90% utilization: above `up` -> grow by burst.
+  auto d = strategy.decide(ctx.at(0.0, 43, 4, 48));
+  EXPECT_TRUE(d.immediate);
+  EXPECT_EQ(d.target, 6u);
+
+  // 10% utilization: below `down`, timer arms, pool held.
+  d = strategy.decide(ctx.at(60.0, 6, 6, 72));
+  EXPECT_EQ(d.target, 6u);
+  // Sustained idle past 300 s: shrink to cover + spare (6 cores -> 1 + 1).
+  d = strategy.decide(ctx.at(400.0, 6, 6, 72));
+  EXPECT_EQ(d.target, 2u);
+}
+
+TEST(ReactiveIdle, ReboundCancelsTheIdleTimer) {
+  Fixture f;
+  const auto provisioner = f.make_provisioner();
+  auto ctx = context_for(f, *provisioner);
+  ReactiveIdleTimeoutStrategy strategy(
+      ReactiveIdleOptions{.up = 0.8, .down = 0.3, .idle = 300.0, .burst = 2, .spare = 1});
+
+  auto d = strategy.decide(ctx.at(0.0, 6, 6, 72));   // arms timer
+  d = strategy.decide(ctx.at(100.0, 30, 6, 72));     // 42%: timer cancelled
+  EXPECT_EQ(d.target, 6u);
+  d = strategy.decide(ctx.at(400.0, 6, 6, 72));      // re-arms at 400
+  EXPECT_EQ(d.target, 6u);                           // not 300 s yet
+  d = strategy.decide(ctx.at(800.0, 6, 6, 72));
+  EXPECT_EQ(d.target, 2u);
+}
+
+// --- end-to-end: literature strategies drive the real shell ---
+
+TEST(StrategyShell, DelayedOffPowersPlatformDownWhenIdle) {
+  Fixture f;
+  ProvisionerConfig config;
+  config.strategy = "delayed-off:delay=300";
+  config.check_period = common::minutes(5.0);
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+  EXPECT_STREQ(provisioner->strategy().name(), "delayed-off");
+  // No demand at all: after the delay, the pool sits at min_candidates
+  // and everything else is powered off.
+  f.sim.run_until(Seconds(3600.0));
+  EXPECT_EQ(provisioner->candidate_count(), config.min_candidates);
+  std::size_t on = 0;
+  for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
+    if (f.platform.node(i).state() == cluster::NodeState::kOn) ++on;
+  }
+  EXPECT_EQ(on, config.min_candidates);
+}
+
+TEST(StrategyShell, OrderOverrideSurvivesIntoCandidateSet) {
+  Fixture f;
+  ProvisionerConfig config;
+  config.strategy = "hetero-schedule";
+  config.min_candidates = 1;
+  auto provisioner = f.make_provisioner(config);
+  provisioner->start();
+  // Idle platform: the hetero strategy keeps the minimum, all taurus.
+  for (const auto id : provisioner->candidates()) {
+    EXPECT_EQ(f.platform.find_node(id)->spec().model, "taurus");
+  }
+}
+
+}  // namespace
+}  // namespace greensched::green

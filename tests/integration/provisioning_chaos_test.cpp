@@ -1,0 +1,180 @@
+// Chaos acceptance for the provisioning strategy zoo: every strategy
+// must keep the autonomic loop healthy while nodes crash under it — no
+// lost requests with the hardened retry policy, every oracle invariant
+// intact, FAILED candidates backfilled, and the telemetry counters in
+// agreement with the provisioner's own accounting.
+#include <gtest/gtest.h>
+
+#include "chaos/injector.hpp"
+#include "diet/client.hpp"
+#include "diet/hierarchy.hpp"
+#include "green/policies.hpp"
+#include "green/provisioner.hpp"
+#include "green/provisioning_strategy.hpp"
+#include "metrics/experiment.hpp"
+#include "support/oracle.hpp"
+#include "telemetry/telemetry.hpp"
+#include "workload/generator.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+constexpr std::size_t kNodes = 12;
+constexpr std::size_t kTasks = 200;
+constexpr std::uint64_t kSeed = 42;
+
+/// A full middleware stack with a strategy-driven provisioner and a
+/// chaos injector around it — the hand-built mirror of what
+/// run_placement wires when config.provisioner is set.
+struct ProvisionedChaosRun {
+  des::Simulator sim;
+  common::Rng rng{kSeed};
+  cluster::Platform platform;
+  std::unique_ptr<diet::Hierarchy> hierarchy;
+  diet::MasterAgent* ma = nullptr;
+  std::unique_ptr<diet::PluginScheduler> policy;
+  green::EventSchedule events;
+  green::ProvisioningPlanning planning;
+  std::unique_ptr<green::Provisioner> provisioner;
+  std::unique_ptr<diet::Client> client;
+  std::unique_ptr<chaos::ChaosInjector> injector;
+
+  explicit ProvisionedChaosRun(const std::string& strategy, const std::string& scenario) {
+    for (const auto& setup : scaled_clusters(kNodes)) {
+      platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+    }
+    hierarchy = std::make_unique<diet::Hierarchy>(sim, rng);
+    ma = &hierarchy->build_per_cluster(platform, {"cpu-bound"});
+    policy = green::make_policy("POWER");
+    ma->set_plugin(policy.get());
+
+    events.set_initial_cost(1.0);
+    green::ProvisionerConfig pconfig;
+    pconfig.strategy = strategy;
+    pconfig.check_period = common::Seconds(60.0);
+    pconfig.lookahead = common::Seconds(120.0);
+    pconfig.min_candidates = 2;
+    provisioner = std::make_unique<green::Provisioner>(
+        sim, platform, *ma, green::RuleEngine::paper_default(), events, planning, pconfig);
+    // Booted capacity must rescue queued tasks, exactly as run_placement
+    // wires it.
+    provisioner->set_check_hook(
+        [this](des::SimTime, const green::PlatformStatus&, std::size_t) {
+          hierarchy->notify_capacity_change();
+        });
+
+    client = std::make_unique<diet::Client>(*hierarchy, "client",
+                                            diet::RetryPolicy::hardened());
+    provisioner->set_stop_predicate([this] {
+      return client->submitted() >= kTasks && client->settled();
+    });
+
+    workload::WorkloadConfig wconfig;
+    workload::WorkloadGenerator generator(wconfig);
+    workload::BurstThenContinuousArrival arrival(wconfig.burst_size,
+                                                 wconfig.continuous_rate);
+    client->submit_workload(
+        generator.generate_with(arrival, kTasks, common::Seconds(0.0), rng));
+
+    injector = std::make_unique<chaos::ChaosInjector>(
+        *hierarchy, chaos::ChaosScenario::parse(scenario));
+  }
+
+  void run() {
+    provisioner->start();
+    injector->start();
+    sim.run();
+  }
+};
+
+TEST(ProvisioningChaos, EveryStrategySurvivesCalmChaosOracleClean) {
+  for (const std::string& strategy : green::provisioning_strategy_names()) {
+    SCOPED_TRACE(strategy);
+    ProvisionedChaosRun run(strategy, "calm");
+    testsupport::SimulationOracle oracle;
+    oracle.watch(run.platform);
+    run.run();
+
+    oracle.check_settled(*run.client);
+    oracle.check_transition_counters(run.platform);
+    oracle.check_energy(run.platform, run.sim.now());
+    oracle.check_candidate_set(*run.provisioner, run.platform, 0.0);
+    EXPECT_TRUE(oracle.clean()) << oracle.report();
+    EXPECT_EQ(run.client->completed(), kTasks);
+    EXPECT_EQ(run.client->lost(), 0u);
+    EXPECT_GT(run.provisioner->checks(), 0u);
+  }
+}
+
+TEST(ProvisioningChaos, StormWithHardenedRetryLosesNothingUnderEveryStrategy) {
+  for (const std::string& strategy :
+       {std::string("rule-fraction"), std::string("delayed-off"),
+        std::string("reactive-idle")}) {
+    SCOPED_TRACE(strategy);
+    ProvisionedChaosRun run(strategy, "storm");
+    run.run();
+    EXPECT_EQ(run.client->completed(), kTasks);
+    EXPECT_EQ(run.client->lost(), 0u);
+    EXPECT_GT(run.injector->crashes(), 0u);
+  }
+}
+
+TEST(ProvisioningChaos, FailedCandidateIsBackfilledAndCountedAsDegraded) {
+  ProvisionedChaosRun run("rule-fraction", "none");
+  run.provisioner->start();
+  ASSERT_FALSE(run.provisioner->candidates().empty());
+  // Crash the most efficient candidate (through its SED so running tasks
+  // die resubmittable): the next check must backfill the slot from a
+  // healthy node and count the check as degraded.
+  const common::NodeId victim = run.provisioner->candidates().front();
+  run.sim.schedule_at(common::Seconds(30.0), [&run, victim] {
+    for (const auto& sed : run.hierarchy->seds()) {
+      if (sed->node().id().value() == victim.value()) {
+        sed->inject_failure();
+        return;
+      }
+    }
+    FAIL() << "victim node has no SED";
+  });
+  run.injector->start();
+  run.sim.run();
+
+  EXPECT_GT(run.provisioner->degraded_checks(), 0u);
+  for (const common::NodeId id : run.provisioner->candidates()) {
+    EXPECT_NE(id.value(), victim.value());
+  }
+  EXPECT_EQ(run.client->completed(), kTasks);
+  EXPECT_EQ(run.client->lost(), 0u);
+}
+
+TEST(ProvisioningChaos, TelemetryCountersMatchProvisionerAccounting) {
+  telemetry::Telemetry::enable();
+  const auto before = telemetry::Telemetry::metrics().snapshot();
+  const auto value = [](const telemetry::MetricsSnapshot& snapshot, const char* name) {
+    const auto* counter = snapshot.find_counter(name);
+    return counter ? counter->value : 0u;
+  };
+
+  ProvisionedChaosRun run("delayed-off", "calm");
+  run.provisioner->set_external_cap(3);  // force clamping under load
+  run.run();
+
+  const auto after = telemetry::Telemetry::metrics().snapshot();
+  EXPECT_EQ(value(after, "green.provisioner_cap_clamped") -
+                value(before, "green.provisioner_cap_clamped"),
+            run.provisioner->cap_clamped_checks());
+  EXPECT_GT(run.provisioner->cap_clamped_checks(), 0u);
+  EXPECT_EQ(value(after, "green.provisioner_degraded") -
+                value(before, "green.provisioner_degraded"),
+            run.provisioner->degraded_checks());
+  EXPECT_EQ(value(after, "green.provisioner_boots_ordered") -
+                value(before, "green.provisioner_boots_ordered"),
+            run.provisioner->boots_ordered());
+  EXPECT_EQ(value(after, "green.provisioner_shutdowns_ordered") -
+                value(before, "green.provisioner_shutdowns_ordered"),
+            run.provisioner->shutdowns_ordered());
+  EXPECT_EQ(run.client->completed(), kTasks);
+}
+
+}  // namespace
+}  // namespace greensched::metrics

@@ -69,6 +69,33 @@ TEST(ConfigIo, LoadedConfigActuallyRuns) {
   EXPECT_GT(result.energy.value(), 0.0);
 }
 
+TEST(ConfigIo, ProvisionerSpecRoundTrips) {
+  PlacementConfig config;
+  config.clusters = table1_clusters();
+  config.provisioner = "delayed-off:delay=120,grow=3";
+  config.provisioner_check_seconds = 45.0;
+  const PlacementConfig loaded = config_from_string(config_to_string(config));
+  EXPECT_EQ(loaded.provisioner, config.provisioner);
+  EXPECT_DOUBLE_EQ(loaded.provisioner_check_seconds, 45.0);
+
+  // An unprovisioned config writes no provisioner attributes at all and
+  // loads back with the defaults.
+  PlacementConfig plain;
+  plain.clusters = table1_clusters();
+  const std::string xml = config_to_string(plain);
+  EXPECT_EQ(xml.find("provisioner"), std::string::npos);
+  const PlacementConfig reloaded = config_from_string(xml);
+  EXPECT_TRUE(reloaded.provisioner.empty());
+  EXPECT_DOUBLE_EQ(reloaded.provisioner_check_seconds, 60.0);
+}
+
+TEST(ConfigIo, RejectsNonPositiveProvisionerCheck) {
+  EXPECT_THROW(
+      config_from_string("<experiment provisioner=\"rule-fraction\" provisioner_check=\"0\">"
+                         "<cluster machine=\"taurus\" count=\"1\"/></experiment>"),
+      common::ConfigError);
+}
+
 TEST(ConfigIo, RejectsMalformedDocuments) {
   EXPECT_THROW(config_from_string("<notexperiment/>"), xmlite::ParseError);
   EXPECT_THROW(config_from_string("<experiment/>"), xmlite::ParseError);  // no clusters

@@ -1,0 +1,116 @@
+// Strategy-zoo regression pins.
+//
+// 1. A golden CSV freezes the provisioning-comparison schema AND the
+//    semantics of three strategies (paper rules, delayed-off,
+//    reactive-idle) across three chaos scenarios.  Any drift in energy,
+//    losses, boot churn or reactivity shows up as a byte diff here.
+// 2. The determinism contract: a fixed (seed, strategy) pair must
+//    produce a bit-identical candidate series at any sweep --jobs count.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "metrics/experiment.hpp"
+#include "metrics/sweep.hpp"
+
+namespace greensched::metrics {
+namespace {
+
+PlacementConfig zoo_config() {
+  PlacementConfig config;
+  config.clusters = scaled_clusters(12);
+  config.policy = "POWER";
+  config.task_count_override = 200;
+  config.retry = diet::RetryPolicy::hardened();
+  config.provisioner_check_seconds = 60.0;
+  return config;
+}
+
+const char* const kStrategies[] = {"rule-fraction", "delayed-off", "reactive-idle"};
+const char* const kScenarios[] = {"none", "calm", "storm"};
+
+// Regenerate from provisioning_golden_actual.csv (dumped next to the
+// test binary on mismatch) and explain the drift in the commit message.
+constexpr const char* kGoldenCsv =
+    "label,policy,provisioner,seed,tasks,completed,lost,energy_j,makespan_s,"
+    "boots,shutdowns,checks,degraded,mean_candidates,reactivity_gap\n"
+    "rule-fraction/none,POWER,rule-fraction,42,200,200,0,262145,114.13,0,8,2,0,4,0\n"
+    "delayed-off/none,POWER,delayed-off,42,200,200,0,662870,278.521,8,11,5,0,5,0\n"
+    "reactive-idle/none,POWER,reactive-idle,42,200,200,0,662870,278.521,8,11,5,0,5,0\n"
+    "rule-fraction/calm,POWER,rule-fraction,42,200,200,0,3.39309e+06,114.13,0,8,2,0,4,0\n"
+    "delayed-off/calm,POWER,delayed-off,42,200,200,0,8.53862e+06,278.521,8,11,5,0,5,0\n"
+    "reactive-idle/calm,POWER,reactive-idle,42,200,200,0,8.53862e+06,278.521,8,11,5,0,5,0\n"
+    "rule-fraction/storm,POWER,rule-fraction,42,200,200,0,1.92759e+06,114.13,0,8,2,0,4,0\n"
+    "delayed-off/storm,POWER,delayed-off,42,200,200,0,5.65873e+06,278.521,8,11,5,0,5,0\n"
+    "reactive-idle/storm,POWER,reactive-idle,42,200,200,0,5.65873e+06,278.521,8,11,5,0,5,0\n";
+
+std::string provisioning_csv() {
+  SweepOptions options;
+  options.seeds = {42};
+  options.jobs = 1;
+  SweepRunner runner(options);
+  for (const char* scenario : kScenarios) {
+    for (const char* strategy : kStrategies) {
+      PlacementConfig config = zoo_config();
+      config.provisioner = strategy;
+      config.chaos = chaos::ChaosScenario::parse(scenario);
+      runner.add(std::string(strategy) + "/" + scenario, std::move(config));
+    }
+  }
+  std::ostringstream out;
+  SweepRunner::write_provisioning_csv(out, runner.run());
+  return out.str();
+}
+
+TEST(ProvisioningGolden, CsvPinsStrategyOutcomesAcrossChaosScenarios) {
+  const std::string expected = kGoldenCsv;
+  const std::string actual = provisioning_csv();
+  if (actual != expected) {
+    // Leave the full CSV next to the test binary for regeneration.
+    std::ofstream("provisioning_golden_actual.csv") << actual;
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ProvisioningGolden, StrategySweepBitIdenticalAcrossJobs) {
+  PlacementConfig config = zoo_config();
+  config.chaos = chaos::ChaosScenario::parse("storm");
+
+  auto sweep = [&config](std::size_t jobs) {
+    SweepOptions options;
+    options.seeds = {42, 1042};
+    options.jobs = jobs;
+    SweepRunner runner(options);
+    runner.add_strategies(config, {"rule-fraction", "power-cap", "delayed-off",
+                                   "hetero-schedule", "reactive-idle"});
+    return runner.run();
+  };
+
+  const std::vector<SweepRow> serial = sweep(1);
+  const std::vector<SweepRow> threaded = sweep(8);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t row = 0; row < serial.size(); ++row) {
+    ASSERT_EQ(serial[row].replicated.runs.size(), threaded[row].replicated.runs.size());
+    for (std::size_t i = 0; i < serial[row].replicated.runs.size(); ++i) {
+      const PlacementResult& a = serial[row].replicated.runs[i];
+      const PlacementResult& b = threaded[row].replicated.runs[i];
+      SCOPED_TRACE(serial[row].label + "/seed" + std::to_string(a.seed));
+      EXPECT_EQ(a.candidate_series, b.candidate_series);  // bitwise
+      EXPECT_EQ(a.energy.value(), b.energy.value());
+      EXPECT_EQ(a.makespan.value(), b.makespan.value());
+      EXPECT_EQ(a.sim_events, b.sim_events);
+      EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+      EXPECT_EQ(a.tasks_lost, b.tasks_lost);
+      EXPECT_EQ(a.boots_ordered, b.boots_ordered);
+      EXPECT_EQ(a.shutdowns_ordered, b.shutdowns_ordered);
+      EXPECT_EQ(a.provisioner_checks, b.provisioner_checks);
+      EXPECT_EQ(a.degraded_checks, b.degraded_checks);
+      EXPECT_EQ(a.mean_target_gap, b.mean_target_gap);
+      EXPECT_FALSE(a.candidate_series.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace greensched::metrics

@@ -153,6 +153,70 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(param.param.policy) + "_" + std::to_string(param.param.seed);
     });
 
+// --- provisioned placement conservation -----------------------------------------
+
+struct StrategyCase {
+  const char* strategy;
+  std::uint64_t seed;
+};
+
+class ProvisionedConservation : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(ProvisionedConservation, EveryStrategyConservesTasksAndIsDeterministic) {
+  metrics::PlacementConfig config;
+  cluster::ClusterOptions two;
+  two.node_count = 2;
+  config.clusters = {{"taurus", cluster::MachineCatalog::taurus(), two},
+                     {"orion", cluster::MachineCatalog::orion(), two},
+                     {"sagittaire", cluster::MachineCatalog::sagittaire(), two}};
+  config.policy = "POWER";
+  config.seed = GetParam().seed;
+  config.workload.requests_per_core = 2.0;
+  config.workload.burst_size = 13;
+  config.provisioner = GetParam().strategy;
+  config.provisioner_check_seconds = 30.0;
+  config.retry = diet::RetryPolicy::hardened();
+
+  const metrics::PlacementResult result = metrics::run_placement(config);
+
+  // Conservation: no task may vanish because capacity was powered down.
+  EXPECT_EQ(result.tasks_completed, result.tasks);
+  EXPECT_EQ(result.tasks_lost, 0u);
+  EXPECT_EQ(result.tasks_unfinished, 0u);
+  std::size_t placed = 0;
+  for (const auto& [server, count] : result.tasks_per_server) placed += count;
+  EXPECT_EQ(placed, result.tasks);
+
+  // The autonomic loop actually ran and recorded its series.
+  EXPECT_GT(result.provisioner_checks, 0u);
+  EXPECT_GT(result.mean_candidates, 0.0);
+  EXPECT_FALSE(result.candidate_series.empty());
+
+  // Determinism: a second identical run is bit-identical, including the
+  // candidate timeline.
+  const metrics::PlacementResult again = metrics::run_placement(config);
+  EXPECT_EQ(result.candidate_series, again.candidate_series);
+  EXPECT_EQ(result.energy.value(), again.energy.value());
+  EXPECT_EQ(result.makespan.value(), again.makespan.value());
+  EXPECT_EQ(result.boots_ordered, again.boots_ordered);
+  EXPECT_EQ(result.shutdowns_ordered, again.shutdowns_ordered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ProvisionedConservation,
+    ::testing::Values(StrategyCase{"rule-fraction", 1}, StrategyCase{"power-cap", 1},
+                      StrategyCase{"delayed-off", 1}, StrategyCase{"delayed-off", 99},
+                      StrategyCase{"hetero-schedule", 1},
+                      StrategyCase{"reactive-idle", 1}, StrategyCase{"reactive-idle", 99}),
+    [](const ::testing::TestParamInfo<StrategyCase>& param) {
+      std::string name = std::string(param.param.strategy) + "_" +
+                         std::to_string(param.param.seed);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
 // --- score continuity -----------------------------------------------------------
 
 TEST(ScoreContinuity, LogScoreIsSmoothAndMonotone) {

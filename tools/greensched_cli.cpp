@@ -40,6 +40,7 @@
 #include "green/planning.hpp"
 #include "green/policies.hpp"
 #include "green/provisioner.hpp"
+#include "green/provisioning_strategy.hpp"
 #include "metrics/config_io.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/replication.hpp"
@@ -62,24 +63,29 @@ int usage() {
                "  placement        run one placement experiment (--policy, --seed,\n"
                "                   --requests-per-core, --burst, --rate, --clients,\n"
                "                   --spec-only, --heterogeneity, --csv FILE,\n"
-               "                   --config FILE, --save-config FILE)\n"
+               "                   --config FILE, --save-config FILE, --provisioner S)\n"
                "  compare          compare policies (--policies A,B,C, --jobs N,\n"
                "                   --replicate N + placement flags)\n"
                "  sweep            replicated policy grid on the thread pool (--policies,\n"
                "                   --seeds N, --jobs N, --csv FILE, --runs-csv FILE,\n"
                "                   --trace-dir DIR, --resume DIR to checkpoint completed\n"
-               "                   cells and skip them on re-run)\n"
+               "                   cells and skip them on re-run; --provisioners A;B;C +\n"
+               "                   --provisioning-csv FILE compare provisioning\n"
+               "                   strategies instead of policies)\n"
                "  fig9             adaptive provisioning timeline (--minutes,\n"
                "                   --check-minutes, --ramp-up, --ramp-down, --seed N,\n"
-               "                   --policy P, --planning FILE, --state-dir DIR for a\n"
-               "                   crash-safe journaled planning store)\n"
+               "                   --policy P, --provisioner S, --planning FILE,\n"
+               "                   --state-dir DIR for a crash-safe journaled planning\n"
+               "                   store)\n"
                "  trace-generate   write a workload trace (--out FILE, --tasks, --burst,\n"
                "                   --rate, --seed)\n"
                "  trace-run        replay a workload trace (--in FILE, --policy, --seed)\n"
                "  chaos            placement under fault injection (--scenario\n"
                "                   none|calm|storm[,key=value,...], --nodes N, --tasks N,\n"
                "                   --policy P, --seed N, --seeds K, --jobs J, --no-retry,\n"
-               "                   --requests-per-core R, --csv FILE)\n"
+               "                   --requests-per-core R, --csv FILE, --provisioner S)\n"
+               "provisioning strategies (--provisioner <name[:key=value,...]>):\n"
+               "%s"
                "telemetry (any command):\n"
                "  --trace-out FILE    record spans, write Chrome trace_event JSON\n"
                "                      (load it in Perfetto / chrome://tracing)\n"
@@ -88,8 +94,36 @@ int usage() {
                "  0  success\n"
                "  1  runtime or configuration error\n"
                "  2  usage error (unknown command/option, bad flag value)\n"
-               "  3  file or filesystem I/O failure\n");
+               "  3  file or filesystem I/O failure\n",
+               green::provisioning_strategy_help("  ").c_str());
   return 2;
+}
+
+/// Formats the registry's strategy names for an error message.
+std::string known_strategies() {
+  std::string names;
+  for (const std::string& name : green::provisioning_strategy_names()) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return names;
+}
+
+/// Parses --provisioner/--provisioner-check into `config`.  Returns false
+/// on an unknown strategy name so callers can exit 2 — a typo'd strategy
+/// must not silently run unprovisioned.
+bool apply_provisioner_flags(const CliArgs& args, metrics::PlacementConfig& config) {
+  if (const auto spec = args.get("provisioner")) {
+    if (!green::is_provisioning_strategy(*spec)) {
+      std::fprintf(stderr, "error: unknown provisioning strategy '%s' (known: %s)\n",
+                   spec->c_str(), known_strategies().c_str());
+      return false;
+    }
+    config.provisioner = *spec;
+  }
+  config.provisioner_check_seconds =
+      args.get_double("provisioner-check", config.provisioner_check_seconds);
+  return true;
 }
 
 /// Opens an output file, failing loudly: an unwritable path is an
@@ -142,6 +176,16 @@ void print_placement(const metrics::PlacementResult& result) {
   std::printf("energy     : %.0f J (%.2f kWh)\n", result.energy.value(),
               result.energy.value() / 3.6e6);
   std::printf("mean wait  : %.2f s\n", result.mean_wait_seconds);
+  if (!result.provisioner.empty()) {
+    std::printf("provision  : %s — %llu checks, %llu boots, %llu shutdowns, %llu degraded\n",
+                result.provisioner.c_str(),
+                static_cast<unsigned long long>(result.provisioner_checks),
+                static_cast<unsigned long long>(result.boots_ordered),
+                static_cast<unsigned long long>(result.shutdowns_ordered),
+                static_cast<unsigned long long>(result.degraded_checks));
+    std::printf("candidates : %.2f mean, %.2f mean target gap\n", result.mean_candidates,
+                result.mean_target_gap);
+  }
   std::printf("%s", metrics::render_task_distribution(result).c_str());
 }
 
@@ -159,7 +203,8 @@ int cmd_catalog() {
 }
 
 int cmd_placement(const CliArgs& args) {
-  const metrics::PlacementConfig config = placement_config_from(args);
+  metrics::PlacementConfig config = placement_config_from(args);
+  if (!apply_provisioner_flags(args, config)) return usage();
   if (const auto save_path = args.get("save-config")) {
     std::ofstream out = open_output(*save_path, "experiment file");
     out << metrics::config_to_string(config);
@@ -197,7 +242,8 @@ int cmd_compare(const CliArgs& args) {
     std::fprintf(stderr, "compare: no policies given\n");
     return 2;
   }
-  const metrics::PlacementConfig config = placement_config_from(args);
+  metrics::PlacementConfig config = placement_config_from(args);
+  if (!apply_provisioner_flags(args, config)) return usage();
   const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
 
   const auto replicate = args.get_int("replicate", 0);
@@ -233,13 +279,46 @@ int cmd_compare(const CliArgs& args) {
   return 0;
 }
 
+/// Splits a --provisioners list.  Strategy specs may embed commas in
+/// their key=value options ("delayed-off:delay=120,grow=3"), so ';' is
+/// the primary separator; a list without one falls back to ','.
+std::vector<std::string> parse_strategy_list(const std::string& list) {
+  std::vector<std::string> strategies;
+  const char separator = list.find(';') != std::string::npos ? ';' : ',';
+  std::stringstream ss(list);
+  std::string token;
+  while (std::getline(ss, token, separator)) {
+    if (!token.empty()) strategies.push_back(token);
+  }
+  return strategies;
+}
+
 int cmd_sweep(const CliArgs& args) {
   const std::vector<std::string> policies = parse_policy_list(args);
   if (policies.empty()) {
     std::fprintf(stderr, "sweep: no policies given\n");
     return 2;
   }
-  const metrics::PlacementConfig config = placement_config_from(args);
+  metrics::PlacementConfig config = placement_config_from(args);
+  if (!apply_provisioner_flags(args, config)) return usage();
+
+  // --provisioners flips the comparison axis: one grid point per
+  // provisioning strategy (all under --policy), not per policy.
+  std::vector<std::string> strategies;
+  if (const auto list = args.get("provisioners")) {
+    strategies = parse_strategy_list(*list);
+    if (strategies.empty()) {
+      std::fprintf(stderr, "sweep: --provisioners given but empty\n");
+      return 2;
+    }
+    for (const std::string& spec : strategies) {
+      if (spec != "none" && !green::is_provisioning_strategy(spec)) {
+        std::fprintf(stderr, "error: unknown provisioning strategy '%s' (known: %s)\n",
+                     spec.c_str(), known_strategies().c_str());
+        return usage();
+      }
+    }
+  }
 
   metrics::SweepOptions options;
   options.seeds = metrics::default_seeds(
@@ -251,16 +330,26 @@ int cmd_sweep(const CliArgs& args) {
     telemetry::Telemetry::enable();
   }
   metrics::SweepRunner runner(options);
-  runner.add_policies(config, policies);
+  if (!strategies.empty()) {
+    // "none" is the unprovisioned baseline: all servers stay candidates.
+    std::vector<std::string> specs = strategies;
+    for (std::string& spec : specs) {
+      if (spec == "none") spec.clear();
+    }
+    runner.add_strategies(config, specs);
+  } else {
+    runner.add_policies(config, policies);
+  }
   if (!options.checkpoint_dir.empty()) {
     std::printf("resume: %zu/%zu cells already complete in %s\n",
-                runner.checkpointed_cells(), policies.size() * options.seeds.size(),
+                runner.checkpointed_cells(),
+                runner.point_count() * options.seeds.size(),
                 options.checkpoint_dir.c_str());
   }
 
   const std::vector<metrics::SweepRow> rows = runner.run();
-  std::printf("sweep: %zu policies x %zu seeds (%zu workers)\n\n", rows.size(),
-              options.seeds.size(),
+  std::printf("sweep: %zu %s x %zu seeds (%zu workers)\n\n", rows.size(),
+              strategies.empty() ? "policies" : "provisioners", options.seeds.size(),
               metrics::resolve_jobs(options.jobs, rows.size() * options.seeds.size()));
   std::printf("%-14s %-30s %-26s %-20s\n", "policy", "energy (J)", "makespan (s)",
               "mean wait (s)");
@@ -279,6 +368,11 @@ int cmd_sweep(const CliArgs& args) {
     std::ofstream out = open_output(*runs_path, "per-run CSV");
     metrics::SweepRunner::write_runs_csv(out, rows);
     std::printf("per-run CSV written to %s\n", runs_path->c_str());
+  }
+  if (const auto prov_path = args.get("provisioning-csv")) {
+    std::ofstream out = open_output(*prov_path, "provisioning CSV");
+    metrics::SweepRunner::write_provisioning_csv(out, rows);
+    std::printf("provisioning CSV written to %s\n", prov_path->c_str());
   }
   return 0;
 }
@@ -326,6 +420,14 @@ int cmd_fig9(const CliArgs& args) {
   pconfig.ramp_up_step = static_cast<std::size_t>(args.get_int("ramp-up", 2));
   pconfig.ramp_down_step = static_cast<std::size_t>(args.get_int("ramp-down", 4));
   pconfig.min_candidates = 2;
+  if (const auto spec = args.get("provisioner")) {
+    if (!green::is_provisioning_strategy(*spec)) {
+      std::fprintf(stderr, "error: unknown provisioning strategy '%s' (known: %s)\n",
+                   spec->c_str(), known_strategies().c_str());
+      return usage();
+    }
+    pconfig.strategy = *spec;
+  }
   green::Provisioner provisioner(sim, platform, ma, green::RuleEngine::paper_default(), events,
                                  planning, pconfig);
   provisioner.start();
@@ -383,6 +485,14 @@ void print_chaos_result(const metrics::PlacementResult& r) {
   if (r.tasks_completed > 0) std::printf("makespan     : %.1f s\n", r.makespan.value());
   std::printf("energy       : %.0f J (%.2f kWh)\n", r.energy.value(),
               r.energy.value() / 3.6e6);
+  if (!r.provisioner.empty()) {
+    std::printf("provisioner  : %s — %llu checks, %llu boots, %llu shutdowns, %llu degraded\n",
+                r.provisioner.c_str(),
+                static_cast<unsigned long long>(r.provisioner_checks),
+                static_cast<unsigned long long>(r.boots_ordered),
+                static_cast<unsigned long long>(r.shutdowns_ordered),
+                static_cast<unsigned long long>(r.degraded_checks));
+  }
 }
 
 int cmd_chaos(const CliArgs& args) {
@@ -399,6 +509,7 @@ int cmd_chaos(const CliArgs& args) {
   config.chaos = chaos::ChaosScenario::parse(args.get_or("scenario", "storm"));
   config.retry = args.get_bool("no-retry", false) ? diet::RetryPolicy::none()
                                                   : diet::RetryPolicy::hardened();
+  if (!apply_provisioner_flags(args, config)) return usage();
   std::printf("scenario     : %s%s\n", config.chaos.to_string().c_str(),
               args.get_bool("no-retry", false) ? " (retries disabled)" : "");
 
