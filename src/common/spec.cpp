@@ -1,0 +1,77 @@
+#include "common/spec.hpp"
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace greensched::common {
+
+std::string spec_base_name(const std::string& spec) {
+  return spec.substr(0, spec.find(':'));
+}
+
+ParsedSpec parse_spec(const std::string& spec, const std::string& what) {
+  ParsedSpec parsed;
+  const std::size_t colon = spec.find(':');
+  parsed.name = spec.substr(0, colon);
+  if (colon == std::string::npos) return parsed;
+  const std::string rest = spec.substr(colon + 1);
+  std::size_t start = 0;
+  while (start <= rest.size()) {
+    const std::size_t comma = rest.find(',', start);
+    const std::string token =
+        rest.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!token.empty()) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw ConfigError(what + " '" + parsed.name + "': option '" + token +
+                          "' is not key=value");
+      }
+      parsed.options.push_back(SpecOption{token.substr(0, eq), token.substr(eq + 1)});
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parsed;
+}
+
+double spec_double(const SpecOption& option, const std::string& name,
+                   const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(option.value, &consumed);
+    if (consumed != option.value.size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw ConfigError(what + " '" + name + "': option " + option.key + "='" + option.value +
+                      "' is not a number");
+  }
+}
+
+std::size_t spec_count(const SpecOption& option, const std::string& name,
+                       const std::string& what) {
+  const double value = spec_double(option, name, what);
+  if (value < 0.0 || value != static_cast<double>(static_cast<std::size_t>(value))) {
+    throw ConfigError(what + " '" + name + "': option " + option.key +
+                      " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+double spec_fraction(const SpecOption& option, const std::string& name,
+                     const std::string& what) {
+  const double value = spec_double(option, name, what);
+  if (value < 0.0 || value > 1.0) {
+    throw ConfigError(what + " '" + name + "': option " + option.key +
+                      " must be a fraction in [0, 1]");
+  }
+  return value;
+}
+
+void unknown_spec_option(const SpecOption& option, const std::string& name,
+                         const std::string& what, const char* known) {
+  throw ConfigError(what + " '" + name + "': unknown option '" + option.key +
+                    "' (known: " + known + ")");
+}
+
+}  // namespace greensched::common

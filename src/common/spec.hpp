@@ -1,0 +1,53 @@
+// Spec strings: the "name:key=value,key=value,..." mini-grammar shared
+// by every spec-style knob (--provisioner, --workload sla:, --sla-policy).
+//
+// One parser, one error-message shape: every consumer reports problems as
+//   <what> '<name>': ...
+// so a CLI user sees the same diagnostics whichever flag was misspelled,
+// and the CLI maps any ConfigError thrown here to usage exit code 2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace greensched::common {
+
+/// One "key=value" token of a spec string.
+struct SpecOption {
+  std::string key;
+  std::string value;
+};
+
+/// A parsed spec: the part before the first ':' plus the option list.
+struct ParsedSpec {
+  std::string name;
+  std::vector<SpecOption> options;
+};
+
+/// The name part of `spec` ("delayed-off:delay=9" -> "delayed-off").
+[[nodiscard]] std::string spec_base_name(const std::string& spec);
+
+/// Splits "name:k=v,k=v" into name + options.  `what` names the flag
+/// family in diagnostics (e.g. "provisioning strategy", "sla policy");
+/// throws ConfigError on tokens that are not key=value.
+[[nodiscard]] ParsedSpec parse_spec(const std::string& spec, const std::string& what);
+
+/// Option value as a double; throws ConfigError ("<what> '<name>':
+/// option k='v' is not a number") on junk.
+[[nodiscard]] double spec_double(const SpecOption& option, const std::string& name,
+                                 const std::string& what);
+
+/// Option value as a non-negative integer count.
+[[nodiscard]] std::size_t spec_count(const SpecOption& option, const std::string& name,
+                                     const std::string& what);
+
+/// Option value as a fraction in [0, 1].
+[[nodiscard]] double spec_fraction(const SpecOption& option, const std::string& name,
+                                   const std::string& what);
+
+/// Rejects an unrecognized option, listing the known keys.
+[[noreturn]] void unknown_spec_option(const SpecOption& option, const std::string& name,
+                                      const std::string& what, const char* known);
+
+}  // namespace greensched::common

@@ -119,10 +119,22 @@ const SchedulingDecision& MasterAgent::submit_fast(const Request& request) {
     for (auto& c : candidates) {
       if (c.sed->can_accept(request.task.spec.cores)) {
         decision_.elected = c.sed;
-        ++elections_;
         break;
       }
     }
+
+    // Admission (SLA scenario): rule on the finished decision.  A
+    // deferred or rejected request must not execute, so the election is
+    // withdrawn — but the ranked list stays intact for accounting.
+    decision_.admission = Admission::kAdmit;
+    decision_.retry_after_seconds = 0.0;
+    if (admission_) {
+      const AdmissionVerdict verdict = admission_(decision_, request);
+      decision_.admission = verdict.admission;
+      decision_.retry_after_seconds = verdict.retry_after_seconds;
+      if (decision_.admission != Admission::kAdmit) decision_.elected = nullptr;
+    }
+    if (decision_.elected != nullptr) ++elections_;
   }
   if (decision_.elected == nullptr) GS_TCOUNT(elections_unplaced);
   return decision_;

@@ -94,6 +94,18 @@ class Agent {
 /// III-C, step 3 of the adjusted scheduling process).
 using CandidateFilter = std::function<void(std::vector<Candidate>&, const Request&)>;
 
+/// Admission verdict with the defer wake-up delay.
+struct AdmissionVerdict {
+  Admission admission = Admission::kAdmit;
+  double retry_after_seconds = 0.0;
+};
+
+/// Post-election admission hook: sees the finished decision (ranked
+/// candidates, eligible count, elected server — which may be null) and
+/// rules admit/defer/reject.  `sla::AdmissionController` installs one;
+/// without it every request is admitted, the legacy behaviour.
+using AdmissionHook = std::function<AdmissionVerdict(const SchedulingDecision&, const Request&)>;
+
 class MasterAgent : public Agent {
  public:
   MasterAgent(common::AgentId id, std::string name);
@@ -104,6 +116,9 @@ class MasterAgent : public Agent {
 
   /// Installs the provisioner's candidate filter (may be empty).
   void set_candidate_filter(CandidateFilter filter) { filter_ = std::move(filter); }
+
+  /// Installs the SLA admission hook (may be empty = admit everything).
+  void set_admission_hook(AdmissionHook hook) { admission_ = std::move(hook); }
 
   /// Step 1-5: full scheduling round for one request.  Elects the first
   /// candidate that can actually accept the task (availability rule); a
@@ -126,6 +141,7 @@ class MasterAgent : public Agent {
  private:
   const PluginScheduler* plugin_ = nullptr;
   CandidateFilter filter_;
+  AdmissionHook admission_;
   std::uint64_t submissions_ = 0;
   std::uint64_t elections_ = 0;
   DispatchArena arena_;

@@ -13,6 +13,11 @@ using common::ConfigError;
 using common::Seconds;
 using common::StateError;
 
+// The per-tier telemetry counters are sized in the telemetry layer, which
+// cannot include the workload headers; pin the mirror here.
+static_assert(telemetry::BuiltinMetrics::kSlaTiers == workload::kSlaTierCount,
+              "telemetry per-tier SLA counters out of sync with workload tiers");
+
 RetryPolicy RetryPolicy::none() {
   RetryPolicy policy;
   policy.resubmit_on_failure = false;
@@ -87,15 +92,16 @@ void Client::submit_now(const workload::TaskInstance& task) {
   record.submit = hierarchy_.sim().now();
   records_.push_back(std::move(record));
   backoff_armed_.push_back(0);
+  defer_armed_.push_back(0);
   const std::size_t index = records_.size() - 1;
   if (retry_.deadline_seconds > 0.0) {
     hierarchy_.sim().schedule_after(Seconds(retry_.deadline_seconds),
                                     [this, index] { on_deadline(index); });
   }
-  if (!try_place(index)) queue_unplaced(index);
+  if (try_place(index) == PlaceOutcome::kQueued) queue_unplaced(index);
 }
 
-bool Client::try_place(std::size_t record_index) {
+Client::PlaceOutcome Client::try_place(std::size_t record_index) {
   ClientTaskRecord& record = records_[record_index];
   ++record.placement_attempts;
 
@@ -104,17 +110,34 @@ bool Client::try_place(std::size_t record_index) {
   request.task = record.task;
   request.user_preference = record.task.user_preference;
 
-  // Fast path: only `elected`/`service_unknown` are read, and nothing in
+  // Fast path: only the scalar decision fields are read, and nothing in
   // this function re-enters submit, so the reference stays valid.
   const SchedulingDecision& decision = hierarchy_.master().submit_fast(request);
   if (decision.service_unknown)
     throw StateError("Client '" + name_ + "': no server offers service '" +
                      record.task.spec.service + "'");
-  if (decision.elected == nullptr) return false;
+  if (admission_log_enabled_) {
+    admission_log_ += decision.admission == Admission::kAdmit    ? 'A'
+                      : decision.admission == Admission::kDefer ? 'D'
+                                                                : 'R';
+  }
+  if (decision.admission == Admission::kReject) {
+    reject(record_index);
+    return PlaceOutcome::kRejected;
+  }
+  if (decision.admission == Admission::kDefer) {
+    defer(record_index, decision.retry_after_seconds);
+    return PlaceOutcome::kQueued;
+  }
+  if (decision.elected == nullptr) return PlaceOutcome::kQueued;
 
   record.start = hierarchy_.sim().now();
   record.server = decision.elected->name();
   record.cluster = decision.elected->node().cluster();
+  if (!record.admitted) {
+    record.admitted = true;
+    if (record.task.spec.has_sla()) GS_TCOUNT(sla_admitted[record.task.spec.sla_tier]);
+  }
 
   decision.elected->execute(record.task, request.id, [this, record_index](const TaskRecord& done) {
     ClientTaskRecord& r = records_[record_index];
@@ -130,13 +153,72 @@ bool Client::try_place(std::size_t record_index) {
         abandon(record_index, "crash with retry disabled");
         return;
       }
-      if (!try_place(record_index)) queue_unplaced(record_index);
+      // The resubmission runs a fresh admission round too: a deadline
+      // that died with the node may now be infeasible (reject), or the
+      // controller may defer to a cheaper moment.
+      if (try_place(record_index) == PlaceOutcome::kQueued) queue_unplaced(record_index);
       return;
     }
     r.end = done.end;
     ++completed_;
+    settle_sla(record_index);
   });
-  return true;
+  return PlaceOutcome::kStarted;
+}
+
+void Client::reject(std::size_t record_index) {
+  ClientTaskRecord& record = records_[record_index];
+  record.rejected = true;
+  ++rejected_;
+  if (record.task.spec.has_sla()) GS_TCOUNT(sla_rejected[record.task.spec.sla_tier]);
+  telemetry::Telemetry::instant("task.rejected", "sla", hierarchy_.sim().now().value(),
+                                record.task.id.value(), name_);
+  const auto it = std::find(pending_.begin(), pending_.end(), record_index);
+  if (it != pending_.end()) pending_.erase(it);
+}
+
+void Client::defer(std::size_t record_index, double retry_after_seconds) {
+  ClientTaskRecord& record = records_[record_index];
+  ++record.deferrals;
+  ++deferral_events_;
+  if (record.task.spec.has_sla()) GS_TCOUNT(sla_deferred[record.task.spec.sla_tier]);
+  telemetry::Telemetry::instant("task.deferred", "sla", hierarchy_.sim().now().value(),
+                                record.task.id.value(), name_);
+  // One live wake-up per record: a deferral issued while a wake-up is
+  // armed (a completion-driven drain re-asked admission) must not fork a
+  // second chain of timers.
+  if (defer_armed_[record_index]) return;
+  defer_armed_[record_index] = 1;
+  const double delay = retry_after_seconds > 0.0 ? retry_after_seconds : 1.0;
+  hierarchy_.sim().schedule_after(Seconds(delay),
+                                  [this, record_index] { on_defer_wakeup(record_index); });
+}
+
+void Client::on_defer_wakeup(std::size_t record_index) {
+  defer_armed_[record_index] = 0;
+  const ClientTaskRecord& record = records_[record_index];
+  if (record.start || record.lost || record.rejected) return;  // settled meanwhile
+  // FIFO fairness, like the backoff path: drain head-first rather than
+  // jumping this request ahead of older ones.
+  drain_pending();
+}
+
+void Client::settle_sla(std::size_t record_index) {
+  ClientTaskRecord& record = records_[record_index];
+  if (!record.task.spec.has_sla() || !record.end) return;
+  const double elapsed = record.end->value() - record.submit.value();
+  if (record.task.spec.deadline_seconds > 0.0 &&
+      elapsed > record.task.spec.deadline_seconds) {
+    // Deadline violated: the contract pays nothing, whatever the curve
+    // says — the conservation oracle pins this.
+    record.violated = true;
+    ++violations_;
+    GS_TCOUNT(sla_violated[record.task.spec.sla_tier]);
+    return;
+  }
+  record.revenue = record.task.spec.value.value_at(elapsed);
+  revenue_total_ += record.revenue;
+  GS_TGAUGE(sla_revenue_total, revenue_total_);
 }
 
 void Client::queue_unplaced(std::size_t record_index) {
@@ -201,8 +283,14 @@ void Client::drain_pending() {
   // FIFO retry: place as many queued tasks as the freed capacity allows.
   while (!pending_.empty()) {
     const std::size_t index = pending_.front();
-    if (!try_place(index)) break;
-    pending_.pop_front();
+    const PlaceOutcome outcome = try_place(index);
+    if (outcome == PlaceOutcome::kStarted) {
+      pending_.pop_front();
+      continue;
+    }
+    // kRejected already removed the record from the queue; keep draining.
+    if (outcome == PlaceOutcome::kRejected) continue;
+    break;  // kQueued: the head stays (saturated or deferred), stop here
   }
 }
 

@@ -74,6 +74,12 @@ struct ClientTaskRecord {
   std::size_t placement_attempts = 0;  ///< submissions before election
   std::size_t failures = 0;            ///< node crashes survived (resubmitted)
   bool lost = false;  ///< abandoned: retry disabled, attempts exhausted or deadline hit
+  // --- SLA outcome (admission control; all default without it) ---
+  bool rejected = false;       ///< admission verdict: terminal reject
+  bool admitted = false;       ///< execution started at least once
+  bool violated = false;       ///< completed after its deadline (revenue 0)
+  std::size_t deferrals = 0;   ///< admission defer verdicts received
+  double revenue = 0.0;        ///< realized value at completion (0 if violated)
 };
 
 class Client {
@@ -98,17 +104,32 @@ class Client {
   /// Requests abandoned under the retry policy (crash with retry off,
   /// attempts exhausted, deadline passed).
   [[nodiscard]] std::size_t lost() const noexcept { return lost_; }
+  /// Requests the admission controller turned away (terminal, accounted —
+  /// distinct from lost).
+  [[nodiscard]] std::size_t rejected() const noexcept { return rejected_; }
+  /// Admission defer verdicts fired (events, not distinct requests).
+  [[nodiscard]] std::uint64_t deferrals() const noexcept { return deferral_events_; }
+  /// Completions that missed their deadline (revenue forfeited).
+  [[nodiscard]] std::size_t violations() const noexcept { return violations_; }
+  /// Revenue realized over completed, deadline-respecting tasks.
+  [[nodiscard]] double revenue_total() const noexcept { return revenue_total_; }
   /// Timed backoff re-dispatch attempts fired.
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
   [[nodiscard]] bool all_done() const noexcept {
-    return completed_ == records_.size() && pending_.empty();
+    return completed_ + rejected_ == records_.size() && pending_.empty();
   }
-  /// Every request reached a terminal state: completed or lost, with
-  /// nothing still queued.  The chaos invariant — no request may simply
-  /// vanish or hang un-accounted.
+  /// Every request reached a terminal state: completed, rejected or lost,
+  /// with nothing still queued.  The chaos invariant — no request may
+  /// simply vanish or hang un-accounted.
   [[nodiscard]] bool settled() const noexcept {
-    return completed_ + lost_ == records_.size() && pending_.empty();
+    return completed_ + lost_ + rejected_ == records_.size() && pending_.empty();
   }
+
+  /// Records every admission verdict as one character — 'A'dmit,
+  /// 'D'efer, 'R'eject — in decision order.  The SLA determinism tests
+  /// pin this sequence bit-exactly; off (default) costs nothing.
+  void set_admission_log(bool enabled) noexcept { admission_log_enabled_ = enabled; }
+  [[nodiscard]] const std::string& admission_log() const noexcept { return admission_log_; }
   /// Time from first submission to last completion; throws StateError if
   /// nothing completed yet.
   [[nodiscard]] common::Seconds makespan() const;
@@ -118,10 +139,25 @@ class Client {
   [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> tasks_per_server() const;
 
  protected:
-  /// Tries to place the task; returns true if elected and started.
-  bool try_place(std::size_t record_index);
+  /// Outcome of one placement attempt.
+  enum class PlaceOutcome {
+    kStarted,   ///< elected and executing
+    kQueued,    ///< must (stay) queued: saturated, or admission deferred
+    kRejected,  ///< admission turned it away (already accounted, dequeued)
+  };
+
+  /// Tries to place the task through a full scheduling+admission round.
+  PlaceOutcome try_place(std::size_t record_index);
   void on_completion(const TaskRecord& record);
   void drain_pending();
+  /// Terminal admission rejection: accounted, dropped from the queue.
+  void reject(std::size_t record_index);
+  /// Admission deferral: counts the event and arms the wake-up timer.
+  void defer(std::size_t record_index, double retry_after_seconds);
+  void on_defer_wakeup(std::size_t record_index);
+  /// Revenue/violation accounting at completion time (no-op without SLA
+  /// fields on the task).
+  void settle_sla(std::size_t record_index);
   /// Queues an unplaced request: pending list + (if enabled) a jittered
   /// backoff timer; abandons it instead when attempts are exhausted.
   void queue_unplaced(std::size_t record_index);
@@ -140,10 +176,17 @@ class Client {
   common::Rng rng_;  ///< jitter stream, split from the run's RNG
   std::vector<ClientTaskRecord> records_;
   std::vector<std::uint8_t> backoff_armed_;  ///< per-record timer guard
+  std::vector<std::uint8_t> defer_armed_;    ///< per-record defer wake-up guard
   std::deque<std::size_t> pending_;  ///< indices awaiting a free server
   std::size_t completed_ = 0;
   std::size_t lost_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t violations_ = 0;
+  std::uint64_t deferral_events_ = 0;
+  double revenue_total_ = 0.0;
   std::uint64_t retries_ = 0;
+  bool admission_log_enabled_ = false;
+  std::string admission_log_;
 };
 
 /// Fig. 9's client: a periodic tick inspects the announced capacity (a

@@ -26,6 +26,14 @@ struct Candidate {
   EstimationVector estimation;
 };
 
+/// Admission verdict attached to a scheduling decision.  Without an
+/// admission hook every decision is kAdmit — the legacy best-effort flow.
+enum class Admission {
+  kAdmit,   ///< run on the elected server (or queue if nobody can accept)
+  kDefer,   ///< re-queue and retry after `retry_after_seconds` (wake-up event)
+  kReject,  ///< terminal: accounted as rejected, never queued or lost
+};
+
 /// Result of MA-level scheduling.
 struct SchedulingDecision {
   Sed* elected = nullptr;                ///< null if no server can take the task now
@@ -33,6 +41,8 @@ struct SchedulingDecision {
   std::size_t considered = 0;            ///< candidates before the provisioner filter
   std::size_t eligible = 0;              ///< candidates after it (== ranked.size())
   bool service_unknown = false;          ///< no SED offers the service at all
+  Admission admission = Admission::kAdmit;
+  double retry_after_seconds = 0.0;      ///< defer wake-up delay (kDefer only)
 };
 
 }  // namespace greensched::diet

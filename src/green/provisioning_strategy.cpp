@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/mathutil.hpp"
+#include "common/spec.hpp"
 #include "green/candidate_selection.hpp"
 #include "green/greenperf.hpp"
 #include "telemetry/telemetry.hpp"
@@ -98,67 +99,29 @@ double boot_break_even_seconds(const cluster::Platform& platform,
 
 namespace {
 
-struct SpecOption {
-  std::string key;
-  std::string value;
-};
+// The "name:k=v,..." grammar lives in common/spec.hpp (shared with the
+// SLA flags); these shims keep the call sites below terse.
+constexpr const char* kWhat = "provisioning strategy";
 
-std::vector<SpecOption> split_spec(const std::string& spec, std::string& name) {
-  const std::size_t colon = spec.find(':');
-  name = spec.substr(0, colon);
-  std::vector<SpecOption> options;
-  if (colon == std::string::npos) return options;
-  std::string rest = spec.substr(colon + 1);
-  std::size_t start = 0;
-  while (start <= rest.size()) {
-    const std::size_t comma = rest.find(',', start);
-    const std::string token =
-        rest.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
-    if (!token.empty()) {
-      const std::size_t eq = token.find('=');
-      if (eq == std::string::npos || eq == 0) {
-        throw ConfigError("provisioning strategy '" + name + "': option '" + token +
-                          "' is not key=value");
-      }
-      options.push_back(SpecOption{token.substr(0, eq), token.substr(eq + 1)});
-    }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return options;
-}
+using common::SpecOption;
 
 double option_double(const SpecOption& option, const std::string& name) {
-  try {
-    std::size_t consumed = 0;
-    const double value = std::stod(option.value, &consumed);
-    if (consumed != option.value.size()) throw std::invalid_argument("trailing junk");
-    return value;
-  } catch (const std::exception&) {
-    throw ConfigError("provisioning strategy '" + name + "': option " + option.key + "='" +
-                      option.value + "' is not a number");
-  }
+  return common::spec_double(option, name, kWhat);
 }
 
 std::size_t option_count(const SpecOption& option, const std::string& name) {
-  const double value = option_double(option, name);
-  if (value < 0.0 || value != static_cast<double>(static_cast<std::size_t>(value))) {
-    throw ConfigError("provisioning strategy '" + name + "': option " + option.key +
-                      " must be a non-negative integer");
-  }
-  return static_cast<std::size_t>(value);
+  return common::spec_count(option, name, kWhat);
 }
 
 [[noreturn]] void unknown_option(const SpecOption& option, const std::string& name,
                                  const char* known) {
-  throw ConfigError("provisioning strategy '" + name + "': unknown option '" + option.key +
-                    "' (known: " + known + ")");
+  common::unknown_spec_option(option, name, kWhat, known);
 }
 
 }  // namespace
 
 std::string provisioning_strategy_base_name(const std::string& spec) {
-  return spec.substr(0, spec.find(':'));
+  return common::spec_base_name(spec);
 }
 
 std::vector<std::string> provisioning_strategy_names() {
@@ -172,8 +135,9 @@ bool is_provisioning_strategy(const std::string& spec) {
 }
 
 std::unique_ptr<ProvisioningStrategy> make_provisioning_strategy(const std::string& spec) {
-  std::string name;
-  const std::vector<SpecOption> options = split_spec(spec, name);
+  const common::ParsedSpec parsed = common::parse_spec(spec, kWhat);
+  const std::string& name = parsed.name;
+  const std::vector<SpecOption>& options = parsed.options;
 
   if (name == "rule-fraction" || name == "power-cap") {
     if (!options.empty()) {

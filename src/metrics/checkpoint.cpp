@@ -19,7 +19,10 @@ using durable::ByteWriter;
 
 namespace {
 
-constexpr std::string_view kFingerprintTag = "greensched-sweep-fingerprint-v1:";
+// v2: the cell record format gained the SLA outcome fields and the
+// fingerprint digests the SLA knobs — v1 manifests are a different
+// experiment by construction and must not be resumed into.
+constexpr std::string_view kFingerprintTag = "greensched-sweep-fingerprint-v2:";
 
 }  // namespace
 
@@ -49,7 +52,8 @@ std::string grid_fingerprint(const std::vector<SweepPoint>& points,
        << c.retry.max_attempts << ',' << c.retry.base_backoff_seconds << ','
        << c.retry.backoff_multiplier << ',' << c.retry.max_backoff_seconds << ','
        << c.retry.jitter_fraction << ',' << c.retry.deadline_seconds
-       << ";prov=" << c.provisioner << ',' << c.provisioner_check_seconds << ";clusters=";
+       << ";prov=" << c.provisioner << ',' << c.provisioner_check_seconds
+       << ";sla=" << c.sla_workload << '|' << c.sla_policy << ";clusters=";
     for (const ClusterSetup& setup : c.clusters) {
       os << '[' << setup.name << ',' << setup.spec.model << ',' << setup.spec.cores << ','
          << setup.spec.flops_per_core.value() << ',' << setup.spec.idle_watts.value() << ','
@@ -103,6 +107,20 @@ std::string encode_placement_result(const PlacementResult& r) {
   w.f64(r.mean_candidates);
   w.f64(r.mean_target_gap);
   w.str(r.candidate_series);
+  // SLA outcome (appended in PR 7; covered by the v2 fingerprint tag).
+  w.str(r.sla_policy);
+  w.u64(r.tasks_rejected);
+  w.u64(r.tasks_deferred);
+  w.u64(r.sla_violations);
+  w.f64(r.revenue_total);
+  w.str(r.admission_sequence);
+  w.u32(static_cast<std::uint32_t>(r.per_tier.size()));
+  for (const PlacementResult::SlaTierRow& row : r.per_tier) {
+    w.u64(row.admitted);
+    w.u64(row.deferred);
+    w.u64(row.rejected);
+    w.u64(row.violated);
+  }
   return w.take();
 }
 
@@ -156,6 +174,25 @@ PlacementResult decode_placement_result(std::string_view payload) {
   r.mean_candidates = reader.f64();
   r.mean_target_gap = reader.f64();
   r.candidate_series = reader.str();
+  r.sla_policy = reader.str();
+  r.tasks_rejected = static_cast<std::size_t>(reader.u64());
+  r.tasks_deferred = reader.u64();
+  r.sla_violations = static_cast<std::size_t>(reader.u64());
+  r.revenue_total = reader.f64();
+  r.admission_sequence = reader.str();
+  const std::uint32_t tiers = reader.u32();
+  if (tiers > reader.remaining() / 32) {
+    throw ParseError("durable record: tier count exceeds payload", 0, 0);
+  }
+  r.per_tier.reserve(tiers);
+  for (std::uint32_t i = 0; i < tiers; ++i) {
+    PlacementResult::SlaTierRow row;
+    row.admitted = static_cast<std::size_t>(reader.u64());
+    row.deferred = reader.u64();
+    row.rejected = static_cast<std::size_t>(reader.u64());
+    row.violated = static_cast<std::size_t>(reader.u64());
+    r.per_tier.push_back(row);
+  }
   reader.expect_end();
   return r;
 }

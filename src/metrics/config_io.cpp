@@ -4,6 +4,8 @@
 
 #include "cluster/catalog.hpp"
 #include "common/error.hpp"
+#include "sla/admission.hpp"
+#include "sla/tier.hpp"
 
 namespace greensched::metrics {
 
@@ -52,6 +54,8 @@ xmlite::Document config_to_xml(const PlacementConfig& config) {
     root.set_attribute("provisioner", config.provisioner);
     root.set_attribute("provisioner_check", config.provisioner_check_seconds);
   }
+  if (!config.sla_workload.empty()) root.set_attribute("sla_workload", config.sla_workload);
+  if (!config.sla_policy.empty()) root.set_attribute("sla_policy", config.sla_policy);
 
   for (const auto& setup : config.clusters) {
     Element& cluster = root.add_child("cluster");
@@ -112,6 +116,16 @@ PlacementConfig config_from_xml(const Document& doc) {
     config.provisioner_check_seconds = finite_attribute(root, "provisioner_check");
     if (config.provisioner_check_seconds <= 0.0) {
       throw ConfigError("experiment file: provisioner_check must be positive");
+    }
+  }
+  if (auto sla_workload = root.attribute("sla_workload")) {
+    config.sla_workload = *sla_workload;
+    (void)sla::parse_sla_workload(config.sla_workload);  // die here, with the field
+  }
+  if (auto sla_policy = root.attribute("sla_policy")) {
+    config.sla_policy = *sla_policy;
+    if (!sla::is_sla_policy(config.sla_policy)) {
+      throw ConfigError("experiment file: unknown sla_policy '" + config.sla_policy + "'");
     }
   }
 

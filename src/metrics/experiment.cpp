@@ -14,6 +14,8 @@
 #include "diet/hierarchy.hpp"
 #include "green/policies.hpp"
 #include "green/provisioner.hpp"
+#include "sla/admission.hpp"
+#include "sla/tier.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace greensched::metrics {
@@ -103,10 +105,17 @@ PlacementResult run_placement(const PlacementConfig& config) {
                               ? hierarchy.build_per_cluster(platform, services, config.sed)
                               : hierarchy.build_flat(platform, services, config.sed);
 
-  const std::unique_ptr<diet::PluginScheduler> policy = green::make_policy(
-      config.policy, config.spec_fallback ? green::UnknownRanking::kSpecFallback
-                                          : green::UnknownRanking::kExploreFirst);
-  ma.set_plugin(policy.get());
+  // With an admission policy the SLA plug-in (net-revenue ranking) takes
+  // over as the MA's aggregation method; the green policy is not even
+  // constructed.  Without one, nothing changes.
+  const bool sla_admission = !config.sla_policy.empty();
+  std::unique_ptr<diet::PluginScheduler> policy;
+  if (!sla_admission) {
+    policy = green::make_policy(config.policy,
+                                config.spec_fallback ? green::UnknownRanking::kSpecFallback
+                                                     : green::UnknownRanking::kExploreFirst);
+    ma.set_plugin(policy.get());
+  }
 
   // Generate the workload and split it round-robin over the clients.
   workload::WorkloadGenerator generator(config.workload);
@@ -120,6 +129,17 @@ PlacementResult run_placement(const PlacementConfig& config) {
   }
   const std::size_t task_count = tasks.size();
 
+  // SLA decoration draws from its own split, taken only when the profile
+  // is live — a disabled profile leaves every other consumer's stream
+  // (and so the whole run) untouched.  The split happens *after* workload
+  // generation so the task stream is identical across admission policies:
+  // the Pareto bench compares policies on the same decorated workload.
+  const sla::SlaWorkloadOptions sla_workload = sla::parse_sla_workload(config.sla_workload);
+  if (sla_workload.enabled()) {
+    common::Rng sla_rng = rng.split();
+    sla::apply_sla_profile(tasks, sla_workload, sla_rng);
+  }
+
   std::vector<std::unique_ptr<diet::Client>> clients;
   std::vector<std::vector<workload::TaskInstance>> shares(config.client_count);
   for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -130,7 +150,17 @@ PlacementResult run_placement(const PlacementConfig& config) {
   for (std::size_t c = 0; c < config.client_count; ++c) {
     clients.push_back(std::make_unique<diet::Client>(
         hierarchy, "client-" + std::to_string(c), config.retry));
+    clients[c]->set_admission_log(sla_admission);
     clients[c]->submit_workload(std::move(shares[c]));
+  }
+
+  // Admission control: the controller owns the policy and a split-stream
+  // RNG (one split, only when enabled), and wires both MA hooks.
+  std::unique_ptr<sla::AdmissionController> admission;
+  if (sla_admission) {
+    admission = std::make_unique<sla::AdmissionController>(
+        sla::make_sla_policy(config.sla_policy), sim, rng);
+    admission->install(ma);
   }
 
   // The injector is built *after* every other consumer of the run's RNG,
@@ -184,7 +214,8 @@ PlacementResult run_placement(const PlacementConfig& config) {
             if (clients[c]->submitted() < expected_tasks[c] || !clients[c]->settled())
               all_settled = false;
             progress += clients[c]->submitted() + clients[c]->completed() +
-                        clients[c]->lost() + clients[c]->retries();
+                        clients[c]->lost() + clients[c]->retries() +
+                        clients[c]->rejected() + clients[c]->deferrals();
           }
           if (all_settled) return true;
           if (progress == last && ++stale >= 32) return true;
@@ -219,8 +250,29 @@ PlacementResult run_placement(const PlacementConfig& config) {
     result.tasks_completed += client->completed();
     result.tasks_lost += client->lost();
     result.retries += client->retries();
+    result.tasks_rejected += client->rejected();
+    result.tasks_deferred += client->deferrals();
+    result.sla_violations += client->violations();
+    result.revenue_total += client->revenue_total();
   }
-  result.tasks_unfinished = task_count - result.tasks_completed - result.tasks_lost;
+  result.tasks_unfinished =
+      task_count - result.tasks_completed - result.tasks_lost - result.tasks_rejected;
+  if (admission) {
+    result.sla_policy = config.sla_policy;
+    for (const auto& client : clients) result.admission_sequence += client->admission_log();
+  }
+  if (admission || sla_workload.enabled()) {
+    result.per_tier.assign(workload::kSlaTierCount, PlacementResult::SlaTierRow{});
+    for (const auto& client : clients) {
+      for (const auto& r : client->records()) {
+        PlacementResult::SlaTierRow& row = result.per_tier[r.task.spec.sla_tier];
+        if (r.admitted) ++row.admitted;
+        row.deferred += r.deferrals;
+        if (r.rejected) ++row.rejected;
+        if (r.violated) ++row.violated;
+      }
+    }
+  }
   if (provisioner) {
     result.provisioner = config.provisioner;
     result.provisioner_checks = provisioner->checks();

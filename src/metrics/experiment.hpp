@@ -77,6 +77,16 @@ struct PlacementConfig {
   /// far shorter horizons than the paper's day-long Fig. 9 timeline, so
   /// the default is 60 s rather than the paper's 10 minutes.
   double provisioner_check_seconds = 60.0;
+  /// SLA workload profile ("sla:gold=0.2,silver=0.3,..." — see
+  /// sla/tier.hpp).  Empty = undecorated legacy workload; the profile's
+  /// RNG split happens only when enabled, so an empty spec leaves the run
+  /// bit-identical to a pre-SLA build.
+  std::string sla_workload;
+  /// SLA admission policy spec ("fifo-admit", "revenue-det:alpha=1", ...
+  /// — see sla/admission.hpp).  Empty = no admission control: every
+  /// decision admits, exactly as before.  The policy replaces `policy` as
+  /// the MA ranking plug-in (net-revenue ranking).
+  std::string sla_policy;
 };
 
 struct ClusterEnergyRow {
@@ -123,6 +133,26 @@ struct PlacementResult {
   /// the determinism tests (fixed seed + strategy => identical at any
   /// sweep jobs count).
   std::string candidate_series;
+
+  // --- SLA outcome (all zero/empty without an admission policy) ---
+  std::string sla_policy;  ///< admission policy in force ("" = none)
+  /// Requests the admission controller turned away (terminal, accounted —
+  /// conservation: completed + rejected + lost + unfinished == tasks).
+  std::size_t tasks_rejected = 0;
+  std::uint64_t tasks_deferred = 0;  ///< defer verdicts (events, not requests)
+  std::size_t sla_violations = 0;    ///< completions past their deadline
+  double revenue_total = 0.0;        ///< realized value over on-time completions
+  /// Concatenated per-client 'A'/'D'/'R' verdict logs, in decision order —
+  /// pinned bit-exactly by the SLA determinism tests.
+  std::string admission_sequence;
+  /// Per-tier outcome (index = tier, 0 = best-effort .. 3 = gold).
+  struct SlaTierRow {
+    std::size_t admitted = 0;
+    std::uint64_t deferred = 0;
+    std::size_t rejected = 0;
+    std::size_t violated = 0;
+  };
+  std::vector<SlaTierRow> per_tier;
 };
 
 /// Runs one placement experiment to completion (deterministic in `seed`).

@@ -45,6 +45,16 @@ SweepRunner& SweepRunner::add_strategies(const PlacementConfig& base,
   return *this;
 }
 
+SweepRunner& SweepRunner::add_sla_policies(const PlacementConfig& base,
+                                           const std::vector<std::string>& policies) {
+  for (const std::string& policy : policies) {
+    PlacementConfig config = base;
+    config.sla_policy = policy;
+    add(policy.empty() ? "none" : policy, std::move(config));
+  }
+  return *this;
+}
+
 std::vector<SweepRow> SweepRunner::run() const {
   if (points_.empty()) throw common::ConfigError("SweepRunner: no grid points");
   const std::size_t seed_count = options_.seeds.size();
@@ -213,6 +223,30 @@ void SweepRunner::write_provisioning_csv(std::ostream& out,
           .cell(static_cast<std::size_t>(run.degraded_checks))
           .cell(run.mean_candidates)
           .cell(run.mean_target_gap);
+      csv.end_row();
+    }
+  }
+}
+
+void SweepRunner::write_sla_csv(std::ostream& out, const std::vector<SweepRow>& rows) {
+  common::CsvWriter csv(out);
+  csv.row({"label", "policy", "sla_policy", "seed", "tasks", "completed", "rejected",
+           "deferrals", "violations", "lost", "revenue", "energy_j", "makespan_s"});
+  for (const SweepRow& row : rows) {
+    for (const PlacementResult& run : row.replicated.runs) {
+      csv.cell(row.label)
+          .cell(row.policy)
+          .cell(run.sla_policy.empty() ? std::string("none") : run.sla_policy)
+          .cell(static_cast<std::size_t>(run.seed))
+          .cell(run.tasks)
+          .cell(run.tasks_completed)
+          .cell(run.tasks_rejected)
+          .cell(static_cast<std::size_t>(run.tasks_deferred))
+          .cell(run.sla_violations)
+          .cell(run.tasks_lost)
+          .cell(run.revenue_total)
+          .cell(run.energy.value())
+          .cell(run.makespan.value());
       csv.end_row();
     }
   }

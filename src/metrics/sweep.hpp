@@ -69,6 +69,11 @@ class SweepRunner {
   /// comparison axis.
   SweepRunner& add_strategies(const PlacementConfig& base,
                               const std::vector<std::string>& strategies);
+  /// Adds one point per SLA admission policy spec, cloning `base`
+  /// (label = spec, or "none" for the empty spec).  The admission-control
+  /// comparison axis: every point replays the same decorated workload.
+  SweepRunner& add_sla_policies(const PlacementConfig& base,
+                                const std::vector<std::string>& policies);
 
   [[nodiscard]] std::size_t point_count() const noexcept { return points_.size(); }
   [[nodiscard]] const SweepOptions& options() const noexcept { return options_; }
@@ -94,6 +99,10 @@ class SweepRunner {
   /// separate schema so the golden Table II pin on write_runs_csv never
   /// moves.
   static void write_provisioning_csv(std::ostream& out, const std::vector<SweepRow>& rows);
+  /// SLA-comparison CSV: one row per (point, seed) run with the admission
+  /// outcome (admitted/deferred/rejected/violated, revenue, energy).  A
+  /// separate schema so the existing CSV pins never move.
+  static void write_sla_csv(std::ostream& out, const std::vector<SweepRow>& rows);
 
  private:
   /// Splits the collected trace by grid point and writes one Chrome-trace

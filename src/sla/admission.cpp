@@ -1,0 +1,275 @@
+#include "sla/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/spec.hpp"
+
+namespace greensched::sla {
+
+using common::ConfigError;
+using diet::Admission;
+using diet::AdmissionVerdict;
+using diet::Candidate;
+using diet::EstTag;
+using diet::Request;
+
+namespace {
+
+constexpr const char* kWhat = "sla policy";
+
+double tie_break(const Candidate& c) {
+  return c.estimation.get_or(EstTag::kRandomDraw, 0.0);
+}
+
+/// What the decision layer can predict about running the task on one
+/// candidate, from its estimation vector alone.
+struct CandidateEstimate {
+  bool known = false;           ///< speed figure available (measured or nameplate)
+  double wait_seconds = 0.0;    ///< w_s before a core frees
+  double run_seconds = 0.0;     ///< work / per-core rate
+  double energy_joules = 0.0;   ///< node power x run time
+};
+
+CandidateEstimate estimate_candidate(const diet::EstimationVector& est,
+                                     const Request& request) {
+  CandidateEstimate out;
+  // Measured rate when the server has completed work, nameplate as the
+  // fallback — the same learning ladder as the green policies.
+  double rate = est.get_or(EstTag::kMeasuredFlopsPerCore, 0.0);
+  if (rate <= 0.0) rate = est.get_or(EstTag::kSpecFlopsPerCore, 0.0);
+  if (rate <= 0.0 || !std::isfinite(rate)) return out;
+  out.known = true;
+  out.wait_seconds = est.get_or(EstTag::kQueueWaitSeconds, 0.0);
+  out.run_seconds = request.task.spec.work.value() / rate;
+  double power = est.get_or(EstTag::kMeasuredPowerWatts, 0.0);
+  if (power <= 0.0) power = est.get_or(EstTag::kSpecPeakPowerWatts, 0.0);
+  out.energy_joules = std::max(power, 0.0) * out.run_seconds;
+  return out;
+}
+
+}  // namespace
+
+void PolicyOptions::validate() const {
+  if (!(price_per_joule >= 0.0) || !std::isfinite(price_per_joule))
+    throw ConfigError("sla policy: price must be finite and non-negative");
+  if (!(alpha >= 0.0) || !std::isfinite(alpha))
+    throw ConfigError("sla policy: alpha must be finite and non-negative");
+  if (!(defer_seconds > 0.0) || !std::isfinite(defer_seconds))
+    throw ConfigError("sla policy: defer must be positive");
+}
+
+SlaPolicy::SlaPolicy(PolicyOptions options) : options_(options) { options_.validate(); }
+
+double SlaPolicy::now_seconds() const noexcept {
+  return sim_ != nullptr ? sim_->now().value() : 0.0;
+}
+
+double SlaPolicy::effective_price(const Request& request) const noexcept {
+  // P in [-0.9, 0.9]: performance-leaning users discount the energy term
+  // (price -> 0.1x at P = 0.9), green-leaning ones inflate it (1.9x at
+  // P = -0.9).  P = 0 is the nominal price.
+  return options_.price_per_joule * (1.0 - request.user_preference);
+}
+
+void SlaPolicy::aggregate(std::vector<Candidate>& candidates, const Request& request) const {
+  const double elapsed_now = std::max(0.0, now_seconds() - request.task.submit_time.value());
+  const double price = effective_price(request);
+  const workload::ValueCurve& curve = request.task.spec.value;
+  scratch_.sort(candidates, /*unknown_last=*/false, [&](const Candidate& c) {
+    const CandidateEstimate est = estimate_candidate(c.estimation, request);
+    // Learning phase: servers without any speed figure explore first.
+    if (!est.known) return green::RankedKey{true, 0.0, tie_break(c)};
+    const double completion = elapsed_now + est.wait_seconds + est.run_seconds;
+    const double net = curve.value_at(completion) - price * est.energy_joules;
+    // Descending net revenue == ascending -net; NaN (degenerate spec
+    // figures) lands in the unknown bucket via RankScratch.
+    return green::RankedKey{false, -net, tie_break(c)};
+  });
+}
+
+diet::AdmissionVerdict SlaPolicy::decide_with_threshold(const AdmissionContext& context,
+                                                        double threshold) const {
+  const diet::SchedulingDecision& decision = *context.decision;
+  const Request& request = *context.request;
+  const workload::TaskSpec& spec = request.task.spec;
+  if (!spec.has_sla()) return {Admission::kAdmit, 0.0};
+
+  const double elapsed_now = std::max(0.0, context.now - request.task.submit_time.value());
+  const double deadline = spec.deadline_seconds;
+  const bool timed = deadline > 0.0;
+  const double remaining =
+      timed ? deadline - elapsed_now : std::numeric_limits<double>::infinity();
+
+  // Defer while the deadline still has room for a wake-up round,
+  // otherwise the request can only be turned away.
+  const auto defer_or_reject = [&]() -> AdmissionVerdict {
+    if (remaining > options_.defer_seconds) {
+      return {Admission::kDefer, std::min(options_.defer_seconds, remaining / 2.0)};
+    }
+    return {Admission::kReject, 0.0};
+  };
+
+  if (timed && remaining <= 0.0) return {Admission::kReject, 0.0};
+
+  // Power-capped out of existence: the provisioner's filter left nothing
+  // eligible.  A timed request waits for capacity only while it can.
+  if (decision.eligible == 0 || decision.ranked.empty()) {
+    if (!timed) return {Admission::kAdmit, 0.0};  // passive legacy queue
+    return defer_or_reject();
+  }
+
+  // Judge on the server the ranking chose: the elected one, or the head
+  // of the ranked list when everyone is saturated.
+  const Candidate* best = nullptr;
+  if (decision.elected != nullptr) {
+    for (const Candidate& c : decision.ranked) {
+      if (c.sed == decision.elected) {
+        best = &c;
+        break;
+      }
+    }
+  }
+  if (best == nullptr) best = &decision.ranked.front();
+
+  const CandidateEstimate est = estimate_candidate(best->estimation, request);
+  if (est.known) {
+    const double completion = elapsed_now + est.wait_seconds + est.run_seconds;
+    if (timed && completion > deadline) {
+      // Starting on the elected server already misses the deadline:
+      // infeasible, and waiting only shrinks the slack.  When merely the
+      // *visible* best is too slow/busy, a wake-up may find better.
+      if (decision.elected != nullptr) return {Admission::kReject, 0.0};
+      return defer_or_reject();
+    }
+    if (!spec.value.empty()) {
+      const double value = spec.value.value_at(completion);
+      const double cost = effective_price(request) * est.energy_joules;
+      // Li et al.'s admission rule: revenue must cover the (threshold-
+      // scaled) energy bill, or serving the job loses money.
+      if (value < threshold * cost) return {Admission::kReject, 0.0};
+    }
+  }
+
+  if (decision.elected == nullptr) {
+    // Feasible but saturated: timed requests get a wake-up event,
+    // untimed ones fall back to the passive completion-driven queue.
+    if (!timed) return {Admission::kAdmit, 0.0};
+    return defer_or_reject();
+  }
+  return {Admission::kAdmit, 0.0};
+}
+
+namespace {
+
+/// Admit-everything baseline: same net-revenue ranking (so energy is
+/// comparable in the Pareto bench), no gate.
+class FifoAdmitPolicy final : public SlaPolicy {
+ public:
+  using SlaPolicy::SlaPolicy;
+  [[nodiscard]] std::string name() const override { return "SLA-FIFO-ADMIT"; }
+  [[nodiscard]] AdmissionVerdict decide(const AdmissionContext&, common::Rng&) const override {
+    return {Admission::kAdmit, 0.0};
+  }
+};
+
+/// Li et al.: deterministic time-sensitive revenue admission.
+class RevenueDetPolicy final : public SlaPolicy {
+ public:
+  using SlaPolicy::SlaPolicy;
+  [[nodiscard]] std::string name() const override { return "SLA-REVENUE-DET"; }
+  [[nodiscard]] AdmissionVerdict decide(const AdmissionContext& context,
+                                        common::Rng&) const override {
+    return decide_with_threshold(context, options_.alpha);
+  }
+};
+
+/// Wang et al.: randomized threshold exp(u - 1), one draw per decision.
+class RevenueRandPolicy final : public SlaPolicy {
+ public:
+  using SlaPolicy::SlaPolicy;
+  [[nodiscard]] std::string name() const override { return "SLA-REVENUE-RAND"; }
+  [[nodiscard]] AdmissionVerdict decide(const AdmissionContext& context,
+                                        common::Rng& rng) const override {
+    // Exactly one draw per decision on an SLA-bearing request, whatever
+    // the verdict — the stream position depends only on the decision
+    // count, which is what makes storms replayable.  Best-effort
+    // requests bypass admission entirely and must not consume draws.
+    if (!context.request->task.spec.has_sla()) return {Admission::kAdmit, 0.0};
+    const double u = rng.uniform();
+    const double threshold = options_.alpha * std::exp(u - 1.0);
+    return decide_with_threshold(context, threshold);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SlaPolicy> make_sla_policy(const std::string& spec) {
+  const common::ParsedSpec parsed = common::parse_spec(spec, kWhat);
+  PolicyOptions options;
+  for (const common::SpecOption& option : parsed.options) {
+    if (option.key == "price") options.price_per_joule = common::spec_double(option, parsed.name, kWhat);
+    else if (option.key == "alpha") options.alpha = common::spec_double(option, parsed.name, kWhat);
+    else if (option.key == "defer") options.defer_seconds = common::spec_double(option, parsed.name, kWhat);
+    else common::unknown_spec_option(option, parsed.name, kWhat, "price, alpha, defer");
+  }
+  if (parsed.name == "fifo-admit") return std::make_unique<FifoAdmitPolicy>(options);
+  if (parsed.name == "revenue-det") return std::make_unique<RevenueDetPolicy>(options);
+  if (parsed.name == "revenue-rand") return std::make_unique<RevenueRandPolicy>(options);
+  throw ConfigError("unknown sla policy '" + parsed.name +
+                    "' (known: fifo-admit, revenue-det, revenue-rand)");
+}
+
+std::vector<std::string> sla_policy_names() {
+  return {"fifo-admit", "revenue-det", "revenue-rand"};
+}
+
+bool is_sla_policy(const std::string& spec) {
+  const std::string name = common::spec_base_name(spec);
+  const std::vector<std::string> names = sla_policy_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string sla_policy_help(const std::string& indent) {
+  std::string out;
+  auto line = [&](const char* text) {
+    out += indent;
+    out += text;
+    out += '\n';
+  };
+  line("fifo-admit[:price=C,alpha=A,defer=S]");
+  line("                         admit everything placeable (baseline); net-revenue");
+  line("                         ranking, no gate");
+  line("revenue-det[:price=C,alpha=A,defer=S]");
+  line("                         Li et al. deterministic time-sensitive revenue");
+  line("                         admission: reject infeasible deadlines and jobs whose");
+  line("                         value misses alpha x energy cost; defer on saturation");
+  line("revenue-rand[:price=C,alpha=A,defer=S]");
+  line("                         Wang et al. randomized threshold (one RNG draw per");
+  line("                         decision, split-stream seeded)");
+  return out;
+}
+
+AdmissionController::AdmissionController(std::unique_ptr<SlaPolicy> policy,
+                                         const des::Simulator& sim, common::Rng& rng)
+    : policy_(std::move(policy)), sim_(sim), rng_(rng.split()) {
+  if (!policy_) throw ConfigError("AdmissionController: null policy");
+  policy_->set_clock(&sim_);
+}
+
+void AdmissionController::install(diet::MasterAgent& master) {
+  master.set_plugin(policy_.get());
+  master.set_admission_hook(
+      [this](const diet::SchedulingDecision& decision, const Request& request) {
+        ++decisions_;
+        AdmissionContext context;
+        context.decision = &decision;
+        context.request = &request;
+        context.now = sim_.now().value();
+        return policy_->decide(context, rng_);
+      });
+}
+
+}  // namespace greensched::sla

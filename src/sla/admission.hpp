@@ -1,0 +1,137 @@
+// SLA admission control: the gs_sla decision layer over MA dispatch.
+//
+// With an AdmissionController installed, every scheduling round ends in a
+// verdict — admit (run on the elected server), defer (re-queue with a
+// wake-up event at a policy-chosen time) or reject (terminal, accounted,
+// never "lost") — taken jointly with energy-aware dispatch: the SLA
+// policies are plug-in schedulers that rank candidates by expected *net
+// revenue* (value at estimated completion minus energy cost) through
+// green::RankScratch, and the same estimates feed the admit threshold.
+//
+// Policies:
+//   fifo-admit   — admit everything placeable (the baseline the bench
+//                  compares against); never defers, never rejects.
+//   revenue-det  — Li et al.'s deterministic time-sensitive revenue
+//                  scheduler: reject infeasible deadlines and jobs whose
+//                  value at the estimated completion does not cover
+//                  alpha x the energy cost; defer when the candidate set
+//                  is power-capped or saturated but the deadline still
+//                  has slack.
+//   revenue-rand — Wang et al.'s randomized variant: the admission
+//                  threshold is scaled by exp(u - 1), u ~ U[0,1), with
+//                  EXACTLY one RNG draw per decision from a split-stream
+//                  seeded generator — fixed seed => bit-identical
+//                  admit/defer/reject sequences, like gs_chaos storms.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "diet/agent.hpp"
+#include "diet/plugin.hpp"
+#include "green/ranking.hpp"
+
+namespace greensched::sla {
+
+/// Tunables shared by the admission policies (spec options).
+struct PolicyOptions {
+  /// Electricity price in value credits per joule; scales the energy
+  /// term of net revenue.  The default prices the paper's ~20-50 s tasks
+  /// (1e4-ish joules) within an order of magnitude of a bronze value.
+  double price_per_joule = 2e-5;
+  /// Admission threshold: admit iff value >= alpha * energy cost.
+  double alpha = 1.0;
+  /// Base defer wake-up delay in seconds.
+  double defer_seconds = 15.0;
+
+  void validate() const;
+};
+
+/// Everything a policy sees when ruling on one request.
+struct AdmissionContext {
+  const diet::SchedulingDecision* decision = nullptr;
+  const diet::Request* request = nullptr;
+  double now = 0.0;  ///< simulated seconds
+};
+
+/// An SLA policy is a plug-in scheduler (net-revenue ranking through
+/// RankScratch) plus the admit/defer/reject rule.
+class SlaPolicy : public diet::PluginScheduler {
+ public:
+  explicit SlaPolicy(PolicyOptions options);
+
+  /// Ranks candidates by descending expected net revenue; servers whose
+  /// speed is still unmeasured (and without nameplate figures) explore
+  /// first, tie-broken by the request's random draw — the same learning
+  /// phase as the green policies.
+  void aggregate(std::vector<diet::Candidate>& candidates,
+                 const diet::Request& request) const final;
+
+  /// Rules on the finished decision.  `rng` is the controller's
+  /// split-stream generator; only the randomized policy draws from it.
+  [[nodiscard]] virtual diet::AdmissionVerdict decide(const AdmissionContext& context,
+                                                      common::Rng& rng) const = 0;
+
+  [[nodiscard]] const PolicyOptions& options() const noexcept { return options_; }
+
+  /// The controller wires the simulated clock in: the ranking prices a
+  /// candidate's completion on the task's value curve, which is a
+  /// function of elapsed time since submission.  Null = price at offset
+  /// zero (standalone ranking tests).
+  void set_clock(const des::Simulator* sim) noexcept { sim_ = sim; }
+
+ protected:
+  [[nodiscard]] double now_seconds() const noexcept;
+  /// Effective price for the ranking/threshold: scaled by the request's
+  /// Preference_user so P > 0 (performance) discounts energy and P < 0
+  /// (green) inflates it — the knob bench_sla_pareto sweeps.
+  [[nodiscard]] double effective_price(const diet::Request& request) const noexcept;
+
+  /// Deterministic admit/defer/reject core shared by both revenue
+  /// policies; `threshold` is alpha (deterministic) or the randomized
+  /// scaling thereof.
+  [[nodiscard]] diet::AdmissionVerdict decide_with_threshold(const AdmissionContext& context,
+                                                             double threshold) const;
+
+  PolicyOptions options_;
+  const des::Simulator* sim_ = nullptr;
+
+ private:
+  mutable green::RankScratch scratch_;
+};
+
+/// Registry: "fifo-admit", "revenue-det[:k=v,...]", "revenue-rand[:k=v,...]"
+/// with options price, alpha, defer.  Throws ConfigError on unknown
+/// names/keys (shared spec parser; the CLI maps that to exit code 2).
+[[nodiscard]] std::unique_ptr<SlaPolicy> make_sla_policy(const std::string& spec);
+[[nodiscard]] std::vector<std::string> sla_policy_names();
+[[nodiscard]] bool is_sla_policy(const std::string& spec);
+[[nodiscard]] std::string sla_policy_help(const std::string& indent);
+
+/// Owns the policy and its split-stream RNG, and adapts them to the
+/// MasterAgent hooks.  install() wires both the ranking plug-in and the
+/// admission hook; the controller must outlive the master agent's use.
+class AdmissionController {
+ public:
+  /// `rng` is split once at construction — the policy's draw stream is
+  /// independent of every other consumer, so an SLA run perturbs nothing
+  /// else and is reproducible from the run seed alone.
+  AdmissionController(std::unique_ptr<SlaPolicy> policy, const des::Simulator& sim,
+                      common::Rng& rng);
+
+  void install(diet::MasterAgent& master);
+
+  [[nodiscard]] const SlaPolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
+
+ private:
+  std::unique_ptr<SlaPolicy> policy_;
+  const des::Simulator& sim_;
+  common::Rng rng_;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace greensched::sla

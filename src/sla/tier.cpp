@@ -1,0 +1,128 @@
+#include "sla/tier.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/spec.hpp"
+
+namespace greensched::sla {
+
+using common::ConfigError;
+
+namespace {
+constexpr const char* kWhat = "sla workload";
+constexpr const char* kTierNames[kTierCount] = {"best-effort", "bronze", "silver", "gold"};
+}  // namespace
+
+const char* tier_name(unsigned tier) {
+  if (tier >= kTierCount) throw ConfigError("tier_name: tier out of range");
+  return kTierNames[tier];
+}
+
+TierTemplate tier_template(unsigned tier) {
+  // Shapes follow the usual contract ladder: premium tiers pay a
+  // multiple of the base value but forfeit it quickly, cheap tiers keep
+  // a residual value all the way to a loose deadline.
+  switch (tier) {
+    case 0: return TierTemplate{0.0, 0.0, 0.0, 0.0};          // best-effort
+    case 1: return TierTemplate{1.0, 2.0, 0.5, 0.25};         // bronze
+    case 2: return TierTemplate{3.0, 1.0, 0.4, 0.0};          // silver
+    case 3: return TierTemplate{8.0, 0.6, 0.3, 0.0};          // gold
+    default: throw ConfigError("tier_template: tier out of range");
+  }
+}
+
+void SlaWorkloadOptions::validate() const {
+  for (const double f : {gold, silver, bronze}) {
+    if (!(f >= 0.0 && f <= 1.0))
+      throw ConfigError("sla workload 'sla': tier fractions must be in [0, 1]");
+  }
+  if (gold + silver + bronze > 1.0 + 1e-12)
+    throw ConfigError("sla workload 'sla': tier fractions sum past 1");
+  if (!(deadline > 0.0))
+    throw ConfigError("sla workload 'sla': deadline must be positive");
+  if (!(value >= 0.0)) throw ConfigError("sla workload 'sla': value must be non-negative");
+}
+
+std::string SlaWorkloadOptions::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "sla:gold=%.9g,silver=%.9g,bronze=%.9g,deadline=%.9g,value=%.9g",
+                gold, silver, bronze, deadline, value);
+  return buf;
+}
+
+SlaWorkloadOptions parse_sla_workload(const std::string& spec) {
+  SlaWorkloadOptions options;
+  if (spec.empty()) return options;
+  const common::ParsedSpec parsed = common::parse_spec(spec, kWhat);
+  if (parsed.name != "sla")
+    throw ConfigError("unknown workload profile '" + parsed.name + "' (known: sla)");
+  for (const common::SpecOption& option : parsed.options) {
+    if (option.key == "gold") options.gold = common::spec_fraction(option, parsed.name, kWhat);
+    else if (option.key == "silver")
+      options.silver = common::spec_fraction(option, parsed.name, kWhat);
+    else if (option.key == "bronze")
+      options.bronze = common::spec_fraction(option, parsed.name, kWhat);
+    else if (option.key == "deadline")
+      options.deadline = common::spec_double(option, parsed.name, kWhat);
+    else if (option.key == "value")
+      options.value = common::spec_double(option, parsed.name, kWhat);
+    else
+      common::unknown_spec_option(option, parsed.name, kWhat,
+                                  "gold, silver, bronze, deadline, value");
+  }
+  options.validate();
+  return options;
+}
+
+void apply_tier(workload::TaskSpec& spec, unsigned tier, const SlaWorkloadOptions& options) {
+  const TierTemplate t = tier_template(tier);
+  spec.sla_tier = tier;
+  spec.value = workload::ValueCurve();
+  if (t.deadline_multiplier <= 0.0) {
+    spec.deadline_seconds = 0.0;  // best-effort: no deadline, no revenue
+    return;
+  }
+  const double deadline = options.deadline * t.deadline_multiplier;
+  const double peak = options.value * t.value_multiplier;
+  spec.deadline_seconds = deadline;
+  workload::ValueCurve curve;
+  curve.add(0.0, peak);
+  if (t.flat_fraction > 0.0 && t.flat_fraction < 1.0)
+    curve.add(deadline * t.flat_fraction, peak);
+  curve.add(deadline, peak * t.tail_fraction);
+  curve.validate();
+  spec.value = curve;
+}
+
+void apply_sla_profile(std::vector<workload::TaskInstance>& tasks,
+                       const SlaWorkloadOptions& options, common::Rng& rng) {
+  options.validate();
+  if (!options.enabled()) return;
+  for (workload::TaskInstance& task : tasks) {
+    // One draw per task, in task order — the determinism contract.
+    const double u = rng.uniform();
+    unsigned tier = 0;
+    if (u < options.gold) tier = 3;
+    else if (u < options.gold + options.silver) tier = 2;
+    else if (u < options.gold + options.silver + options.bronze) tier = 1;
+    apply_tier(task.spec, tier, options);
+    task.spec.validate();
+  }
+}
+
+std::string sla_workload_help(const std::string& indent) {
+  std::string out;
+  auto line = [&](const char* text) {
+    out += indent;
+    out += text;
+    out += '\n';
+  };
+  line("sla:gold=F,silver=F,bronze=F,deadline=S,value=V");
+  line("                         decorate the generated workload with SLA tiers:");
+  line("                         fractions of gold/silver/bronze tasks (remainder");
+  line("                         best-effort), base deadline seconds and base value");
+  return out;
+}
+
+}  // namespace greensched::sla

@@ -1,0 +1,72 @@
+// SLA tiers and the sla: workload profile.
+//
+// A tier is a contract shape: how much a completion pays, how tight the
+// deadline is, and how the value decays toward it (Li et al.'s
+// time-sensitive revenue model).  The `--workload sla:<k=v,...>` spec
+// mixes tiers over a generated workload — each task draws its tier from
+// the mix with exactly one RNG draw, split-stream seeded, so a fixed seed
+// produces a bit-identical tier assignment at any sweep jobs count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/task.hpp"
+
+namespace greensched::sla {
+
+/// Tier count, mirrored from the task model (0 = best-effort .. 3 = gold).
+inline constexpr unsigned kTierCount = workload::kSlaTierCount;
+
+/// Canonical tier name ("best-effort", "bronze", "silver", "gold");
+/// throws ConfigError on an out-of-range tier.
+[[nodiscard]] const char* tier_name(unsigned tier);
+
+/// Per-tier contract shape, scaled by the profile's base deadline/value.
+struct TierTemplate {
+  double value_multiplier = 0.0;     ///< peak value = multiplier * base value
+  double deadline_multiplier = 0.0;  ///< deadline = multiplier * base (0 = none)
+  double flat_fraction = 0.0;        ///< fraction of deadline at full value
+  double tail_fraction = 0.0;        ///< value fraction still paid AT the deadline
+};
+
+/// The built-in contract shapes.  Gold pays the most under the tightest
+/// deadline; best-effort pays nothing and never expires.
+[[nodiscard]] TierTemplate tier_template(unsigned tier);
+
+/// Parsed `sla:<k=v,...>` workload profile.
+struct SlaWorkloadOptions {
+  double gold = 0.0;    ///< fraction of tasks on the gold tier
+  double silver = 0.0;  ///< fraction on silver
+  double bronze = 0.0;  ///< fraction on bronze (remainder = best-effort)
+  double deadline = 180.0;  ///< base deadline seconds (silver's deadline)
+  double value = 1.0;       ///< base value credits (bronze's peak value)
+
+  [[nodiscard]] bool enabled() const noexcept { return gold + silver + bronze > 0.0; }
+  /// Throws ConfigError on fractions outside [0,1] or summing past 1,
+  /// a non-positive deadline or a negative value.
+  void validate() const;
+  /// Canonical spec string (feeds the sweep checkpoint fingerprint).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses "sla:gold=0.2,silver=0.3,bronze=0.3,deadline=180,value=1".
+/// The empty string yields a disabled default; unknown keys throw
+/// ConfigError through the shared spec parser (CLI exit code 2).
+[[nodiscard]] SlaWorkloadOptions parse_sla_workload(const std::string& spec);
+
+/// Writes the tier contract (deadline, tier index, value curve) onto a
+/// task spec.  Best-effort (tier 0) clears the contract.
+void apply_tier(workload::TaskSpec& spec, unsigned tier, const SlaWorkloadOptions& options);
+
+/// Decorates a generated workload with tiers drawn from the mix: exactly
+/// one RNG draw per task, in task order.  A disabled profile is a no-op
+/// (and should not have consumed an RNG split upstream).
+void apply_sla_profile(std::vector<workload::TaskInstance>& tasks,
+                       const SlaWorkloadOptions& options, common::Rng& rng);
+
+/// CLI help block for `--workload sla:`.
+[[nodiscard]] std::string sla_workload_help(const std::string& indent);
+
+}  // namespace greensched::sla

@@ -52,9 +52,20 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
   b.node_failures = registry.counter("cluster.node_failures");
   b.node_repairs = registry.counter("cluster.node_repairs");
   b.pstate_transitions = registry.counter("cluster.pstate_transitions");
+  // Tier names mirror sla/tier.cpp (0 = best-effort .. 3 = gold).
+  const char* tier_names[BuiltinMetrics::kSlaTiers] = {"best-effort", "bronze", "silver",
+                                                       "gold"};
+  for (std::size_t t = 0; t < BuiltinMetrics::kSlaTiers; ++t) {
+    const std::string tier = tier_names[t];
+    b.sla_admitted[t] = registry.counter("sla.admitted." + tier);
+    b.sla_deferred[t] = registry.counter("sla.deferred." + tier);
+    b.sla_rejected[t] = registry.counter("sla.rejected." + tier);
+    b.sla_violated[t] = registry.counter("sla.violated." + tier);
+  }
   b.candidate_nodes = registry.gauge("green.candidate_nodes");
   b.electricity_cost = registry.gauge("green.electricity_cost");
   b.provisioner_target_gap = registry.gauge("green.provisioner_target_gap");
+  b.sla_revenue_total = registry.gauge("sla.revenue_total");
   b.task_run_seconds = registry.histogram(
       "diet.task_run_seconds", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
   b.election_candidates =

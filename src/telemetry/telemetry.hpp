@@ -28,6 +28,10 @@ namespace greensched::telemetry {
 /// Ids of the metrics the built-in instrumentation records, registered
 /// once in the global registry.  Names follow "layer.metric".
 struct BuiltinMetrics {
+  /// SLA tier count mirrored from workload::kSlaTierCount (the layers do
+  /// not see each other; a static_assert in diet/client.cpp pins them).
+  static constexpr std::size_t kSlaTiers = 4;
+
   // request lifecycle (diet)
   CounterId requests_submitted;
   CounterId estimations;
@@ -65,10 +69,16 @@ struct BuiltinMetrics {
   CounterId node_failures;
   CounterId node_repairs;
   CounterId pstate_transitions;
+  // sla admission control (diet client + sla controller), per tier
+  CounterId sla_admitted[kSlaTiers];
+  CounterId sla_deferred[kSlaTiers];
+  CounterId sla_rejected[kSlaTiers];
+  CounterId sla_violated[kSlaTiers];
   // gauges
   GaugeId candidate_nodes;
   GaugeId electricity_cost;
   GaugeId provisioner_target_gap;  ///< |strategy target - applied pool|
+  GaugeId sla_revenue_total;       ///< running realized revenue
   // histograms
   HistogramId task_run_seconds;
   HistogramId election_candidates;

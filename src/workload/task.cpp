@@ -1,5 +1,7 @@
 #include "workload/task.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace greensched::workload {
@@ -8,6 +10,14 @@ void TaskSpec::validate() const {
   if (service.empty()) throw common::ConfigError("TaskSpec: service name must not be empty");
   if (work.value() <= 0.0) throw common::ConfigError("TaskSpec: work must be positive");
   if (cores == 0) throw common::ConfigError("TaskSpec: cores must be >= 1");
+  // A NaN deadline would compare false against every feasibility test and
+  // silently disable admission control, so insist on finite >= 0.
+  if (!std::isfinite(deadline_seconds) || deadline_seconds < 0.0)
+    throw common::ConfigError("TaskSpec: deadline must be finite and non-negative");
+  if (sla_tier >= kSlaTierCount)
+    throw common::ConfigError("TaskSpec: sla tier must be below " +
+                              std::to_string(kSlaTierCount));
+  value.validate();
 }
 
 TaskSpec paper_cpu_bound_task() {

@@ -11,6 +11,7 @@
 
 #include "common/ids.hpp"
 #include "common/units.hpp"
+#include "workload/value_curve.hpp"
 
 namespace greensched::workload {
 
@@ -18,10 +19,29 @@ using common::Flops;
 using common::Seconds;
 using common::TaskId;
 
+/// Number of SLA tiers (0 = best-effort .. 3 = gold); `sla/tier.hpp`
+/// names them.  Lives here so the task model can bound-check without
+/// depending on the sla subsystem.
+inline constexpr unsigned kSlaTierCount = 4;
+
 struct TaskSpec {
   std::string service = "cpu-bound";  ///< DIET service name this task needs
   Flops work{0.0};                    ///< n_i, FLOPs to perform
   unsigned cores = 1;                 ///< cores occupied while running
+
+  // --- SLA contract (defaults = best-effort, revenue-free: the legacy
+  // task, bit-identical through every pre-SLA code path) ---
+  /// Completion deadline, seconds after submission (0 = none).
+  double deadline_seconds = 0.0;
+  /// SLA tier index, 0 (best-effort) .. kSlaTierCount-1 (gold).
+  unsigned sla_tier = 0;
+  /// Revenue as a function of completion time; empty = no revenue.
+  ValueCurve value;
+
+  /// True when any SLA field departs from the best-effort default.
+  [[nodiscard]] bool has_sla() const noexcept {
+    return deadline_seconds > 0.0 || sla_tier != 0 || !value.empty();
+  }
 
   void validate() const;
 };

@@ -13,7 +13,12 @@ using common::ParseError;
 
 namespace {
 
-constexpr const char* kHeader = "submit_time,work_flops,cores,service,user_preference";
+// Two accepted header shapes: the pre-SLA 5-column layout (still parsed,
+// so archived traces keep replaying) and the extended layout that carries
+// the SLA contract.  save_trace always writes the extended form.
+constexpr const char* kLegacyHeader = "submit_time,work_flops,cores,service,user_preference";
+constexpr const char* kHeader =
+    "submit_time,work_flops,cores,service,user_preference,deadline,sla_tier,value_curve";
 
 std::vector<std::string> split_fields(const std::string& line) {
   std::vector<std::string> out;
@@ -46,10 +51,10 @@ void save_trace(std::ostream& out, const std::vector<TaskInstance>& tasks) {
   out << kHeader << '\n';
   char buf[160];
   for (const auto& task : tasks) {
-    std::snprintf(buf, sizeof(buf), "%.9g,%.9g,%u,%s,%.4g\n", task.submit_time.value(),
+    std::snprintf(buf, sizeof(buf), "%.9g,%.9g,%u,%s,%.4g,%.9g,%u,", task.submit_time.value(),
                   task.spec.work.value(), task.spec.cores, task.spec.service.c_str(),
-                  task.user_preference);
-    out << buf;
+                  task.user_preference, task.spec.deadline_seconds, task.spec.sla_tier);
+    out << buf << task.spec.value.to_string() << '\n';
   }
 }
 
@@ -67,8 +72,10 @@ std::vector<TaskInstance> load_trace(std::istream& in) {
   ++line_number;
   // Tolerate trailing \r from Windows-edited files.
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  if (line != kHeader)
+  const bool legacy = line == kLegacyHeader;
+  if (!legacy && line != kHeader)
     throw ParseError("trace: missing header '" + std::string(kHeader) + "'", 1, 1);
+  const std::size_t expected_fields = legacy ? 5 : 8;
 
   std::vector<TaskInstance> tasks;
   common::IdAllocator<common::TaskId> ids;
@@ -79,8 +86,9 @@ std::vector<TaskInstance> load_trace(std::istream& in) {
     if (line.empty()) continue;
 
     const auto fields = split_fields(line);
-    if (fields.size() != 5)
-      throw ParseError("trace: expected 5 fields, got " + std::to_string(fields.size()),
+    if (fields.size() != expected_fields)
+      throw ParseError("trace: expected " + std::to_string(expected_fields) +
+                           " fields, got " + std::to_string(fields.size()),
                        line_number, 1);
 
     TaskInstance task;
@@ -100,6 +108,28 @@ std::vector<TaskInstance> load_trace(std::istream& in) {
     task.user_preference = parse_double_field(fields[4], line_number, "user_preference");
     if (task.user_preference < -1.0 || task.user_preference > 1.0)
       throw ParseError("trace: user_preference outside [-1, 1]", line_number, 1);
+    if (!legacy) {
+      // Same discipline as the numeric columns above: parse_double_field
+      // already rejects NaN/inf, so only the sign and range remain.
+      const double deadline = parse_double_field(fields[5], line_number, "deadline");
+      if (deadline < 0.0)
+        throw ParseError("trace: deadline must be non-negative", line_number, 1);
+      task.spec.deadline_seconds = deadline;
+      const double tier = parse_double_field(fields[6], line_number, "sla_tier");
+      if (tier < 0.0 || tier >= static_cast<double>(kSlaTierCount) ||
+          tier != static_cast<double>(static_cast<unsigned>(tier)))
+        throw ParseError("trace: sla_tier must be an integer below " +
+                             std::to_string(kSlaTierCount),
+                         line_number, 1);
+      task.spec.sla_tier = static_cast<unsigned>(tier);
+      try {
+        // from_string runs ValueCurve::validate, which rejects
+        // non-monotone breakpoints and non-finite entries.
+        task.spec.value = ValueCurve::from_string(fields[7]);
+      } catch (const common::ConfigError& e) {
+        throw ParseError(std::string("trace: ") + e.what(), line_number, 1);
+      }
+    }
     try {
       task.spec.validate();
     } catch (const common::ConfigError& e) {

@@ -3,7 +3,9 @@
 // Lets an experiment be captured once and replayed bit-identically (or
 // shared), and lets externally produced traces drive the simulator.
 // Format (header required):
-//   submit_time,work_flops,cores,service,user_preference
+//   submit_time,work_flops,cores,service,user_preference,deadline,sla_tier,value_curve
+// where value_curve is "at:value;at:value" (empty = best effort).  The
+// pre-SLA 5-column header is still accepted on load.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,91 @@
+#include "workload/value_curve.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace greensched::workload {
+
+using common::ConfigError;
+
+double ValueCurve::value_at(double elapsed) const noexcept {
+  if (points_.empty()) return 0.0;
+  if (elapsed <= points_.front().at) return points_.front().value;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const ValuePoint& a = points_[i - 1];
+    const ValuePoint& b = points_[i];
+    if (elapsed <= b.at) {
+      const double span = b.at - a.at;
+      if (span <= 0.0) return b.value;  // unreachable once validated
+      const double t = (elapsed - a.at) / span;
+      return a.value + t * (b.value - a.value);
+    }
+  }
+  return points_.back().value;
+}
+
+double ValueCurve::peak() const noexcept {
+  return points_.empty() ? 0.0 : points_.front().value;
+}
+
+void ValueCurve::validate() const {
+  double previous_at = -1.0;
+  double previous_value = 0.0;
+  bool first = true;
+  for (const ValuePoint& p : points_) {
+    if (!std::isfinite(p.at) || p.at < 0.0)
+      throw ConfigError("ValueCurve: breakpoint time must be finite and non-negative");
+    if (!std::isfinite(p.value) || p.value < 0.0)
+      throw ConfigError("ValueCurve: breakpoint value must be finite and non-negative");
+    if (!first) {
+      if (p.at <= previous_at)
+        throw ConfigError("ValueCurve: breakpoint times must be strictly increasing");
+      if (p.value > previous_value)
+        throw ConfigError("ValueCurve: breakpoint values must be non-increasing "
+                          "(revenue only decays toward the deadline)");
+    }
+    previous_at = p.at;
+    previous_value = p.value;
+    first = false;
+  }
+}
+
+std::string ValueCurve::to_string() const {
+  std::string out;
+  char buf[64];
+  for (const ValuePoint& p : points_) {
+    std::snprintf(buf, sizeof buf, "%.9g:%.9g", p.at, p.value);
+    if (!out.empty()) out += ';';
+    out += buf;
+  }
+  return out;
+}
+
+ValueCurve ValueCurve::from_string(const std::string& text) {
+  ValueCurve curve;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t semi = text.find(';', start);
+    if (semi == std::string::npos) semi = text.size();
+    const std::string token = text.substr(start, semi - start);
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos || colon == 0 || colon == token.size() - 1)
+      throw ConfigError("ValueCurve: breakpoint '" + token + "' is not at:value");
+    char* end = nullptr;
+    const std::string at_text = token.substr(0, colon);
+    const std::string value_text = token.substr(colon + 1);
+    const double at = std::strtod(at_text.c_str(), &end);
+    if (end != at_text.c_str() + at_text.size())
+      throw ConfigError("ValueCurve: bad breakpoint time '" + at_text + "'");
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end != value_text.c_str() + value_text.size())
+      throw ConfigError("ValueCurve: bad breakpoint value '" + value_text + "'");
+    curve.add(at, value);
+    start = semi + 1;
+  }
+  curve.validate();
+  return curve;
+}
+
+}  // namespace greensched::workload

@@ -1,0 +1,66 @@
+// Piecewise-linear revenue curves: what a task is worth as a function of
+// when it completes.
+//
+// Li et al.'s time-sensitive revenue model attaches to each job a value
+// that is highest when the job finishes promptly and decays toward the
+// deadline; we represent that as breakpoints (elapsed seconds since
+// submission, value) with linear interpolation between them, constant
+// extrapolation before the first point and after the last.  An empty
+// curve means "best effort": the task carries no revenue.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace greensched::workload {
+
+struct ValuePoint {
+  double at = 0.0;     ///< elapsed seconds since submission
+  double value = 0.0;  ///< revenue if the task completes at `at`
+};
+
+class ValueCurve {
+ public:
+  ValueCurve() = default;
+  explicit ValueCurve(std::vector<ValuePoint> points) : points_(std::move(points)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const std::vector<ValuePoint>& points() const noexcept { return points_; }
+
+  /// Appends a breakpoint (validate() enforces ordering later).
+  void add(double at, double value) { points_.push_back(ValuePoint{at, value}); }
+
+  /// Revenue for a completion `elapsed` seconds after submission; 0 for an
+  /// empty curve.  Deadline violations are judged by the task's deadline,
+  /// not here — the curve only prices on-time completions.
+  [[nodiscard]] double value_at(double elapsed) const noexcept;
+
+  /// Peak revenue (the first breakpoint's value once validated); 0 when empty.
+  [[nodiscard]] double peak() const noexcept;
+
+  /// Throws ConfigError unless breakpoint times are finite, non-negative
+  /// and strictly increasing, and values are finite, non-negative and
+  /// non-increasing (revenue may only decay toward the deadline).
+  void validate() const;
+
+  /// Compact "at:value;at:value" form, embeddable in a CSV field (the
+  /// trace column) and an XML attribute.  Empty string for an empty curve.
+  [[nodiscard]] std::string to_string() const;
+  /// Parses to_string() output; throws ConfigError on malformed text or a
+  /// curve that fails validate().  An empty string is the empty curve.
+  [[nodiscard]] static ValueCurve from_string(const std::string& text);
+
+  friend bool operator==(const ValueCurve& a, const ValueCurve& b) noexcept {
+    if (a.points_.size() != b.points_.size()) return false;
+    for (std::size_t i = 0; i < a.points_.size(); ++i) {
+      if (a.points_[i].at != b.points_[i].at || a.points_[i].value != b.points_[i].value)
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<ValuePoint> points_;
+};
+
+}  // namespace greensched::workload

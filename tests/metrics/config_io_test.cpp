@@ -89,6 +89,40 @@ TEST(ConfigIo, ProvisionerSpecRoundTrips) {
   EXPECT_DOUBLE_EQ(reloaded.provisioner_check_seconds, 60.0);
 }
 
+TEST(ConfigIo, SlaSpecsRoundTrip) {
+  PlacementConfig config;
+  config.clusters = table1_clusters();
+  config.sla_workload = "sla:gold=0.2,silver=0.3,bronze=0.3,deadline=240";
+  config.sla_policy = "revenue-rand:alpha=1.5";
+  const PlacementConfig loaded = config_from_string(config_to_string(config));
+  EXPECT_EQ(loaded.sla_workload, config.sla_workload);
+  EXPECT_EQ(loaded.sla_policy, config.sla_policy);
+
+  // A best-effort config writes no SLA attributes and loads back empty.
+  PlacementConfig plain;
+  plain.clusters = table1_clusters();
+  const std::string xml = config_to_string(plain);
+  EXPECT_EQ(xml.find("sla"), std::string::npos);
+  const PlacementConfig reloaded = config_from_string(xml);
+  EXPECT_TRUE(reloaded.sla_workload.empty());
+  EXPECT_TRUE(reloaded.sla_policy.empty());
+}
+
+TEST(ConfigIo, RejectsBadSlaSpecs) {
+  EXPECT_THROW(
+      config_from_string("<experiment sla_policy=\"no-such-policy\">"
+                         "<cluster machine=\"taurus\" count=\"1\"/></experiment>"),
+      common::ConfigError);
+  EXPECT_THROW(
+      config_from_string("<experiment sla_workload=\"sla:gold=2\">"
+                         "<cluster machine=\"taurus\" count=\"1\"/></experiment>"),
+      common::ConfigError);
+  EXPECT_THROW(
+      config_from_string("<experiment sla_workload=\"batch:gold=0.5\">"
+                         "<cluster machine=\"taurus\" count=\"1\"/></experiment>"),
+      common::ConfigError);
+}
+
 TEST(ConfigIo, RejectsNonPositiveProvisionerCheck) {
   EXPECT_THROW(
       config_from_string("<experiment provisioner=\"rule-fraction\" provisioner_check=\"0\">"

@@ -11,6 +11,8 @@
 #include "green/policies.hpp"
 #include "green/score.hpp"
 #include "metrics/experiment.hpp"
+#include "sla/admission.hpp"
+#include "sla/tier.hpp"
 #include "support/oracle.hpp"
 #include "workload/generator.hpp"
 #include "xmlite/xml.hpp"
@@ -355,6 +357,107 @@ TEST_P(ChaosInvariants, StormRunStaysOracleClean) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosInvariants, ::testing::Values(1u, 23u, 404u, 8191u));
+
+// --- SLA admission under chaos -----------------------------------------------------
+
+struct SlaChaosCase {
+  const char* policy;
+  std::uint64_t seed;
+};
+
+class SlaChaosInvariants : public ::testing::TestWithParam<SlaChaosCase> {};
+
+// Every admission policy must keep the conservation ledger balanced
+// through a crash storm — deferred requests re-queue and eventually
+// settle (complete, reject or lose), never vanish — and a fixed seed
+// must replay the exact admit/defer/reject sequence.
+TEST_P(SlaChaosInvariants, StormRunConservesAdmissionAccounting) {
+  struct Outcome {
+    std::string admission_log;
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::uint64_t deferrals = 0;
+    std::size_t violations = 0;
+    double revenue = 0.0;
+  };
+  auto run = [&]() -> Outcome {
+    des::Simulator sim;
+    common::Rng rng(GetParam().seed);
+    cluster::Platform platform;
+    for (const auto& setup : metrics::scaled_clusters(12)) {
+      platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+    }
+    diet::Hierarchy hierarchy(sim, rng);
+    diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+
+    testsupport::SimulationOracle oracle;
+    oracle.watch(platform);
+
+    workload::WorkloadConfig wconfig;
+    workload::WorkloadGenerator generator(wconfig);
+    workload::BurstThenContinuousArrival arrival(wconfig.burst_size,
+                                                 wconfig.continuous_rate);
+    auto tasks = generator.generate_with(arrival, 400, common::Seconds(0.0), rng);
+    const sla::SlaWorkloadOptions profile =
+        sla::parse_sla_workload("sla:gold=0.25,silver=0.25,bronze=0.25,deadline=600");
+    common::Rng profile_rng = rng.split();
+    sla::apply_sla_profile(tasks, profile, profile_rng);
+
+    diet::Client client(hierarchy, "sla-chaos-client", diet::RetryPolicy::hardened());
+    client.set_admission_log(true);
+    client.submit_workload(std::move(tasks));
+
+    sla::AdmissionController controller(sla::make_sla_policy(GetParam().policy), sim, rng);
+    controller.install(ma);
+
+    chaos::ChaosInjector injector(
+        hierarchy, chaos::ChaosScenario::parse("storm,mtbf=1500,horizon=2500"));
+    injector.start();
+    sim.run();
+
+    oracle.check_settled(client);
+    oracle.check_sla_conservation(client);
+    oracle.check_transition_counters(platform);
+    oracle.check_energy(platform, sim.now());
+    EXPECT_TRUE(oracle.clean()) << oracle.report();
+    EXPECT_GT(injector.crashes(), 0u);
+    EXPECT_GT(controller.decisions(), 0u);
+
+    Outcome outcome;
+    outcome.admission_log = client.admission_log();
+    outcome.completed = client.completed();
+    outcome.rejected = client.rejected();
+    outcome.deferrals = client.deferrals();
+    outcome.violations = client.violations();
+    outcome.revenue = client.revenue_total();
+    return outcome;
+  };
+
+  const Outcome first = run();
+  EXPECT_FALSE(first.admission_log.empty());
+  // Bit-identical replay: the whole verdict sequence, not just totals.
+  const Outcome again = run();
+  EXPECT_EQ(first.admission_log, again.admission_log);
+  EXPECT_EQ(first.completed, again.completed);
+  EXPECT_EQ(first.rejected, again.rejected);
+  EXPECT_EQ(first.deferrals, again.deferrals);
+  EXPECT_EQ(first.violations, again.violations);
+  EXPECT_EQ(first.revenue, again.revenue);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SlaChaosInvariants,
+    ::testing::Values(SlaChaosCase{"fifo-admit", 1}, SlaChaosCase{"fifo-admit", 404},
+                      SlaChaosCase{"revenue-det", 1}, SlaChaosCase{"revenue-det", 404},
+                      SlaChaosCase{"revenue-rand", 1}, SlaChaosCase{"revenue-rand", 404}),
+    [](const ::testing::TestParamInfo<SlaChaosCase>& param) {
+      std::string name = std::string(param.param.policy) + "_" +
+                         std::to_string(param.param.seed);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 // --- XML round-trip under random documents ---------------------------------------
 

@@ -25,9 +25,14 @@
 //      node, no duplicates, and (in power-cap mode) the candidate
 //      nameplate power does not overshoot Algorithm 1's
 //      Preference_provider x P_total cap by more than one server.
+//   6. SLA conservation — per client: admitted, deferred and rejected
+//      requests are accounted (completed + rejected + lost + queued ==
+//      submitted), terminal states stay mutually exclusive, and revenue
+//      is never credited to a completion that violated its deadline.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -94,10 +99,69 @@ class SimulationOracle {
     if (client.lost() != lost)
       fail() << client.name() << ": lost() = " << client.lost() << " but " << lost
              << " records are marked lost";
-    if (client.completed() + client.lost() + client.pending() < client.submitted())
+    if (client.completed() + client.lost() + client.rejected() + client.pending() <
+        client.submitted())
       fail() << client.name() << ": " << client.submitted() << " submitted but only "
              << client.completed() << " completed + " << client.lost() << " lost + "
-             << client.pending() << " queued — tasks vanished";
+             << client.rejected() << " rejected + " << client.pending()
+             << " queued — tasks vanished";
+  }
+
+  /// Invariant 6: SLA admission accounting conserves requests and money.
+  /// Holds vacuously for a client without admission control (all
+  /// counters zero), so property suites may call it unconditionally.
+  void check_sla_conservation(const diet::Client& client) {
+    const auto& records = client.records();
+    std::size_t rejected = 0;
+    std::size_t violated = 0;
+    double revenue = 0.0;
+    for (const auto& r : records) {
+      if (r.rejected) ++rejected;
+      if (r.violated) ++violated;
+      revenue += r.revenue;
+      if (r.rejected && r.end)
+        fail() << client.name() << ": task " << r.task.id.value()
+               << " both rejected and completed";
+      if (r.rejected && r.lost)
+        fail() << client.name() << ": task " << r.task.id.value()
+               << " both rejected and lost";
+      if (r.rejected && r.admitted)
+        fail() << client.name() << ": task " << r.task.id.value()
+               << " rejected after execution started";
+      if (r.violated && !r.end)
+        fail() << client.name() << ": task " << r.task.id.value()
+               << " marked violated without completing";
+      if (r.violated && r.revenue != 0.0)
+        fail() << client.name() << ": task " << r.task.id.value()
+               << " violated its deadline but was credited " << r.revenue << " revenue";
+      if (r.revenue < 0.0)
+        fail() << client.name() << ": task " << r.task.id.value() << " has negative revenue "
+               << r.revenue;
+      if (r.end && r.task.spec.deadline_seconds > 0.0) {
+        const double elapsed = r.end->value() - r.submit.value();
+        const bool late = elapsed > r.task.spec.deadline_seconds;
+        if (late != r.violated)
+          fail() << client.name() << ": task " << r.task.id.value() << " finished after "
+                 << elapsed << " s against a " << r.task.spec.deadline_seconds
+                 << " s deadline but violated = " << r.violated;
+      }
+    }
+    if (client.rejected() != rejected)
+      fail() << client.name() << ": rejected() = " << client.rejected() << " but " << rejected
+             << " records are marked rejected";
+    if (client.violations() != violated)
+      fail() << client.name() << ": violations() = " << client.violations() << " but "
+             << violated << " records are marked violated";
+    if (std::abs(client.revenue_total() - revenue) >
+        1e-9 * std::max(1.0, std::abs(revenue)))
+      fail() << client.name() << ": revenue_total() = " << client.revenue_total()
+             << " but records sum to " << revenue;
+    if (client.completed() + client.lost() + client.rejected() + client.pending() !=
+        client.submitted())
+      fail() << client.name() << ": SLA conservation broken — " << client.submitted()
+             << " submitted != " << client.completed() << " completed + " << client.lost()
+             << " lost + " << client.rejected() << " rejected + " << client.pending()
+             << " queued";
   }
 
   /// Invariant 3, strict form: every request reached a terminal state.

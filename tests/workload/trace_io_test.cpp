@@ -37,7 +37,44 @@ TEST(TraceIo, RoundTripPreservesTasks) {
 
 TEST(TraceIo, HeaderIsWritten) {
   const std::string csv = trace_to_string({});
-  EXPECT_EQ(csv, "submit_time,work_flops,cores,service,user_preference\n");
+  EXPECT_EQ(csv,
+            "submit_time,work_flops,cores,service,user_preference,"
+            "deadline,sla_tier,value_curve\n");
+}
+
+TEST(TraceIo, RoundTripPreservesSlaContract) {
+  auto original = sample_tasks();
+  ValueCurve curve;
+  curve.add(0.0, 12.5);
+  curve.add(45.0, 12.5);
+  curve.add(90.0, 3.125);
+  original[0].spec.deadline_seconds = 90.0;
+  original[0].spec.sla_tier = 3;
+  original[0].spec.value = curve;
+  original[2].spec.deadline_seconds = 360.0;
+  original[2].spec.sla_tier = 1;
+
+  const auto loaded = trace_from_string(trace_to_string(original));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].spec.deadline_seconds, original[i].spec.deadline_seconds);
+    EXPECT_EQ(loaded[i].spec.sla_tier, original[i].spec.sla_tier);
+    EXPECT_EQ(loaded[i].spec.value, original[i].spec.value) << "task " << i;
+    EXPECT_EQ(loaded[i].spec.has_sla(), original[i].spec.has_sla());
+  }
+}
+
+TEST(TraceIo, LegacyTracesLoadAsBestEffort) {
+  // The 5-column archive format keeps replaying: every task comes back
+  // with the default (revenue-free, deadline-free) contract.
+  const auto tasks = trace_from_string(
+      "submit_time,work_flops,cores,service,user_preference\n"
+      "0,1e10,1,cpu-bound,0\n");
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_FALSE(tasks[0].spec.has_sla());
+  EXPECT_EQ(tasks[0].spec.deadline_seconds, 0.0);
+  EXPECT_EQ(tasks[0].spec.sla_tier, 0u);
+  EXPECT_TRUE(tasks[0].spec.value.empty());
 }
 
 TEST(TraceIo, ParsesHandWrittenTrace) {
@@ -88,7 +125,35 @@ INSTANTIATE_TEST_SUITE_P(
                  "submit_time,work_flops,cores,service,user_preference\n0,1e10,1,s,2\n"},
         BadTrace{"time_goes_backwards",
                  "submit_time,work_flops,cores,service,user_preference\n"
-                 "5,1e10,1,s,0\n3,1e10,1,s,0\n"}),
+                 "5,1e10,1,s,0\n3,1e10,1,s,0\n"},
+        // --- SLA columns: every malformed contract must die in the loader ---
+        BadTrace{"nan_deadline",
+                 "submit_time,work_flops,cores,service,user_preference,deadline,sla_tier,"
+                 "value_curve\n0,1e10,1,s,0,nan,0,\n"},
+        BadTrace{"inf_deadline",
+                 "submit_time,work_flops,cores,service,user_preference,deadline,sla_tier,"
+                 "value_curve\n0,1e10,1,s,0,inf,0,\n"},
+        BadTrace{"negative_deadline",
+                 "submit_time,work_flops,cores,service,user_preference,deadline,sla_tier,"
+                 "value_curve\n0,1e10,1,s,0,-5,0,\n"},
+        BadTrace{"tier_out_of_range",
+                 "submit_time,work_flops,cores,service,user_preference,deadline,sla_tier,"
+                 "value_curve\n0,1e10,1,s,0,60,4,\n"},
+        BadTrace{"fractional_tier",
+                 "submit_time,work_flops,cores,service,user_preference,deadline,sla_tier,"
+                 "value_curve\n0,1e10,1,s,0,60,1.5,\n"},
+        BadTrace{"non_monotone_curve",
+                 "submit_time,work_flops,cores,service,user_preference,deadline,sla_tier,"
+                 "value_curve\n0,1e10,1,s,0,60,2,10:5;10:4\n"},
+        BadTrace{"rising_curve_value",
+                 "submit_time,work_flops,cores,service,user_preference,deadline,sla_tier,"
+                 "value_curve\n0,1e10,1,s,0,60,2,0:1;30:2\n"},
+        BadTrace{"malformed_curve_token",
+                 "submit_time,work_flops,cores,service,user_preference,deadline,sla_tier,"
+                 "value_curve\n0,1e10,1,s,0,60,2,0:1;garbage\n"},
+        BadTrace{"legacy_row_with_sla_fields",
+                 "submit_time,work_flops,cores,service,user_preference\n"
+                 "0,1e10,1,s,0,60,2,0:1\n"}),
     [](const ::testing::TestParamInfo<BadTrace>& param) { return param.param.name; });
 
 TEST(TraceIo, ErrorsCarryLineNumbers) {

@@ -42,6 +42,8 @@
 #include "green/provisioner.hpp"
 #include "green/provisioning_strategy.hpp"
 #include "metrics/config_io.hpp"
+#include "sla/admission.hpp"
+#include "sla/tier.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/replication.hpp"
 #include "metrics/report.hpp"
@@ -86,6 +88,12 @@ int usage() {
                "                   --requests-per-core R, --csv FILE, --provisioner S)\n"
                "provisioning strategies (--provisioner <name[:key=value,...]>):\n"
                "%s"
+               "SLA workload profiles (--workload <name[:key=value,...]>, on placement,\n"
+               "compare, sweep and chaos):\n"
+               "%s"
+               "SLA admission policies (--sla-policy <name[:key=value,...]>; sweep also\n"
+               "takes --sla-policies A;B;C + --sla-csv FILE to compare them):\n"
+               "%s"
                "telemetry (any command):\n"
                "  --trace-out FILE    record spans, write Chrome trace_event JSON\n"
                "                      (load it in Perfetto / chrome://tracing)\n"
@@ -95,7 +103,8 @@ int usage() {
                "  1  runtime or configuration error\n"
                "  2  usage error (unknown command/option, bad flag value)\n"
                "  3  file or filesystem I/O failure\n",
-               green::provisioning_strategy_help("  ").c_str());
+               green::provisioning_strategy_help("  ").c_str(),
+               sla::sla_workload_help("  ").c_str(), sla::sla_policy_help("  ").c_str());
   return 2;
 }
 
@@ -123,6 +132,31 @@ bool apply_provisioner_flags(const CliArgs& args, metrics::PlacementConfig& conf
   }
   config.provisioner_check_seconds =
       args.get_double("provisioner-check", config.provisioner_check_seconds);
+  return true;
+}
+
+/// Parses --workload/--sla-policy into `config`.  Both specs are
+/// validated eagerly: a typo'd profile or policy is a usage error (exit
+/// 2, same shape as --provisioner), never a silently-legacy run.
+bool apply_sla_flags(const CliArgs& args, metrics::PlacementConfig& config) {
+  if (const auto spec = args.get("workload")) {
+    try {
+      (void)sla::parse_sla_workload(*spec);
+    } catch (const common::ConfigError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return false;
+    }
+    config.sla_workload = *spec;
+  }
+  if (const auto spec = args.get("sla-policy")) {
+    try {
+      (void)sla::make_sla_policy(*spec);
+    } catch (const common::ConfigError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return false;
+    }
+    config.sla_policy = *spec;
+  }
   return true;
 }
 
@@ -186,6 +220,20 @@ void print_placement(const metrics::PlacementResult& result) {
     std::printf("candidates : %.2f mean, %.2f mean target gap\n", result.mean_candidates,
                 result.mean_target_gap);
   }
+  if (!result.sla_policy.empty()) {
+    std::printf("sla policy : %s — %zu rejected, %llu deferrals, %zu violations\n",
+                result.sla_policy.c_str(), result.tasks_rejected,
+                static_cast<unsigned long long>(result.tasks_deferred),
+                result.sla_violations);
+    std::printf("revenue    : %.2f credits\n", result.revenue_total);
+    for (std::size_t tier = 0; tier < result.per_tier.size(); ++tier) {
+      const auto& row = result.per_tier[tier];
+      if (row.admitted + row.deferred + row.rejected + row.violated == 0) continue;
+      std::printf("  %-11s: %zu admitted, %llu deferrals, %zu rejected, %zu violated\n",
+                  sla::tier_name(static_cast<unsigned>(tier)), row.admitted,
+                  static_cast<unsigned long long>(row.deferred), row.rejected, row.violated);
+    }
+  }
   std::printf("%s", metrics::render_task_distribution(result).c_str());
 }
 
@@ -205,6 +253,7 @@ int cmd_catalog() {
 int cmd_placement(const CliArgs& args) {
   metrics::PlacementConfig config = placement_config_from(args);
   if (!apply_provisioner_flags(args, config)) return usage();
+  if (!apply_sla_flags(args, config)) return usage();
   if (const auto save_path = args.get("save-config")) {
     std::ofstream out = open_output(*save_path, "experiment file");
     out << metrics::config_to_string(config);
@@ -244,6 +293,7 @@ int cmd_compare(const CliArgs& args) {
   }
   metrics::PlacementConfig config = placement_config_from(args);
   if (!apply_provisioner_flags(args, config)) return usage();
+  if (!apply_sla_flags(args, config)) return usage();
   const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
 
   const auto replicate = args.get_int("replicate", 0);
@@ -301,6 +351,7 @@ int cmd_sweep(const CliArgs& args) {
   }
   metrics::PlacementConfig config = placement_config_from(args);
   if (!apply_provisioner_flags(args, config)) return usage();
+  if (!apply_sla_flags(args, config)) return usage();
 
   // --provisioners flips the comparison axis: one grid point per
   // provisioning strategy (all under --policy), not per policy.
@@ -315,6 +366,37 @@ int cmd_sweep(const CliArgs& args) {
       if (spec != "none" && !green::is_provisioning_strategy(spec)) {
         std::fprintf(stderr, "error: unknown provisioning strategy '%s' (known: %s)\n",
                      spec.c_str(), known_strategies().c_str());
+        return usage();
+      }
+    }
+  }
+
+  // --sla-policies flips it again: one grid point per admission policy
+  // ("none" = no admission control), all replaying the same decorated
+  // workload.  Same ';'-separated list shape as --provisioners.
+  std::vector<std::string> sla_policies;
+  if (const auto list = args.get("sla-policies")) {
+    if (!strategies.empty()) {
+      std::fprintf(stderr, "sweep: --sla-policies and --provisioners are exclusive axes\n");
+      return 2;
+    }
+    sla_policies = parse_strategy_list(*list);
+    if (sla_policies.empty()) {
+      std::fprintf(stderr, "sweep: --sla-policies given but empty\n");
+      return 2;
+    }
+    for (const std::string& spec : sla_policies) {
+      if (spec != "none" && !sla::is_sla_policy(spec)) {
+        std::fprintf(stderr, "error: unknown sla policy '%s' (known: %s)\n", spec.c_str(),
+                     [] {
+                       std::string names;
+                       for (const std::string& n : sla::sla_policy_names()) {
+                         if (!names.empty()) names += ", ";
+                         names += n;
+                       }
+                       return names;
+                     }()
+                         .c_str());
         return usage();
       }
     }
@@ -337,6 +419,13 @@ int cmd_sweep(const CliArgs& args) {
       if (spec == "none") spec.clear();
     }
     runner.add_strategies(config, specs);
+  } else if (!sla_policies.empty()) {
+    // "none" is the no-admission baseline: every decision admits.
+    std::vector<std::string> specs = sla_policies;
+    for (std::string& spec : specs) {
+      if (spec == "none") spec.clear();
+    }
+    runner.add_sla_policies(config, specs);
   } else {
     runner.add_policies(config, policies);
   }
@@ -349,7 +438,10 @@ int cmd_sweep(const CliArgs& args) {
 
   const std::vector<metrics::SweepRow> rows = runner.run();
   std::printf("sweep: %zu %s x %zu seeds (%zu workers)\n\n", rows.size(),
-              strategies.empty() ? "policies" : "provisioners", options.seeds.size(),
+              !strategies.empty()     ? "provisioners"
+              : !sla_policies.empty() ? "sla policies"
+                                      : "policies",
+              options.seeds.size(),
               metrics::resolve_jobs(options.jobs, rows.size() * options.seeds.size()));
   std::printf("%-14s %-30s %-26s %-20s\n", "policy", "energy (J)", "makespan (s)",
               "mean wait (s)");
@@ -373,6 +465,11 @@ int cmd_sweep(const CliArgs& args) {
     std::ofstream out = open_output(*prov_path, "provisioning CSV");
     metrics::SweepRunner::write_provisioning_csv(out, rows);
     std::printf("provisioning CSV written to %s\n", prov_path->c_str());
+  }
+  if (const auto sla_path = args.get("sla-csv")) {
+    std::ofstream out = open_output(*sla_path, "SLA CSV");
+    metrics::SweepRunner::write_sla_csv(out, rows);
+    std::printf("SLA CSV written to %s\n", sla_path->c_str());
   }
   return 0;
 }
@@ -482,6 +579,13 @@ void print_chaos_result(const metrics::PlacementResult& r) {
               static_cast<unsigned long long>(r.boot_failures));
   std::printf("retries      : %llu timed re-dispatches\n",
               static_cast<unsigned long long>(r.retries));
+  if (!r.sla_policy.empty()) {
+    std::printf("sla          : %s — %zu rejected, %llu deferrals, %zu violations, "
+                "%.2f revenue\n",
+                r.sla_policy.c_str(), r.tasks_rejected,
+                static_cast<unsigned long long>(r.tasks_deferred), r.sla_violations,
+                r.revenue_total);
+  }
   if (r.tasks_completed > 0) std::printf("makespan     : %.1f s\n", r.makespan.value());
   std::printf("energy       : %.0f J (%.2f kWh)\n", r.energy.value(),
               r.energy.value() / 3.6e6);
@@ -510,6 +614,7 @@ int cmd_chaos(const CliArgs& args) {
   config.retry = args.get_bool("no-retry", false) ? diet::RetryPolicy::none()
                                                   : diet::RetryPolicy::hardened();
   if (!apply_provisioner_flags(args, config)) return usage();
+  if (!apply_sla_flags(args, config)) return usage();
   std::printf("scenario     : %s%s\n", config.chaos.to_string().c_str(),
               args.get_bool("no-retry", false) ? " (retries disabled)" : "");
 
