@@ -1,0 +1,145 @@
+// Macro: serving-engine throughput at 10k SEDs.
+//
+// Drives the sharded/batched serving engine through a seeded open-loop
+// burst over a flat MA -> N SeDs tree (metrics::run_throughput) in five
+// configurations:
+//
+//   A  shards=1 batch=1    the serial submit_fast baseline
+//   B  shards=4 batch=1    sharded collection, unbatched elections
+//   C  shards=8 batch=1    more shards, same contract
+//   D  shards=1 batch=32   batched elections, serial collection
+//   E  shards=4 batch=32   both
+//
+// Gates (nonzero exit on failure — this is the CI smoke contract):
+//   1. elected(B) == elected(A) and elected(C) == elected(A): the shard
+//      count never changes the elected sequence (determinism contract).
+//   2. elected(E) == elected(D): same, under the batched contract.
+//   3. rps(E) >= 3 * rps(A): one broadcast/aggregate pass amortized over
+//      a 32-request batch must beat per-request collection by 3x.  This
+//      is an algorithmic gain, so it holds on any core count.
+//   4. rps(B) > rps(A): sharded collection beats serial — armed only
+//      when the host has >= 4 hardware threads; on fewer cores the
+//      workers serialize and only overhead would be measured.
+//
+// Emits one "BENCH_JSON:" line and writes the same record to
+// BENCH_throughput.json so the perf trajectory is machine-trackable.
+// argv[1] overrides the SED count (default 10000) so CI smoke runs can
+// use a smaller tree; argv[2] scales the request counts likewise.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/throughput.hpp"
+
+using namespace greensched;
+
+namespace {
+
+struct Cell {
+  const char* label;
+  std::size_t shards;
+  std::size_t batch;
+  std::size_t requests;
+  metrics::ThroughputResult result;
+};
+
+std::string json_field(const Cell& cell) {
+  const std::string tag = cell.label;
+  char fp[32];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(cell.result.elected_fingerprint));
+  return ",\"rps_" + tag + "\":" + std::to_string(cell.result.requests_per_second) +
+         ",\"p50_us_" + tag + "\":" + std::to_string(cell.result.p50_election_seconds * 1e6) +
+         ",\"p99_us_" + tag + "\":" + std::to_string(cell.result.p99_election_seconds * 1e6) +
+         ",\"elected_" + tag + "\":\"" + fp + "\"";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t seds = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 10000;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const auto scaled = [scale](std::size_t n) {
+    const auto s = static_cast<std::size_t>(static_cast<double>(n) * scale);
+    return s > 0 ? s : std::size_t{1};
+  };
+
+  bench::print_banner("Macro — serving-engine throughput",
+                      "requests/sec and election latency over " + std::to_string(seds) +
+                          " SEDs: serial vs sharded collection vs batched elections "
+                          "(elected sequences must be shard-count invariant)");
+
+  std::vector<Cell> cells = {
+      {"serial", 1, 1, scaled(400), {}},
+      {"shards4", 4, 1, scaled(400), {}},
+      {"shards8", 8, 1, scaled(400), {}},
+      {"batch32", 1, 32, scaled(4096), {}},
+      {"shards4_batch32", 4, 32, scaled(4096), {}},
+  };
+
+  std::printf("%-18s %7s %6s %9s %12s %10s %10s  %-16s\n", "config", "shards", "batch",
+              "requests", "req/s", "p50 (us)", "p99 (us)", "elected fp");
+  for (Cell& cell : cells) {
+    metrics::ThroughputConfig config;
+    config.seds = seds;
+    config.requests = cell.requests;
+    config.shards = cell.shards;
+    config.batch = cell.batch;
+    cell.result = metrics::run_throughput(config);
+    std::printf("%-18s %7zu %6zu %9zu %12.0f %10.1f %10.1f  %016llx\n", cell.label,
+                cell.shards, cell.batch, cell.requests, cell.result.requests_per_second,
+                cell.result.p50_election_seconds * 1e6, cell.result.p99_election_seconds * 1e6,
+                static_cast<unsigned long long>(cell.result.elected_fingerprint));
+  }
+
+  const Cell& a = cells[0];
+  const Cell& b = cells[1];
+  const Cell& c = cells[2];
+  const Cell& d = cells[3];
+  const Cell& e = cells[4];
+
+  bool ok = true;
+  const auto gate = [&ok](const char* name, bool pass) {
+    std::printf("gate %-34s %s\n", name, pass ? "PASS" : "FAIL");
+    ok = ok && pass;
+  };
+
+  std::printf("\n");
+  gate("elected(shards4) == elected(serial)",
+       b.result.elected_fingerprint == a.result.elected_fingerprint &&
+           b.result.elected == a.result.elected);
+  gate("elected(shards8) == elected(serial)",
+       c.result.elected_fingerprint == a.result.elected_fingerprint &&
+           c.result.elected == a.result.elected);
+  gate("elected(s4b32) == elected(batch32)",
+       e.result.elected_fingerprint == d.result.elected_fingerprint &&
+           e.result.elected == d.result.elected);
+  gate("rps(s4b32) >= 3x rps(serial)",
+       e.result.requests_per_second >= 3.0 * a.result.requests_per_second);
+  // Thread scaling is only measurable with real parallelism under the
+  // workers; on a 1-2 core host the gate would measure handoff overhead.
+  if (std::thread::hardware_concurrency() >= 4) {
+    gate("rps(shards4) > rps(serial)",
+         b.result.requests_per_second > a.result.requests_per_second);
+  } else {
+    std::printf("gate %-34s SKIP (< 4 hardware threads)\n", "rps(shards4) > rps(serial)");
+  }
+
+  std::string json = "{\"bench\":\"macro_throughput\",\"seds\":" + std::to_string(seds);
+  for (const Cell& cell : cells) json += json_field(cell);
+  json += ",\"speedup_batched\":" +
+          std::to_string(e.result.requests_per_second / a.result.requests_per_second);
+  json += ",\"gates\":";
+  json += ok ? "\"pass\"" : "\"fail\"";
+  json += "}";
+  std::printf("\nBENCH_JSON: %s\n", json.c_str());
+
+  if (std::FILE* f = std::fopen("BENCH_throughput.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+// Mailbox-style handoff primitives for the sharded serving engine.
+//
+// A Mailbox<T> is a small closable MPSC queue: the election driver posts
+// work items to each shard worker's inbox and the worker blocks on
+// receive() until a message or close() arrives.  A CountdownLatch is the
+// matching completion barrier: the driver arms it with the number of
+// outstanding shards and waits; each worker counts down when its slice is
+// merged-ready.  Both are mutex+condvar based on purpose — the handoff
+// happens once per election (not per candidate), so the cost is noise,
+// and the lock gives TSan a visible happens-before edge for every byte
+// the workers wrote into their per-shard arenas.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace greensched::common {
+
+/// Closable blocking queue.  Senders post(), the receiver blocks in
+/// receive() until an item arrives; close() wakes every waiter and makes
+/// receive() return nullopt once the queue drains.  Post-after-close is
+/// dropped (the worker is shutting down; there is nobody left to read).
+template <typename T>
+class Mailbox {
+ public:
+  /// Enqueues `item` and wakes one receiver.  Returns false (dropping the
+  /// item) when the mailbox is closed.
+  bool post(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item or close().  Returns nullopt only when the
+  /// mailbox is closed *and* drained, so no posted item is ever lost.
+  std::optional<T> receive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking receive: an item if one is queued, nullopt otherwise
+  /// (whether open or closed).
+  std::optional<T> try_receive() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Wakes all receivers; receive() drains remaining items then reports
+  /// end-of-stream.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Reusable completion barrier: reset(n), n workers count_down(), one
+/// waiter blocks in wait() until the count reaches zero.  Unlike
+/// std::latch this one is reusable, which the serving engine needs once
+/// per election round.
+class CountdownLatch {
+ public:
+  /// Arms the latch for `count` completions.  Must not race with a
+  /// pending wait (the engine resets strictly between rounds).
+  void reset(std::size_t count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    remaining_ = count;
+  }
+
+  void count_down() {
+    bool release = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (remaining_ > 0) --remaining_;
+      release = remaining_ == 0;
+    }
+    if (release) done_.notify_all();
+  }
+
+  /// Blocks until the armed count reaches zero (returns immediately when
+  /// armed with zero).
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+  [[nodiscard]] std::size_t remaining() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return remaining_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace greensched::common

@@ -1,6 +1,9 @@
 #include "diet/agent.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
+#include "diet/serving.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace greensched::diet {
@@ -87,6 +90,26 @@ void Agent::collect_seds(std::vector<Sed*>& out) const {
 
 MasterAgent::MasterAgent(common::AgentId id, std::string name) : Agent(id, std::move(name)) {}
 
+MasterAgent::~MasterAgent() = default;
+
+void MasterAgent::configure_serving(ServingConfig config) {
+  config.validate();
+  engine_.reset();  // joins previous workers before any rebuild
+  if (config.shards > 1) engine_ = std::make_unique<ServingEngine>(*this, config);
+}
+
+std::size_t MasterAgent::serving_shards() const noexcept {
+  return engine_ ? engine_->shards() : 1;
+}
+
+void MasterAgent::collect_ranked(const Request& request, std::vector<Candidate>& out) {
+  if (engine_) {
+    engine_->collect_ranked(request, out);
+  } else {
+    collect_into(request, *plugin_, arena_, 0, out);
+  }
+}
+
 SchedulingDecision MasterAgent::submit(const Request& request) {
   return submit_fast(request);  // deep copy of the reusable decision
 }
@@ -94,12 +117,15 @@ SchedulingDecision MasterAgent::submit(const Request& request) {
 const SchedulingDecision& MasterAgent::submit_fast(const Request& request) {
   if (plugin_ == nullptr) throw StateError("MasterAgent: no plug-in scheduler installed");
   ++submissions_;
+  const bool timed = telemetry::Telemetry::enabled();
+  const auto wall_begin =
+      timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
 
   decision_.elected = nullptr;
   // Collect straight into the ranked buffer: its slots (and their
-  // estimation maps) from the previous round get reused in place.
+  // estimation storage) from the previous round get reused in place.
   std::vector<Candidate>& candidates = decision_.ranked;
-  collect_into(request, *plugin_, arena_, 0, candidates);
+  collect_ranked(request, candidates);
   decision_.service_unknown = candidates.empty();
   decision_.considered = candidates.size();
 
@@ -137,7 +163,99 @@ const SchedulingDecision& MasterAgent::submit_fast(const Request& request) {
     if (decision_.elected != nullptr) ++elections_;
   }
   if (decision_.elected == nullptr) GS_TCOUNT(elections_unplaced);
+  if (timed) {
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_begin;
+    GS_TOBSERVE(election_wall_seconds, wall.count());
+  }
   return decision_;
+}
+
+std::size_t MasterAgent::submit_batch(const std::vector<Request>& requests,
+                                      const BatchDecisionHandler& handler) {
+  if (plugin_ == nullptr) throw StateError("MasterAgent: no plug-in scheduler installed");
+  if (requests.empty()) return 0;
+
+  // One broadcast/aggregate pass is only sound when every request would
+  // have produced the same ranked list modulo server-state drift — pin
+  // the fields the estimation and ranking layers read per request.
+  const Request& head = requests.front();
+  for (const Request& r : requests) {
+    if (r.task.spec.service != head.task.spec.service ||
+        r.task.spec.cores != head.task.spec.cores ||
+        r.task.spec.work.value() != head.task.spec.work.value() ||
+        r.user_preference != head.user_preference) {
+      throw ConfigError(
+          "MasterAgent: submit_batch requires same-shape requests "
+          "(service, cores, work, user_preference)");
+    }
+  }
+
+  const bool timed = telemetry::Telemetry::enabled();
+  const auto wall_begin =
+      timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+  submissions_ += requests.size();
+  GS_TCOUNT(serving_batches);
+  if (telemetry::Telemetry::enabled()) {
+    telemetry::Telemetry::metrics().add(
+        telemetry::Telemetry::builtin().serving_batched_requests, requests.size());
+  }
+
+  // The amortized pass: one collect + aggregate (each SED draws its
+  // random tag once per batch), one provisioner filter with the head
+  // request, then a per-request election scan over the frozen ranked
+  // list against *live* occupancy.
+  decision_.elected = nullptr;
+  std::vector<Candidate>& candidates = decision_.ranked;
+  collect_ranked(head, candidates);
+  decision_.service_unknown = candidates.empty();
+  decision_.considered = candidates.size();
+  if (filter_) filter_(candidates, head);
+  decision_.eligible = candidates.size();
+
+  std::size_t placed = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& request = requests[i];
+    {
+      telemetry::TraceSpan election_span("ma.election", "lifecycle", request.id.value(),
+                                         name());
+      GS_TCOUNT(elections);
+      GS_TOBSERVE(election_candidates, static_cast<double>(decision_.considered));
+      GS_TOBSERVE(election_eligible, static_cast<double>(decision_.eligible));
+
+      // The ranked order is frozen for the batch; eligibility is not — a
+      // server filled (or crashed) by an earlier batched task stops
+      // accepting through the same can_accept gate as the serial path.
+      decision_.elected = nullptr;
+      for (auto& c : candidates) {
+        if (c.sed->can_accept(request.task.spec.cores)) {
+          decision_.elected = c.sed;
+          break;
+        }
+      }
+
+      decision_.admission = Admission::kAdmit;
+      decision_.retry_after_seconds = 0.0;
+      if (admission_) {
+        const AdmissionVerdict verdict = admission_(decision_, request);
+        decision_.admission = verdict.admission;
+        decision_.retry_after_seconds = verdict.retry_after_seconds;
+        if (decision_.admission != Admission::kAdmit) decision_.elected = nullptr;
+      }
+      if (decision_.elected != nullptr) {
+        ++elections_;
+        ++placed;
+      }
+    }
+    if (decision_.elected == nullptr) GS_TCOUNT(elections_unplaced);
+    // The handler typically executes the elected task, advancing server
+    // state before the next election in the batch.
+    if (handler) handler(i, decision_);
+  }
+  if (timed) {
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_begin;
+    GS_TOBSERVE(election_wall_seconds, wall.count());
+  }
+  return placed;
 }
 
 }  // namespace greensched::diet

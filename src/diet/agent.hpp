@@ -81,6 +81,11 @@ class Agent {
   [[nodiscard]] std::uint64_t requests_handled() const noexcept { return requests_handled_; }
 
  private:
+  // The sharded serving engine replays this agent's own level of
+  // collect_into (propagate span, request accounting, merge, aggregate)
+  // around per-shard worker passes, so it needs the private counter.
+  friend class ServingEngine;
+
   common::AgentId id_;
   std::string name_;
   std::vector<Agent*> child_agents_;
@@ -106,9 +111,24 @@ struct AdmissionVerdict {
 /// without it every request is admitted, the legacy behaviour.
 using AdmissionHook = std::function<AdmissionVerdict(const SchedulingDecision&, const Request&)>;
 
+class ServingEngine;
+
+/// How the master serves elections.  shards == 1 is the serial fast path
+/// (no engine, no threads); shards > 1 fans the collect phase out over
+/// worker threads with per-shard arenas and plug-in clones.  Whatever the
+/// shard count, a fixed seed yields a bit-identical elected sequence —
+/// the engine's merge replays the serial candidate order exactly.
+struct ServingConfig {
+  std::size_t shards = 1;
+
+  /// Throws common::ConfigError when shards is 0 or absurd (> 4096).
+  void validate() const;
+};
+
 class MasterAgent : public Agent {
  public:
   MasterAgent(common::AgentId id, std::string name);
+  ~MasterAgent() override;  ///< out of line: joins the serving engine
 
   /// Installs/replaces the scheduling policy.  Not owned.
   void set_plugin(const PluginScheduler* plugin) noexcept { plugin_ = plugin; }
@@ -135,10 +155,45 @@ class MasterAgent : public Agent {
   /// wrapper around this.
   [[nodiscard]] const SchedulingDecision& submit_fast(const Request& request);
 
+  /// Selects serial (shards == 1) or sharded serving.  Call after the
+  /// hierarchy is built and the plug-in installed; the engine snapshots
+  /// the master's direct children on first use.  Sharding requires a
+  /// plug-in that implements clone_for_shard (every built-in policy
+  /// does); configure-time validation happens in the engine on the first
+  /// submit.  Reconfiguring tears down the previous engine.
+  void configure_serving(ServingConfig config);
+  [[nodiscard]] std::size_t serving_shards() const noexcept;
+
+  /// Per-request sink for submit_batch: called once per batched request,
+  /// in batch order, with the (reused) decision buffer — same lifetime
+  /// contract as submit_fast's return value.  The handler may execute the
+  /// elected task; later elections in the batch see the updated server
+  /// state (core occupancy, crashes) through can_accept.
+  using BatchDecisionHandler =
+      std::function<void(std::size_t index, const SchedulingDecision& decision)>;
+
+  /// Batched elections: one broadcast/aggregate pass amortized over a
+  /// batch of same-shape requests (same service, cores, work and user
+  /// preference — ConfigError otherwise), then one election scan + the
+  /// admission hook per request against the frozen ranked list and live
+  /// server occupancy.  Each SED draws exactly one random tag per batch
+  /// (instead of per request), so batched mode is its own deterministic
+  /// serving contract: fixed batch size + seed => bit-identical elected
+  /// sequence at any shard count.  Returns how many requests elected a
+  /// server.  A batch of one is decision-identical to submit_fast.
+  std::size_t submit_batch(const std::vector<Request>& requests,
+                           const BatchDecisionHandler& handler = {});
+
   [[nodiscard]] std::uint64_t submissions() const noexcept { return submissions_; }
   [[nodiscard]] std::uint64_t elections() const noexcept { return elections_; }
 
  private:
+  friend class ServingEngine;
+
+  /// Ranked-candidate collection for one request: the serial fast path
+  /// (collect_into) or the sharded engine, per configure_serving.
+  void collect_ranked(const Request& request, std::vector<Candidate>& out);
+
   const PluginScheduler* plugin_ = nullptr;
   CandidateFilter filter_;
   AdmissionHook admission_;
@@ -146,6 +201,7 @@ class MasterAgent : public Agent {
   std::uint64_t elections_ = 0;
   DispatchArena arena_;
   SchedulingDecision decision_;  ///< submit_fast's reusable result buffer
+  std::unique_ptr<ServingEngine> engine_;  ///< null => serial serving
 };
 
 }  // namespace greensched::diet

@@ -103,7 +103,6 @@ void Client::submit_now(const workload::TaskInstance& task) {
 
 Client::PlaceOutcome Client::try_place(std::size_t record_index) {
   ClientTaskRecord& record = records_[record_index];
-  ++record.placement_attempts;
 
   Request request;
   request.id = hierarchy_.next_request_id();
@@ -113,6 +112,50 @@ Client::PlaceOutcome Client::try_place(std::size_t record_index) {
   // Fast path: only the scalar decision fields are read, and nothing in
   // this function re-enters submit, so the reference stays valid.
   const SchedulingDecision& decision = hierarchy_.master().submit_fast(request);
+  return apply_decision(record_index, request.id, decision);
+}
+
+void Client::submit_batch_now(const std::vector<workload::TaskInstance>& tasks) {
+  if (tasks.empty()) return;
+  std::vector<Request> requests;
+  std::vector<std::size_t> indices;
+  requests.reserve(tasks.size());
+  indices.reserve(tasks.size());
+  for (const workload::TaskInstance& task : tasks) {
+    telemetry::TraceSpan span("client.submit", "lifecycle", task.id.value(), name_);
+    GS_TCOUNT(requests_submitted);
+    ClientTaskRecord record;
+    record.task = task;
+    record.submit = hierarchy_.sim().now();
+    records_.push_back(std::move(record));
+    backoff_armed_.push_back(0);
+    defer_armed_.push_back(0);
+    const std::size_t index = records_.size() - 1;
+    if (retry_.deadline_seconds > 0.0) {
+      hierarchy_.sim().schedule_after(Seconds(retry_.deadline_seconds),
+                                      [this, index] { on_deadline(index); });
+    }
+    Request request;
+    request.id = hierarchy_.next_request_id();
+    request.task = records_[index].task;
+    request.user_preference = records_[index].task.user_preference;
+    requests.push_back(std::move(request));
+    indices.push_back(index);
+  }
+  (void)hierarchy_.master().submit_batch(
+      requests, [this, &requests, &indices](std::size_t i, const SchedulingDecision& decision) {
+        const std::size_t index = indices[i];
+        if (apply_decision(index, requests[i].id, decision) == PlaceOutcome::kQueued) {
+          queue_unplaced(index);
+        }
+      });
+}
+
+Client::PlaceOutcome Client::apply_decision(std::size_t record_index,
+                                            common::RequestId request_id,
+                                            const SchedulingDecision& decision) {
+  ClientTaskRecord& record = records_[record_index];
+  ++record.placement_attempts;
   if (decision.service_unknown)
     throw StateError("Client '" + name_ + "': no server offers service '" +
                      record.task.spec.service + "'");
@@ -139,7 +182,7 @@ Client::PlaceOutcome Client::try_place(std::size_t record_index) {
     if (record.task.spec.has_sla()) GS_TCOUNT(sla_admitted[record.task.spec.sla_tier]);
   }
 
-  decision.elected->execute(record.task, request.id, [this, record_index](const TaskRecord& done) {
+  decision.elected->execute(record.task, request_id, [this, record_index](const TaskRecord& done) {
     ClientTaskRecord& r = records_[record_index];
     if (done.failed) {
       // The node crashed under the task (grids treat powered-off

@@ -97,6 +97,15 @@ class Client {
   /// Submits one task right now; queues it if no server is available.
   void submit_now(const workload::TaskInstance& task);
 
+  /// Submits a block of same-shape tasks through one batched election
+  /// (MasterAgent::submit_batch): one broadcast/aggregate pass amortized
+  /// over the whole block, then per-task election/admission/accounting —
+  /// each task ends up started, queued, rejected or deferred exactly as
+  /// if placed by submit_now, but the ranked list is computed once.
+  /// Throws ConfigError (from the master) when the tasks differ in
+  /// service, cores, work or user preference.
+  void submit_batch_now(const std::vector<workload::TaskInstance>& tasks);
+
   // --- outcome ---
   [[nodiscard]] std::size_t submitted() const noexcept { return records_.size(); }
   [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
@@ -148,6 +157,11 @@ class Client {
 
   /// Tries to place the task through a full scheduling+admission round.
   PlaceOutcome try_place(std::size_t record_index);
+  /// Applies one finished scheduling decision to a record: admission
+  /// bookkeeping, rejection/deferral routing, task execution.  Shared by
+  /// the serial path (try_place) and the batched path (submit_batch_now).
+  PlaceOutcome apply_decision(std::size_t record_index, common::RequestId request_id,
+                              const SchedulingDecision& decision);
   void on_completion(const TaskRecord& record);
   void drain_pending();
   /// Terminal admission rejection: accounted, dropped from the queue.

@@ -28,22 +28,10 @@ const char* to_string(EstTag tag) noexcept {
 }
 
 double EstimationVector::get(EstTag tag) const {
-  auto it = values_.find(tag);
-  if (it == values_.end())
+  if (!has(tag))
     throw common::StateError(std::string("EstimationVector: missing tag ") + diet::to_string(tag) +
                              " on server '" + server_name_ + "'");
-  return it->second;
-}
-
-double EstimationVector::get_or(EstTag tag, double fallback) const noexcept {
-  auto it = values_.find(tag);
-  return it == values_.end() ? fallback : it->second;
-}
-
-std::optional<double> EstimationVector::find(EstTag tag) const noexcept {
-  auto it = values_.find(tag);
-  if (it == values_.end()) return std::nullopt;
-  return it->second;
+  return slots_[index(tag)];
 }
 
 std::optional<double> EstimationVector::custom(const std::string& key) const noexcept {
@@ -56,8 +44,12 @@ std::string EstimationVector::to_string() const {
   std::ostringstream os;
   os << server_name_;
   char buf[64];
-  for (const auto& [tag, value] : values_) {
-    std::snprintf(buf, sizeof(buf), " %s=%.6g", diet::to_string(tag), value);
+  // Slot order == the former std::map<EstTag, ...> iteration order, so the
+  // rendering is byte-identical to the pre-SoA representation.
+  for (std::size_t i = 0; i < kEstTagCount; ++i) {
+    const auto tag = static_cast<EstTag>(i);
+    if (!has(tag)) continue;
+    std::snprintf(buf, sizeof(buf), " %s=%.6g", diet::to_string(tag), slots_[i]);
     os << buf;
   }
   for (const auto& [key, value] : custom_) {

@@ -7,8 +7,16 @@
 // the same design: well-known numeric tags for the quantities the green
 // scheduler needs, plus free-form custom tags so developers can extend the
 // vector without touching the middleware (the paper's "abstract layer").
+//
+// Storage is structure-of-arrays friendly: the well-known tags live in a
+// fixed dense array indexed by the enum plus a presence bitmask, so
+// ranking-key extraction in green/ranking.hpp is a handful of loads with
+// no tree walk.  Custom tags stay in an (almost always empty) map.
 #pragma once
 
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -17,7 +25,9 @@
 
 namespace greensched::diet {
 
-/// Well-known estimation tags.
+/// Well-known estimation tags.  The enumerator order is load-bearing: it
+/// is the dense-slot index, and it matches the former std::map iteration
+/// order so to_string() rendering and golden pins are unchanged.
 enum class EstTag {
   kFreeCores,            ///< cores currently free on the server
   kTotalCores,           ///< server core count
@@ -35,9 +45,12 @@ enum class EstTag {
   kRandomDraw,           ///< uniform [0,1) draw for randomized policies
 };
 
+/// Number of well-known tags == the dense slot count.
+inline constexpr std::size_t kEstTagCount = 14;
+
 [[nodiscard]] const char* to_string(EstTag tag) noexcept;
 
-/// A tagged value map describing one server's self-estimate for a request.
+/// A tagged value vector describing one server's self-estimate for a request.
 class EstimationVector {
  public:
   EstimationVector() = default;
@@ -47,38 +60,71 @@ class EstimationVector {
   [[nodiscard]] const std::string& server_name() const noexcept { return server_name_; }
   [[nodiscard]] common::NodeId node_id() const noexcept { return node_id_; }
 
-  void set(EstTag tag, double value) { values_[tag] = value; }
+  void set(EstTag tag, double value) noexcept {
+    slots_[index(tag)] = value;
+    present_ = static_cast<std::uint16_t>(present_ | bit(tag));
+  }
   /// Removes `tag` if present (no-op otherwise).  Needed by the SED's
   /// estimation cache to drop stale optional tags on refresh.
-  void erase(EstTag tag) noexcept { values_.erase(tag); }
-  [[nodiscard]] bool has(EstTag tag) const noexcept { return values_.contains(tag); }
+  void erase(EstTag tag) noexcept {
+    slots_[index(tag)] = 0.0;
+    present_ = static_cast<std::uint16_t>(present_ & ~bit(tag));
+  }
+  [[nodiscard]] bool has(EstTag tag) const noexcept { return (present_ & bit(tag)) != 0; }
   /// Value for `tag`; throws StateError if absent (use get_or on optional
   /// tags like the measured metrics).
   [[nodiscard]] double get(EstTag tag) const;
-  [[nodiscard]] double get_or(EstTag tag, double fallback) const noexcept;
-  [[nodiscard]] std::optional<double> find(EstTag tag) const noexcept;
+  [[nodiscard]] double get_or(EstTag tag, double fallback) const noexcept {
+    return has(tag) ? slots_[index(tag)] : fallback;
+  }
+  [[nodiscard]] std::optional<double> find(EstTag tag) const noexcept {
+    if (!has(tag)) return std::nullopt;
+    return slots_[index(tag)];
+  }
+
+  /// Direct dense-slot access for vectorized key extraction: slot i holds
+  /// the value of EstTag(i) when bit i of present_mask() is set, and 0.0
+  /// otherwise (absent slots are always zeroed, so branchless reads see a
+  /// defined value).
+  [[nodiscard]] const std::array<double, kEstTagCount>& slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::uint16_t present_mask() const noexcept { return present_; }
 
   /// Developer extension point: arbitrary named values.
   void set_custom(const std::string& key, double value) { custom_[key] = value; }
   [[nodiscard]] std::optional<double> custom(const std::string& key) const noexcept;
 
-  [[nodiscard]] std::size_t size() const noexcept { return values_.size() + custom_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(std::popcount(present_)) + custom_.size();
+  }
 
   /// "key=value key=value ..." rendering for traces and debugging.
   [[nodiscard]] std::string to_string() const;
 
   /// Field-for-field equality (identity, well-known tags, custom tags),
   /// bitwise on the values.  This is what the estimation-cache tests use
-  /// to prove a cached vector identical to a freshly built one.
+  /// to prove a cached vector identical to a freshly built one.  Absent
+  /// slots are zeroed by erase(), so comparing the full arrays is exact.
   friend bool operator==(const EstimationVector& a, const EstimationVector& b) noexcept {
-    return a.server_name_ == b.server_name_ && a.node_id_ == b.node_id_ &&
-           a.values_ == b.values_ && a.custom_ == b.custom_;
+    return a.present_ == b.present_ && a.slots_ == b.slots_ &&
+           a.server_name_ == b.server_name_ && a.node_id_ == b.node_id_ &&
+           a.custom_ == b.custom_;
   }
 
  private:
+  static constexpr std::size_t index(EstTag tag) noexcept {
+    return static_cast<std::size_t>(tag);
+  }
+  static constexpr std::uint16_t bit(EstTag tag) noexcept {
+    return static_cast<std::uint16_t>(1u << index(tag));
+  }
+  static_assert(kEstTagCount <= 16, "present_ bitmask is 16 bits wide");
+
   std::string server_name_;
   common::NodeId node_id_{};
-  std::map<EstTag, double> values_;
+  std::array<double, kEstTagCount> slots_{};
+  std::uint16_t present_ = 0;
   std::map<std::string, double> custom_;
 };
 

@@ -8,6 +8,7 @@
 // of this interface.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,16 @@ namespace greensched::diet {
 class PluginScheduler {
  public:
   virtual ~PluginScheduler() = default;
+
+  /// Sharded serving runs aggregation concurrently on worker threads, and
+  /// every built-in policy carries mutable sort scratch — so each shard
+  /// needs its own policy instance.  A policy that supports sharding
+  /// returns an independent equivalent copy (same ranking behaviour, fresh
+  /// scratch); the default returns nullptr, which makes
+  /// MasterAgent::configure_serving reject shards > 1 for that policy.
+  [[nodiscard]] virtual std::unique_ptr<PluginScheduler> clone_for_shard() const {
+    return nullptr;
+  }
 
   /// Human-readable policy name (appears in traces and reports).
   [[nodiscard]] virtual std::string name() const = 0;

@@ -1,0 +1,154 @@
+#include "diet/serving.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace greensched::diet {
+
+using common::ConfigError;
+
+void ServingConfig::validate() const {
+  if (shards == 0) throw ConfigError("ServingConfig: shards must be >= 1");
+  if (shards > ShardAssignment::kMaxShards)
+    throw ConfigError("ServingConfig: shards must be <= 4096");
+}
+
+ServingEngine::ServingEngine(MasterAgent& master, ServingConfig config)
+    : master_(master), assignment_((config.validate(), config.shards)) {}
+
+ServingEngine::~ServingEngine() { stop_workers(); }
+
+void ServingEngine::stop_workers() noexcept {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->inbox.close();
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  shards_.clear();
+  units_.clear();
+  started_ = false;
+}
+
+void ServingEngine::ensure_ready() {
+  const PluginScheduler* plugin = master_.plugin();
+  const std::size_t child_count =
+      master_.child_sed_count() + master_.child_agent_count();
+  if (started_ && cloned_from_ == plugin && units_.size() == child_count) return;
+  stop_workers();
+
+  // Unit order defines the merge order: child SEDs first, then child
+  // agents, both in attach order — exactly collect_into's visit order.
+  units_.reserve(child_count);
+  for (Sed* sed : master_.child_seds()) {
+    Unit unit;
+    unit.sed = sed;
+    units_.push_back(std::move(unit));
+  }
+  for (Agent* agent : master_.child_agents()) {
+    Unit unit;
+    unit.agent = agent;
+    units_.push_back(std::move(unit));
+  }
+
+  shards_.reserve(assignment_.shards());
+  for (std::size_t s = 0; s < assignment_.shards(); ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    shards_[assignment_.unit_shard(i)]->units.push_back(i);
+  }
+  // Shard 0 runs on the election thread and may use the master's plug-in
+  // directly; every worker shard needs an independent clone (the
+  // built-in policies carry mutable sort scratch).
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    shards_[s]->plugin = plugin->clone_for_shard();
+    if (!shards_[s]->plugin) {
+      stop_workers();
+      throw ConfigError("ServingEngine: plug-in '" + plugin->name() +
+                        "' does not support sharding (clone_for_shard returned null); "
+                        "run with shards=1");
+    }
+  }
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    shard.worker = std::thread([this, &shard] {
+      while (auto request = shard.inbox.receive()) {
+        run_shard(shard, *shard.plugin, **request);
+        done_.count_down();
+      }
+    });
+  }
+  cloned_from_ = plugin;
+  started_ = true;
+}
+
+void ServingEngine::run_shard(Shard& shard, const PluginScheduler& plugin,
+                              const Request& request) {
+  for (std::size_t index : shard.units) {
+    Unit& unit = units_[index];
+    if (unit.sed != nullptr) {
+      if (!unit.sed->offers(request.task.spec.service)) {
+        unit.out.clear();
+        continue;
+      }
+      if (unit.out.empty()) unit.out.emplace_back();
+      unit.out.resize(1);
+      Candidate& c = unit.out.front();
+      c.sed = unit.sed;
+      unit.sed->fill_estimation_into(c.estimation, request);
+      plugin.estimate(c.estimation, request);
+    } else {
+      // The child agent's whole subtree (its SEDs' state, RNGs and
+      // estimation caches, its own request counter) belongs to this
+      // shard alone, so the recursive serial collect is reusable as is.
+      unit.agent->collect_into(request, plugin, shard.arena, 1, unit.out);
+    }
+  }
+}
+
+void ServingEngine::collect_ranked(const Request& request, std::vector<Candidate>& out) {
+  ensure_ready();
+  // Mirror the master level of Agent::collect_into: propagate span +
+  // request accounting here, aggregate span + counter after the merge.
+  telemetry::TraceSpan span("agent.propagate", "lifecycle", request.id.value(),
+                            master_.name());
+  ++master_.requests_handled_;
+  GS_TCOUNT(serving_sharded_collects);
+
+  done_.reset(shards_.size() - 1);
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    shards_[s]->inbox.post(&request);
+  }
+  run_shard(*shards_[0], *master_.plugin(), request);
+  done_.wait();
+
+  // Deterministic merge: units in attach order, recycling `out` slots and
+  // their estimation storage exactly like the serial hoist loop.
+  std::size_t count = 0;
+  const auto next_slot = [&]() -> Candidate& {
+    if (count < out.size()) return out[count++];
+    ++count;
+    return out.emplace_back();
+  };
+  for (Unit& unit : units_) {
+    for (Candidate& s : unit.out) {
+      Candidate& dst = next_slot();
+      dst.sed = s.sed;
+      std::swap(dst.estimation, s.estimation);
+    }
+  }
+  out.resize(count);
+
+  {
+    telemetry::TraceSpan aggregate_span("agent.aggregate", "lifecycle",
+                                        request.id.value(), master_.name());
+    master_.plugin()->aggregate(out, request);
+    GS_TCOUNT(aggregations);
+  }
+  if (master_.forward_limit() != 0 && out.size() > master_.forward_limit()) {
+    out.resize(master_.forward_limit());
+  }
+}
+
+}  // namespace greensched::diet

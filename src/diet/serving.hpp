@@ -1,0 +1,87 @@
+// The sharded serving engine: parallel candidate collection under the
+// master agent.
+//
+// The master's direct children — child SEDs first, then child agents,
+// both in attach order — form the engine's *units*.  ShardAssignment
+// maps unit i to shard i % S; each shard owns a disjoint slice of units
+// plus everything those units touch during collection: a DispatchArena,
+// a clone of the installed plug-in (built-in policies carry mutable sort
+// scratch), and the SEDs' own state/RNG/estimation caches, which already
+// live entirely inside the subtree.  Shard 0 runs inline on the election
+// thread; shards 1..S-1 run on dedicated workers fed through a
+// mailbox-per-shard handoff and answered through a countdown latch — the
+// mutexed handoff is once per election and gives TSan the happens-before
+// edge covering every candidate byte the workers wrote.
+//
+// Determinism contract: the engine's merge walks units in attach order
+// and recycles candidate slots exactly like Agent::collect_into's hoist
+// loop, then the master-level aggregate runs serially with the master's
+// own plug-in.  Because no two shards share any mutable scheduling state,
+// the candidate sequence handed to the election is bit-identical to the
+// serial path for ANY shard count — fixed seed => bit-identical elected
+// sequence, the same contract PR 1/5/6 pinned for sweeps and caching.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mailbox.hpp"
+#include "diet/agent.hpp"
+#include "diet/sharding.hpp"
+
+namespace greensched::diet {
+
+class ServingEngine {
+ public:
+  /// The engine keeps a reference to `master`; MasterAgent owns the
+  /// engine, so the lifetimes nest.  Workers are spawned lazily on the
+  /// first collect (after the hierarchy and plug-in exist).
+  ServingEngine(MasterAgent& master, ServingConfig config);
+  ~ServingEngine();
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return assignment_.shards(); }
+  [[nodiscard]] const ShardAssignment& assignment() const noexcept { return assignment_; }
+
+  /// Sharded replacement for master.collect_into(request, plugin, arena,
+  /// 0, out): same spans, same counters, same candidate sequence.
+  /// Throws ConfigError if the installed plug-in cannot be cloned.
+  void collect_ranked(const Request& request, std::vector<Candidate>& out);
+
+ private:
+  /// One direct child of the master: exactly one of {sed, agent} is set.
+  /// `out` holds the unit's candidates from the current round (slots are
+  /// recycled across rounds, like the serial arena levels).
+  struct Unit {
+    Sed* sed = nullptr;
+    Agent* agent = nullptr;
+    std::vector<Candidate> out;
+  };
+
+  struct Shard {
+    std::vector<std::size_t> units;  ///< indices into units_, ascending
+    std::unique_ptr<PluginScheduler> plugin;  ///< shard 0 reuses the master's
+    DispatchArena arena;
+    common::Mailbox<const Request*> inbox;
+    std::thread worker;  ///< unset for shard 0 (runs on the election thread)
+  };
+
+  /// Snapshots units from the master's children and (re)builds plug-in
+  /// clones; rebuilds when the topology or installed plug-in changed.
+  void ensure_ready();
+  void stop_workers() noexcept;
+  /// Collects every unit of `shard` for `request`, in unit order.
+  void run_shard(Shard& shard, const PluginScheduler& plugin, const Request& request);
+
+  MasterAgent& master_;
+  ShardAssignment assignment_;
+  std::vector<Unit> units_;
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< mailboxes pin addresses
+  common::CountdownLatch done_;
+  const PluginScheduler* cloned_from_ = nullptr;  ///< plug-in the clones mirror
+  bool started_ = false;
+};
+
+}  // namespace greensched::diet

@@ -1,0 +1,62 @@
+// Deterministic shard assignment for the sharded serving engine.
+//
+// Two mappings, both pure functions of (shard count, input) so a fixed
+// shard count + seed yields a bit-identical elected sequence:
+//
+//   unit_shard(i)     — which shard owns the master's i-th direct child
+//                       ("unit": child SEDs in attach order, then child
+//                       agents in attach order).  Round-robin, so every
+//                       shard carries an equal slice of the fan-out and
+//                       the assignment is stable under growing the tree
+//                       at the tail.
+//   request_shard(id) — which shard's mailbox a whole request would hash
+//                       to when elections themselves are distributed
+//                       (batched pipelining); a splitmix64 finalizer over
+//                       the request id, so consecutive ids spread evenly
+//                       instead of striding.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+
+namespace greensched::diet {
+
+class ShardAssignment {
+ public:
+  /// Hard cap on the shard count; far above any plausible core count,
+  /// it only exists to catch nonsense configs before they allocate.
+  static constexpr std::size_t kMaxShards = 4096;
+
+  explicit ShardAssignment(std::size_t shards) : shards_(shards) {
+    if (shards_ == 0) throw common::ConfigError("ShardAssignment: shards must be >= 1");
+    if (shards_ > kMaxShards)
+      throw common::ConfigError("ShardAssignment: shards must be <= 4096");
+  }
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+
+  [[nodiscard]] std::size_t unit_shard(std::size_t unit_index) const noexcept {
+    return unit_index % shards_;
+  }
+
+  [[nodiscard]] std::size_t request_shard(common::RequestId id) const noexcept {
+    return static_cast<std::size_t>(mix(id.value()) % shards_);
+  }
+
+  /// splitmix64 finalizer (same constants as common::Rng's seeder): a
+  /// cheap, well-distributed 64-bit mix, constexpr so tests can pin the
+  /// assignment table.
+  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  std::size_t shards_;
+};
+
+}  // namespace greensched::diet

@@ -41,6 +41,10 @@ class KeyedPolicy : public diet::PluginScheduler {
   void aggregate(std::vector<diet::Candidate>& candidates,
                  const diet::Request& request) const final;
 
+  /// The learning-phase mode this policy was built with; lets the
+  /// clone_for_shard overrides reconstruct an equivalent instance.
+  [[nodiscard]] UnknownRanking unknown_ranking() const noexcept { return unknown_; }
+
  protected:
   /// Measured key (lower = better); nullopt while unmeasured.
   [[nodiscard]] virtual std::optional<double> measured_key(
@@ -61,6 +65,9 @@ class PerformancePolicy final : public KeyedPolicy {
  public:
   using KeyedPolicy::KeyedPolicy;
   [[nodiscard]] std::string name() const override { return "PERFORMANCE"; }
+  [[nodiscard]] std::unique_ptr<diet::PluginScheduler> clone_for_shard() const override {
+    return std::make_unique<PerformancePolicy>(unknown_ranking());
+  }
 
  protected:
   [[nodiscard]] std::optional<double> measured_key(const diet::EstimationVector& est,
@@ -74,6 +81,9 @@ class PowerPolicy final : public KeyedPolicy {
  public:
   using KeyedPolicy::KeyedPolicy;
   [[nodiscard]] std::string name() const override { return "POWER"; }
+  [[nodiscard]] std::unique_ptr<diet::PluginScheduler> clone_for_shard() const override {
+    return std::make_unique<PowerPolicy>(unknown_ranking());
+  }
 
  protected:
   [[nodiscard]] std::optional<double> measured_key(const diet::EstimationVector& est,
@@ -87,6 +97,9 @@ class GreenPerfPolicy final : public KeyedPolicy {
  public:
   using KeyedPolicy::KeyedPolicy;
   [[nodiscard]] std::string name() const override { return "GREENPERF"; }
+  [[nodiscard]] std::unique_ptr<diet::PluginScheduler> clone_for_shard() const override {
+    return std::make_unique<GreenPerfPolicy>(unknown_ranking());
+  }
 
  protected:
   [[nodiscard]] std::optional<double> measured_key(const diet::EstimationVector& est,
@@ -102,6 +115,9 @@ class RandomPolicy final : public diet::PluginScheduler {
   [[nodiscard]] std::string name() const override { return "RANDOM"; }
   void aggregate(std::vector<diet::Candidate>& candidates,
                  const diet::Request& request) const override;
+  [[nodiscard]] std::unique_ptr<diet::PluginScheduler> clone_for_shard() const override {
+    return std::make_unique<RandomPolicy>();
+  }
 
  private:
   mutable RankScratch scratch_;
@@ -114,6 +130,9 @@ class ScorePolicy final : public diet::PluginScheduler {
   [[nodiscard]] std::string name() const override { return "SCORE"; }
   void aggregate(std::vector<diet::Candidate>& candidates,
                  const diet::Request& request) const override;
+  [[nodiscard]] std::unique_ptr<diet::PluginScheduler> clone_for_shard() const override {
+    return std::make_unique<ScorePolicy>();
+  }
 
  private:
   mutable RankScratch scratch_;
@@ -127,6 +146,9 @@ class MinCompletionTimePolicy final : public KeyedPolicy {
  public:
   using KeyedPolicy::KeyedPolicy;
   [[nodiscard]] std::string name() const override { return "MCT"; }
+  [[nodiscard]] std::unique_ptr<diet::PluginScheduler> clone_for_shard() const override {
+    return std::make_unique<MinCompletionTimePolicy>(unknown_ranking());
+  }
 
  protected:
   [[nodiscard]] std::optional<double> measured_key(const diet::EstimationVector& est,

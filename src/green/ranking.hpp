@@ -46,11 +46,17 @@ class RankScratch {
     const std::size_t n = candidates.size();
     if (n < 2) return;
     entries_.resize(n);
+    // Decorate and normalize as two passes: the first is pure key
+    // extraction (with EstimationVector's dense-slot storage, a handful
+    // of contiguous loads the compiler can vectorize); the second is the
+    // branch-light NaN fixup over the packed entries array.
+    for (std::size_t i = 0; i < n; ++i) {
+      entries_[i] = key_fn(static_cast<const diet::Candidate&>(candidates[i]));
+    }
     for (std::size_t i = 0; i < n; ++i) {
       RankedKey& e = entries_[i];
-      e = key_fn(static_cast<const diet::Candidate&>(candidates[i]));
-      if (std::isnan(e.key)) e.unknown = true;
-      if (std::isnan(e.tie)) e.tie = std::numeric_limits<double>::infinity();
+      e.unknown = e.unknown || std::isnan(e.key);
+      e.tie = std::isnan(e.tie) ? std::numeric_limits<double>::infinity() : e.tie;
       e.index = static_cast<std::uint32_t>(i);
     }
     std::sort(entries_.begin(), entries_.end(),

@@ -31,6 +31,10 @@ class SpatialThermalPolicy final : public diet::PluginScheduler {
   void aggregate(std::vector<diet::Candidate>& candidates,
                  const diet::Request& request) const override;
 
+  [[nodiscard]] std::unique_ptr<diet::PluginScheduler> clone_for_shard() const override {
+    return std::make_unique<SpatialThermalPolicy>(config_);
+  }
+
   /// The effective ranking key for a vector (power + thermal penalty);
   /// exposed for tests.
   [[nodiscard]] double key(const diet::EstimationVector& est) const;

@@ -56,6 +56,7 @@ xmlite::Document config_to_xml(const PlacementConfig& config) {
   }
   if (!config.sla_workload.empty()) root.set_attribute("sla_workload", config.sla_workload);
   if (!config.sla_policy.empty()) root.set_attribute("sla_policy", config.sla_policy);
+  if (config.shards > 1) root.set_attribute("shards", static_cast<long long>(config.shards));
 
   for (const auto& setup : config.clusters) {
     Element& cluster = root.add_child("cluster");
@@ -121,6 +122,10 @@ PlacementConfig config_from_xml(const Document& doc) {
   if (auto sla_workload = root.attribute("sla_workload")) {
     config.sla_workload = *sla_workload;
     (void)sla::parse_sla_workload(config.sla_workload);  // die here, with the field
+  }
+  if (root.has_attribute("shards")) {
+    // Bound matches diet::ShardAssignment::kMaxShards.
+    config.shards = static_cast<std::size_t>(bounded_count(root, "shards", 1, 4096));
   }
   if (auto sla_policy = root.attribute("sla_policy")) {
     config.sla_policy = *sla_policy;

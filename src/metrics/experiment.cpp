@@ -163,6 +163,11 @@ PlacementResult run_placement(const PlacementConfig& config) {
     admission->install(ma);
   }
 
+  // Serving mode, configured after whichever plug-in path installed its
+  // scheduler (the engine clones the installed plug-in per shard).  The
+  // determinism contract makes shards > 1 bit-identical to serial.
+  ma.configure_serving({config.shards});
+
   // The injector is built *after* every other consumer of the run's RNG,
   // and only when the scenario is live, so an inert scenario leaves the
   // whole draw sequence — and therefore the run — untouched.

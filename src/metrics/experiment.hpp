@@ -87,6 +87,11 @@ struct PlacementConfig {
   /// decision admits, exactly as before.  The policy replaces `policy` as
   /// the MA ranking plug-in (net-revenue ranking).
   std::string sla_policy;
+  /// Serving shards on the master agent (diet::ServingConfig).  1 =
+  /// serial serving, the legacy path; > 1 fans candidate collection out
+  /// over worker threads.  The determinism contract makes the result
+  /// bit-identical at any value, which the twin-sim property suite pins.
+  std::size_t shards = 1;
 };
 
 struct ClusterEnergyRow {

@@ -1,0 +1,61 @@
+// Open-loop election-throughput driver.
+//
+// Where run_placement measures the *simulation* (makespan, energy),
+// run_throughput measures the *middleware*: how many scheduling rounds
+// per wall-clock second the master agent sustains over a flat tree of N
+// SEDs under a seeded open-loop request stream, in any combination of
+// serving shards and election batch size.  It is the one harness behind
+// both `greensched throughput` and bench_macro_throughput, so the CLI,
+// the bench and the determinism tests all agree on what a configuration
+// means.
+//
+// Determinism: the elected sequence (one server name per request, "-"
+// when nobody could accept) is a pure function of (seds, requests,
+// batch, policy, seed) — the shard count never changes it.  The driver
+// exports an FNV-1a fingerprint of the sequence so callers can pin that
+// contract without holding 10k strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace greensched::metrics {
+
+struct ThroughputConfig {
+  std::size_t seds = 1000;     ///< flat-tree SED count (scaled Table I mix)
+  std::size_t requests = 512;  ///< total scheduling rounds driven
+  std::size_t shards = 1;      ///< serving shards on the master
+  std::size_t batch = 1;       ///< requests per batched election (1 = submit_fast)
+  std::string policy = "GREENPERF";
+  std::uint64_t seed = 42;
+
+  /// Throws common::ConfigError on zero counts or a bad policy/shards.
+  void validate() const;
+};
+
+struct ThroughputResult {
+  std::size_t requests = 0;
+  std::size_t placed = 0;  ///< rounds that elected a server
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+  /// Election-latency quantiles off the diet.election_wall_seconds
+  /// histogram: one sample per submit_fast round, one per batch.
+  double p50_election_seconds = 0.0;
+  double p99_election_seconds = 0.0;
+  /// FNV-1a 64-bit fingerprint of the elected sequence.
+  std::uint64_t elected_fingerprint = 0;
+  /// The elected server name per request ("-" = unplaced), in order.
+  std::vector<std::string> elected;
+};
+
+/// FNV-1a over a name sequence; exposed so tests can fingerprint their
+/// own expectations.
+[[nodiscard]] std::uint64_t fingerprint_names(const std::vector<std::string>& names);
+
+/// Runs one throughput measurement.  Requires telemetry for the latency
+/// quantiles: the driver enables it, resets collected data first, and
+/// leaves it in the state it found it.
+[[nodiscard]] ThroughputResult run_throughput(const ThroughputConfig& config);
+
+}  // namespace greensched::metrics

@@ -173,6 +173,11 @@ class FifoAdmitPolicy final : public SlaPolicy {
   [[nodiscard]] AdmissionVerdict decide(const AdmissionContext&, common::Rng&) const override {
     return {Admission::kAdmit, 0.0};
   }
+  [[nodiscard]] std::unique_ptr<diet::PluginScheduler> clone_for_shard() const override {
+    auto clone = std::make_unique<FifoAdmitPolicy>(options());
+    clone->set_clock(sim_);
+    return clone;
+  }
 };
 
 /// Li et al.: deterministic time-sensitive revenue admission.
@@ -183,6 +188,11 @@ class RevenueDetPolicy final : public SlaPolicy {
   [[nodiscard]] AdmissionVerdict decide(const AdmissionContext& context,
                                         common::Rng&) const override {
     return decide_with_threshold(context, options_.alpha);
+  }
+  [[nodiscard]] std::unique_ptr<diet::PluginScheduler> clone_for_shard() const override {
+    auto clone = std::make_unique<RevenueDetPolicy>(options());
+    clone->set_clock(sim_);
+    return clone;
   }
 };
 
@@ -201,6 +211,11 @@ class RevenueRandPolicy final : public SlaPolicy {
     const double u = rng.uniform();
     const double threshold = options_.alpha * std::exp(u - 1.0);
     return decide_with_threshold(context, threshold);
+  }
+  [[nodiscard]] std::unique_ptr<diet::PluginScheduler> clone_for_shard() const override {
+    auto clone = std::make_unique<RevenueRandPolicy>(options());
+    clone->set_clock(sim_);
+    return clone;
   }
 };
 

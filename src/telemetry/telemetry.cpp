@@ -34,6 +34,9 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
   b.estimation_cache_hits = registry.counter("diet.estimation_cache_hits");
   b.estimation_cache_misses = registry.counter("diet.estimation_cache_misses");
   b.estimation_epoch_bumps = registry.counter("diet.estimation_epoch_bumps");
+  b.serving_sharded_collects = registry.counter("diet.serving_sharded_collects");
+  b.serving_batches = registry.counter("diet.serving_batches");
+  b.serving_batched_requests = registry.counter("diet.serving_batched_requests");
   b.chaos_crashes = registry.counter("chaos.crashes");
   b.chaos_cluster_outages = registry.counter("chaos.cluster_outages");
   b.chaos_boot_failures = registry.counter("chaos.boot_failures");
@@ -72,6 +75,11 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
       registry.histogram("diet.election_candidates", {1, 2, 4, 8, 16, 32, 64, 128});
   b.election_eligible =
       registry.histogram("diet.election_eligible", {1, 2, 4, 8, 16, 32, 64, 128});
+  // Log-spaced from 1 us to 100 ms: a 10k-SED serial election sits around
+  // a millisecond, batched rounds around tens of milliseconds.
+  b.election_wall_seconds = registry.histogram(
+      "diet.election_wall_seconds",
+      {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1});
   return b;
 }
 

@@ -48,6 +48,10 @@ struct BuiltinMetrics {
   CounterId estimation_cache_hits;    ///< estimations served from the SED cache
   CounterId estimation_cache_misses;  ///< estimations rebuilt from scratch
   CounterId estimation_epoch_bumps;   ///< SED-side state-epoch invalidations
+  // sharded serving engine (diet)
+  CounterId serving_sharded_collects;  ///< collects fanned out to shard workers
+  CounterId serving_batches;           ///< submit_batch rounds (one collect each)
+  CounterId serving_batched_requests;  ///< requests elected through batches
   // chaos fault processes (chaos)
   CounterId chaos_crashes;
   CounterId chaos_cluster_outages;
@@ -83,6 +87,10 @@ struct BuiltinMetrics {
   HistogramId task_run_seconds;
   HistogramId election_candidates;
   HistogramId election_eligible;  ///< candidates surviving the provisioner filter
+  /// Wall-clock seconds per scheduling round: one sample per submit_fast
+  /// election, one per submit_batch round.  bench_macro_throughput reads
+  /// its p50/p99 off the snapshot.
+  HistogramId election_wall_seconds;
 };
 
 struct TelemetryConfig {

@@ -1,0 +1,66 @@
+// Mailbox / CountdownLatch semantics (single-threaded contract; the
+// cross-thread behaviour is covered by test_sharded_concurrency under
+// TSan).
+#include "common/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace greensched::common {
+namespace {
+
+TEST(Mailbox, DeliversInFifoOrder) {
+  Mailbox<int> box;
+  EXPECT_EQ(box.try_receive(), std::nullopt);
+  EXPECT_TRUE(box.post(1));
+  EXPECT_TRUE(box.post(2));
+  EXPECT_TRUE(box.post(3));
+  EXPECT_EQ(box.size(), 3u);
+  EXPECT_EQ(box.try_receive(), std::optional<int>(1));
+  EXPECT_EQ(box.receive(), std::optional<int>(2));
+  EXPECT_EQ(box.try_receive(), std::optional<int>(3));
+  EXPECT_EQ(box.try_receive(), std::nullopt);
+}
+
+TEST(Mailbox, CloseDrainsThenReportsEmpty) {
+  Mailbox<std::string> box;
+  EXPECT_FALSE(box.closed());
+  EXPECT_TRUE(box.post("queued-before-close"));
+  box.close();
+  EXPECT_TRUE(box.closed());
+  // Already-queued messages still drain...
+  EXPECT_EQ(box.receive(), std::optional<std::string>("queued-before-close"));
+  // ...then a closed empty mailbox unblocks with nullopt, and posts drop.
+  EXPECT_EQ(box.receive(), std::nullopt);
+  EXPECT_FALSE(box.post("dropped"));
+  EXPECT_EQ(box.size(), 0u);
+  box.close();  // idempotent
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(CountdownLatch, ZeroCountNeverBlocks) {
+  CountdownLatch latch;
+  latch.reset(0);
+  EXPECT_EQ(latch.remaining(), 0u);
+  latch.wait();  // must return immediately
+}
+
+TEST(CountdownLatch, CountsDownToZeroAndResets) {
+  CountdownLatch latch;
+  latch.reset(2);
+  EXPECT_EQ(latch.remaining(), 2u);
+  latch.count_down();
+  EXPECT_EQ(latch.remaining(), 1u);
+  latch.count_down();
+  EXPECT_EQ(latch.remaining(), 0u);
+  latch.wait();
+  // Reusable: the serving engine resets it once per election round.
+  latch.reset(1);
+  EXPECT_EQ(latch.remaining(), 1u);
+  latch.count_down();
+  latch.wait();
+}
+
+}  // namespace
+}  // namespace greensched::common

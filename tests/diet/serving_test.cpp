@@ -1,0 +1,327 @@
+// Serving engine + batched elections: edge cases of the sharded serving
+// contract that the macro bench and twin-sim suites don't isolate.
+#include "diet/serving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/catalog.hpp"
+#include "cluster/platform.hpp"
+#include "common/error.hpp"
+#include "diet/hierarchy.hpp"
+#include "diet/sharding.hpp"
+#include "green/policies.hpp"
+
+namespace greensched::diet {
+namespace {
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  std::unique_ptr<Hierarchy> hierarchy;
+
+  explicit Fixture(std::size_t taurus_nodes = 2, std::size_t sagittaire_nodes = 2) {
+    if (taurus_nodes > 0) {
+      cluster::ClusterOptions options;
+      options.node_count = taurus_nodes;
+      platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), options, rng);
+    }
+    if (sagittaire_nodes > 0) {
+      cluster::ClusterOptions options;
+      options.node_count = sagittaire_nodes;
+      platform.add_cluster("sagittaire", cluster::MachineCatalog::sagittaire(), options, rng);
+    }
+    hierarchy = std::make_unique<Hierarchy>(sim, rng);
+  }
+
+  Request make_request(double preference = 0.5) {
+    Request request;
+    request.id = hierarchy->next_request_id();
+    request.task.spec = workload::paper_cpu_bound_task();
+    request.task.user_preference = preference;
+    request.user_preference = preference;
+    return request;
+  }
+};
+
+std::string elected_name(const SchedulingDecision& decision) {
+  return decision.elected != nullptr ? decision.elected->name() : "-";
+}
+
+// --- shard assignment pins --------------------------------------------------
+
+TEST(ShardAssignment, UnitsRoundRobinAndRequestsMixDeterministically) {
+  const ShardAssignment assignment(4);
+  EXPECT_EQ(assignment.shards(), 4u);
+  for (std::size_t unit = 0; unit < 64; ++unit) {
+    EXPECT_EQ(assignment.unit_shard(unit), unit % 4);
+  }
+  // The request mix is a pure function: pin a few values so an
+  // accidental change to the mixer shows up as a test diff, not a silent
+  // re-partitioning of every deployment.
+  const ShardAssignment two(2);
+  EXPECT_EQ(two.request_shard(common::RequestId(0)),
+            two.request_shard(common::RequestId(0)));
+  EXPECT_EQ(ShardAssignment::mix(0), ShardAssignment::mix(0));
+  EXPECT_NE(ShardAssignment::mix(1), ShardAssignment::mix(2));
+}
+
+TEST(ShardAssignment, RejectsZeroAndAbsurdCounts) {
+  EXPECT_THROW(ShardAssignment(0), common::ConfigError);
+  EXPECT_THROW(ShardAssignment(ShardAssignment::kMaxShards + 1), common::ConfigError);
+  EXPECT_NO_THROW(ShardAssignment(ShardAssignment::kMaxShards));
+  EXPECT_THROW(ServingConfig{0}.validate(), common::ConfigError);
+}
+
+// --- batched elections ------------------------------------------------------
+
+TEST(BatchedElections, BatchOfOneMatchesSubmitFast) {
+  // Two twin stacks with the same seed: one served by submit_fast, one
+  // by single-request batches.  Tasks execute in both, so the decision
+  // sequence exercises occupancy drift as well.
+  const auto run = [](bool batched) {
+    Fixture f;
+    MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+    const auto policy = green::make_policy("GREENPERF");
+    ma.set_plugin(policy.get());
+    std::vector<std::string> elected;
+    for (int i = 0; i < 30; ++i) {
+      const Request request = f.make_request();
+      if (batched) {
+        const std::vector<Request> batch{request};
+        (void)ma.submit_batch(batch, [&](std::size_t, const SchedulingDecision& decision) {
+          elected.push_back(elected_name(decision));
+          if (decision.elected != nullptr) {
+            (void)decision.elected->execute(request.task, request.id, {});
+          }
+        });
+      } else {
+        const SchedulingDecision& decision = ma.submit_fast(request);
+        elected.push_back(elected_name(decision));
+        if (decision.elected != nullptr) {
+          (void)decision.elected->execute(request.task, request.id, {});
+        }
+      }
+    }
+    return elected;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(BatchedElections, MidBatchCrashOfElectedSedFailsOver) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  const auto policy = green::make_policy("SCORE");  // spec keys: deterministic, no learning
+  ma.set_plugin(policy.get());
+
+  std::vector<Request> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(f.make_request());
+
+  std::vector<std::string> elected;
+  std::string crashed;
+  const std::size_t placed =
+      ma.submit_batch(batch, [&](std::size_t index, const SchedulingDecision& decision) {
+        elected.push_back(elected_name(decision));
+        if (index == 0) {
+          // Crash the just-elected server between batched elections.
+          ASSERT_NE(decision.elected, nullptr);
+          crashed = decision.elected->name();
+          (void)decision.elected->inject_failure();
+        }
+      });
+
+  ASSERT_EQ(elected.size(), 4u);
+  EXPECT_EQ(placed, 4u);
+  // The frozen ranked list still contains the crashed server, but
+  // can_accept gates it out: every later election fails over.
+  for (std::size_t i = 1; i < elected.size(); ++i) {
+    EXPECT_NE(elected[i], crashed) << "election " << i;
+    EXPECT_NE(elected[i], "-") << "election " << i;
+  }
+}
+
+TEST(BatchedElections, BatchStraddlesAdmissionDeferAndReject) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  const auto policy = green::make_policy("POWER");
+  ma.set_plugin(policy.get());
+
+  // Verdict by batch position: admit, defer, reject, admit.
+  std::size_t call = 0;
+  ma.set_admission_hook([&call](const SchedulingDecision&, const Request&) {
+    AdmissionVerdict verdict;
+    if (call == 1) {
+      verdict.admission = Admission::kDefer;
+      verdict.retry_after_seconds = 5.0;
+    } else if (call == 2) {
+      verdict.admission = Admission::kReject;
+    }
+    ++call;
+    return verdict;
+  });
+
+  std::vector<Request> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(f.make_request());
+  std::vector<Admission> verdicts;
+  std::vector<std::string> elected;
+  std::vector<double> delays;
+  const std::size_t placed =
+      ma.submit_batch(batch, [&](std::size_t, const SchedulingDecision& decision) {
+        verdicts.push_back(decision.admission);
+        elected.push_back(elected_name(decision));
+        delays.push_back(decision.retry_after_seconds);
+      });
+
+  // Only the two admitted requests place; the deferred and rejected ones
+  // have their election withdrawn, exactly like the serial path.
+  EXPECT_EQ(placed, 2u);
+  ASSERT_EQ(verdicts.size(), 4u);
+  EXPECT_EQ(verdicts[0], Admission::kAdmit);
+  EXPECT_EQ(verdicts[1], Admission::kDefer);
+  EXPECT_EQ(verdicts[2], Admission::kReject);
+  EXPECT_EQ(verdicts[3], Admission::kAdmit);
+  EXPECT_NE(elected[0], "-");
+  EXPECT_EQ(elected[1], "-");
+  EXPECT_EQ(elected[2], "-");
+  EXPECT_NE(elected[3], "-");
+  EXPECT_EQ(delays[1], 5.0);
+}
+
+TEST(BatchedElections, MixedShapeBatchThrows) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  const auto policy = green::make_policy("POWER");
+  ma.set_plugin(policy.get());
+
+  std::vector<Request> batch{f.make_request(), f.make_request()};
+  batch[1].user_preference = -0.5;
+  EXPECT_THROW((void)ma.submit_batch(batch), common::ConfigError);
+  batch[1] = f.make_request();
+  batch[1].task.spec.cores = 2;
+  EXPECT_THROW((void)ma.submit_batch(batch), common::ConfigError);
+
+  EXPECT_EQ(ma.submit_batch({}), 0u);  // empty batch: a no-op, not an error
+}
+
+// --- sharded serving edge shapes -------------------------------------------
+
+TEST(ServingEngine, EmptyShardsAreHarmless) {
+  // 4 SEDs, 8 shards: half the shards own no units and must neither
+  // wedge the latch nor contribute candidates.
+  const auto run = [](std::size_t shards) {
+    Fixture f;
+    MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+    const auto policy = green::make_policy("GREENPERF");
+    ma.set_plugin(policy.get());
+    ma.configure_serving({shards});
+    std::vector<std::string> elected;
+    for (int i = 0; i < 20; ++i) {
+      const Request request = f.make_request();
+      const SchedulingDecision& decision = ma.submit_fast(request);
+      elected.push_back(elected_name(decision));
+      if (decision.elected != nullptr) {
+        (void)decision.elected->execute(request.task, request.id, {});
+      }
+    }
+    return elected;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ServingEngine, SingleSedShard) {
+  const auto run = [](std::size_t shards) {
+    Fixture f(1, 0);  // exactly one SED
+    MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+    const auto policy = green::make_policy("POWER");
+    ma.set_plugin(policy.get());
+    ma.configure_serving({shards});
+    std::vector<std::string> elected;
+    for (int i = 0; i < 10; ++i) {
+      elected.push_back(elected_name(ma.submit_fast(f.make_request())));
+    }
+    return elected;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial.front(), "taurus-0");
+}
+
+TEST(ServingEngine, PerClusterTreeShardedMatchesSerial) {
+  // Units at the MA are whole LA subtrees here; the merge must still
+  // replay the serial hoist order.
+  const auto run = [](std::size_t shards) {
+    Fixture f;
+    MasterAgent& ma = f.hierarchy->build_per_cluster(f.platform, {"cpu-bound"});
+    const auto policy = green::make_policy("GREENPERF");
+    ma.set_plugin(policy.get());
+    ma.configure_serving({shards});
+    std::vector<std::string> elected;
+    for (int i = 0; i < 25; ++i) {
+      const Request request = f.make_request();
+      const SchedulingDecision& decision = ma.submit_fast(request);
+      elected.push_back(elected_name(decision));
+      if (decision.elected != nullptr) {
+        (void)decision.elected->execute(request.task, request.id, {});
+      }
+    }
+    return elected;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(3));
+}
+
+namespace {
+/// A plug-in that keeps the default clone_for_shard (= nullptr): legal
+/// serially, must be rejected by the sharded engine.
+class NonCloneablePolicy final : public PluginScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "non-cloneable"; }
+  void aggregate(std::vector<Candidate>& candidates, const Request& request) const override {
+    (void)request;
+    (void)candidates;  // keep arrival order
+  }
+};
+}  // namespace
+
+TEST(ServingEngine, NonCloneablePluginRejectedAtShards) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  NonCloneablePolicy policy;
+  ma.set_plugin(&policy);
+
+  // Serial serving is fine.
+  EXPECT_NO_THROW((void)ma.submit_fast(f.make_request()));
+  // Sharded serving needs per-shard clones; the first sharded submit
+  // must fail loudly, not silently fall back to serial.
+  ma.configure_serving({2});
+  EXPECT_THROW((void)ma.submit_fast(f.make_request()), common::ConfigError);
+  // Reconfiguring back to serial recovers.
+  ma.configure_serving({1});
+  EXPECT_NO_THROW((void)ma.submit_fast(f.make_request()));
+}
+
+TEST(ServingEngine, ReconfigureAndPluginSwapRebuildTheEngine) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  const auto green_policy = green::make_policy("GREENPERF");
+  ma.set_plugin(green_policy.get());
+  ma.configure_serving({4});
+  EXPECT_EQ(ma.serving_shards(), 4u);
+  const std::string first = elected_name(ma.submit_fast(f.make_request()));
+  EXPECT_NE(first, "-");
+
+  // Swapping the plug-in re-snapshots the engine on the next submit.
+  const auto power_policy = green::make_policy("POWER");
+  ma.set_plugin(power_policy.get());
+  EXPECT_NO_THROW((void)ma.submit_fast(f.make_request()));
+
+  ma.configure_serving({1});
+  EXPECT_EQ(ma.serving_shards(), 1u);
+}
+
+}  // namespace
+}  // namespace greensched::diet

@@ -1,0 +1,159 @@
+// Concurrency tests for the sharded serving engine — the ThreadSanitizer
+// target (mirroring the cached-placement TSan step in CI).
+//
+// What must be race-free:
+//   - the cross-shard mailbox handoff (MA thread posts, workers receive,
+//     the countdown latch publishes the workers' writes back),
+//   - shard workers recording into the shared telemetry registry while
+//     the MA thread does the same,
+//   - the admission-controller hook running on the MA thread between
+//     sharded collect passes,
+//   - whole engines living inside sweep pool workers (one engine per
+//     run, nothing shared but telemetry).
+//
+// The assertions also re-pin the determinism contract under load: races
+// that TSan misses usually surface as sequence divergence here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+#include "common/mailbox.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/throughput.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace greensched {
+namespace {
+
+TEST(ShardedConcurrency, MailboxHandoffUnderContention) {
+  common::Mailbox<int> box;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&box, &consumed_sum, &consumed_count] {
+      while (const auto value = box.receive()) {
+        consumed_sum.fetch_add(*value, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) EXPECT_TRUE(box.post(p * kPerProducer + i));
+    });
+  }
+  for (auto& t : producers) t.join();
+  box.close();
+  for (auto& t : consumers) t.join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), total);
+  // Sum of 0 .. total-1: every posted value was received exactly once.
+  EXPECT_EQ(consumed_sum.load(),
+            static_cast<long long>(total) * (total - 1) / 2);
+  // A post after close is dropped, not delivered.
+  EXPECT_FALSE(box.post(7));
+  EXPECT_EQ(box.try_receive(), std::nullopt);
+}
+
+TEST(ShardedConcurrency, CountdownLatchPublishesWorkerWrites) {
+  common::CountdownLatch latch;
+  constexpr std::size_t kWorkers = 8;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> results(kWorkers, 0);  // plain ints: the latch is the fence
+    latch.reset(kWorkers);
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&latch, &results, w, round] {
+        results[w] = round + static_cast<int>(w);
+        latch.count_down();
+      });
+    }
+    latch.wait();
+    // Reading results here is only safe if count_down/wait establish
+    // happens-before — exactly what TSan checks.
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      EXPECT_EQ(results[w], round + static_cast<int>(w));
+    }
+    for (auto& t : workers) t.join();
+  }
+}
+
+/// A full sharded placement with the admission hook and chaos active,
+/// telemetry on: MA thread elections + admission verdicts interleave
+/// with shard-worker estimation passes, all recording counters.
+TEST(ShardedConcurrency, AdmissionControlledPlacementWithTelemetry) {
+  const bool was_enabled = telemetry::Telemetry::enabled();
+  telemetry::Telemetry::enable();
+
+  metrics::PlacementConfig config;
+  config.clusters = metrics::scaled_clusters(24);
+  config.policy = "POWER";
+  config.task_count_override = 120;
+  config.chaos = chaos::ChaosScenario::parse("calm");
+  config.sla_workload = "sla:gold=0.2,silver=0.3,bronze=0.3";
+  config.sla_policy = "revenue-rand";
+
+  config.shards = 1;
+  const metrics::PlacementResult serial = metrics::run_placement(config);
+  config.shards = 8;
+  const metrics::PlacementResult sharded = metrics::run_placement(config);
+
+  EXPECT_EQ(serial.admission_sequence, sharded.admission_sequence);
+  EXPECT_EQ(serial.energy.value(), sharded.energy.value());
+  EXPECT_EQ(serial.tasks_per_server, sharded.tasks_per_server);
+  if (!was_enabled) telemetry::Telemetry::disable();
+}
+
+/// Engines inside sweep pool workers: each placement run owns a serving
+/// engine with its own worker threads; four runs execute concurrently
+/// and must be bit-identical to the serial-pool ordering.
+TEST(ShardedConcurrency, EnginesInsideSweepWorkers) {
+  metrics::PlacementConfig config;
+  config.clusters = metrics::scaled_clusters(12);
+  config.policy = "GREENPERF";
+  config.task_count_override = 60;
+  config.shards = 4;
+
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44};
+  const auto serial = metrics::run_placement_sweep(config, seeds, 1);
+  const auto pooled = metrics::run_placement_sweep(config, seeds, 4);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].energy.value(), pooled[i].energy.value()) << "seed " << seeds[i];
+    EXPECT_EQ(serial[i].tasks_per_server, pooled[i].tasks_per_server) << "seed " << seeds[i];
+  }
+}
+
+/// Batched elections through the engine at 8 shards: the mailbox handoff
+/// fires once per batch while the handler mutates server state between
+/// elections on the MA thread.
+TEST(ShardedConcurrency, BatchedShardedThroughput) {
+  metrics::ThroughputConfig config;
+  config.seds = 48;
+  config.requests = 128;
+  config.batch = 8;
+  config.shards = 1;
+  const metrics::ThroughputResult serial = metrics::run_throughput(config);
+  config.shards = 8;
+  const metrics::ThroughputResult sharded = metrics::run_throughput(config);
+  EXPECT_EQ(serial.elected, sharded.elected);
+  EXPECT_EQ(serial.elected_fingerprint, sharded.elected_fingerprint);
+}
+
+}  // namespace
+}  // namespace greensched

@@ -1,0 +1,198 @@
+// Twin-sim property suite for the sharded serving engine.
+//
+// The determinism contract: for a fixed seed, the shard count is
+// invisible — run_placement at shards ∈ {2, 4, 8} must reproduce the
+// shards=1 run bit for bit, across every scheduling policy, chaos
+// preset, provisioning strategy and SLA configuration.  Twenty scenarios
+// cover that grid; each compares the *full* PlacementResult (energy
+// bitwise, per-tier SLA counters, admission sequence, Fig. 9 candidate
+// series, per-server task distribution, fault/retry counters).
+//
+// A second suite pins the same contract at the hierarchy level through
+// the throughput driver: the elected sequence (and its fingerprint) must
+// be identical at any shard count, unbatched and batched.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/throughput.hpp"
+
+namespace greensched {
+namespace {
+
+/// One grid point of the twin-sim matrix.  Workloads are kept small (the
+/// suite runs 20 scenarios x 4 shard counts); coverage comes from the
+/// configuration spread, not the task count.
+struct Scenario {
+  const char* name;
+  const char* policy;
+  const char* chaos;        // "" = inert
+  const char* provisioner;  // "" = none
+  const char* sla_workload;
+  const char* sla_policy;
+  std::size_t nodes;
+  std::size_t tasks;
+  bool per_cluster_tree;
+  std::uint64_t seed;
+};
+
+const Scenario kScenarios[] = {
+    // Calm weather, every policy, both tree shapes.
+    {"power_flat", "POWER", "", "", "", "", 12, 60, false, 1},
+    {"power_tree", "POWER", "", "", "", "", 12, 60, true, 2},
+    {"performance", "PERFORMANCE", "", "", "", "", 12, 60, true, 3},
+    {"greenperf", "GREENPERF", "", "", "", "", 12, 60, true, 4},
+    {"random", "RANDOM", "", "", "", "", 12, 60, true, 5},
+    {"score", "SCORE", "", "", "", "", 12, 60, false, 6},
+    {"mct", "MCT", "", "", "", "", 12, 60, true, 7},
+    {"spatial", "SPATIAL", "", "", "", "", 12, 60, true, 8},
+    // Chaos: calm drizzle and full storm, with and without retries.
+    {"calm_power", "POWER", "calm", "", "", "", 24, 100, true, 9},
+    {"calm_greenperf", "GREENPERF", "calm", "", "", "", 24, 100, false, 10},
+    {"storm_power", "POWER", "storm,horizon=2000", "", "", "", 24, 120, true, 11},
+    {"storm_random", "RANDOM", "storm,horizon=2000", "", "", "", 24, 120, true, 12},
+    // Provisioning strategies (candidate series must pin bit-exactly).
+    {"prov_rule", "GREENPERF", "", "rule-fraction", "", "", 12, 80, true, 13},
+    {"prov_delayed", "POWER", "", "delayed-off:delay=120", "", "", 12, 80, true, 14},
+    {"prov_reactive", "POWER", "calm", "reactive-idle", "", "", 24, 100, true, 15},
+    // SLA admission control (verdict logs + per-tier counters).
+    {"sla_fifo", "POWER", "", "", "sla:gold=0.2,silver=0.3,bronze=0.3", "fifo-admit", 12, 80,
+     true, 16},
+    {"sla_revenue_det", "POWER", "", "", "sla:gold=0.25,silver=0.25,bronze=0.25",
+     "revenue-det", 12, 80, true, 17},
+    {"sla_revenue_rand", "POWER", "", "", "sla:gold=0.3,silver=0.3,bronze=0.2",
+     "revenue-rand", 12, 80, false, 18},
+    // Kitchen sink: chaos + provisioner + SLA in one run.
+    {"storm_prov_sla", "POWER", "storm,horizon=2000", "reactive-idle",
+     "sla:gold=0.2,silver=0.3,bronze=0.3", "revenue-rand", 24, 120, true, 19},
+    {"calm_prov_sla", "GREENPERF", "calm", "delayed-off:delay=120",
+     "sla:gold=0.25,silver=0.25,bronze=0.25", "fifo-admit", 24, 100, true, 20},
+};
+
+metrics::PlacementConfig config_for(const Scenario& s, std::size_t shards) {
+  metrics::PlacementConfig config;
+  config.clusters = metrics::scaled_clusters(s.nodes);
+  config.policy = s.policy;
+  config.seed = s.seed;
+  config.per_cluster_tree = s.per_cluster_tree;
+  config.task_count_override = s.tasks;
+  config.workload.burst_size = 20;
+  config.workload.continuous_rate = 2.0;
+  if (s.chaos[0] != '\0') config.chaos = chaos::ChaosScenario::parse(s.chaos);
+  config.provisioner = s.provisioner;
+  config.sla_workload = s.sla_workload;
+  config.sla_policy = s.sla_policy;
+  config.shards = shards;
+  return config;
+}
+
+/// Bit-exact comparison of every observable field.  Doubles compare with
+/// == on purpose: the contract is "the shard count changes nothing", not
+/// "the results are close".
+void expect_identical(const metrics::PlacementResult& serial,
+                      const metrics::PlacementResult& sharded, std::size_t shards,
+                      const char* scenario) {
+  SCOPED_TRACE(std::string(scenario) + " @ shards=" + std::to_string(shards));
+  EXPECT_EQ(serial.tasks, sharded.tasks);
+  EXPECT_EQ(serial.makespan.value(), sharded.makespan.value());
+  EXPECT_EQ(serial.energy.value(), sharded.energy.value());
+  EXPECT_EQ(serial.mean_wait_seconds, sharded.mean_wait_seconds);
+  EXPECT_EQ(serial.sim_events, sharded.sim_events);
+  EXPECT_EQ(serial.tasks_per_server, sharded.tasks_per_server);
+  ASSERT_EQ(serial.per_cluster.size(), sharded.per_cluster.size());
+  for (std::size_t i = 0; i < serial.per_cluster.size(); ++i) {
+    EXPECT_EQ(serial.per_cluster[i].cluster, sharded.per_cluster[i].cluster);
+    EXPECT_EQ(serial.per_cluster[i].energy.value(), sharded.per_cluster[i].energy.value());
+  }
+  // Chaos outcome.
+  EXPECT_EQ(serial.tasks_completed, sharded.tasks_completed);
+  EXPECT_EQ(serial.tasks_lost, sharded.tasks_lost);
+  EXPECT_EQ(serial.tasks_unfinished, sharded.tasks_unfinished);
+  EXPECT_EQ(serial.tasks_killed, sharded.tasks_killed);
+  EXPECT_EQ(serial.crashes, sharded.crashes);
+  EXPECT_EQ(serial.repairs, sharded.repairs);
+  EXPECT_EQ(serial.retries, sharded.retries);
+  // Provisioning outcome (the Fig. 9 series pins the whole timeline).
+  EXPECT_EQ(serial.provisioner_checks, sharded.provisioner_checks);
+  EXPECT_EQ(serial.boots_ordered, sharded.boots_ordered);
+  EXPECT_EQ(serial.shutdowns_ordered, sharded.shutdowns_ordered);
+  EXPECT_EQ(serial.candidate_series, sharded.candidate_series);
+  // SLA outcome: verdict log, revenue and the per-tier table.
+  EXPECT_EQ(serial.admission_sequence, sharded.admission_sequence);
+  EXPECT_EQ(serial.tasks_rejected, sharded.tasks_rejected);
+  EXPECT_EQ(serial.tasks_deferred, sharded.tasks_deferred);
+  EXPECT_EQ(serial.sla_violations, sharded.sla_violations);
+  EXPECT_EQ(serial.revenue_total, sharded.revenue_total);
+  ASSERT_EQ(serial.per_tier.size(), sharded.per_tier.size());
+  for (std::size_t tier = 0; tier < serial.per_tier.size(); ++tier) {
+    EXPECT_EQ(serial.per_tier[tier].admitted, sharded.per_tier[tier].admitted);
+    EXPECT_EQ(serial.per_tier[tier].deferred, sharded.per_tier[tier].deferred);
+    EXPECT_EQ(serial.per_tier[tier].rejected, sharded.per_tier[tier].rejected);
+    EXPECT_EQ(serial.per_tier[tier].violated, sharded.per_tier[tier].violated);
+  }
+}
+
+class ShardedTwinSim : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ShardedTwinSim, BitIdenticalToSerialAtAnyShardCount) {
+  const Scenario& s = GetParam();
+  const metrics::PlacementResult serial = metrics::run_placement(config_for(s, 1));
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const metrics::PlacementResult sharded = metrics::run_placement(config_for(s, shards));
+    expect_identical(serial, sharded, shards, s.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ShardedTwinSim, ::testing::ValuesIn(kScenarios),
+                         [](const ::testing::TestParamInfo<Scenario>& param) {
+                           return std::string(param.param.name);
+                         });
+
+// --- hierarchy-level twin: the elected sequence itself ---------------------
+
+TEST(ShardedThroughputTwin, ElectedSequenceInvariantAcrossShards) {
+  metrics::ThroughputConfig config;
+  config.seds = 60;
+  config.requests = 150;
+  const metrics::ThroughputResult serial = metrics::run_throughput(config);
+  ASSERT_FALSE(serial.elected.empty());
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    config.shards = shards;
+    const metrics::ThroughputResult sharded = metrics::run_throughput(config);
+    EXPECT_EQ(serial.elected, sharded.elected) << "shards=" << shards;
+    EXPECT_EQ(serial.elected_fingerprint, sharded.elected_fingerprint) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedThroughputTwin, BatchedElectedSequenceInvariantAcrossShards) {
+  metrics::ThroughputConfig config;
+  config.seds = 60;
+  config.requests = 160;
+  config.batch = 16;
+  const metrics::ThroughputResult serial = metrics::run_throughput(config);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    config.shards = shards;
+    const metrics::ThroughputResult sharded = metrics::run_throughput(config);
+    EXPECT_EQ(serial.elected, sharded.elected) << "shards=" << shards;
+    EXPECT_EQ(serial.elected_fingerprint, sharded.elected_fingerprint) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedThroughputTwin, RepeatedRunsAreReproducible) {
+  metrics::ThroughputConfig config;
+  config.seds = 60;
+  config.requests = 100;
+  config.shards = 4;
+  const metrics::ThroughputResult first = metrics::run_throughput(config);
+  const metrics::ThroughputResult second = metrics::run_throughput(config);
+  EXPECT_EQ(first.elected, second.elected);
+  EXPECT_EQ(first.elected_fingerprint, second.elected_fingerprint);
+  EXPECT_EQ(first.placed, second.placed);
+}
+
+}  // namespace
+}  // namespace greensched

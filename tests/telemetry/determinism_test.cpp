@@ -66,6 +66,16 @@ TEST(TelemetryDeterminism, SweepMetricTotalsIndependentOfJobs) {
   }
   ASSERT_EQ(serial.histograms.size(), pooled.histograms.size());
   for (std::size_t i = 0; i < serial.histograms.size(); ++i) {
+    EXPECT_EQ(serial.histograms[i].name, pooled.histograms[i].name);
+    // Wall-clock histograms (election latency) measure the host, not the
+    // simulation: their bucket placement legitimately varies with load
+    // and partitioning.  Only the sample count must match.
+    if (serial.histograms[i].name == "diet.election_wall_seconds") {
+      EXPECT_EQ(serial.histograms[i].total_count(), pooled.histograms[i].total_count())
+          << "histogram " << serial.histograms[i].name
+          << " sample count depends on partitioning";
+      continue;
+    }
     EXPECT_EQ(serial.histograms[i].counts, pooled.histograms[i].counts)
         << "histogram " << serial.histograms[i].name << " depends on partitioning";
   }

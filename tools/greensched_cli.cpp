@@ -19,6 +19,10 @@
 //   greensched chaos --scenario storm [--nodes N] [--tasks N] [--policy P]
 //       [--seed N] [--seeds K] [--jobs J] [--no-retry] [--csv FILE]
 //       Run a placement experiment under stochastic fault injection.
+//   greensched throughput [--seds N] [--requests N] [--shards S] [--batch B]
+//       [--policy P] [--seed N] [--elected-out FILE]
+//       Measure election throughput (requests/s, p50/p99 latency) of the
+//       serving engine under a seeded open-loop burst.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -46,6 +50,7 @@
 #include "sla/tier.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/replication.hpp"
+#include "metrics/throughput.hpp"
 #include "metrics/report.hpp"
 #include "metrics/sweep.hpp"
 #include "telemetry/export.hpp"
@@ -86,6 +91,13 @@ int usage() {
                "                   none|calm|storm[,key=value,...], --nodes N, --tasks N,\n"
                "                   --policy P, --seed N, --seeds K, --jobs J, --no-retry,\n"
                "                   --requests-per-core R, --csv FILE, --provisioner S)\n"
+               "  throughput       election throughput of the serving engine (--seds N,\n"
+               "                   --requests N, --shards S, --batch B, --policy P,\n"
+               "                   --seed N, --elected-out FILE); the elected sequence is\n"
+               "                   bit-identical at any --shards value\n"
+               "serving (placement, compare, sweep, chaos, throughput):\n"
+               "  --shards S          fan candidate collection out over S worker shards\n"
+               "                      (1 = serial; results identical either way)\n"
                "provisioning strategies (--provisioner <name[:key=value,...]>):\n"
                "%s"
                "SLA workload profiles (--workload <name[:key=value,...]>, on placement,\n"
@@ -156,6 +168,21 @@ bool apply_sla_flags(const CliArgs& args, metrics::PlacementConfig& config) {
       return false;
     }
     config.sla_policy = *spec;
+  }
+  return true;
+}
+
+/// Parses --shards into `config`.  The bound is validated eagerly (exit
+/// 2, same shape as the other flag helpers): a bad shard count must not
+/// silently run serial.
+bool apply_serving_flags(const CliArgs& args, metrics::PlacementConfig& config) {
+  config.shards = static_cast<std::size_t>(
+      args.get_int("shards", static_cast<long long>(config.shards)));
+  try {
+    diet::ServingConfig{config.shards}.validate();
+  } catch (const common::ConfigError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return false;
   }
   return true;
 }
@@ -254,6 +281,7 @@ int cmd_placement(const CliArgs& args) {
   metrics::PlacementConfig config = placement_config_from(args);
   if (!apply_provisioner_flags(args, config)) return usage();
   if (!apply_sla_flags(args, config)) return usage();
+  if (!apply_serving_flags(args, config)) return usage();
   if (const auto save_path = args.get("save-config")) {
     std::ofstream out = open_output(*save_path, "experiment file");
     out << metrics::config_to_string(config);
@@ -294,6 +322,7 @@ int cmd_compare(const CliArgs& args) {
   metrics::PlacementConfig config = placement_config_from(args);
   if (!apply_provisioner_flags(args, config)) return usage();
   if (!apply_sla_flags(args, config)) return usage();
+  if (!apply_serving_flags(args, config)) return usage();
   const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
 
   const auto replicate = args.get_int("replicate", 0);
@@ -352,6 +381,7 @@ int cmd_sweep(const CliArgs& args) {
   metrics::PlacementConfig config = placement_config_from(args);
   if (!apply_provisioner_flags(args, config)) return usage();
   if (!apply_sla_flags(args, config)) return usage();
+  if (!apply_serving_flags(args, config)) return usage();
 
   // --provisioners flips the comparison axis: one grid point per
   // provisioning strategy (all under --policy), not per policy.
@@ -615,6 +645,7 @@ int cmd_chaos(const CliArgs& args) {
                                                   : diet::RetryPolicy::hardened();
   if (!apply_provisioner_flags(args, config)) return usage();
   if (!apply_sla_flags(args, config)) return usage();
+  if (!apply_serving_flags(args, config)) return usage();
   std::printf("scenario     : %s%s\n", config.chaos.to_string().c_str(),
               args.get_bool("no-retry", false) ? " (retries disabled)" : "");
 
@@ -662,6 +693,45 @@ int cmd_chaos(const CliArgs& args) {
       csv.end_row();
     }
     std::printf("chaos CSV written to %s\n", csv_path->c_str());
+  }
+  return 0;
+}
+
+int cmd_throughput(const CliArgs& args) {
+  metrics::ThroughputConfig config;
+  config.seds = static_cast<std::size_t>(args.get_int("seds", 1000));
+  config.requests = static_cast<std::size_t>(args.get_int("requests", 512));
+  config.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  config.batch = static_cast<std::size_t>(args.get_int("batch", 1));
+  config.policy = args.get_or("policy", "GREENPERF");
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  try {
+    config.validate();
+  } catch (const common::ConfigError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  }
+
+  const metrics::ThroughputResult result = metrics::run_throughput(config);
+  std::printf("seds       : %zu (%zu shard%s, batch %zu)\n", config.seds, config.shards,
+              config.shards == 1 ? "" : "s", config.batch);
+  std::printf("policy     : %s (seed %llu)\n", config.policy.c_str(),
+              static_cast<unsigned long long>(config.seed));
+  std::printf("requests   : %zu submitted, %zu placed\n", result.requests, result.placed);
+  std::printf("wall       : %.3f s\n", result.wall_seconds);
+  std::printf("throughput : %.0f requests/s\n", result.requests_per_second);
+  std::printf("election   : p50 %.1f us, p99 %.1f us\n", result.p50_election_seconds * 1e6,
+              result.p99_election_seconds * 1e6);
+  std::printf("elected    : fingerprint %016llx\n",
+              static_cast<unsigned long long>(result.elected_fingerprint));
+
+  if (const auto out_path = args.get("elected-out")) {
+    // One server name per line, in election order — diffable across
+    // shard counts to audit the determinism contract by eye.
+    std::ofstream out = open_output(*out_path, "elected-sequence file");
+    for (const std::string& name : result.elected) out << name << '\n';
+    std::printf("elected sequence written to %s (%zu entries)\n", out_path->c_str(),
+                result.elected.size());
   }
   return 0;
 }
@@ -753,6 +823,8 @@ int main(int argc, char** argv) {
       status = cmd_trace_run(args);
     } else if (command == "chaos") {
       status = cmd_chaos(args);
+    } else if (command == "throughput") {
+      status = cmd_throughput(args);
     } else {
       return usage();
     }
