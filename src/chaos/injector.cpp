@@ -35,6 +35,24 @@ void ChaosInjector::start() {
     for (std::size_t i = 0; i < channels_.size(); ++i) arm_crash(i);
   }
   if (scenario_.cluster_outage_mtbf > 0.0) arm_outage();
+
+  // Gray failures: limping is a one-shot Bernoulli per SED (the draw
+  // order is channel order, i.e. hierarchy attach order, so a seed
+  // always limps the same machines); stalls and flaps are timer chains.
+  if (scenario_.limp_fraction > 0.0) {
+    for (auto& channel : channels_) {
+      if (!rng_.bernoulli(scenario_.limp_fraction)) continue;
+      channel.sed->set_limp_latency(scenario_.limp_latency_seconds);
+      ++limping_;
+      GS_TCOUNT(chaos_limping_seds);
+    }
+  }
+  if (scenario_.stall_mtbf_seconds > 0.0) {
+    for (std::size_t i = 0; i < channels_.size(); ++i) arm_stall(i);
+  }
+  if (scenario_.flap_mtbf_seconds > 0.0) {
+    for (std::size_t i = 0; i < channels_.size(); ++i) arm_flap(i);
+  }
 }
 
 void ChaosInjector::kill(diet::Sed& sed, const char* cause) {
@@ -128,6 +146,61 @@ void ChaosInjector::notify_capacity() {
     return;
   }
   hierarchy_.notify_capacity_change();
+}
+
+void ChaosInjector::arm_stall(std::size_t channel) {
+  const double at = hierarchy_.sim().now().value() +
+                    rng_.exponential(1.0 / scenario_.stall_mtbf_seconds);
+  if (past_horizon(at)) return;
+  hierarchy_.sim().schedule_at(Seconds(at), [this, channel] { on_stall(channel); });
+}
+
+void ChaosInjector::on_stall(std::size_t channel) {
+  // The duration draw happens unconditionally so the RNG stream does not
+  // depend on node state (a stall of a down node is a no-op, but the
+  // storm's later draws must not shift because of it).
+  const double duration =
+      rng_.weibull_mean(scenario_.weibull_shape, scenario_.stall_seconds);
+  diet::Sed& sed = *channels_[channel].sed;
+  const NodeState state = sed.node().state();
+  if (state != NodeState::kOff && state != NodeState::kFailed) {
+    sed.stall_until(hierarchy_.sim().now() + Seconds(duration));
+    ++stalls_;
+    GS_TCOUNT(chaos_stalls);
+    telemetry::Telemetry::instant("chaos.stall", "chaos", hierarchy_.sim().now().value(),
+                                  sed.node().id().value(), "stall");
+  }
+  arm_stall(channel);
+}
+
+void ChaosInjector::arm_flap(std::size_t channel) {
+  const double at = hierarchy_.sim().now().value() +
+                    rng_.exponential(1.0 / scenario_.flap_mtbf_seconds);
+  if (past_horizon(at)) return;
+  hierarchy_.sim().schedule_at(Seconds(at), [this, channel] { on_flap(channel); });
+}
+
+void ChaosInjector::on_flap(std::size_t channel) {
+  // Down-time draw first, unconditionally, for the same stream-stability
+  // reason as on_stall.
+  const double down = rng_.exponential(1.0 / scenario_.flap_down_seconds);
+  diet::Sed& sed = *channels_[channel].sed;
+  const NodeState state = sed.node().state();
+  if (state != NodeState::kOff && state != NodeState::kFailed) {
+    kill(sed, "flap");
+    ++flaps_;
+    GS_TCOUNT(chaos_flaps);
+    // Unlike the MTBF repair lottery, a flap always comes back: repair +
+    // reboot after the down time (boot hazards still apply on completion).
+    hierarchy_.sim().schedule_after(Seconds(down), [this, channel] {
+      cluster::Node& node = channels_[channel].sed->node();
+      if (node.state() != NodeState::kFailed) return;  // outage restore beat us
+      node.repair(hierarchy_.sim().now());
+      ++repairs_;
+      boot_node(channel);
+    });
+  }
+  arm_flap(channel);
 }
 
 void ChaosInjector::arm_outage() {

@@ -57,6 +57,13 @@ class ChaosInjector {
   [[nodiscard]] std::uint64_t stale_notifications() const noexcept {
     return stale_notifications_;
   }
+  // --- gray-failure counters ---
+  /// Estimation stalls injected (stall_mtbf process).
+  [[nodiscard]] std::uint64_t stalls() const noexcept { return stalls_; }
+  /// Flap cycles started (crash that auto-repairs after flap_down).
+  [[nodiscard]] std::uint64_t flaps() const noexcept { return flaps_; }
+  /// SEDs marked permanently limping at start().
+  [[nodiscard]] std::uint64_t limping_seds() const noexcept { return limping_; }
 
  private:
   struct Channel {
@@ -91,6 +98,15 @@ class ChaosInjector {
   void arm_outage();
   void on_outage();
 
+  /// Gray processes: stalls freeze a SED's estimation responses for a
+  /// Weibull-mean duration; flaps are short crash-and-auto-recover
+  /// cycles.  Both are per-channel self-perpetuating timer chains ending
+  /// at the horizon, exactly like arm_crash.
+  void arm_stall(std::size_t channel);
+  void on_stall(std::size_t channel);
+  void arm_flap(std::size_t channel);
+  void on_flap(std::size_t channel);
+
   diet::Hierarchy& hierarchy_;
   ChaosScenario scenario_;
   common::Rng rng_;
@@ -109,6 +125,9 @@ class ChaosInjector {
   std::uint64_t boot_failures_ = 0;
   std::uint64_t cluster_outages_ = 0;
   std::uint64_t stale_notifications_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t flaps_ = 0;
+  std::uint64_t limping_ = 0;
 };
 
 }  // namespace greensched::chaos

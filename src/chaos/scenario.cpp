@@ -83,9 +83,22 @@ bool apply_key(ChaosScenario& s, std::string_view key, double value) {
   else if (key == "outage_mttr") s.cluster_outage_mttr = value;
   else if (key == "staleness") s.staleness_seconds = value;
   else if (key == "horizon") s.horizon_seconds = value;
+  else if (key == "stall_mtbf") s.stall_mtbf_seconds = value;
+  else if (key == "stall") s.stall_seconds = value;
+  else if (key == "flap_mtbf") s.flap_mtbf_seconds = value;
+  else if (key == "flap_down") s.flap_down_seconds = value;
+  else if (key == "limp_fraction") s.limp_fraction = value;
+  else if (key == "limp_latency") s.limp_latency_seconds = value;
   else return false;
   return true;
 }
+
+/// Kept next to apply_key so adding a key there without listing it here
+/// fails the scenario-parser test, not a user at 2 a.m.
+constexpr const char* kValidKeys =
+    "mtbf, shape, mttr, repair_p, reboot_p, boot_failure_p, outage_mtbf, "
+    "outage_mttr, staleness, horizon, stall_mtbf, stall, flap_mtbf, "
+    "flap_down, limp_fraction, limp_latency";
 
 }  // namespace
 
@@ -106,6 +119,18 @@ void ChaosScenario::validate() const {
   if (cluster_outage_mttr <= 0.0) throw ConfigError("ChaosScenario: outage_mttr must be > 0");
   check_nonnegative(staleness_seconds, "staleness");
   check_nonnegative(horizon_seconds, "horizon");
+  check_nonnegative(stall_mtbf_seconds, "stall_mtbf");
+  check_finite(stall_seconds, "stall");
+  if (stall_mtbf_seconds > 0.0 && stall_seconds <= 0.0)
+    throw ConfigError("ChaosScenario: stall must be > 0 when stall_mtbf is set");
+  check_nonnegative(flap_mtbf_seconds, "flap_mtbf");
+  check_finite(flap_down_seconds, "flap_down");
+  if (flap_mtbf_seconds > 0.0 && flap_down_seconds <= 0.0)
+    throw ConfigError("ChaosScenario: flap_down must be > 0 when flap_mtbf is set");
+  check_probability(limp_fraction, "limp_fraction");
+  check_nonnegative(limp_latency_seconds, "limp_latency");
+  if (limp_fraction > 0.0 && limp_latency_seconds <= 0.0)
+    throw ConfigError("ChaosScenario: limp_latency must be > 0 when limp_fraction is set");
   if (enabled() && horizon_seconds <= 0.0)
     throw ConfigError(
         "ChaosScenario: an enabled scenario needs horizon > 0 so the fault "
@@ -141,7 +166,8 @@ ChaosScenario ChaosScenario::parse(std::string_view text) {
       const std::string_view key = token.substr(0, eq);
       const double value = parse_double(key, token.substr(eq + 1));
       if (!apply_key(scenario, key, value))
-        throw ConfigError("ChaosScenario: unknown key '" + std::string(key) + "'");
+        throw ConfigError("ChaosScenario: unknown key '" + std::string(key) +
+                          "' (valid keys: " + kValidKeys + ")");
     }
     first = false;
   }
@@ -150,13 +176,17 @@ ChaosScenario ChaosScenario::parse(std::string_view text) {
 }
 
 std::string ChaosScenario::to_string() const {
-  char buffer[512];
+  char buffer[768];
   std::snprintf(buffer, sizeof(buffer),
                 "mtbf=%g,shape=%g,mttr=%g,repair_p=%g,reboot_p=%g,boot_failure_p=%g,"
-                "outage_mtbf=%g,outage_mttr=%g,staleness=%g,horizon=%g",
+                "outage_mtbf=%g,outage_mttr=%g,staleness=%g,horizon=%g,"
+                "stall_mtbf=%g,stall=%g,flap_mtbf=%g,flap_down=%g,"
+                "limp_fraction=%g,limp_latency=%g",
                 mtbf_seconds, weibull_shape, mttr_seconds, repair_probability,
                 reboot_probability, boot_failure_probability, cluster_outage_mtbf,
-                cluster_outage_mttr, staleness_seconds, horizon_seconds);
+                cluster_outage_mttr, staleness_seconds, horizon_seconds,
+                stall_mtbf_seconds, stall_seconds, flap_mtbf_seconds, flap_down_seconds,
+                limp_fraction, limp_latency_seconds);
   return buffer;
 }
 

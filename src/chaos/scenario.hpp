@@ -56,9 +56,39 @@ struct ChaosScenario {
   /// any fault process is enabled.
   double horizon_seconds = 0.0;
 
+  // --- Gray failures: nodes that are slow, not dead. -------------------
+  /// Per-SED mean time between estimation stalls (0 disables).  Stall
+  /// arrivals are exponential; each stall freezes the SED's estimation
+  /// responses for Weibull(shape, mean = stall_seconds) simulated
+  /// seconds.  Latency is sim-time metadata only — estimation *content*
+  /// and the RNG sequence are untouched, so determinism holds at any
+  /// shard count.
+  double stall_mtbf_seconds = 0.0;
+  /// Mean stall duration (Weibull mean, reusing `shape` above).
+  double stall_seconds = 10.0;
+  /// Per-SED mean time between flaps (0 disables).  A flap is a short
+  /// crash-and-recover cycle: the node fails, then is repaired and
+  /// rebooted after exponential(mean = flap_down_seconds) — the
+  /// "works-again-before-anyone-looks" failure mode.
+  double flap_mtbf_seconds = 0.0;
+  /// Mean down time of a flap before the automatic repair + reboot.
+  double flap_down_seconds = 30.0;
+  /// Fraction of SEDs that limp for the whole run: each SED is
+  /// independently limping with this probability (one Bernoulli draw per
+  /// SED at injector start), adding a constant `limp_latency_seconds` to
+  /// every estimation response.
+  double limp_fraction = 0.0;
+  /// Constant estimation latency of a limping SED.
+  double limp_latency_seconds = 30.0;
+
   /// True when any fault process is switched on.
   [[nodiscard]] bool enabled() const noexcept {
-    return mtbf_seconds > 0.0 || cluster_outage_mtbf > 0.0;
+    return mtbf_seconds > 0.0 || cluster_outage_mtbf > 0.0 || gray_enabled();
+  }
+
+  /// True when any gray-failure process (stall/flap/limp) is switched on.
+  [[nodiscard]] bool gray_enabled() const noexcept {
+    return stall_mtbf_seconds > 0.0 || flap_mtbf_seconds > 0.0 || limp_fraction > 0.0;
   }
 
   /// Throws common::ConfigError on out-of-range values, or on an enabled
@@ -71,7 +101,10 @@ struct ChaosScenario {
   /// outages, stale planning).  Keys are the field names without the
   /// `_seconds` suffix spelled out: mtbf, shape, mttr, repair_p,
   /// reboot_p, boot_failure_p, outage_mtbf, outage_mttr, staleness,
-  /// horizon.  Throws common::ConfigError on unknown keys or bad values.
+  /// horizon, stall_mtbf, stall, flap_mtbf, flap_down, limp_fraction,
+  /// limp_latency.  Throws common::ConfigError on unknown keys or bad
+  /// values; the unknown-key message lists every valid key so a typo'd
+  /// spec is self-correcting from the error alone.
   [[nodiscard]] static ChaosScenario parse(std::string_view text);
 
   /// Canonical "key=value,..." round-trippable through parse().

@@ -36,7 +36,7 @@ std::vector<Candidate> Agent::handle_request(const Request& request,
 
 void Agent::collect_into(const Request& request, const PluginScheduler& plugin,
                          DispatchArena& arena, std::size_t depth,
-                         std::vector<Candidate>& out) {
+                         std::vector<Candidate>& out, CollectGate* gate) {
   telemetry::TraceSpan span("agent.propagate", "lifecycle", request.id.value(), name_);
   ++requests_handled_;
 
@@ -49,9 +49,12 @@ void Agent::collect_into(const Request& request, const PluginScheduler& plugin,
     return out.emplace_back();
   };
 
-  // Step 2: propagate to child SEDs offering the service.
+  // Step 2: propagate to child SEDs offering the service.  The gate (when
+  // active) rules on each SED first: a straggler past its deadline or a
+  // quarantined breaker drops out of this election entirely.
   for (Sed* sed : child_seds_) {
     if (!sed->offers(request.task.spec.service)) continue;
+    if (gate != nullptr && !gate->admit(*sed)) continue;
     Candidate& c = next_slot();
     c.sed = sed;
     sed->fill_estimation_into(c.estimation, request);
@@ -62,7 +65,7 @@ void Agent::collect_into(const Request& request, const PluginScheduler& plugin,
   // have been hoisted into `out`).
   for (Agent* child : child_agents_) {
     std::vector<Candidate>& sub = arena.level(depth + 1);
-    child->collect_into(request, plugin, arena, depth + 1, sub);
+    child->collect_into(request, plugin, arena, depth + 1, sub, gate);
     for (Candidate& s : sub) {
       Candidate& dst = next_slot();
       dst.sed = s.sed;
@@ -102,12 +105,60 @@ std::size_t MasterAgent::serving_shards() const noexcept {
   return engine_ ? engine_->shards() : 1;
 }
 
+void MasterAgent::configure_estimation_budget(EstimationBudget budget,
+                                              FailureDetectorConfig detector) {
+  budget.validate();
+  detector.validate();
+  budget_ = budget;
+  gate_enabled_ = true;
+  detector_.reset();
+  if (budget_.excludes()) {
+    // Observer mode (deadline 0) records waits but never excludes, so a
+    // breaker would have nothing to act on — only build one when the
+    // deadline can actually be missed.
+    detector_ = std::make_unique<FailureDetector>(budget_, detector);
+    std::vector<Sed*> seds;
+    collect_seds(seds);
+    for (Sed* sed : seds) detector_->track(*sed);
+  }
+  gate_ = std::make_unique<CollectGate>(&budget_, detector_.get());
+  last_outcome_.reset();
+}
+
+void MasterAgent::account_collect_outcome() {
+  deadline_misses_ += last_outcome_.deadline_misses;
+  hedges_ += last_outcome_.hedges;
+  hedge_rescues_ += last_outcome_.hedge_rescues;
+  quarantined_skips_ += last_outcome_.quarantined_skips;
+  probe_elections_ += last_outcome_.probes;
+  election_waits_.observe(last_outcome_.max_wait_seconds);
+}
+
+bool MasterAgent::gate_excluded_this_round() const {
+  // An election the gate emptied (stragglers past deadline, quarantined
+  // breakers) is a transient no-candidate round, not an unknown service:
+  // the client must queue and retry, never hard-fail.
+  return gate_enabled_ && last_outcome_.deadline_misses - last_outcome_.hedge_rescues +
+                                  last_outcome_.quarantined_skips >
+                              0;
+}
+
+void MasterAgent::note_election(const Sed* elected) {
+  if (elected == nullptr || detector_ == nullptr) return;
+  if (detector_->is_open(*elected, elected->sim_now().value())) ++elected_while_quarantined_;
+}
+
 void MasterAgent::collect_ranked(const Request& request, std::vector<Candidate>& out) {
   if (engine_) {
     engine_->collect_ranked(request, out);
+  } else if (gate_enabled_) {
+    gate_->outcome().reset();
+    collect_into(request, *plugin_, arena_, 0, out, gate_.get());
+    last_outcome_ = gate_->outcome();
   } else {
     collect_into(request, *plugin_, arena_, 0, out);
   }
+  if (gate_enabled_) account_collect_outcome();
 }
 
 SchedulingDecision MasterAgent::submit(const Request& request) {
@@ -126,7 +177,7 @@ const SchedulingDecision& MasterAgent::submit_fast(const Request& request) {
   // estimation storage) from the previous round get reused in place.
   std::vector<Candidate>& candidates = decision_.ranked;
   collect_ranked(request, candidates);
-  decision_.service_unknown = candidates.empty();
+  decision_.service_unknown = candidates.empty() && !gate_excluded_this_round();
   decision_.considered = candidates.size();
 
   {
@@ -148,6 +199,7 @@ const SchedulingDecision& MasterAgent::submit_fast(const Request& request) {
         break;
       }
     }
+    note_election(decision_.elected);
 
     // Admission (SLA scenario): rule on the finished decision.  A
     // deferred or rejected request must not execute, so the election is
@@ -162,7 +214,9 @@ const SchedulingDecision& MasterAgent::submit_fast(const Request& request) {
     }
     if (decision_.elected != nullptr) ++elections_;
   }
-  if (decision_.elected == nullptr) GS_TCOUNT(elections_unplaced);
+  if (decision_.elected == nullptr) {
+    GS_TCOUNT(elections_unplaced);
+  }
   if (timed) {
     const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_begin;
     GS_TOBSERVE(election_wall_seconds, wall.count());
@@ -207,7 +261,7 @@ std::size_t MasterAgent::submit_batch(const std::vector<Request>& requests,
   decision_.elected = nullptr;
   std::vector<Candidate>& candidates = decision_.ranked;
   collect_ranked(head, candidates);
-  decision_.service_unknown = candidates.empty();
+  decision_.service_unknown = candidates.empty() && !gate_excluded_this_round();
   decision_.considered = candidates.size();
   if (filter_) filter_(candidates, head);
   decision_.eligible = candidates.size();
@@ -232,6 +286,7 @@ std::size_t MasterAgent::submit_batch(const std::vector<Request>& requests,
           break;
         }
       }
+      note_election(decision_.elected);
 
       decision_.admission = Admission::kAdmit;
       decision_.retry_after_seconds = 0.0;
@@ -246,7 +301,9 @@ std::size_t MasterAgent::submit_batch(const std::vector<Request>& requests,
         ++placed;
       }
     }
-    if (decision_.elected == nullptr) GS_TCOUNT(elections_unplaced);
+    if (decision_.elected == nullptr) {
+      GS_TCOUNT(elections_unplaced);
+    }
     // The handler typically executes the elected task, advancing server
     // state before the next election in the batch.
     if (handler) handler(i, decision_);

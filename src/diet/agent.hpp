@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "diet/failure_detector.hpp"
 #include "diet/plugin.hpp"
 #include "diet/request.hpp"
 #include "diet/sed.hpp"
@@ -72,8 +73,12 @@ class Agent {
   /// level are written into `out` (existing slots and their estimation
   /// maps are reused); deeper levels borrow scratch vectors from `arena`.
   /// Produces exactly the same candidate sequence as handle_request.
+  /// With a non-null `gate` each SED is admitted through the estimation
+  /// deadline / quarantine gate first; a gated-out SED is simply absent
+  /// from the candidate set (the election proceeds partial).
   void collect_into(const Request& request, const PluginScheduler& plugin,
-                    DispatchArena& arena, std::size_t depth, std::vector<Candidate>& out);
+                    DispatchArena& arena, std::size_t depth, std::vector<Candidate>& out,
+                    CollectGate* gate = nullptr);
 
   /// All SEDs reachable from this agent (depth-first order).
   void collect_seds(std::vector<Sed*>& out) const;
@@ -164,6 +169,46 @@ class MasterAgent : public Agent {
   void configure_serving(ServingConfig config);
   [[nodiscard]] std::size_t serving_shards() const noexcept;
 
+  /// Activates the estimation collect gate.  deadline 0 is observer mode
+  /// (everyone participates, waits are recorded); deadline > 0 excludes
+  /// stragglers, optionally hedges them once, and quarantines repeat
+  /// offenders through a per-SED circuit breaker.  Call after the
+  /// hierarchy is built (breaker slots are pre-built over the reachable
+  /// SEDs) and before the first submit; reconfiguring resets all breaker
+  /// and outcome state.
+  void configure_estimation_budget(EstimationBudget budget,
+                                   FailureDetectorConfig detector = {});
+  [[nodiscard]] bool estimation_gate_enabled() const noexcept { return gate_enabled_; }
+  [[nodiscard]] const EstimationBudget& estimation_budget() const noexcept { return budget_; }
+  [[nodiscard]] const FailureDetector* failure_detector() const noexcept {
+    return detector_.get();
+  }
+  /// Cores behind an open breaker right now — the provisioner subtracts
+  /// these from usable capacity so strategies size against healthy nodes.
+  [[nodiscard]] std::size_t quarantined_cores(double now) const {
+    return detector_ ? detector_->quarantined_cores(now) : 0;
+  }
+
+  // --- gate outcome aggregates (whole-run sums over elections) ---
+  [[nodiscard]] std::uint64_t deadline_misses() const noexcept { return deadline_misses_; }
+  [[nodiscard]] std::uint64_t hedges() const noexcept { return hedges_; }
+  [[nodiscard]] std::uint64_t hedge_rescues() const noexcept { return hedge_rescues_; }
+  [[nodiscard]] std::uint64_t quarantined_skips() const noexcept { return quarantined_skips_; }
+  [[nodiscard]] std::uint64_t probe_elections() const noexcept { return probe_elections_; }
+  /// Elections whose winner had an open breaker — structurally impossible
+  /// (the gate skips open SEDs); the oracle asserts it stays 0.
+  [[nodiscard]] std::uint64_t elected_while_quarantined() const noexcept {
+    return elected_while_quarantined_;
+  }
+  /// Simulated seconds an election spent waiting on its slowest admitted
+  /// estimation; p99 over all elections (0 when the gate never ran).
+  [[nodiscard]] double p99_election_wait_seconds() const noexcept {
+    return election_waits_.quantile(0.99);
+  }
+  [[nodiscard]] const CollectOutcome& last_collect_outcome() const noexcept {
+    return last_outcome_;
+  }
+
   /// Per-request sink for submit_batch: called once per batched request,
   /// in batch order, with the (reused) decision buffer — same lifetime
   /// contract as submit_fast's return value.  The handler may execute the
@@ -193,6 +238,14 @@ class MasterAgent : public Agent {
   /// Ranked-candidate collection for one request: the serial fast path
   /// (collect_into) or the sharded engine, per configure_serving.
   void collect_ranked(const Request& request, std::vector<Candidate>& out);
+  /// Folds last_outcome_ into the whole-run aggregates + wait histogram.
+  void account_collect_outcome();
+  /// Post-election breaker invariant check (bumps the impossible counter).
+  void note_election(const Sed* elected);
+  /// True when the active gate dropped at least one SED this election —
+  /// an empty candidate set then means "retry later", not "unknown
+  /// service".
+  [[nodiscard]] bool gate_excluded_this_round() const;
 
   const PluginScheduler* plugin_ = nullptr;
   CandidateFilter filter_;
@@ -202,6 +255,20 @@ class MasterAgent : public Agent {
   DispatchArena arena_;
   SchedulingDecision decision_;  ///< submit_fast's reusable result buffer
   std::unique_ptr<ServingEngine> engine_;  ///< null => serial serving
+
+  // --- gray-failure gate state ---
+  bool gate_enabled_ = false;
+  EstimationBudget budget_;                   ///< stable address: gates point here
+  std::unique_ptr<FailureDetector> detector_;  ///< only when budget excludes
+  std::unique_ptr<CollectGate> gate_;          ///< serial-path gate
+  CollectOutcome last_outcome_;                ///< most recent election's outcome
+  LatencyBuckets election_waits_;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t hedges_ = 0;
+  std::uint64_t hedge_rescues_ = 0;
+  std::uint64_t quarantined_skips_ = 0;
+  std::uint64_t probe_elections_ = 0;
+  std::uint64_t elected_while_quarantined_ = 0;
 };
 
 }  // namespace greensched::diet

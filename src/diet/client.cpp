@@ -179,7 +179,9 @@ Client::PlaceOutcome Client::apply_decision(std::size_t record_index,
   record.cluster = decision.elected->node().cluster();
   if (!record.admitted) {
     record.admitted = true;
-    if (record.task.spec.has_sla()) GS_TCOUNT(sla_admitted[record.task.spec.sla_tier]);
+    if (record.task.spec.has_sla()) {
+      GS_TCOUNT(sla_admitted[record.task.spec.sla_tier]);
+    }
   }
 
   decision.elected->execute(record.task, request_id, [this, record_index](const TaskRecord& done) {
@@ -213,7 +215,9 @@ void Client::reject(std::size_t record_index) {
   ClientTaskRecord& record = records_[record_index];
   record.rejected = true;
   ++rejected_;
-  if (record.task.spec.has_sla()) GS_TCOUNT(sla_rejected[record.task.spec.sla_tier]);
+  if (record.task.spec.has_sla()) {
+    GS_TCOUNT(sla_rejected[record.task.spec.sla_tier]);
+  }
   telemetry::Telemetry::instant("task.rejected", "sla", hierarchy_.sim().now().value(),
                                 record.task.id.value(), name_);
   const auto it = std::find(pending_.begin(), pending_.end(), record_index);
@@ -224,7 +228,9 @@ void Client::defer(std::size_t record_index, double retry_after_seconds) {
   ClientTaskRecord& record = records_[record_index];
   ++record.deferrals;
   ++deferral_events_;
-  if (record.task.spec.has_sla()) GS_TCOUNT(sla_deferred[record.task.spec.sla_tier]);
+  if (record.task.spec.has_sla()) {
+    GS_TCOUNT(sla_deferred[record.task.spec.sla_tier]);
+  }
   telemetry::Telemetry::instant("task.deferred", "sla", hierarchy_.sim().now().value(),
                                 record.task.id.value(), name_);
   // One live wake-up per record: a deferral issued while a wake-up is

@@ -1,0 +1,272 @@
+#include "diet/failure_detector.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "diet/sed.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace greensched::diet {
+
+using common::ConfigError;
+
+void EstimationBudget::validate() const {
+  if (!std::isfinite(deadline_seconds) || deadline_seconds < 0.0)
+    throw ConfigError("EstimationBudget: deadline must be finite and >= 0");
+  if (!std::isfinite(hedge_budget_seconds) || hedge_budget_seconds < 0.0)
+    throw ConfigError("EstimationBudget: hedge budget must be finite and >= 0");
+  if (hedge && deadline_seconds <= 0.0)
+    throw ConfigError("EstimationBudget: hedging needs a deadline > 0 to hedge against");
+}
+
+void FailureDetectorConfig::validate() const {
+  if (!std::isfinite(ewma_alpha) || ewma_alpha <= 0.0 || ewma_alpha > 1.0)
+    throw ConfigError("FailureDetector: ewma_alpha must be in (0, 1]");
+  if (!std::isfinite(suspicion_threshold) || suspicion_threshold <= 0.0)
+    throw ConfigError("FailureDetector: suspicion_threshold must be > 0");
+  if (miss_streak_open == 0)
+    throw ConfigError("FailureDetector: miss_streak_open must be >= 1");
+  if (!std::isfinite(quarantine_seconds) || quarantine_seconds <= 0.0)
+    throw ConfigError("FailureDetector: quarantine_seconds must be > 0");
+}
+
+FailureDetector::FailureDetector(EstimationBudget budget, FailureDetectorConfig config)
+    : budget_(budget), config_(config) {
+  budget_.validate();
+  config_.validate();
+}
+
+void FailureDetector::track(Sed& sed) {
+  index_.emplace(&sed, slots_.size());
+  Slot slot;
+  slot.sed = &sed;
+  slots_.push_back(slot);
+}
+
+FailureDetector::Slot* FailureDetector::find(const Sed& sed) {
+  const auto it = index_.find(&sed);
+  return it == index_.end() ? nullptr : &slots_[it->second];
+}
+
+const FailureDetector::Slot* FailureDetector::find(const Sed& sed) const {
+  const auto it = index_.find(&sed);
+  return it == index_.end() ? nullptr : &slots_[it->second];
+}
+
+void FailureDetector::open(Slot& slot, double now) {
+  slot.state = BreakerState::kOpen;
+  slot.open_until = now + config_.quarantine_seconds;
+  ++slot.opens;
+  GS_TCOUNT(breaker_quarantines);
+}
+
+FailureDetector::Verdict FailureDetector::admit(const Sed& sed, double now) {
+  Slot* slot = find(sed);
+  if (slot == nullptr) return Verdict::kAdmit;  // untracked: never quarantined
+  switch (slot->state) {
+    case BreakerState::kClosed:
+      return Verdict::kAdmit;
+    case BreakerState::kHalfOpen:
+      // A probe is already in flight this election round; one probe at a
+      // time keeps the decision attributable.
+      return Verdict::kSkip;
+    case BreakerState::kOpen:
+      if (now < slot->open_until) return Verdict::kSkip;
+      // Cooldown expired: this estimation *is* the probe.
+      slot->state = BreakerState::kHalfOpen;
+      ++slot->half_opens;
+      ++slot->probes;
+      GS_TCOUNT(breaker_probes);
+      return Verdict::kProbe;
+  }
+  return Verdict::kAdmit;
+}
+
+void FailureDetector::record(const Sed& sed, double latency, bool miss, double now) {
+  Slot* slot = find(sed);
+  if (slot == nullptr) return;
+  slot->ewma_latency = slot->ewma_seeded
+                           ? config_.ewma_alpha * latency +
+                                 (1.0 - config_.ewma_alpha) * slot->ewma_latency
+                           : latency;
+  slot->ewma_seeded = true;
+
+  if (slot->state == BreakerState::kHalfOpen) {
+    if (miss) {
+      open(*slot, now);  // slow probe: straight back to quarantine
+    } else {
+      slot->state = BreakerState::kClosed;
+      slot->miss_streak = 0;
+      ++slot->closes;
+    }
+    return;
+  }
+
+  // Closed path.  (An open slot is never record()ed: admit() said kSkip.)
+  if (miss) {
+    ++slot->miss_streak;
+  } else {
+    slot->miss_streak = 0;
+  }
+  const bool suspicious =
+      budget_.excludes() &&
+      slot->ewma_latency / budget_.deadline_seconds >= config_.suspicion_threshold;
+  if (slot->state == BreakerState::kClosed &&
+      (suspicious || slot->miss_streak >= config_.miss_streak_open)) {
+    open(*slot, now);
+  }
+}
+
+bool FailureDetector::is_open(const Sed& sed, double now) const {
+  const Slot* slot = find(sed);
+  return slot != nullptr && slot->state == BreakerState::kOpen && now < slot->open_until;
+}
+
+std::size_t FailureDetector::quarantined_cores(double now) const {
+  std::size_t cores = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.state == BreakerState::kOpen && now < slot.open_until) {
+      cores += slot.sed->node().spec().cores;
+    }
+  }
+  return cores;
+}
+
+std::size_t FailureDetector::quarantined_count(double now) const {
+  std::size_t count = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.state == BreakerState::kOpen && now < slot.open_until) ++count;
+  }
+  return count;
+}
+
+std::uint64_t FailureDetector::opens() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.opens;
+  return total;
+}
+
+std::uint64_t FailureDetector::half_opens() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.half_opens;
+  return total;
+}
+
+std::uint64_t FailureDetector::closes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.closes;
+  return total;
+}
+
+std::uint64_t FailureDetector::probes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.probes;
+  return total;
+}
+
+void CollectOutcome::merge(const CollectOutcome& other) noexcept {
+  if (other.max_wait_seconds > max_wait_seconds) max_wait_seconds = other.max_wait_seconds;
+  deadline_misses += other.deadline_misses;
+  hedges += other.hedges;
+  hedge_rescues += other.hedge_rescues;
+  quarantined_skips += other.quarantined_skips;
+  probes += other.probes;
+}
+
+bool CollectGate::admit(Sed& sed) {
+  const double now = sed.sim_now().value();
+  if (detector_ != nullptr) {
+    const FailureDetector::Verdict verdict = detector_->admit(sed, now);
+    if (verdict == FailureDetector::Verdict::kSkip) {
+      ++outcome_.quarantined_skips;
+      GS_TCOUNT(quarantined_skips);
+      return false;
+    }
+    if (verdict == FailureDetector::Verdict::kProbe) ++outcome_.probes;
+  }
+
+  const double latency = sed.estimation_latency();
+  GS_TOBSERVE(estimation_latency, latency);
+
+  // Observer mode: include everyone, but report the wait truthfully — a
+  // no-deadline election really does sit on its slowest straggler.
+  if (!budget_->excludes()) {
+    if (latency > outcome_.max_wait_seconds) outcome_.max_wait_seconds = latency;
+    return true;
+  }
+
+  const bool miss = latency > budget_->deadline_seconds;
+  double wait = latency;
+  bool include = true;
+  if (miss) {
+    ++outcome_.deadline_misses;
+    GS_TCOUNT(estimation_deadline_misses);
+    include = false;
+    wait = budget_->deadline_seconds;  // waited out the budget, gave up
+    if (budget_->hedge) {
+      ++outcome_.hedges;
+      GS_TCOUNT(estimation_hedges);
+      const double remainder = latency - budget_->deadline_seconds;
+      if (remainder <= budget_->hedge_budget()) {
+        // The hedged re-request came back inside its tighter budget.
+        include = true;
+        ++outcome_.hedge_rescues;
+        GS_TCOUNT(estimation_hedge_rescues);
+        wait = latency;
+      } else {
+        wait = budget_->deadline_seconds + budget_->hedge_budget();
+      }
+    }
+  }
+  if (detector_ != nullptr) {
+    detector_->record(sed, latency, miss, now);
+    // The record itself can open the breaker — EWMA suspicion on an
+    // in-budget answer, or a hedge rescue that completed the miss
+    // streak.  Quarantine takes effect immediately: invariant 7 ("a
+    // quarantined SED is never elected") is structural, so a candidate
+    // whose breaker just opened never reaches the election.
+    if (include && detector_->is_open(sed, now)) {
+      include = false;
+      ++outcome_.quarantined_skips;
+      GS_TCOUNT(quarantined_skips);
+    }
+  }
+  if (wait > outcome_.max_wait_seconds) outcome_.max_wait_seconds = wait;
+  return include;
+}
+
+const double LatencyBuckets::kBounds[LatencyBuckets::kBuckets] = {
+    0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000,
+    std::numeric_limits<double>::infinity()};
+
+void LatencyBuckets::observe(double seconds) noexcept {
+  std::size_t bucket = 0;
+  while (bucket + 1 < kBuckets && seconds > kBounds[bucket]) ++bucket;
+  ++counts_[bucket];
+  ++total_;
+}
+
+double LatencyBuckets::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    const std::uint64_t next = cumulative + counts_[bucket];
+    if (static_cast<double>(next) >= target && counts_[bucket] > 0) {
+      // Prometheus-style linear interpolation inside the bucket.
+      const double lower = bucket == 0 ? 0.0 : kBounds[bucket - 1];
+      const double upper = kBounds[bucket];
+      if (!std::isfinite(upper)) return lower;
+      const double within =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(counts_[bucket]);
+      return lower + (upper - lower) * within;
+    }
+    cumulative = next;
+  }
+  return kBounds[kBuckets - 2];
+}
+
+}  // namespace greensched::diet

@@ -1,0 +1,196 @@
+// Gray-failure tolerance for the estimation/collect phase.
+//
+// A crashed SED is easy: it answers nothing and the DIET tree routes
+// around it.  A *slow* SED — overloaded, half-failed, thermally
+// throttled — is the failure mode that dominates real deployments: it
+// answers eventually, so a naive broadcast/collect election waits on the
+// straggler every single round.  Three cooperating pieces close the gap:
+//
+//  * EstimationBudget — a per-election deadline.  A SED whose injected
+//    estimation latency exceeds the budget is excluded from that
+//    election and the election proceeds on the partial candidate set.
+//    An optional hedged re-request retries the straggler once with a
+//    tighter budget before giving up.
+//  * FailureDetector — a per-SED EWMA of estimation latency plus miss
+//    streaks feeding a circuit breaker (closed -> open -> half-open):
+//    a suspect SED is quarantined for a cooldown, then re-admitted as a
+//    single probe; a clean probe closes the breaker, a slow one reopens
+//    it.  Quarantined capacity is surfaced to the provisioner so
+//    strategies size against *usable* nodes.
+//  * CollectGate — the per-election view stitched into Agent
+//    collect_into / ServingEngine::run_shard.  One gate (and outcome)
+//    per shard; outcomes merge with sums and maxes, which are
+//    order-independent, so the elected sequence stays bit-identical at
+//    any shard count.
+//
+// Determinism note: latency is simulated metadata (diet::Sed
+// estimation_latency()) — consulting it never advances sim time, touches
+// estimation content or draws from an RNG, so fixed seed + scenario =>
+// the same elections with the gate on, at shards {1,2,4,8}, hedged or
+// not.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace greensched::diet {
+
+class Sed;
+
+/// Estimation deadline + hedging knobs for one MasterAgent.
+///
+/// deadline_seconds == 0 is *observer mode*: every SED participates and
+/// the gate only records latencies (so a no-deadline run still reports a
+/// truthful p99 election wait); > 0 excludes stragglers.
+struct EstimationBudget {
+  double deadline_seconds = 0.0;
+  /// Retry a straggler once with a tighter budget before giving up.
+  bool hedge = false;
+  /// Extra wait granted to a hedged re-request (0 = deadline / 2).
+  double hedge_budget_seconds = 0.0;
+
+  /// True when stragglers are actually excluded (observer mode is not).
+  [[nodiscard]] bool excludes() const noexcept { return deadline_seconds > 0.0; }
+  [[nodiscard]] double hedge_budget() const noexcept {
+    return hedge_budget_seconds > 0.0 ? hedge_budget_seconds : deadline_seconds * 0.5;
+  }
+  /// Throws common::ConfigError on non-finite or negative values.
+  void validate() const;
+};
+
+struct FailureDetectorConfig {
+  /// EWMA smoothing for the per-SED latency estimate.
+  double ewma_alpha = 0.2;
+  /// Open the breaker when ewma_latency / deadline reaches this ratio.
+  double suspicion_threshold = 1.0;
+  /// ... or after this many consecutive deadline misses.
+  std::uint32_t miss_streak_open = 3;
+  /// Quarantine cooldown before a half-open probe is allowed.
+  double quarantine_seconds = 60.0;
+
+  void validate() const;
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+/// Per-SED circuit breaker bank.  Slots are pre-built (one per SED, in
+/// hierarchy attach order) so the collect phase never mutates the map;
+/// each SED belongs to exactly one serving shard, so its slot is only
+/// ever touched from one thread per election.  Aggregate transition
+/// counters are summed over slots on read — no cross-thread counter.
+class FailureDetector {
+ public:
+  FailureDetector(EstimationBudget budget, FailureDetectorConfig config);
+
+  /// Registers a SED (call once per SED before the first election).
+  void track(Sed& sed);
+  [[nodiscard]] std::size_t tracked() const noexcept { return slots_.size(); }
+
+  /// Election-time verdict for one SED.
+  enum class Verdict : std::uint8_t {
+    kAdmit,  ///< closed breaker: participate normally
+    kProbe,  ///< half-open: participate as the cooldown probe
+    kSkip,   ///< open breaker: quarantined, do not ask
+  };
+  /// Consults (and lazily advances) the breaker; kSkip means the SED is
+  /// quarantined for this election.
+  [[nodiscard]] Verdict admit(const Sed& sed, double now);
+  /// Records the measured latency of an admitted estimation.  `miss` is
+  /// the raw deadline verdict — a hedge rescue saves the *candidate*,
+  /// not the SED's reputation.
+  void record(const Sed& sed, double latency, bool miss, double now);
+
+  /// True while the SED's breaker is open (cooldown not yet expired).
+  [[nodiscard]] bool is_open(const Sed& sed, double now) const;
+  /// Cores currently quarantined (open breakers), for provisioner status.
+  [[nodiscard]] std::size_t quarantined_cores(double now) const;
+  [[nodiscard]] std::size_t quarantined_count(double now) const;
+
+  // Transition totals, summed over slots (oracle invariants ride on the
+  // relations between them: half_opens <= opens, closes <= half_opens).
+  [[nodiscard]] std::uint64_t opens() const noexcept;       ///< closed/half-open -> open
+  [[nodiscard]] std::uint64_t half_opens() const noexcept;  ///< open -> half-open
+  [[nodiscard]] std::uint64_t closes() const noexcept;      ///< half-open -> closed
+  [[nodiscard]] std::uint64_t probes() const noexcept;      ///< probe admissions
+
+ private:
+  struct Slot {
+    Sed* sed = nullptr;
+    BreakerState state = BreakerState::kClosed;
+    double ewma_latency = 0.0;
+    bool ewma_seeded = false;
+    std::uint32_t miss_streak = 0;
+    double open_until = 0.0;
+    std::uint64_t opens = 0;
+    std::uint64_t half_opens = 0;
+    std::uint64_t closes = 0;
+    std::uint64_t probes = 0;
+  };
+
+  [[nodiscard]] Slot* find(const Sed& sed);
+  [[nodiscard]] const Slot* find(const Sed& sed) const;
+  void open(Slot& slot, double now);
+
+  EstimationBudget budget_;
+  FailureDetectorConfig config_;
+  std::vector<Slot> slots_;
+  std::unordered_map<const Sed*, std::size_t> index_;  ///< read-only after track()
+};
+
+/// Per-election gate outcome; sums and maxes only, so merging shard
+/// outcomes in any order gives the same totals.
+struct CollectOutcome {
+  /// Longest simulated wait this election spent on any one estimation
+  /// (capped at deadline + hedge budget when stragglers are cut).
+  double max_wait_seconds = 0.0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_rescues = 0;
+  std::uint64_t quarantined_skips = 0;
+  std::uint64_t probes = 0;
+
+  void reset() noexcept { *this = CollectOutcome{}; }
+  void merge(const CollectOutcome& other) noexcept;
+};
+
+/// The hook Agent::collect_into / ServingEngine::run_shard call per SED.
+/// Holds no per-SED state of its own: budget and detector are shared,
+/// the outcome is per-gate (per-shard) and merged after the latch.
+class CollectGate {
+ public:
+  CollectGate(const EstimationBudget* budget, FailureDetector* detector) noexcept
+      : budget_(budget), detector_(detector) {}
+
+  /// Returns true when `sed` participates in this election.  Updates the
+  /// outcome counters, the latency histogram and the failure detector.
+  bool admit(Sed& sed);
+
+  [[nodiscard]] CollectOutcome& outcome() noexcept { return outcome_; }
+  [[nodiscard]] const CollectOutcome& outcome() const noexcept { return outcome_; }
+
+ private:
+  const EstimationBudget* budget_;
+  FailureDetector* detector_;  ///< null in observer mode
+  CollectOutcome outcome_;
+};
+
+/// Fixed log-spaced latency buckets for the p99 election wait reported
+/// in PlacementResult — per-run state (unlike the telemetry histogram,
+/// which is process-wide), so sweep cells never bleed into each other.
+class LatencyBuckets {
+ public:
+  void observe(double seconds) noexcept;
+  /// Interpolated quantile in [0, 1]; 0 when nothing was observed.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] std::uint64_t samples() const noexcept { return total_; }
+
+ private:
+  static constexpr std::size_t kBuckets = 14;
+  /// Upper bounds: 0.01 .. 300 s log-spaced, then +inf.
+  static const double kBounds[kBuckets];
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace greensched::diet

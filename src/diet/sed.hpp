@@ -133,6 +133,29 @@ class Sed {
   /// node transitions to FAILED.  Returns the number of tasks killed.
   std::size_t inject_failure();
 
+  // --- gray failures: slow, not dead ---
+  /// Marks this SED as permanently limping: every estimation response
+  /// carries `latency` extra simulated seconds (chaos limp process).
+  void set_limp_latency(double latency) noexcept { limp_latency_ = latency; }
+  [[nodiscard]] double limp_latency() const noexcept { return limp_latency_; }
+  /// Freezes estimation responses until simulated time `until` (chaos
+  /// stall process).  Overlapping stalls max-merge; a stall never ends
+  /// earlier because a shorter one arrived.
+  void stall_until(common::Seconds until) noexcept {
+    if (until.value() > stall_until_) stall_until_ = until.value();
+  }
+  /// How long an estimation issued *now* would take to come back, in
+  /// simulated seconds: remaining stall plus the permanent limp.  This is
+  /// metadata the collect gate compares against its deadline — it never
+  /// touches estimation content, node integrators or the RNG stream, so
+  /// the determinism contract is structural.
+  [[nodiscard]] double estimation_latency() const noexcept {
+    const double stall = stall_until_ - sim_.now().value();
+    return (stall > 0.0 ? stall : 0.0) + limp_latency_;
+  }
+  /// Simulated now, for callers (the collect gate) that hold no simulator.
+  [[nodiscard]] common::Seconds sim_now() const noexcept { return sim_.now(); }
+
   // --- learned figures ---
   /// Dynamic power estimate (energy over past computations / active
   /// time); nullopt while the server has not computed anything yet — the
@@ -177,6 +200,8 @@ class Sed {
   };
   std::vector<RunningTask> running_;
   std::vector<TaskRecord> history_;
+  double limp_latency_ = 0.0;  ///< permanent per-estimation latency (gray chaos)
+  double stall_until_ = 0.0;   ///< estimation responses frozen until this sim time
   common::RunningStats per_core_rate_;  ///< FLOP/s samples from completions
   std::uint64_t estimations_served_ = 0;
 

@@ -74,7 +74,15 @@ void ServingEngine::ensure_ready() {
     Shard& shard = *shards_[s];
     shard.worker = std::thread([this, &shard] {
       while (auto request = shard.inbox.receive()) {
-        run_shard(shard, *shard.plugin, **request);
+        // A throwing plug-in clone (or any collect-path failure) must not
+        // std::terminate the process from a worker: park the exception
+        // for the election thread and still count down, so the latch
+        // never deadlocks on a failed shard.
+        try {
+          run_shard(shard, *shard.plugin, **request);
+        } catch (...) {
+          shard.failure = std::current_exception();
+        }
         done_.count_down();
       }
     });
@@ -83,13 +91,32 @@ void ServingEngine::ensure_ready() {
   started_ = true;
 }
 
+void ServingEngine::sync_gates() {
+  // Rebuild the per-shard gates when the master's gate was (re)configured
+  // since the last round; a pointer compare per election otherwise.
+  FailureDetector* detector = master_.detector_.get();
+  const bool want = master_.gate_enabled_;
+  if (want == gates_built_ && gated_detector_ == detector) return;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->gate =
+        want ? std::make_unique<CollectGate>(&master_.budget_, detector) : nullptr;
+  }
+  gates_built_ = want;
+  gated_detector_ = detector;
+}
+
 void ServingEngine::run_shard(Shard& shard, const PluginScheduler& plugin,
                               const Request& request) {
+  CollectGate* gate = shard.gate.get();
   for (std::size_t index : shard.units) {
     Unit& unit = units_[index];
     if (unit.sed != nullptr) {
       if (!unit.sed->offers(request.task.spec.service)) {
         unit.out.clear();
+        continue;
+      }
+      if (gate != nullptr && !gate->admit(*unit.sed)) {
+        unit.out.clear();  // gated out: absent from the merge, like serial
         continue;
       }
       if (unit.out.empty()) unit.out.emplace_back();
@@ -102,13 +129,14 @@ void ServingEngine::run_shard(Shard& shard, const PluginScheduler& plugin,
       // The child agent's whole subtree (its SEDs' state, RNGs and
       // estimation caches, its own request counter) belongs to this
       // shard alone, so the recursive serial collect is reusable as is.
-      unit.agent->collect_into(request, plugin, shard.arena, 1, unit.out);
+      unit.agent->collect_into(request, plugin, shard.arena, 1, unit.out, gate);
     }
   }
 }
 
 void ServingEngine::collect_ranked(const Request& request, std::vector<Candidate>& out) {
   ensure_ready();
+  sync_gates();
   // Mirror the master level of Agent::collect_into: propagate span +
   // request accounting here, aggregate span + counter after the merge.
   telemetry::TraceSpan span("agent.propagate", "lifecycle", request.id.value(),
@@ -116,12 +144,31 @@ void ServingEngine::collect_ranked(const Request& request, std::vector<Candidate
   ++master_.requests_handled_;
   GS_TCOUNT(serving_sharded_collects);
 
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->gate) shard->gate->outcome().reset();
+    shard->failure = nullptr;
+  }
   done_.reset(shards_.size() - 1);
   for (std::size_t s = 1; s < shards_.size(); ++s) {
     shards_[s]->inbox.post(&request);
   }
   run_shard(*shards_[0], *master_.plugin(), request);
   done_.wait();
+
+  // Rethrow a worker failure on the election thread (after the latch, so
+  // every shard is quiescent and the engine stays reusable).
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->failure) std::rethrow_exception(shard->failure);
+  }
+
+  // Merge per-shard gate outcomes into the master's per-election view.
+  // Sums and maxes only, so the merge order cannot matter.
+  if (master_.gate_enabled_) {
+    master_.last_outcome_.reset();
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (shard->gate) master_.last_outcome_.merge(shard->gate->outcome());
+    }
+  }
 
   // Deterministic merge: units in attach order, recycling `out` slots and
   // their estimation storage exactly like the serial hoist loop.

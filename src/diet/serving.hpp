@@ -22,6 +22,7 @@
 // sequence, the same contract PR 1/5/6 pinned for sweeps and caching.
 #pragma once
 
+#include <exception>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -66,11 +67,25 @@ class ServingEngine {
     DispatchArena arena;
     common::Mailbox<const Request*> inbox;
     std::thread worker;  ///< unset for shard 0 (runs on the election thread)
+    /// Per-shard gray-failure gate, built against the master's budget +
+    /// detector when the gate is enabled.  Each SED belongs to exactly
+    /// one shard, so the shared detector's per-SED slots are only ever
+    /// touched from this shard's thread during a round; outcomes merge
+    /// after the latch (sums and maxes — order-independent).
+    std::unique_ptr<CollectGate> gate;
+    /// A worker that threw mid-collect parks the exception here; the
+    /// election thread rethrows after the latch instead of letting the
+    /// worker std::terminate the process.  Cleared at round start by the
+    /// poster; only the owning worker writes it between post and latch.
+    std::exception_ptr failure;
   };
 
   /// Snapshots units from the master's children and (re)builds plug-in
   /// clones; rebuilds when the topology or installed plug-in changed.
   void ensure_ready();
+  /// (Re)builds per-shard collect gates when the master's estimation
+  /// budget was (re)configured since the last round.
+  void sync_gates();
   void stop_workers() noexcept;
   /// Collects every unit of `shard` for `request`, in unit order.
   void run_shard(Shard& shard, const PluginScheduler& plugin, const Request& request);
@@ -82,6 +97,8 @@ class ServingEngine {
   common::CountdownLatch done_;
   const PluginScheduler* cloned_from_ = nullptr;  ///< plug-in the clones mirror
   bool started_ = false;
+  bool gates_built_ = false;
+  const FailureDetector* gated_detector_ = nullptr;  ///< detector the gates point at
 };
 
 }  // namespace greensched::diet

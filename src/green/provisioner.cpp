@@ -120,9 +120,16 @@ PlatformStatus Provisioner::read_status(SimTime at) {
     total += node.spec().cores;
   }
   status.temperature = hottest;
-  status.utilization = total == 0 ? 0.0 : static_cast<double>(busy) / static_cast<double>(total);
   status.busy_cores = busy;
   status.total_cores = total;
+  // Quarantined cores are powered but unelectable: utilization over the
+  // *usable* pool, so capacity trackers do not over-count.  With no open
+  // breakers this is exactly busy / total, the pre-gray formula.
+  status.quarantined_cores = master_.quarantined_cores(at.value());
+  const std::size_t usable =
+      status.quarantined_cores < total ? total - status.quarantined_cores : 0;
+  status.utilization =
+      usable == 0 ? 0.0 : static_cast<double>(busy) / static_cast<double>(usable);
   return status;
 }
 

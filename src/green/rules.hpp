@@ -25,11 +25,19 @@ namespace greensched::green {
 struct PlatformStatus {
   double electricity_cost = 1.0;  ///< normalized to [0, 1]
   double temperature = 20.0;      ///< hottest node, degC
-  double utilization = 0.0;       ///< busy cores / total cores
+  double utilization = 0.0;       ///< busy cores / usable cores
   /// Absolute core counts behind `utilization` — the demand signal the
   /// capacity-tracking strategies (delayed-off et al.) act on.
   std::size_t busy_cores = 0;
   std::size_t total_cores = 0;
+  /// Cores behind the master's open circuit breakers (gray-failure
+  /// quarantine): powered on, but the middleware will not elect them.
+  /// Strategies sizing against capacity must treat these as unavailable,
+  /// or every capacity tracker over-counts; `utilization` is therefore
+  /// computed over (total - quarantined) cores.  0 when no failure
+  /// detector is configured — statuses are then bit-identical to the
+  /// pre-gray era.
+  std::size_t quarantined_cores = 0;
 };
 
 struct Rule {

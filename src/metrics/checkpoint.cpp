@@ -19,10 +19,11 @@ using durable::ByteWriter;
 
 namespace {
 
-// v2: the cell record format gained the SLA outcome fields and the
-// fingerprint digests the SLA knobs — v1 manifests are a different
-// experiment by construction and must not be resumed into.
-constexpr std::string_view kFingerprintTag = "greensched-sweep-fingerprint-v2:";
+// v3: the cell record format gained the gray-failure outcome fields and
+// the fingerprint digests the estimation deadline/hedge knobs (the gray
+// scenario keys flow in through chaos.to_string()) — older manifests are
+// a different experiment by construction and must not be resumed into.
+constexpr std::string_view kFingerprintTag = "greensched-sweep-fingerprint-v3:";
 
 }  // namespace
 
@@ -53,7 +54,8 @@ std::string grid_fingerprint(const std::vector<SweepPoint>& points,
        << c.retry.backoff_multiplier << ',' << c.retry.max_backoff_seconds << ','
        << c.retry.jitter_fraction << ',' << c.retry.deadline_seconds
        << ";prov=" << c.provisioner << ',' << c.provisioner_check_seconds
-       << ";sla=" << c.sla_workload << '|' << c.sla_policy << ";clusters=";
+       << ";sla=" << c.sla_workload << '|' << c.sla_policy
+       << ";gray=" << c.estimation_deadline_seconds << ',' << c.hedge << ";clusters=";
     for (const ClusterSetup& setup : c.clusters) {
       os << '[' << setup.name << ',' << setup.spec.model << ',' << setup.spec.cores << ','
          << setup.spec.flops_per_core.value() << ',' << setup.spec.idle_watts.value() << ','
@@ -121,6 +123,20 @@ std::string encode_placement_result(const PlacementResult& r) {
     w.u64(row.rejected);
     w.u64(row.violated);
   }
+  // Gray-failure outcome (appended in PR 9; covered by the v3 tag).
+  w.u64(r.stalls);
+  w.u64(r.flaps);
+  w.u64(r.limping_seds);
+  w.u64(r.deadline_misses);
+  w.u64(r.hedges);
+  w.u64(r.hedge_rescues);
+  w.u64(r.quarantined_skips);
+  w.u64(r.probe_elections);
+  w.u64(r.elected_while_quarantined);
+  w.u64(r.breaker_opens);
+  w.u64(r.breaker_half_opens);
+  w.u64(r.breaker_closes);
+  w.f64(r.p99_election_wait_seconds);
   return w.take();
 }
 
@@ -193,6 +209,19 @@ PlacementResult decode_placement_result(std::string_view payload) {
     row.violated = static_cast<std::size_t>(reader.u64());
     r.per_tier.push_back(row);
   }
+  r.stalls = reader.u64();
+  r.flaps = reader.u64();
+  r.limping_seds = reader.u64();
+  r.deadline_misses = reader.u64();
+  r.hedges = reader.u64();
+  r.hedge_rescues = reader.u64();
+  r.quarantined_skips = reader.u64();
+  r.probe_elections = reader.u64();
+  r.elected_while_quarantined = reader.u64();
+  r.breaker_opens = reader.u64();
+  r.breaker_half_opens = reader.u64();
+  r.breaker_closes = reader.u64();
+  r.p99_election_wait_seconds = reader.f64();
   reader.expect_end();
   return r;
 }

@@ -57,6 +57,13 @@ xmlite::Document config_to_xml(const PlacementConfig& config) {
   if (!config.sla_workload.empty()) root.set_attribute("sla_workload", config.sla_workload);
   if (!config.sla_policy.empty()) root.set_attribute("sla_policy", config.sla_policy);
   if (config.shards > 1) root.set_attribute("shards", static_cast<long long>(config.shards));
+  // The chaos scenario round-trips through its own key=value spec — the
+  // same string the CLI's --scenario takes, so files and flags agree.
+  if (config.chaos.enabled()) root.set_attribute("chaos", config.chaos.to_string());
+  if (config.estimation_deadline_seconds > 0.0) {
+    root.set_attribute("estimation_deadline", config.estimation_deadline_seconds);
+  }
+  if (config.hedge) root.set_attribute("hedge", "1");
 
   for (const auto& setup : config.clusters) {
     Element& cluster = root.add_child("cluster");
@@ -133,6 +140,16 @@ PlacementConfig config_from_xml(const Document& doc) {
       throw ConfigError("experiment file: unknown sla_policy '" + config.sla_policy + "'");
     }
   }
+  if (auto chaos = root.attribute("chaos")) {
+    config.chaos = chaos::ChaosScenario::parse(*chaos);  // validates, names bad keys
+  }
+  if (root.has_attribute("estimation_deadline")) {
+    config.estimation_deadline_seconds = finite_attribute(root, "estimation_deadline");
+    if (config.estimation_deadline_seconds < 0.0) {
+      throw ConfigError("experiment file: estimation_deadline must be non-negative");
+    }
+  }
+  config.hedge = root.has_attribute("hedge") && root.attribute_as_int("hedge") != 0;
 
   config.clusters.clear();
   for (const Element* cluster : root.find_children("cluster")) {

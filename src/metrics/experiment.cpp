@@ -168,6 +168,18 @@ PlacementResult run_placement(const PlacementConfig& config) {
   // determinism contract makes shards > 1 bit-identical to serial.
   ma.configure_serving({config.shards});
 
+  // The gray-failure collect gate: active with an explicit deadline, or
+  // in observer mode (deadline 0, nobody excluded) whenever the scenario
+  // injects gray processes — so no-deadline runs still report truthful
+  // election waits for the ablation baseline.  Pure metadata either way;
+  // the elected sequence only changes when a deadline actually excludes.
+  if (config.estimation_deadline_seconds > 0.0 || config.chaos.gray_enabled()) {
+    diet::EstimationBudget budget;
+    budget.deadline_seconds = config.estimation_deadline_seconds;
+    budget.hedge = config.hedge;
+    ma.configure_estimation_budget(budget);
+  }
+
   // The injector is built *after* every other consumer of the run's RNG,
   // and only when the scenario is live, so an inert scenario leaves the
   // whole draw sequence — and therefore the run — untouched.
@@ -307,6 +319,23 @@ PlacementResult run_placement(const PlacementConfig& config) {
     result.repairs = injector->repairs();
     result.cluster_outages = injector->cluster_outages();
     result.boot_failures = injector->boot_failures();
+    result.stalls = injector->stalls();
+    result.flaps = injector->flaps();
+    result.limping_seds = injector->limping_seds();
+  }
+  if (ma.estimation_gate_enabled()) {
+    result.deadline_misses = ma.deadline_misses();
+    result.hedges = ma.hedges();
+    result.hedge_rescues = ma.hedge_rescues();
+    result.quarantined_skips = ma.quarantined_skips();
+    result.probe_elections = ma.probe_elections();
+    result.elected_while_quarantined = ma.elected_while_quarantined();
+    result.p99_election_wait_seconds = ma.p99_election_wait_seconds();
+    if (const diet::FailureDetector* fd = ma.failure_detector()) {
+      result.breaker_opens = fd->opens();
+      result.breaker_half_opens = fd->half_opens();
+      result.breaker_closes = fd->closes();
+    }
   }
 
   double makespan = 0.0;

@@ -92,6 +92,15 @@ struct PlacementConfig {
   /// over worker threads.  The determinism contract makes the result
   /// bit-identical at any value, which the twin-sim property suite pins.
   std::size_t shards = 1;
+  /// Estimation deadline for the collect gate (seconds of *simulated*
+  /// estimation latency a SED may take before it is excluded from the
+  /// election).  0 = no deadline; the gate still runs in observer mode
+  /// whenever the chaos scenario has gray-failure processes, so
+  /// no-deadline runs report truthful election waits.
+  double estimation_deadline_seconds = 0.0;
+  /// Hedge stragglers once with a tighter budget (deadline / 2) before
+  /// giving up on them.  Requires a deadline > 0.
+  bool hedge = false;
 };
 
 struct ClusterEnergyRow {
@@ -158,6 +167,26 @@ struct PlacementResult {
     std::size_t violated = 0;
   };
   std::vector<SlaTierRow> per_tier;
+
+  // --- gray-failure outcome (all zero without gray processes / deadline) ---
+  std::uint64_t stalls = 0;        ///< transient estimation stalls injected
+  std::uint64_t flaps = 0;         ///< flap-induced crashes injected
+  std::uint64_t limping_seds = 0;  ///< SEDs with permanent added latency
+  /// Elections where at least one SED blew the estimation deadline.
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t hedges = 0;         ///< hedged re-requests issued
+  std::uint64_t hedge_rescues = 0;  ///< hedges that recovered the candidate
+  std::uint64_t quarantined_skips = 0;  ///< SEDs skipped on an open breaker
+  std::uint64_t probe_elections = 0;    ///< half-open probe admissions
+  /// Oracle invariant 7: must stay 0 — a quarantined SED never wins.
+  std::uint64_t elected_while_quarantined = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  /// p99 of the per-election worst estimation wait (seconds).  Observer
+  /// mode (no deadline) records the full straggler wait, which is the
+  /// honest baseline the hedged/deadline ablation compares against.
+  double p99_election_wait_seconds = 0.0;
 };
 
 /// Runs one placement experiment to completion (deterministic in `seed`).

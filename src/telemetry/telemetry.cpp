@@ -41,6 +41,15 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
   b.chaos_cluster_outages = registry.counter("chaos.cluster_outages");
   b.chaos_boot_failures = registry.counter("chaos.boot_failures");
   b.chaos_stale_notifications = registry.counter("chaos.stale_notifications");
+  b.chaos_stalls = registry.counter("chaos.stalls");
+  b.chaos_flaps = registry.counter("chaos.flaps");
+  b.chaos_limping_seds = registry.counter("chaos.limping_seds");
+  b.estimation_deadline_misses = registry.counter("diet.estimation_deadline_misses");
+  b.estimation_hedges = registry.counter("diet.estimation_hedges");
+  b.estimation_hedge_rescues = registry.counter("diet.estimation_hedge_rescues");
+  b.breaker_quarantines = registry.counter("diet.breaker_quarantines");
+  b.breaker_probes = registry.counter("diet.breaker_probes");
+  b.quarantined_skips = registry.counter("diet.quarantined_skips");
   b.provisioner_ticks = registry.counter("green.provisioner_ticks");
   b.provisioner_degraded = registry.counter("green.provisioner_degraded");
   b.provisioner_cap_clamped = registry.counter("green.provisioner_cap_clamped");
@@ -80,6 +89,10 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
   b.election_wall_seconds = registry.histogram(
       "diet.election_wall_seconds",
       {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1});
+  // Simulated seconds, log-spaced: a healthy SED answers at 0, a stalled
+  // or limping one in tens of seconds.
+  b.estimation_latency = registry.histogram(
+      "diet.estimation_latency", {0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100, 300});
   return b;
 }
 

@@ -57,6 +57,16 @@ struct BuiltinMetrics {
   CounterId chaos_cluster_outages;
   CounterId chaos_boot_failures;
   CounterId chaos_stale_notifications;
+  // gray failures: slow-not-dead processes + the collect gate (chaos/diet)
+  CounterId chaos_stalls;        ///< estimation stalls injected
+  CounterId chaos_flaps;         ///< crash-and-auto-recover cycles started
+  CounterId chaos_limping_seds;  ///< SEDs marked permanently slow at start
+  CounterId estimation_deadline_misses;  ///< estimations slower than the budget
+  CounterId estimation_hedges;           ///< hedged re-requests issued
+  CounterId estimation_hedge_rescues;    ///< hedges that made the candidate set
+  CounterId breaker_quarantines;  ///< circuit-breaker open transitions
+  CounterId breaker_probes;       ///< half-open probe elections
+  CounterId quarantined_skips;    ///< estimations skipped on an open breaker
   // provisioner autonomic loop (green)
   CounterId provisioner_ticks;
   CounterId provisioner_degraded;  ///< checks with healthy pool below target
@@ -91,6 +101,9 @@ struct BuiltinMetrics {
   /// election, one per submit_batch round.  bench_macro_throughput reads
   /// its p50/p99 off the snapshot.
   HistogramId election_wall_seconds;
+  /// Simulated seconds an estimation response took (gray stall + limp
+  /// latency); one sample per gated estimation attempt.
+  HistogramId estimation_latency;
 };
 
 struct TelemetryConfig {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 #include "cluster/catalog.hpp"
 #include "common/error.hpp"
 #include "diet/client.hpp"
@@ -167,6 +170,90 @@ TEST(ChaosInjector, OutageDownsAClusterAndRestoresIt) {
   for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
     EXPECT_EQ(f.platform.node(i).state(), cluster::NodeState::kOn) << "node " << i;
   }
+}
+
+TEST(ChaosInjector, LimpFractionMarksSedsAtStart) {
+  Fixture f(8);
+  ChaosInjector injector(*f.hierarchy,
+                         ChaosScenario::parse("limp_fraction=0.5,limp_latency=30,horizon=100"));
+  injector.start();
+  EXPECT_GT(injector.limping_seds(), 0u);
+  EXPECT_LT(injector.limping_seds(), 8u);  // a fraction, not everyone
+  std::size_t limping = 0;
+  for (diet::Sed* sed : f.hierarchy->master().child_seds()) {
+    if (sed->limp_latency() > 0.0) {
+      EXPECT_DOUBLE_EQ(sed->limp_latency(), 30.0);
+      EXPECT_DOUBLE_EQ(sed->estimation_latency(), 30.0);
+      ++limping;
+    }
+  }
+  EXPECT_EQ(limping, injector.limping_seds());
+}
+
+TEST(ChaosInjector, StallsRaiseEstimationLatencyTransiently) {
+  Fixture f(4);
+  ChaosInjector injector(*f.hierarchy,
+                         ChaosScenario::parse("stall_mtbf=100,stall=50,horizon=1000"));
+  injector.start();
+  bool saw_stall = false;
+  // Sample latency as the stall events land: a stalled SED reports a
+  // positive latency that decays with sim time, and is purely metadata
+  // (the node never leaves ON).
+  for (double t = 10.0; t <= 990.0; t += 10.0) {
+    f.sim.schedule_at(des::SimTime(t), [&] {
+      for (diet::Sed* sed : f.hierarchy->master().child_seds()) {
+        if (sed->estimation_latency() > 0.0) saw_stall = true;
+      }
+    });
+  }
+  f.sim.run();
+  EXPECT_GT(injector.stalls(), 0u);
+  EXPECT_TRUE(saw_stall);
+  EXPECT_EQ(injector.crashes(), 0u);  // stalls are gray, not crashes
+  for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
+    EXPECT_EQ(f.platform.node(i).state(), cluster::NodeState::kOn) << "node " << i;
+  }
+  // A stall armed near the horizon can outlive it; advance sim time past
+  // the longest remaining stall and the latency must decay to zero.
+  double remaining = 0.0;
+  for (diet::Sed* sed : f.hierarchy->master().child_seds()) {
+    remaining = std::max(remaining, sed->estimation_latency());
+  }
+  f.sim.schedule_at(f.sim.now() + Seconds(remaining + 1.0), [] {});
+  f.sim.run();
+  for (diet::Sed* sed : f.hierarchy->master().child_seds()) {
+    EXPECT_DOUBLE_EQ(sed->estimation_latency(), 0.0);
+  }
+}
+
+TEST(ChaosInjector, FlapsCrashAndAlwaysRecover) {
+  Fixture f(4);
+  ChaosInjector injector(*f.hierarchy,
+                         ChaosScenario::parse("flap_mtbf=200,flap_down=30,horizon=2000"));
+  injector.start();
+  f.sim.run();
+  EXPECT_GT(injector.flaps(), 0u);
+  EXPECT_EQ(injector.crashes(), injector.flaps());  // every flap is a kill
+  EXPECT_EQ(injector.repairs(), injector.flaps());  // ...that always comes back
+  for (std::size_t i = 0; i < f.platform.node_count(); ++i) {
+    EXPECT_EQ(f.platform.node(i).state(), cluster::NodeState::kOn) << "node " << i;
+  }
+}
+
+TEST(ChaosInjector, GrayStormIsSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    Fixture f(6, seed);
+    ChaosInjector injector(
+        *f.hierarchy,
+        ChaosScenario::parse("storm,mtbf=300,horizon=1500,stall_mtbf=200,stall=25,"
+                             "flap_mtbf=400,flap_down=40,limp_fraction=0.3,limp_latency=20"));
+    injector.start();
+    f.sim.run();
+    return std::tuple{injector.crashes(), injector.stalls(),       injector.flaps(),
+                      injector.limping_seds(), injector.repairs(), f.sim.now().value()};
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(std::get<5>(run(11)), std::get<5>(run(12)));
 }
 
 TEST(ChaosInjector, StormUnderClientLoadSettlesAndStaysOracleClean) {

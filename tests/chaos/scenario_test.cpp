@@ -69,6 +69,61 @@ TEST(ChaosScenario, ToStringRoundTrips) {
   EXPECT_EQ(again.to_string(), storm.to_string());
 }
 
+TEST(ChaosScenario, GrayKeysParseAndEnable) {
+  const ChaosScenario s = ChaosScenario::parse(
+      "stall_mtbf=600,stall=20,flap_mtbf=900,flap_down=45,"
+      "limp_fraction=0.25,limp_latency=15,horizon=1000");
+  EXPECT_TRUE(s.enabled());
+  EXPECT_TRUE(s.gray_enabled());
+  EXPECT_DOUBLE_EQ(s.stall_mtbf_seconds, 600.0);
+  EXPECT_DOUBLE_EQ(s.stall_seconds, 20.0);
+  EXPECT_DOUBLE_EQ(s.flap_mtbf_seconds, 900.0);
+  EXPECT_DOUBLE_EQ(s.flap_down_seconds, 45.0);
+  EXPECT_DOUBLE_EQ(s.limp_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(s.limp_latency_seconds, 15.0);
+  // Gray processes alone enable the injector: no crash MTBF needed.
+  EXPECT_DOUBLE_EQ(s.mtbf_seconds, 0.0);
+
+  // And they round-trip through to_string like every other key.
+  const ChaosScenario again = ChaosScenario::parse(s.to_string());
+  EXPECT_EQ(again.to_string(), s.to_string());
+  EXPECT_DOUBLE_EQ(again.limp_fraction, s.limp_fraction);
+}
+
+TEST(ChaosScenario, GrayKeysAreNotGrayByDefault) {
+  EXPECT_FALSE(ChaosScenario::parse("storm").gray_enabled());
+  EXPECT_FALSE(ChaosScenario::parse("calm").gray_enabled());
+}
+
+TEST(ChaosScenario, GrayValidation) {
+  EXPECT_THROW((void)ChaosScenario::parse("stall_mtbf=-1,horizon=100"), common::ConfigError);
+  EXPECT_THROW((void)ChaosScenario::parse("stall_mtbf=100,stall=0,horizon=100"),
+               common::ConfigError);
+  EXPECT_THROW((void)ChaosScenario::parse("flap_mtbf=100,flap_down=0,horizon=100"),
+               common::ConfigError);
+  EXPECT_THROW((void)ChaosScenario::parse("limp_fraction=1.5,horizon=100"),
+               common::ConfigError);
+  EXPECT_THROW((void)ChaosScenario::parse("limp_fraction=0.5,limp_latency=0,horizon=100"),
+               common::ConfigError);
+  // Gray scenarios need a horizon like every other live scenario.
+  EXPECT_THROW((void)ChaosScenario::parse("stall_mtbf=100"), common::ConfigError);
+}
+
+TEST(ChaosScenario, UnknownKeyErrorListsValidKeys) {
+  try {
+    (void)ChaosScenario::parse("storm,bogus=1");
+    FAIL() << "expected ConfigError";
+  } catch (const common::ConfigError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("bogus"), std::string::npos) << message;
+    EXPECT_NE(message.find("valid keys"), std::string::npos) << message;
+    // Spot-check that old and new keys both appear in the listing.
+    EXPECT_NE(message.find("mtbf"), std::string::npos) << message;
+    EXPECT_NE(message.find("stall_mtbf"), std::string::npos) << message;
+    EXPECT_NE(message.find("limp_fraction"), std::string::npos) << message;
+  }
+}
+
 TEST(ChaosScenario, RejectsUnknownKeyAndPreset) {
   EXPECT_THROW((void)ChaosScenario::parse("storm,bogus=1"), common::ConfigError);
   EXPECT_THROW((void)ChaosScenario::parse("hurricane"), common::ConfigError);

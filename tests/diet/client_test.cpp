@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "cluster/catalog.hpp"
 #include "cluster/platform.hpp"
 #include "common/error.hpp"
+#include "diet/failure_detector.hpp"
 #include "green/policies.hpp"
+#include "support/oracle.hpp"
 
 namespace greensched::diet {
 namespace {
@@ -150,6 +155,98 @@ TEST(SaturatingClient, RequiresCapacityCallback) {
   EXPECT_THROW(SaturatingClient(*f.hierarchy, workload::paper_cpu_bound_task(), nullptr,
                                 des::SimDuration(1.0)),
                common::ConfigError);
+}
+
+TEST(RetryPolicy, BackoffJitterStaysWithinBounds) {
+  RetryPolicy policy;
+  policy.backoff_retries = true;
+  policy.max_attempts = 100;
+  policy.base_backoff_seconds = 5.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 300.0;
+  policy.jitter_fraction = 0.2;
+  policy.validate();
+  common::Rng rng(7);
+  double previous_nominal = 0.0;
+  for (std::size_t attempts = 1; attempts <= 12; ++attempts) {
+    const double nominal =
+        std::min(5.0 * std::pow(2.0, static_cast<double>(attempts - 1)), 300.0);
+    // The pre-jitter schedule is monotone in the attempt counter.
+    EXPECT_GE(nominal, previous_nominal);
+    previous_nominal = nominal;
+    for (int sample = 0; sample < 64; ++sample) {
+      const double delay = policy.backoff_after(attempts, rng);
+      EXPECT_GE(delay, nominal * (1.0 - policy.jitter_fraction) - 1e-9) << attempts;
+      EXPECT_LE(delay, nominal * (1.0 + policy.jitter_fraction) + 1e-9) << attempts;
+      // The cap bounds every delay, jitter included.
+      EXPECT_LE(delay, policy.max_backoff_seconds * (1.0 + policy.jitter_fraction) + 1e-9);
+    }
+  }
+}
+
+TEST(RetryPolicy, ZeroJitterBackoffIsExactAndCapped) {
+  RetryPolicy policy;
+  policy.backoff_retries = true;
+  policy.max_attempts = 100;
+  policy.base_backoff_seconds = 2.0;
+  policy.backoff_multiplier = 3.0;
+  policy.max_backoff_seconds = 50.0;
+  policy.jitter_fraction = 0.0;
+  policy.validate();
+  common::Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.backoff_after(1, rng), 2.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_after(2, rng), 6.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_after(3, rng), 18.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_after(4, rng), 50.0);   // hit the cap
+  EXPECT_DOUBLE_EQ(policy.backoff_after(20, rng), 50.0);  // and stay there
+}
+
+TEST(Client, BackoffRetriesRideOutAQuarantinedThenProbedSed) {
+  // The platform's only SED stalls at t=0 and recovers at t=40.  With an
+  // estimation deadline the breaker quarantines it; queued tasks defer
+  // behind backoff retries until a probe election finds it healthy again.
+  Fixture f(/*taurus_nodes=*/1);
+  MasterAgent& ma = f.hierarchy->master();
+  EstimationBudget budget;
+  budget.deadline_seconds = 1.0;
+  FailureDetectorConfig detector;
+  detector.miss_streak_open = 1;     // quarantine on the first miss
+  detector.quarantine_seconds = 5.0;  // probe often: the stall outlives cooldowns
+  ma.configure_estimation_budget(budget, detector);
+  ma.child_seds()[0]->stall_until(Seconds(40.0));
+
+  RetryPolicy retry = RetryPolicy::hardened();
+  retry.jitter_fraction = 0.0;  // deterministic timeline for the assertions below
+  Client client(*f.hierarchy, "client", retry);
+  client.submit_workload(f.make_tasks(3));
+  f.sim.run();
+
+  // Every deferred task eventually landed: nothing lost, nothing pending.
+  EXPECT_EQ(client.completed(), 3u);
+  EXPECT_EQ(client.lost(), 0u);
+  EXPECT_EQ(client.pending(), 0u);
+  // The wake-ups were real retries, not first-shot placements.
+  for (const auto& record : client.records()) {
+    EXPECT_GT(record.placement_attempts, 1u) << record.task.id.value();
+  }
+
+  const FailureDetector* fd = ma.failure_detector();
+  ASSERT_NE(fd, nullptr);
+  // The breaker opened on the stall, probed through it (slow probes
+  // reopen), and closed once the stall expired.  The EWMA tail can trip
+  // the suspicion check for a few rounds after recovery (reopen, probe,
+  // re-close), so closes is >= 1 rather than exactly 1.
+  EXPECT_GT(fd->opens(), 0u);
+  EXPECT_GT(fd->half_opens(), 0u);
+  EXPECT_GE(fd->closes(), 1u);
+  EXPECT_LE(fd->closes(), fd->opens());
+  EXPECT_EQ(fd->quarantined_count(f.sim.now().value()), 0u);  // healthy again
+  EXPECT_EQ(ma.elected_while_quarantined(), 0u);
+
+  testsupport::SimulationOracle oracle;
+  oracle.check_settled(client);
+  oracle.check_breaker(ma);
+  EXPECT_TRUE(oracle.clean()) << oracle.report();
 }
 
 TEST(Client, PastSubmissionRejected) {

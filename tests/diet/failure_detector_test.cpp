@@ -1,0 +1,265 @@
+#include "diet/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cluster/catalog.hpp"
+#include "common/error.hpp"
+#include "diet/sed.hpp"
+
+namespace greensched::diet {
+namespace {
+
+struct Fixture {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Node node{common::NodeId(0), "taurus-0", cluster::MachineCatalog::taurus(),
+                     common::ClusterId(3)};
+  Sed sed{sim, node, {"cpu-bound"}, rng};
+
+  static EstimationBudget budget(double deadline, bool hedge = false) {
+    EstimationBudget b;
+    b.deadline_seconds = deadline;
+    b.hedge = hedge;
+    return b;
+  }
+};
+
+TEST(EstimationBudget, Validation) {
+  EXPECT_NO_THROW(Fixture::budget(0.0).validate());  // observer mode is legal
+  EXPECT_NO_THROW(Fixture::budget(1.0, true).validate());
+  EXPECT_THROW(Fixture::budget(-1.0).validate(), common::ConfigError);
+  EXPECT_THROW(Fixture::budget(0.0, true).validate(), common::ConfigError);
+  EstimationBudget nan_budget;
+  nan_budget.deadline_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(nan_budget.validate(), common::ConfigError);
+}
+
+TEST(EstimationBudget, HedgeBudgetDefaultsToHalfTheDeadline) {
+  EstimationBudget b = Fixture::budget(10.0, true);
+  EXPECT_DOUBLE_EQ(b.hedge_budget(), 5.0);
+  b.hedge_budget_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(b.hedge_budget(), 2.0);
+}
+
+TEST(FailureDetectorConfig, Validation) {
+  FailureDetectorConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.ewma_alpha = 0.0;
+  EXPECT_THROW(config.validate(), common::ConfigError);
+  config.ewma_alpha = 0.2;
+  config.miss_streak_open = 0;
+  EXPECT_THROW(config.validate(), common::ConfigError);
+  config.miss_streak_open = 3;
+  config.quarantine_seconds = 0.0;
+  EXPECT_THROW(config.validate(), common::ConfigError);
+}
+
+TEST(FailureDetector, MissStreakOpensTheBreaker) {
+  Fixture f;
+  FailureDetectorConfig config;
+  config.miss_streak_open = 3;
+  config.suspicion_threshold = 1e9;  // keep the EWMA path out of this test
+  FailureDetector fd(Fixture::budget(1.0), config);
+  fd.track(f.sed);
+
+  // Two misses: still closed.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(fd.admit(f.sed, 0.0), FailureDetector::Verdict::kAdmit);
+    fd.record(f.sed, 5.0, /*miss=*/true, 0.0);
+  }
+  EXPECT_FALSE(fd.is_open(f.sed, 0.0));
+  // Third miss trips it.
+  fd.record(f.sed, 5.0, true, 0.0);
+  EXPECT_TRUE(fd.is_open(f.sed, 0.0));
+  EXPECT_EQ(fd.admit(f.sed, 1.0), FailureDetector::Verdict::kSkip);
+  EXPECT_EQ(fd.opens(), 1u);
+  EXPECT_EQ(fd.quarantined_count(1.0), 1u);
+  EXPECT_EQ(fd.quarantined_cores(1.0), f.node.spec().cores);
+}
+
+TEST(FailureDetector, AHitResetsTheMissStreak) {
+  Fixture f;
+  FailureDetectorConfig config;
+  config.miss_streak_open = 2;
+  config.suspicion_threshold = 1e9;
+  config.ewma_alpha = 1.0;  // EWMA = last sample, so hits wipe history
+  FailureDetector fd(Fixture::budget(1.0), config);
+  fd.track(f.sed);
+  fd.record(f.sed, 5.0, true, 0.0);
+  fd.record(f.sed, 0.1, false, 0.0);  // streak back to zero
+  fd.record(f.sed, 5.0, true, 0.0);
+  EXPECT_FALSE(fd.is_open(f.sed, 0.0));
+}
+
+TEST(FailureDetector, EwmaSuspicionOpensWithoutAFullStreak) {
+  Fixture f;
+  FailureDetectorConfig config;
+  config.miss_streak_open = 100;  // streak path out of the way
+  config.suspicion_threshold = 2.0;
+  config.ewma_alpha = 1.0;  // EWMA tracks the last sample exactly
+  FailureDetector fd(Fixture::budget(1.0), config);
+  fd.track(f.sed);
+  fd.record(f.sed, 1.5, true, 0.0);  // 1.5x deadline: below threshold
+  EXPECT_FALSE(fd.is_open(f.sed, 0.0));
+  fd.record(f.sed, 2.5, true, 0.0);  // 2.5x deadline: suspicious
+  EXPECT_TRUE(fd.is_open(f.sed, 0.0));
+}
+
+TEST(FailureDetector, ProbeAfterCooldownClosesOnCleanEstimation) {
+  Fixture f;
+  FailureDetectorConfig config;
+  config.miss_streak_open = 1;
+  config.suspicion_threshold = 1e9;
+  config.quarantine_seconds = 60.0;
+  FailureDetector fd(Fixture::budget(1.0), config);
+  fd.track(f.sed);
+  fd.record(f.sed, 5.0, true, 0.0);  // open at t=0, until t=60
+  EXPECT_EQ(fd.admit(f.sed, 59.0), FailureDetector::Verdict::kSkip);
+  // Cooldown expired: the admission is the probe, one at a time.
+  EXPECT_EQ(fd.admit(f.sed, 61.0), FailureDetector::Verdict::kProbe);
+  EXPECT_EQ(fd.admit(f.sed, 61.0), FailureDetector::Verdict::kSkip);
+  fd.record(f.sed, 0.1, false, 61.0);  // clean probe: closed again
+  EXPECT_EQ(fd.admit(f.sed, 62.0), FailureDetector::Verdict::kAdmit);
+  EXPECT_EQ(fd.opens(), 1u);
+  EXPECT_EQ(fd.half_opens(), 1u);
+  EXPECT_EQ(fd.closes(), 1u);
+  EXPECT_EQ(fd.probes(), fd.half_opens());
+}
+
+TEST(FailureDetector, SlowProbeReopensTheBreaker) {
+  Fixture f;
+  FailureDetectorConfig config;
+  config.miss_streak_open = 1;
+  config.suspicion_threshold = 1e9;
+  config.quarantine_seconds = 60.0;
+  FailureDetector fd(Fixture::budget(1.0), config);
+  fd.track(f.sed);
+  fd.record(f.sed, 5.0, true, 0.0);
+  EXPECT_EQ(fd.admit(f.sed, 61.0), FailureDetector::Verdict::kProbe);
+  fd.record(f.sed, 5.0, true, 61.0);  // probe still slow: straight back to open
+  EXPECT_TRUE(fd.is_open(f.sed, 62.0));
+  EXPECT_EQ(fd.admit(f.sed, 62.0), FailureDetector::Verdict::kSkip);
+  EXPECT_EQ(fd.opens(), 2u);
+  EXPECT_EQ(fd.closes(), 0u);
+  // The open/half-open/close counters always describe a legal machine.
+  EXPECT_LE(fd.half_opens(), fd.opens());
+  EXPECT_LE(fd.closes(), fd.half_opens());
+}
+
+TEST(FailureDetector, UntrackedSedIsAlwaysAdmitted) {
+  Fixture f;
+  FailureDetector fd(Fixture::budget(1.0), {});
+  EXPECT_EQ(fd.admit(f.sed, 0.0), FailureDetector::Verdict::kAdmit);
+  fd.record(f.sed, 100.0, true, 0.0);  // silently ignored
+  EXPECT_FALSE(fd.is_open(f.sed, 0.0));
+}
+
+TEST(CollectGate, ObserverModeIncludesEveryoneButRecordsTheWait) {
+  Fixture f;
+  f.sed.set_limp_latency(30.0);
+  const EstimationBudget budget = Fixture::budget(0.0);  // observer
+  CollectGate gate(&budget, nullptr);
+  EXPECT_TRUE(gate.admit(f.sed));
+  EXPECT_DOUBLE_EQ(gate.outcome().max_wait_seconds, 30.0);
+  EXPECT_EQ(gate.outcome().deadline_misses, 0u);
+}
+
+TEST(CollectGate, DeadlineExcludesStragglersAndCapsTheWait) {
+  Fixture f;
+  f.sed.set_limp_latency(30.0);
+  const EstimationBudget budget = Fixture::budget(1.0);
+  CollectGate gate(&budget, nullptr);
+  EXPECT_FALSE(gate.admit(f.sed));
+  EXPECT_EQ(gate.outcome().deadline_misses, 1u);
+  // The election waited out the budget, not the straggler.
+  EXPECT_DOUBLE_EQ(gate.outcome().max_wait_seconds, 1.0);
+}
+
+TEST(CollectGate, HedgeRescuesANearMiss) {
+  Fixture f;
+  f.sed.set_limp_latency(1.4);  // deadline 1, hedge budget 0.5 -> remainder 0.4
+  const EstimationBudget budget = Fixture::budget(1.0, true);
+  CollectGate gate(&budget, nullptr);
+  EXPECT_TRUE(gate.admit(f.sed));
+  EXPECT_EQ(gate.outcome().deadline_misses, 1u);
+  EXPECT_EQ(gate.outcome().hedges, 1u);
+  EXPECT_EQ(gate.outcome().hedge_rescues, 1u);
+  EXPECT_DOUBLE_EQ(gate.outcome().max_wait_seconds, 1.4);  // rescue pays the full wait
+}
+
+TEST(CollectGate, HedgeGivesUpOnAFarMiss) {
+  Fixture f;
+  f.sed.set_limp_latency(30.0);
+  const EstimationBudget budget = Fixture::budget(1.0, true);
+  CollectGate gate(&budget, nullptr);
+  EXPECT_FALSE(gate.admit(f.sed));
+  EXPECT_EQ(gate.outcome().hedges, 1u);
+  EXPECT_EQ(gate.outcome().hedge_rescues, 0u);
+  // Deadline + hedge budget, still far below the straggler's 30 s.
+  EXPECT_DOUBLE_EQ(gate.outcome().max_wait_seconds, 1.5);
+}
+
+TEST(CollectGate, QuarantinedSedIsSkippedWithoutTouchingItsReputation) {
+  Fixture f;
+  FailureDetectorConfig config;
+  config.miss_streak_open = 1;
+  config.suspicion_threshold = 1e9;
+  const EstimationBudget budget = Fixture::budget(1.0);
+  FailureDetector fd(budget, config);
+  fd.track(f.sed);
+  f.sed.set_limp_latency(30.0);
+  CollectGate gate(&budget, &fd);
+  EXPECT_FALSE(gate.admit(f.sed));  // miss -> breaker opens
+  EXPECT_TRUE(fd.is_open(f.sed, 0.0));
+  EXPECT_FALSE(gate.admit(f.sed));  // now skipped on the open breaker
+  EXPECT_EQ(gate.outcome().quarantined_skips, 1u);
+  EXPECT_EQ(gate.outcome().deadline_misses, 1u);  // the skip is not a miss
+}
+
+TEST(CollectOutcome, MergeSumsCountersAndTakesTheMaxWait) {
+  CollectOutcome a;
+  a.max_wait_seconds = 2.0;
+  a.deadline_misses = 3;
+  a.hedges = 2;
+  CollectOutcome b;
+  b.max_wait_seconds = 5.0;
+  b.deadline_misses = 1;
+  b.hedge_rescues = 1;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.max_wait_seconds, 5.0);
+  EXPECT_EQ(a.deadline_misses, 4u);
+  EXPECT_EQ(a.hedges, 2u);
+  EXPECT_EQ(a.hedge_rescues, 1u);
+}
+
+TEST(LatencyBuckets, QuantilesInterpolateAndStayMonotone) {
+  LatencyBuckets buckets;
+  EXPECT_DOUBLE_EQ(buckets.quantile(0.99), 0.0);  // empty: no wait at all
+  for (int i = 0; i < 99; ++i) buckets.observe(0.02);
+  buckets.observe(200.0);
+  EXPECT_EQ(buckets.samples(), 100u);
+  const double p50 = buckets.quantile(0.5);
+  const double p99 = buckets.quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 0.03);  // inside the bucket the mass landed in
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(buckets.quantile(1.0), 100.0);  // the straggler's bucket
+}
+
+TEST(SedLatencyModel, StallsMaxMergeAndDecayWithSimTime) {
+  Fixture f;
+  f.sed.stall_until(common::Seconds(10.0));
+  f.sed.stall_until(common::Seconds(5.0));  // shorter stall never shrinks the first
+  EXPECT_DOUBLE_EQ(f.sed.estimation_latency(), 10.0);
+  f.sed.set_limp_latency(2.0);
+  EXPECT_DOUBLE_EQ(f.sed.estimation_latency(), 12.0);
+  // Advance sim time past the stall: only the limp remains.
+  f.sim.schedule_at(des::SimTime(20.0), [] {});
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(f.sed.estimation_latency(), 2.0);
+}
+
+}  // namespace
+}  // namespace greensched::diet

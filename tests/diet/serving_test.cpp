@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "cluster/catalog.hpp"
@@ -302,6 +303,94 @@ TEST(ServingEngine, NonCloneablePluginRejectedAtShards) {
   // Reconfiguring back to serial recovers.
   ma.configure_serving({1});
   EXPECT_NO_THROW((void)ma.submit_fast(f.make_request()));
+}
+
+namespace {
+/// A plug-in whose *shard clones* throw mid-collect: the serial path is
+/// healthy, but any worker shard using a clone explodes on its first
+/// estimate.  Regression shape for the worker exception contract — a
+/// throwing clone must surface on the election thread as an exception,
+/// never std::terminate the process from the worker.
+class ThrowingClonePolicy final : public PluginScheduler {
+ public:
+  explicit ThrowingClonePolicy(bool is_clone = false) : is_clone_(is_clone) {}
+  [[nodiscard]] std::string name() const override { return "throwing-clone"; }
+  void estimate(EstimationVector& estimation, const Request& request) const override {
+    (void)estimation;
+    (void)request;
+    if (is_clone_) throw common::StateError("clone exploded mid-collect");
+  }
+  void aggregate(std::vector<Candidate>& candidates, const Request& request) const override {
+    (void)request;
+    (void)candidates;  // keep arrival order
+  }
+  [[nodiscard]] std::unique_ptr<PluginScheduler> clone_for_shard() const override {
+    return std::make_unique<ThrowingClonePolicy>(true);
+  }
+
+ private:
+  bool is_clone_;
+};
+}  // namespace
+
+TEST(ServingEngine, WorkerExceptionRethrownOnElectionThread) {
+  Fixture f;
+  MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+  ThrowingClonePolicy policy;
+  ma.set_plugin(&policy);
+
+  // Serial serving never touches a clone: fine.
+  EXPECT_NO_THROW((void)ma.submit_fast(f.make_request()));
+
+  // Sharded serving runs the clones on workers; the failure must arrive
+  // here as the original exception, after every shard passed the latch.
+  ma.configure_serving({4});
+  EXPECT_THROW((void)ma.submit_fast(f.make_request()), common::StateError);
+  // The engine stays reusable: the same election fails the same way
+  // (workers alive, latch not wedged), and a healthy plug-in recovers.
+  EXPECT_THROW((void)ma.submit_fast(f.make_request()), common::StateError);
+  const auto healthy = green::make_policy("POWER");
+  ma.set_plugin(healthy.get());
+  EXPECT_NE(elected_name(ma.submit_fast(f.make_request())), "-");
+}
+
+TEST(ServingEngine, EstimationGateMatchesSerialAcrossShards) {
+  // Two limping SEDs under a 1 s deadline: they miss once, the EWMA
+  // opens their breakers on the spot, and every later election skips
+  // them as quarantined — identically at any shard count.
+  const auto run = [](std::size_t shards) {
+    Fixture f;
+    MasterAgent& ma = f.hierarchy->build_flat(f.platform, {"cpu-bound"});
+    const auto policy = green::make_policy("GREENPERF");
+    ma.set_plugin(policy.get());
+    ma.configure_serving({shards});
+    EstimationBudget budget;
+    budget.deadline_seconds = 1.0;
+    ma.configure_estimation_budget(budget);
+    ma.child_seds()[0]->set_limp_latency(30.0);
+    ma.child_seds()[2]->set_limp_latency(30.0);
+    std::vector<std::string> elected;
+    for (int i = 0; i < 20; ++i) {
+      const Request request = f.make_request();
+      const SchedulingDecision& decision = ma.submit_fast(request);
+      elected.push_back(elected_name(decision));
+      if (decision.elected != nullptr) {
+        (void)decision.elected->execute(request.task, request.id, {});
+      }
+    }
+    return std::tuple{elected, ma.deadline_misses(), ma.quarantined_skips()};
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+  // One miss per limping SED, then 19 quarantined elections each.
+  EXPECT_EQ(std::get<1>(serial), 2u);
+  EXPECT_EQ(std::get<2>(serial), 38u);
+  // The limping SEDs never won an election.
+  for (const std::string& name : std::get<0>(serial)) {
+    EXPECT_NE(name, "taurus-0");
+    EXPECT_NE(name, "sagittaire-0");
+  }
 }
 
 TEST(ServingEngine, ReconfigureAndPluginSwapRebuildTheEngine) {

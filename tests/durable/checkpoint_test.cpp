@@ -81,6 +81,18 @@ TEST_F(CheckpointTest, ResultCodecIsBitExact) {
   r.cluster_outages = 1;
   r.boot_failures = 5;
   r.retries = 6;
+  r.stalls = 11;
+  r.flaps = 12;
+  r.limping_seds = 13;
+  r.deadline_misses = 14;
+  r.hedges = 15;
+  r.hedge_rescues = 16;
+  r.quarantined_skips = 17;
+  r.probe_elections = 18;
+  r.breaker_opens = 19;
+  r.breaker_half_opens = 20;
+  r.breaker_closes = 21;
+  r.p99_election_wait_seconds = 1.0 / 7.0;
 
   const PlacementResult d = decode_placement_result(encode_placement_result(r));
   EXPECT_EQ(d.policy, r.policy);
@@ -97,6 +109,19 @@ TEST_F(CheckpointTest, ResultCodecIsBitExact) {
   EXPECT_EQ(d.tasks_per_server[0].second, 7u);
   EXPECT_EQ(d.boot_failures, 5u);
   EXPECT_EQ(d.retries, 6u);
+  EXPECT_EQ(d.stalls, 11u);
+  EXPECT_EQ(d.flaps, 12u);
+  EXPECT_EQ(d.limping_seds, 13u);
+  EXPECT_EQ(d.deadline_misses, 14u);
+  EXPECT_EQ(d.hedges, 15u);
+  EXPECT_EQ(d.hedge_rescues, 16u);
+  EXPECT_EQ(d.quarantined_skips, 17u);
+  EXPECT_EQ(d.probe_elections, 18u);
+  EXPECT_EQ(d.breaker_opens, 19u);
+  EXPECT_EQ(d.breaker_half_opens, 20u);
+  EXPECT_EQ(d.breaker_closes, 21u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(d.p99_election_wait_seconds),
+            std::bit_cast<std::uint64_t>(r.p99_election_wait_seconds));
 }
 
 TEST_F(CheckpointTest, DecodeRejectsTruncatedPayload) {
@@ -119,6 +144,22 @@ TEST_F(CheckpointTest, FingerprintTracksGridKnobs) {
   tweaked.workload.requests_per_core = 0.75;
   std::vector<SweepPoint> changed{{"POWER", tweaked}};
   EXPECT_NE(base, grid_fingerprint(changed, default_seeds(2)));
+
+  // Gray-failure knobs are part of the cell identity too: a stale
+  // manifest from a run without a deadline must not satisfy one with.
+  PlacementConfig gated = small_config();
+  gated.estimation_deadline_seconds = 1.0;
+  std::vector<SweepPoint> with_deadline{{"POWER", gated}};
+  EXPECT_NE(base, grid_fingerprint(with_deadline, default_seeds(2)));
+  PlacementConfig hedged = gated;
+  hedged.hedge = true;
+  std::vector<SweepPoint> with_hedge{{"POWER", hedged}};
+  EXPECT_NE(grid_fingerprint(with_deadline, default_seeds(2)),
+            grid_fingerprint(with_hedge, default_seeds(2)));
+  PlacementConfig gray = small_config();
+  gray.chaos = chaos::ChaosScenario::parse("stall_mtbf=500,horizon=1000");
+  std::vector<SweepPoint> with_gray{{"POWER", gray}};
+  EXPECT_NE(base, grid_fingerprint(with_gray, default_seeds(2)));
 }
 
 TEST_F(CheckpointTest, RecordsAndReplaysCells) {

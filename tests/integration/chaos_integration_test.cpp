@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "chaos/injector.hpp"
+#include "diet/failure_detector.hpp"
 #include "green/policies.hpp"
 #include "metrics/experiment.hpp"
 #include "support/oracle.hpp"
@@ -110,6 +111,128 @@ TEST(ChaosIntegration, StormSweepIsBitIdenticalAcrossJobs) {
   for (std::size_t i = 0; i < a.tasks_per_server.size(); ++i) {
     EXPECT_EQ(a.tasks_per_server[i], b.tasks_per_server[i]);
   }
+}
+
+// --- gray-failure acceptance -----------------------------------------------
+//
+// The same 200-node platform, but the storm now degrades instead of
+// killing: SEDs limp permanently, stall transiently and flap — and the
+// estimation deadline + hedged collection + breaker must ride it out
+// with zero lost tasks and a bounded election wait.
+
+PlacementConfig gray_storm_config(std::size_t shards = 1) {
+  PlacementConfig config;
+  config.clusters = scaled_clusters(kNodes);
+  config.policy = "POWER";
+  config.seed = kSeed;
+  config.task_count_override = kTasks;
+  config.chaos = chaos::ChaosScenario::parse(
+      "storm,stall_mtbf=600,stall=20,flap_mtbf=900,flap_down=45,"
+      "limp_fraction=0.15,limp_latency=30");
+  config.retry = diet::RetryPolicy::hardened();
+  config.estimation_deadline_seconds = 1.0;
+  config.hedge = true;
+  config.shards = shards;
+  return config;
+}
+
+TEST(ChaosIntegration, GrayStormLosesNothingAndBoundsTheElectionWait) {
+  const PlacementResult result = run_placement(gray_storm_config());
+  EXPECT_EQ(result.tasks, kTasks);
+  EXPECT_EQ(result.tasks_completed, kTasks);
+  EXPECT_EQ(result.tasks_lost, 0u);
+  EXPECT_EQ(result.tasks_unfinished, 0u);
+  // The gray processes actually fired.
+  EXPECT_GT(result.stalls, 0u);
+  EXPECT_GT(result.flaps, 0u);
+  EXPECT_GT(result.limping_seds, 0u);
+  // ...and the gate had to work for its living.
+  EXPECT_GT(result.deadline_misses, 0u);
+  EXPECT_GT(result.hedges, 0u);
+  EXPECT_GT(result.quarantined_skips, 0u);
+  EXPECT_GT(result.breaker_opens, 0u);
+  // Invariant 7: a quarantined SED is never elected.
+  EXPECT_EQ(result.elected_while_quarantined, 0u);
+  // Hedge funnel ordering.
+  EXPECT_LE(result.hedge_rescues, result.hedges);
+  EXPECT_LE(result.hedges, result.deadline_misses);
+  // The whole point: no election ever waits longer than deadline + hedge
+  // budget (1.0 + 0.5), limping 30-second stragglers notwithstanding.
+  // The histogram is bucketed (…, 1, 3, 10, 30, …), so the interpolated
+  // p99 can only be pinned to the enclosing bucket's upper bound.
+  EXPECT_LE(result.p99_election_wait_seconds, 3.0 + 1e-9);
+}
+
+TEST(ChaosIntegration, GrayStormIsBitIdenticalAcrossShards) {
+  const PlacementResult serial = run_placement(gray_storm_config(1));
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const PlacementResult sharded = run_placement(gray_storm_config(shards));
+    EXPECT_EQ(serial.makespan.value(), sharded.makespan.value());  // bitwise
+    EXPECT_EQ(serial.energy.value(), sharded.energy.value());
+    EXPECT_EQ(serial.sim_events, sharded.sim_events);
+    EXPECT_EQ(serial.tasks_completed, sharded.tasks_completed);
+    EXPECT_EQ(serial.tasks_lost, sharded.tasks_lost);
+    EXPECT_EQ(serial.crashes, sharded.crashes);
+    EXPECT_EQ(serial.retries, sharded.retries);
+    EXPECT_EQ(serial.stalls, sharded.stalls);
+    EXPECT_EQ(serial.flaps, sharded.flaps);
+    EXPECT_EQ(serial.limping_seds, sharded.limping_seds);
+    EXPECT_EQ(serial.deadline_misses, sharded.deadline_misses);
+    EXPECT_EQ(serial.hedges, sharded.hedges);
+    EXPECT_EQ(serial.hedge_rescues, sharded.hedge_rescues);
+    EXPECT_EQ(serial.quarantined_skips, sharded.quarantined_skips);
+    EXPECT_EQ(serial.probe_elections, sharded.probe_elections);
+    EXPECT_EQ(serial.breaker_opens, sharded.breaker_opens);
+    EXPECT_EQ(serial.breaker_half_opens, sharded.breaker_half_opens);
+    EXPECT_EQ(serial.breaker_closes, sharded.breaker_closes);
+    EXPECT_EQ(serial.p99_election_wait_seconds, sharded.p99_election_wait_seconds);
+    EXPECT_EQ(serial.tasks_per_server, sharded.tasks_per_server);
+  }
+}
+
+TEST(ChaosIntegration, GrayStormIsOracleCleanWithTheBreakerWatched) {
+  des::Simulator sim;
+  common::Rng rng(kSeed);
+  cluster::Platform platform;
+  for (const auto& setup : scaled_clusters(kNodes)) {
+    platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+  }
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+  const auto policy = green::make_policy("POWER");
+  ma.set_plugin(policy.get());
+  diet::EstimationBudget budget;
+  budget.deadline_seconds = 1.0;
+  budget.hedge = true;
+  ma.configure_estimation_budget(budget);
+
+  testsupport::SimulationOracle oracle;
+  oracle.watch(platform);
+
+  workload::WorkloadConfig wconfig;
+  workload::WorkloadGenerator generator(wconfig);
+  workload::BurstThenContinuousArrival arrival(wconfig.burst_size, wconfig.continuous_rate);
+  diet::Client client(hierarchy, "client", diet::RetryPolicy::hardened());
+  client.submit_workload(
+      generator.generate_with(arrival, kTasks, common::Seconds(0.0), rng));
+
+  chaos::ChaosInjector injector(
+      hierarchy, chaos::ChaosScenario::parse(
+                     "storm,stall_mtbf=600,stall=20,flap_mtbf=900,flap_down=45,"
+                     "limp_fraction=0.15,limp_latency=30"));
+  injector.start();
+  sim.run();
+
+  oracle.check_settled(client);
+  oracle.check_transition_counters(platform);
+  oracle.check_energy(platform, sim.now());
+  oracle.check_breaker(ma);
+  EXPECT_TRUE(oracle.clean()) << oracle.report();
+  EXPECT_EQ(client.completed(), kTasks);
+  EXPECT_EQ(client.lost(), 0u);
+  EXPECT_GT(injector.stalls(), 0u);
+  EXPECT_GT(injector.limping_seds(), 0u);
 }
 
 TEST(ChaosIntegration, DisablingRetriesLosesRequestsInTheSameStorm) {

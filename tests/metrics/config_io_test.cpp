@@ -108,6 +108,42 @@ TEST(ConfigIo, SlaSpecsRoundTrip) {
   EXPECT_TRUE(reloaded.sla_policy.empty());
 }
 
+TEST(ConfigIo, ChaosAndGrayFlagsRoundTrip) {
+  PlacementConfig config;
+  config.clusters = table1_clusters();
+  config.chaos = chaos::ChaosScenario::parse(
+      "storm,stall_mtbf=300,stall=15,flap_mtbf=500,flap_down=25,"
+      "limp_fraction=0.2,limp_latency=40");
+  config.estimation_deadline_seconds = 2.5;
+  config.hedge = true;
+  const PlacementConfig loaded = config_from_string(config_to_string(config));
+  EXPECT_EQ(loaded.chaos.to_string(), config.chaos.to_string());
+  EXPECT_TRUE(loaded.chaos.gray_enabled());
+  EXPECT_DOUBLE_EQ(loaded.chaos.stall_mtbf_seconds, 300.0);
+  EXPECT_DOUBLE_EQ(loaded.chaos.limp_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(loaded.estimation_deadline_seconds, 2.5);
+  EXPECT_TRUE(loaded.hedge);
+
+  // A calm config writes none of the gray attributes and loads back inert.
+  PlacementConfig plain;
+  plain.clusters = table1_clusters();
+  const std::string xml = config_to_string(plain);
+  EXPECT_EQ(xml.find("chaos"), std::string::npos);
+  EXPECT_EQ(xml.find("estimation_deadline"), std::string::npos);
+  EXPECT_EQ(xml.find("hedge"), std::string::npos);
+  const PlacementConfig reloaded = config_from_string(xml);
+  EXPECT_FALSE(reloaded.chaos.enabled());
+  EXPECT_DOUBLE_EQ(reloaded.estimation_deadline_seconds, 0.0);
+  EXPECT_FALSE(reloaded.hedge);
+}
+
+TEST(ConfigIo, RejectsNegativeEstimationDeadline) {
+  EXPECT_THROW(
+      config_from_string("<experiment estimation_deadline=\"-1\">"
+                         "<cluster machine=\"taurus\" count=\"1\"/></experiment>"),
+      common::ConfigError);
+}
+
 TEST(ConfigIo, RejectsBadSlaSpecs) {
   EXPECT_THROW(
       config_from_string("<experiment sla_policy=\"no-such-policy\">"

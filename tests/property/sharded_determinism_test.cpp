@@ -6,11 +6,13 @@
 // preset, provisioning strategy and SLA configuration.  Twenty scenarios
 // cover that grid; each compares the *full* PlacementResult (energy
 // bitwise, per-tier SLA counters, admission sequence, Fig. 9 candidate
-// series, per-server task distribution, fault/retry counters).
+// series, per-server task distribution, fault/retry counters, and the
+// gray-failure outcome: deadline misses, hedges, breaker transitions).
 //
 // A second suite pins the same contract at the hierarchy level through
 // the throughput driver: the elected sequence (and its fingerprint) must
-// be identical at any shard count, unbatched and batched.
+// be identical at any shard count, unbatched and batched.  ("Twenty
+// scenarios" grew to twenty-four with the gray-failure grid points.)
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -38,6 +40,8 @@ struct Scenario {
   std::size_t tasks;
   bool per_cluster_tree;
   std::uint64_t seed;
+  double estimation_deadline = 0.0;  // 0 = observer mode under gray chaos
+  bool hedge = false;
 };
 
 const Scenario kScenarios[] = {
@@ -71,6 +75,22 @@ const Scenario kScenarios[] = {
      "sla:gold=0.2,silver=0.3,bronze=0.3", "revenue-rand", 24, 120, true, 19},
     {"calm_prov_sla", "GREENPERF", "calm", "delayed-off:delay=120",
      "sla:gold=0.25,silver=0.25,bronze=0.25", "fifo-admit", 24, 100, true, 20},
+    // Gray failures: stalls, flaps and limping SEDs — in observer mode,
+    // behind a deadline, and with hedged collection (the per-SED breaker
+    // state must be invisible to the shard count in all three).
+    {"gray_observer", "POWER",
+     "stall_mtbf=300,stall=20,limp_fraction=0.3,limp_latency=25,horizon=2000", "", "", "", 24,
+     100, true, 21},
+    {"gray_deadline", "POWER",
+     "stall_mtbf=300,stall=20,flap_mtbf=600,flap_down=40,horizon=2000", "", "", "", 24, 100,
+     true, 22, 1.0},
+    {"gray_hedged", "GREENPERF",
+     "limp_fraction=0.3,limp_latency=25,flap_mtbf=600,flap_down=40,horizon=2000", "", "", "",
+     24, 100, false, 23, 1.0, true},
+    {"gray_storm_sla", "POWER",
+     "storm,horizon=2000,stall_mtbf=300,stall=20,limp_fraction=0.25,limp_latency=30",
+     "reactive-idle", "sla:gold=0.2,silver=0.3,bronze=0.3", "fifo-admit", 24, 120, true, 24,
+     1.0, true},
 };
 
 metrics::PlacementConfig config_for(const Scenario& s, std::size_t shards) {
@@ -86,6 +106,8 @@ metrics::PlacementConfig config_for(const Scenario& s, std::size_t shards) {
   config.provisioner = s.provisioner;
   config.sla_workload = s.sla_workload;
   config.sla_policy = s.sla_policy;
+  config.estimation_deadline_seconds = s.estimation_deadline;
+  config.hedge = s.hedge;
   config.shards = shards;
   return config;
 }
@@ -116,6 +138,21 @@ void expect_identical(const metrics::PlacementResult& serial,
   EXPECT_EQ(serial.crashes, sharded.crashes);
   EXPECT_EQ(serial.repairs, sharded.repairs);
   EXPECT_EQ(serial.retries, sharded.retries);
+  // Gray-failure outcome: injection counts, gate funnel, breaker
+  // transitions and the p99 wait must all be shard-invariant.
+  EXPECT_EQ(serial.stalls, sharded.stalls);
+  EXPECT_EQ(serial.flaps, sharded.flaps);
+  EXPECT_EQ(serial.limping_seds, sharded.limping_seds);
+  EXPECT_EQ(serial.deadline_misses, sharded.deadline_misses);
+  EXPECT_EQ(serial.hedges, sharded.hedges);
+  EXPECT_EQ(serial.hedge_rescues, sharded.hedge_rescues);
+  EXPECT_EQ(serial.quarantined_skips, sharded.quarantined_skips);
+  EXPECT_EQ(serial.probe_elections, sharded.probe_elections);
+  EXPECT_EQ(serial.elected_while_quarantined, sharded.elected_while_quarantined);
+  EXPECT_EQ(serial.breaker_opens, sharded.breaker_opens);
+  EXPECT_EQ(serial.breaker_half_opens, sharded.breaker_half_opens);
+  EXPECT_EQ(serial.breaker_closes, sharded.breaker_closes);
+  EXPECT_EQ(serial.p99_election_wait_seconds, sharded.p99_election_wait_seconds);
   // Provisioning outcome (the Fig. 9 series pins the whole timeline).
   EXPECT_EQ(serial.provisioner_checks, sharded.provisioner_checks);
   EXPECT_EQ(serial.boots_ordered, sharded.boots_ordered);

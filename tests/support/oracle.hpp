@@ -29,6 +29,10 @@
 //      requests are accounted (completed + rejected + lost + queued ==
 //      submitted), terminal states stay mutually exclusive, and revenue
 //      is never credited to a completion that violated its deadline.
+//   7. Breaker legality — a quarantined SED is never elected, the hedge
+//      funnel only narrows (rescues <= hedges <= misses), and breaker
+//      transition counts describe a real state machine (every half-open
+//      came from an open, every close from a half-open).
 #pragma once
 
 #include <algorithm>
@@ -41,6 +45,7 @@
 #include <vector>
 
 #include "cluster/platform.hpp"
+#include "diet/agent.hpp"
 #include "diet/client.hpp"
 #include "green/provisioner.hpp"
 
@@ -229,6 +234,38 @@ class SimulationOracle {
       if (candidate_watts > cap + max_single + 1e-9)
         fail() << "candidate power " << candidate_watts << " W overshoots Algorithm 1 cap "
                << cap << " W by more than one server (" << max_single << " W)";
+    }
+  }
+
+  /// Invariant 7: gray-failure breaker legality on the master agent.
+  /// Holds vacuously when no estimation budget was configured (every
+  /// counter zero), so suites may call it unconditionally.
+  void check_breaker(const diet::MasterAgent& master) {
+    if (master.elected_while_quarantined() != 0)
+      fail() << master.name() << ": " << master.elected_while_quarantined()
+             << " elections chose a SED whose circuit breaker was open";
+    if (master.hedge_rescues() > master.hedges())
+      fail() << master.name() << ": " << master.hedge_rescues() << " hedge rescues but only "
+             << master.hedges() << " hedges issued";
+    if (master.hedges() > master.deadline_misses())
+      fail() << master.name() << ": " << master.hedges() << " hedges but only "
+             << master.deadline_misses() << " deadline misses (hedges fire on misses)";
+    if (const diet::FailureDetector* fd = master.failure_detector()) {
+      if (fd->half_opens() > fd->opens())
+        fail() << master.name() << ": breaker half-opened " << fd->half_opens()
+               << " times but only opened " << fd->opens()
+               << " times (half-open requires a prior open)";
+      if (fd->closes() > fd->half_opens())
+        fail() << master.name() << ": breaker closed " << fd->closes()
+               << " times but only half-opened " << fd->half_opens()
+               << " times (close requires a prior probe)";
+      if (fd->probes() != fd->half_opens())
+        fail() << master.name() << ": " << fd->probes() << " probes but " << fd->half_opens()
+               << " half-open transitions — each probe is exactly one half-open";
+    } else if (master.quarantined_skips() != 0 || master.probe_elections() != 0) {
+      fail() << master.name() << ": quarantine counters nonzero ("
+             << master.quarantined_skips() << " skips, " << master.probe_elections()
+             << " probes) without a failure detector";
     }
   }
 

@@ -90,7 +90,11 @@ int usage() {
                "  chaos            placement under fault injection (--scenario\n"
                "                   none|calm|storm[,key=value,...], --nodes N, --tasks N,\n"
                "                   --policy P, --seed N, --seeds K, --jobs J, --no-retry,\n"
-               "                   --requests-per-core R, --csv FILE, --provisioner S)\n"
+               "                   --requests-per-core R, --csv FILE, --provisioner S);\n"
+               "                   gray-failure keys: stall_mtbf/stall (transient\n"
+               "                   estimation stalls), flap_mtbf/flap_down (flapping\n"
+               "                   nodes), limp_fraction/limp_latency (permanently slow\n"
+               "                   SEDs)\n"
                "  throughput       election throughput of the serving engine (--seds N,\n"
                "                   --requests N, --shards S, --batch B, --policy P,\n"
                "                   --seed N, --elected-out FILE); the elected sequence is\n"
@@ -98,6 +102,14 @@ int usage() {
                "serving (placement, compare, sweep, chaos, throughput):\n"
                "  --shards S          fan candidate collection out over S worker shards\n"
                "                      (1 = serial; results identical either way)\n"
+               "gray-failure tolerance (placement, compare, sweep, chaos):\n"
+               "  --chaos SPEC        chaos scenario for non-chaos commands\n"
+               "                      (same keys as chaos --scenario)\n"
+               "  --estimation-deadline S  exclude SEDs whose estimation latency\n"
+               "                      exceeds S seconds from the election and\n"
+               "                      quarantine repeat offenders (circuit breaker)\n"
+               "  --hedge             retry stragglers once with a tighter budget\n"
+               "                      (deadline / 2) before excluding them\n"
                "provisioning strategies (--provisioner <name[:key=value,...]>):\n"
                "%s"
                "SLA workload profiles (--workload <name[:key=value,...]>, on placement,\n"
@@ -180,6 +192,35 @@ bool apply_serving_flags(const CliArgs& args, metrics::PlacementConfig& config) 
       args.get_int("shards", static_cast<long long>(config.shards)));
   try {
     diet::ServingConfig{config.shards}.validate();
+  } catch (const common::ConfigError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
+/// Parses --chaos/--estimation-deadline/--hedge into `config`.  Validated
+/// eagerly (exit 2, same shape as the other flag helpers): a typo'd
+/// scenario key, a negative deadline or a hedge without a deadline must
+/// not silently run ungated.  (The chaos command spells the scenario
+/// --scenario and parses it itself.)
+bool apply_gray_flags(const CliArgs& args, metrics::PlacementConfig& config) {
+  if (const auto spec = args.get("chaos")) {
+    try {
+      config.chaos = chaos::ChaosScenario::parse(*spec);
+    } catch (const common::ConfigError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return false;
+    }
+  }
+  config.estimation_deadline_seconds =
+      args.get_double("estimation-deadline", config.estimation_deadline_seconds);
+  config.hedge = args.get_bool("hedge", config.hedge);
+  diet::EstimationBudget budget;
+  budget.deadline_seconds = config.estimation_deadline_seconds;
+  budget.hedge = config.hedge;
+  try {
+    budget.validate();
   } catch (const common::ConfigError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return false;
@@ -282,6 +323,7 @@ int cmd_placement(const CliArgs& args) {
   if (!apply_provisioner_flags(args, config)) return usage();
   if (!apply_sla_flags(args, config)) return usage();
   if (!apply_serving_flags(args, config)) return usage();
+  if (!apply_gray_flags(args, config)) return usage();
   if (const auto save_path = args.get("save-config")) {
     std::ofstream out = open_output(*save_path, "experiment file");
     out << metrics::config_to_string(config);
@@ -323,6 +365,7 @@ int cmd_compare(const CliArgs& args) {
   if (!apply_provisioner_flags(args, config)) return usage();
   if (!apply_sla_flags(args, config)) return usage();
   if (!apply_serving_flags(args, config)) return usage();
+  if (!apply_gray_flags(args, config)) return usage();
   const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
 
   const auto replicate = args.get_int("replicate", 0);
@@ -382,6 +425,7 @@ int cmd_sweep(const CliArgs& args) {
   if (!apply_provisioner_flags(args, config)) return usage();
   if (!apply_sla_flags(args, config)) return usage();
   if (!apply_serving_flags(args, config)) return usage();
+  if (!apply_gray_flags(args, config)) return usage();
 
   // --provisioners flips the comparison axis: one grid point per
   // provisioning strategy (all under --policy), not per policy.
@@ -609,6 +653,26 @@ void print_chaos_result(const metrics::PlacementResult& r) {
               static_cast<unsigned long long>(r.boot_failures));
   std::printf("retries      : %llu timed re-dispatches\n",
               static_cast<unsigned long long>(r.retries));
+  if (r.stalls + r.flaps + r.limping_seds > 0) {
+    std::printf("gray faults  : %llu stalls, %llu flaps, %llu limping SEDs\n",
+                static_cast<unsigned long long>(r.stalls),
+                static_cast<unsigned long long>(r.flaps),
+                static_cast<unsigned long long>(r.limping_seds));
+  }
+  if (r.deadline_misses + r.hedges + r.quarantined_skips + r.breaker_opens > 0 ||
+      r.p99_election_wait_seconds > 0.0) {
+    std::printf("estimation   : %llu deadline misses, %llu hedges (%llu rescues), "
+                "p99 election wait %.3f s\n",
+                static_cast<unsigned long long>(r.deadline_misses),
+                static_cast<unsigned long long>(r.hedges),
+                static_cast<unsigned long long>(r.hedge_rescues),
+                r.p99_election_wait_seconds);
+    std::printf("quarantine   : %llu opens, %llu probes, %llu closes, %llu skips\n",
+                static_cast<unsigned long long>(r.breaker_opens),
+                static_cast<unsigned long long>(r.probe_elections),
+                static_cast<unsigned long long>(r.breaker_closes),
+                static_cast<unsigned long long>(r.quarantined_skips));
+  }
   if (!r.sla_policy.empty()) {
     std::printf("sla          : %s — %zu rejected, %llu deferrals, %zu violations, "
                 "%.2f revenue\n",
@@ -640,12 +704,20 @@ int cmd_chaos(const CliArgs& args) {
   config.workload.burst_size = static_cast<std::size_t>(args.get_int("burst", 50));
   config.workload.continuous_rate = args.get_double("rate", 2.0);
   config.task_count_override = static_cast<std::size_t>(args.get_int("tasks", 0));
-  config.chaos = chaos::ChaosScenario::parse(args.get_or("scenario", "storm"));
+  try {
+    config.chaos = chaos::ChaosScenario::parse(args.get_or("scenario", "storm"));
+  } catch (const common::ConfigError& e) {
+    // A typo'd scenario key is a usage error (exit 2), same shape as the
+    // flag helpers — the message lists the valid keys.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  }
   config.retry = args.get_bool("no-retry", false) ? diet::RetryPolicy::none()
                                                   : diet::RetryPolicy::hardened();
   if (!apply_provisioner_flags(args, config)) return usage();
   if (!apply_sla_flags(args, config)) return usage();
   if (!apply_serving_flags(args, config)) return usage();
+  if (!apply_gray_flags(args, config)) return usage();
   std::printf("scenario     : %s%s\n", config.chaos.to_string().c_str(),
               args.get_bool("no-retry", false) ? " (retries disabled)" : "");
 
@@ -674,7 +746,9 @@ int cmd_chaos(const CliArgs& args) {
     common::CsvWriter csv(out);
     csv.row({"seed", "policy", "tasks", "completed", "lost", "unfinished", "crashes",
              "tasks_killed", "repairs", "cluster_outages", "boot_failures", "retries",
-             "makespan_s", "energy_j"});
+             "stalls", "flaps", "limping_seds", "deadline_misses", "hedges",
+             "hedge_rescues", "quarantined_skips", "breaker_opens",
+             "p99_election_wait_s", "makespan_s", "energy_j"});
     for (const auto& r : results) {
       csv.cell(r.seed)
           .cell(r.policy)
@@ -688,6 +762,15 @@ int cmd_chaos(const CliArgs& args) {
           .cell(r.cluster_outages)
           .cell(r.boot_failures)
           .cell(r.retries)
+          .cell(r.stalls)
+          .cell(r.flaps)
+          .cell(r.limping_seds)
+          .cell(r.deadline_misses)
+          .cell(r.hedges)
+          .cell(r.hedge_rescues)
+          .cell(r.quarantined_skips)
+          .cell(r.breaker_opens)
+          .cell(r.p99_election_wait_seconds)
           .cell(r.makespan.value())
           .cell(r.energy.value());
       csv.end_row();
