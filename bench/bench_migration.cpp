@@ -1,0 +1,165 @@
+// Live migration + idle consolidation vs. the delayed-off baseline.
+//
+// One burst of work (one task per core) lands on the full Table I
+// platform.  The fast orion/taurus nodes finish their wave early; the
+// slow sagittaire nodes keep churning for hours, and a provisioner that
+// cannot move tasks has to keep every straggler node powered the whole
+// tail.  The consolidate strategy shrinks the candidate pool to the
+// measured demand and the drain hook checkpoints the stranded tasks onto
+// the surviving candidates, so the straggler nodes power off hours
+// earlier at the cost of a few seconds of transfer each.
+//
+// Fails (exit 1) unless:
+//   - consolidation + drain spends <= 90% of the delayed-off baseline's
+//     total energy,
+//   - with zero lost, zero unfinished and zero SLA-violated tasks, and
+//     exact task conservation (completed + rejected + lost + unfinished
+//     == submitted) in both runs,
+//   - at least one migration actually committed,
+//   - and the migration sequence is bit-identical across serving shards
+//     {1,2,4,8} and sweep jobs {1,8}.
+// Emits one "BENCH_JSON:" line and writes BENCH_migration.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/experiment.hpp"
+
+using namespace greensched;
+
+namespace {
+
+// Generous base deadline: the SLA accounting (admission, settlement,
+// conservation) runs for real, but the gate pins that migration delay
+// never *creates* violations, so the contract itself must be satisfiable
+// on the slowest node.
+constexpr const char* kSlaWorkload = "sla:gold=0.2,silver=0.3,bronze=0.3,deadline=200000";
+constexpr const char* kDrainSpec = "drain:state=256,bw=1000,overhead=1,inflight=4,gain=2";
+
+metrics::PlacementConfig base_config(std::uint64_t seed) {
+  metrics::PlacementConfig config;
+  config.clusters = metrics::table1_clusters();
+  config.policy = "POWER";
+  config.seed = seed;
+  // Two tasks per core, all at t=0 (the burst swallows the whole run, so
+  // the continuous rate never fires).  The deep queue keeps the pool
+  // saturated long enough that the provisioner grows it onto the slow
+  // sagittaire nodes; the tasks stranded there are the straggler tail
+  // this bench is about.
+  config.workload.requests_per_core = 2.0;
+  config.workload.burst_size = 1000;
+  config.workload.continuous_rate = 1.0;
+  // ~29x the Section IV-A task: ~10 min on an orion core, ~25 min on a
+  // sagittaire core.  Long enough that a stranded task pins its node for
+  // many provisioner checks, short enough that completions keep arriving
+  // (the harness watchdog freezes a pool after 32 progress-free checks).
+  config.workload.task.work = common::Flops(6e12);
+  config.sla_workload = kSlaWorkload;
+  config.provisioner_check_seconds = 60.0;
+  return config;
+}
+
+metrics::PlacementConfig baseline_config(std::uint64_t seed) {
+  metrics::PlacementConfig config = base_config(seed);
+  config.provisioner = "delayed-off:delay=60";
+  return config;
+}
+
+metrics::PlacementConfig consolidate_config(std::uint64_t seed) {
+  metrics::PlacementConfig config = base_config(seed);
+  config.provisioner = "consolidate:delay=60,trigger=0.5";
+  config.migration = kDrainSpec;
+  return config;
+}
+
+bool conserved(const metrics::PlacementResult& r) {
+  return r.tasks_completed + r.tasks_rejected + r.tasks_lost + r.tasks_unfinished == r.tasks;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Live migration + idle consolidation",
+                      "checkpointed task migration drains straggler nodes into the "
+                      "candidate pool; gate: <= 90% of the delayed-off baseline energy "
+                      "at zero lost tasks and zero SLA violations");
+
+  const metrics::PlacementResult baseline = metrics::run_placement(baseline_config(42));
+  const metrics::PlacementResult treat = metrics::run_placement(consolidate_config(42));
+
+  std::printf("%-34s %12s %10s %6s %6s %6s %9s\n", "configuration", "energy (J)",
+              "makespan", "done", "lost", "viol", "migrated");
+  std::printf("%-34s %12.0f %10.1f %6zu %6zu %6zu %9s\n", baseline.provisioner.c_str(),
+              baseline.energy.value(), baseline.makespan.value(), baseline.tasks_completed,
+              baseline.tasks_lost, baseline.sla_violations, "-");
+  std::printf("%-34s %12.0f %10.1f %6zu %6zu %6zu %9llu\n",
+              (treat.provisioner + " + drain").c_str(), treat.energy.value(),
+              treat.makespan.value(), treat.tasks_completed, treat.tasks_lost,
+              treat.sla_violations,
+              static_cast<unsigned long long>(treat.migrations_committed));
+
+  const double ratio =
+      baseline.energy.value() > 0.0 ? treat.energy.value() / baseline.energy.value() : 1.0;
+  std::printf("\nenergy ratio (consolidate / delayed-off): %.3f (gate: <= 0.90)\n", ratio);
+  std::printf("migrations: %llu started, %llu committed, %llu aborted\n",
+              static_cast<unsigned long long>(treat.migrations_started),
+              static_cast<unsigned long long>(treat.migrations_committed),
+              static_cast<unsigned long long>(treat.migrations_aborted));
+
+  // Determinism: the migration sequence must not depend on the serving
+  // shard count or on how many sweep workers share the grid.
+  bool deterministic = true;
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    metrics::PlacementConfig config = consolidate_config(42);
+    config.shards = shards;
+    const metrics::PlacementResult sharded = metrics::run_placement(config);
+    if (sharded.migration_sequence != treat.migration_sequence ||
+        sharded.admission_sequence != treat.admission_sequence) {
+      std::printf("DIVERGENCE at shards=%zu\n", shards);
+      deterministic = false;
+    }
+  }
+  const std::vector<std::uint64_t> seeds = {42, 43};
+  const std::vector<metrics::PlacementResult> jobs1 =
+      metrics::run_placement_sweep(consolidate_config(42), seeds, 1);
+  const std::vector<metrics::PlacementResult> jobs8 =
+      metrics::run_placement_sweep(consolidate_config(42), seeds, 8);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (jobs1[i].migration_sequence != jobs8[i].migration_sequence) {
+      std::printf("DIVERGENCE at jobs 1 vs 8, seed %llu\n",
+                  static_cast<unsigned long long>(seeds[i]));
+      deterministic = false;
+    }
+  }
+  std::printf("migration sequence identical across shards {1,2,4,8} and jobs {1,8}: %s\n",
+              deterministic ? "yes" : "NO");
+
+  const bool clean = treat.tasks_lost == 0 && treat.tasks_unfinished == 0 &&
+                     treat.sla_violations == 0 && conserved(treat) && conserved(baseline);
+  const bool pass =
+      ratio <= 0.90 && clean && treat.migrations_committed > 0 && deterministic;
+
+  std::string json = "{\"bench\":\"migration\"";
+  json += ",\"baseline_energy_j\":" + std::to_string(baseline.energy.value());
+  json += ",\"consolidate_energy_j\":" + std::to_string(treat.energy.value());
+  json += ",\"energy_ratio\":" + std::to_string(ratio);
+  json += ",\"baseline_makespan_s\":" + std::to_string(baseline.makespan.value());
+  json += ",\"consolidate_makespan_s\":" + std::to_string(treat.makespan.value());
+  json += ",\"migrations_started\":" + std::to_string(treat.migrations_started);
+  json += ",\"migrations_committed\":" + std::to_string(treat.migrations_committed);
+  json += ",\"migrations_aborted\":" + std::to_string(treat.migrations_aborted);
+  json += ",\"tasks_lost\":" + std::to_string(treat.tasks_lost);
+  json += ",\"sla_violations\":" + std::to_string(treat.sla_violations);
+  json += ",\"deterministic\":";
+  json += deterministic ? "true" : "false";
+  json += ",\"pass\":";
+  json += pass ? "true" : "false";
+  json += "}";
+  std::printf("\nBENCH_JSON: %s\n", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_migration.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  return pass ? 0 : 1;
+}

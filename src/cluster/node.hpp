@@ -93,6 +93,20 @@ class Node {
   /// bookkeeping used by the dynamic GreenPerf estimate.
   void release_core(Seconds now);
 
+  // --- drain marker (live migration) ---
+  /// Marks the node as being actively drained: the migration controller
+  /// is moving its running tasks elsewhere so it can power down.  Power
+  /// and occupancy are untouched, but the flag IS a discrete state
+  /// change — the estimation cache keys on the stamp, and the
+  /// provisioner reports draining cores in PlatformStatus — so flipping
+  /// it bumps change_stamp_ like every other mutation.
+  void set_draining(bool draining) noexcept {
+    if (draining_ == draining) return;
+    draining_ = draining;
+    ++change_stamp_;
+  }
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+
   // --- electrical / thermal observables ---
   /// Instantaneous power at `now` (advances internal integrators).
   [[nodiscard]] Watts power(Seconds now);
@@ -168,6 +182,7 @@ class Node {
 
   NodeState state_;
   unsigned busy_cores_ = 0;
+  bool draining_ = false;
 
   Seconds last_update_{0.0};
   Seconds state_since_{0.0};  ///< when the current power state was entered

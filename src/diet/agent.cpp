@@ -206,10 +206,12 @@ const SchedulingDecision& MasterAgent::submit_fast(const Request& request) {
     // withdrawn — but the ranked list stays intact for accounting.
     decision_.admission = Admission::kAdmit;
     decision_.retry_after_seconds = 0.0;
+    decision_.deadline_expired = false;
     if (admission_) {
       const AdmissionVerdict verdict = admission_(decision_, request);
       decision_.admission = verdict.admission;
       decision_.retry_after_seconds = verdict.retry_after_seconds;
+      decision_.deadline_expired = verdict.deadline_expired;
       if (decision_.admission != Admission::kAdmit) decision_.elected = nullptr;
     }
     if (decision_.elected != nullptr) ++elections_;
@@ -290,10 +292,12 @@ std::size_t MasterAgent::submit_batch(const std::vector<Request>& requests,
 
       decision_.admission = Admission::kAdmit;
       decision_.retry_after_seconds = 0.0;
+      decision_.deadline_expired = false;
       if (admission_) {
         const AdmissionVerdict verdict = admission_(decision_, request);
         decision_.admission = verdict.admission;
         decision_.retry_after_seconds = verdict.retry_after_seconds;
+        decision_.deadline_expired = verdict.deadline_expired;
         if (decision_.admission != Admission::kAdmit) decision_.elected = nullptr;
       }
       if (decision_.elected != nullptr) {

@@ -108,6 +108,8 @@ using CandidateFilter = std::function<void(std::vector<Candidate>&, const Reques
 struct AdmissionVerdict {
   Admission admission = Admission::kAdmit;
   double retry_after_seconds = 0.0;
+  /// kReject only: the deadline was already gone at decision time.
+  bool deadline_expired = false;
 };
 
 /// Post-election admission hook: sees the finished decision (ranked

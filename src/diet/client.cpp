@@ -165,7 +165,7 @@ Client::PlaceOutcome Client::apply_decision(std::size_t record_index,
                                                                 : 'R';
   }
   if (decision.admission == Admission::kReject) {
-    reject(record_index);
+    reject(record_index, decision.deadline_expired);
     return PlaceOutcome::kRejected;
   }
   if (decision.admission == Admission::kDefer) {
@@ -186,6 +186,10 @@ Client::PlaceOutcome Client::apply_decision(std::size_t record_index,
 
   decision.elected->execute(record.task, request_id, [this, record_index](const TaskRecord& done) {
     ClientTaskRecord& r = records_[record_index];
+    // Hops survive the execution whatever its fate: a crashed task's
+    // resubmission restarts its hop counter at zero, so accumulating
+    // here keeps sum(records.migrations) == migrations committed.
+    r.migrations += done.migrations;
     if (done.failed) {
       // The node crashed under the task (grids treat powered-off
       // resources as failures): the self-healing path resubmits it
@@ -204,6 +208,12 @@ Client::PlaceOutcome Client::apply_decision(std::size_t record_index,
       if (try_place(record_index) == PlaceOutcome::kQueued) queue_unplaced(record_index);
       return;
     }
+    if (done.migrations > 0) {
+      // The task finished somewhere other than where it was elected:
+      // report the server that actually ran it to completion.
+      r.server = done.server_name;
+      r.cluster = done.cluster;
+    }
     r.end = done.end;
     ++completed_;
     settle_sla(record_index);
@@ -211,12 +221,22 @@ Client::PlaceOutcome Client::apply_decision(std::size_t record_index,
   return PlaceOutcome::kStarted;
 }
 
-void Client::reject(std::size_t record_index) {
+void Client::reject(std::size_t record_index, bool deadline_expired) {
   ClientTaskRecord& record = records_[record_index];
   record.rejected = true;
   ++rejected_;
   if (record.task.spec.has_sla()) {
     GS_TCOUNT(sla_rejected[record.task.spec.sla_tier]);
+  }
+  if (deadline_expired && !record.violated) {
+    // The deadline passed while the request was queued/deferred: the
+    // admission layer turned it away *because the contract is already
+    // broken*.  Accounting it as a violation (on top of the reject)
+    // keeps the SLA books honest — a plain reject is a refusal with no
+    // broken promise, this one is a promise that expired in the queue.
+    record.violated = true;
+    ++violations_;
+    GS_TCOUNT(sla_violated[record.task.spec.sla_tier]);
   }
   telemetry::Telemetry::instant("task.rejected", "sla", hierarchy_.sim().now().value(),
                                 record.task.id.value(), name_);
@@ -238,7 +258,10 @@ void Client::defer(std::size_t record_index, double retry_after_seconds) {
   // second chain of timers.
   if (defer_armed_[record_index]) return;
   defer_armed_[record_index] = 1;
-  const double delay = retry_after_seconds > 0.0 ? retry_after_seconds : 1.0;
+  // Floor the wake-up: a policy handing back a vanishing delay (legal
+  // defer=1e-9 spec, or slack/2 of a nearly-dead deadline) must not turn
+  // the defer chain into a same-instant busy loop.
+  const double delay = std::max(retry_after_seconds > 0.0 ? retry_after_seconds : 1.0, 1e-3);
   hierarchy_.sim().schedule_after(Seconds(delay),
                                   [this, record_index] { on_defer_wakeup(record_index); });
 }

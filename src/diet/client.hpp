@@ -73,6 +73,10 @@ struct ClientTaskRecord {
   common::ClusterId cluster{};
   std::size_t placement_attempts = 0;  ///< submissions before election
   std::size_t failures = 0;            ///< node crashes survived (resubmitted)
+  /// Committed live migrations over the request's lifetime, summed over
+  /// every execution (a crashed-and-resubmitted task keeps the hops its
+  /// dead execution had already made) — the oracle's conservation term.
+  std::size_t migrations = 0;
   bool lost = false;  ///< abandoned: retry disabled, attempts exhausted or deadline hit
   // --- SLA outcome (admission control; all default without it) ---
   bool rejected = false;       ///< admission verdict: terminal reject
@@ -165,7 +169,9 @@ class Client {
   void on_completion(const TaskRecord& record);
   void drain_pending();
   /// Terminal admission rejection: accounted, dropped from the queue.
-  void reject(std::size_t record_index);
+  /// `deadline_expired` books the reject as an SLA violation too — the
+  /// deadline was already gone, so the contract was broken, not refused.
+  void reject(std::size_t record_index, bool deadline_expired = false);
   /// Admission deferral: counts the event and arms the wake-up timer.
   void defer(std::size_t record_index, double retry_after_seconds);
   void on_defer_wakeup(std::size_t record_index);

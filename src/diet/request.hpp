@@ -43,6 +43,10 @@ struct SchedulingDecision {
   bool service_unknown = false;          ///< no SED offers the service at all
   Admission admission = Admission::kAdmit;
   double retry_after_seconds = 0.0;      ///< defer wake-up delay (kDefer only)
+  /// kReject because the deadline had already passed when the decision
+  /// was made (the task is dead, not merely unprofitable): the client
+  /// accounts it as an SLA violation, not a plain refusal.
+  bool deadline_expired = false;
 };
 
 }  // namespace greensched::diet

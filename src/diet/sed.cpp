@@ -153,35 +153,41 @@ common::TaskId Sed::execute(const workload::TaskInstance& task, common::RequestI
   task.spec.validate();
   if (task.spec.cores != 1)
     throw StateError("Sed '" + name() + "': only single-core tasks are supported");
+  return start_task(task.id, request, task.spec.service, task.spec.work, 0,
+                    std::move(on_complete));
+}
 
+common::TaskId Sed::start_task(common::TaskId id, common::RequestId request,
+                               const std::string& service, common::Flops work,
+                               std::uint32_t migrations, CompletionFn on_complete) {
   const Seconds now = sim_.now();
   bump_epoch();  // queue shape changes: free cores, queue wait, history
   node_.acquire_core(now);
   GS_TCOUNT(tasks_started);
-  telemetry::Telemetry::instant("task.start", "lifecycle", now.value(), task.id.value(),
-                                name());
+  telemetry::Telemetry::instant("task.start", "lifecycle", now.value(), id.value(), name());
 
   // The core's speed at start (including any DVFS P-state, which a
   // governor may have just raised in reaction to acquire_core, and the
   // service-specific efficiency) is held for the task's whole duration.
   const common::FlopsRate rate(node_.current_flops_per_core().value() *
-                               service_speed(task.spec.service));
-  const Seconds duration = task.spec.work / rate;
+                               service_speed(service));
+  const Seconds duration = work / rate;
 
   RunningTask running;
-  running.record.task = task.id;
+  running.record.task = id;
   running.record.request = request;
   running.record.start = now;
   running.record.end = now + duration;
-  running.record.work = task.spec.work;
+  running.record.work = work;
   running.record.server_name = name();
   running.record.node = node_.id();
   running.record.cluster = node_.cluster();
+  running.record.migrations = migrations;
   running.on_complete = std::move(on_complete);
   running.end_time = (now + duration).value();
+  running.service = service;
   running_.push_back(std::move(running));
 
-  const common::TaskId id = task.id;
   running_.back().completion_event = sim_.schedule_at(now + duration, [this, id] {
     auto it = std::find_if(running_.begin(), running_.end(),
                            [id](const RunningTask& r) { return r.record.task == id; });
@@ -190,6 +196,73 @@ common::TaskId Sed::execute(const workload::TaskInstance& task, common::RequestI
     complete(static_cast<std::size_t>(it - running_.begin()));
   });
   return id;
+}
+
+bool Sed::is_running(common::TaskId task) const noexcept {
+  return std::any_of(running_.begin(), running_.end(),
+                     [task](const RunningTask& r) { return r.record.task == task; });
+}
+
+std::optional<Sed::RunningView> Sed::find_running(common::TaskId task) const noexcept {
+  for (const RunningTask& r : running_) {
+    if (r.record.task == task)
+      return RunningView{r.record.task, r.record.request, r.record.start.value(), r.end_time};
+  }
+  return std::nullopt;
+}
+
+std::vector<Sed::RunningView> Sed::running_snapshot() const {
+  std::vector<RunningView> out;
+  out.reserve(running_.size());
+  for (const RunningTask& r : running_) {
+    out.push_back(RunningView{r.record.task, r.record.request, r.record.start.value(),
+                              r.end_time});
+  }
+  return out;
+}
+
+Sed::MigratedTask Sed::detach_for_migration(common::TaskId task) {
+  auto it = std::find_if(running_.begin(), running_.end(),
+                         [task](const RunningTask& r) { return r.record.task == task; });
+  if (it == running_.end())
+    throw StateError("Sed '" + name() + "': detach_for_migration for a task not running here");
+
+  bump_epoch();
+  RunningTask leaving = std::move(*it);
+  running_.erase(it);
+  sim_.cancel(leaving.completion_event);
+
+  const Seconds now = sim_.now();
+  node_.release_core(now);
+
+  // The rate was held constant for the whole run, so the balance is the
+  // linear share of the time left.  The detached work contributes to
+  // neither the learning history nor the per-core rate estimate — only
+  // finished executions teach.
+  const double total = (leaving.record.end - leaving.record.start).value();
+  const double left = std::max(leaving.end_time - now.value(), 0.0);
+  const double fraction = total > 0.0 ? std::min(left / total, 1.0) : 0.0;
+
+  MigratedTask out;
+  out.task = leaving.record.task;
+  out.request = leaving.record.request;
+  out.service = std::move(leaving.service);
+  out.remaining = common::Flops(leaving.record.work.value() * fraction);
+  out.migrations = leaving.record.migrations + 1;
+  out.on_complete = std::move(leaving.on_complete);
+  GS_TCOUNT(tasks_migrated_out);
+  telemetry::Telemetry::instant("task.migrate_out", "lifecycle", now.value(),
+                                out.task.value(), name());
+  return out;
+}
+
+common::TaskId Sed::resume_migrated(MigratedTask&& task) {
+  if (!can_accept(1))
+    throw StateError("Sed '" + name() + "': resume_migrated without a free core");
+  telemetry::Telemetry::instant("task.migrate_in", "lifecycle", sim_.now().value(),
+                                task.task.value(), name());
+  return start_task(task.task, task.request, task.service, task.remaining, task.migrations,
+                    std::move(task.on_complete));
 }
 
 void Sed::complete(std::size_t running_index) {

@@ -9,8 +9,10 @@
 // of past requests", and its speed from completed-task throughput.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -38,6 +40,10 @@ struct TaskRecord {
   /// True when the task was killed by a node failure rather than
   /// finishing (end is then the failure time); clients must resubmit.
   bool failed = false;
+  /// Live-migration hops completed before this execution started (0 for
+  /// a task that ran where it was placed).  `work` is then the balance
+  /// that remained at the last checkpoint, not the original size.
+  std::uint32_t migrations = 0;
 };
 
 struct SedConfig {
@@ -133,6 +139,38 @@ class Sed {
   /// node transitions to FAILED.  Returns the number of tasks killed.
   std::size_t inject_failure();
 
+  // --- live migration (gs_migrate) ---
+  /// Checkpointed in-flight state: everything the target SED needs to
+  /// resume a task under its original identity and client callback.
+  struct MigratedTask {
+    common::TaskId task{};
+    common::RequestId request{};
+    std::string service;
+    common::Flops remaining{0.0};  ///< work balance at the checkpoint
+    std::uint32_t migrations = 0;  ///< hops completed, this one included
+    CompletionFn on_complete;
+  };
+  /// Lightweight view of one running task (deterministic start order).
+  struct RunningView {
+    common::TaskId task{};
+    common::RequestId request{};
+    double start = 0.0;
+    double end_time = 0.0;
+  };
+  [[nodiscard]] bool is_running(common::TaskId task) const noexcept;
+  [[nodiscard]] std::optional<RunningView> find_running(common::TaskId task) const noexcept;
+  [[nodiscard]] std::vector<RunningView> running_snapshot() const;
+  /// Checkpoints `task` off this SED: cancels its completion event,
+  /// frees the core and bumps the epoch (and, via release_core, the node
+  /// change stamp — the estimation cache can never serve a pre-migration
+  /// queue wait).  Remaining work is the linear balance of the execution
+  /// rate held at start.  Throws StateError for a task not running here.
+  [[nodiscard]] MigratedTask detach_for_migration(common::TaskId task);
+  /// Resumes a checkpointed task on this SED; requires can_accept().
+  /// The record keeps the task/request identity and hop count; the clock
+  /// restarts with work = the remaining balance at this node's held rate.
+  common::TaskId resume_migrated(MigratedTask&& task);
+
   // --- gray failures: slow, not dead ---
   /// Marks this SED as permanently limping: every estimation response
   /// carries `latency` extra simulated seconds (chaos limp process).
@@ -197,7 +235,13 @@ class Sed {
     CompletionFn on_complete;
     double end_time;
     des::EventHandle completion_event;
+    std::string service;  ///< kept so a migration can re-rate the task
   };
+  /// Shared tail of execute() and resume_migrated(): core acquisition,
+  /// rate capture, completion scheduling.
+  common::TaskId start_task(common::TaskId id, common::RequestId request,
+                            const std::string& service, common::Flops work,
+                            std::uint32_t migrations, CompletionFn on_complete);
   std::vector<RunningTask> running_;
   std::vector<TaskRecord> history_;
   double limp_latency_ = 0.0;  ///< permanent per-estimation latency (gray chaos)

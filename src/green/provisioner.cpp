@@ -118,6 +118,7 @@ PlatformStatus Provisioner::read_status(SimTime at) {
     hottest = std::max(hottest, node.temperature(at).value());
     busy += node.busy_cores();
     total += node.spec().cores;
+    if (node.draining()) status.draining_cores += node.busy_cores();
   }
   status.temperature = hottest;
   status.busy_cores = busy;
@@ -235,6 +236,33 @@ void Provisioner::manage_power(SimTime at) {
   }
 }
 
+void Provisioner::fire_drain_hook(SimTime at) {
+  if (!drain_hook_) return;
+  // Sources: busy non-candidates, least efficient first — empty the
+  // machine we least want powered before the one we might re-elect.
+  // Targets: powered-on candidates, most efficient first.
+  std::vector<common::NodeId> sources;
+  std::vector<common::NodeId> targets;
+  const std::vector<std::size_t>& order = candidacy_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const cluster::Node& node = platform_.node(*it);
+    if (!is_candidate(node.id()) && node.state() == cluster::NodeState::kOn &&
+        node.busy_cores() > 0) {
+      sources.push_back(node.id());
+    }
+  }
+  for (std::size_t index : order) {
+    const cluster::Node& node = platform_.node(index);
+    if (is_candidate(node.id()) && node.state() == cluster::NodeState::kOn) {
+      targets.push_back(node.id());
+    }
+  }
+  if (sources.empty() || targets.empty()) return;
+  drain_requests_ += sources.size();
+  GS_TCOUNT(provisioner_drain_requests);
+  drain_hook_(at, sources, targets);
+}
+
 bool Provisioner::tick(SimTime at) {
   // A true stop predicate ends the autonomic loop for good: the periodic
   // process is not re-armed, letting the simulation drain.
@@ -281,6 +309,7 @@ bool Provisioner::tick(SimTime at) {
 
   apply_candidate_set(at);
   if (config_.manage_node_power) manage_power(at);
+  fire_drain_hook(at);
 
   // Record the decision in the shared planning (Fig. 8's XML record).
   planning_.add_entry(PlanningEntry{at.value(), status.temperature, candidate_count_,

@@ -128,6 +128,18 @@ class Provisioner {
     check_hook_ = std::move(hook);
   }
 
+  /// Drain hook: fired on every periodic check that leaves busy
+  /// non-candidate nodes behind, with the nodes to empty (reverse
+  /// candidacy order — least efficient first) and the powered-on
+  /// candidates to move their tasks onto (candidacy order).  The
+  /// migration controller plugs in here; without a hook the shell keeps
+  /// its historical behaviour of waiting for natural drains.
+  using DrainHook = std::function<void(des::SimTime, const std::vector<common::NodeId>&,
+                                       const std::vector<common::NodeId>&)>;
+  void set_drain_hook(DrainHook hook) { drain_hook_ = std::move(hook); }
+  /// Busy non-candidate nodes handed to the drain hook, summed per check.
+  [[nodiscard]] std::uint64_t drain_requests() const noexcept { return drain_requests_; }
+
   /// External candidate cap (e.g. from a BudgetGovernor): the per-check
   /// target never exceeds it while set.  Ramping still applies.
   void set_external_cap(std::optional<std::size_t> cap) noexcept { external_cap_ = cap; }
@@ -162,6 +174,7 @@ class Provisioner {
   }
   void apply_candidate_set(des::SimTime at);
   void manage_power(des::SimTime at);
+  void fire_drain_hook(des::SimTime at);
 
   des::Simulator& sim_;
   cluster::Platform& platform_;
@@ -184,6 +197,8 @@ class Provisioner {
   std::uint64_t cap_clamped_checks_ = 0;
   std::uint64_t boots_ordered_ = 0;
   std::uint64_t shutdowns_ordered_ = 0;
+  std::uint64_t drain_requests_ = 0;
+  DrainHook drain_hook_;
   double target_gap_sum_ = 0.0;
   std::function<bool()> stop_predicate_;
   bool started_ = false;

@@ -125,7 +125,8 @@ std::string provisioning_strategy_base_name(const std::string& spec) {
 }
 
 std::vector<std::string> provisioning_strategy_names() {
-  return {"rule-fraction", "power-cap", "delayed-off", "hetero-schedule", "reactive-idle"};
+  return {"rule-fraction", "power-cap", "delayed-off", "consolidate", "hetero-schedule",
+          "reactive-idle"};
 }
 
 bool is_provisioning_strategy(const std::string& spec) {
@@ -158,6 +159,18 @@ std::unique_ptr<ProvisioningStrategy> make_provisioning_strategy(const std::stri
     }
     return std::make_unique<DelayedOffStrategy>(config);
   }
+  if (name == "consolidate") {
+    ConsolidateOptions config;
+    for (const SpecOption& option : options) {
+      if (option.key == "delay") config.delay = option_double(option, name);
+      else if (option.key == "headroom") config.headroom = option_double(option, name);
+      else if (option.key == "grow") config.grow = option_count(option, name);
+      else if (option.key == "trigger")
+        config.trigger = common::spec_fraction(option, name, kWhat);
+      else unknown_option(option, name, "delay, headroom, grow, trigger");
+    }
+    return std::make_unique<ConsolidateStrategy>(config);
+  }
   if (name == "hetero-schedule") {
     HeterogeneousScheduleOptions config;
     for (const SpecOption& option : options) {
@@ -184,7 +197,7 @@ std::unique_ptr<ProvisioningStrategy> make_provisioning_strategy(const std::stri
     return std::make_unique<ReactiveIdleTimeoutStrategy>(config);
   }
   throw ConfigError("unknown provisioning strategy '" + name + "' (known: rule-fraction, "
-                    "power-cap, delayed-off, hetero-schedule, reactive-idle)");
+                    "power-cap, delayed-off, consolidate, hetero-schedule, reactive-idle)");
 }
 
 std::string provisioning_strategy_help(const std::string& indent) {
@@ -199,6 +212,10 @@ std::string provisioning_strategy_help(const std::string& indent) {
   line("delayed-off[:delay=S,headroom=F,grow=N]");
   line("                         Lu & Chen last-empty-server timeout; delay=0 derives the");
   line("                         boot-energy break-even from the machine catalog");
+  line("consolidate[:delay=S,headroom=F,grow=N,trigger=F]");
+  line("                         idle consolidation: delayed-off sizing that only shrinks");
+  line("                         after sustained underutilization (<= trigger); pair with");
+  line("                         --migration to actively drain the dropped nodes");
   line("hetero-schedule[:delay=S,headroom=F,grow=N]");
   line("                         Albers & Quedenfeld-style per-machine-class on/off with");
   line("                         per-class break-even power-down delays");

@@ -210,6 +210,39 @@ class ReactiveIdleTimeoutStrategy final : public ProvisioningStrategy {
   std::optional<double> idle_since_;
 };
 
+struct ConsolidateOptions {
+  /// Seconds the underutilization must persist before the pool shrinks.
+  /// 0 = derive the boot-energy break-even from the platform catalog.
+  double delay = 0.0;
+  /// Extra capacity fraction kept on top of measured demand.
+  double headroom = 0.0;
+  /// Nodes added per check while the pool is saturated.
+  std::size_t grow = 2;
+  /// Pool utilization at or below which consolidation engages.
+  double trigger = 0.5;
+};
+
+/// Idle consolidation (the cloudsim_eec algo-#3 loop, driven by our
+/// wattmeter-measured demand): size the pool like delayed-off, but only
+/// release surplus after the pool ran *underutilized* (<= trigger) for
+/// the break-even delay.  Designed to pair with a --migration drain
+/// hook: once the pool shrinks, the MigrationController actively empties
+/// the dropped nodes instead of waiting for tasks to finish, and the
+/// shell's power manager turns them off.  Works without migration too —
+/// it then degrades to a more conservative delayed-off.
+class ConsolidateStrategy final : public ProvisioningStrategy {
+ public:
+  explicit ConsolidateStrategy(ConsolidateOptions options = {});
+  [[nodiscard]] const char* name() const noexcept override { return "consolidate"; }
+  [[nodiscard]] StrategyDecision decide(const StrategyContext& ctx) override;
+  [[nodiscard]] const ConsolidateOptions& options() const noexcept { return options_; }
+
+ private:
+  ConsolidateOptions options_;
+  std::optional<double> underused_since_;
+  std::optional<double> cached_delay_;
+};
+
 // --- registry ---
 
 /// Builds a strategy from a spec: "name" or "name:key=value,...".

@@ -38,6 +38,11 @@ struct PlatformStatus {
   /// detector is configured — statuses are then bit-identical to the
   /// pre-gray era.
   std::size_t quarantined_cores = 0;
+  /// Busy cores on nodes currently being drained by the migration
+  /// controller: their tasks are headed elsewhere, so capacity-tracking
+  /// strategies should not size the pool as if that load were staying.
+  /// 0 without a --migration spec — statuses bit-identical to before.
+  std::size_t draining_cores = 0;
 };
 
 struct Rule {

@@ -72,6 +72,50 @@ StrategyDecision DelayedOffStrategy::decide(const StrategyContext& ctx) {
   return StrategyDecision{ctx.candidate_count, std::nullopt, true};
 }
 
+// --- consolidate (drain-assisted delayed-off) ---
+
+ConsolidateStrategy::ConsolidateStrategy(ConsolidateOptions options) : options_(options) {}
+
+StrategyDecision ConsolidateStrategy::decide(const StrategyContext& ctx) {
+  if (!cached_delay_) {
+    cached_delay_ = options_.delay > 0.0
+                        ? options_.delay
+                        : boot_break_even_seconds(*ctx.platform, *ctx.efficiency_order);
+  }
+  // Demand counts every busy core, including those on nodes already
+  // being drained — their tasks land back inside the pool, so the pool
+  // must have room for them.
+  const std::size_t demand = padded_demand(ctx.status->busy_cores, options_.headroom);
+  std::size_t needed = covering_prefix(*ctx.platform, *ctx.efficiency_order, demand);
+  if (pool_saturated(ctx)) {
+    needed = std::max(needed, ctx.candidate_count + options_.grow);
+  }
+
+  if (ctx.initial || needed >= ctx.candidate_count) {
+    underused_since_.reset();
+    return StrategyDecision{needed, std::nullopt, true};
+  }
+
+  // Shrink only out of sustained *underutilization*: unlike plain
+  // delayed-off, a pool that is merely right-sized is left alone, so an
+  // attached migration controller is never asked to churn tasks for a
+  // marginal win.  An all-dark pool (capacity still booting) reads hot.
+  const double pool_utilization =
+      ctx.pool_on_cores == 0 ? 1.0
+                             : static_cast<double>(ctx.pool_busy_cores) /
+                                   static_cast<double>(ctx.pool_on_cores);
+  if (pool_utilization > options_.trigger) {
+    underused_since_.reset();
+    return StrategyDecision{ctx.candidate_count, std::nullopt, true};
+  }
+  if (!underused_since_) underused_since_ = ctx.now;
+  if (ctx.now - *underused_since_ + 1e-9 >= *cached_delay_) {
+    underused_since_.reset();
+    return StrategyDecision{needed, std::nullopt, true};
+  }
+  return StrategyDecision{ctx.candidate_count, std::nullopt, true};
+}
+
 // --- hetero-schedule (Albers & Quedenfeld style) ---
 
 HeterogeneousScheduleStrategy::HeterogeneousScheduleStrategy(

@@ -19,11 +19,11 @@ using durable::ByteWriter;
 
 namespace {
 
-// v3: the cell record format gained the gray-failure outcome fields and
-// the fingerprint digests the estimation deadline/hedge knobs (the gray
-// scenario keys flow in through chaos.to_string()) — older manifests are
-// a different experiment by construction and must not be resumed into.
-constexpr std::string_view kFingerprintTag = "greensched-sweep-fingerprint-v3:";
+// v4: the cell record format gained the migration outcome fields and the
+// fingerprint digests the migration spec — older manifests are a
+// different experiment by construction and must not be resumed into.
+// (v3 added the gray-failure fields and deadline/hedge knobs.)
+constexpr std::string_view kFingerprintTag = "greensched-sweep-fingerprint-v4:";
 
 }  // namespace
 
@@ -55,7 +55,8 @@ std::string grid_fingerprint(const std::vector<SweepPoint>& points,
        << c.retry.jitter_fraction << ',' << c.retry.deadline_seconds
        << ";prov=" << c.provisioner << ',' << c.provisioner_check_seconds
        << ";sla=" << c.sla_workload << '|' << c.sla_policy
-       << ";gray=" << c.estimation_deadline_seconds << ',' << c.hedge << ";clusters=";
+       << ";gray=" << c.estimation_deadline_seconds << ',' << c.hedge
+       << ";migration=" << c.migration << ";clusters=";
     for (const ClusterSetup& setup : c.clusters) {
       os << '[' << setup.name << ',' << setup.spec.model << ',' << setup.spec.cores << ','
          << setup.spec.flops_per_core.value() << ',' << setup.spec.idle_watts.value() << ','
@@ -137,6 +138,14 @@ std::string encode_placement_result(const PlacementResult& r) {
   w.u64(r.breaker_half_opens);
   w.u64(r.breaker_closes);
   w.f64(r.p99_election_wait_seconds);
+  // Migration outcome (appended in PR 10; covered by the v4 tag).
+  w.str(r.migration);
+  w.u64(r.migrations_started);
+  w.u64(r.migrations_committed);
+  w.u64(r.migrations_aborted);
+  w.u64(r.migrations_recovered);
+  w.u64(r.drain_requests);
+  w.str(r.migration_sequence);
   return w.take();
 }
 
@@ -222,6 +231,13 @@ PlacementResult decode_placement_result(std::string_view payload) {
   r.breaker_half_opens = reader.u64();
   r.breaker_closes = reader.u64();
   r.p99_election_wait_seconds = reader.f64();
+  r.migration = reader.str();
+  r.migrations_started = reader.u64();
+  r.migrations_committed = reader.u64();
+  r.migrations_aborted = reader.u64();
+  r.migrations_recovered = reader.u64();
+  r.drain_requests = reader.u64();
+  r.migration_sequence = reader.str();
   reader.expect_end();
   return r;
 }

@@ -4,6 +4,7 @@
 
 #include "cluster/catalog.hpp"
 #include "common/error.hpp"
+#include "migrate/migration.hpp"
 #include "sla/admission.hpp"
 #include "sla/tier.hpp"
 
@@ -64,6 +65,7 @@ xmlite::Document config_to_xml(const PlacementConfig& config) {
     root.set_attribute("estimation_deadline", config.estimation_deadline_seconds);
   }
   if (config.hedge) root.set_attribute("hedge", "1");
+  if (!config.migration.empty()) root.set_attribute("migration", config.migration);
 
   for (const auto& setup : config.clusters) {
     Element& cluster = root.add_child("cluster");
@@ -150,6 +152,13 @@ PlacementConfig config_from_xml(const Document& doc) {
     }
   }
   config.hedge = root.has_attribute("hedge") && root.attribute_as_int("hedge") != 0;
+  if (auto migration = root.attribute("migration")) {
+    config.migration = *migration;
+    (void)migrate::parse_migration_options(config.migration);  // die here, with the field
+    if (config.provisioner.empty()) {
+      throw ConfigError("experiment file: migration requires a provisioner");
+    }
+  }
 
   config.clusters.clear();
   for (const Element* cluster : root.find_children("cluster")) {

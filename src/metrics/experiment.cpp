@@ -14,6 +14,7 @@
 #include "diet/hierarchy.hpp"
 #include "green/policies.hpp"
 #include "green/provisioner.hpp"
+#include "migrate/migration.hpp"
 #include "sla/admission.hpp"
 #include "sla/tier.hpp"
 #include "telemetry/telemetry.hpp"
@@ -245,6 +246,26 @@ PlacementResult run_placement(const PlacementConfig& config) {
     provisioner->start();
   }
 
+  // Live migration: built only with an explicit spec (RNG-free, so an
+  // empty spec leaves the run bit-identical), and driven entirely by the
+  // provisioner's drain hook — it has no pulse of its own.
+  std::unique_ptr<migrate::MigrationController> migration;
+  if (!config.migration.empty()) {
+    if (!provisioned)
+      throw common::ConfigError(
+          "run_placement: migration requires a provisioner (the drain hook drives it)");
+    migration = std::make_unique<migrate::MigrationController>(
+        hierarchy, migrate::parse_migration_options(config.migration));
+    if (!config.migration_journal.empty()) migration->open_journal(config.migration_journal);
+    provisioner->set_drain_hook(
+        [&migration](des::SimTime at, const std::vector<common::NodeId>& sources,
+                     const std::vector<common::NodeId>& targets) {
+          migration->drain(at, sources, targets);
+        });
+  } else if (!config.migration_journal.empty()) {
+    throw common::ConfigError("run_placement: migration_journal requires a migration spec");
+  }
+
   sim.run();
 
   // Without chaos every task must have completed — anything else is a
@@ -312,6 +333,15 @@ PlacementResult run_placement(const PlacementConfig& config) {
     result.mean_candidates =
         values.empty() ? 0.0 : sum / static_cast<double>(values.size());
     result.candidate_series = std::move(serialized);
+  }
+  if (migration) {
+    result.migration = config.migration;
+    result.migrations_started = migration->started();
+    result.migrations_committed = migration->committed();
+    result.migrations_aborted = migration->aborted();
+    result.migrations_recovered = migration->recovered_intents();
+    result.drain_requests = provisioner->drain_requests();
+    result.migration_sequence = migration->sequence();
   }
   if (injector) {
     result.tasks_killed = injector->tasks_killed();

@@ -101,6 +101,14 @@ struct PlacementConfig {
   /// Hedge stragglers once with a tighter budget (deadline / 2) before
   /// giving up on them.  Requires a deadline > 0.
   bool hedge = false;
+  /// Live-migration spec ("drain:state=256,bw=1000,..." — see
+  /// migrate/migration.hpp).  Empty = no migration controller at all:
+  /// the run is bit-identical to a pre-migration build.  Requires a
+  /// provisioner (the controller is driven by its drain hook).
+  std::string migration;
+  /// Write-ahead journal path for migration intent/commit/abort frames
+  /// (crash-recovery tests).  Empty = no journal.  Requires `migration`.
+  std::string migration_journal;
 };
 
 struct ClusterEnergyRow {
@@ -187,6 +195,19 @@ struct PlacementResult {
   /// mode (no deadline) records the full straggler wait, which is the
   /// honest baseline the hedged/deadline ablation compares against.
   double p99_election_wait_seconds = 0.0;
+
+  // --- migration outcome (all zero/empty without a --migration spec) ---
+  std::string migration;  ///< migration spec in force ("" = none)
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_committed = 0;
+  std::uint64_t migrations_aborted = 0;
+  /// In-doubt INTENT frames found (and healed) during journal recovery.
+  std::uint64_t migrations_recovered = 0;
+  /// Busy non-candidate nodes handed to the drain hook, summed per check.
+  std::uint64_t drain_requests = 0;
+  /// Resolution log "<t>:<task>:<src>><dst>:<c|a>;..." — pinned
+  /// bit-exactly by the determinism tests across shard/jobs counts.
+  std::string migration_sequence;
 };
 
 /// Runs one placement experiment to completion (deterministic in `seed`).

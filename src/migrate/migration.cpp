@@ -1,0 +1,247 @@
+#include "migrate/migration.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/spec.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace greensched::migrate {
+
+namespace {
+constexpr const char* kWhat = "migration spec";
+}  // namespace
+
+void MigrationOptions::validate() const {
+  if (state_mb <= 0.0)
+    throw common::ConfigError("migration spec: state must be positive (got " +
+                              std::to_string(state_mb) + ")");
+  if (bandwidth_mbps <= 0.0)
+    throw common::ConfigError("migration spec: bw must be positive (got " +
+                              std::to_string(bandwidth_mbps) + ")");
+  if (overhead_seconds < 0.0)
+    throw common::ConfigError("migration spec: overhead must be >= 0 (got " +
+                              std::to_string(overhead_seconds) + ")");
+  if (max_in_flight == 0)
+    throw common::ConfigError("migration spec: inflight must be >= 1");
+  if (min_gain < 0.0)
+    throw common::ConfigError("migration spec: gain must be >= 0 (got " +
+                              std::to_string(min_gain) + ")");
+}
+
+MigrationOptions parse_migration_options(const std::string& spec) {
+  const common::ParsedSpec parsed = common::parse_spec(spec, kWhat);
+  if (parsed.name != "drain")
+    throw common::ConfigError("migration spec '" + parsed.name +
+                              "' is not known; known: drain");
+  MigrationOptions options;
+  for (const common::SpecOption& option : parsed.options) {
+    if (option.key == "state")
+      options.state_mb = common::spec_double(option, parsed.name, kWhat);
+    else if (option.key == "bw")
+      options.bandwidth_mbps = common::spec_double(option, parsed.name, kWhat);
+    else if (option.key == "overhead")
+      options.overhead_seconds = common::spec_double(option, parsed.name, kWhat);
+    else if (option.key == "inflight")
+      options.max_in_flight = common::spec_count(option, parsed.name, kWhat);
+    else if (option.key == "gain")
+      options.min_gain = common::spec_double(option, parsed.name, kWhat);
+    else
+      common::unknown_spec_option(option, parsed.name, kWhat,
+                                  "state, bw, overhead, inflight, gain");
+  }
+  options.validate();
+  return options;
+}
+
+std::string migration_help(const std::string& indent) {
+  std::string out;
+  out += indent + "drain:state=MB,bw=MBPS,overhead=S,inflight=N,gain=X\n";
+  out += indent + "  checkpointed live migration for provisioner drains:\n";
+  out += indent + "  state    checkpoint size shipped per move, MB (default 256)\n";
+  out += indent + "  bw       link bandwidth, megabit/s (default 1000)\n";
+  out += indent + "  overhead fixed per-move cost, seconds (default 1)\n";
+  out += indent + "  inflight max concurrent transfers (default 4)\n";
+  out += indent + "  gain     migrate only if remaining runtime > gain x\n";
+  out += indent + "           transfer time (default 2)\n";
+  return out;
+}
+
+MigrationController::MigrationController(diet::Hierarchy& hierarchy,
+                                         MigrationOptions options)
+    : hierarchy_(hierarchy), options_(options) {
+  options_.validate();
+  for (const auto& sed : hierarchy_.seds()) seds_[sed->node().id()] = sed.get();
+}
+
+void MigrationController::open_journal(const std::filesystem::path& path) {
+  const durable::Journal::Replay replay = durable::Journal::replay(path);
+  std::set<std::uint64_t> open_intents;
+  for (const std::string& payload : replay.records) {
+    const MigrationRecord record = decode_migration_record(payload);
+    if (record.kind == MigrationRecordKind::kIntent)
+      open_intents.insert(record.migration);
+    else
+      open_intents.erase(record.migration);
+  }
+  // An unresolved INTENT means the crash hit between the frame and the
+  // commit event: ownership never moved, the source still ran the task.
+  // Nothing to repair — count it and start this run's log fresh.
+  recovered_intents_ = open_intents.size();
+  durable::Journal::reset(path);
+  journal_ = durable::Journal::open(path);
+}
+
+diet::Sed* MigrationController::sed_for(common::NodeId node) const noexcept {
+  const auto it = seds_.find(node);
+  return it == seds_.end() ? nullptr : it->second;
+}
+
+void MigrationController::journal_write(const MigrationRecord& record) {
+  if (journal_) journal_->append(encode_migration_record(record));
+}
+
+void MigrationController::drain(des::SimTime now,
+                                const std::vector<common::NodeId>& sources,
+                                const std::vector<common::NodeId>& targets) {
+  const double transfer = options_.transfer_seconds();
+  for (const common::NodeId source : sources) {
+    diet::Sed* src = sed_for(source);
+    if (src == nullptr || !src->node().is_on()) continue;
+    for (const diet::Sed::RunningView& view : src->running_snapshot()) {
+      if (in_flight_.size() >= options_.max_in_flight) return;
+      if (migrating_.contains(view.task)) continue;
+      // Moving a task that would finish before (or barely after) the
+      // checkpoint lands just burns the link for nothing.
+      if (view.end_time - now.value() < options_.min_gain * transfer) continue;
+
+      diet::Sed* tgt = nullptr;
+      common::NodeId target{};
+      for (const common::NodeId candidate : targets) {
+        if (candidate == source) continue;
+        diet::Sed* sed = sed_for(candidate);
+        if (sed == nullptr || !sed->node().is_on() || sed->node().draining()) continue;
+        const std::size_t reserved = reserved_.contains(candidate) ? reserved_[candidate] : 0;
+        if (!sed->can_accept(static_cast<unsigned>(1 + reserved))) continue;
+        tgt = sed;
+        target = candidate;
+        break;
+      }
+      if (tgt == nullptr) continue;
+
+      const std::uint64_t id = ++next_id_;
+      MigrationRecord intent;
+      intent.kind = MigrationRecordKind::kIntent;
+      intent.migration = id;
+      intent.task = view.task;
+      intent.request = view.request;
+      intent.source = src->name();
+      intent.target = tgt->name();
+      intent.time = now.value();
+      journal_write(intent);
+
+      ++started_;
+      GS_TCOUNT(migrations_started);
+      in_flight_[id] = InFlight{view.task, view.request, source, target};
+      migrating_.insert(view.task);
+      ++reserved_[target];
+      ++outgoing_[source];
+      src->node().set_draining(true);
+      telemetry::Telemetry::instant("migration.intent", "migrate", now.value(),
+                                    view.task.value(), src->name());
+
+      const des::SimTime commit_at = now + common::Seconds(transfer);
+      hierarchy_.sim().schedule_at(commit_at, [this, id] {
+        finish(hierarchy_.sim().now(), id);
+      });
+    }
+  }
+}
+
+void MigrationController::finish(des::SimTime now, std::uint64_t migration) {
+  const auto it = in_flight_.find(migration);
+  if (it == in_flight_.end()) return;  // defensive: never double-resolved
+  const InFlight flight = it->second;
+
+  diet::Sed* src = sed_for(flight.source);
+  diet::Sed* tgt = sed_for(flight.target);
+  const std::optional<diet::Sed::RunningView> view =
+      src != nullptr ? src->find_running(flight.task) : std::nullopt;
+
+  // The task finished (or died with a crashed source) before the
+  // checkpoint landed — `end_time <= now` covers the same-timestamp
+  // completion whichever event the simulator pops first.
+  const bool source_done = !view.has_value() || view->end_time <= now.value();
+  // Target crashed or filled up since the intent: the task never moved
+  // and keeps running at the source; the next provisioner tick simply
+  // re-queues the drain.
+  const bool target_gone =
+      tgt == nullptr || !tgt->node().is_on() || !tgt->can_accept(1);
+
+  if (source_done || target_gone) {
+    MigrationRecord abort;
+    abort.kind = MigrationRecordKind::kAbort;
+    abort.migration = migration;
+    abort.task = flight.task;
+    abort.request = flight.request;
+    abort.source = src != nullptr ? src->name() : std::string{};
+    abort.target = tgt != nullptr ? tgt->name() : std::string{};
+    abort.time = now.value();
+    journal_write(abort);
+    ++aborted_;
+    GS_TCOUNT(migrations_aborted);
+    resolve(now, migration, flight, false);
+    return;
+  }
+
+  diet::Sed::MigratedTask task = src->detach_for_migration(flight.task);
+  MigrationRecord commit;
+  commit.kind = MigrationRecordKind::kCommit;
+  commit.migration = migration;
+  commit.task = flight.task;
+  commit.request = flight.request;
+  commit.source = src->name();
+  commit.target = tgt->name();
+  commit.time = now.value();
+  commit.remaining_flops = task.remaining.value();
+  journal_write(commit);
+
+  tgt->resume_migrated(std::move(task));
+  ++committed_;
+  GS_TCOUNT(migrations_committed);
+  resolve(now, migration, flight, true);
+  // The source just freed a core without completing a task; queued
+  // requests may now be servable there.
+  hierarchy_.notify_capacity_change();
+}
+
+void MigrationController::resolve(des::SimTime now, std::uint64_t migration,
+                                  const InFlight& flight, bool committed) {
+  diet::Sed* src = sed_for(flight.source);
+  diet::Sed* tgt = sed_for(flight.target);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", now.value());
+  sequence_ += buf;
+  sequence_ += ':';
+  sequence_ += std::to_string(flight.task.value());
+  sequence_ += ':';
+  sequence_ += src != nullptr ? src->name() : "?";
+  sequence_ += '>';
+  sequence_ += tgt != nullptr ? tgt->name() : "?";
+  sequence_ += committed ? ":c;" : ":a;";
+
+  in_flight_.erase(migration);
+  migrating_.erase(flight.task);
+  if (const auto r = reserved_.find(flight.target); r != reserved_.end()) {
+    if (--r->second == 0) reserved_.erase(r);
+  }
+  if (const auto o = outgoing_.find(flight.source); o != outgoing_.end()) {
+    if (--o->second == 0) {
+      outgoing_.erase(o);
+      if (src != nullptr) src->node().set_draining(false);
+    }
+  }
+}
+
+}  // namespace greensched::migrate

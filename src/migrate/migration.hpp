@@ -1,0 +1,147 @@
+// gs_migrate: checkpointed live task migration.
+//
+// The provisioner can only power a node down once it is empty; without
+// migration a single long task strands an inefficient machine at near-idle
+// power for hours (exactly the case the paper's Sagittaire nodes hit).
+// The MigrationController closes that gap: invoked from the provisioner's
+// check hook with the nodes it wants empty (least-efficient first) and the
+// nodes it wants to keep (most-efficient first), it checkpoints running
+// tasks off the drain set and resumes them on the keep set.
+//
+// A migration is a tiny state machine:
+//
+//   INTENT ──(transfer_seconds later)──► COMMIT   task detached at source,
+//        │                                        resumed at target
+//        └────────────────────────────► ABORT    task finished at the
+//                                                 source first, or the
+//                                                 target lost capacity —
+//                                                 the task never moved
+//
+// Ownership changes only inside COMMIT: until then the task keeps running
+// at the source, so an abort is free (the "fallback re-queue" is simply
+// the next provisioner tick retrying the drain).  Each transition is
+// journaled through gs_durable before it takes effect, so a SIGKILL
+// mid-migration can neither double-run nor lose a task: an INTENT with no
+// resolution means the source still owned the task.
+//
+// Determinism: the controller draws no randomness and runs entirely in
+// simulator events, so a fixed seed and shard count reproduce the exact
+// migration sequence bit-for-bit; with no --migration spec it is never
+// constructed and the run is byte-identical to a migration-free build.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "des/simulator.hpp"
+#include "diet/hierarchy.hpp"
+#include "durable/journal.hpp"
+#include "migrate/record.hpp"
+
+namespace greensched::migrate {
+
+/// Cost-model and policy knobs, settable via "drain:k=v,..." specs.
+struct MigrationOptions {
+  /// Checkpoint state size shipped per migration, in megabytes.
+  double state_mb = 256.0;
+  /// Link bandwidth between any two nodes, in megabits per second
+  /// (Grid'5000 gigabit interconnect by default).
+  double bandwidth_mbps = 1000.0;
+  /// Fixed per-migration overhead (checkpoint + re-queue), seconds.
+  double overhead_seconds = 1.0;
+  /// Cap on concurrently in-flight migrations across the platform.
+  std::size_t max_in_flight = 4;
+  /// Only migrate a task whose remaining runtime exceeds this multiple
+  /// of the transfer time — moving a nearly-done task wastes the link.
+  double min_gain = 2.0;
+
+  /// Seconds to ship one checkpoint: overhead + size / bandwidth.
+  [[nodiscard]] double transfer_seconds() const noexcept {
+    return overhead_seconds + state_mb * 8.0 / bandwidth_mbps;
+  }
+
+  /// Throws common::ConfigError on non-positive sizes/bandwidth or a
+  /// zero in-flight cap.
+  void validate() const;
+};
+
+/// Parses "drain:state=256,bw=1000,overhead=1,inflight=4,gain=2".
+/// Throws common::ConfigError on an unknown name/key or bad value.
+[[nodiscard]] MigrationOptions parse_migration_options(const std::string& spec);
+
+/// CLI help block for the --migration flag, indented by `indent`.
+[[nodiscard]] std::string migration_help(const std::string& indent);
+
+/// Drives checkpointed migrations over one hierarchy.  Single-threaded,
+/// RNG-free; all mutation happens inside simulator events.
+class MigrationController {
+ public:
+  MigrationController(diet::Hierarchy& hierarchy, MigrationOptions options);
+
+  /// Attaches a write-ahead journal at `path`.  Any existing log is
+  /// replayed first: complete frames are scanned, INTENT frames with no
+  /// COMMIT/ABORT are counted as recovered in-doubt migrations (the task
+  /// stayed with its source — nothing to undo), and the file is then
+  /// reset for this run's frames.
+  void open_journal(const std::filesystem::path& path);
+
+  /// Provisioner check hook: try to empty `sources` (least efficient
+  /// first) onto `targets` (most efficient first).  Starts at most
+  /// enough transfers to stay within max_in_flight; tasks already in
+  /// flight, nearly finished, or without a viable target are skipped.
+  void drain(des::SimTime now, const std::vector<common::NodeId>& sources,
+             const std::vector<common::NodeId>& targets);
+
+  // --- counters (per run) ---
+  [[nodiscard]] std::uint64_t started() const noexcept { return started_; }
+  [[nodiscard]] std::uint64_t committed() const noexcept { return committed_; }
+  [[nodiscard]] std::uint64_t aborted() const noexcept { return aborted_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_.size(); }
+  [[nodiscard]] std::uint64_t recovered_intents() const noexcept { return recovered_intents_; }
+
+  /// Resolution log, one entry per finished migration:
+  /// "<time>:<task>:<source>><target>:<c|a>;" with %.17g times — the
+  /// determinism contract compares this string across shard counts.
+  [[nodiscard]] const std::string& sequence() const noexcept { return sequence_; }
+
+  [[nodiscard]] const MigrationOptions& options() const noexcept { return options_; }
+
+ private:
+  struct InFlight {
+    common::TaskId task{};
+    common::RequestId request{};
+    common::NodeId source{};
+    common::NodeId target{};
+  };
+
+  void finish(des::SimTime now, std::uint64_t migration);
+  void journal_write(const MigrationRecord& record);
+  void resolve(des::SimTime now, std::uint64_t migration, const InFlight& flight,
+               bool committed);
+  [[nodiscard]] diet::Sed* sed_for(common::NodeId node) const noexcept;
+
+  diet::Hierarchy& hierarchy_;
+  MigrationOptions options_;
+  std::optional<durable::Journal> journal_;
+
+  std::map<common::NodeId, diet::Sed*> seds_;       ///< platform map, built once
+  std::map<std::uint64_t, InFlight> in_flight_;     ///< keyed by migration id
+  std::set<common::TaskId> migrating_;              ///< tasks with an open INTENT
+  std::map<common::NodeId, std::size_t> reserved_;  ///< inbound reservations
+  std::map<common::NodeId, std::size_t> outgoing_;  ///< open drains per source
+
+  std::uint64_t next_id_ = 0;
+  std::uint64_t started_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t recovered_intents_ = 0;
+  std::string sequence_;
+};
+
+}  // namespace greensched::migrate

@@ -1,0 +1,52 @@
+#include "migrate/record.hpp"
+
+#include "common/error.hpp"
+#include "durable/serialize.hpp"
+
+namespace greensched::migrate {
+
+const char* to_string(MigrationRecordKind kind) noexcept {
+  switch (kind) {
+    case MigrationRecordKind::kIntent:
+      return "INTENT";
+    case MigrationRecordKind::kCommit:
+      return "COMMIT";
+    case MigrationRecordKind::kAbort:
+      return "ABORT";
+  }
+  return "?";
+}
+
+std::string encode_migration_record(const MigrationRecord& record) {
+  durable::ByteWriter writer;
+  writer.u32(static_cast<std::uint32_t>(record.kind));
+  writer.u64(record.migration);
+  writer.u64(record.task.value());
+  writer.u64(record.request.value());
+  writer.str(record.source);
+  writer.str(record.target);
+  writer.f64(record.time);
+  writer.f64(record.remaining_flops);
+  return writer.take();
+}
+
+MigrationRecord decode_migration_record(std::string_view payload) {
+  durable::ByteReader reader(payload);
+  MigrationRecord record;
+  const std::uint32_t kind = reader.u32();
+  if (kind < 1 || kind > 3)
+    throw common::ParseError(
+        "migration record: unknown kind tag " + std::to_string(kind), 0, 0);
+  record.kind = static_cast<MigrationRecordKind>(kind);
+  record.migration = reader.u64();
+  record.task = common::TaskId(reader.u64());
+  record.request = common::RequestId(reader.u64());
+  record.source = reader.str();
+  record.target = reader.str();
+  record.time = reader.f64();
+  record.remaining_flops = reader.f64();
+  reader.expect_end();
+  return record;
+}
+
+}  // namespace greensched::migrate

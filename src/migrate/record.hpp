@@ -1,0 +1,58 @@
+// Migration journal records: the durable trace of every checkpointed
+// task move.
+//
+// Each migration writes up to two frames into the journal:
+//
+//   INTENT  — at drain decision time, before anything moves.  Carries
+//             the full plan (task, endpoints, transfer finish time).
+//   COMMIT  — at checkpoint commit: the task left the source and was
+//             resumed at the target with `remaining_flops` of work.
+//   ABORT   — the transfer was cancelled (task finished at the source
+//             first, or the target lost capacity); the task never moved
+//             and keeps running/re-queues at the source.
+//
+// Recovery replays the log and treats an INTENT without a matching
+// COMMIT/ABORT as an in-doubt migration: the task is still owned by the
+// source (ownership only ever changes inside the COMMIT frame), so the
+// recovered run simply re-queues the drain — a SIGKILL mid-migration can
+// neither double-run nor lose a task.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/ids.hpp"
+
+namespace greensched::migrate {
+
+enum class MigrationRecordKind : std::uint32_t {
+  kIntent = 1,
+  kCommit = 2,
+  kAbort = 3,
+};
+
+[[nodiscard]] const char* to_string(MigrationRecordKind kind) noexcept;
+
+struct MigrationRecord {
+  MigrationRecordKind kind = MigrationRecordKind::kIntent;
+  std::uint64_t migration = 0;  ///< controller-local id, shared by the pair
+  common::TaskId task{};
+  common::RequestId request{};
+  std::string source;  ///< SED name the task is leaving
+  std::string target;  ///< SED name the task is headed for
+  double time = 0.0;   ///< simulated time the frame was written
+  /// COMMIT: work balance resumed at the target.  INTENT/ABORT: 0.
+  double remaining_flops = 0.0;
+
+  [[nodiscard]] bool operator==(const MigrationRecord&) const = default;
+};
+
+/// Encodes `record` as a journal payload (little-endian, bit-exact f64).
+[[nodiscard]] std::string encode_migration_record(const MigrationRecord& record);
+
+/// Decodes one payload; throws common::ParseError on truncation, an
+/// unknown kind tag, or trailing bytes.
+[[nodiscard]] MigrationRecord decode_migration_record(std::string_view payload);
+
+}  // namespace greensched::migrate

@@ -20,6 +20,14 @@ namespace {
 
 constexpr const char* kWhat = "sla policy";
 
+/// Minimum defer wake-up delay.  `min(defer, remaining/2)` shrinks
+/// toward zero as a deadline closes in (and a legal `defer=1e-9` spec
+/// starts there): without a floor the wake-up fires at effectively the
+/// same instant, and a saturated platform busy-loops defer rounds.  One
+/// millisecond is far below any boot/transfer time yet keeps the event
+/// count bounded.
+constexpr double kDeferFloorSeconds = 1e-3;
+
 double tie_break(const Candidate& c) {
   return c.estimation.get_or(EstTag::kRandomDraw, 0.0);
 }
@@ -107,12 +115,18 @@ diet::AdmissionVerdict SlaPolicy::decide_with_threshold(const AdmissionContext& 
   // otherwise the request can only be turned away.
   const auto defer_or_reject = [&]() -> AdmissionVerdict {
     if (remaining > options_.defer_seconds) {
-      return {Admission::kDefer, std::min(options_.defer_seconds, remaining / 2.0)};
+      const double delay =
+          std::max(std::min(options_.defer_seconds, remaining / 2.0), kDeferFloorSeconds);
+      return {Admission::kDefer, delay};
     }
     return {Admission::kReject, 0.0};
   };
 
-  if (timed && remaining <= 0.0) return {Admission::kReject, 0.0};
+  // Dead on arrival at the decision: the deadline passed while the
+  // request sat queued/deferred.  Deferring would schedule a wake-up
+  // with non-positive slack (a busy-loop under saturation), so turn it
+  // away — flagged so the client books an SLA violation, not a refusal.
+  if (timed && remaining <= 0.0) return {Admission::kReject, 0.0, /*deadline_expired=*/true};
 
   // Power-capped out of existence: the provisioner's filter left nothing
   // eligible.  A timed request waits for capacity only while it can.

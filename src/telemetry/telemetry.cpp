@@ -59,6 +59,11 @@ BuiltinMetrics register_builtin(MetricRegistry& registry) {
   b.rule_firings = registry.counter("green.rule_firings");
   b.ramp_up_steps = registry.counter("green.ramp_up_steps");
   b.ramp_down_steps = registry.counter("green.ramp_down_steps");
+  b.tasks_migrated_out = registry.counter("diet.tasks_migrated_out");
+  b.migrations_started = registry.counter("migrate.started");
+  b.migrations_committed = registry.counter("migrate.committed");
+  b.migrations_aborted = registry.counter("migrate.aborted");
+  b.provisioner_drain_requests = registry.counter("green.provisioner_drain_requests");
   b.node_boots = registry.counter("cluster.node_boots");
   b.node_shutdowns = registry.counter("cluster.node_shutdowns");
   b.node_failures = registry.counter("cluster.node_failures");

@@ -77,6 +77,12 @@ struct BuiltinMetrics {
   CounterId rule_firings;
   CounterId ramp_up_steps;
   CounterId ramp_down_steps;
+  // live migration (diet SED endpoints + migrate controller + green drain)
+  CounterId tasks_migrated_out;    ///< checkpointed detachments at a source SED
+  CounterId migrations_started;    ///< INTENT frames journaled
+  CounterId migrations_committed;  ///< transfers that re-queued at the target
+  CounterId migrations_aborted;    ///< transfers voided (task done / target gone)
+  CounterId provisioner_drain_requests;  ///< busy non-candidates handed to the hook
   // node power state machine (cluster)
   CounterId node_boots;
   CounterId node_shutdowns;

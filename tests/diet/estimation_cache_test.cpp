@@ -185,9 +185,10 @@ TEST(EstimationCache, TemperatureRefreshedOnHits) {
 
 // The core guarantee, as a twin-simulation property test: two identical
 // fixtures (same seeds) run the same random event script — task starts,
-// completions, time advances, crashes, repairs, power cycles — with the
-// cache on in one and off in the other.  At every probe point the two
-// estimation vectors must be field-for-field (bitwise) identical.
+// completions, time advances, crashes, repairs, power cycles, draining
+// toggles and checkpoint/resume migrations — with the cache on in one
+// and off in the other.  At every probe point the two estimation
+// vectors must be field-for-field (bitwise) identical.
 TEST(EstimationCache, PropertyCachedEqualsFreshAcrossInterleavings) {
   for (std::uint64_t scenario = 0; scenario < 20; ++scenario) {
     Fixture cached_f;
@@ -203,7 +204,7 @@ TEST(EstimationCache, PropertyCachedEqualsFreshAcrossInterleavings) {
     double now = 0.0;
     std::uint64_t next_task = 0;
     for (int step = 0; step < 200; ++step) {
-      const int action = script.uniform_int(0, 5);
+      const int action = script.uniform_int(0, 7);
       switch (action) {
         case 0: {  // advance simulated time
           now += script.uniform(0.1, 120.0);
@@ -248,6 +249,25 @@ TEST(EstimationCache, PropertyCachedEqualsFreshAcrossInterleavings) {
           fresh_f.node.power_on(t);
           cached_f.node.complete_boot(t);
           fresh_f.node.complete_boot(t);
+          break;
+        }
+        case 5: {  // draining toggle: a discrete state change with no
+                   // power/occupancy effect — the stamp must still bump
+                   // so the cache can never serve a pre-toggle vector.
+          cached_f.node.set_draining(!cached_f.node.draining());
+          fresh_f.node.set_draining(!fresh_f.node.draining());
+          break;
+        }
+        case 6: {  // checkpoint a running task and resume it in place —
+                   // the migration path's epoch bumps, minus the network.
+          if (cached_f.node.state() != cluster::NodeState::kOn) break;
+          const auto snapshot = cached.running_snapshot();
+          if (snapshot.empty()) break;
+          const common::TaskId victim = snapshot.front().task;
+          Sed::MigratedTask moved_cached = cached.detach_for_migration(victim);
+          Sed::MigratedTask moved_fresh = fresh.detach_for_migration(victim);
+          (void)cached.resume_migrated(std::move(moved_cached));
+          (void)fresh.resume_migrated(std::move(moved_fresh));
           break;
         }
         default: {  // probe: both sides must agree bitwise

@@ -223,5 +223,31 @@ TEST(Sed, HistoryAccumulates) {
   EXPECT_EQ(sed.tasks_running(), 0u);
 }
 
+TEST(Sed, EstimationLatencyNeverGoesNegativeAfterAStallExpires) {
+  // Regression: `stall_until_ - now` goes negative once simulated time
+  // passes the stall's end; without the clamp an expired stall would
+  // *subtract* from the limp latency and could report a negative wait
+  // to the collect gate.
+  Fixture f;
+  Sed sed = f.make_sed();
+  sed.stall_until(Seconds(10.0));
+  EXPECT_DOUBLE_EQ(sed.estimation_latency(), 10.0);
+
+  f.sim.schedule_at(Seconds(25.0), [] {});
+  f.sim.run();
+  ASSERT_EQ(f.sim.now().value(), 25.0);
+  EXPECT_DOUBLE_EQ(sed.estimation_latency(), 0.0);
+  EXPECT_GE(sed.estimation_latency(), 0.0);
+
+  // The permanent limp survives the expired stall untouched.
+  sed.set_limp_latency(3.5);
+  EXPECT_DOUBLE_EQ(sed.estimation_latency(), 3.5);
+
+  // Overlapping stalls max-merge: a shorter one never shortens a longer.
+  sed.stall_until(Seconds(40.0));
+  sed.stall_until(Seconds(30.0));
+  EXPECT_DOUBLE_EQ(sed.estimation_latency(), 15.0 + 3.5);
+}
+
 }  // namespace
 }  // namespace greensched::diet

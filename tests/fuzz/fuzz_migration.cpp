@@ -1,0 +1,25 @@
+// Fuzz harness for the migration journal record codec.
+//
+// Journal payloads pass a CRC check before reaching the decoder, but
+// recovery must survive bit rot that predates the CRC (and future
+// writers changing the frame schema): decode or ParseError, never a
+// wild read, an over-long string pull, or a silent partial decode.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "migrate/record.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  try {
+    const greensched::migrate::MigrationRecord record =
+        greensched::migrate::decode_migration_record(payload);
+    // A successful decode must round-trip bit-exactly: encode is the
+    // codec's ground truth, so any drift is a decoder bug.
+    if (greensched::migrate::encode_migration_record(record) != payload) __builtin_trap();
+  } catch (const greensched::common::ParseError&) {
+  }
+  return 0;
+}

@@ -17,11 +17,11 @@ using common::Seconds;
 
 // --- registry / spec parsing ---
 
-TEST(StrategyRegistry, KnowsAllFiveStrategies) {
+TEST(StrategyRegistry, KnowsAllSixStrategies) {
   const auto names = provisioning_strategy_names();
-  ASSERT_EQ(names.size(), 5u);
-  for (const char* expected :
-       {"rule-fraction", "power-cap", "delayed-off", "hetero-schedule", "reactive-idle"}) {
+  ASSERT_EQ(names.size(), 6u);
+  for (const char* expected : {"rule-fraction", "power-cap", "delayed-off", "hetero-schedule",
+                               "reactive-idle", "consolidate"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
     EXPECT_TRUE(is_provisioning_strategy(expected)) << expected;
   }

@@ -1,0 +1,145 @@
+// SIGKILL mid-migration: the write-ahead journal must heal, the in-doubt
+// accounting must match what the torn log actually holds, and a recovered
+// re-run must place every task byte-identically to an uninterrupted run —
+// no task doubled, none lost.
+//
+// The child loops the consolidation run with a journal attached, so the
+// kill lands at an arbitrary point of the INTENT/COMMIT/ABORT stream (an
+// honest crash: no destructors, no flush).  The parent peeks at a copy of
+// the live journal until at least one frame is durable, kills, heals, and
+// re-runs in-process.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "durable/journal.hpp"
+#include "metrics/experiment.hpp"
+#include "migrate/record.hpp"
+
+namespace greensched::migrate {
+namespace {
+
+namespace fs = std::filesystem;
+
+metrics::PlacementConfig crash_config() {
+  metrics::PlacementConfig config;
+  config.clusters = metrics::table1_clusters();
+  config.policy = "POWER";
+  config.seed = 42;
+  config.workload.requests_per_core = 2.0;
+  config.workload.burst_size = 1000;
+  config.workload.continuous_rate = 1.0;
+  config.workload.task.work = common::Flops(6e11);
+  config.provisioner = "consolidate:delay=20,trigger=0.5";
+  config.provisioner_check_seconds = 10.0;
+  config.migration = "drain:state=256,bw=1000,overhead=1,inflight=4,gain=2";
+  return config;
+}
+
+/// Counts INTENT frames with no COMMIT/ABORT in a (healed) payload list —
+/// the same rule MigrationController::open_journal applies.
+std::uint64_t unresolved_intents(const std::vector<std::string>& payloads) {
+  std::set<std::uint64_t> open;
+  for (const std::string& payload : payloads) {
+    const MigrationRecord record = decode_migration_record(payload);
+    if (record.kind == MigrationRecordKind::kIntent) {
+      open.insert(record.migration);
+    } else {
+      open.erase(record.migration);
+    }
+  }
+  return open.size();
+}
+
+TEST(MigrationCrashTest, SigkillMidMigrationHealsAndRerunsByteIdentically) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "gs_migrate_sigkill";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path journal = dir / "migrate.journal";
+
+  // Ground truth: the same config, uninterrupted and journal-free.
+  const metrics::PlacementResult expected = metrics::run_placement(crash_config());
+  ASSERT_GT(expected.migrations_committed, 0u);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    // Child: loop the journaled run until the parent kills us, so the
+    // SIGKILL lands at an arbitrary point of the frame stream.
+    metrics::PlacementConfig config = crash_config();
+    config.migration_journal = journal.string();
+    try {
+      for (;;) (void)metrics::run_placement(config);
+    } catch (...) {
+      _exit(1);
+    }
+  }
+
+  // Parent: wait for at least one durable migration frame, then kill.
+  std::size_t frames_seen = 0;
+  for (int i = 0; i < 30000 && frames_seen == 0; ++i) {
+    if (fs::exists(journal)) {
+      // Peeking at a live journal is safe: replay stops at the first
+      // incomplete frame.  Work on a copy so healing truncation never
+      // races the writer.
+      std::error_code ec;
+      const fs::path peek = dir / "peek.journal";
+      fs::copy_file(journal, peek, fs::copy_options::overwrite_existing, ec);
+      if (!ec) {
+        try {
+          frames_seen = durable::Journal::replay(peek).records.size();
+        } catch (...) {
+          // Header itself mid-write; keep polling.
+        }
+      }
+    }
+    if (frames_seen == 0) usleep(1000);
+  }
+  kill(child, SIGKILL);
+  int status = 0;
+  waitpid(child, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_GE(frames_seen, 1u) << "child never journaled a frame before the kill";
+
+  // The torn log heals: every surviving frame decodes, and the number of
+  // in-doubt intents is well-defined.
+  const fs::path snapshot = dir / "post_kill.journal";
+  fs::copy_file(journal, snapshot, fs::copy_options::overwrite_existing);
+  const durable::Journal::Replay healed = durable::Journal::replay(snapshot);
+  for (const std::string& payload : healed.records) {
+    EXPECT_NO_THROW((void)decode_migration_record(payload));
+  }
+  const std::uint64_t in_doubt = unresolved_intents(healed.records);
+
+  // Recovered re-run over the same journal path: open_journal must count
+  // exactly the in-doubt intents the torn log held, then produce the
+  // byte-identical placement — an INTENT without a COMMIT means the
+  // source still owned the task, so nothing is doubled or lost.
+  metrics::PlacementConfig config = crash_config();
+  config.migration_journal = journal.string();
+  const metrics::PlacementResult recovered = metrics::run_placement(config);
+  EXPECT_EQ(recovered.migrations_recovered, in_doubt);
+  EXPECT_EQ(recovered.tasks_per_server, expected.tasks_per_server);
+  EXPECT_EQ(recovered.migration_sequence, expected.migration_sequence);
+  EXPECT_EQ(recovered.energy.value(), expected.energy.value());
+  EXPECT_EQ(recovered.makespan.value(), expected.makespan.value());
+  EXPECT_EQ(recovered.tasks_completed, recovered.tasks);
+  EXPECT_EQ(recovered.tasks_lost, 0u);
+  EXPECT_EQ(recovered.tasks_unfinished, 0u);
+  std::size_t placed = 0;
+  for (const auto& [server, count] : recovered.tasks_per_server) placed += count;
+  EXPECT_EQ(placed, recovered.tasks) << "a task was doubled or lost across the crash";
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace greensched::migrate

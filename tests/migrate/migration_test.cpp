@@ -1,0 +1,410 @@
+// gs_migrate acceptance: record codec, cost model, spec parsing, the
+// controller's commit/abort accounting under a real consolidation run,
+// journal recovery of in-doubt intents, and the determinism contract
+// (bit-identical migration sequence across serving shards and sweep
+// jobs).  The oracle's invariant 8 (migration conservation) runs against
+// a hand-built stack so the controller itself is reachable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "diet/client.hpp"
+#include "diet/hierarchy.hpp"
+#include "durable/journal.hpp"
+#include "green/policies.hpp"
+#include "green/provisioner.hpp"
+#include "metrics/experiment.hpp"
+#include "migrate/migration.hpp"
+#include "migrate/record.hpp"
+#include "support/oracle.hpp"
+#include "workload/generator.hpp"
+
+namespace greensched::migrate {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- codec
+
+MigrationRecord sample_record(MigrationRecordKind kind) {
+  MigrationRecord r;
+  r.kind = kind;
+  r.migration = 7;
+  r.task = common::TaskId{41};
+  r.request = common::RequestId{113};
+  r.source = "sagittaire-0-sed-1";
+  r.target = "orion-2-sed-0";
+  r.time = 1234.5678901234567;  // full f64 precision must survive
+  r.remaining_flops = kind == MigrationRecordKind::kCommit ? 3.25e11 : 0.0;
+  return r;
+}
+
+TEST(MigrationRecordCodec, RoundTripsEveryKindBitExactly) {
+  for (const auto kind : {MigrationRecordKind::kIntent, MigrationRecordKind::kCommit,
+                          MigrationRecordKind::kAbort}) {
+    const MigrationRecord original = sample_record(kind);
+    const MigrationRecord decoded = decode_migration_record(encode_migration_record(original));
+    EXPECT_EQ(decoded, original) << to_string(kind);
+  }
+}
+
+TEST(MigrationRecordCodec, RejectsUnknownKind) {
+  std::string payload = encode_migration_record(sample_record(MigrationRecordKind::kIntent));
+  payload[0] = '\x07';  // kind is the leading little-endian u32
+  EXPECT_THROW((void)decode_migration_record(payload), common::ParseError);
+}
+
+TEST(MigrationRecordCodec, RejectsTruncationAtEveryByte) {
+  const std::string payload =
+      encode_migration_record(sample_record(MigrationRecordKind::kCommit));
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW((void)decode_migration_record(std::string_view(payload).substr(0, len)),
+                 common::ParseError)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(MigrationRecordCodec, RejectsTrailingBytes) {
+  std::string payload = encode_migration_record(sample_record(MigrationRecordKind::kAbort));
+  payload += '\0';
+  EXPECT_THROW((void)decode_migration_record(payload), common::ParseError);
+}
+
+// ------------------------------------------------------ options / spec
+
+TEST(MigrationOptions, TransferSecondsIsOverheadPlusShipTime) {
+  MigrationOptions options;  // 256 MB over 1000 Mbps + 1 s overhead
+  EXPECT_DOUBLE_EQ(options.transfer_seconds(), 1.0 + 256.0 * 8.0 / 1000.0);
+  options.state_mb = 1024.0;
+  options.bandwidth_mbps = 10000.0;
+  options.overhead_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(options.transfer_seconds(), 0.5 + 1024.0 * 8.0 / 10000.0);
+}
+
+TEST(MigrationOptions, ParsesFullSpec) {
+  const MigrationOptions options =
+      parse_migration_options("drain:state=512,bw=10000,overhead=0.5,inflight=2,gain=3");
+  EXPECT_DOUBLE_EQ(options.state_mb, 512.0);
+  EXPECT_DOUBLE_EQ(options.bandwidth_mbps, 10000.0);
+  EXPECT_DOUBLE_EQ(options.overhead_seconds, 0.5);
+  EXPECT_EQ(options.max_in_flight, 2u);
+  EXPECT_DOUBLE_EQ(options.min_gain, 3.0);
+}
+
+TEST(MigrationOptions, BareDrainGivesDefaults) {
+  const MigrationOptions options = parse_migration_options("drain");
+  const MigrationOptions defaults;
+  EXPECT_DOUBLE_EQ(options.state_mb, defaults.state_mb);
+  EXPECT_EQ(options.max_in_flight, defaults.max_in_flight);
+}
+
+TEST(MigrationOptions, RejectsBadSpecs) {
+  EXPECT_THROW((void)parse_migration_options("teleport:state=1"), common::ConfigError);
+  EXPECT_THROW((void)parse_migration_options("drain:warp=9"), common::ConfigError);
+  EXPECT_THROW((void)parse_migration_options("drain:state=0"), common::ConfigError);
+  EXPECT_THROW((void)parse_migration_options("drain:bw=-1"), common::ConfigError);
+  EXPECT_THROW((void)parse_migration_options("drain:inflight=0"), common::ConfigError);
+  EXPECT_THROW((void)parse_migration_options("drain:state=abc"), common::ConfigError);
+}
+
+TEST(MigrationOptions, HelpMentionsEveryKnob) {
+  const std::string help = migration_help("  ");
+  for (const char* knob : {"drain", "state", "bw", "overhead", "inflight", "gain"}) {
+    EXPECT_NE(help.find(knob), std::string::npos) << knob;
+  }
+}
+
+// --------------------------------------------------- harness integration
+
+/// The proven fast consolidation config: one burst, two tasks per core,
+/// ~1-minute tasks on the fast nodes.  The consolidate strategy shrinks
+/// the pool once the queue drains and the drain hook checkpoints the
+/// sagittaire stragglers onto the surviving candidates.
+metrics::PlacementConfig fast_migration_config() {
+  metrics::PlacementConfig config;
+  config.clusters = metrics::table1_clusters();
+  config.policy = "POWER";
+  config.seed = 42;
+  config.workload.requests_per_core = 2.0;
+  config.workload.burst_size = 1000;
+  config.workload.continuous_rate = 1.0;
+  config.workload.task.work = common::Flops(6e11);
+  config.provisioner = "consolidate:delay=20,trigger=0.5";
+  config.provisioner_check_seconds = 10.0;
+  config.migration = "drain:state=256,bw=1000,overhead=1,inflight=4,gain=2";
+  return config;
+}
+
+TEST(MigrationHarness, ConsolidationRunCommitsMigrationsAndConservesTasks) {
+  const metrics::PlacementResult result = metrics::run_placement(fast_migration_config());
+  EXPECT_GT(result.migrations_started, 0u);
+  EXPECT_GT(result.migrations_committed, 0u);
+  EXPECT_EQ(result.migrations_started,
+            result.migrations_committed + result.migrations_aborted);
+  EXPECT_EQ(result.migrations_recovered, 0u);
+  EXPECT_GT(result.drain_requests, 0u);
+  EXPECT_FALSE(result.migration_sequence.empty());
+  // Conservation: every task completed, none lost or stuck, despite the
+  // ownership handoffs mid-flight.
+  EXPECT_EQ(result.tasks_completed, result.tasks);
+  EXPECT_EQ(result.tasks_lost, 0u);
+  EXPECT_EQ(result.tasks_unfinished, 0u);
+  // Each resolution logs exactly one ';'-terminated entry.
+  const auto entries = static_cast<std::uint64_t>(
+      std::count(result.migration_sequence.begin(), result.migration_sequence.end(), ';'));
+  EXPECT_EQ(entries, result.migrations_committed + result.migrations_aborted);
+}
+
+TEST(MigrationHarness, NoSpecLeavesEveryMigrationFieldZero) {
+  metrics::PlacementConfig config = fast_migration_config();
+  config.migration.clear();
+  const metrics::PlacementResult result = metrics::run_placement(config);
+  EXPECT_TRUE(result.migration.empty());
+  EXPECT_EQ(result.migrations_started, 0u);
+  EXPECT_EQ(result.migrations_committed, 0u);
+  EXPECT_EQ(result.migrations_aborted, 0u);
+  EXPECT_EQ(result.drain_requests, 0u);
+  EXPECT_TRUE(result.migration_sequence.empty());
+}
+
+TEST(MigrationHarness, MigrationRequiresProvisioner) {
+  metrics::PlacementConfig config = fast_migration_config();
+  config.provisioner.clear();
+  EXPECT_THROW((void)metrics::run_placement(config), common::ConfigError);
+}
+
+TEST(MigrationHarness, JournalRequiresMigration) {
+  metrics::PlacementConfig config = fast_migration_config();
+  config.migration.clear();
+  config.migration_journal = "unused.journal";
+  EXPECT_THROW((void)metrics::run_placement(config), common::ConfigError);
+}
+
+TEST(MigrationHarness, MigratedTasksKeepTheirSlaDeadlines) {
+  // A generous deadline every node can meet: migration delay (a few
+  // seconds of transfer) must not manufacture violations, and the moved
+  // tasks still settle through the admission accounting.
+  metrics::PlacementConfig config = fast_migration_config();
+  config.sla_workload = "sla:gold=0.2,silver=0.3,bronze=0.3,deadline=100000";
+  const metrics::PlacementResult result = metrics::run_placement(config);
+  EXPECT_GT(result.migrations_committed, 0u);
+  EXPECT_EQ(result.sla_violations, 0u);
+  EXPECT_EQ(result.tasks_completed + result.tasks_rejected + result.tasks_lost +
+                result.tasks_unfinished,
+            result.tasks);
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(MigrationDeterminism, SequenceIdenticalAcrossServingShards) {
+  const metrics::PlacementResult serial = metrics::run_placement(fast_migration_config());
+  ASSERT_GT(serial.migrations_committed, 0u);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    metrics::PlacementConfig config = fast_migration_config();
+    config.shards = shards;
+    const metrics::PlacementResult sharded = metrics::run_placement(config);
+    EXPECT_EQ(sharded.migration_sequence, serial.migration_sequence) << shards << " shards";
+    EXPECT_EQ(sharded.migrations_started, serial.migrations_started) << shards << " shards";
+    EXPECT_EQ(sharded.drain_requests, serial.drain_requests) << shards << " shards";
+    EXPECT_EQ(sharded.tasks_per_server, serial.tasks_per_server) << shards << " shards";
+  }
+}
+
+TEST(MigrationDeterminism, SequenceIdenticalAcrossSweepJobs) {
+  const std::vector<std::uint64_t> seeds = {42, 43, 44};
+  const std::vector<metrics::PlacementResult> serial =
+      metrics::run_placement_sweep(fast_migration_config(), seeds, 1);
+  const std::vector<metrics::PlacementResult> parallel =
+      metrics::run_placement_sweep(fast_migration_config(), seeds, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(serial[i].migration_sequence, parallel[i].migration_sequence)
+        << "seed " << seeds[i];
+    EXPECT_EQ(serial[i].energy.value(), parallel[i].energy.value()) << "seed " << seeds[i];
+  }
+}
+
+// ---------------------------------------------------- journal recovery
+
+/// Minimal platform + hierarchy so a MigrationController can be built
+/// outside the harness (recovery never touches the SEDs).
+struct BareStack {
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  std::unique_ptr<diet::Hierarchy> hierarchy;
+
+  BareStack() {
+    for (const auto& setup : metrics::table1_clusters()) {
+      platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+    }
+    hierarchy = std::make_unique<diet::Hierarchy>(sim, rng);
+    hierarchy->build_per_cluster(platform, {"cpu-bound"});
+  }
+};
+
+TEST(MigrationJournal, CleanLogRecoversNothing) {
+  const fs::path path = fs::path(testing::TempDir()) / "migrate_clean.journal";
+  fs::remove(path);
+  {
+    durable::Journal journal = durable::Journal::open(path);
+    MigrationRecord intent = sample_record(MigrationRecordKind::kIntent);
+    journal.append(encode_migration_record(intent));
+    MigrationRecord commit = sample_record(MigrationRecordKind::kCommit);
+    commit.migration = intent.migration;
+    journal.append(encode_migration_record(commit));
+  }
+  BareStack stack;
+  MigrationController controller(*stack.hierarchy, MigrationOptions{});
+  controller.open_journal(path);
+  EXPECT_EQ(controller.recovered_intents(), 0u);
+  fs::remove(path);
+}
+
+TEST(MigrationJournal, UnresolvedIntentIsCountedAsRecovered) {
+  const fs::path path = fs::path(testing::TempDir()) / "migrate_indoubt.journal";
+  fs::remove(path);
+  {
+    durable::Journal journal = durable::Journal::open(path);
+    // Migration 1 resolves (abort); migration 2 crashes mid-transfer.
+    MigrationRecord first = sample_record(MigrationRecordKind::kIntent);
+    first.migration = 1;
+    journal.append(encode_migration_record(first));
+    MigrationRecord abort_frame = sample_record(MigrationRecordKind::kAbort);
+    abort_frame.migration = 1;
+    journal.append(encode_migration_record(abort_frame));
+    MigrationRecord second = sample_record(MigrationRecordKind::kIntent);
+    second.migration = 2;
+    journal.append(encode_migration_record(second));
+  }
+  BareStack stack;
+  MigrationController controller(*stack.hierarchy, MigrationOptions{});
+  controller.open_journal(path);
+  EXPECT_EQ(controller.recovered_intents(), 1u);
+  // The log was reset for this run: a second controller sees a clean file.
+  MigrationController reopened(*stack.hierarchy, MigrationOptions{});
+  reopened.open_journal(path);
+  EXPECT_EQ(reopened.recovered_intents(), 0u);
+  fs::remove(path);
+}
+
+TEST(MigrationJournal, HarnessRunWritesReplayableFrames) {
+  const fs::path path = fs::path(testing::TempDir()) / "migrate_run.journal";
+  fs::remove(path);
+  metrics::PlacementConfig config = fast_migration_config();
+  config.migration_journal = path.string();
+  const metrics::PlacementResult result = metrics::run_placement(config);
+  ASSERT_GT(result.migrations_started, 0u);
+
+  const durable::Journal::Replay replay = durable::Journal::replay(path);
+  EXPECT_FALSE(replay.truncated);
+  std::uint64_t intents = 0, commits = 0, aborts = 0;
+  for (const std::string& payload : replay.records) {
+    const MigrationRecord record = decode_migration_record(payload);
+    switch (record.kind) {
+      case MigrationRecordKind::kIntent: ++intents; break;
+      case MigrationRecordKind::kCommit:
+        ++commits;
+        EXPECT_GT(record.remaining_flops, 0.0);
+        EXPECT_NE(record.source, record.target);
+        break;
+      case MigrationRecordKind::kAbort: ++aborts; break;
+    }
+  }
+  EXPECT_EQ(intents, result.migrations_started);
+  EXPECT_EQ(commits, result.migrations_committed);
+  EXPECT_EQ(aborts, result.migrations_aborted);
+  fs::remove(path);
+}
+
+// ------------------------------------------- oracle invariant 8 (hand-built)
+
+/// The hand-built mirror of run_placement's migration wiring, so the
+/// oracle can reach the controller directly.
+struct MigrationRun {
+  static constexpr std::size_t kTasks = 208;  // 2 per Table I core
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  std::unique_ptr<diet::Hierarchy> hierarchy;
+  diet::MasterAgent* ma = nullptr;
+  std::unique_ptr<diet::PluginScheduler> policy;
+  green::EventSchedule events;
+  green::ProvisioningPlanning planning;
+  std::unique_ptr<green::Provisioner> provisioner;
+  std::unique_ptr<MigrationController> controller;
+  std::unique_ptr<diet::Client> client;
+
+  MigrationRun() {
+    for (const auto& setup : metrics::table1_clusters()) {
+      platform.add_cluster(setup.name, setup.spec, setup.options, rng);
+    }
+    hierarchy = std::make_unique<diet::Hierarchy>(sim, rng);
+    ma = &hierarchy->build_per_cluster(platform, {"cpu-bound"});
+    policy = green::make_policy("POWER");
+    ma->set_plugin(policy.get());
+
+    events.set_initial_cost(1.0);
+    green::ProvisionerConfig pconfig;
+    pconfig.strategy = "consolidate:delay=20,trigger=0.5";
+    pconfig.check_period = common::Seconds(10.0);
+    pconfig.lookahead = common::Seconds(20.0);
+    provisioner = std::make_unique<green::Provisioner>(
+        sim, platform, *ma, green::RuleEngine::paper_default(), events, planning, pconfig);
+    provisioner->set_check_hook(
+        [this](des::SimTime, const green::PlatformStatus&, std::size_t) {
+          hierarchy->notify_capacity_change();
+        });
+    controller = std::make_unique<MigrationController>(
+        *hierarchy, parse_migration_options("drain:state=256,bw=1000,overhead=1"));
+    provisioner->set_drain_hook(
+        [this](des::SimTime at, const std::vector<common::NodeId>& sources,
+               const std::vector<common::NodeId>& targets) {
+          controller->drain(at, sources, targets);
+        });
+
+    client = std::make_unique<diet::Client>(*hierarchy, "client", diet::RetryPolicy{});
+    provisioner->set_stop_predicate(
+        [this] { return client->submitted() >= kTasks && client->settled(); });
+
+    workload::WorkloadConfig wconfig;
+    wconfig.task.work = common::Flops(6e11);
+    workload::WorkloadGenerator generator(wconfig);
+    workload::BurstThenContinuousArrival arrival(1000, 1.0);
+    client->submit_workload(
+        generator.generate_with(arrival, kTasks, common::Seconds(0.0), rng));
+  }
+
+  void run() {
+    provisioner->start();
+    sim.run();
+  }
+};
+
+TEST(MigrationOracle, ConservationHoldsAndHopsMatchClientRecords) {
+  MigrationRun run;
+  testsupport::SimulationOracle oracle;
+  oracle.watch(run.platform);
+  run.run();
+
+  ASSERT_GT(run.controller->committed(), 0u);
+  oracle.check_settled(*run.client);
+  oracle.check_transition_counters(run.platform);
+  oracle.check_energy(run.platform, run.sim.now());
+  oracle.check_migration(*run.controller, {run.client.get()});
+  EXPECT_TRUE(oracle.clean()) << oracle.report();
+
+  EXPECT_EQ(run.client->completed(), MigrationRun::kTasks);
+  EXPECT_EQ(run.client->lost(), 0u);
+  // Every committed hop is visible on exactly one client record.
+  std::size_t hops = 0;
+  for (const auto& record : run.client->records()) hops += record.migrations;
+  EXPECT_EQ(hops, run.controller->committed());
+}
+
+}  // namespace
+}  // namespace greensched::migrate

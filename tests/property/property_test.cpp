@@ -358,6 +358,79 @@ TEST_P(ChaosInvariants, StormRunStaysOracleClean) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosInvariants, ::testing::Values(1u, 23u, 404u, 8191u));
 
+// --- estimation cache twin (whole-run) -----------------------------------
+
+// The cache/epoch audit as a whole-run twin-sim: one storm exercising
+// every change_stamp consumer at once — SLA defer wake-ups, gray
+// failures behind an estimation deadline (circuit-breaker quarantine),
+// and the provisioner's drain hook checkpointing tasks off shrinking
+// nodes — run with the estimation cache on and off.  Every field of the
+// result must be bitwise identical: a single stale cached vector would
+// shift an election and diverge the sequences.
+TEST(EstimationCacheTwin, StormWithDeferQuarantineAndDrainIsBitIdentical) {
+  auto config_with_cache = [](bool cache) {
+    metrics::PlacementConfig config;
+    config.clusters = metrics::table1_clusters();
+    config.policy = "POWER";
+    config.seed = 42;
+    config.workload.requests_per_core = 2.0;
+    config.workload.burst_size = 1000;
+    config.workload.continuous_rate = 1.0;
+    config.workload.task.work = common::Flops(6e11);
+    config.sla_workload = "sla:gold=0.25,silver=0.25,bronze=0.25,deadline=5000";
+    config.sla_policy = "revenue-det";
+    config.chaos = chaos::ChaosScenario::parse(
+        "calm,stall_mtbf=200,stall=15,limp_fraction=0.25,limp_latency=20,horizon=1500");
+    config.estimation_deadline_seconds = 1.0;
+    config.hedge = true;
+    config.retry = diet::RetryPolicy::hardened();
+    config.provisioner = "consolidate:delay=20,trigger=0.5";
+    config.provisioner_check_seconds = 10.0;
+    config.migration = "drain:state=256,bw=1000,overhead=1,inflight=4,gain=2";
+    config.sed.estimation_cache = cache;
+    return config;
+  };
+  const metrics::PlacementResult cached = metrics::run_placement(config_with_cache(true));
+  const metrics::PlacementResult fresh = metrics::run_placement(config_with_cache(false));
+
+  // The storm must actually have exercised all three subsystems, or the
+  // twin proves nothing.
+  EXPECT_GT(cached.tasks_deferred + cached.tasks_rejected, 0u);
+  EXPECT_GT(cached.stalls + cached.limping_seds, 0u);
+  EXPECT_GT(cached.drain_requests, 0u);
+
+  EXPECT_EQ(cached.energy.value(), fresh.energy.value());
+  EXPECT_EQ(cached.makespan.value(), fresh.makespan.value());
+  EXPECT_EQ(cached.sim_events, fresh.sim_events);
+  EXPECT_EQ(cached.mean_wait_seconds, fresh.mean_wait_seconds);
+  EXPECT_EQ(cached.tasks_per_server, fresh.tasks_per_server);
+  EXPECT_EQ(cached.tasks_completed, fresh.tasks_completed);
+  EXPECT_EQ(cached.tasks_lost, fresh.tasks_lost);
+  EXPECT_EQ(cached.tasks_unfinished, fresh.tasks_unfinished);
+  EXPECT_EQ(cached.tasks_rejected, fresh.tasks_rejected);
+  EXPECT_EQ(cached.tasks_deferred, fresh.tasks_deferred);
+  EXPECT_EQ(cached.sla_violations, fresh.sla_violations);
+  EXPECT_EQ(cached.revenue_total, fresh.revenue_total);
+  EXPECT_EQ(cached.admission_sequence, fresh.admission_sequence);
+  EXPECT_EQ(cached.candidate_series, fresh.candidate_series);
+  EXPECT_EQ(cached.boots_ordered, fresh.boots_ordered);
+  EXPECT_EQ(cached.shutdowns_ordered, fresh.shutdowns_ordered);
+  EXPECT_EQ(cached.stalls, fresh.stalls);
+  EXPECT_EQ(cached.flaps, fresh.flaps);
+  EXPECT_EQ(cached.deadline_misses, fresh.deadline_misses);
+  EXPECT_EQ(cached.hedges, fresh.hedges);
+  EXPECT_EQ(cached.hedge_rescues, fresh.hedge_rescues);
+  EXPECT_EQ(cached.quarantined_skips, fresh.quarantined_skips);
+  EXPECT_EQ(cached.breaker_opens, fresh.breaker_opens);
+  EXPECT_EQ(cached.breaker_closes, fresh.breaker_closes);
+  EXPECT_EQ(cached.p99_election_wait_seconds, fresh.p99_election_wait_seconds);
+  EXPECT_EQ(cached.migrations_started, fresh.migrations_started);
+  EXPECT_EQ(cached.migrations_committed, fresh.migrations_committed);
+  EXPECT_EQ(cached.migrations_aborted, fresh.migrations_aborted);
+  EXPECT_EQ(cached.drain_requests, fresh.drain_requests);
+  EXPECT_EQ(cached.migration_sequence, fresh.migration_sequence);
+}
+
 // --- SLA admission under chaos -----------------------------------------------------
 
 struct SlaChaosCase {

@@ -12,7 +12,8 @@
 // A second suite pins the same contract at the hierarchy level through
 // the throughput driver: the elected sequence (and its fingerprint) must
 // be identical at any shard count, unbatched and batched.  ("Twenty
-// scenarios" grew to twenty-four with the gray-failure grid points.)
+// scenarios" grew to twenty-four with the gray-failure grid points, and
+// to twenty-six with the live-migration ones.)
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -42,6 +43,7 @@ struct Scenario {
   std::uint64_t seed;
   double estimation_deadline = 0.0;  // 0 = observer mode under gray chaos
   bool hedge = false;
+  const char* migration = "";  // "" = no migration controller
 };
 
 const Scenario kScenarios[] = {
@@ -91,6 +93,14 @@ const Scenario kScenarios[] = {
      "storm,horizon=2000,stall_mtbf=300,stall=20,limp_fraction=0.25,limp_latency=30",
      "reactive-idle", "sla:gold=0.2,silver=0.3,bronze=0.3", "fifo-admit", 24, 120, true, 24,
      1.0, true},
+    // Live migration: the drain hook's checkpointed transfers (and their
+    // resolution log) must be invisible to the shard count — calm, and
+    // buried in the kitchen sink with a storm and SLA admission on top.
+    {"drain_consolidate", "POWER", "", "consolidate:delay=20,trigger=0.5", "", "", 12, 208,
+     true, 25, 0.0, false, "drain:state=256,bw=1000,overhead=1,inflight=4,gain=2"},
+    {"storm_drain_sla", "POWER", "storm,horizon=2000", "consolidate:delay=20,trigger=0.5",
+     "sla:gold=0.2,silver=0.3,bronze=0.3,deadline=100000", "fifo-admit", 12, 208, true, 26,
+     0.0, false, "drain:state=256,bw=1000,overhead=1,inflight=4,gain=2"},
 };
 
 metrics::PlacementConfig config_for(const Scenario& s, std::size_t shards) {
@@ -108,6 +118,16 @@ metrics::PlacementConfig config_for(const Scenario& s, std::size_t shards) {
   config.sla_policy = s.sla_policy;
   config.estimation_deadline_seconds = s.estimation_deadline;
   config.hedge = s.hedge;
+  config.migration = s.migration;
+  if (s.migration[0] != '\0') {
+    // The proven drain shape: a deep burst of ~1-minute tasks saturates
+    // the pool onto the slow nodes, whose stranded tasks the controller
+    // then checkpoints off as consolidation shrinks the candidate set.
+    config.workload.burst_size = 1000;
+    config.workload.continuous_rate = 1.0;
+    config.workload.task.work = common::Flops(6e11);
+    config.provisioner_check_seconds = 10.0;
+  }
   config.shards = shards;
   return config;
 }
@@ -158,6 +178,13 @@ void expect_identical(const metrics::PlacementResult& serial,
   EXPECT_EQ(serial.boots_ordered, sharded.boots_ordered);
   EXPECT_EQ(serial.shutdowns_ordered, sharded.shutdowns_ordered);
   EXPECT_EQ(serial.candidate_series, sharded.candidate_series);
+  // Migration outcome: the resolution log pins every transfer's time,
+  // endpoints and verdict bit-exactly.
+  EXPECT_EQ(serial.migrations_started, sharded.migrations_started);
+  EXPECT_EQ(serial.migrations_committed, sharded.migrations_committed);
+  EXPECT_EQ(serial.migrations_aborted, sharded.migrations_aborted);
+  EXPECT_EQ(serial.drain_requests, sharded.drain_requests);
+  EXPECT_EQ(serial.migration_sequence, sharded.migration_sequence);
   // SLA outcome: verdict log, revenue and the per-tier table.
   EXPECT_EQ(serial.admission_sequence, sharded.admission_sequence);
   EXPECT_EQ(serial.tasks_rejected, sharded.tasks_rejected);

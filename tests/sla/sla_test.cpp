@@ -9,10 +9,15 @@
 #include <vector>
 
 #include "cluster/catalog.hpp"
+#include "cluster/platform.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "diet/client.hpp"
 #include "diet/estimation.hpp"
+#include "diet/hierarchy.hpp"
 #include "diet/request.hpp"
+#include "green/policies.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/replication.hpp"
 #include "sla/admission.hpp"
@@ -311,6 +316,43 @@ TEST_F(AdmissionVerdicts, NothingEligibleDefersWhileSlackRemains) {
   }
 }
 
+TEST_F(AdmissionVerdicts, DeadOnArrivalRejectIsFlaggedDeadlineExpired) {
+  // A request whose deadline passed while it sat queued/deferred is a
+  // broken contract, not a refusal: the verdict must carry the
+  // deadline_expired flag so the client books an SLA violation.
+  const auto policy = sla::make_sla_policy("revenue-det");
+  diet::SchedulingDecision decision;
+  decision.ranked.push_back(make_candidate(1e9, 100.0, 0.0));
+  decision.eligible = 1;
+  decision.elected = fake_sed();
+  const auto expired = decide(*policy, decision, /*now=*/61.0);
+  EXPECT_EQ(expired.admission, diet::Admission::kReject);
+  EXPECT_TRUE(expired.deadline_expired);
+
+  // A merely-infeasible reject (deadline still ahead, completion late)
+  // is a refusal with no broken promise: the flag stays down.
+  diet::SchedulingDecision slow;
+  slow.ranked.push_back(make_candidate(1e9, 100.0, 70.0));
+  slow.eligible = 1;
+  slow.elected = fake_sed();
+  const auto refused = decide(*policy, slow, /*now=*/0.0);
+  EXPECT_EQ(refused.admission, diet::Admission::kReject);
+  EXPECT_FALSE(refused.deadline_expired);
+}
+
+TEST_F(AdmissionVerdicts, DeferWakeUpClampsToAPositiveFloor) {
+  // min(defer, remaining/2) shrinks toward zero as the deadline closes
+  // in, and a legal defer=1e-9 spec starts there; without the millisecond
+  // floor the wake-up would fire at effectively the same instant and a
+  // saturated platform busy-loops defer rounds.
+  const auto policy = sla::make_sla_policy("revenue-det:defer=1e-9");
+  diet::SchedulingDecision decision;  // nothing eligible: defer_or_reject
+  const auto verdict = decide(*policy, decision, /*now=*/0.0);
+  ASSERT_EQ(verdict.admission, diet::Admission::kDefer);
+  EXPECT_GE(verdict.retry_after_seconds, 1e-3);
+  EXPECT_EQ(verdict.retry_after_seconds, 1e-3);
+}
+
 TEST_F(AdmissionVerdicts, UntimedSlaFallsBackToThePassiveQueue) {
   const auto policy = sla::make_sla_policy("revenue-det");
   request_.task.spec.deadline_seconds = 0.0;  // tiered + valued but untimed
@@ -582,6 +624,45 @@ TEST(SlaPlacement, LegacyRunsAreUntouchedBySlaPlumbing) {
   EXPECT_EQ(result.sla_violations, 0u);
   EXPECT_EQ(result.revenue_total, 0.0);
   EXPECT_TRUE(result.per_tier.empty());
+}
+
+TEST(SlaClientAccounting, ExpiredRejectBooksViolationOnTopOfRefusal) {
+  // A scripted admission hook turns every request away with the
+  // deadline_expired flag: the client must account each as BOTH a
+  // rejection and an SLA violation — a promise that died in the queue,
+  // not a plain refusal.
+  des::Simulator sim;
+  common::Rng rng{42};
+  cluster::Platform platform;
+  cluster::ClusterOptions two;
+  two.node_count = 2;
+  platform.add_cluster("taurus", cluster::MachineCatalog::taurus(), two, rng);
+  diet::Hierarchy hierarchy(sim, rng);
+  diet::MasterAgent& ma = hierarchy.build_per_cluster(platform, {"cpu-bound"});
+  const auto policy = green::make_policy("POWER");
+  ma.set_plugin(policy.get());
+  ma.set_admission_hook([](const diet::SchedulingDecision&, const diet::Request&) {
+    return diet::AdmissionVerdict{diet::Admission::kReject, 0.0,
+                                  /*deadline_expired=*/true};
+  });
+
+  constexpr std::size_t kTasks = 8;
+  diet::Client client(hierarchy, "client", diet::RetryPolicy{});
+  workload::WorkloadConfig wconfig;
+  workload::WorkloadGenerator generator(wconfig);
+  workload::BurstThenContinuousArrival arrival(kTasks, 1.0);
+  auto tasks = generator.generate_with(arrival, kTasks, common::Seconds(0.0), rng);
+  for (auto& task : tasks) {
+    task.spec.sla_tier = 2;
+    task.spec.deadline_seconds = 1.0;
+  }
+  client.submit_workload(std::move(tasks));
+  sim.run();
+
+  EXPECT_EQ(client.rejected(), kTasks);
+  EXPECT_EQ(client.violations(), kTasks);
+  EXPECT_EQ(client.completed(), 0u);
+  EXPECT_TRUE(client.settled());
 }
 
 }  // namespace

@@ -33,6 +33,11 @@
 //      funnel only narrows (rescues <= hedges <= misses), and breaker
 //      transition counts describe a real state machine (every half-open
 //      came from an open, every close from a half-open).
+//   8. Migration conservation — every started migration resolved
+//      (committed or aborted, none in flight at the end), and the hop
+//      counts accumulated by client records equal the controller's
+//      committed count: a migrating task is counted exactly once, and a
+//      migration can neither clone nor lose a task.
 #pragma once
 
 #include <algorithm>
@@ -48,6 +53,7 @@
 #include "diet/agent.hpp"
 #include "diet/client.hpp"
 #include "green/provisioner.hpp"
+#include "migrate/migration.hpp"
 
 namespace greensched::testsupport {
 
@@ -133,9 +139,12 @@ class SimulationOracle {
       if (r.rejected && r.admitted)
         fail() << client.name() << ": task " << r.task.id.value()
                << " rejected after execution started";
-      if (r.violated && !r.end)
+      if (r.violated && !r.end && !r.rejected)
         fail() << client.name() << ": task " << r.task.id.value()
-               << " marked violated without completing";
+               << " marked violated without completing or being turned away";
+      if (r.violated && r.rejected && r.revenue != 0.0)
+        fail() << client.name() << ": task " << r.task.id.value()
+               << " rejected past its deadline yet credited revenue";
       if (r.violated && r.revenue != 0.0)
         fail() << client.name() << ": task " << r.task.id.value()
                << " violated its deadline but was credited " << r.revenue << " revenue";
@@ -267,6 +276,30 @@ class SimulationOracle {
              << master.quarantined_skips() << " skips, " << master.probe_elections()
              << " probes) without a failure detector";
     }
+  }
+
+  /// Invariant 8: migration conservation.  Call after the run settled,
+  /// with every client whose tasks the controller may have moved.  A
+  /// migrating task is counted exactly once: each started migration
+  /// resolved as commit or abort, and each commit shows up as exactly
+  /// one hop on exactly one client record.
+  void check_migration(const migrate::MigrationController& controller,
+                       const std::vector<const diet::Client*>& clients) {
+    if (controller.in_flight() != 0)
+      fail() << "migration: " << controller.in_flight()
+             << " transfers still in flight after the run settled";
+    if (controller.started() != controller.committed() + controller.aborted())
+      fail() << "migration: " << controller.started() << " started != "
+             << controller.committed() << " committed + " << controller.aborted()
+             << " aborted";
+    std::size_t hops = 0;
+    for (const diet::Client* client : clients) {
+      for (const auto& r : client->records()) hops += r.migrations;
+    }
+    if (hops != controller.committed())
+      fail() << "migration: clients account " << hops << " hops but the controller committed "
+             << controller.committed()
+             << " — a migrating task was double-counted or lost";
   }
 
   // --- outcome ---

@@ -46,6 +46,7 @@
 #include "green/provisioner.hpp"
 #include "green/provisioning_strategy.hpp"
 #include "metrics/config_io.hpp"
+#include "migrate/migration.hpp"
 #include "sla/admission.hpp"
 #include "sla/tier.hpp"
 #include "metrics/experiment.hpp"
@@ -90,7 +91,8 @@ int usage() {
                "  chaos            placement under fault injection (--scenario\n"
                "                   none|calm|storm[,key=value,...], --nodes N, --tasks N,\n"
                "                   --policy P, --seed N, --seeds K, --jobs J, --no-retry,\n"
-               "                   --requests-per-core R, --csv FILE, --provisioner S);\n"
+               "                   --requests-per-core R, --work FLOPS, --csv FILE,\n"
+               "                   --provisioner S);\n"
                "                   gray-failure keys: stall_mtbf/stall (transient\n"
                "                   estimation stalls), flap_mtbf/flap_down (flapping\n"
                "                   nodes), limp_fraction/limp_latency (permanently slow\n"
@@ -110,6 +112,13 @@ int usage() {
                "                      quarantine repeat offenders (circuit breaker)\n"
                "  --hedge             retry stragglers once with a tighter budget\n"
                "                      (deadline / 2) before excluding them\n"
+               "live migration (placement, compare, sweep, chaos; needs --provisioner):\n"
+               "  --migration SPEC    drain busy non-candidate nodes by checkpointed\n"
+               "                      task migration; pairs naturally with the\n"
+               "                      consolidate strategy\n"
+               "%s"
+               "  --migration-journal FILE  write-ahead intent/commit/abort journal\n"
+               "                      (crash recovery; requires --migration)\n"
                "provisioning strategies (--provisioner <name[:key=value,...]>):\n"
                "%s"
                "SLA workload profiles (--workload <name[:key=value,...]>, on placement,\n"
@@ -127,6 +136,7 @@ int usage() {
                "  1  runtime or configuration error\n"
                "  2  usage error (unknown command/option, bad flag value)\n"
                "  3  file or filesystem I/O failure\n",
+               migrate::migration_help("  ").c_str(),
                green::provisioning_strategy_help("  ").c_str(),
                sla::sla_workload_help("  ").c_str(), sla::sla_policy_help("  ").c_str());
   return 2;
@@ -195,6 +205,35 @@ bool apply_serving_flags(const CliArgs& args, metrics::PlacementConfig& config) 
   } catch (const common::ConfigError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return false;
+  }
+  return true;
+}
+
+/// Parses --migration/--migration-journal into `config`.  Validated
+/// eagerly (exit 2, same shape as the other flag helpers): a typo'd
+/// migration spec, a journal without a migration, or a migration without
+/// a provisioner must not silently run drain-free.
+bool apply_migration_flags(const CliArgs& args, metrics::PlacementConfig& config) {
+  if (const auto spec = args.get("migration")) {
+    try {
+      (void)migrate::parse_migration_options(*spec);
+    } catch (const common::ConfigError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return false;
+    }
+    config.migration = *spec;
+    if (config.provisioner.empty()) {
+      std::fprintf(stderr,
+                   "error: --migration requires --provisioner (the drain hook drives it)\n");
+      return false;
+    }
+  }
+  if (const auto journal = args.get("migration-journal")) {
+    if (config.migration.empty()) {
+      std::fprintf(stderr, "error: --migration-journal requires --migration\n");
+      return false;
+    }
+    config.migration_journal = *journal;
   }
   return true;
 }
@@ -302,6 +341,15 @@ void print_placement(const metrics::PlacementResult& result) {
                   static_cast<unsigned long long>(row.deferred), row.rejected, row.violated);
     }
   }
+  if (!result.migration.empty()) {
+    std::printf("migration  : %s — %llu started, %llu committed, %llu aborted, "
+                "%llu drain requests\n",
+                result.migration.c_str(),
+                static_cast<unsigned long long>(result.migrations_started),
+                static_cast<unsigned long long>(result.migrations_committed),
+                static_cast<unsigned long long>(result.migrations_aborted),
+                static_cast<unsigned long long>(result.drain_requests));
+  }
   std::printf("%s", metrics::render_task_distribution(result).c_str());
 }
 
@@ -324,6 +372,7 @@ int cmd_placement(const CliArgs& args) {
   if (!apply_sla_flags(args, config)) return usage();
   if (!apply_serving_flags(args, config)) return usage();
   if (!apply_gray_flags(args, config)) return usage();
+  if (!apply_migration_flags(args, config)) return usage();
   if (const auto save_path = args.get("save-config")) {
     std::ofstream out = open_output(*save_path, "experiment file");
     out << metrics::config_to_string(config);
@@ -366,6 +415,7 @@ int cmd_compare(const CliArgs& args) {
   if (!apply_sla_flags(args, config)) return usage();
   if (!apply_serving_flags(args, config)) return usage();
   if (!apply_gray_flags(args, config)) return usage();
+  if (!apply_migration_flags(args, config)) return usage();
   const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
 
   const auto replicate = args.get_int("replicate", 0);
@@ -426,6 +476,7 @@ int cmd_sweep(const CliArgs& args) {
   if (!apply_sla_flags(args, config)) return usage();
   if (!apply_serving_flags(args, config)) return usage();
   if (!apply_gray_flags(args, config)) return usage();
+  if (!apply_migration_flags(args, config)) return usage();
 
   // --provisioners flips the comparison axis: one grid point per
   // provisioning strategy (all under --policy), not per policy.
@@ -691,6 +742,14 @@ void print_chaos_result(const metrics::PlacementResult& r) {
                 static_cast<unsigned long long>(r.shutdowns_ordered),
                 static_cast<unsigned long long>(r.degraded_checks));
   }
+  if (!r.migration.empty()) {
+    std::printf("migration    : %s — %llu started, %llu committed, %llu aborted, "
+                "%llu drain requests\n",
+                r.migration.c_str(), static_cast<unsigned long long>(r.migrations_started),
+                static_cast<unsigned long long>(r.migrations_committed),
+                static_cast<unsigned long long>(r.migrations_aborted),
+                static_cast<unsigned long long>(r.drain_requests));
+  }
 }
 
 int cmd_chaos(const CliArgs& args) {
@@ -703,6 +762,11 @@ int cmd_chaos(const CliArgs& args) {
   config.workload.requests_per_core = args.get_double("requests-per-core", 10.0);
   config.workload.burst_size = static_cast<std::size_t>(args.get_int("burst", 50));
   config.workload.continuous_rate = args.get_double("rate", 2.0);
+  // Per-task work in flops.  Smaller tasks keep completions flowing during
+  // a drain, which is what gives the migration cost model remaining work
+  // worth shipping (the default paper task is too coarse to ever migrate).
+  config.workload.task.work =
+      common::Flops(args.get_double("work", config.workload.task.work.value()));
   config.task_count_override = static_cast<std::size_t>(args.get_int("tasks", 0));
   try {
     config.chaos = chaos::ChaosScenario::parse(args.get_or("scenario", "storm"));
@@ -718,6 +782,7 @@ int cmd_chaos(const CliArgs& args) {
   if (!apply_sla_flags(args, config)) return usage();
   if (!apply_serving_flags(args, config)) return usage();
   if (!apply_gray_flags(args, config)) return usage();
+  if (!apply_migration_flags(args, config)) return usage();
   std::printf("scenario     : %s%s\n", config.chaos.to_string().c_str(),
               args.get_bool("no-retry", false) ? " (retries disabled)" : "");
 
@@ -748,7 +813,8 @@ int cmd_chaos(const CliArgs& args) {
              "tasks_killed", "repairs", "cluster_outages", "boot_failures", "retries",
              "stalls", "flaps", "limping_seds", "deadline_misses", "hedges",
              "hedge_rescues", "quarantined_skips", "breaker_opens",
-             "p99_election_wait_s", "makespan_s", "energy_j"});
+             "p99_election_wait_s", "migrations_started", "migrations_committed",
+             "migrations_aborted", "makespan_s", "energy_j"});
     for (const auto& r : results) {
       csv.cell(r.seed)
           .cell(r.policy)
@@ -771,6 +837,9 @@ int cmd_chaos(const CliArgs& args) {
           .cell(r.quarantined_skips)
           .cell(r.breaker_opens)
           .cell(r.p99_election_wait_seconds)
+          .cell(r.migrations_started)
+          .cell(r.migrations_committed)
+          .cell(r.migrations_aborted)
           .cell(r.makespan.value())
           .cell(r.energy.value());
       csv.end_row();
